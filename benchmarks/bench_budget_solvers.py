@@ -1,0 +1,56 @@
+"""Ablation benchmarks for the fixed-budget solvers (Section 4.3).
+
+Algorithm 3's convex-hull construction against the general-purpose LP and
+the pseudo-polynomial exact DP: the hull solution should be orders of
+magnitude faster while landing within the Theorem 8 gap of the optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.budget.exact_dp import solve_budget_exact
+from repro.core.budget.lp_solver import solve_budget_lp
+from repro.core.budget.static_lp import solve_budget_hull
+from repro.market.acceptance import paper_acceptance_model
+
+NUM_TASKS = 200
+BUDGET = 2500.0
+GRID = np.arange(1.0, 51.0)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return paper_acceptance_model()
+
+
+@pytest.mark.benchmark(group="budget-solvers")
+def test_budget_hull(benchmark, model):
+    allocation = benchmark(solve_budget_hull, NUM_TASKS, BUDGET, model, GRID)
+    assert allocation.total_cost <= BUDGET
+
+
+@pytest.mark.benchmark(group="budget-solvers")
+def test_budget_lp(benchmark, model):
+    solution = benchmark(solve_budget_lp, NUM_TASKS, BUDGET, model, GRID)
+    assert sum(solution.weights) == pytest.approx(NUM_TASKS, abs=1e-6)
+
+
+@pytest.mark.benchmark(group="budget-solvers")
+def test_budget_exact_dp(benchmark, model):
+    allocation = benchmark.pedantic(
+        solve_budget_exact,
+        args=(NUM_TASKS, BUDGET, model, GRID),
+        rounds=1,
+        iterations=1,
+    )
+    assert allocation.total_cost <= BUDGET
+
+
+def test_hull_within_theorem8_gap(model):
+    hull = solve_budget_hull(NUM_TASKS, BUDGET, model, GRID)
+    exact = solve_budget_exact(NUM_TASKS, BUDGET, model, GRID)
+    assert hull.expected_arrivals <= (
+        exact.expected_arrivals + hull.rounding_gap_bound + 1e-6
+    )

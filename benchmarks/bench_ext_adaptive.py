@@ -1,0 +1,28 @@
+"""Extension benchmark: adaptive arrival-rate prediction.
+
+Not a paper figure — the scheme Section 5.2.5 leaves to future work,
+evaluated on the paper's own Fig. 10 holiday scenario.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_adaptive
+
+
+def test_ext_adaptive(benchmark, emit):
+    result = benchmark.pedantic(
+        ext_adaptive.run_ext_adaptive, rounds=1, iterations=1, warmup_rounds=0
+    )
+    holiday = result.holiday
+    # The statically trained table strands tasks on the holiday; the
+    # adaptive repricer rescues them without overpaying.
+    assert holiday.static_mean_remaining > 1.0
+    assert holiday.adaptive_mean_remaining < 0.5
+    assert holiday.adaptive_mean_reward < holiday.static_mean_reward + 2.0
+    # The learned correction tracks the true ~45% rate shortfall.
+    assert 0.4 <= holiday.adaptive_final_factor <= 0.8
+    # On an ordinary day adaptivity is a no-op.
+    ordinary = result.ordinary
+    assert ordinary.adaptive_mean_remaining < 0.5
+    assert abs(ordinary.adaptive_mean_reward - ordinary.static_mean_reward) < 1.0
+    emit("ext_adaptive", ext_adaptive.format_result(result))

@@ -1,0 +1,17 @@
+"""Figure 1 benchmark: the 4-week marketplace arrival series.
+
+Regenerates the 6-hour throughput series and checks the weekly periodicity
+the paper's Fig. 1 demonstrates; the timed unit is the full trace
+generation + aggregation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig1_arrivals
+
+
+def test_fig01_arrivals(benchmark, emit):
+    result = benchmark(fig1_arrivals.run_fig1)
+    assert result.week_correlation > 0.8
+    assert result.weekend_mean < result.weekday_mean
+    emit("fig01_arrivals", fig1_arrivals.format_result(result))

@@ -1,0 +1,14 @@
+"""Figure 5 benchmark: utility-based acceptance simulation + logit fit."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_utility
+
+
+def test_fig05_utility(benchmark, emit):
+    result = benchmark.pedantic(
+        fig5_utility.run_fig5, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.rmse < 0.02
+    assert result.simulated[-1] > result.simulated[0]
+    emit("fig05_utility", fig5_utility.format_result(result))

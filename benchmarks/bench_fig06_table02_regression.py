@@ -1,0 +1,18 @@
+"""Figure 6 / Table 2 benchmark: wage-vs-workload regression and Eq. 13."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig6_table2_regression
+
+
+def test_fig06_table02_regression(benchmark, emit):
+    result = benchmark(fig6_table2_regression.run_fig6_table2)
+    assert result.fits["Data Collection"].alpha == pytest.approx(809.0, rel=0.15)
+    assert result.derived.s == pytest.approx(15.0, abs=2.0)
+    assert result.derived.b == pytest.approx(-0.39, abs=0.35)
+    emit(
+        "fig06_table02_regression",
+        fig6_table2_regression.format_result(result),
+    )

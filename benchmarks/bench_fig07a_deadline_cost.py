@@ -1,0 +1,23 @@
+"""Figure 7(a) benchmark: the headline deadline-pricing comparison.
+
+Dynamic ~12-12.5c with <1 expected leftover task, fixed baseline 16c, floor
+price 12c — a ~30% premium for fixed pricing.  This is the paper's core
+result; the timed unit is the full sweep (six penalty calibrations plus the
+fixed-price curve).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig7a_deadline_cost
+
+
+def test_fig07a_deadline_cost(benchmark, emit):
+    result = benchmark.pedantic(
+        fig7a_deadline_cost.run_fig7a, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.floor_price == 12.0
+    assert result.faridani_price == 16.0
+    assert 12.0 <= result.strict_dynamic_reward <= 12.5
+    assert 0.25 <= result.fixed_premium <= 0.40  # paper reports ~33%
+    assert result.dynamic_points[-1].expected_remaining < 1.0
+    emit("fig07a_deadline_cost", fig7a_deadline_cost.format_result(result))

@@ -1,0 +1,14 @@
+"""Figure 7(b) benchmark: cost-reduction trends over N and T."""
+
+from __future__ import annotations
+
+from repro.experiments import fig7b_trends
+
+
+def test_fig07b_trends(benchmark, emit):
+    result = benchmark.pedantic(
+        fig7b_trends.run_fig7b, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.reduction_decreases_in_n()
+    assert result.reduction_increases_in_t()
+    emit("fig07b_trends", fig7b_trends.format_result(result))

@@ -1,0 +1,21 @@
+"""Figure 8(a-c) benchmark: cost reduction vs the s, b, M parameters."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8_param_trends
+
+
+def test_fig08_param_trends(benchmark, emit):
+    result = benchmark.pedantic(
+        fig8_param_trends.run_fig8_params, rounds=1, iterations=1, warmup_rounds=0
+    )
+    # (a) stable in s: the sweep's spread stays moderate.
+    assert result.spread(result.by_s) < 0.15
+    # (b) lower for more attractive tasks: reduction falls as b rises past
+    # the default (ignoring the cheap-price saturation at the low end).
+    b_tail = [p.reduction for p in result.by_b if p.value >= -0.39]
+    assert all(y <= x + 0.02 for x, y in zip(b_tail, b_tail[1:]))
+    # (c) higher with fewer competitors: reduction falls as M grows.
+    m_tail = [p.reduction for p in result.by_m if p.value >= 2000.0]
+    assert all(y <= x + 0.02 for x, y in zip(m_tail, m_tail[1:]))
+    emit("fig08_param_trends", fig8_param_trends.format_result(result))

@@ -1,0 +1,20 @@
+"""Figure 8(d) benchmark: decision-interval granularity sweep."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8d_granularity
+
+
+def test_fig08d_granularity(benchmark, emit):
+    result = benchmark.pedantic(
+        fig8d_granularity.run_fig8d, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.reward_nondecreasing()
+    # The paper: runtime stays flat-ish across granularities (truncation
+    # cancels the interval count); generously, no blow-up either way.
+    times = [p.solve_seconds for p in result.points]
+    assert max(times) < 10.0
+    rewards = [p.average_reward for p in result.points]
+    # "not by too much": 20min -> 2h costs under half a cent extra.
+    assert rewards[-1] - rewards[0] < 0.5
+    emit("fig08d_granularity", fig8d_granularity.format_result(result))

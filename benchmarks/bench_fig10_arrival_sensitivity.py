@@ -1,0 +1,23 @@
+"""Figure 10 benchmark: leave-one-day-out arrival-rate sensitivity."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_arrival_sensitivity
+
+
+def test_fig10_arrival_sensitivity(benchmark, emit):
+    result = benchmark.pedantic(
+        fig10_arrival_sensitivity.run_fig10, rounds=1, iterations=1, warmup_rounds=0
+    )
+    ordinary = result.ordinary_days()
+    holiday = result.holiday()
+    # Ordinary days: random spikes wash out; both strategies stable.
+    assert max(d.dynamic_remaining for d in ordinary) < 0.5
+    assert max(d.fixed_remaining for d in ordinary) < 1.0
+    # The 1/1 holiday deviates consistently; both degrade, fixed worse.
+    assert holiday.dynamic_remaining > max(d.dynamic_remaining for d in ordinary)
+    assert holiday.fixed_remaining > holiday.dynamic_remaining
+    emit(
+        "fig10_arrival_sensitivity",
+        fig10_arrival_sensitivity.format_result(result),
+    )

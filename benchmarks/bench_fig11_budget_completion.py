@@ -1,0 +1,22 @@
+"""Figure 11 benchmark: fixed-budget completion-time distribution."""
+
+from __future__ import annotations
+
+from repro.experiments import fig11_budget_completion
+
+
+def test_fig11_budget_completion(benchmark, emit):
+    result = benchmark.pedantic(
+        fig11_budget_completion.run_fig11, rounds=1, iterations=1, warmup_rounds=0
+    )
+    summary = result.summary
+    # Paper: mean ~23.2h, realizations roughly 18-30h.
+    assert 20.0 <= summary.mean <= 27.0
+    assert summary.minimum >= 15.0
+    assert summary.maximum <= 34.0
+    assert summary.maximum - summary.minimum >= 6.0  # no latency guarantee
+    assert len(result.allocation.prices) <= 2  # Theorem 7 structure
+    emit(
+        "fig11_budget_completion",
+        fig11_budget_completion.format_result(result),
+    )

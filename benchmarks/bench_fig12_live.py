@@ -1,0 +1,28 @@
+"""Figure 12 benchmark: the simulated Mechanical-Turk deployment."""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_live
+
+
+def test_fig12_live(benchmark, emit):
+    result = benchmark.pedantic(
+        fig12_live.run_fig12, rounds=1, iterations=1, warmup_rounds=0
+    )
+    fixed = result.fixed_trials
+    # Fig 12(a): sizes <= 20 finish before the deadline, 30-50 do not.
+    assert fixed[10].finished and fixed[20].finished
+    assert not fixed[30].finished and not fixed[50].finished
+    # Fig 12(a): by hour 6 size 10 completes > 2x the HITs of size 20 and
+    # > 4x the HITs of the larger sizes.
+    at6 = {g: trial.hits_completed_by([6.0])[0] for g, trial in fixed.items()}
+    assert at6[10] > 2 * at6[20] * 0.9  # allow sampling slack
+    assert at6[10] > 4 * at6[30] * 0.9
+    # Fig 12(b): size 50's work completion ends above sizes 30 and 40.
+    final = {g: trial.work_fraction_by([14.0])[0] for g, trial in fixed.items()}
+    assert final[50] >= final[40] - 0.05 and final[50] >= final[30] - 0.05
+    # Fig 12(c): dynamic grouping costs well below fixed-20's $5.
+    assert result.fixed20_cost == 5.0
+    assert result.dynamic_mean_cost < 4.0
+    assert result.dynamic_saving > 0.2  # paper ~36%
+    emit("fig12_live", fig12_live.format_result(result))

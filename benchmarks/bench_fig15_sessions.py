@@ -1,0 +1,18 @@
+"""Figure 15 benchmark: HITs per worker vs per-task price."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig15_sessions
+
+
+def test_fig15_sessions(benchmark, emit):
+    result = benchmark.pedantic(
+        fig15_sessions.run_fig15, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.increases_with_price()
+    # Simulation tracks the session model's analytic expectation.
+    for g, measured in result.mean_hits_per_worker.items():
+        assert measured == pytest.approx(result.expected_hits_model[g], rel=0.25)
+    emit("fig15_sessions", fig15_sessions.format_result(result))

@@ -1,0 +1,78 @@
+"""Benchmarks for the Section 6 extensions.
+
+Not paper figures — timing and correctness spot-checks for the trade-off
+MDPs, the multi-type decomposition, and the quality-control reduction, so
+regressions in the extension modules surface alongside the main results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deadline.model import PenaltyScheme
+from repro.core.deadline.vectorized import solve_deadline
+from repro.core.multitype import (
+    MultitypeProblem,
+    TaskType,
+    solve_multitype_separable,
+)
+from repro.core.quality import MajorityVoteStrategy, reduce_to_deadline_problem
+from repro.core.tradeoff import solve_tradeoff_arrival, solve_tradeoff_interval
+from repro.market.acceptance import LogitAcceptance, paper_acceptance_model
+
+GRID = np.arange(1.0, 51.0)
+
+
+@pytest.mark.benchmark(group="section6")
+def test_tradeoff_interval_model(benchmark):
+    solution = benchmark(
+        solve_tradeoff_interval, 500, 5.0, paper_acceptance_model(), GRID, 0.5
+    )
+    assert solution.total_value > 0
+
+
+@pytest.mark.benchmark(group="section6")
+def test_tradeoff_arrival_model(benchmark):
+    solution = benchmark(
+        solve_tradeoff_arrival, 500, 4000.0, paper_acceptance_model(), GRID, 100.0
+    )
+    assert solution.total_value > 0
+
+
+@pytest.mark.benchmark(group="section6")
+def test_multitype_separable(benchmark):
+    types = tuple(
+        TaskType(
+            name=f"type{i}",
+            num_tasks=n,
+            acceptance=LogitAcceptance(15.0, b, 2000.0),
+            price_grid=GRID,
+            penalty_per_task=200.0,
+        )
+        for i, (n, b) in enumerate([(100, 0.2), (500, -0.39)])
+    )
+    problem = MultitypeProblem(
+        types=types, arrival_means=np.full(72, 1700.0)
+    )
+    solution = benchmark.pedantic(
+        solve_multitype_separable, args=(problem,), rounds=1, iterations=1
+    )
+    assert solution.optimal_value > 0
+
+
+@pytest.mark.benchmark(group="section6")
+def test_quality_reduction_solve(benchmark):
+    strategy = MajorityVoteStrategy(3)
+    problem = reduce_to_deadline_problem(
+        strategy,
+        num_filter_tasks=100,
+        arrival_means=np.full(36, 1700.0),
+        acceptance=paper_acceptance_model(),
+        price_grid=GRID,
+        penalty=PenaltyScheme(per_task=200.0),
+    )
+    policy = benchmark.pedantic(
+        solve_deadline, args=(problem,), rounds=1, iterations=1
+    )
+    assert policy.problem.num_tasks == 300  # 100 items * worst case 3

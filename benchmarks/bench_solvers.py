@@ -1,0 +1,76 @@
+"""Ablation benchmarks for the deadline solvers (Section 3.2 speed-ups).
+
+Times the three equivalent solvers — the literal Algorithm 1, the
+vectorized recurrence, and the Algorithm 2 divide-and-conquer — plus the
+vectorized solver with truncation disabled, quantifying what each design
+choice buys on a mid-size instance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.deadline.efficient_dp import solve_deadline_efficient
+from repro.core.deadline.model import DeadlineProblem, PenaltyScheme
+from repro.core.deadline.simple_dp import solve_deadline_simple
+from repro.core.deadline.vectorized import solve_deadline
+from repro.market.acceptance import paper_acceptance_model
+
+
+@pytest.fixture(scope="module")
+def ablation_problem():
+    rng = np.random.default_rng(77)
+    means = rng.uniform(800.0, 2000.0, size=24)
+    return DeadlineProblem(
+        num_tasks=60,
+        arrival_means=means,
+        acceptance=paper_acceptance_model(),
+        price_grid=np.arange(1.0, 31.0),
+        penalty=PenaltyScheme(per_task=100.0),
+    )
+
+
+@pytest.mark.benchmark(group="deadline-solvers")
+def test_solver_simple_dp(benchmark, ablation_problem):
+    policy = benchmark.pedantic(
+        solve_deadline_simple, args=(ablation_problem,), rounds=1, iterations=1
+    )
+    assert policy.optimal_value > 0
+
+
+@pytest.mark.benchmark(group="deadline-solvers")
+def test_solver_vectorized(benchmark, ablation_problem):
+    policy = benchmark(solve_deadline, ablation_problem)
+    assert policy.optimal_value > 0
+
+
+@pytest.mark.benchmark(group="deadline-solvers")
+def test_solver_efficient_dp(benchmark, ablation_problem):
+    policy = benchmark(solve_deadline_efficient, ablation_problem)
+    assert policy.optimal_value > 0
+
+
+@pytest.mark.benchmark(group="deadline-solvers")
+def test_solver_efficient_dp_with_time_pruning(benchmark, ablation_problem):
+    policy = benchmark(
+        solve_deadline_efficient, ablation_problem, True
+    )
+    assert policy.optimal_value > 0
+
+
+@pytest.mark.benchmark(group="deadline-solvers")
+def test_solver_vectorized_no_truncation(benchmark, ablation_problem):
+    exact = dataclasses.replace(ablation_problem, truncation_eps=None)
+    policy = benchmark(solve_deadline, exact)
+    assert policy.optimal_value > 0
+
+
+def test_all_solvers_agree(ablation_problem):
+    simple = solve_deadline_simple(ablation_problem)
+    vectorized = solve_deadline(ablation_problem)
+    efficient = solve_deadline_efficient(ablation_problem)
+    assert np.allclose(simple.opt, vectorized.opt)
+    assert np.allclose(simple.opt, efficient.opt)

@@ -1,0 +1,19 @@
+"""Table 1 benchmark: Poisson truncation cut-offs.
+
+Regenerates the paper's Table 1 (s0 = 35/53/99 at eps = 1e-9) and times the
+cut-off computation itself — the operation the DP performs once per
+(interval, price) pair.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1_truncation
+
+
+def test_table1_truncation(benchmark, emit):
+    rows = benchmark(table1_truncation.run_table1)
+    values = {(r.eps, r.lam): r.s0 for r in rows}
+    assert values[(1e-9, 10.0)] == 35
+    assert values[(1e-9, 20.0)] == 53
+    assert values[(1e-9, 50.0)] == 99
+    emit("table01_truncation", table1_truncation.format_result(rows))

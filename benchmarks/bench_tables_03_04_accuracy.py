@@ -1,0 +1,31 @@
+"""Tables 3-4 / Figures 13-14 benchmark: accuracy vs price."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import tables34_accuracy
+
+
+def test_tables_03_04_accuracy(benchmark, emit):
+    result = benchmark.pedantic(
+        tables34_accuracy.run_tables34, rounds=1, iterations=1, warmup_rounds=0
+    )
+    # Table 3: all group means near 90%, spread small (paper: ~3 points,
+    # not statistically significant).
+    values = list(result.fixed_mean_accuracy.values())
+    assert all(0.85 <= v <= 0.95 for v in values)
+    assert result.accuracy_spread() < 0.05
+    # Table 4: dynamic trials in the same band.
+    for _, _, overall in result.dynamic_trial_accuracy:
+        assert 0.85 <= overall <= 0.95
+    # Figs 13-14: CDFs similar across prices — compare at the grid's
+    # midpoint; all series within a modest band of each other.
+    mid = len(result.cdf_grid) // 2
+    mid_values = [cdf[mid] for cdf in result.fixed_cdfs.values()] + [
+        cdf[mid] for cdf in result.dynamic_cdfs.values()
+    ]
+    assert np.nanmax(mid_values) - np.nanmin(mid_values) < 0.35
+    emit(
+        "tables_03_04_accuracy", tables34_accuracy.format_result(result)
+    )

@@ -1,0 +1,28 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one of the paper's tables or figures.  The
+rendered block is printed (visible with ``pytest -s``) and also written to
+``benchmarks/results/<exp_id>.txt`` so EXPERIMENTS.md can be assembled from
+the exact artifacts the harness produced.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write one experiment's rendered output to disk (and stdout)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(exp_id: str, text: str) -> None:
+        path = RESULTS_DIR / f"{exp_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _emit

@@ -1,0 +1,70 @@
+"""Adaptive repricing when the market deviates from the forecast.
+
+Section 5.2.5's hardest case: a day whose worker-arrival rate sits
+*consistently* below the trained pattern (the paper's Jan 1 holiday).  The
+statically trained MDP table keeps believing the forecast and strands
+tasks; the :class:`~repro.AdaptiveRepricer` — the adaptive scheme the paper
+leaves to future work — folds each interval's realized arrivals into an
+EWMA level correction and re-solves the remaining horizon.
+
+Run:  python examples/adaptive_repricing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AdaptiveRepricer, SyntheticTrackerTrace
+from repro.core.deadline import calibrate_penalty
+from repro.experiments.config import PaperSetting
+from repro.sim.policies import TablePolicyRuntime
+from repro.sim.simulator import DeadlineSimulation
+
+REPLICATIONS = 10
+
+
+def main() -> None:
+    setting = PaperSetting()
+    trace = SyntheticTrackerTrace()
+
+    # Train on three ordinary days (the Fig. 10 protocol)...
+    train_rate = trace.average_day_rate([7, 14, 21])
+    train_problem = setting.problem(rate=train_rate, start_hour=0.0)
+    calibration = calibrate_penalty(train_problem, bound=0.01)
+    print(f"trained on ordinary days: "
+          f"{train_rate.mean_rate(0, 24):.0f} arrivals/h forecast")
+
+    # ... and deploy on the holiday, whose rate is ~45% lower all day.
+    test_rate = trace.day_rate(0)
+    test_problem = setting.problem(rate=test_rate, start_hour=0.0)
+    print(f"deployed on the holiday:  "
+          f"{test_rate.mean_rate(0, 24):.0f} arrivals/h realized\n")
+
+    sim = DeadlineSimulation(
+        test_problem.num_tasks, test_problem.arrival_means, test_problem.acceptance
+    )
+    static_runtime = TablePolicyRuntime(calibration.policy)
+    rows = []
+    for i in range(REPLICATIONS):
+        static = sim.run(static_runtime, np.random.default_rng(400 + i))
+        adaptive_policy = AdaptiveRepricer(calibration.policy.problem)
+        adaptive = sim.run(adaptive_policy, np.random.default_rng(400 + i))
+        rows.append((static, adaptive, adaptive_policy.predictor.factor))
+
+    print("rep  static: left / avg c     adaptive: left / avg c   learned factor")
+    for i, (static, adaptive, factor) in enumerate(rows):
+        print(f"{i:>3}        {static.remaining:>4} / {static.average_reward:5.2f}"
+              f"              {adaptive.remaining:>4} / "
+              f"{adaptive.average_reward:5.2f}        {factor:.2f}")
+    static_left = np.mean([s.remaining for s, _, _ in rows])
+    adaptive_left = np.mean([a.remaining for _, a, _ in rows])
+    print(f"\nmean leftovers: static {static_left:.1f} vs adaptive "
+          f"{adaptive_left:.1f} of {test_problem.num_tasks} tasks")
+    print("the correction factor converges to the true ~0.55 rate ratio "
+          "within the first few intervals, and the re-solved prices absorb "
+          "the shortfall — at *lower* total cost than the static table, "
+          "which discovers the problem too late and panic-prices the tail.")
+
+
+if __name__ == "__main__":
+    main()

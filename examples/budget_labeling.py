@@ -1,0 +1,78 @@
+"""Training-data labeling under a fixed budget (Section 4).
+
+A machine-learning team has N examples to label and a fixed budget B; they
+want the labels as soon as possible.  The paper's answer: a *static* two-
+price allocation is provably near-optimal (Theorems 3-8) — no dynamic
+repricing needed.  This example:
+
+* runs Algorithm 3 (convex hull) and cross-checks it against the exact
+  pseudo-polynomial DP and the scipy LP,
+* translates E[worker arrivals] into expected hours via the Section 4.2.2
+  linearity,
+* samples the completion-time distribution (the Fig. 11 histogram).
+
+Run:  python examples/budget_labeling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    SyntheticTrackerTrace,
+    paper_acceptance_model,
+    solve_budget_exact,
+    solve_budget_hull,
+    solve_budget_lp,
+)
+from repro.core.budget.latency import (
+    completion_time_distribution,
+    expected_latency_hours,
+)
+from repro.market.rates import ShiftedRate
+
+NUM_EXAMPLES = 300
+BUDGET_CENTS = 4200.0  # $42 for the batch -> 14c/example
+
+
+def main() -> None:
+    acceptance = paper_acceptance_model()
+    grid = np.arange(1.0, 51.0)
+
+    hull = solve_budget_hull(NUM_EXAMPLES, BUDGET_CENTS, acceptance, grid)
+    exact = solve_budget_exact(NUM_EXAMPLES, BUDGET_CENTS, acceptance, grid)
+    lp = solve_budget_lp(NUM_EXAMPLES, BUDGET_CENTS, acceptance, grid)
+
+    print(f"budget ${BUDGET_CENTS / 100:.2f} for {NUM_EXAMPLES} examples "
+          f"({BUDGET_CENTS / NUM_EXAMPLES:.1f}c each)")
+    print("\nAlgorithm 3 (convex hull) allocation:")
+    for price, count in zip(hull.prices, hull.counts):
+        print(f"  {count:>4} examples at {price:.0f}c")
+    print(f"  spend ${hull.total_cost / 100:.2f}, "
+          f"E[worker arrivals] = {hull.expected_arrivals:,.0f}")
+    print(f"exact DP optimum       : E[W] = {exact.expected_arrivals:,.0f} "
+          f"(hull is within its Theorem-8 gap of {hull.rounding_gap_bound:.0f})")
+    print(f"LP relaxation optimum  : E[W] = {lp.expected_arrivals:,.0f}")
+
+    # Latency: E[T] = E[W] / lambda-bar (Section 4.2.2).
+    trace = SyntheticTrackerTrace()
+    rate = ShiftedRate(trace.rate_function(), 7 * 24.0)
+    mean_rate = rate.mean_rate(0.0, 7 * 24.0)
+    print(f"\nexpected completion    : "
+          f"{expected_latency_hours(hull.expected_arrivals, mean_rate):.1f} hours "
+          f"(market averages {mean_rate:.0f} arrivals/hour)")
+
+    rng = np.random.default_rng(11)
+    times = completion_time_distribution(
+        hull.as_semi_static(), acceptance, rate,
+        num_replications=80, rng=rng, horizon_hours=7 * 24.0,
+    )
+    times = times[np.isfinite(times)]
+    print(f"simulated (80 runs)    : mean {times.mean():.1f}h, "
+          f"range [{times.min():.1f}, {times.max():.1f}]h")
+    print("note: the budget buys *expected* speed only — no deadline "
+          "guarantee (that is the Section 3 problem).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Pricing a mixed batch: multiple task types, one deadline (Section 6).
+
+The paper's example: "100 categorization tasks, and 500 labeling tasks that
+all need to be completed at the same time."  With the per-type penalty
+scheme the joint MDP decomposes exactly — each type gets its own Section 3
+table over the shared arrival stream — and the decomposition is verified
+here against the literal joint vector-state DP on a small instance.
+
+Run:  python examples/multitype_batch.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multitype import (
+    MultitypeProblem,
+    TaskType,
+    solve_multitype_joint,
+    solve_multitype_separable,
+)
+from repro.market.acceptance import LogitAcceptance
+from repro.market.nhpp import interval_means
+from repro.market.rates import ShiftedRate
+from repro.market.tracker import SyntheticTrackerTrace
+
+
+def main() -> None:
+    trace = SyntheticTrackerTrace()
+    rate = ShiftedRate(trace.rate_function(), 7 * 24.0)
+    means = interval_means(rate, horizon=24.0, num_intervals=72)
+
+    # Categorization is less attractive per the Table 2 biases, so its
+    # acceptance curve sits lower (larger b) than labeling's.
+    categorization = TaskType(
+        name="categorization",
+        num_tasks=100,
+        acceptance=LogitAcceptance(s=15.0, b=0.2, m=2000.0),
+        price_grid=np.arange(1.0, 61.0),
+        penalty_per_task=300.0,
+    )
+    labeling = TaskType(
+        name="labeling",
+        num_tasks=500,
+        acceptance=LogitAcceptance(s=15.0, b=-0.39, m=2000.0),
+        price_grid=np.arange(1.0, 61.0),
+        penalty_per_task=300.0,
+    )
+    problem = MultitypeProblem(
+        types=(categorization, labeling), arrival_means=means
+    )
+    solution = solve_multitype_separable(problem)
+    print("mixed batch: 100 categorization + 500 labeling, one 24h deadline")
+    total_cost = 0.0
+    for task_type, policy in zip(problem.types, solution.policies):
+        outcome = policy.evaluate()
+        total_cost += outcome.expected_cost
+        print(f"  {task_type.name:>14}: start price "
+              f"{policy.price(task_type.num_tasks, 0):.0f}c, expected "
+              f"{outcome.average_reward:.1f}c/task, "
+              f"P(done) = {outcome.prob_all_done:.3f}")
+    print(f"  joint objective Opt = {solution.optimal_value / 100:.2f}$ "
+          f"(expected spend ${total_cost / 100:.2f})")
+
+    # Sanity: on a small instance the decomposition equals the literal
+    # joint vector-state DP.
+    small = MultitypeProblem(
+        types=(
+            TaskType("a", 2, LogitAcceptance(15.0, 0.2, 2000.0),
+                     np.arange(1.0, 8.0), 40.0),
+            TaskType("b", 3, LogitAcceptance(15.0, -0.39, 2000.0),
+                     np.arange(1.0, 8.0), 40.0),
+        ),
+        arrival_means=np.array([600.0, 800.0]),
+        truncation_eps=None,
+    )
+    separable = solve_multitype_separable(small)
+    joint = solve_multitype_joint(small)
+    print(f"\ndecomposition check (2+3 tasks, 2 intervals): separable "
+          f"{separable.optimal_value:.6f} vs joint {joint.optimal_value:.6f}")
+
+    # Where decomposition is *invalid*: a coupled penalty charging extra if
+    # anything at all is left. The joint DP prices it higher.
+    coupled = MultitypeProblem(
+        types=small.types,
+        arrival_means=small.arrival_means,
+        truncation_eps=None,
+        joint_penalty=lambda counts: small.default_terminal(counts)
+        + 100.0 * (any(counts)),
+    )
+    print(f"coupled existence penalty: joint Opt rises to "
+          f"{solve_multitype_joint(coupled).optimal_value:.4f} "
+          f"(separable solver would silently mis-price this — it refuses)")
+
+
+if __name__ == "__main__":
+    main()

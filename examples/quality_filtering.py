@@ -1,0 +1,86 @@
+"""Filtering with quality control under a deadline (Section 6).
+
+Spam filtering over a corpus: each item needs a majority-of-3 vote (with
+early stopping), and the whole corpus must be adjudicated by a deadline.
+This example composes the quality-control lattice with the deadline pricing
+MDP via the paper's worst-case-questions reduction (Approximation 2), and
+contrasts the worst-case budgeting with the optimistic expected-questions
+count.  It finishes with the Section 6 cost/latency trade-off: what a
+deadline-free requester who prices delay linearly should post.
+
+Run:  python examples/quality_filtering.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.deadline import PenaltyScheme, calibrate_penalty
+from repro.core.quality import (
+    MajorityVoteStrategy,
+    posterior_probability,
+    reduce_to_deadline_problem,
+    worst_case_questions_outstanding,
+)
+from repro.core.tradeoff import solve_tradeoff_arrival
+from repro.market.nhpp import interval_means
+from repro.market.rates import ShiftedRate
+from repro.market.tracker import SyntheticTrackerTrace
+from repro.market.acceptance import paper_acceptance_model
+
+NUM_ITEMS = 150
+DEADLINE_HOURS = 12.0
+
+
+def main() -> None:
+    strategy = MajorityVoteStrategy(3)
+    print(f"quality control: majority of {strategy.num_questions}, "
+          f"{len(strategy.continue_points())} undecided lattice points")
+    print(f"worst-case questions per fresh item: "
+          f"{strategy.worst_case_additional(0, 0)}  (expected at p=0.9: "
+          f"{strategy.expected_additional(0, 0, 0.9):.2f})")
+    print(f"posterior after one Yes from a 90% worker: "
+          f"{posterior_probability(0, 1):.2f}")
+
+    # Approximation 2: budget worst-case question units, then price them
+    # with the Section 3 machinery.
+    trace = SyntheticTrackerTrace()
+    rate = ShiftedRate(trace.rate_function(), 7 * 24.0 + 9.0)
+    problem = reduce_to_deadline_problem(
+        strategy,
+        num_filter_tasks=NUM_ITEMS,
+        arrival_means=interval_means(rate, DEADLINE_HOURS, 36),
+        acceptance=paper_acceptance_model(),
+        price_grid=np.arange(1.0, 61.0),
+        penalty=PenaltyScheme(per_task=1.0),
+    )
+    print(f"\nreduced deadline instance: N' = {problem.num_tasks} question "
+          f"units over {problem.num_intervals} intervals")
+    calibration = calibrate_penalty(problem, bound=0.1)
+    outcome = calibration.policy.evaluate()
+    print(f"expected spend {outcome.expected_cost / 100:.2f}$ "
+          f"({outcome.average_reward:.1f}c/question), "
+          f"P(all adjudicated) = {outcome.prob_all_done:.3f}")
+
+    # Online tracking: as answers arrive, the outstanding worst case falls
+    # and the policy is indexed lower.
+    positions = [(0, 0)] * 100 + [(1, 1)] * 30 + [(1, 0)] * 20
+    outstanding = worst_case_questions_outstanding(strategy, positions)
+    print(f"mid-run: 100 fresh + 30 split + 20 leaning items -> "
+          f"{outstanding} worst-case questions outstanding; posted price "
+          f"{calibration.policy.price(outstanding, 18):.0f}c")
+
+    # Section 6 trade-off: no deadline, delay priced at alpha cents/hour.
+    mean_rate = rate.mean_rate(0.0, DEADLINE_HOURS)
+    for alpha in (50.0, 500.0, 5000.0):
+        solution = solve_tradeoff_arrival(
+            problem.num_tasks, mean_rate, paper_acceptance_model(),
+            np.arange(1.0, 61.0), alpha=alpha,
+        )
+        print(f"deadline-free, delay at {alpha:.0f}c/h: post "
+              f"{solution.optimal_price:.0f}c/question "
+              f"(objective {solution.total_value / 100:.2f}$)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""repro — reproduction of "Finish Them!: Pricing Algorithms for Human
+Computation" (Gao & Parameswaran, VLDB 2014).
+
+Quick tour
+----------
+Build a marketplace model, a deadline instance, and solve it::
+
+    import numpy as np
+    from repro import (
+        DeadlineProblem, PenaltyScheme, paper_acceptance_model,
+        solve_deadline, faridani_fixed_price, SyntheticTrackerTrace,
+    )
+
+    trace = SyntheticTrackerTrace()
+    problem = DeadlineProblem.from_rate_function(
+        num_tasks=200,
+        rate=trace.rate_function(),
+        horizon_hours=24.0,
+        num_intervals=72,
+        acceptance=paper_acceptance_model(),
+        price_grid=np.arange(0, 31),
+        penalty=PenaltyScheme(per_task=100.0),
+    )
+    policy = solve_deadline(problem)
+    outcome = policy.evaluate()
+    print(outcome.average_reward, outcome.expected_remaining)
+
+Subpackages
+-----------
+* :mod:`repro.market` — NHPP arrivals, discrete-choice acceptance, fitting.
+* :mod:`repro.core` — the pricing algorithms (deadline MDP, budget LP/DP,
+  baselines, Section 6 extensions).
+* :mod:`repro.sim` — Monte-Carlo marketplace and live-experiment simulators.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.core import (
+    DeadlinePolicy,
+    DeadlineProblem,
+    ExpectedOutcome,
+    FixedPriceDiagnostics,
+    PenaltyScheme,
+    StaticAllocation,
+    calibrate_penalty,
+    expected_worker_arrivals,
+    faridani_fixed_price,
+    floor_price,
+    solve_budget_exact,
+    solve_budget_hull,
+    solve_budget_lp,
+    solve_deadline,
+    solve_deadline_efficient,
+    solve_deadline_simple,
+)
+from repro.core.deadline.adaptive import AdaptiveRepricer
+from repro.market import (
+    LogitAcceptance,
+    NHPP,
+    PiecewiseConstantRate,
+    SyntheticTrackerTrace,
+    paper_acceptance_model,
+)
+from repro.market.adaptive import AdaptiveRatePredictor
+from repro.util.serialization import load_policy, save_policy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DeadlineProblem",
+    "DeadlinePolicy",
+    "PenaltyScheme",
+    "ExpectedOutcome",
+    "solve_deadline",
+    "solve_deadline_simple",
+    "solve_deadline_efficient",
+    "calibrate_penalty",
+    "floor_price",
+    "faridani_fixed_price",
+    "FixedPriceDiagnostics",
+    "StaticAllocation",
+    "solve_budget_hull",
+    "solve_budget_exact",
+    "solve_budget_lp",
+    "expected_worker_arrivals",
+    "LogitAcceptance",
+    "paper_acceptance_model",
+    "NHPP",
+    "PiecewiseConstantRate",
+    "SyntheticTrackerTrace",
+    "AdaptiveRepricer",
+    "AdaptiveRatePredictor",
+    "save_policy",
+    "load_policy",
+]

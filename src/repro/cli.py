@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the library's day-to-day uses:
+
+* ``experiments`` — list or run the paper's table/figure reproductions.
+* ``solve-deadline`` — solve a fixed-deadline instance against the bundled
+  synthetic marketplace and print (optionally save) the policy.
+* ``solve-budget`` — run Algorithm 3 for a fixed-budget batch.
+
+Examples::
+
+    python -m repro experiments list
+    python -m repro experiments run table1
+    python -m repro solve-deadline --num-tasks 200 --horizon-hours 24 \
+        --penalty 200 --save policy.npz
+    python -m repro solve-budget --num-tasks 200 --budget-cents 2500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Pricing algorithms for human computation "
+            "(Gao & Parameswaran, VLDB 2014)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiments = sub.add_parser(
+        "experiments", help="list or run the paper's table/figure reproductions"
+    )
+    experiments_sub = experiments.add_subparsers(dest="action", required=True)
+    experiments_sub.add_parser("list", help="list experiment ids")
+    run = experiments_sub.add_parser("run", help="run one experiment")
+    run.add_argument("exp_id", help="experiment id (see 'experiments list')")
+    report = experiments_sub.add_parser(
+        "report", help="run experiments and write one combined report"
+    )
+    report.add_argument(
+        "--ids", nargs="*", default=None,
+        help="experiment ids to include (default: all — takes minutes)",
+    )
+    report.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the report to a file instead of stdout",
+    )
+
+    deadline = sub.add_parser(
+        "solve-deadline", help="solve a fixed-deadline pricing instance"
+    )
+    deadline.add_argument("--num-tasks", type=int, default=200)
+    deadline.add_argument("--horizon-hours", type=float, default=24.0)
+    deadline.add_argument("--interval-minutes", type=float, default=20.0)
+    deadline.add_argument("--max-price", type=int, default=50)
+    deadline.add_argument("--penalty", type=float, default=200.0)
+    deadline.add_argument(
+        "--start-day", type=int, default=7, help="trace day the window starts on"
+    )
+    deadline.add_argument(
+        "--confidence", type=float, default=0.999,
+        help="confidence for the fixed-price baseline comparison",
+    )
+    deadline.add_argument(
+        "--save", metavar="PATH", default=None, help="write the policy as .npz"
+    )
+
+    budget = sub.add_parser(
+        "solve-budget", help="solve a fixed-budget pricing instance (Algorithm 3)"
+    )
+    budget.add_argument("--num-tasks", type=int, default=200)
+    budget.add_argument("--budget-cents", type=float, default=2500.0)
+    budget.add_argument("--max-price", type=int, default=50)
+    budget.add_argument(
+        "--exact", action="store_true",
+        help="also run the pseudo-polynomial exact DP for comparison",
+    )
+    return parser
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import EXPERIMENTS, render_report, run_experiment
+
+    if args.action == "list":
+        width = max(len(exp_id) for exp_id in EXPERIMENTS)
+        for exp_id in sorted(EXPERIMENTS):
+            print(f"{exp_id.ljust(width)}  {EXPERIMENTS[exp_id].description}")
+        return 0
+    if args.action == "report":
+        try:
+            report = render_report(args.ids)
+        except KeyError as exc:
+            print(str(exc.args[0]), file=sys.stderr)
+            return 2
+        if args.out:
+            import pathlib
+
+            pathlib.Path(args.out).write_text(report)
+            print(f"report written to {args.out}")
+        else:
+            print(report)
+        return 0
+    try:
+        print(run_experiment(args.exp_id))
+    except KeyError as exc:
+        print(str(exc.args[0]), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_solve_deadline(args: argparse.Namespace) -> int:
+    from repro.core.baselines import faridani_fixed_price, floor_price
+    from repro.core.deadline.vectorized import solve_deadline
+    from repro.experiments.config import PaperSetting
+
+    setting = PaperSetting(
+        num_tasks=args.num_tasks,
+        horizon_hours=args.horizon_hours,
+        interval_minutes=args.interval_minutes,
+        max_price=args.max_price,
+        start_day=args.start_day,
+        penalty_per_task=args.penalty,
+    )
+    problem = setting.problem()
+    policy = solve_deadline(problem)
+    outcome = policy.evaluate()
+    print(f"instance      : N={args.num_tasks}, T={args.horizon_hours}h, "
+          f"{problem.num_intervals} intervals, prices 1..{args.max_price}c")
+    print(f"expected cost : {outcome.expected_cost / 100:.2f}$ "
+          f"({outcome.average_reward:.2f}c/task)")
+    print(f"E[remaining]  : {outcome.expected_remaining:.4f}  "
+          f"P(all done) = {outcome.prob_all_done:.4f}")
+    try:
+        c0 = floor_price(problem)
+        baseline = faridani_fixed_price(problem, args.confidence)
+        print(f"floor price   : {c0:.0f}c; fixed baseline at "
+              f"{100 * args.confidence:.1f}%: {baseline.price:.0f}c")
+    except ValueError as exc:
+        print(f"baseline      : {exc}")
+    print("initial price : "
+          f"{policy.price(problem.num_tasks, 0):.0f}c (full batch, t=0)")
+    if args.save:
+        from repro.util.serialization import save_policy
+
+        path = save_policy(policy, args.save)
+        print(f"saved         : {path}")
+    return 0
+
+
+def _cmd_solve_budget(args: argparse.Namespace) -> int:
+    from repro.core.budget.exact_dp import solve_budget_exact
+    from repro.core.budget.static_lp import solve_budget_hull
+    from repro.market.acceptance import paper_acceptance_model
+
+    grid = np.arange(1.0, args.max_price + 1.0)
+    model = paper_acceptance_model()
+    try:
+        hull = solve_budget_hull(args.num_tasks, args.budget_cents, model, grid)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"instance    : N={args.num_tasks}, B={args.budget_cents:.0f}c "
+          f"({args.budget_cents / args.num_tasks:.1f}c/task)")
+    for price, count in zip(hull.prices, hull.counts):
+        print(f"  {count:>5} tasks at {price:.0f}c")
+    print(f"spend       : {hull.total_cost:.0f}c; "
+          f"E[worker arrivals] = {hull.expected_arrivals:,.0f}")
+    if args.exact:
+        exact = solve_budget_exact(args.num_tasks, args.budget_cents, model, grid)
+        gap = hull.expected_arrivals - exact.expected_arrivals
+        print(f"exact DP    : E[W] = {exact.expected_arrivals:,.0f} "
+              f"(hull excess {gap:.1f}, Theorem-8 bound "
+              f"{hull.rounding_gap_bound:.1f})")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return _cmd_experiments(args)
+    if args.command == "solve-deadline":
+        return _cmd_solve_deadline(args)
+    if args.command == "solve-budget":
+        return _cmd_solve_budget(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

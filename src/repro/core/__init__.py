@@ -1,0 +1,53 @@
+"""Core pricing algorithms: the paper's primary contribution.
+
+* :mod:`repro.core.deadline` — Section 3: fixed-deadline dynamic pricing via
+  a finite-horizon MDP (Algorithm 1, the Poisson-truncation speed-up of
+  Theorem 1, and the monotonicity divide-and-conquer of Algorithm 2).
+* :mod:`repro.core.budget` — Section 4: fixed-budget static pricing
+  (Theorems 3-8; Algorithm 3's convex-hull two-price solution, the exact
+  pseudo-polynomial DP, and an LP cross-check).
+* :mod:`repro.core.baselines` — the Faridani et al. binary-search fixed
+  pricing the paper compares against, plus the theoretical floor price c0.
+* :mod:`repro.core.tradeoff` — Section 6: minimizing
+  ``E[cost] + alpha * E[latency]``.
+* :mod:`repro.core.multitype` — Section 6: multiple task types.
+* :mod:`repro.core.quality` — Section 6: quality-control integration.
+"""
+
+from repro.core.baselines import FixedPriceDiagnostics, faridani_fixed_price, floor_price
+from repro.core.deadline import (
+    DeadlinePolicy,
+    DeadlineProblem,
+    ExpectedOutcome,
+    PenaltyScheme,
+    calibrate_penalty,
+    solve_deadline,
+    solve_deadline_efficient,
+    solve_deadline_simple,
+)
+from repro.core.budget import (
+    StaticAllocation,
+    expected_worker_arrivals,
+    solve_budget_exact,
+    solve_budget_hull,
+    solve_budget_lp,
+)
+
+__all__ = [
+    "DeadlineProblem",
+    "DeadlinePolicy",
+    "PenaltyScheme",
+    "ExpectedOutcome",
+    "solve_deadline",
+    "solve_deadline_simple",
+    "solve_deadline_efficient",
+    "calibrate_penalty",
+    "StaticAllocation",
+    "solve_budget_hull",
+    "solve_budget_exact",
+    "solve_budget_lp",
+    "expected_worker_arrivals",
+    "floor_price",
+    "faridani_fixed_price",
+    "FixedPriceDiagnostics",
+]

@@ -1,0 +1,118 @@
+"""Baseline pricing strategies the paper compares against.
+
+* :func:`floor_price` — the theoretical lower bound ``c0`` of Section 5.2.1:
+  the smallest price at which the *expected* number of completions over the
+  horizon reaches ``N``, i.e. ``p(c0) = N / Lambda(0, T)``.  No strategy can
+  average below ``c0`` while finishing in expectation.
+* :func:`faridani_fixed_price` — Faridani et al.'s scheme: binary-search the
+  smallest *fixed* price whose completion-count distribution finishes all
+  tasks by the deadline with the required confidence,
+  ``Pr(Pois(Lambda(0,T) p(c)) >= N) >= confidence``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.deadline.model import DeadlineProblem
+from repro.util.poisson import poisson_tail
+from repro.util.validation import require_in_range
+
+__all__ = ["floor_price", "faridani_fixed_price", "FixedPriceDiagnostics"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FixedPriceDiagnostics:
+    """Outcome of a fixed-price binary search.
+
+    Attributes
+    ----------
+    price:
+        The selected fixed price (a member of the problem's grid).
+    completion_probability:
+        ``Pr(all N tasks complete by the deadline)`` at that price.
+    expected_completions:
+        Expected completions over the horizon at that price (can exceed N;
+        actual payments are capped at N tasks).
+    feasible:
+        False when even the largest grid price misses the confidence target
+        (the returned price is then the largest grid price).
+    """
+
+    price: float
+    completion_probability: float
+    expected_completions: float
+    feasible: bool
+
+
+def _completion_probability(problem: DeadlineProblem, price: float) -> float:
+    """``Pr(Pois(Lambda * p(price)) >= N)`` for the whole horizon."""
+    mean = problem.total_arrivals() * problem.acceptance.probability(price)
+    return poisson_tail(problem.num_tasks, mean)
+
+
+def floor_price(problem: DeadlineProblem) -> float:
+    """Return ``c0``: the smallest grid price with ``E[completions] >= N``.
+
+    Section 5.2.1's theoretical lower bound on any strategy's average
+    reward: below ``c0`` even an infinite task supply would not attract
+    ``N`` expected completions by the deadline.  Raises ``ValueError`` when
+    no grid price suffices.
+    """
+    total = problem.total_arrivals()
+    probs = problem.acceptance_probabilities()
+    feasible = np.nonzero(total * probs >= problem.num_tasks)[0]
+    if feasible.size == 0:
+        raise ValueError(
+            "no grid price attracts N expected completions; the deadline is "
+            "infeasible for this marketplace"
+        )
+    return float(problem.price_grid[feasible[0]])
+
+
+def faridani_fixed_price(
+    problem: DeadlineProblem, confidence: float = 0.999
+) -> FixedPriceDiagnostics:
+    """Binary-search the smallest fixed price meeting the deadline confidence.
+
+    This is the prior-work baseline of Sections 3 and 5.2: pick one price up
+    front such that ``Pr(Pois(Lambda(0,T) p(c)) >= N) >= confidence`` and
+    never change it.  ``p(c)`` is non-decreasing in ``c``, so the completion
+    probability is monotone and binary search over the grid is exact.
+
+    Parameters
+    ----------
+    problem:
+        The deadline instance (penalty scheme is ignored — this baseline
+        does not reason about penalties).
+    confidence:
+        Required completion probability (the experiments use 99.9%).
+    """
+    require_in_range("confidence", confidence, 0.0, 1.0)
+    grid = problem.price_grid
+    lo, hi = 0, grid.size - 1
+    if _completion_probability(problem, float(grid[hi])) < confidence:
+        price = float(grid[hi])
+        return FixedPriceDiagnostics(
+            price=price,
+            completion_probability=_completion_probability(problem, price),
+            expected_completions=problem.total_arrivals()
+            * problem.acceptance.probability(price),
+            feasible=False,
+        )
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _completion_probability(problem, float(grid[mid])) >= confidence:
+            hi = mid
+        else:
+            lo = mid + 1
+    price = float(grid[lo])
+    return FixedPriceDiagnostics(
+        price=price,
+        completion_probability=_completion_probability(problem, price),
+        expected_completions=problem.total_arrivals()
+        * problem.acceptance.probability(price),
+        feasible=True,
+    )

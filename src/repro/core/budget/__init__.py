@@ -1,0 +1,33 @@
+"""Fixed-budget static pricing (Section 4).
+
+Given a budget ``B`` for ``N`` tasks, minimize expected completion time.
+Theorems 3-5 reduce the problem to choosing a multiset of prices
+``c_1 .. c_N`` minimizing the expected worker-arrival count
+``E[W] = sum_i 1 / p(c_i)`` subject to ``sum_i c_i <= B`` — latency is then
+``E[T] = E[W] / lambda-bar`` (Section 4.2.2).  Solvers:
+
+* :func:`solve_budget_hull` — Algorithm 3: the convex-hull two-price
+  solution of Theorem 7, with the Theorem 8 rounding-gap bound.
+* :func:`solve_budget_exact` — Theorem 6's pseudo-polynomial exact DP.
+* :func:`solve_budget_lp` — scipy LP cross-check of the relaxation.
+"""
+
+from repro.core.budget.exact_dp import solve_budget_exact
+from repro.core.budget.latency import completion_time_distribution, expected_latency_hours
+from repro.core.budget.lp_solver import solve_budget_lp
+from repro.core.budget.semi_static import (
+    SemiStaticStrategy,
+    expected_worker_arrivals,
+)
+from repro.core.budget.static_lp import StaticAllocation, solve_budget_hull
+
+__all__ = [
+    "StaticAllocation",
+    "SemiStaticStrategy",
+    "expected_worker_arrivals",
+    "solve_budget_hull",
+    "solve_budget_exact",
+    "solve_budget_lp",
+    "expected_latency_hours",
+    "completion_time_distribution",
+]

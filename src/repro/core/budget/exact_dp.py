@@ -1,0 +1,129 @@
+"""Theorem 6: pseudo-polynomial exact DP for the integer budget problem.
+
+The integer program — pick prices ``c_1 .. c_N`` from the grid minimizing
+``sum_i 1/p(c_i)`` with ``sum_i c_i <= B`` — is NP-hard for arbitrary
+``p(c)`` but solvable in ``PTIME(B, N)`` by the classic knapsack-style DP:
+``best[i][b]`` = least achievable ``sum 1/p`` using ``i`` tasks and budget
+``b``.  Prices are scaled to an integer budget lattice first.
+
+This solver is the ground truth the Algorithm 3 tests compare against
+(Theorem 8's gap bound).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.budget.static_lp import StaticAllocation
+from repro.market.acceptance import AcceptanceModel
+
+__all__ = ["solve_budget_exact"]
+
+
+def solve_budget_exact(
+    num_tasks: int,
+    budget: float,
+    acceptance: AcceptanceModel,
+    price_grid: Sequence[float],
+    price_unit: float = 1.0,
+) -> StaticAllocation:
+    """Solve the integer budget allocation exactly (Theorem 6).
+
+    Parameters
+    ----------
+    num_tasks:
+        Batch size ``N``.
+    budget:
+        Total budget ``B``; floored to the integer lattice of ``price_unit``.
+    acceptance:
+        The ``p(c)`` model.
+    price_grid:
+        Candidate prices; every entry must be an integer multiple of
+        ``price_unit`` (cents on Mechanical Turk).
+    price_unit:
+        Lattice step used to discretize the budget axis.
+
+    Returns
+    -------
+    StaticAllocation
+        The exact optimum (``rounding_gap_bound = 0``).
+
+    Raises
+    ------
+    ValueError
+        If no feasible assignment exists within the budget.
+    """
+    if num_tasks <= 0:
+        raise ValueError(f"num_tasks must be positive, got {num_tasks}")
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    if price_unit <= 0:
+        raise ValueError(f"price_unit must be positive, got {price_unit}")
+    grid = np.asarray(price_grid, dtype=float)
+    lattice = grid / price_unit
+    int_prices = np.rint(lattice).astype(int)
+    if not np.allclose(lattice, int_prices):
+        raise ValueError("every grid price must be a multiple of price_unit")
+    probs = acceptance.probabilities(grid)
+    viable = probs > 0
+    if not np.any(viable):
+        raise ValueError("no grid price has positive acceptance probability")
+    grid = grid[viable]
+    int_prices = int_prices[viable]
+    weights = 1.0 / probs[viable]
+    b_max = int(np.floor(budget / price_unit))
+    if b_max < num_tasks * int_prices.min():
+        raise ValueError(
+            f"budget {budget} cannot cover {num_tasks} tasks even at the "
+            f"cheapest viable price {grid[0]}"
+        )
+    inf = np.inf
+    # best[b] = minimal sum of 1/p for the current task count at budget b,
+    # with "budget b" meaning total spend exactly <= b (we take a running
+    # min over b at the end of each task layer).
+    best = np.full(b_max + 1, inf)
+    best[0] = 0.0
+    choice = np.full((num_tasks, b_max + 1), -1, dtype=np.int32)
+    for i in range(num_tasks):
+        new_best = np.full(b_max + 1, inf)
+        for j, (ip, w) in enumerate(zip(int_prices, weights)):
+            if ip > b_max:
+                continue
+            shifted = np.full(b_max + 1, inf)
+            if ip == 0:
+                shifted = best + w
+            else:
+                shifted[ip:] = best[:-ip] + w
+            better = shifted < new_best
+            new_best[better] = shifted[better]
+            choice[i][better] = j
+        best = new_best
+    # best[b] is the optimum with spend exactly b; the budget constraint is
+    # "<= b_max", so take the argmin over all reachable spends (ties toward
+    # the smaller spend).
+    final_budget = int(np.argmin(best))
+    if not np.isfinite(best[final_budget]):
+        raise ValueError("no feasible assignment within the budget")
+    # Walk the choice table back to recover the multiset of prices.
+    counts: dict[float, int] = {}
+    b = final_budget
+    for i in range(num_tasks - 1, -1, -1):
+        j = int(choice[i][b])
+        if j < 0:
+            raise RuntimeError("DP backtrack hit an unreachable cell")
+        price = float(grid[j])
+        counts[price] = counts.get(price, 0) + 1
+        b -= int(int_prices[j])
+    prices = tuple(sorted(counts))
+    count_tuple = tuple(counts[c] for c in prices)
+    ew = float(sum(k / acceptance.probability(c) for c, k in counts.items()))
+    total = float(sum(k * c for c, k in counts.items()))
+    return StaticAllocation(
+        prices=prices,
+        counts=count_tuple,
+        expected_arrivals=ew,
+        total_cost=total,
+        rounding_gap_bound=0.0,
+    )

@@ -1,0 +1,99 @@
+"""Latency of a static allocation: the Section 4.2.2 linearity argument.
+
+Conditioned on the total worker-arrival count ``W`` needed, the completion
+time depends only on the arrival process: ``T <= t`` iff ``N(t) >= W``.
+With a stable long-run rate ``lambda-bar``,
+
+    E[T | W] = W / lambda-bar
+
+so minimizing ``E[W]`` minimizes ``E[T]`` — the hinge of Theorem 3.  This
+module computes expected latency from ``E[W]`` and, for Fig. 11, the exact
+distribution of the completion time of a static allocation by integrating
+the stage-by-stage geometric/Poisson structure (via Monte Carlo over the
+NHPP, which is how the paper's Fig. 11 histogram is produced).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.budget.semi_static import SemiStaticStrategy
+from repro.market.acceptance import AcceptanceModel
+from repro.market.nhpp import NHPP
+from repro.market.rates import RateFunction
+from repro.util.validation import require_positive
+
+__all__ = ["expected_latency_hours", "completion_time_distribution"]
+
+
+def expected_latency_hours(
+    expected_arrivals: float, mean_rate_per_hour: float
+) -> float:
+    """Return ``E[T] = E[W] / lambda-bar`` (Section 4.2.2)."""
+    require_positive("mean_rate_per_hour", mean_rate_per_hour)
+    if expected_arrivals < 0:
+        raise ValueError(f"expected_arrivals must be non-negative, got {expected_arrivals}")
+    return expected_arrivals / mean_rate_per_hour
+
+
+def completion_time_distribution(
+    strategy: SemiStaticStrategy,
+    acceptance: AcceptanceModel,
+    rate: RateFunction,
+    num_replications: int,
+    rng: np.random.Generator,
+    horizon_hours: float = 24.0 * 14,
+    chunk_hours: float = 24.0,
+) -> np.ndarray:
+    """Monte-Carlo sample completion times of a static/semi-static strategy.
+
+    Simulates worker arrivals from the NHPP and walks the price sequence:
+    each arrival accepts the current stage's price ``c_i`` with probability
+    ``p(c_i)``; acceptance advances to the next stage.  Returns the sampled
+    completion times in hours (``inf`` for replications that exhaust the
+    horizon — callers should pick a horizon generous enough that this is
+    rare).
+
+    Parameters
+    ----------
+    strategy:
+        The price sequence (descending for a static posting; Fig. 11 uses
+        Algorithm 3's two-price output).
+    acceptance:
+        The ``p(c)`` model.
+    rate:
+        Marketplace arrival-rate function.
+    num_replications:
+        Number of completion times to sample.
+    rng:
+        Randomness source.
+    horizon_hours:
+        Give-up horizon per replication.
+    chunk_hours:
+        Arrival times are generated lazily in chunks of this width.
+    """
+    if num_replications <= 0:
+        raise ValueError(f"num_replications must be positive, got {num_replications}")
+    require_positive("horizon_hours", horizon_hours)
+    require_positive("chunk_hours", chunk_hours)
+    process = NHPP(rate)
+    stage_probs = [acceptance.probability(c) for c in strategy.prices]
+    times = np.full(num_replications, np.inf)
+    for rep in range(num_replications):
+        stage = 0
+        t_lo = 0.0
+        done = False
+        while not done and t_lo < horizon_hours:
+            t_hi = min(t_lo + chunk_hours, horizon_hours)
+            arrivals = process.sample_arrivals(t_lo, t_hi, rng)
+            if arrivals.size:
+                accepts = rng.random(arrivals.size)
+                for arrival_time, u in zip(arrivals, accepts):
+                    if u < stage_probs[stage]:
+                        stage += 1
+                        if stage == len(stage_probs):
+                            times[rep] = arrival_time
+                            done = True
+                            break
+            t_lo = t_hi
+    return times

@@ -1,0 +1,90 @@
+"""LP cross-check of the relaxed budget problem via ``scipy.optimize.linprog``.
+
+Section 4.3 first poses the relaxation
+
+    minimize   sum_c n_c / p(c)
+    subject to sum_c n_c = N,  sum_c n_c * c <= B,  n_c >= 0
+
+before observing (Theorem 7) that a general-purpose solver is unnecessary.
+We keep the general solver anyway: the test suite asserts the convex-hull
+solution of Algorithm 3 matches the LP optimum to solver tolerance, which is
+a strong end-to-end check of both implementations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.market.acceptance import AcceptanceModel
+
+__all__ = ["LPSolution", "solve_budget_lp"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LPSolution:
+    """Fractional optimum of the relaxed budget LP.
+
+    Attributes
+    ----------
+    prices:
+        Grid prices with non-negligible mass, ascending.
+    weights:
+        Fractional task counts ``n_c`` at those prices (sum to ``N``).
+    expected_arrivals:
+        The LP objective value ``sum_c n_c / p(c)``.
+    total_cost:
+        ``sum_c n_c * c`` at the optimum.
+    """
+
+    prices: tuple[float, ...]
+    weights: tuple[float, ...]
+    expected_arrivals: float
+    total_cost: float
+
+
+def solve_budget_lp(
+    num_tasks: int,
+    budget: float,
+    acceptance: AcceptanceModel,
+    price_grid: Sequence[float],
+    mass_tolerance: float = 1e-7,
+) -> LPSolution:
+    """Solve the relaxed budget LP with scipy's HiGHS backend.
+
+    Raises ``ValueError`` on infeasibility (budget below ``N`` times the
+    cheapest viable price).
+    """
+    if num_tasks <= 0:
+        raise ValueError(f"num_tasks must be positive, got {num_tasks}")
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    grid = np.asarray(price_grid, dtype=float)
+    probs = acceptance.probabilities(grid)
+    viable = probs > 0
+    if not np.any(viable):
+        raise ValueError("no grid price has positive acceptance probability")
+    grid = grid[viable]
+    inv_p = 1.0 / probs[viable]
+    result = optimize.linprog(
+        c=inv_p,
+        A_ub=grid[np.newaxis, :],
+        b_ub=np.array([budget]),
+        A_eq=np.ones((1, grid.size)),
+        b_eq=np.array([float(num_tasks)]),
+        bounds=[(0.0, None)] * grid.size,
+        method="highs",
+    )
+    if not result.success:
+        raise ValueError(f"budget LP infeasible or failed: {result.message}")
+    weights = np.asarray(result.x)
+    support = weights > mass_tolerance
+    return LPSolution(
+        prices=tuple(float(c) for c in grid[support]),
+        weights=tuple(float(w) for w in weights[support]),
+        expected_arrivals=float(inv_p @ weights),
+        total_cost=float(grid @ weights),
+    )

@@ -1,0 +1,122 @@
+"""Semi-static strategies and the worker-arrival identity (Theorems 4-5).
+
+A *semi-static* strategy fixes a price sequence ``c_1 .. c_N`` up front and
+moves to the next price each time a task completes (Definition 2).
+Theorem 4 shows the optimal dynamic strategy has this form; Theorem 5 shows
+its expected worker-arrival count is order-invariant:
+
+    E[W] = sum_i 1 / p(c_i)
+
+because the arrivals between consecutive completions are geometric with
+success probability ``p(c_i)``.  Sorting the sequence descending therefore
+turns any semi-static strategy into an equally good *static* one — the crux
+of Theorem 3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.market.acceptance import AcceptanceModel
+
+__all__ = [
+    "SemiStaticStrategy",
+    "expected_worker_arrivals",
+    "sample_worker_arrivals",
+]
+
+
+def expected_worker_arrivals(
+    prices: Sequence[float], acceptance: AcceptanceModel
+) -> float:
+    """Return ``E[W] = sum_i 1 / p(c_i)`` (Theorem 5).
+
+    Raises ``ValueError`` if any price has zero acceptance probability (the
+    task would never complete, so ``E[W]`` diverges).
+    """
+    probs = acceptance.probabilities(prices)
+    if np.any(probs <= 0):
+        bad = float(np.asarray(prices, dtype=float)[np.argmin(probs)])
+        raise ValueError(
+            f"price {bad} has zero acceptance probability; expected arrivals diverge"
+        )
+    return float(np.sum(1.0 / probs))
+
+
+def sample_worker_arrivals(
+    prices: Sequence[float],
+    acceptance: AcceptanceModel,
+    rng: np.random.Generator,
+    num_replications: int = 1,
+) -> np.ndarray:
+    """Sample the total worker-arrival count ``W`` of a semi-static run.
+
+    Stage ``i`` consumes a Geometric(p(c_i)) number of arrivals (the
+    arrivals until — and including — the one that accepts), so
+    ``W = sum_i Geom(p(c_i))``; Theorem 5 says ``E[W] = sum_i 1/p(c_i)``.
+    This sampler is the Monte-Carlo counterpart the tests check the
+    identity against, and is independent of the arrival *times* — exactly
+    the separation the Section 4.2.1 argument exploits.
+    """
+    if num_replications <= 0:
+        raise ValueError(f"num_replications must be positive, got {num_replications}")
+    probs = acceptance.probabilities(prices)
+    if np.any(probs <= 0):
+        raise ValueError("all prices need positive acceptance probability")
+    totals = np.zeros(num_replications, dtype=np.int64)
+    for p in probs:
+        totals += rng.geometric(p, size=num_replications)
+    return totals
+
+
+@dataclasses.dataclass(frozen=True)
+class SemiStaticStrategy:
+    """A price sequence applied one-completion-at-a-time (Definition 2).
+
+    Attributes
+    ----------
+    prices:
+        ``c_1 .. c_N`` in application order; ``prices[i]`` is posted for all
+        remaining tasks until the ``(i+1)``-th completion.
+    """
+
+    prices: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.prices:
+            raise ValueError("a semi-static strategy needs at least one price")
+        if any(c < 0 for c in self.prices):
+            raise ValueError("prices must be non-negative")
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.prices)
+
+    @property
+    def total_cost(self) -> float:
+        """Total paid when all tasks complete: ``sum_i c_i``."""
+        return float(sum(self.prices))
+
+    def expected_arrivals(self, acceptance: AcceptanceModel) -> float:
+        """``E[W]`` under the Theorem 5 identity."""
+        return expected_worker_arrivals(self.prices, acceptance)
+
+    def as_static(self) -> "SemiStaticStrategy":
+        """Reorder descending — the equivalent *static* strategy (Theorem 3).
+
+        With prices posted up front, workers always take the highest-reward
+        task first, so a descending semi-static sequence is realizable as a
+        static posting; E[W] is unchanged by Theorem 5.
+        """
+        return SemiStaticStrategy(tuple(sorted(self.prices, reverse=True)))
+
+    def price_at(self, completed: int) -> float:
+        """Price in force after ``completed`` tasks have finished."""
+        if not 0 <= completed < self.num_tasks:
+            raise ValueError(
+                f"completed must lie in 0..{self.num_tasks - 1}, got {completed}"
+            )
+        return self.prices[completed]

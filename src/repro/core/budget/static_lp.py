@@ -1,0 +1,151 @@
+"""Algorithm 3: the convex-hull two-price budget allocation (Theorems 7-8).
+
+The relaxed LP — minimize ``sum_c n_c / p(c)`` subject to ``sum_c n_c = N``,
+``sum_c n_c c <= B``, ``n_c >= 0`` — has an optimal solution supported on at
+most two prices, both vertices of the lower convex hull of the points
+``(c, 1/p(c))`` (Theorem 7).  Algorithm 3 therefore: build the hull, find
+the hull segment straddling the per-task budget ``B/N``, and split the ``N``
+tasks between its endpoints; rounding up the cheap-side count keeps the
+allocation within budget, at an ``E[W]`` excess of at most
+``1/p(c1) - 1/p(c2)`` over the integer optimum (Theorem 8).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.budget.semi_static import SemiStaticStrategy
+from repro.market.acceptance import AcceptanceModel
+from repro.util.convexhull import hull_segment_for, lower_convex_hull
+
+__all__ = ["StaticAllocation", "solve_budget_hull"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StaticAllocation:
+    """A static budget allocation: ``counts[i]`` tasks priced ``prices[i]``.
+
+    Attributes
+    ----------
+    prices:
+        Distinct prices used, ascending (at most two from Algorithm 3).
+    counts:
+        Tasks at each price; sums to ``N``.
+    expected_arrivals:
+        ``E[W] = sum_i counts[i] / p(prices[i])`` (Theorem 5).
+    total_cost:
+        ``sum_i counts[i] * prices[i]`` — within the budget by construction.
+    rounding_gap_bound:
+        The Theorem 8 bound on this allocation's ``E[W]`` excess over the
+        integer optimum (0 when the LP solution was already integral).
+    """
+
+    prices: tuple[float, ...]
+    counts: tuple[int, ...]
+    expected_arrivals: float
+    total_cost: float
+    rounding_gap_bound: float
+
+    def __post_init__(self) -> None:
+        if len(self.prices) != len(self.counts):
+            raise ValueError("prices and counts must have equal length")
+        if any(k < 0 for k in self.counts):
+            raise ValueError("counts must be non-negative")
+
+    @property
+    def num_tasks(self) -> int:
+        return int(sum(self.counts))
+
+    def price_sequence(self) -> tuple[float, ...]:
+        """Expanded per-task price list, descending (the static posting)."""
+        seq: list[float] = []
+        for price, count in sorted(zip(self.prices, self.counts), reverse=True):
+            seq.extend([price] * count)
+        return tuple(seq)
+
+    def as_semi_static(self) -> SemiStaticStrategy:
+        """View as a semi-static strategy (descending price order)."""
+        return SemiStaticStrategy(self.price_sequence())
+
+
+def solve_budget_hull(
+    num_tasks: int,
+    budget: float,
+    acceptance: AcceptanceModel,
+    price_grid: Sequence[float],
+) -> StaticAllocation:
+    """Run Algorithm 3: find the near-optimal static allocation.
+
+    Parameters
+    ----------
+    num_tasks:
+        Batch size ``N``.
+    budget:
+        Total budget ``B`` in price units; must afford at least the cheapest
+        viable grid price per task.
+    acceptance:
+        The ``p(c)`` model; prices with ``p(c) = 0`` are excluded from the
+        hull (they can never appear in a finite-``E[W]`` solution).
+    price_grid:
+        Candidate prices, ascending (integer cents in the paper).
+
+    Raises
+    ------
+    ValueError
+        If the budget cannot cover ``N`` tasks at the cheapest viable price.
+    """
+    if num_tasks <= 0:
+        raise ValueError(f"num_tasks must be positive, got {num_tasks}")
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    grid = np.asarray(price_grid, dtype=float)
+    if grid.ndim != 1 or grid.size == 0:
+        raise ValueError("price_grid must be a non-empty 1-D array")
+    if np.any(np.diff(grid) <= 0):
+        raise ValueError("price_grid must be strictly ascending")
+    probs = acceptance.probabilities(grid)
+    viable = probs > 0
+    if not np.any(viable):
+        raise ValueError("no grid price has positive acceptance probability")
+    grid = grid[viable]
+    inv_p = 1.0 / probs[viable]
+    if budget < num_tasks * grid[0]:
+        raise ValueError(
+            f"budget {budget} cannot cover {num_tasks} tasks even at the "
+            f"cheapest viable price {grid[0]}"
+        )
+    hull = lower_convex_hull(grid.tolist(), inv_p.tolist())
+    hull_prices = grid[hull]
+    hull_inv_p = inv_p[hull]
+    per_task = budget / num_tasks
+    i1, i2 = hull_segment_for(hull_prices.tolist(), per_task)
+    if i1 == i2:
+        # Budget at/beyond a hull endpoint: one price for everything.
+        price = float(hull_prices[i1])
+        ew = num_tasks * float(hull_inv_p[i1])
+        return StaticAllocation(
+            prices=(price,),
+            counts=(num_tasks,),
+            expected_arrivals=ew,
+            total_cost=num_tasks * price,
+            rounding_gap_bound=0.0,
+        )
+    c1, c2 = float(hull_prices[i1]), float(hull_prices[i2])
+    # n1 = ceil((c2 N - B) / (c2 - c1)) cheap-side tasks keeps cost <= B.
+    n1 = math.ceil((c2 * num_tasks - budget) / (c2 - c1))
+    n1 = min(max(n1, 0), num_tasks)
+    n2 = num_tasks - n1
+    ew = n1 * float(hull_inv_p[i1]) + n2 * float(hull_inv_p[i2])
+    exact = (c2 * num_tasks - budget) / (c2 - c1)
+    gap = 0.0 if exact == n1 else float(hull_inv_p[i1] - hull_inv_p[i2])
+    return StaticAllocation(
+        prices=(c1, c2),
+        counts=(n1, n2),
+        expected_arrivals=ew,
+        total_cost=n1 * c1 + n2 * c2,
+        rounding_gap_bound=gap,
+    )

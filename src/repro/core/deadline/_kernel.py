@@ -1,0 +1,96 @@
+"""Shared per-interval transition kernel for the per-state DP solvers.
+
+Both the literal Algorithm 1 (:mod:`repro.core.deadline.simple_dp`) and the
+divide-and-conquer Algorithm 2 (:mod:`repro.core.deadline.efficient_dp`)
+evaluate, for a state ``(n, t)`` and a candidate price ``c``, the expected
+cost
+
+    cost(n, t, c) = sum_{s < n} Pois(s | lam_t p(c)) (s c + Opt(n - s, t+1))
+                  + Pr(Pois >= n) * n c            # absorbing completion
+
+(the ``>= n`` tail completes exactly ``n`` tasks and lands in the terminal
+state 0, whose continuation value is 0).  :class:`IntervalKernel` caches the
+per-price pmf heads and their running sums for one interval so each state
+evaluation is a short dot product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.deadline.model import DeadlineProblem
+from repro.core.deadline.truncation import transition_pmf
+
+__all__ = ["IntervalKernel"]
+
+
+class IntervalKernel:
+    """Transition tables for one decision interval ``t``.
+
+    Parameters
+    ----------
+    problem:
+        The deadline instance.
+    t:
+        Interval index in ``0 .. N_T - 1``.
+    """
+
+    def __init__(self, problem: DeadlineProblem, t: int):
+        if not 0 <= t < problem.num_intervals:
+            raise ValueError(f"interval index {t} outside 0..{problem.num_intervals - 1}")
+        self.problem = problem
+        self.t = t
+        lam_t = float(problem.arrival_means[t])
+        probs = problem.acceptance_probabilities()
+        self.means = lam_t * probs
+        n_cap = problem.num_tasks
+        self.pmfs: list[np.ndarray] = []
+        self.prob_cums: list[np.ndarray] = []
+        self.paid_cums: list[np.ndarray] = []
+        for mean in self.means:
+            pmf = transition_pmf(float(mean), problem.truncation_eps, n_cap)
+            self.pmfs.append(pmf)
+            self.prob_cums.append(np.cumsum(pmf))
+            self.paid_cums.append(np.cumsum(pmf * np.arange(pmf.size)))
+
+    def state_cost(self, n: int, price_index: int, opt_next: np.ndarray) -> float:
+        """Expected cost of using grid price ``price_index`` at state ``(n, t)``.
+
+        ``opt_next`` is the value table ``Opt(., t + 1)`` of length ``N + 1``.
+        """
+        if n <= 0:
+            return 0.0
+        price = float(self.problem.price_grid[price_index])
+        pmf = self.pmfs[price_index]
+        k = min(n - 1, pmf.size - 1)
+        head_prob = float(self.prob_cums[price_index][k])
+        head_paid = float(self.paid_cums[price_index][k])
+        tail = max(0.0, 1.0 - head_prob)
+        # sum_{s=0}^{k} pmf[s] * opt_next[n - s]
+        continuation = float(np.dot(pmf[: k + 1], opt_next[n - k : n + 1][::-1]))
+        return price * (head_paid + n * tail) + continuation
+
+    def best_price(
+        self,
+        n: int,
+        opt_next: np.ndarray,
+        j_lo: int = 0,
+        j_hi: int | None = None,
+    ) -> tuple[float, int]:
+        """Return ``(min cost, argmin price index)`` over grid[j_lo..j_hi].
+
+        Ties break toward the *lower* price, matching the vectorized solver
+        so all three solvers produce identical tables.
+        """
+        if j_hi is None:
+            j_hi = self.problem.num_prices - 1
+        if not 0 <= j_lo <= j_hi < self.problem.num_prices:
+            raise ValueError(f"bad price index range [{j_lo}, {j_hi}]")
+        best_cost = np.inf
+        best_j = j_lo
+        for j in range(j_lo, j_hi + 1):
+            cost = self.state_cost(n, j, opt_next)
+            if cost < best_cost:
+                best_cost = cost
+                best_j = j
+        return best_cost, best_j

@@ -1,0 +1,94 @@
+"""Algorithm 2: divide-and-conquer price search over ``n`` (Section 3.2).
+
+Conjecture 1 observes that the optimal reward ``Price(n, t)`` is
+non-decreasing in the number of remaining tasks ``n`` for fixed ``t`` —
+more outstanding work justifies paying more.  Algorithm 2 exploits this:
+solve the middle state ``n = (l + r) / 2`` first, then recurse left with the
+middle's price as an upper bound and right with it as a lower bound.  The
+search ranges of each recursion level sum to ``C``, and there are
+``O(log N)`` levels, giving ``O(N_T N (N + C log N))`` overall.
+
+The solver optionally also applies the *t-monotonicity* remark at the end of
+Section 3.2 — for fixed ``n``, prices rise as the deadline nears — as a
+further per-state lower bound when enabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.deadline._kernel import IntervalKernel
+from repro.core.deadline.model import DeadlineProblem
+from repro.core.deadline.policy import DeadlinePolicy
+
+__all__ = ["solve_deadline_efficient"]
+
+
+def _solve_layer(
+    kernel: IntervalKernel,
+    opt_next: np.ndarray,
+    opt_col: np.ndarray,
+    price_col: np.ndarray,
+    upper_bounds: np.ndarray | None,
+) -> None:
+    """Fill one time layer via the Algorithm 2 recursion (iterative form)."""
+    n_tasks = kernel.problem.num_tasks
+    max_j = kernel.problem.num_prices - 1
+    # Explicit stack of (l, r, j_lo, j_hi) — FindOptimalPriceForTime.
+    stack: list[tuple[int, int, int, int]] = [(1, n_tasks, 0, max_j)]
+    while stack:
+        l, r, j_lo, j_hi = stack.pop()
+        if l > r:
+            continue
+        m = (l + r) // 2
+        # Prices rise toward the deadline, so Price(m, t+1) upper-bounds
+        # Price(m, t) when t-monotonicity pruning is enabled.
+        hi = j_hi if upper_bounds is None else min(j_hi, int(upper_bounds[m]))
+        lo = min(j_lo, hi)
+        cost, j_best = kernel.best_price(m, opt_next, lo, hi)
+        opt_col[m] = cost
+        price_col[m] = j_best
+        if l < m:
+            stack.append((l, m - 1, j_lo, j_best))
+        if m < r:
+            stack.append((m + 1, r, j_best, j_hi))
+
+
+def solve_deadline_efficient(
+    problem: DeadlineProblem, use_time_monotonicity: bool = False
+) -> DeadlinePolicy:
+    """Solve the fixed-deadline MDP via Algorithm 2.
+
+    Parameters
+    ----------
+    problem:
+        The deadline instance.
+    use_time_monotonicity:
+        Additionally bound each state's search from *above* by the optimal
+        price found for the same ``n`` one interval later (prices are
+        non-decreasing in ``t`` toward the deadline).  Off by default: it is
+        a further conjecture-based pruning, and with it enabled the table is
+        only guaranteed to match the exhaustive solvers when the
+        monotonicity actually holds.
+
+    Returns
+    -------
+    DeadlinePolicy
+        The same table as the exhaustive solvers whenever Conjecture 1
+        holds (it held in every configuration the paper — and our test
+        suite — tried).
+    """
+    n_tasks = problem.num_tasks
+    n_intervals = problem.num_intervals
+    opt = np.zeros((n_tasks + 1, n_intervals + 1))
+    price_index = np.zeros((n_tasks + 1, n_intervals), dtype=int)
+    opt[:, n_intervals] = problem.penalty.terminal_costs(n_tasks)
+    later_prices: np.ndarray | None = None
+    for t in range(n_intervals - 1, -1, -1):
+        kernel = IntervalKernel(problem, t)
+        bounds = later_prices if use_time_monotonicity else None
+        _solve_layer(kernel, opt[:, t + 1], opt[:, t], price_index[:, t], bounds)
+        later_prices = price_index[:, t]
+    return DeadlinePolicy(
+        problem=problem, opt=opt, price_index=price_index, solver="efficient"
+    )

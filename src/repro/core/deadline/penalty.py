@@ -1,0 +1,135 @@
+"""Penalty calibration: the Theorem 2 Penalty <-> Bound correspondence.
+
+Section 3.3 shows the MDP's soft objective
+``E[cost] + Penalty * E[remaining]`` and the constrained formulation
+``min E[cost] s.t. E[remaining] <= Bound`` coincide for matched parameter
+values, and that the matching ``Penalty`` for a desired ``Bound`` can be
+found by binary search — which is what :func:`calibrate_penalty` does.
+
+This is also how the Fig. 7(a) comparison is set up: the dynamic strategy's
+``Penalty`` is tuned so its expected number of remaining tasks matches the
+fixed strategy's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.core.deadline.model import DeadlineProblem, PenaltyScheme
+from repro.core.deadline.policy import DeadlinePolicy
+from repro.core.deadline.vectorized import solve_deadline
+
+__all__ = ["calibrate_penalty", "PenaltyCalibration"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PenaltyCalibration:
+    """Result of a Theorem 2 binary search.
+
+    Attributes
+    ----------
+    penalty:
+        The per-task penalty found.
+    policy:
+        The policy solved at that penalty.
+    expected_remaining:
+        Its expected number of unfinished tasks (``<= bound``).
+    iterations:
+        Binary-search iterations used.
+    """
+
+    penalty: float
+    policy: DeadlinePolicy
+    expected_remaining: float
+    iterations: int
+
+
+def calibrate_penalty(
+    problem: DeadlineProblem,
+    bound: float,
+    penalty_hi: float | None = None,
+    tolerance: float = 1e-3,
+    max_iterations: int = 60,
+    solver: Callable[[DeadlineProblem], DeadlinePolicy] = solve_deadline,
+) -> PenaltyCalibration:
+    """Find the smallest penalty driving ``E[remaining]`` under ``bound``.
+
+    Binary-searches the ``Penalty`` parameter (Theorem 2): higher penalties
+    buy fewer expected leftover tasks at higher reward spend.  Returns the
+    calibrated penalty together with its solved policy.
+
+    Parameters
+    ----------
+    problem:
+        Instance whose penalty scheme supplies the ``existence`` component;
+        its ``per_task`` value is overridden by the search.
+    bound:
+        Target upper bound on the expected number of unfinished tasks.
+    penalty_hi:
+        Initial upper bracket; defaults to 100x the largest grid price and
+        doubles until feasible.
+    tolerance:
+        Terminate when the penalty bracket is relatively this tight.
+    max_iterations:
+        Hard cap on bisection steps.
+    solver:
+        Deadline solver to use (injectable for tests).
+
+    Raises
+    ------
+    ValueError
+        If ``bound`` cannot be met even with an enormous penalty (the
+        deadline is infeasible for this marketplace).
+    """
+    if bound < 0:
+        raise ValueError(f"bound must be non-negative, got {bound}")
+
+    def remaining_at(penalty: float) -> tuple[float, DeadlinePolicy]:
+        scheme = PenaltyScheme(per_task=penalty, existence=problem.penalty.existence)
+        policy = solver(problem.with_penalty(scheme))
+        return policy.evaluate().expected_remaining, policy
+
+    hi = penalty_hi if penalty_hi is not None else 100.0 * float(problem.price_grid[-1])
+    lo = 0.0
+    remaining_hi, policy_hi = remaining_at(hi)
+    doubles = 0
+    while remaining_hi > bound:
+        doubles += 1
+        if doubles > 20:
+            raise ValueError(
+                f"bound {bound} unreachable: even penalty {hi} leaves "
+                f"{remaining_hi:.3f} expected tasks unfinished"
+            )
+        hi *= 2.0
+        remaining_hi, policy_hi = remaining_at(hi)
+    remaining_lo, _ = remaining_at(lo)
+    if remaining_lo <= bound:
+        # Even a zero penalty meets the bound — no pressure needed.
+        _, policy_lo = remaining_at(lo)
+        return PenaltyCalibration(
+            penalty=lo,
+            policy=policy_lo,
+            expected_remaining=remaining_lo,
+            iterations=doubles,
+        )
+    iterations = doubles
+    best = (hi, policy_hi, remaining_hi)
+    for _ in range(max_iterations):
+        if hi - lo <= tolerance * max(1.0, hi):
+            break
+        mid = (lo + hi) / 2.0
+        iterations += 1
+        remaining_mid, policy_mid = remaining_at(mid)
+        if remaining_mid <= bound:
+            hi = mid
+            best = (mid, policy_mid, remaining_mid)
+        else:
+            lo = mid
+    penalty, policy, remaining = best
+    return PenaltyCalibration(
+        penalty=penalty,
+        policy=policy,
+        expected_remaining=remaining,
+        iterations=iterations,
+    )

@@ -1,0 +1,253 @@
+"""The solved pricing policy ``Price(n, t)`` and its exact evaluation.
+
+A :class:`DeadlinePolicy` is the full table produced by the Section 3 DP —
+for every state ``(n, t)`` the price to post and the value ``Opt(n, t)``.
+Besides table lookup, it supports an *exact forward evaluation*: propagating
+the distribution over remaining-task counts through the horizon under any
+(possibly different) marketplace dynamics.  This is how the sensitivity
+experiments work — train the table under estimated parameters, evaluate it
+under the true ones (Sections 5.2.4-5.2.5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.deadline.model import DeadlineProblem
+from repro.core.deadline.truncation import transition_pmf
+
+__all__ = ["DeadlinePolicy", "ExpectedOutcome", "fixed_price_policy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExpectedOutcome:
+    """Exact expectations of running a policy to the deadline.
+
+    Attributes
+    ----------
+    expected_cost:
+        Expected total rewards paid out (the "transition cost" of
+        Section 3.3), in the price unit (cents).
+    expected_penalty:
+        Expected terminal penalty charged for unfinished tasks.
+    expected_remaining:
+        Expected number of unfinished tasks at the deadline.
+    prob_all_done:
+        Probability that every task finishes before the deadline.
+    average_reward:
+        ``expected_cost / N`` — the per-task average reward the paper plots
+        on the Fig. 7(a) y-axis.
+    num_tasks:
+        Batch size the outcome refers to.
+    """
+
+    expected_cost: float
+    expected_penalty: float
+    expected_remaining: float
+    prob_all_done: float
+    average_reward: float
+    num_tasks: int
+
+    @property
+    def expected_completed(self) -> float:
+        """Expected number of tasks finished before the deadline."""
+        return self.num_tasks - self.expected_remaining
+
+    @property
+    def total_objective(self) -> float:
+        """``E[cost] + E[penalty]`` — the MDP objective Q of Section 3.3."""
+        return self.expected_cost + self.expected_penalty
+
+
+@dataclasses.dataclass(frozen=True)
+class DeadlinePolicy:
+    """A complete ``Price(n, t)`` table plus the value function ``Opt(n, t)``.
+
+    Attributes
+    ----------
+    problem:
+        The instance the policy was trained on.
+    opt:
+        Value table of shape ``(N + 1, N_T + 1)``; column ``N_T`` holds the
+        terminal penalties.
+    price_index:
+        Index into ``problem.price_grid`` of shape ``(N + 1, N_T)``; row 0
+        is unused (no tasks left — nothing to price).
+    solver:
+        Name of the algorithm that produced the table (``"simple"``,
+        ``"vectorized"``, ``"efficient"``, or ``"fixed"``).
+    """
+
+    problem: DeadlineProblem
+    opt: np.ndarray
+    price_index: np.ndarray
+    solver: str
+
+    def __post_init__(self) -> None:
+        n_rows = self.problem.num_tasks + 1
+        n_cols = self.problem.num_intervals
+        if self.opt.shape != (n_rows, n_cols + 1):
+            raise ValueError(
+                f"opt table shape {self.opt.shape} != {(n_rows, n_cols + 1)}"
+            )
+        if self.price_index.shape != (n_rows, n_cols):
+            raise ValueError(
+                f"price table shape {self.price_index.shape} != {(n_rows, n_cols)}"
+            )
+
+    def price(self, n: int, t: int) -> float:
+        """Return the reward to post with ``n`` tasks left in interval ``t``."""
+        if not 1 <= n <= self.problem.num_tasks:
+            raise ValueError(f"n must lie in 1..{self.problem.num_tasks}, got {n}")
+        if not 0 <= t < self.problem.num_intervals:
+            raise ValueError(
+                f"t must lie in 0..{self.problem.num_intervals - 1}, got {t}"
+            )
+        return float(self.problem.price_grid[self.price_index[n, t]])
+
+    def price_table(self) -> np.ndarray:
+        """The full price table in price units, shape ``(N + 1, N_T)``."""
+        return self.problem.price_grid[self.price_index]
+
+    @property
+    def optimal_value(self) -> float:
+        """``Opt(N, 0)`` — the minimal expected total cost from the start."""
+        return float(self.opt[self.problem.num_tasks, 0])
+
+    def evaluate(self, dynamics: DeadlineProblem | None = None) -> ExpectedOutcome:
+        """Exactly evaluate the policy under ``dynamics`` (default: trained).
+
+        Propagates the distribution over remaining-task counts forward
+        through every interval.  ``dynamics`` may differ from the training
+        problem in arrival means and acceptance model (that is the
+        Sections 5.2.4-5.2.5 protocol) but must have the same batch size
+        and horizon.
+        """
+        true = dynamics if dynamics is not None else self.problem
+        if true.num_tasks != self.problem.num_tasks:
+            raise ValueError(
+                "evaluation dynamics must have the same batch size as the policy"
+            )
+        if true.num_intervals != self.problem.num_intervals:
+            raise ValueError(
+                "evaluation dynamics must have the same number of intervals"
+            )
+        n_max = true.num_tasks
+        dist = np.zeros(n_max + 1)
+        dist[n_max] = 1.0
+        expected_cost = 0.0
+        pmf_cache: dict[tuple[int, float], tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        for t in range(true.num_intervals):
+            lam_t = float(true.arrival_means[t])
+            new_dist = np.zeros(n_max + 1)
+            new_dist[0] = dist[0]
+            for n in range(1, n_max + 1):
+                mass = dist[n]
+                if mass <= 0.0:
+                    continue
+                price = self.price(n, t)
+                key = (t, price)
+                if key not in pmf_cache:
+                    mean = lam_t * true.acceptance.probability(price)
+                    pmf = transition_pmf(mean, true.truncation_eps, n_max)
+                    pmf_cache[key] = (
+                        pmf,
+                        np.cumsum(pmf),
+                        np.cumsum(pmf * np.arange(pmf.size)),
+                    )
+                pmf, prob_cum, paid_cum = pmf_cache[key]
+                k = min(n - 1, pmf.size - 1)
+                head_prob = float(prob_cum[k])
+                head_paid = float(paid_cum[k])
+                tail = max(0.0, 1.0 - head_prob)
+                expected_cost += mass * price * (head_paid + n * tail)
+                new_dist[n - k : n + 1] += mass * pmf[: k + 1][::-1]
+                new_dist[0] += mass * tail
+            dist = new_dist
+        remaining = np.arange(n_max + 1)
+        expected_remaining = float(np.dot(remaining, dist))
+        expected_penalty = float(
+            np.dot(true.penalty.terminal_costs(n_max), dist)
+        )
+        return ExpectedOutcome(
+            expected_cost=expected_cost,
+            expected_penalty=expected_penalty,
+            expected_remaining=expected_remaining,
+            prob_all_done=float(dist[0]),
+            average_reward=expected_cost / n_max,
+            num_tasks=n_max,
+        )
+
+
+    def expected_price_path(
+        self, dynamics: DeadlineProblem | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Expected posted price per interval under the policy's own run.
+
+        Returns ``(prices, active_probability)``: for each interval, the
+        expected reward posted *conditioned on work remaining*, and the
+        probability that any work remains.  This is the "start low,
+        escalate if behind" trajectory the Section 3 strategy follows in
+        expectation — the series a requester dashboard would plot.
+        """
+        true = dynamics if dynamics is not None else self.problem
+        if true.num_tasks != self.problem.num_tasks:
+            raise ValueError(
+                "evaluation dynamics must have the same batch size as the policy"
+            )
+        if true.num_intervals != self.problem.num_intervals:
+            raise ValueError(
+                "evaluation dynamics must have the same number of intervals"
+            )
+        n_max = true.num_tasks
+        dist = np.zeros(n_max + 1)
+        dist[n_max] = 1.0
+        expected_prices = np.zeros(true.num_intervals)
+        active_prob = np.zeros(true.num_intervals)
+        for t in range(true.num_intervals):
+            lam_t = float(true.arrival_means[t])
+            active = float(dist[1:].sum())
+            active_prob[t] = active
+            if active > 0.0:
+                posted = sum(
+                    dist[n] * self.price(n, t) for n in range(1, n_max + 1)
+                )
+                expected_prices[t] = posted / active
+            new_dist = np.zeros(n_max + 1)
+            new_dist[0] = dist[0]
+            for n in range(1, n_max + 1):
+                mass = dist[n]
+                if mass <= 0.0:
+                    continue
+                price = self.price(n, t)
+                mean = lam_t * true.acceptance.probability(price)
+                pmf = transition_pmf(mean, true.truncation_eps, n_max)
+                k = min(n - 1, pmf.size - 1)
+                head = float(pmf[: k + 1].sum())
+                new_dist[n - k : n + 1] += mass * pmf[: k + 1][::-1]
+                new_dist[0] += mass * max(0.0, 1.0 - head)
+            dist = new_dist
+        return expected_prices, active_prob
+
+
+def fixed_price_policy(problem: DeadlineProblem, price: float) -> DeadlinePolicy:
+    """Wrap a constant price as a :class:`DeadlinePolicy` for evaluation.
+
+    The price must be a member of ``problem.price_grid`` so the table
+    representation stays exact.  Used to evaluate the Faridani baseline with
+    the same forward-evaluation machinery as the dynamic policy.
+    """
+    matches = np.nonzero(np.isclose(problem.price_grid, price))[0]
+    if matches.size == 0:
+        raise ValueError(f"price {price} is not on the problem's price grid")
+    j = int(matches[0])
+    n_rows = problem.num_tasks + 1
+    n_cols = problem.num_intervals
+    opt = np.zeros((n_rows, n_cols + 1))
+    opt[:, n_cols] = problem.penalty.terminal_costs(problem.num_tasks)
+    price_index = np.full((n_rows, n_cols), j, dtype=int)
+    return DeadlinePolicy(
+        problem=problem, opt=opt, price_index=price_index, solver="fixed"
+    )

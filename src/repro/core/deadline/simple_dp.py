@@ -1,0 +1,46 @@
+"""Algorithm 1: the literal per-state dynamic program (reference solver).
+
+This mirrors the paper's pseudocode as closely as Python allows —
+``FindOptimalPriceForState`` evaluates every grid price for one state by
+summing over completion counts, and ``SimpleDP`` sweeps time backwards from
+the terminal penalties.  Complexity ``O(N^2 N_T C)`` before truncation; use
+:func:`repro.core.deadline.vectorized.solve_deadline` for production sizes.
+The test suite asserts this solver, the vectorized solver, and Algorithm 2
+produce identical tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.deadline._kernel import IntervalKernel
+from repro.core.deadline.model import DeadlineProblem
+from repro.core.deadline.policy import DeadlinePolicy
+
+__all__ = ["solve_deadline_simple"]
+
+
+def solve_deadline_simple(problem: DeadlineProblem) -> DeadlinePolicy:
+    """Solve the fixed-deadline MDP by the literal Algorithm 1 sweep.
+
+    Returns the full :class:`~repro.core.deadline.policy.DeadlinePolicy`
+    table.  Intended for small instances and as the ground truth in
+    equivalence tests.
+    """
+    n_tasks = problem.num_tasks
+    n_intervals = problem.num_intervals
+    opt = np.zeros((n_tasks + 1, n_intervals + 1))
+    price_index = np.zeros((n_tasks + 1, n_intervals), dtype=int)
+    # Terminal layer: Opt(i, N_T) = penalty(i)  (the paper's i * Penalty,
+    # generalized to the Section 3.3 extended scheme).
+    opt[:, n_intervals] = problem.penalty.terminal_costs(n_tasks)
+    for t in range(n_intervals - 1, -1, -1):
+        kernel = IntervalKernel(problem, t)
+        opt_next = opt[:, t + 1]
+        for n in range(1, n_tasks + 1):
+            best_cost, best_j = kernel.best_price(n, opt_next)
+            opt[n, t] = best_cost
+            price_index[n, t] = best_j
+    return DeadlinePolicy(
+        problem=problem, opt=opt, price_index=price_index, solver="simple"
+    )

@@ -1,0 +1,103 @@
+"""Poisson Distribution Truncation (Section 3.2) and its Theorem 1 bound.
+
+The DP update at state ``(n, t)`` sums over all possible completion counts
+``s``; for ``s`` far above the Poisson mean the probability is negligible.
+Given a threshold ``eps``, terms with ``Pr(Pois >= s) < eps`` are cut.
+Theorem 1 bounds the resulting estimation error: writing ``C`` for the
+largest admissible reward,
+
+    Est_trunc(n, t) <= Opt(n, t) <= Cost_trunc(n, t)
+                    <= Est_trunc(n, t) + n (N_T - t) C eps,
+
+so in particular ``|Opt(N, 0) - Cost_trunc(N, 0)| <= N N_T C eps``.
+(The paper's statement elides the ``eps`` factor introduced per truncated
+update; we carry it explicitly.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.deadline.model import DeadlineProblem
+from repro.util.poisson import truncated_pmf, truncation_cutoff
+
+__all__ = ["transition_pmf", "truncation_error_bound", "TruncationErrorBound"]
+
+
+def transition_pmf(
+    mean: float, eps: float | None, max_completions: int
+) -> np.ndarray:
+    """Return the (possibly truncated) completion-count pmf for one interval.
+
+    Parameters
+    ----------
+    mean:
+        ``lambda_t * p(c)``, the Poisson mean of Eq. 5.
+    eps:
+        Truncation threshold; ``None`` keeps the full head up to
+        ``max_completions`` (the absorbing ``>= n`` tail is handled by the
+        caller's complement term either way, so ``None`` is *exact*).
+    max_completions:
+        ``n``, the remaining tasks — outcomes beyond ``n`` all pay ``n * c``
+        and land in the absorbing state, so the head never needs to extend
+        further.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``pmf[s] = Pr(Pois(mean) = s)`` for ``s = 0 .. L-1`` with
+        ``L <= max_completions + 1``.
+    """
+    if max_completions < 0:
+        raise ValueError(f"max_completions must be non-negative, got {max_completions}")
+    if eps is None:
+        from repro.util.poisson import poisson_pmf_vector
+
+        return poisson_pmf_vector(max_completions, mean)
+    return truncated_pmf(mean, eps=eps, s_cap=max_completions)
+
+
+@dataclasses.dataclass(frozen=True)
+class TruncationErrorBound:
+    """The Theorem 1 error budget for a truncated solve.
+
+    Attributes
+    ----------
+    per_state:
+        Bound on ``Cost_trunc(n, t) - Est_trunc(n, t)`` at the root state
+        ``(N, 0)``: ``N * N_T * C * eps``.
+    eps:
+        The truncation threshold used.
+    max_price:
+        ``C``, the largest admissible reward.
+    largest_cutoff:
+        The largest truncation point ``s0`` used anywhere in the solve —
+        a measure of how much work truncation saved.
+    """
+
+    per_state: float
+    eps: float
+    max_price: float
+    largest_cutoff: int
+
+
+def truncation_error_bound(problem: DeadlineProblem) -> TruncationErrorBound:
+    """Compute the Theorem 1 bound for ``problem`` at its root state.
+
+    Raises ``ValueError`` if the problem is configured without truncation
+    (there is no error to bound).
+    """
+    if problem.truncation_eps is None:
+        raise ValueError("problem is configured exact (truncation_eps=None)")
+    eps = problem.truncation_eps
+    max_price = float(problem.price_grid[-1])
+    means = problem.completion_means()
+    largest = max(
+        truncation_cutoff(float(m), eps) for m in np.ravel(means)
+    )
+    bound = problem.num_tasks * problem.num_intervals * max_price * eps
+    return TruncationErrorBound(
+        per_state=bound, eps=eps, max_price=max_price, largest_cutoff=largest
+    )

@@ -1,0 +1,329 @@
+"""Section 6: integrating quality control with deadline pricing.
+
+For filtering tasks (binary questions answered by noisy workers), a
+quality-control strategy is a lattice of points ``(x, y)`` — the counts of
+No and Yes answers collected so far — each carrying a decision: *continue*
+asking, or *stop* and declare PASS/FAIL.  The paper composes such a
+strategy (from its prior work) with the Section 3 pricing MDP and sketches
+two approximations; we implement:
+
+* :class:`MajorityVoteStrategy` — the canonical strategy the paper's
+  example uses: ask until one answer reaches a majority of ``m`` (odd),
+  stopping early once the outcome is decided.
+* **Approximation 2** (worst-case question reduction,
+  :func:`reduce_to_deadline_problem`) — replace the per-task lattice
+  position by its worst-case number of additional questions; the batch of
+  ``N`` filtering tasks becomes a Section 3 instance with
+  ``N' = N * alpha`` unit questions (``alpha`` = worst case at the origin),
+  re-computable online via :func:`worst_case_questions_outstanding`.
+* **Approximation 1** (posterior-interval discretization,
+  :func:`posterior_probability` / :func:`discretize_by_posterior`) — map
+  lattice points to posterior-probability intervals of width ``a``,
+  shrinking the effective point count from ``k`` to ``1/a``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "QualityPoint",
+    "MajorityVoteStrategy",
+    "PosteriorGridStrategy",
+    "posterior_probability",
+    "discretize_by_posterior",
+    "reduce_to_deadline_problem",
+    "worst_case_questions_outstanding",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class QualityPoint:
+    """One lattice point of a quality-control strategy.
+
+    Attributes
+    ----------
+    no_count:
+        ``x`` — No answers received.
+    yes_count:
+        ``y`` — Yes answers received.
+    decision:
+        ``"continue"``, ``"pass"``, or ``"fail"``.
+    """
+
+    no_count: int
+    yes_count: int
+    decision: str
+
+    def __post_init__(self) -> None:
+        if self.no_count < 0 or self.yes_count < 0:
+            raise ValueError("answer counts must be non-negative")
+        if self.decision not in ("continue", "pass", "fail"):
+            raise ValueError(f"unknown decision {self.decision!r}")
+
+
+class MajorityVoteStrategy:
+    """Majority vote over at most ``m`` (odd) answers, with early stopping.
+
+    The strategy continues at ``(x, y)`` until either count reaches the
+    majority threshold ``h = (m + 1) / 2``; it then stops and returns PASS
+    (``y`` reached ``h`` first) or FAIL.  The paper's running example is
+    ``m = 3``; the reachable *continue* lattice has ``h^2`` points, e.g. 9
+    points for ``m = 5`` — the "k is often as small as 9" remark.
+    """
+
+    def __init__(self, num_questions: int):
+        if num_questions < 1 or num_questions % 2 == 0:
+            raise ValueError(
+                f"majority vote needs an odd question count >= 1, got {num_questions}"
+            )
+        self.num_questions = num_questions
+        self.threshold = (num_questions + 1) // 2
+
+    def decision(self, no_count: int, yes_count: int) -> str:
+        """Decision at lattice point ``(x, y)``."""
+        if no_count < 0 or yes_count < 0:
+            raise ValueError("answer counts must be non-negative")
+        if yes_count >= self.threshold:
+            return "pass"
+        if no_count >= self.threshold:
+            return "fail"
+        return "continue"
+
+    def continue_points(self) -> list[QualityPoint]:
+        """All reachable points where more answers are still needed."""
+        h = self.threshold
+        return [
+            QualityPoint(x, y, "continue")
+            for x in range(h)
+            for y in range(h)
+        ]
+
+    def worst_case_additional(self, no_count: int, yes_count: int) -> int:
+        """Worst-case further questions from ``(x, y)``.
+
+        Adversarial answers alternate, delaying the decision as long as
+        possible: ``(h - x) + (h - y) - 1`` questions, and 0 at any decided
+        point.  At the origin this equals ``m`` — the paper's ``alpha``.
+        """
+        if self.decision(no_count, yes_count) != "continue":
+            return 0
+        h = self.threshold
+        return (h - no_count) + (h - yes_count) - 1
+
+    def expected_additional(
+        self, no_count: int, yes_count: int, yes_probability: float
+    ) -> float:
+        """Expected further questions if each answer is Yes w.p. ``p``.
+
+        The optimistic alternative the paper warns may miss the deadline;
+        provided so callers can quantify the conservatism of the worst-case
+        reduction.
+        """
+        if not 0.0 <= yes_probability <= 1.0:
+            raise ValueError("yes_probability must lie in [0, 1]")
+        if self.decision(no_count, yes_count) != "continue":
+            return 0.0
+        p = yes_probability
+        return 1.0 + p * self.expected_additional(
+            no_count, yes_count + 1, p
+        ) + (1.0 - p) * self.expected_additional(no_count + 1, yes_count, p)
+
+
+class PosteriorGridStrategy:
+    """Approximation 1 as an executable strategy: posterior-interval states.
+
+    Instead of tracking the full ``(x, y)`` lattice, the item's state is
+    the index of the posterior interval ``[i*a, (i+1)*a)`` it currently
+    occupies, represented by the interval midpoint.  Decisions: stop-PASS
+    once the posterior clears ``pass_threshold``, stop-FAIL below
+    ``fail_threshold``, continue otherwise — with a hard cap on questions
+    per item so the state space stays finite.  As ``interval_width -> 0``
+    this refines to the exact posterior walk (the asymptotic-optimality
+    remark in Section 6).
+
+    Parameters
+    ----------
+    interval_width:
+        The grid resolution ``a``.
+    pass_threshold / fail_threshold:
+        Posterior stopping boundaries.
+    max_questions:
+        Hard cap on answers per item.
+    prior / worker_accuracy:
+        Bayes-update parameters (see :func:`posterior_probability`).
+    """
+
+    def __init__(
+        self,
+        interval_width: float,
+        pass_threshold: float = 0.9,
+        fail_threshold: float = 0.1,
+        max_questions: int = 11,
+        prior: float = 0.5,
+        worker_accuracy: float = 0.9,
+    ):
+        if not 0.0 < interval_width <= 1.0:
+            raise ValueError("interval_width must lie in (0, 1]")
+        if not 0.0 < fail_threshold < pass_threshold < 1.0:
+            raise ValueError("need 0 < fail_threshold < pass_threshold < 1")
+        if max_questions < 1:
+            raise ValueError("max_questions must be >= 1")
+        if not 0.0 < prior < 1.0:
+            raise ValueError("prior must lie strictly inside (0, 1)")
+        if not 0.0 < worker_accuracy < 1.0:
+            raise ValueError("worker_accuracy must lie strictly inside (0, 1)")
+        self.interval_width = interval_width
+        self.pass_threshold = pass_threshold
+        self.fail_threshold = fail_threshold
+        self.max_questions = max_questions
+        self.prior = prior
+        self.worker_accuracy = worker_accuracy
+        self.num_intervals = math.ceil(1.0 / interval_width)
+
+    def interval_index(self, posterior: float) -> int:
+        """Grid index of a posterior value."""
+        if not 0.0 <= posterior <= 1.0:
+            raise ValueError("posterior must lie in [0, 1]")
+        return min(int(posterior / self.interval_width), self.num_intervals - 1)
+
+    def representative(self, index: int) -> float:
+        """The interval midpoint representing grid state ``index``."""
+        if not 0 <= index < self.num_intervals:
+            raise ValueError(
+                f"index must lie in 0..{self.num_intervals - 1}, got {index}"
+            )
+        return min((index + 0.5) * self.interval_width, 1.0)
+
+    def decision(self, posterior: float, questions_used: int) -> str:
+        """``"pass"``, ``"fail"``, or ``"continue"`` at a posterior state."""
+        if questions_used < 0:
+            raise ValueError("questions_used must be non-negative")
+        midpoint = self.representative(self.interval_index(posterior))
+        if midpoint >= self.pass_threshold:
+            return "pass"
+        if midpoint <= self.fail_threshold:
+            return "fail"
+        if questions_used >= self.max_questions:
+            return "pass" if midpoint >= 0.5 else "fail"
+        return "continue"
+
+    def update(self, posterior: float, answered_yes: bool) -> float:
+        """Bayes-update the (grid-representative) posterior on one answer."""
+        p = self.representative(self.interval_index(posterior))
+        acc = self.worker_accuracy
+        if answered_yes:
+            numerator = p * acc
+            denominator = p * acc + (1.0 - p) * (1.0 - acc)
+        else:
+            numerator = p * (1.0 - acc)
+            denominator = p * (1.0 - acc) + (1.0 - p) * acc
+        return numerator / denominator
+
+    def worst_case_additional(self, posterior: float, questions_used: int) -> int:
+        """Questions remaining in the worst case (the cap less those used)."""
+        if self.decision(posterior, questions_used) != "continue":
+            return 0
+        return self.max_questions - questions_used
+
+
+def posterior_probability(
+    no_count: int,
+    yes_count: int,
+    prior: float = 0.5,
+    worker_accuracy: float = 0.9,
+) -> float:
+    """Posterior ``Pr(item is a 1 | x No, y Yes)`` under i.i.d. noisy answers.
+
+    Workers answer correctly with probability ``worker_accuracy``; Bayes'
+    rule over the binary ground truth gives the posterior that
+    Approximation 1 discretizes.
+    """
+    if no_count < 0 or yes_count < 0:
+        raise ValueError("answer counts must be non-negative")
+    if not 0.0 < prior < 1.0:
+        raise ValueError("prior must lie strictly inside (0, 1)")
+    if not 0.0 < worker_accuracy < 1.0:
+        raise ValueError("worker_accuracy must lie strictly inside (0, 1)")
+    log_like_one = yes_count * math.log(worker_accuracy) + no_count * math.log(
+        1.0 - worker_accuracy
+    )
+    log_like_zero = yes_count * math.log(1.0 - worker_accuracy) + no_count * math.log(
+        worker_accuracy
+    )
+    w1 = math.exp(log_like_one) * prior
+    w0 = math.exp(log_like_zero) * (1.0 - prior)
+    return w1 / (w1 + w0)
+
+
+def discretize_by_posterior(
+    points: Iterable[QualityPoint],
+    interval_width: float,
+    prior: float = 0.5,
+    worker_accuracy: float = 0.9,
+) -> dict[int, list[QualityPoint]]:
+    """Group lattice points into posterior intervals of width ``a``.
+
+    Approximation 1: points mapping into ``[i*a, (i+1)*a)`` are merged and
+    represented by the interval midpoint ``i*a + a/2``.  Returns the
+    interval-index -> points grouping; as ``a -> 0`` the grouping refines to
+    the original lattice (asymptotic-optimality remark in Section 6).
+    """
+    if not 0.0 < interval_width <= 1.0:
+        raise ValueError("interval_width must lie in (0, 1]")
+    groups: dict[int, list[QualityPoint]] = {}
+    num_intervals = math.ceil(1.0 / interval_width)
+    for point in points:
+        posterior = posterior_probability(
+            point.no_count, point.yes_count, prior, worker_accuracy
+        )
+        index = min(int(posterior / interval_width), num_intervals - 1)
+        groups.setdefault(index, []).append(point)
+    return groups
+
+
+def worst_case_questions_outstanding(
+    strategy: MajorityVoteStrategy, positions: Sequence[tuple[int, int]]
+) -> int:
+    """Total worst-case questions across tasks at the given lattice positions.
+
+    This is the online ``N'`` of Approximation 2:
+    ``N' = sum_i worst_case(P(i))`` — recomputed whenever answers arrive,
+    and fed to the Section 3 strategy as the current remaining-unit count.
+    """
+    return sum(strategy.worst_case_additional(x, y) for x, y in positions)
+
+
+def reduce_to_deadline_problem(
+    strategy: MajorityVoteStrategy,
+    num_filter_tasks: int,
+    arrival_means,
+    acceptance,
+    price_grid,
+    penalty,
+    truncation_eps: float | None = 1e-9,
+):
+    """Approximation 2: build the Section 3 instance over unit questions.
+
+    The batch of ``num_filter_tasks`` filtering tasks becomes
+    ``N' = num_filter_tasks * alpha`` unit questions, ``alpha`` being the
+    worst case at the origin (= ``m`` for majority vote).  The returned
+    :class:`~repro.core.deadline.model.DeadlineProblem` is solved with any
+    Section 3 solver; at runtime, track positions and index the policy at
+    :func:`worst_case_questions_outstanding` of the current positions.
+    """
+    from repro.core.deadline.model import DeadlineProblem
+
+    if num_filter_tasks <= 0:
+        raise ValueError(f"num_filter_tasks must be positive, got {num_filter_tasks}")
+    alpha = strategy.worst_case_additional(0, 0)
+    return DeadlineProblem(
+        num_tasks=num_filter_tasks * alpha,
+        arrival_means=arrival_means,
+        acceptance=acceptance,
+        price_grid=price_grid,
+        penalty=penalty,
+        truncation_eps=truncation_eps,
+    )

@@ -1,0 +1,215 @@
+"""Section 6: optimizing the deadline/budget trade-off
+``Q = E[cost] + alpha * E[latency]``.
+
+Two MDP variants, both over states ``(n)`` (remaining tasks only — with no
+deadline, elapsed time and spend are sunk):
+
+* **Fixed-rate interval model** — time advances in unit intervals with a
+  constant arrival rate ``lam``; the interval is short enough that at most
+  one task completes, with probability ``q(c) = e^{-lam p(c)} lam p(c)``;
+  staying costs ``alpha`` (one interval of latency), completing costs
+  ``c + alpha``.
+* **Per-arrival model** — transitions happen per worker arrival; the worker
+  accepts with probability ``p(c)``; each arrival costs ``alpha / lam-bar``
+  of latency (the Section 4.2.2 linearity).
+
+In both, the Bellman fixed point telescopes to a closed form: the
+per-remaining-task increment is ``g(c) = c + alpha / q(c)`` (interval model)
+or ``g(c) = c + alpha / (lam-bar p(c))`` (arrival model), so
+``Opt(n) = n * min_c g(c)`` and the optimal price is the same at every
+state.  The solver exposes both the O(NC) value-iteration sweep (as the
+paper presents it) and the closed form; tests assert they coincide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.market.acceptance import AcceptanceModel
+from repro.util.validation import require_nonnegative, require_positive
+
+__all__ = [
+    "TradeoffSolution",
+    "solve_tradeoff_interval",
+    "solve_tradeoff_arrival",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TradeoffSolution:
+    """Solution of a Section 6 trade-off MDP.
+
+    Attributes
+    ----------
+    opt:
+        Value table ``Opt(n)`` for ``n = 0 .. N``.
+    prices:
+        Optimal price per state ``n = 0 .. N`` (entry 0 unused);
+        constant across states by the telescoping argument.
+    alpha:
+        Latency weight used.
+    model:
+        ``"interval"`` or ``"arrival"``.
+    """
+
+    opt: np.ndarray
+    prices: np.ndarray
+    alpha: float
+    model: str
+
+    @property
+    def optimal_price(self) -> float:
+        """The (state-independent) optimal price."""
+        return float(self.prices[-1])
+
+    @property
+    def total_value(self) -> float:
+        """``Opt(N)`` — minimal expected cost + weighted latency."""
+        return float(self.opt[-1])
+
+
+def _solve_increment(
+    num_tasks: int,
+    price_grid: np.ndarray,
+    increments: np.ndarray,
+    alpha: float,
+    model: str,
+) -> TradeoffSolution:
+    """Assemble the solution given per-task increments ``g(c)`` per price."""
+    finite = np.isfinite(increments)
+    if not np.any(finite):
+        raise ValueError(
+            "every grid price has zero completion probability; the tasks "
+            "would never finish"
+        )
+    best_j = int(np.flatnonzero(finite)[np.argmin(increments[finite])])
+    g = float(increments[best_j])
+    n = np.arange(num_tasks + 1, dtype=float)
+    opt = g * n
+    prices = np.full(num_tasks + 1, float(price_grid[best_j]))
+    prices[0] = 0.0
+    return TradeoffSolution(opt=opt, prices=prices, alpha=alpha, model=model)
+
+
+def solve_tradeoff_interval(
+    num_tasks: int,
+    arrival_rate: float,
+    acceptance: AcceptanceModel,
+    price_grid: Sequence[float],
+    alpha: float,
+) -> TradeoffSolution:
+    """Solve the fixed-rate interval trade-off MDP.
+
+    Parameters
+    ----------
+    num_tasks:
+        Batch size ``N``.
+    arrival_rate:
+        Constant ``lam``: expected arrivals per (small) unit interval; the
+        model assumes intervals short enough that at most one completion
+        occurs, i.e. ``lam * p(c)`` well below 1.
+    acceptance:
+        The ``p(c)`` model.
+    price_grid:
+        Candidate prices.
+    alpha:
+        Weight on expected latency (price units per interval of delay).
+    """
+    if num_tasks <= 0:
+        raise ValueError(f"num_tasks must be positive, got {num_tasks}")
+    require_positive("arrival_rate", arrival_rate)
+    require_nonnegative("alpha", alpha)
+    grid = np.asarray(price_grid, dtype=float)
+    probs = acceptance.probabilities(grid)
+    # q(c) = Pr(exactly one completion) = e^{-lam p} lam p.
+    lam_p = arrival_rate * probs
+    q = np.exp(-lam_p) * lam_p
+    with np.errstate(divide="ignore"):
+        increments = np.where(q > 0, grid + alpha / q, np.inf)
+    return _solve_increment(num_tasks, grid, increments, alpha, "interval")
+
+
+def solve_tradeoff_arrival(
+    num_tasks: int,
+    mean_rate: float,
+    acceptance: AcceptanceModel,
+    price_grid: Sequence[float],
+    alpha: float,
+) -> TradeoffSolution:
+    """Solve the per-arrival trade-off MDP (linearity-based variant).
+
+    Parameters
+    ----------
+    num_tasks:
+        Batch size ``N``.
+    mean_rate:
+        ``lam-bar``: average marketplace arrival rate (arrivals per hour);
+        each arrival accounts for ``alpha / lam-bar`` of weighted latency.
+    acceptance:
+        The ``p(c)`` model.
+    price_grid:
+        Candidate prices.
+    alpha:
+        Weight on expected latency (price units per hour of delay).
+    """
+    if num_tasks <= 0:
+        raise ValueError(f"num_tasks must be positive, got {num_tasks}")
+    require_positive("mean_rate", mean_rate)
+    require_nonnegative("alpha", alpha)
+    grid = np.asarray(price_grid, dtype=float)
+    probs = acceptance.probabilities(grid)
+    with np.errstate(divide="ignore"):
+        increments = np.where(
+            probs > 0, grid + (alpha / mean_rate) / probs, np.inf
+        )
+    return _solve_increment(num_tasks, grid, increments, alpha, "arrival")
+
+
+def value_iteration_interval(
+    num_tasks: int,
+    arrival_rate: float,
+    acceptance: AcceptanceModel,
+    price_grid: Sequence[float],
+    alpha: float,
+    tolerance: float = 1e-10,
+    max_sweeps: int = 100_000,
+) -> TradeoffSolution:
+    """Solve the interval model by literal value iteration (O(NC) per sweep).
+
+    Kept as the paper presents the computation; the closed form of
+    :func:`solve_tradeoff_interval` is what production code should use.
+    The self-loop is eliminated analytically per state (solving
+    ``Opt(n) = q (Opt(n-1) + c + alpha) + (1 - q)(Opt(n) + alpha)`` for
+    ``Opt(n)`` at each candidate price), so one bottom-up pass suffices and
+    ``max_sweeps`` exists only to mirror the iterative presentation.
+    """
+    if num_tasks <= 0:
+        raise ValueError(f"num_tasks must be positive, got {num_tasks}")
+    require_positive("arrival_rate", arrival_rate)
+    require_nonnegative("alpha", alpha)
+    del tolerance, max_sweeps  # single exact pass; kept for API symmetry
+    grid = np.asarray(price_grid, dtype=float)
+    probs = acceptance.probabilities(grid)
+    lam_p = arrival_rate * probs
+    q = np.exp(-lam_p) * lam_p
+    opt = np.zeros(num_tasks + 1)
+    prices = np.zeros(num_tasks + 1)
+    for n in range(1, num_tasks + 1):
+        best_value = math.inf
+        best_price = float(grid[0])
+        for c, q_c in zip(grid, q):
+            if q_c <= 0:
+                continue
+            value = opt[n - 1] + c + alpha / q_c
+            if value < best_value:
+                best_value = value
+                best_price = float(c)
+        if not math.isfinite(best_value):
+            raise ValueError("no price with positive completion probability")
+        opt[n] = best_value
+        prices[n] = best_price
+    return TradeoffSolution(opt=opt, prices=prices, alpha=alpha, model="interval")

@@ -1,0 +1,14 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Each module exposes a ``run_*`` function returning a frozen result
+dataclass plus a ``format_result`` helper that renders it as the text the
+benchmarks print and ``EXPERIMENTS.md`` records.  All experiments are
+deterministic given their seed arguments and take their defaults from
+:mod:`repro.experiments.config` — the paper's Section 5.2 setting.
+
+See :mod:`repro.experiments.registry` for the experiment index.
+"""
+
+from repro.experiments.config import PaperSetting, default_setting
+
+__all__ = ["PaperSetting", "default_setting"]

@@ -1,0 +1,136 @@
+"""Figure 10: robustness to arrival-rate prediction error.
+
+Section 5.2.5's protocol: pick four test days (1/1, 1/8, 1/15, 1/22 — our
+trace days 0, 7, 14, 21); for each, train both strategies on the *average*
+rate of the other three days and evaluate on the held-out day's realized
+rate.  The paper's finding: both strategies are stable on ordinary days
+(random spikes wash out) but degrade on 1/1, whose holiday rate deviates
+*consistently* from the weekday pattern — exactly the behaviour our
+synthetic trace builds in via its holiday factor on day 0.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.core.baselines import faridani_fixed_price
+from repro.core.deadline.penalty import calibrate_penalty
+from repro.core.deadline.policy import fixed_price_policy
+from repro.experiments.config import DEFAULT_REMAINING_BOUND, PaperSetting, default_setting
+from repro.util.tables import format_table
+
+__all__ = ["DayResult", "ArrivalSensitivityResult", "run_fig10", "format_result"]
+
+DEFAULT_TEST_DAYS = (0, 7, 14, 21)
+
+
+@dataclasses.dataclass(frozen=True)
+class DayResult:
+    """Held-out-day evaluation of both strategies.
+
+    Attributes
+    ----------
+    test_day:
+        Trace day evaluated on.
+    dynamic_remaining / dynamic_average_reward:
+        The dynamic policy's outcome under the realized rate.
+    fixed_price / fixed_remaining:
+        The baseline's trained price and its realized expected remaining.
+    train_mean_rate / test_mean_rate:
+        Average arrival rates of the training average and the test day —
+        the Fig. 10(c-d) diagnostic.
+    """
+
+    test_day: int
+    dynamic_remaining: float
+    dynamic_average_reward: float
+    fixed_price: float
+    fixed_remaining: float
+    train_mean_rate: float
+    test_mean_rate: float
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrivalSensitivityResult:
+    """All held-out days plus the day-0 (holiday) diagnosis."""
+
+    days: tuple[DayResult, ...]
+    holiday_day: int = 0
+
+    def ordinary_days(self) -> tuple[DayResult, ...]:
+        """All test days except the holiday."""
+        return tuple(d for d in self.days if d.test_day != self.holiday_day)
+
+    def holiday(self) -> DayResult:
+        """The holiday day's result; raises if it was not tested."""
+        for d in self.days:
+            if d.test_day == self.holiday_day:
+                return d
+        raise ValueError(f"day {self.holiday_day} not among the test days")
+
+
+def run_fig10(
+    setting: PaperSetting | None = None,
+    test_days: Sequence[int] = DEFAULT_TEST_DAYS,
+    remaining_bound: float = DEFAULT_REMAINING_BOUND,
+) -> ArrivalSensitivityResult:
+    """Leave-one-day-out training/evaluation over the test days."""
+    setting = setting or default_setting()
+    trace = setting.trace()
+    results = []
+    for test_day in test_days:
+        train_days = [d for d in test_days if d != test_day]
+        train_rate = trace.average_day_rate(train_days)
+        test_rate = trace.day_rate(test_day)
+        train_problem = setting.problem(rate=train_rate, start_hour=0.0)
+        test_problem = setting.problem(rate=test_rate, start_hour=0.0)
+        calibration = calibrate_penalty(
+            train_problem, bound=remaining_bound, tolerance=5e-3
+        )
+        dynamic = calibration.policy.evaluate(dynamics=test_problem)
+        fixed_diag = faridani_fixed_price(train_problem, setting.confidence)
+        fixed = fixed_price_policy(test_problem, fixed_diag.price).evaluate()
+        results.append(
+            DayResult(
+                test_day=test_day,
+                dynamic_remaining=dynamic.expected_remaining,
+                dynamic_average_reward=dynamic.average_reward,
+                fixed_price=fixed_diag.price,
+                fixed_remaining=fixed.expected_remaining,
+                train_mean_rate=float(train_rate.mean_rate(0.0, 24.0)),
+                test_mean_rate=float(test_rate.mean_rate(0.0, 24.0)),
+            )
+        )
+    return ArrivalSensitivityResult(days=tuple(results))
+
+
+def format_result(result: ArrivalSensitivityResult) -> str:
+    """Render the per-day table and the holiday diagnosis."""
+    table = format_table(
+        [
+            "test day", "dyn E[rem]", "dyn avg reward", "fixed price",
+            "fix E[rem]", "train rate/h", "test rate/h",
+        ],
+        [
+            (
+                d.test_day, f"{d.dynamic_remaining:.3f}",
+                f"{d.dynamic_average_reward:.2f}", f"{d.fixed_price:.0f}",
+                f"{d.fixed_remaining:.3f}", f"{d.train_mean_rate:.0f}",
+                f"{d.test_mean_rate:.0f}",
+            )
+            for d in result.days
+        ],
+        title="Fig 10 — leave-one-day-out arrival-rate sensitivity",
+    )
+    holiday = result.holiday()
+    ordinary = result.ordinary_days()
+    worst_ordinary = max(d.dynamic_remaining for d in ordinary)
+    summary = (
+        f"ordinary days: dynamic E[remaining] <= {worst_ordinary:.3f} (stable, paper: stable)\n"
+        f"holiday day {holiday.test_day}: test rate {holiday.test_mean_rate:.0f}/h vs "
+        f"train {holiday.train_mean_rate:.0f}/h — consistent deviation; dynamic "
+        f"E[remaining] = {holiday.dynamic_remaining:.2f}, fixed = "
+        f"{holiday.fixed_remaining:.1f} (paper: both degrade on 1/1)"
+    )
+    return f"{table}\n\n{summary}"

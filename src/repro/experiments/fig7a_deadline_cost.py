@@ -1,0 +1,150 @@
+"""Figure 7(a): average reward vs expected remaining tasks, dynamic vs fixed.
+
+The paper's headline comparison (Section 5.2.1): under the realistic
+workload (N=200, T=24h, Eq. 13 acceptance, tracker arrival rates), sweep
+the completion-strictness axis and plot each strategy's average per-task
+reward against the expected number of tasks left at the deadline.  The
+anchor numbers:
+
+* the theoretical floor price ``c0 ~= 12`` cents (``p(c0) = N / Lambda``),
+* the dynamic strategy lands between 12 and 12.5 cents with < 1 expected
+  remaining task (~3% over the floor, 99.9% completion),
+* the fixed baseline needs 16 cents for the same guarantee — a ~33% premium
+  over dynamic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.core.baselines import faridani_fixed_price, floor_price
+from repro.core.deadline.penalty import calibrate_penalty
+from repro.core.deadline.policy import fixed_price_policy
+from repro.experiments.config import PaperSetting, default_setting
+from repro.util.tables import format_table
+
+__all__ = ["DeadlineCostResult", "StrategyPoint", "run_fig7a", "format_result"]
+
+#: Expected-remaining targets swept for the dynamic curve.
+DEFAULT_BOUNDS = (5.0, 2.0, 1.0, 0.5, 0.1, 0.02)
+
+#: Fixed prices swept for the fixed curve (around the paper's 12..16 band).
+DEFAULT_FIXED_PRICES = (12.0, 13.0, 14.0, 15.0, 16.0, 17.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class StrategyPoint:
+    """One point on a Fig. 7(a) curve."""
+
+    average_reward: float
+    expected_remaining: float
+    prob_all_done: float
+    detail: float  # penalty for dynamic points, price for fixed points
+
+
+@dataclasses.dataclass(frozen=True)
+class DeadlineCostResult:
+    """Both Fig. 7(a) curves plus the anchor prices.
+
+    Attributes
+    ----------
+    dynamic_points / fixed_points:
+        The two curves (one point per strictness level / price).
+    floor_price:
+        ``c0`` — the theoretical lower bound on any strategy's average
+        reward.
+    faridani_price:
+        The fixed price the baseline needs at the paper's 99.9% confidence.
+    overhead_vs_floor:
+        Dynamic strictest-point average reward over ``c0``, minus one.
+    fixed_premium:
+        ``faridani_price`` over the dynamic strictest-point average reward,
+        minus one (the paper's "33% increase").
+    """
+
+    dynamic_points: tuple[StrategyPoint, ...]
+    fixed_points: tuple[StrategyPoint, ...]
+    floor_price: float
+    faridani_price: float
+
+    @property
+    def strict_dynamic_reward(self) -> float:
+        return self.dynamic_points[-1].average_reward
+
+    @property
+    def overhead_vs_floor(self) -> float:
+        return self.strict_dynamic_reward / self.floor_price - 1.0
+
+    @property
+    def fixed_premium(self) -> float:
+        return self.faridani_price / self.strict_dynamic_reward - 1.0
+
+
+def run_fig7a(
+    setting: PaperSetting | None = None,
+    bounds: Sequence[float] = DEFAULT_BOUNDS,
+    fixed_prices: Sequence[float] = DEFAULT_FIXED_PRICES,
+) -> DeadlineCostResult:
+    """Sweep both strategies across completion-strictness levels."""
+    setting = setting or default_setting()
+    problem = setting.problem()
+    dynamic_points = []
+    for bound in bounds:
+        calibration = calibrate_penalty(problem, bound=bound, tolerance=5e-3)
+        outcome = calibration.policy.evaluate()
+        dynamic_points.append(
+            StrategyPoint(
+                average_reward=outcome.average_reward,
+                expected_remaining=outcome.expected_remaining,
+                prob_all_done=outcome.prob_all_done,
+                detail=calibration.penalty,
+            )
+        )
+    fixed_points = []
+    for price in fixed_prices:
+        outcome = fixed_price_policy(problem, price).evaluate()
+        fixed_points.append(
+            StrategyPoint(
+                average_reward=price,
+                expected_remaining=outcome.expected_remaining,
+                prob_all_done=outcome.prob_all_done,
+                detail=price,
+            )
+        )
+    return DeadlineCostResult(
+        dynamic_points=tuple(dynamic_points),
+        fixed_points=tuple(fixed_points),
+        floor_price=floor_price(problem),
+        faridani_price=faridani_fixed_price(problem, setting.confidence).price,
+    )
+
+
+def format_result(result: DeadlineCostResult) -> str:
+    """Render both curves and the anchor comparison."""
+    dyn = format_table(
+        ["E[remaining]", "avg reward (c)", "P(all done)", "penalty"],
+        [
+            (f"{p.expected_remaining:.4f}", f"{p.average_reward:.3f}",
+             f"{p.prob_all_done:.4f}", f"{p.detail:.1f}")
+            for p in result.dynamic_points
+        ],
+        title="Fig 7(a) — dynamic pricing strategy",
+    )
+    fix = format_table(
+        ["E[remaining]", "avg reward (c)", "P(all done)"],
+        [
+            (f"{p.expected_remaining:.4f}", f"{p.average_reward:.1f}",
+             f"{p.prob_all_done:.4f}")
+            for p in result.fixed_points
+        ],
+        title="Fig 7(a) — fixed pricing strategy",
+    )
+    summary = (
+        f"floor price c0 = {result.floor_price:.0f}c (paper ~12c)\n"
+        f"dynamic strict avg reward = {result.strict_dynamic_reward:.2f}c "
+        f"(paper 12-12.5c; {100 * result.overhead_vs_floor:.1f}% over floor, paper ~3%)\n"
+        f"fixed price at 99.9% = {result.faridani_price:.0f}c (paper 16c; "
+        f"{100 * result.fixed_premium:.0f}% premium, paper ~33%)"
+    )
+    return f"{dyn}\n\n{fix}\n\n{summary}"

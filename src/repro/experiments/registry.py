@@ -1,0 +1,186 @@
+"""Experiment index: one entry per paper table/figure.
+
+Maps experiment ids to their runner and formatter so benches, docs, and ad
+hoc scripts can enumerate the full reproduction surface.  Usage::
+
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+    for exp_id in EXPERIMENTS:
+        print(run_experiment(exp_id))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.experiments import (
+    ext_adaptive,
+    fig1_arrivals,
+    fig5_utility,
+    fig6_table2_regression,
+    fig7a_deadline_cost,
+    fig7b_trends,
+    fig8_param_trends,
+    fig8d_granularity,
+    fig9_pc_sensitivity,
+    fig10_arrival_sensitivity,
+    fig11_budget_completion,
+    fig12_live,
+    fig15_sessions,
+    table1_truncation,
+    tables34_accuracy,
+)
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Experiment:
+    """One reproducible table/figure.
+
+    Attributes
+    ----------
+    exp_id:
+        Identifier ("fig7a", "table1", ...).
+    description:
+        What the paper shows there.
+    run:
+        Zero-argument runner returning the result object.
+    render:
+        Formatter turning the result into the printable block.
+    """
+
+    exp_id: str
+    description: str
+    run: Callable[[], object]
+    render: Callable[[object], str]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.exp_id: exp
+    for exp in (
+        Experiment(
+            "fig1",
+            "Marketplace throughput per 6h over 4 weeks (weekly periodicity)",
+            fig1_arrivals.run_fig1,
+            fig1_arrivals.format_result,
+        ),
+        Experiment(
+            "table1",
+            "Poisson truncation cut-offs s0 (35/53/99 at eps=1e-9)",
+            table1_truncation.run_table1,
+            table1_truncation.format_result,
+        ),
+        Experiment(
+            "fig5",
+            "Utility-simulated acceptance probability vs logit fit",
+            fig5_utility.run_fig5,
+            fig5_utility.format_result,
+        ),
+        Experiment(
+            "fig6_table2",
+            "Wage/workload regression coefficients and Eq. 13 derivation",
+            fig6_table2_regression.run_fig6_table2,
+            fig6_table2_regression.format_result,
+        ),
+        Experiment(
+            "fig7a",
+            "Deadline pricing: dynamic ~12-12.5c vs fixed 16c vs floor 12c",
+            fig7a_deadline_cost.run_fig7a,
+            fig7a_deadline_cost.format_result,
+        ),
+        Experiment(
+            "fig7b",
+            "Cost reduction trends over N and T",
+            fig7b_trends.run_fig7b,
+            fig7b_trends.format_result,
+        ),
+        Experiment(
+            "fig8abc",
+            "Cost reduction vs acceptance parameters s, b, M",
+            fig8_param_trends.run_fig8_params,
+            fig8_param_trends.format_result,
+        ),
+        Experiment(
+            "fig8d",
+            "Decision-interval granularity vs average price and solve time",
+            fig8d_granularity.run_fig8d,
+            fig8d_granularity.format_result,
+        ),
+        Experiment(
+            "fig9",
+            "Robustness to mis-estimated p(c) parameters",
+            fig9_pc_sensitivity.run_fig9,
+            fig9_pc_sensitivity.format_result,
+        ),
+        Experiment(
+            "fig10",
+            "Leave-one-day-out arrival-rate sensitivity (holiday outlier)",
+            fig10_arrival_sensitivity.run_fig10,
+            fig10_arrival_sensitivity.format_result,
+        ),
+        Experiment(
+            "fig11",
+            "Fixed-budget completion-time distribution (mean ~23h)",
+            fig11_budget_completion.run_fig11,
+            fig11_budget_completion.format_result,
+        ),
+        Experiment(
+            "fig12",
+            "Live deployment: fixed groupings vs dynamic grouping",
+            fig12_live.run_fig12,
+            fig12_live.format_result,
+        ),
+        Experiment(
+            "tables34",
+            "Answer accuracy vs price (plus Figs 13-14 CDFs)",
+            tables34_accuracy.run_tables34,
+            tables34_accuracy.format_result,
+        ),
+        Experiment(
+            "fig15",
+            "Average HITs per worker vs price (session stickiness)",
+            fig15_sessions.run_fig15,
+            fig15_sessions.format_result,
+        ),
+        Experiment(
+            "ext_adaptive",
+            "Extension: adaptive arrival-rate prediction (paper future work)",
+            ext_adaptive.run_ext_adaptive,
+            ext_adaptive.format_result,
+        ),
+    )
+}
+
+
+def run_experiment(exp_id: str) -> str:
+    """Run one experiment and return its rendered block."""
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    experiment = EXPERIMENTS[exp_id]
+    result = experiment.run()
+    return experiment.render(result)
+
+
+def render_report(exp_ids: list[str] | None = None) -> str:
+    """Run experiments and assemble one markdown-ish report.
+
+    ``exp_ids`` defaults to every registered experiment (the full
+    regeneration takes a few minutes — the same work as the benchmark
+    suite).  Unknown ids raise before anything runs.
+    """
+    ids = list(EXPERIMENTS) if exp_ids is None else list(exp_ids)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {unknown}")
+    blocks = []
+    for exp_id in ids:
+        experiment = EXPERIMENTS[exp_id]
+        blocks.append(
+            f"## {exp_id} — {experiment.description}\n\n"
+            f"```\n{experiment.render(experiment.run())}\n```"
+        )
+    return "\n\n".join(blocks) + "\n"

@@ -1,0 +1,74 @@
+"""Marketplace substrate: worker arrivals (NHPP) and task choice (logit).
+
+This subpackage implements the Faridani et al. marketplace model the paper
+builds on (Section 2):
+
+* :mod:`repro.market.rates` — arrival-rate functions ``lambda(t)`` and their
+  integrals ``Lambda(S, T)``.
+* :mod:`repro.market.nhpp` — the Non-Homogeneous Poisson Process counting
+  process: interval means (Eq. 4), exact sampling, thinning.
+* :mod:`repro.market.choice` — the Discrete Choice / Conditional Logit
+  substrate (Section 2.2), including the utility-theory simulation of
+  Figure 5.
+* :mod:`repro.market.acceptance` — parametric acceptance-probability models
+  ``p(c)`` (Eq. 3 and the fitted Eq. 13).
+* :mod:`repro.market.estimation` — fitting pipelines: rate estimation from
+  binned counts, the wage-vs-workload regression of Table 2, and logit fits
+  of ``p(c)``.
+* :mod:`repro.market.tracker` — a synthetic mturk-tracker trace generator
+  standing in for the paper's Jan-2014 crawl (see DESIGN.md substitutions).
+"""
+
+from repro.market.acceptance import (
+    AcceptanceModel,
+    EmpiricalAcceptance,
+    LogitAcceptance,
+    paper_acceptance_model,
+)
+from repro.market.choice import (
+    ChoiceSetting,
+    conditional_logit_probabilities,
+    simulate_acceptance_curve,
+)
+from repro.market.estimation import (
+    WageRegressionResult,
+    derive_acceptance_model,
+    estimate_piecewise_rate,
+    fit_logit_acceptance,
+    fit_wage_workload_regression,
+)
+from repro.market.nhpp import NHPP, interval_means
+from repro.market.rates import (
+    ConstantRate,
+    PeriodicRate,
+    PiecewiseConstantRate,
+    RateFunction,
+    ScaledRate,
+    SummedRate,
+)
+from repro.market.tracker import SyntheticTrackerTrace, TrackerConfig
+
+__all__ = [
+    "RateFunction",
+    "ConstantRate",
+    "PiecewiseConstantRate",
+    "PeriodicRate",
+    "ScaledRate",
+    "SummedRate",
+    "NHPP",
+    "interval_means",
+    "ChoiceSetting",
+    "conditional_logit_probabilities",
+    "simulate_acceptance_curve",
+    "AcceptanceModel",
+    "LogitAcceptance",
+    "EmpiricalAcceptance",
+    "paper_acceptance_model",
+    "estimate_piecewise_rate",
+    "fit_wage_workload_regression",
+    "fit_logit_acceptance",
+    "derive_acceptance_model",
+    "WageRegressionResult",
+    "SyntheticTrackerTrace",
+    "TrackerConfig",
+]

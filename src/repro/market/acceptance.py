@@ -1,0 +1,160 @@
+"""Task-acceptance probability models ``p(c)`` (Section 2.2).
+
+The acceptance probability is the chance that one arriving worker picks our
+task over everything else on the marketplace.  Under the conditional-logit
+model with a linear-in-reward utility and a constant competing-utility mass
+``M`` (Eq. 3):
+
+    p(c) = exp(c/s - b) / (exp(c/s - b) + M)
+
+The paper's fitted marketplace model (Eq. 13) is the instance
+``s = 15, b = -0.39, M = 2000`` (price ``c`` in cents):
+
+    p(c) ≈ exp(c/15 + 0.39) / (exp(c/15 + 0.39) + 2000)
+
+All solvers in :mod:`repro.core` consume the :class:`AcceptanceModel`
+interface, so empirical tables (e.g. the live experiment's per-group-size
+acceptance rates) drop in unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.util.validation import require_in_range, require_positive
+
+__all__ = [
+    "AcceptanceModel",
+    "LogitAcceptance",
+    "EmpiricalAcceptance",
+    "paper_acceptance_model",
+    "PAPER_S",
+    "PAPER_B",
+    "PAPER_M",
+]
+
+# Eq. 13 parameters fitted in Section 5.1.2 (price in cents).
+PAPER_S = 15.0
+PAPER_B = -0.39
+PAPER_M = 2000.0
+
+
+class AcceptanceModel(abc.ABC):
+    """Maps a task reward ``c`` to the acceptance probability ``p(c)``."""
+
+    @abc.abstractmethod
+    def probability(self, price: float) -> float:
+        """Return ``p(price)`` in ``[0, 1]``."""
+
+    def probabilities(self, prices: Sequence[float]) -> np.ndarray:
+        """Vectorized ``p(c)`` over a price grid."""
+        return np.array([self.probability(c) for c in prices])
+
+    def __call__(self, price: float) -> float:
+        return self.probability(price)
+
+
+class LogitAcceptance(AcceptanceModel):
+    """Eq. 3 conditional-logit acceptance: ``exp(c/s - b)/(exp(c/s - b) + M)``.
+
+    Parameters
+    ----------
+    s:
+        Price sensitivity scale (cents per unit utility); larger ``s`` means
+        acceptance responds more slowly to price.
+    b:
+        Intrinsic (dis)attractiveness offset of the task; *smaller* ``b``
+        means a more attractive task (Fig. 8(b) sweeps this).
+    m:
+        Aggregate exponential utility mass of all competing tasks
+        (Fig. 8(c) sweeps this; fewer competing tasks = smaller ``m``).
+    """
+
+    def __init__(self, s: float, b: float, m: float):
+        self.s = require_positive("s", s)
+        self.b = float(b)
+        self.m = require_positive("m", m)
+
+    def probability(self, price: float) -> float:
+        if price < 0:
+            raise ValueError(f"price must be non-negative, got {price}")
+        u = price / self.s - self.b
+        if u > 700:  # exp overflow: acceptance saturates at 1
+            return 1.0
+        e = math.exp(u)
+        return e / (e + self.m)
+
+    def probabilities(self, prices: Sequence[float]) -> np.ndarray:
+        arr = np.asarray(prices, dtype=float)
+        if np.any(arr < 0):
+            raise ValueError("prices must be non-negative")
+        u = np.clip(arr / self.s - self.b, None, 700.0)
+        e = np.exp(u)
+        return e / (e + self.m)
+
+    def inverse(self, p: float) -> float:
+        """Return the price achieving acceptance probability ``p``.
+
+        Used by the Faridani baseline's closed-form seed and by tests.
+        """
+        require_in_range("p", p, 0.0, 1.0)
+        if p in (0.0, 1.0):
+            raise ValueError("p must be strictly inside (0, 1) for a finite price")
+        return self.s * (math.log(self.m * p / (1.0 - p)) + self.b)
+
+    def with_params(
+        self, s: float | None = None, b: float | None = None, m: float | None = None
+    ) -> "LogitAcceptance":
+        """Return a copy with some parameters replaced (sensitivity sweeps)."""
+        return LogitAcceptance(
+            s if s is not None else self.s,
+            b if b is not None else self.b,
+            m if m is not None else self.m,
+        )
+
+    def __repr__(self) -> str:
+        return f"LogitAcceptance(s={self.s}, b={self.b}, m={self.m})"
+
+
+class EmpiricalAcceptance(AcceptanceModel):
+    """Acceptance probabilities given as an explicit ``price -> p`` table.
+
+    This is how the live-experiment pipeline works (Section 5.4.2): the HIT
+    acceptance rates for each grouping size are *estimated from the fixed
+    pricing experiment*, and the dynamic strategy is trained on that table.
+    Probabilities at unseen prices are linearly interpolated; queries outside
+    the table's price range are clamped to the end points.
+    """
+
+    def __init__(self, table: Mapping[float, float]):
+        if not table:
+            raise ValueError("empirical acceptance table must be non-empty")
+        prices = np.array(sorted(table), dtype=float)
+        probs = np.array([table[c] for c in sorted(table)], dtype=float)
+        if np.any((probs < 0) | (probs > 1)):
+            raise ValueError("acceptance probabilities must lie in [0, 1]")
+        self._prices = prices
+        self._probs = probs
+
+    @property
+    def prices(self) -> np.ndarray:
+        """The tabulated price grid (read-only view)."""
+        return self._prices.copy()
+
+    def probability(self, price: float) -> float:
+        return float(np.interp(price, self._prices, self._probs))
+
+    def probabilities(self, prices: Sequence[float]) -> np.ndarray:
+        return np.interp(np.asarray(prices, dtype=float), self._prices, self._probs)
+
+    def __repr__(self) -> str:
+        return f"EmpiricalAcceptance({len(self._prices)} price points)"
+
+
+def paper_acceptance_model() -> LogitAcceptance:
+    """Return Eq. 13: the acceptance model fitted to the Jan-2014 trace."""
+    return LogitAcceptance(PAPER_S, PAPER_B, PAPER_M)

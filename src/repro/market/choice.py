@@ -1,0 +1,233 @@
+"""Discrete-choice substrate: utilities, conditional logit, Fig. 5 simulation.
+
+Section 2.2 grounds the acceptance model in utility theory: each arriving
+worker assigns every task ``i`` a utility ``U_i = beta^T z_i + eps_i`` with
+i.i.d. Gumbel noise ``eps_i`` and picks the argmax, which yields the
+multinomial-logit choice probability
+
+    p = Pr(U_1 > max_{i != 1} U_i) = exp(beta^T z_1) / sum_i exp(beta^T z_i).
+
+Section 5.1.1 validates the logit *form* by a simulation in which worker
+utility estimates are Gaussian rather than Gumbel (means mu_i, per-task
+noise sigma_i) and the target task's mean utility rises linearly with its
+reward; the simulated acceptance curve is then regressed against the logit
+form.  :func:`simulate_acceptance_curve` reproduces that experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.market.acceptance import AcceptanceModel
+
+__all__ = [
+    "conditional_logit_probabilities",
+    "sample_gumbel_choice",
+    "ChoiceSetting",
+    "simulate_acceptance_curve",
+    "fit_logit_curve",
+    "ConditionalLogitMarket",
+]
+
+
+def conditional_logit_probabilities(utilities: Sequence[float]) -> np.ndarray:
+    """Return the multinomial-logit choice probabilities over tasks.
+
+    ``probabilities[i] = exp(u_i) / sum_j exp(u_j)``, computed with the
+    max-shift trick for numerical stability.
+    """
+    u = np.asarray(utilities, dtype=float)
+    if u.size == 0:
+        raise ValueError("need at least one task utility")
+    shifted = u - u.max()
+    e = np.exp(shifted)
+    return e / e.sum()
+
+
+def sample_gumbel_choice(
+    mean_utilities: Sequence[float], rng: np.random.Generator
+) -> int:
+    """Sample one worker's choice under Gumbel noise (exactly logit).
+
+    Adds standard-Gumbel noise to each mean utility and returns the argmax
+    index; by the Gumbel-max trick the resulting choice distribution is the
+    conditional logit of :func:`conditional_logit_probabilities`.
+    """
+    u = np.asarray(mean_utilities, dtype=float)
+    if u.size == 0:
+        raise ValueError("need at least one task utility")
+    noise = rng.gumbel(size=u.size)
+    return int(np.argmax(u + noise))
+
+
+@dataclasses.dataclass(frozen=True)
+class ChoiceSetting:
+    """Configuration of the Section 5.1.1 utility-based simulation.
+
+    Attributes
+    ----------
+    num_tasks:
+        Total tasks on the marketplace (the paper uses 100; task 1 is ours).
+    reward_scale:
+        Our task's mean utility is ``reward / reward_scale - reward_offset``
+        (the paper uses ``c/50 - 1``).
+    reward_offset:
+        See ``reward_scale``.
+    competitor_mean_std:
+        Competitor mean utilities ``mu_i ~ N(0, competitor_mean_std^2)``.
+    sigma_high:
+        Per-task noise scales ``sigma_i ~ U[0, sigma_high]``.
+    """
+
+    num_tasks: int = 100
+    reward_scale: float = 50.0
+    reward_offset: float = 1.0
+    competitor_mean_std: float = 1.0
+    sigma_high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 2:
+            raise ValueError("need at least two tasks (ours + one competitor)")
+        if self.reward_scale <= 0:
+            raise ValueError("reward_scale must be positive")
+
+
+def simulate_acceptance_curve(
+    rewards: Sequence[float],
+    setting: ChoiceSetting,
+    samples_per_reward: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Simulate the acceptance probability at each reward (Fig. 5).
+
+    For each reward ``c``: repeatedly (a) draw competitor mean utilities
+    ``mu_i ~ N(0, 1)`` and noise scales ``sigma_i ~ U[0, sigma_high]``,
+    (b) draw every task's utility estimate ``U_i ~ N(mu_i, sigma_i^2)``
+    with our task's mean set to ``c/reward_scale - reward_offset``,
+    and (c) record whether our task attains the maximum.  Returns the
+    fraction of wins per reward.
+    """
+    if samples_per_reward <= 0:
+        raise ValueError("samples_per_reward must be positive")
+    rewards_arr = np.asarray(rewards, dtype=float)
+    n = setting.num_tasks
+    wins = np.zeros(rewards_arr.size)
+    for j, c in enumerate(rewards_arr):
+        our_mean = c / setting.reward_scale - setting.reward_offset
+        mu = rng.normal(0.0, setting.competitor_mean_std, size=(samples_per_reward, n))
+        mu[:, 0] = our_mean
+        sigma = rng.uniform(0.0, setting.sigma_high, size=(samples_per_reward, n))
+        utilities = mu + sigma * rng.standard_normal(size=(samples_per_reward, n))
+        wins[j] = np.mean(np.argmax(utilities, axis=1) == 0)
+    return wins
+
+
+class ConditionalLogitMarket:
+    """The general Eq. 2 market: tasks with attribute vectors and shared beta.
+
+    Section 2.2's full model before the parametric shortcut of Eq. 3: every
+    task ``i`` on the marketplace has an observable attribute vector
+    ``z_i`` and utility ``U_i = beta^T z_i + eps_i`` with Gumbel noise, so
+
+        p = exp(beta^T z_1) / sum_i exp(beta^T z_i)         (Eq. 2)
+
+    Our task's attributes depend on its posted reward through a caller-
+    supplied ``z_1(c)``; :meth:`acceptance_model` packages the resulting
+    ``p(c)`` as an :class:`~repro.market.acceptance.AcceptanceModel` the
+    pricing solvers consume directly — closing the loop from the structural
+    choice model to the optimization layer without the Eq. 3 approximation.
+
+    Parameters
+    ----------
+    beta:
+        Shared taste coefficients.
+    competitor_attributes:
+        Matrix of competitor attribute vectors (one row per task).
+    """
+
+    def __init__(self, beta, competitor_attributes):
+        self.beta = np.asarray(beta, dtype=float)
+        competitors = np.asarray(competitor_attributes, dtype=float)
+        if self.beta.ndim != 1 or self.beta.size == 0:
+            raise ValueError("beta must be a non-empty 1-D vector")
+        if competitors.ndim != 2 or competitors.shape[0] == 0:
+            raise ValueError("competitor_attributes must be a non-empty 2-D matrix")
+        if competitors.shape[1] != self.beta.size:
+            raise ValueError(
+                f"attribute width {competitors.shape[1]} does not match "
+                f"beta size {self.beta.size}"
+            )
+        self.competitor_attributes = competitors
+        # exp-utility mass of the competition, computed stably relative to
+        # its own max so huge utilities do not overflow.
+        utilities = competitors @ self.beta
+        self._shift = float(utilities.max())
+        self._competitor_mass = float(np.exp(utilities - self._shift).sum())
+
+    def acceptance_probability(self, our_attributes) -> float:
+        """Eq. 2 for one concrete attribute vector of our task."""
+        z1 = np.asarray(our_attributes, dtype=float)
+        if z1.shape != self.beta.shape:
+            raise ValueError(
+                f"our attribute vector has shape {z1.shape}, expected {self.beta.shape}"
+            )
+        u1 = float(z1 @ self.beta) - self._shift
+        if u1 > 700.0:
+            return 1.0
+        e1 = math.exp(u1)
+        return e1 / (e1 + self._competitor_mass)
+
+    def acceptance_model(self, attributes_of_price) -> "_LogitMarketAcceptance":
+        """Wrap ``c -> z_1(c)`` into an AcceptanceModel for the solvers."""
+        return _LogitMarketAcceptance(self, attributes_of_price)
+
+
+class _LogitMarketAcceptance(AcceptanceModel):
+    """AcceptanceModel view of a :class:`ConditionalLogitMarket`."""
+
+    def __init__(self, market: ConditionalLogitMarket, attributes_of_price):
+        if not callable(attributes_of_price):
+            raise TypeError("attributes_of_price must be callable: price -> z_1")
+        self.market = market
+        self.attributes_of_price = attributes_of_price
+
+    def probability(self, price: float) -> float:
+        if price < 0:
+            raise ValueError(f"price must be non-negative, got {price}")
+        return self.market.acceptance_probability(self.attributes_of_price(price))
+
+
+def fit_logit_curve(
+    rewards: Sequence[float],
+    acceptance: Sequence[float],
+    reward_scale: float = 50.0,
+    reward_offset: float = 1.0,
+) -> tuple[float, float]:
+    """Fit Eq. 2's one-parameter logit curve to a simulated acceptance curve.
+
+    The regression model of Fig. 5 is
+    ``p(c) = exp(beta * z(c)) / (exp(beta * z(c)) + M)`` with
+    ``z(c) = c/reward_scale - reward_offset``; returns ``(beta, M)``
+    minimizing squared error.
+    """
+    rewards_arr = np.asarray(rewards, dtype=float)
+    acc = np.asarray(acceptance, dtype=float)
+    if rewards_arr.size != acc.size:
+        raise ValueError("rewards and acceptance must have equal length")
+    if rewards_arr.size < 3:
+        raise ValueError("need at least three points to fit the curve")
+    z = rewards_arr / reward_scale - reward_offset
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        beta, log_m = params
+        e = np.exp(np.clip(beta * z, -500, 500))
+        return e / (e + np.exp(log_m)) - acc
+
+    result = optimize.least_squares(residuals, x0=np.array([1.0, np.log(50.0)]))
+    beta, log_m = result.x
+    return float(beta), float(np.exp(log_m))

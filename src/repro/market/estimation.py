@@ -1,0 +1,208 @@
+"""Estimation pipelines (Sections 2.1, 5.1.2): rates, regressions, p(c) fits.
+
+Three fitting tasks appear in the paper:
+
+1. **Arrival-rate estimation** — ``lambda(t)`` is read off binned completion
+   counts (piecewise-constant on 20-minute tracker bins).
+2. **Wage/workload regression** (Section 5.1.2, Table 2) — for each task
+   type, least-squares fit of ``log(workload per hour) = alpha * wage_per_sec
+   + bias``, giving the coefficients the paper reports as (748, 3.66) for
+   Categorization and (809, 6.28) for Data Collection.
+3. **Deriving the acceptance model** (Eq. 13) — converting the regression
+   coefficients into the ``p(c)`` logit parameters ``s, b, M`` via the
+   marketplace-throughput identity
+   ``workload/hour = total * p(c) * task_seconds``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.market.acceptance import LogitAcceptance
+from repro.market.rates import PiecewiseConstantRate
+from repro.util.validation import require_positive
+
+__all__ = [
+    "estimate_piecewise_rate",
+    "WageRegressionResult",
+    "fit_wage_workload_regression",
+    "derive_acceptance_model",
+    "fit_logit_acceptance",
+]
+
+
+def estimate_piecewise_rate(
+    counts: Sequence[int], bin_hours: float, start: float = 0.0
+) -> PiecewiseConstantRate:
+    """Estimate ``lambda(t)`` from binned arrival counts.
+
+    The maximum-likelihood estimate for a piecewise-constant NHPP rate is
+    simply ``count / bin width`` per bin.
+    """
+    require_positive("bin_hours", bin_hours)
+    counts_arr = np.asarray(counts, dtype=float)
+    if np.any(counts_arr < 0):
+        raise ValueError("counts must be non-negative")
+    return PiecewiseConstantRate.from_uniform_bins(
+        bin_hours, counts_arr / bin_hours, start=start
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class WageRegressionResult:
+    """Least-squares fit of ``log(workload/hour) = alpha * wage/sec + bias``.
+
+    Attributes
+    ----------
+    alpha:
+        Linear coefficient of the wage-per-second attribute (Table 2 column
+        "Linear coefficient"; ≈748-809 in the paper).
+    bias:
+        Task-type intercept (Table 2 column "Bias").
+    residual_std:
+        Standard deviation of the regression residuals.
+    num_points:
+        Number of task groups fitted.
+    """
+
+    alpha: float
+    bias: float
+    residual_std: float
+    num_points: int
+
+
+def fit_wage_workload_regression(
+    wage_per_sec: Sequence[float], workload_per_hour: Sequence[float]
+) -> WageRegressionResult:
+    """Fit the Section 5.1.2 regression for one task type.
+
+    Parameters
+    ----------
+    wage_per_sec:
+        Per-group wage rate in dollars/second.
+    workload_per_hour:
+        Per-group completed workload in seconds of work per hour; must be
+        strictly positive (the paper filters groups below 50 completions).
+    """
+    x = np.asarray(wage_per_sec, dtype=float)
+    y = np.asarray(workload_per_hour, dtype=float)
+    if x.size != y.size:
+        raise ValueError("wage and workload arrays must have equal length")
+    if x.size < 2:
+        raise ValueError("need at least two task groups to regress")
+    if np.any(y <= 0):
+        raise ValueError("workload per hour must be positive (log taken)")
+    log_y = np.log(y)
+    design = np.column_stack([x, np.ones_like(x)])
+    coef, residuals, _, _ = np.linalg.lstsq(design, log_y, rcond=None)
+    alpha, bias = coef
+    fitted = design @ coef
+    resid_std = float(np.std(log_y - fitted, ddof=min(2, x.size - 1)))
+    return WageRegressionResult(
+        alpha=float(alpha), bias=float(bias), residual_std=resid_std, num_points=x.size
+    )
+
+
+def derive_acceptance_model(
+    regression: WageRegressionResult,
+    task_seconds: float,
+    marketplace_tasks_per_hour: float = 6000.0,
+    m: float = 2000.0,
+) -> LogitAcceptance:
+    """Derive ``p(c)`` logit parameters from the wage regression (Eq. 13).
+
+    Section 5.1.2 equates the regression's predicted workload with the
+    throughput identity ``workload/hour = total * p(c) * task_seconds``
+    (prices in cents, wages in dollars):
+
+        exp(alpha * (c/100) / task_seconds + bias) = total * p(c) * task_seconds
+
+    and then matches the small-``p`` regime of the Eq. 3 logit
+    ``p(c) ≈ exp(c/s - b)/M``, giving
+
+        s = 100 * task_seconds / alpha
+        b = log(total * task_seconds) - bias - log(M)
+
+    With the paper's Table 2 numbers (alpha=809, bias=6.28, 120 s tasks,
+    total=6000/h, M=2000) this yields ``s ≈ 15, b ≈ -0.39`` — Eq. 13.
+
+    Parameters
+    ----------
+    regression:
+        Fit for the target task's type.
+    task_seconds:
+        Average time to complete one of our tasks.
+    marketplace_tasks_per_hour:
+        Marketplace-wide completion throughput ("total ≈ 6000" on MTurk).
+    m:
+        Competing-utility mass to normalize against (paper picks 2000).
+    """
+    require_positive("task_seconds", task_seconds)
+    require_positive("marketplace_tasks_per_hour", marketplace_tasks_per_hour)
+    require_positive("m", m)
+    if regression.alpha <= 0:
+        raise ValueError(
+            f"regression slope must be positive to invert, got {regression.alpha}"
+        )
+    s = 100.0 * task_seconds / regression.alpha
+    b = (
+        math.log(marketplace_tasks_per_hour * task_seconds)
+        - regression.bias
+        - math.log(m)
+    )
+    return LogitAcceptance(s=s, b=b, m=m)
+
+
+def fit_logit_acceptance(
+    prices: Sequence[float],
+    probabilities: Sequence[float],
+    m: float | None = None,
+) -> LogitAcceptance:
+    """Fit Eq. 3's ``(s, b, M)`` to observed (price, acceptance) pairs.
+
+    This is the "separate training phase" route of Section 2.2: given
+    estimates of ``p(c)`` at a handful of prices (e.g. from a pilot run like
+    the Section 5.4.1 fixed-pricing experiment), recover the logit
+    parameters by nonlinear least squares.  If ``m`` is given it is held
+    fixed and only ``(s, b)`` are fitted.
+    """
+    c = np.asarray(prices, dtype=float)
+    p = np.asarray(probabilities, dtype=float)
+    if c.size != p.size:
+        raise ValueError("prices and probabilities must have equal length")
+    if c.size < (2 if m is not None else 3):
+        raise ValueError("not enough points to identify the logit parameters")
+    if np.any((p <= 0) | (p >= 1)):
+        raise ValueError("probabilities must lie strictly inside (0, 1)")
+
+    def curve(params: np.ndarray) -> np.ndarray:
+        if m is None:
+            log_s, b, log_m = params
+            m_val = np.exp(log_m)
+        else:
+            log_s, b = params
+            m_val = m
+        u = np.clip(c / np.exp(log_s) - b, -500, 500)
+        e = np.exp(u)
+        return e / (e + m_val)
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        # Fit in logit space so small probabilities carry weight.
+        pred = np.clip(curve(params), 1e-12, 1 - 1e-12)
+        return np.log(pred / (1 - pred)) - np.log(p / (1 - p))
+
+    if m is None:
+        x0 = np.array([np.log(15.0), 0.0, np.log(2000.0)])
+    else:
+        x0 = np.array([np.log(15.0), 0.0])
+    result = optimize.least_squares(residuals, x0=x0)
+    if m is None:
+        log_s, b, log_m = result.x
+        return LogitAcceptance(s=float(np.exp(log_s)), b=float(b), m=float(np.exp(log_m)))
+    log_s, b = result.x
+    return LogitAcceptance(s=float(np.exp(log_s)), b=float(b), m=float(m))

@@ -1,0 +1,237 @@
+"""Arrival-rate functions ``lambda(t)`` for the NHPP worker-arrival model.
+
+Section 2.1 assumes the marketplace-wide worker arrival rate is a known,
+periodic function of time.  The paper's experiments use a *piecewise-constant*
+rate read off 20-minute bins of the mturk-tracker trace; Section 6's
+trade-off analysis uses a constant rate.  This module provides both, plus
+combinators, behind one small interface:
+
+* ``rate(t)`` — instantaneous arrival rate at time ``t`` (workers / hour),
+* ``integral(s, t)`` — ``Lambda(s, t) = ∫_s^t lambda(u) du``, the expected
+  number of arrivals in ``[s, t]`` (Eq. 1 / Eq. 4).
+
+All times are in hours.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import require_nonnegative, require_positive
+
+__all__ = [
+    "RateFunction",
+    "ConstantRate",
+    "PiecewiseConstantRate",
+    "PeriodicRate",
+    "ScaledRate",
+    "SummedRate",
+]
+
+
+class RateFunction(abc.ABC):
+    """Abstract arrival-rate function ``lambda(t)`` with exact integration."""
+
+    @abc.abstractmethod
+    def rate(self, t: float) -> float:
+        """Return the instantaneous rate at time ``t`` (arrivals / hour)."""
+
+    @abc.abstractmethod
+    def integral(self, s: float, t: float) -> float:
+        """Return ``Lambda(s, t) = ∫_s^t lambda(u) du`` for ``s <= t``."""
+
+    def mean_rate(self, s: float, t: float) -> float:
+        """Return the average rate over ``[s, t]``."""
+        if t <= s:
+            raise ValueError(f"need t > s, got [{s}, {t}]")
+        return self.integral(s, t) / (t - s)
+
+    def scaled(self, factor: float) -> "ScaledRate":
+        """Return this rate multiplied by ``factor``."""
+        return ScaledRate(self, factor)
+
+    def __add__(self, other: "RateFunction") -> "SummedRate":
+        return SummedRate([self, other])
+
+
+class ConstantRate(RateFunction):
+    """Homogeneous rate ``lambda(t) = value`` (Section 6's fixed-rate case)."""
+
+    def __init__(self, value: float):
+        self.value = require_nonnegative("rate value", value)
+
+    def rate(self, t: float) -> float:
+        return self.value
+
+    def integral(self, s: float, t: float) -> float:
+        if t < s:
+            raise ValueError(f"need t >= s, got [{s}, {t}]")
+        return self.value * (t - s)
+
+    def __repr__(self) -> str:
+        return f"ConstantRate({self.value!r})"
+
+
+class PiecewiseConstantRate(RateFunction):
+    """Rate that is constant on consecutive bins ``[edges[i], edges[i+1])``.
+
+    This is how the experiments represent the mturk-tracker trace: one bin
+    per 20-minute tracker snapshot (Section 5.2).  Outside ``[edges[0],
+    edges[-1])`` the rate is 0 unless the function is wrapped in
+    :class:`PeriodicRate`.
+    """
+
+    def __init__(self, edges: Sequence[float], values: Sequence[float]):
+        edges_arr = np.asarray(edges, dtype=float)
+        values_arr = np.asarray(values, dtype=float)
+        if edges_arr.ndim != 1 or edges_arr.size < 2:
+            raise ValueError("edges must be a 1-D array with at least two entries")
+        if values_arr.size != edges_arr.size - 1:
+            raise ValueError(
+                f"need len(values) == len(edges) - 1, got {values_arr.size} vs {edges_arr.size - 1}"
+            )
+        if np.any(np.diff(edges_arr) <= 0):
+            raise ValueError("edges must be strictly increasing")
+        if np.any(values_arr < 0):
+            raise ValueError("rates must be non-negative")
+        self.edges = edges_arr
+        self.values = values_arr
+        # Prefix integral at each edge for O(log n) interval integration.
+        self._cum = np.concatenate(
+            [[0.0], np.cumsum(values_arr * np.diff(edges_arr))]
+        )
+
+    @classmethod
+    def from_uniform_bins(
+        cls, bin_width: float, values: Sequence[float], start: float = 0.0
+    ) -> "PiecewiseConstantRate":
+        """Build from equally wide bins starting at ``start``."""
+        require_positive("bin_width", bin_width)
+        n = len(values)
+        edges = start + bin_width * np.arange(n + 1)
+        return cls(edges, values)
+
+    @property
+    def span(self) -> float:
+        """Total width of the covered interval."""
+        return float(self.edges[-1] - self.edges[0])
+
+    def rate(self, t: float) -> float:
+        if t < self.edges[0] or t >= self.edges[-1]:
+            return 0.0
+        i = int(np.searchsorted(self.edges, t, side="right")) - 1
+        return float(self.values[i])
+
+    def _cumulative_at(self, t: float) -> float:
+        """Integral from edges[0] to ``t`` (clamped to the covered span)."""
+        if t <= self.edges[0]:
+            return 0.0
+        if t >= self.edges[-1]:
+            return float(self._cum[-1])
+        i = int(np.searchsorted(self.edges, t, side="right")) - 1
+        return float(self._cum[i] + self.values[i] * (t - self.edges[i]))
+
+    def integral(self, s: float, t: float) -> float:
+        if t < s:
+            raise ValueError(f"need t >= s, got [{s}, {t}]")
+        return self._cumulative_at(t) - self._cumulative_at(s)
+
+    def __repr__(self) -> str:
+        return (
+            f"PiecewiseConstantRate(bins={self.values.size}, "
+            f"span=[{self.edges[0]}, {self.edges[-1]}])"
+        )
+
+
+class PeriodicRate(RateFunction):
+    """Wrap a base rate defined on ``[0, period)`` into a periodic function.
+
+    Section 2.1 assumes ``lambda(t)`` is periodic (weekly on Mechanical
+    Turk); this combinator extends a one-period estimate to all of time.
+    """
+
+    def __init__(self, base: RateFunction, period: float):
+        self.base = base
+        self.period = require_positive("period", period)
+
+    def rate(self, t: float) -> float:
+        return self.base.rate(t % self.period)
+
+    def integral(self, s: float, t: float) -> float:
+        if t < s:
+            raise ValueError(f"need t >= s, got [{s}, {t}]")
+        full_period = self.base.integral(0.0, self.period)
+
+        def cumulative(x: float) -> float:
+            k = math.floor(x / self.period)
+            frac = x - k * self.period
+            return k * full_period + self.base.integral(0.0, frac)
+
+        return cumulative(t) - cumulative(s)
+
+    def __repr__(self) -> str:
+        return f"PeriodicRate({self.base!r}, period={self.period})"
+
+
+class ScaledRate(RateFunction):
+    """A rate multiplied by a non-negative constant factor.
+
+    Used for the sensitivity experiments (Fig. 10), where the *training*
+    rate is an average of other days, and for normalizing traces.
+    """
+
+    def __init__(self, base: RateFunction, factor: float):
+        self.base = base
+        self.factor = require_nonnegative("factor", factor)
+
+    def rate(self, t: float) -> float:
+        return self.factor * self.base.rate(t)
+
+    def integral(self, s: float, t: float) -> float:
+        return self.factor * self.base.integral(s, t)
+
+    def __repr__(self) -> str:
+        return f"ScaledRate({self.base!r}, factor={self.factor})"
+
+
+class ShiftedRate(RateFunction):
+    """A rate with its time origin moved: ``rate(t) = base.rate(t + offset)``.
+
+    Lets a simulation start its clock at an arbitrary point of a longer
+    trace (e.g. the Fig. 11 budget run beginning on trace day 7).
+    """
+
+    def __init__(self, base: RateFunction, offset: float):
+        self.base = base
+        self.offset = float(offset)
+
+    def rate(self, t: float) -> float:
+        return self.base.rate(t + self.offset)
+
+    def integral(self, s: float, t: float) -> float:
+        return self.base.integral(s + self.offset, t + self.offset)
+
+    def __repr__(self) -> str:
+        return f"ShiftedRate({self.base!r}, offset={self.offset})"
+
+
+class SummedRate(RateFunction):
+    """Pointwise sum of component rates (superposition of NHPPs)."""
+
+    def __init__(self, components: Sequence[RateFunction]):
+        if not components:
+            raise ValueError("need at least one component rate")
+        self.components = list(components)
+
+    def rate(self, t: float) -> float:
+        return sum(comp.rate(t) for comp in self.components)
+
+    def integral(self, s: float, t: float) -> float:
+        return sum(comp.integral(s, t) for comp in self.components)
+
+    def __repr__(self) -> str:
+        return f"SummedRate({self.components!r})"

@@ -1,0 +1,48 @@
+"""Monte-Carlo simulation substrate.
+
+* :mod:`repro.sim.policies` — runtime pricing-policy interface shared by
+  the simulator and the solvers' outputs.
+* :mod:`repro.sim.simulator` — interval-level marketplace simulation of a
+  deadline run: NHPP arrivals, Bernoulli acceptance, policy consultation,
+  cost accounting.
+* :mod:`repro.sim.runner` — replication management with seeds and summary
+  statistics.
+* :mod:`repro.sim.workers` — worker-session and answer-accuracy models for
+  the live-experiment simulator (Fig. 15 stickiness, Tables 3-4 accuracy).
+* :mod:`repro.sim.live` — the Section 5.4 Mechanical-Turk deployment
+  simulator: HIT groups, grouping-size pricing, fixed and dynamic runs.
+"""
+
+from repro.sim.policies import (
+    FixedPriceRuntime,
+    PricingRuntime,
+    SemiStaticRuntime,
+    TablePolicyRuntime,
+)
+from repro.sim.runner import ReplicationSummary, run_replications, summarize
+from repro.sim.simulator import DeadlineSimulation, SimulationResult
+from repro.sim.workers import WorkerPool, WorkerSessionModel
+from repro.sim.live import (
+    LiveExperimentConfig,
+    LiveTrialResult,
+    run_dynamic_trial,
+    run_fixed_trial,
+)
+
+__all__ = [
+    "PricingRuntime",
+    "FixedPriceRuntime",
+    "TablePolicyRuntime",
+    "SemiStaticRuntime",
+    "DeadlineSimulation",
+    "SimulationResult",
+    "run_replications",
+    "summarize",
+    "ReplicationSummary",
+    "WorkerSessionModel",
+    "WorkerPool",
+    "LiveExperimentConfig",
+    "LiveTrialResult",
+    "run_fixed_trial",
+    "run_dynamic_trial",
+]

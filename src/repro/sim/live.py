@@ -1,0 +1,499 @@
+"""Live-experiment simulator: the Section 5.4 Mechanical-Turk deployment.
+
+The paper's live study posts 5,000 entity-resolution tasks with a fixed HIT
+price of $0.02 and expresses the *per-task* price through the number of
+tasks bundled per HIT (grouping sizes 10-50), because MTurk groups
+same-price HITs together.  Five fixed-grouping trials (Section 5.4.1)
+estimate per-group acceptance rates; the dynamic trial (Section 5.4.2)
+re-chooses the grouping size every hour from an MDP trained on those
+estimates.
+
+This module simulates that deployment agent-by-agent: NHPP worker arrivals
+over the 8am-10pm posting window, per-HIT acceptance by grouping size,
+worker sessions with price-dependent stickiness (Fig. 15), and per-worker
+answer accuracy (Tables 3-4).  The default calibration reproduces the
+qualitative Fig. 12 structure: sizes 10 and 20 finish before the 14-hour
+deadline, sizes 30-50 do not, and size 50's *work* completion overtakes
+30/40 through stickiness.
+
+Planner note: the dynamic policy plans in units of ``planning_unit`` tasks
+(default 10) so the Section 3 machinery runs on a 500-state batch instead
+of 5,000; the per-unit "price" is the requester's marginal cost
+``planning_unit * hit_price / g`` and the per-unit "acceptance" is the
+measured effective task throughput per marketplace arrival — both read off
+the fixed-trial estimates exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.deadline.model import DeadlineProblem, PenaltyScheme
+from repro.core.deadline.policy import DeadlinePolicy
+from repro.core.deadline.vectorized import solve_deadline
+from repro.market.acceptance import EmpiricalAcceptance
+from repro.market.nhpp import NHPP, interval_means
+from repro.market.rates import PiecewiseConstantRate
+from repro.sim.workers import WorkerPool, WorkerSessionModel
+from repro.util.validation import require_positive
+
+__all__ = [
+    "LiveExperimentConfig",
+    "HitCompletion",
+    "LiveTrialResult",
+    "estimate_unit_throughput",
+    "build_planner",
+    "run_fixed_trial",
+    "run_dynamic_trial",
+]
+
+# Default 14-hour (8am-10pm) arrival profile, workers/hour reaching the
+# relevant task listings; midday peak, evening tail.
+_DEFAULT_HOURLY_RATES = (
+    600.0, 700.0, 800.0, 900.0, 950.0, 950.0, 900.0,
+    850.0, 800.0, 750.0, 700.0, 650.0, 600.0, 550.0,
+)
+
+# First-acceptance probability per grouping size, calibrated so the fixed
+# trials reproduce the Fig. 12 completion structure (see module docstring).
+_DEFAULT_HIT_ACCEPTANCE = {
+    10: 0.0428,
+    20: 0.0269,
+    30: 0.00558,
+    40: 0.00496,
+    50: 0.00467,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class LiveExperimentConfig:
+    """Parameters of the simulated Section 5.4 deployment.
+
+    Attributes
+    ----------
+    total_tasks:
+        Photo pairs to label (5,000 in the paper).
+    hit_price_cents:
+        Fixed reward per HIT ($0.02).
+    group_sizes:
+        Available tasks-per-HIT bundlings.
+    deadline_hours:
+        Posting window length (8am-10pm = 14 hours).
+    task_seconds:
+        Working time per photo pair.
+    hourly_arrival_rates:
+        Worker arrivals/hour reaching our listings, one value per hour of
+        the window.
+    hit_acceptance:
+        First-acceptance probability of one arriving worker per grouping
+        size (estimated from the fixed trials in the paper's pipeline).
+    session:
+        Worker behaviour model (stickiness + accuracy).
+    planning_unit:
+        Task granularity of the dynamic planner.
+    decision_interval_hours:
+        How often the dynamic strategy may re-choose the grouping size.
+    """
+
+    total_tasks: int = 5000
+    hit_price_cents: float = 2.0
+    group_sizes: tuple[int, ...] = (10, 20, 30, 40, 50)
+    deadline_hours: float = 14.0
+    task_seconds: float = 30.0
+    hourly_arrival_rates: tuple[float, ...] = _DEFAULT_HOURLY_RATES
+    hit_acceptance: Mapping[int, float] = dataclasses.field(
+        default_factory=lambda: dict(_DEFAULT_HIT_ACCEPTANCE)
+    )
+    session: WorkerSessionModel = dataclasses.field(default_factory=WorkerSessionModel)
+    planning_unit: int = 10
+    decision_interval_hours: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive("total_tasks", self.total_tasks)
+        require_positive("hit_price_cents", self.hit_price_cents)
+        require_positive("deadline_hours", self.deadline_hours)
+        require_positive("task_seconds", self.task_seconds)
+        require_positive("planning_unit", self.planning_unit)
+        require_positive("decision_interval_hours", self.decision_interval_hours)
+        if not self.group_sizes:
+            raise ValueError("need at least one grouping size")
+        for g in self.group_sizes:
+            if g not in self.hit_acceptance:
+                raise ValueError(f"no acceptance estimate for grouping size {g}")
+
+    def per_task_price_cents(self, group_size: int) -> float:
+        """Implicit per-task reward at a grouping size (Section 5.4)."""
+        if group_size <= 0:
+            raise ValueError(f"group_size must be positive, got {group_size}")
+        return self.hit_price_cents / group_size
+
+    def per_unit_price_cents(self, group_size: int) -> float:
+        """Requester's marginal cost of one planning unit of tasks."""
+        return self.planning_unit * self.hit_price_cents / group_size
+
+    def arrival_rate_function(self, factor: float = 1.0) -> PiecewiseConstantRate:
+        """The posting-window arrival rate, optionally scaled by ``factor``.
+
+        ``factor`` models day-to-day marketplace drift between the pilot
+        (fixed) trials the planner was trained on and the live (dynamic)
+        days — Section 5.4.2's rates were averages over five earlier days.
+        """
+        values = np.asarray(self.hourly_arrival_rates, dtype=float) * factor
+        width = self.deadline_hours / len(self.hourly_arrival_rates)
+        return PiecewiseConstantRate.from_uniform_bins(width, values)
+
+    def effective_unit_throughput(self, group_size: int) -> float:
+        """Expected planning units completed per arriving worker.
+
+        First acceptance times the expected session length (Fig. 15
+        stickiness) times the tasks per HIT, rescaled to planning units —
+        the quantity the fixed-trial pipeline estimates per grouping size.
+        """
+        p_hit = float(self.hit_acceptance[group_size])
+        expected_hits = self.session.expected_hits_per_session(
+            self.per_task_price_cents(group_size)
+        )
+        return p_hit * expected_hits * group_size / self.planning_unit
+
+    def planner_price_grid(self) -> tuple[np.ndarray, dict[float, int]]:
+        """Ascending per-unit price grid and its price -> grouping-size map."""
+        pairs = sorted(
+            (self.per_unit_price_cents(g), g) for g in self.group_sizes
+        )
+        grid = np.array([price for price, _ in pairs])
+        mapping = {price: g for price, g in pairs}
+        return grid, mapping
+
+
+@dataclasses.dataclass(frozen=True)
+class HitCompletion:
+    """One completed HIT: when, at what grouping, by whom, how accurately."""
+
+    time_hours: float
+    group_size: int
+    num_tasks: int
+    worker_id: int
+    num_correct: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.num_correct / self.num_tasks if self.num_tasks else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class LiveTrialResult:
+    """Everything one simulated trial observed.
+
+    Attributes
+    ----------
+    completions:
+        Completed HITs in time order.
+    total_tasks:
+        Batch size of the trial.
+    cost_dollars:
+        ``hits_completed * hit_price`` — what the requester paid.
+    group_schedule:
+        For dynamic trials, the grouping size chosen at each decision
+        interval; a single-entry tuple for fixed trials.
+    """
+
+    completions: tuple[HitCompletion, ...]
+    total_tasks: int
+    cost_dollars: float
+    group_schedule: tuple[int, ...]
+
+    @property
+    def hits_completed(self) -> int:
+        return len(self.completions)
+
+    @property
+    def tasks_completed(self) -> int:
+        return int(sum(c.num_tasks for c in self.completions))
+
+    @property
+    def tasks_remaining(self) -> int:
+        return self.total_tasks - self.tasks_completed
+
+    @property
+    def finished(self) -> bool:
+        return self.tasks_remaining == 0
+
+    @property
+    def completion_time_hours(self) -> float | None:
+        """When the last task finished, or ``None`` if unfinished."""
+        if not self.finished or not self.completions:
+            return None
+        return max(c.time_hours for c in self.completions)
+
+    def hits_completed_by(self, times_hours: Sequence[float]) -> np.ndarray:
+        """Cumulative HIT count at each query time (Fig. 12(a) series)."""
+        completion_times = np.sort([c.time_hours for c in self.completions])
+        return np.searchsorted(
+            completion_times, np.asarray(times_hours, dtype=float), side="right"
+        )
+
+    def work_fraction_by(self, times_hours: Sequence[float]) -> np.ndarray:
+        """Cumulative fraction of tasks done at each time (Fig. 12(b-c))."""
+        order = np.argsort([c.time_hours for c in self.completions])
+        times = np.array([self.completions[i].time_hours for i in order])
+        tasks = np.array([self.completions[i].num_tasks for i in order], dtype=float)
+        cumulative = np.concatenate([[0.0], np.cumsum(tasks)])
+        idx = np.searchsorted(times, np.asarray(times_hours, dtype=float), side="right")
+        return cumulative[idx] / self.total_tasks
+
+    def accuracies(self, group_size: int | None = None) -> np.ndarray:
+        """Per-HIT accuracy values, optionally for one grouping size."""
+        values = [
+            c.accuracy
+            for c in self.completions
+            if group_size is None or c.group_size == group_size
+        ]
+        return np.asarray(values, dtype=float)
+
+    def mean_accuracy(self, group_size: int | None = None) -> float:
+        """Task-weighted mean accuracy (the Tables 3-4 statistic)."""
+        correct = sum(
+            c.num_correct
+            for c in self.completions
+            if group_size is None or c.group_size == group_size
+        )
+        attempted = sum(
+            c.num_tasks
+            for c in self.completions
+            if group_size is None or c.group_size == group_size
+        )
+        return correct / attempted if attempted else float("nan")
+
+    def hits_per_worker(self) -> np.ndarray:
+        """HIT counts per distinct worker (the Fig. 15 statistic)."""
+        counts: dict[int, int] = {}
+        for c in self.completions:
+            counts[c.worker_id] = counts.get(c.worker_id, 0) + 1
+        return np.asarray(sorted(counts.values()), dtype=float)
+
+
+def _simulate_trial(
+    config: LiveExperimentConfig,
+    group_at: Callable[[float, int], int],
+    rng: np.random.Generator,
+    rate_factor: float,
+    schedule: tuple[int, ...],
+) -> LiveTrialResult:
+    """Shared agent-level simulation loop.
+
+    ``group_at(time_hours, tasks_in_pool)`` returns the grouping size in
+    force at a given time; fixed trials return a constant, dynamic trials
+    consult the planner.
+    """
+    rate = config.arrival_rate_function(rate_factor)
+    arrivals = NHPP(rate).sample_arrivals(0.0, config.deadline_hours, rng)
+    pool = config.total_tasks
+    completions: list[HitCompletion] = []
+    workers = WorkerPool(config.session, rng)
+    task_hours = config.task_seconds / 3600.0
+    for arrival_time in arrivals:
+        if pool <= 0:
+            break
+        group = group_at(float(arrival_time), pool)
+        if rng.random() >= float(config.hit_acceptance[group]):
+            continue
+        worker = workers.arrive(float(arrival_time))
+        clock = float(arrival_time)
+        while pool > 0:
+            group = group_at(clock, pool)
+            hit_size = min(group, pool)
+            finish = clock + hit_size * task_hours
+            if finish > config.deadline_hours:
+                break  # would not finish in time; worker moves on
+            pool -= hit_size
+            correct = worker.answer_correctly(hit_size, rng)
+            completions.append(
+                HitCompletion(
+                    time_hours=finish,
+                    group_size=group,
+                    num_tasks=hit_size,
+                    worker_id=worker.worker_id,
+                    num_correct=correct,
+                )
+            )
+            clock = finish
+            q = config.session.continue_probability(
+                config.per_task_price_cents(group)
+            )
+            if rng.random() >= q:
+                break
+    cost = len(completions) * config.hit_price_cents / 100.0
+    return LiveTrialResult(
+        completions=tuple(completions),
+        total_tasks=config.total_tasks,
+        cost_dollars=cost,
+        group_schedule=schedule,
+    )
+
+
+def run_fixed_trial(
+    config: LiveExperimentConfig,
+    group_size: int,
+    rng: np.random.Generator,
+    rate_factor: float = 1.0,
+) -> LiveTrialResult:
+    """Simulate one Section 5.4.1 fixed-grouping trial."""
+    if group_size not in config.group_sizes:
+        raise ValueError(f"grouping size {group_size} not in {config.group_sizes}")
+    return _simulate_trial(
+        config,
+        group_at=lambda _time, _pool: group_size,
+        rng=rng,
+        rate_factor=rate_factor,
+        schedule=(group_size,),
+    )
+
+
+def estimate_unit_throughput(
+    trials: Mapping[int, LiveTrialResult],
+    config: LiveExperimentConfig,
+    censor_tail_hours: float = 2.0,
+) -> dict[int, float]:
+    """Estimate per-unit throughput per grouping size from pilot trials.
+
+    This is the Section 5.4.2 pipeline: "the corresponding HIT acceptance
+    rates are estimated from the fixed pricing experiment".  The requester
+    observes completions over time and knows the marketplace arrival
+    profile; the effective units-per-arrival rate for grouping ``g`` is
+
+        tasks completed / arrivals during the trial's active window
+
+    rescaled to planning units.  Trials that finish early are censored at
+    their completion time; trials that run out the clock drop the last
+    ``censor_tail_hours`` (work started near the deadline cannot finish, so
+    the raw tail underestimates the steady-state rate).
+
+    Returns
+    -------
+    dict
+        grouping size -> units completed per marketplace arrival — the
+        quantity :func:`build_planner` consumes as ``estimates``.
+    """
+    if censor_tail_hours < 0:
+        raise ValueError("censor_tail_hours must be non-negative")
+    rate = config.arrival_rate_function()
+    estimates: dict[int, float] = {}
+    for g, trial in trials.items():
+        done = trial.completion_time_hours
+        if done is not None:
+            window_end = done
+        else:
+            window_end = max(
+                config.deadline_hours - censor_tail_hours,
+                config.deadline_hours / 2.0,
+            )
+        tasks_by_end = float(trial.work_fraction_by([window_end])[0]) * trial.total_tasks
+        arrivals = rate.integral(0.0, window_end)
+        if arrivals <= 0:
+            raise ValueError(f"no arrivals in the observation window for size {g}")
+        estimates[g] = tasks_by_end / arrivals / config.planning_unit
+    return estimates
+
+
+def build_planner(
+    config: LiveExperimentConfig,
+    penalty_per_unit: float = 500.0,
+    truncation_eps: float | None = 1e-9,
+    final_interval_discount: float = 0.5,
+    estimates: Mapping[int, float] | None = None,
+) -> tuple[DeadlinePolicy, dict[float, int]]:
+    """Train the Section 5.4.2 dynamic grouping policy.
+
+    Plans over units of ``config.planning_unit`` tasks with the per-unit
+    price grid implied by the grouping sizes and per-unit throughputs read
+    off the fixed-trial estimates.  Returns the solved policy plus the
+    per-unit-price -> grouping-size decoder.
+
+    ``estimates`` (grouping size -> units per arrival, e.g. from
+    :func:`estimate_unit_throughput` on pilot trials) overrides the
+    config's analytic throughputs — the honest pilot -> train -> deploy
+    loop of Section 5.4.2.
+
+    ``final_interval_discount`` shrinks the last interval's expected
+    arrivals in the planner's model: HITs have a working time the MDP does
+    not represent, so arrivals just before the deadline cannot finish —
+    discounting them makes the policy escalate one interval earlier instead
+    of discovering the dead zone live.
+    """
+    if not 0.0 <= final_interval_discount <= 1.0:
+        raise ValueError("final_interval_discount must lie in [0, 1]")
+    if estimates is not None:
+        missing = [g for g in config.group_sizes if g not in estimates]
+        if missing:
+            raise ValueError(f"estimates missing grouping sizes {missing}")
+    grid, price_to_group = config.planner_price_grid()
+    throughput = {
+        config.per_unit_price_cents(g): (
+            float(estimates[g])
+            if estimates is not None
+            else config.effective_unit_throughput(g)
+        )
+        for g in config.group_sizes
+    }
+    acceptance = EmpiricalAcceptance(
+        {price: throughput[price] for price in grid}
+    )
+    num_units = math.ceil(config.total_tasks / config.planning_unit)
+    num_intervals = int(
+        round(config.deadline_hours / config.decision_interval_hours)
+    )
+    means = interval_means(
+        config.arrival_rate_function(),
+        config.deadline_hours,
+        num_intervals,
+    )
+    means[-1] *= 1.0 - final_interval_discount
+    problem = DeadlineProblem(
+        num_tasks=num_units,
+        arrival_means=means,
+        acceptance=acceptance,
+        price_grid=grid,
+        penalty=PenaltyScheme(per_task=penalty_per_unit),
+        truncation_eps=truncation_eps,
+    )
+    return solve_deadline(problem), price_to_group
+
+
+def run_dynamic_trial(
+    config: LiveExperimentConfig,
+    rng: np.random.Generator,
+    planner: tuple[DeadlinePolicy, dict[float, int]] | None = None,
+    rate_factor: float = 1.0,
+) -> LiveTrialResult:
+    """Simulate one Section 5.4.2 dynamic-grouping trial.
+
+    The grouping size is re-chosen at each decision interval from the
+    planner trained on the fixed-trial estimates; ``rate_factor`` scales
+    the live day's true arrival rate relative to those estimates.
+    """
+    policy, price_to_group = planner if planner is not None else build_planner(config)
+    problem = policy.problem
+    num_intervals = problem.num_intervals
+    chosen: dict[int, int] = {}
+
+    def group_at(time_hours: float, pool: int) -> int:
+        t = min(int(time_hours / config.decision_interval_hours), num_intervals - 1)
+        units = max(1, min(math.ceil(pool / config.planning_unit), problem.num_tasks))
+        price = policy.price(units, t)
+        group = price_to_group[float(price)]
+        chosen.setdefault(t, group)  # first query in the interval = posted size
+        return group
+
+    result = _simulate_trial(
+        config,
+        group_at=group_at,
+        rng=rng,
+        rate_factor=rate_factor,
+        schedule=(),
+    )
+    schedule = tuple(chosen[t] for t in sorted(chosen))
+    return dataclasses.replace(result, group_schedule=schedule)

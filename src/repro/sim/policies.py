@@ -1,0 +1,88 @@
+"""Runtime pricing-policy interface for the simulator.
+
+A runtime policy answers one question each decision interval: *with ``n``
+tasks still open at interval ``t``, what reward do we post?*  The solved
+:class:`~repro.core.deadline.policy.DeadlinePolicy` tables, the fixed-price
+baseline, and the budget solutions all adapt to this interface, so the
+simulator treats them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.budget.semi_static import SemiStaticStrategy
+from repro.core.deadline.policy import DeadlinePolicy
+
+__all__ = [
+    "PricingRuntime",
+    "FixedPriceRuntime",
+    "TablePolicyRuntime",
+    "SemiStaticRuntime",
+]
+
+
+class PricingRuntime(abc.ABC):
+    """Callable pricing rule consulted once per decision interval."""
+
+    @abc.abstractmethod
+    def price(self, remaining: int, interval: int) -> float:
+        """Reward to post with ``remaining`` open tasks at ``interval``."""
+
+
+class FixedPriceRuntime(PricingRuntime):
+    """The Faridani baseline at runtime: one price, never changed."""
+
+    def __init__(self, fixed_price: float):
+        if fixed_price < 0:
+            raise ValueError(f"price must be non-negative, got {fixed_price}")
+        self.fixed_price = float(fixed_price)
+
+    def price(self, remaining: int, interval: int) -> float:
+        return self.fixed_price
+
+    def __repr__(self) -> str:
+        return f"FixedPriceRuntime({self.fixed_price})"
+
+
+class TablePolicyRuntime(PricingRuntime):
+    """Adapter exposing a solved ``Price(n, t)`` table to the simulator.
+
+    When the realized horizon outruns the table (the simulator is asked for
+    an interval beyond ``N_T - 1``, which cannot happen in a deadline run
+    but can in open-ended what-if runs), the last column is reused.
+    """
+
+    def __init__(self, policy: DeadlinePolicy):
+        self.policy = policy
+
+    def price(self, remaining: int, interval: int) -> float:
+        n_intervals = self.policy.problem.num_intervals
+        t = min(interval, n_intervals - 1)
+        n = min(max(remaining, 1), self.policy.problem.num_tasks)
+        return self.policy.price(n, t)
+
+    def __repr__(self) -> str:
+        return f"TablePolicyRuntime({self.policy.solver})"
+
+
+class SemiStaticRuntime(PricingRuntime):
+    """A semi-static / static price sequence at runtime (Section 4).
+
+    The posted price depends only on how many tasks have completed: with
+    ``N`` tasks and ``remaining`` open, the sequence position is
+    ``N - remaining``.
+    """
+
+    def __init__(self, strategy: SemiStaticStrategy):
+        self.strategy = strategy
+
+    def price(self, remaining: int, interval: int) -> float:
+        n = self.strategy.num_tasks
+        if remaining <= 0:
+            return self.strategy.prices[-1]
+        completed = min(max(n - remaining, 0), n - 1)
+        return self.strategy.price_at(completed)
+
+    def __repr__(self) -> str:
+        return f"SemiStaticRuntime({self.strategy.num_tasks} prices)"

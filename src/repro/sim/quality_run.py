@@ -1,0 +1,163 @@
+"""End-to-end simulation of quality-controlled filtering under a deadline.
+
+Composes the Section 6 pieces at runtime: a batch of binary filtering items
+runs under a majority-vote quality-control strategy while a Section 3
+pricing policy (trained on the worst-case-questions reduction,
+Approximation 2) sets the per-question reward each interval.  Each arriving
+worker who accepts answers one question on a random undecided item; answers
+are correct with the worker-pool accuracy; items retire as soon as their
+lattice point decides.
+
+The simulation reports both the pricing outcomes (spend, questions asked,
+leftovers) and the statistical outcome the quality-control strategy exists
+for — the fraction of items decided correctly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.deadline.policy import DeadlinePolicy
+from repro.core.quality import MajorityVoteStrategy, worst_case_questions_outstanding
+from repro.util.validation import require_in_range
+
+__all__ = ["FilteringRunResult", "simulate_filtering_run"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FilteringRunResult:
+    """Outcome of one quality-controlled filtering run.
+
+    Attributes
+    ----------
+    num_items:
+        Batch size.
+    decided:
+        Items whose lattice point reached a PASS/FAIL decision in time.
+    correct:
+        Decided items whose decision matches the ground truth.
+    questions_asked:
+        Total answers collected (what the requester paid for).
+    total_cost:
+        Total rewards paid (price units).
+    questions_per_interval:
+        Answers collected in each interval.
+    prices_per_interval:
+        Per-question reward posted each interval.
+    """
+
+    num_items: int
+    decided: int
+    correct: int
+    questions_asked: int
+    total_cost: float
+    questions_per_interval: np.ndarray
+    prices_per_interval: np.ndarray
+
+    @property
+    def undecided(self) -> int:
+        return self.num_items - self.decided
+
+    @property
+    def decision_accuracy(self) -> float:
+        """Fraction of decided items adjudicated correctly."""
+        return self.correct / self.decided if self.decided else float("nan")
+
+    @property
+    def questions_per_item(self) -> float:
+        return self.questions_asked / self.num_items
+
+
+def simulate_filtering_run(
+    strategy: MajorityVoteStrategy,
+    policy: DeadlinePolicy,
+    num_items: int,
+    worker_accuracy: float,
+    rng: np.random.Generator,
+    item_prior: float = 0.5,
+) -> FilteringRunResult:
+    """Simulate one deadline run of the quality-controlled batch.
+
+    Parameters
+    ----------
+    strategy:
+        The per-item quality-control lattice.
+    policy:
+        A Section 3 policy over *question units* (from
+        :func:`repro.core.quality.reduce_to_deadline_problem`); its problem
+        supplies the arrival means and acceptance model.
+    num_items:
+        Filtering items in the batch; the policy's ``num_tasks`` must be at
+        least ``num_items * worst_case(origin)``.
+    worker_accuracy:
+        Probability a worker answers a question correctly.
+    rng:
+        Randomness source.
+    item_prior:
+        Probability an item's ground truth is positive.
+    """
+    if num_items <= 0:
+        raise ValueError(f"num_items must be positive, got {num_items}")
+    require_in_range("worker_accuracy", worker_accuracy, 0.0, 1.0)
+    require_in_range("item_prior", item_prior, 0.0, 1.0)
+    worst_origin = strategy.worst_case_additional(0, 0)
+    if policy.problem.num_tasks < num_items * worst_origin:
+        raise ValueError(
+            f"policy covers {policy.problem.num_tasks} question units but the "
+            f"batch needs up to {num_items * worst_origin}"
+        )
+    problem = policy.problem
+    truth = rng.random(num_items) < item_prior
+    points = [(0, 0)] * num_items
+    undecided = list(range(num_items))
+    decisions: dict[int, str] = {}
+    n_intervals = problem.num_intervals
+    questions = np.zeros(n_intervals, dtype=int)
+    prices = np.zeros(n_intervals)
+    total_cost = 0.0
+    for t in range(n_intervals):
+        if not undecided:
+            break
+        outstanding = worst_case_questions_outstanding(
+            strategy, [points[i] for i in undecided]
+        )
+        outstanding = max(1, min(outstanding, problem.num_tasks))
+        price = policy.price(outstanding, t)
+        prices[t] = price
+        arrived = int(rng.poisson(problem.arrival_means[t]))
+        if arrived == 0:
+            continue
+        p = problem.acceptance.probability(price)
+        answers = int(rng.binomial(arrived, p)) if p > 0 else 0
+        for _ in range(answers):
+            if not undecided:
+                break
+            slot = int(rng.integers(len(undecided)))
+            item = undecided[slot]
+            correct_answer = rng.random() < worker_accuracy
+            answered_yes = truth[item] == correct_answer
+            x, y = points[item]
+            points[item] = (x, y + 1) if answered_yes else (x + 1, y)
+            questions[t] += 1
+            total_cost += price
+            decision = strategy.decision(*points[item])
+            if decision != "continue":
+                decisions[item] = decision
+                undecided[slot] = undecided[-1]
+                undecided.pop()
+    correct = sum(
+        1
+        for item, decision in decisions.items()
+        if (decision == "pass") == bool(truth[item])
+    )
+    return FilteringRunResult(
+        num_items=num_items,
+        decided=len(decisions),
+        correct=correct,
+        questions_asked=int(questions.sum()),
+        total_cost=total_cost,
+        questions_per_interval=questions,
+        prices_per_interval=prices,
+    )

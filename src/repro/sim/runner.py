@@ -1,0 +1,86 @@
+"""Replication management: seeds, fan-out, summary statistics.
+
+Every Monte-Carlo number in the experiment suite flows through
+:func:`run_replications`, which derives independent child generators from a
+single seed (via :meth:`numpy.random.Generator.spawn`-style seeding through
+``SeedSequence``), so any reported statistic is reproducible from one
+integer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+__all__ = ["run_replications", "summarize", "ReplicationSummary"]
+
+
+def run_replications(
+    simulate: Callable[[np.random.Generator], T],
+    num_replications: int,
+    seed: int,
+) -> list[T]:
+    """Run ``simulate`` under ``num_replications`` independent generators."""
+    if num_replications <= 0:
+        raise ValueError(f"num_replications must be positive, got {num_replications}")
+    seeds = np.random.SeedSequence(seed).spawn(num_replications)
+    return [simulate(np.random.default_rng(s)) for s in seeds]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicationSummary:
+    """Summary statistics of a scalar metric across replications.
+
+    Attributes
+    ----------
+    mean, std:
+        Sample mean and standard deviation (ddof=1 when possible).
+    minimum, maximum:
+        Range of the metric.
+    q05, q50, q95:
+        5th/50th/95th percentiles.
+    count:
+        Number of replications summarized.
+    stderr:
+        Standard error of the mean.
+    """
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    q05: float
+    q50: float
+    q95: float
+    count: int
+
+    @property
+    def stderr(self) -> float:
+        return self.std / np.sqrt(self.count) if self.count else float("nan")
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the mean."""
+        half = z * self.stderr
+        return (self.mean - half, self.mean + half)
+
+
+def summarize(values: Sequence[float]) -> ReplicationSummary:
+    """Summarize a sequence of scalar replication outcomes."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    q05, q50, q95 = np.percentile(arr, [5, 50, 95])
+    return ReplicationSummary(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        q05=float(q05),
+        q50=float(q50),
+        q95=float(q95),
+        count=int(arr.size),
+    )

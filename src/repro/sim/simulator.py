@@ -1,0 +1,147 @@
+"""Interval-level Monte-Carlo simulation of a deadline pricing run.
+
+One replication walks the discretized horizon exactly as the MDP models it
+(Section 3.1): at the start of interval ``t`` the policy posts a reward for
+the ``n`` open tasks; the marketplace delivers ``Pois(lambda_t)`` worker
+arrivals, each of which independently accepts at probability ``p(c)``
+(sampled as a Binomial over the realized arrival count — the thinned-NHPP
+composition of Section 2.1, sampled compositionally rather than collapsed,
+so arrival randomness and choice randomness can be studied separately);
+completions are capped at ``n`` and each pays the posted reward.
+
+For completion-*time* questions at sub-interval resolution (the budget
+experiments), see :func:`repro.core.budget.latency.completion_time_distribution`,
+which samples actual arrival times.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.market.acceptance import AcceptanceModel
+from repro.sim.policies import PricingRuntime
+
+__all__ = ["SimulationResult", "DeadlineSimulation"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulated deadline run.
+
+    Attributes
+    ----------
+    completed:
+        Tasks finished before the deadline.
+    remaining:
+        Tasks still open at the deadline.
+    total_cost:
+        Sum of rewards paid.
+    completion_interval:
+        Index of the interval during which the last task finished, or
+        ``None`` if the batch did not finish.
+    completions_per_interval:
+        Completions in each interval.
+    prices_per_interval:
+        Reward posted in each interval (the last posted price is carried
+        for intervals after completion, for plotting continuity).
+    arrivals_per_interval:
+        Realized marketplace arrivals in each interval.
+    """
+
+    completed: int
+    remaining: int
+    total_cost: float
+    completion_interval: int | None
+    completions_per_interval: np.ndarray
+    prices_per_interval: np.ndarray
+    arrivals_per_interval: np.ndarray
+
+    @property
+    def finished(self) -> bool:
+        """True when every task completed before the deadline."""
+        return self.remaining == 0
+
+    @property
+    def average_reward(self) -> float:
+        """Cost per task over the whole batch (paper's Fig. 7(a) metric)."""
+        batch = self.completed + self.remaining
+        return self.total_cost / batch if batch else 0.0
+
+
+class DeadlineSimulation:
+    """Simulator for a batch of tasks priced per interval until a deadline.
+
+    Parameters
+    ----------
+    num_tasks:
+        Batch size ``N``.
+    arrival_means:
+        Expected marketplace arrivals per interval (Eq. 4) — the *true*
+        dynamics, which may differ from what the policy was trained on.
+    acceptance:
+        The *true* ``p(c)`` model.
+    """
+
+    def __init__(
+        self,
+        num_tasks: int,
+        arrival_means: np.ndarray,
+        acceptance: AcceptanceModel,
+    ):
+        if num_tasks <= 0:
+            raise ValueError(f"num_tasks must be positive, got {num_tasks}")
+        means = np.asarray(arrival_means, dtype=float)
+        if means.ndim != 1 or means.size == 0:
+            raise ValueError("arrival_means must be a non-empty 1-D array")
+        if np.any(means < 0):
+            raise ValueError("arrival_means must be non-negative")
+        self.num_tasks = num_tasks
+        self.arrival_means = means
+        self.acceptance = acceptance
+
+    @property
+    def num_intervals(self) -> int:
+        return int(self.arrival_means.size)
+
+    def run(self, policy: PricingRuntime, rng: np.random.Generator) -> SimulationResult:
+        """Simulate one replication under ``policy``."""
+        n = self.num_tasks
+        n_intervals = self.num_intervals
+        completions = np.zeros(n_intervals, dtype=int)
+        prices = np.zeros(n_intervals)
+        arrivals = np.zeros(n_intervals, dtype=int)
+        total_cost = 0.0
+        completion_interval: int | None = None
+        last_price = 0.0
+        observe = getattr(policy, "observe", None)
+        for t in range(n_intervals):
+            if n > 0:
+                last_price = float(policy.price(n, t))
+            prices[t] = last_price
+            arrived = int(rng.poisson(self.arrival_means[t]))
+            arrivals[t] = arrived
+            if observe is not None:
+                # Adaptive policies see realized arrivals *after* pricing
+                # the interval (they cannot peek at the future).
+                observe(t, arrived)
+            if n == 0 or arrived == 0:
+                continue
+            p = self.acceptance.probability(last_price)
+            accepted = int(rng.binomial(arrived, p)) if p > 0 else 0
+            done = min(accepted, n)
+            completions[t] = done
+            total_cost += done * last_price
+            n -= done
+            if n == 0 and completion_interval is None:
+                completion_interval = t
+        return SimulationResult(
+            completed=self.num_tasks - n,
+            remaining=n,
+            total_cost=total_cost,
+            completion_interval=completion_interval,
+            completions_per_interval=completions,
+            prices_per_interval=prices,
+            arrivals_per_interval=arrivals,
+        )

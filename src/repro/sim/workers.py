@@ -1,0 +1,118 @@
+"""Worker-session and accuracy models for the live-experiment simulator.
+
+The Section 5.4 deployment surfaced two behaviours the plain NHPP model does
+not capture, both of which this module reproduces:
+
+* **Session stickiness** (Fig. 15) — having completed a HIT, a worker
+  continues to the next HIT of the same kind with a probability that
+  *increases with the per-task price*: at low prices workers leave after
+  one or two HITs, at higher prices some keep going.
+* **Price-insensitive accuracy** (Tables 3-4, Figs. 13-14) — answer
+  accuracy is a per-worker trait (drawn once per worker from a Beta
+  distribution with mean ≈ 0.9) and does not vary with the price, matching
+  the paper's finding that "pricing mainly affects whether workers choose
+  to work on the HIT", not the quality of what they submit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.util.validation import require_in_range, require_positive
+
+__all__ = ["WorkerSessionModel", "Worker", "WorkerPool"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerSessionModel:
+    """Behavioural parameters of the simulated worker population.
+
+    Attributes
+    ----------
+    accuracy_mean:
+        Mean of the per-worker accuracy Beta distribution.
+    accuracy_concentration:
+        Beta concentration (``alpha + beta``); higher = tighter around the
+        mean.
+    continue_base:
+        Continuation probability at a per-task price of zero.
+    continue_slope:
+        Increase in continuation probability per cent of per-task price
+        (the Fig. 15 stickiness gradient).
+    continue_cap:
+        Hard ceiling on the continuation probability.
+    """
+
+    accuracy_mean: float = 0.905
+    accuracy_concentration: float = 80.0
+    continue_base: float = 0.30
+    continue_slope: float = 1.6
+    continue_cap: float = 0.85
+
+    def __post_init__(self) -> None:
+        require_in_range("accuracy_mean", self.accuracy_mean, 0.0, 1.0)
+        require_positive("accuracy_concentration", self.accuracy_concentration)
+        require_in_range("continue_base", self.continue_base, 0.0, 1.0)
+        require_in_range("continue_cap", self.continue_cap, 0.0, 1.0)
+        if self.continue_slope < 0:
+            raise ValueError("continue_slope must be non-negative")
+
+    def continue_probability(self, per_task_price_cents: float) -> float:
+        """Chance a worker starts another HIT after finishing one."""
+        if per_task_price_cents < 0:
+            raise ValueError("per-task price must be non-negative")
+        return float(
+            min(
+                self.continue_cap,
+                self.continue_base + self.continue_slope * per_task_price_cents,
+            )
+        )
+
+    def expected_hits_per_session(self, per_task_price_cents: float) -> float:
+        """Expected HITs per accepting worker: geometric mean ``1/(1-q)``."""
+        q = self.continue_probability(per_task_price_cents)
+        return 1.0 / (1.0 - q)
+
+    def sample_accuracy(self, rng: np.random.Generator) -> float:
+        """Draw one worker's answer accuracy from the Beta distribution."""
+        a = self.accuracy_mean * self.accuracy_concentration
+        b = (1.0 - self.accuracy_mean) * self.accuracy_concentration
+        return float(rng.beta(a, b))
+
+
+@dataclasses.dataclass
+class Worker:
+    """One simulated worker: identity, arrival time, and accuracy trait."""
+
+    worker_id: int
+    arrival_time: float
+    accuracy: float
+
+    def answer_correctly(self, num_tasks: int, rng: np.random.Generator) -> int:
+        """Number of correct answers among ``num_tasks`` attempted tasks."""
+        if num_tasks < 0:
+            raise ValueError("num_tasks must be non-negative")
+        if num_tasks == 0:
+            return 0
+        return int(rng.binomial(num_tasks, self.accuracy))
+
+
+class WorkerPool:
+    """Factory stamping out workers with sampled accuracy traits."""
+
+    def __init__(self, model: WorkerSessionModel, rng: np.random.Generator):
+        self.model = model
+        self._rng = rng
+        self._next_id = 0
+
+    def arrive(self, arrival_time: float) -> Worker:
+        """Create the next arriving worker."""
+        worker = Worker(
+            worker_id=self._next_id,
+            arrival_time=arrival_time,
+            accuracy=self.model.sample_accuracy(self._rng),
+        )
+        self._next_id += 1
+        return worker

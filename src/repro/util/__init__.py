@@ -1,0 +1,30 @@
+"""Shared numerical utilities: Poisson arithmetic, convex hulls, tables."""
+
+from repro.util.convexhull import lower_convex_hull
+from repro.util.poisson import (
+    poisson_cdf,
+    poisson_pmf,
+    poisson_pmf_vector,
+    poisson_tail,
+    truncation_cutoff,
+)
+from repro.util.tables import format_series, format_table
+from repro.util.validation import (
+    require_in_range,
+    require_nonnegative,
+    require_positive,
+)
+
+__all__ = [
+    "poisson_pmf",
+    "poisson_pmf_vector",
+    "poisson_cdf",
+    "poisson_tail",
+    "truncation_cutoff",
+    "lower_convex_hull",
+    "format_table",
+    "format_series",
+    "require_positive",
+    "require_nonnegative",
+    "require_in_range",
+]

@@ -1,0 +1,83 @@
+"""Lower convex hull used by the fixed-budget LP solution (Theorem 7).
+
+Theorem 7 shows that an optimal solution to the relaxed budget LP puts mass
+on at most two prices ``c1 < c2``, and that the points ``(c1, 1/p(c1))`` and
+``(c2, 1/p(c2))`` must be vertices of the *lower* convex hull of the point
+set ``{(c, 1/p(c))}``.  Algorithm 3 therefore only needs the hull.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["lower_convex_hull", "hull_segment_for"]
+
+
+def _cross(o: tuple[float, float], a: tuple[float, float], b: tuple[float, float]) -> float:
+    """2-D cross product of vectors OA and OB (positive = left turn)."""
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def lower_convex_hull(xs: Sequence[float], ys: Sequence[float]) -> list[int]:
+    """Return indices (into the inputs) of the lower convex hull vertices.
+
+    Points are sorted by ``x`` (ties broken by smaller ``y``); the returned
+    indices are in increasing ``x`` order.  Collinear interior points are
+    dropped, so consecutive hull vertices always form strict corners — this
+    matches Theorem 7, which only ever needs hull *vertices* as candidate
+    prices.
+
+    Parameters
+    ----------
+    xs, ys:
+        Coordinates of the point set; must be equal, non-zero length.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"coordinate lengths differ: {len(xs)} vs {len(ys)}")
+    if len(xs) == 0:
+        raise ValueError("cannot take the hull of an empty point set")
+    order = sorted(range(len(xs)), key=lambda i: (xs[i], ys[i]))
+    # For duplicate x keep only the lowest y (the dominated point can never
+    # be on the lower hull).
+    dedup: list[int] = []
+    for i in order:
+        if dedup and xs[dedup[-1]] == xs[i]:
+            continue
+        dedup.append(i)
+    hull: list[int] = []
+    for i in dedup:
+        while len(hull) >= 2:
+            o, a = hull[-2], hull[-1]
+            if _cross((xs[o], ys[o]), (xs[a], ys[a]), (xs[i], ys[i])) <= 0:
+                hull.pop()
+            else:
+                break
+        hull.append(i)
+    return hull
+
+
+def hull_segment_for(
+    hull_xs: Sequence[float], target: float
+) -> tuple[int, int]:
+    """Return hull-vertex indices ``(i, j)`` bracketing ``target`` on the x axis.
+
+    ``hull_xs`` must be strictly increasing (output of
+    :func:`lower_convex_hull` applied to the x coordinates).  Returns the pair
+    with ``hull_xs[i] <= target < hull_xs[j]``.  If ``target`` lies at or
+    beyond the last vertex, returns ``(last, last)``; if before the first,
+    ``(0, 0)`` — callers treat a degenerate pair as a single-price solution.
+    """
+    xs = np.asarray(hull_xs, dtype=float)
+    if xs.size == 0:
+        raise ValueError("empty hull")
+    if np.any(np.diff(xs) <= 0):
+        raise ValueError("hull x coordinates must be strictly increasing")
+    if target < xs[0]:
+        return (0, 0)
+    if target >= xs[-1]:
+        last = int(xs.size - 1)
+        return (last, last)
+    j = int(np.searchsorted(xs, target, side="right"))
+    return (j - 1, j)

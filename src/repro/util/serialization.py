@@ -1,0 +1,117 @@
+"""Save and load solved pricing policies.
+
+A trained :class:`~repro.core.deadline.policy.DeadlinePolicy` is just
+arrays plus the problem description, so deployments can solve offline and
+ship the table to the process that talks to the marketplace.  Format: a
+single ``.npz`` holding the numeric tables plus a JSON header describing
+the acceptance model and penalty scheme.
+
+Only the acceptance models defined by this library are serializable
+(:class:`~repro.market.acceptance.LogitAcceptance` and
+:class:`~repro.market.acceptance.EmpiricalAcceptance`); custom models
+should be re-attached after loading via ``problem.with_acceptance``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.deadline.model import DeadlineProblem, PenaltyScheme
+from repro.core.deadline.policy import DeadlinePolicy
+from repro.market.acceptance import AcceptanceModel, EmpiricalAcceptance, LogitAcceptance
+
+__all__ = ["save_policy", "load_policy"]
+
+_FORMAT_VERSION = 1
+
+
+def _acceptance_header(model: AcceptanceModel) -> dict:
+    if isinstance(model, LogitAcceptance):
+        return {"kind": "logit", "s": model.s, "b": model.b, "m": model.m}
+    if isinstance(model, EmpiricalAcceptance):
+        prices = model.prices
+        return {
+            "kind": "empirical",
+            "prices": prices.tolist(),
+            "probabilities": model.probabilities(prices).tolist(),
+        }
+    raise TypeError(
+        f"cannot serialize acceptance model of type {type(model).__name__}; "
+        "only LogitAcceptance and EmpiricalAcceptance are supported"
+    )
+
+
+def _acceptance_from_header(header: dict) -> AcceptanceModel:
+    kind = header.get("kind")
+    if kind == "logit":
+        return LogitAcceptance(s=header["s"], b=header["b"], m=header["m"])
+    if kind == "empirical":
+        return EmpiricalAcceptance(
+            dict(zip(header["prices"], header["probabilities"]))
+        )
+    raise ValueError(f"unknown acceptance model kind {kind!r}")
+
+
+def save_policy(policy: DeadlinePolicy, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a solved policy (tables + problem description) to ``path``.
+
+    Returns the path written (a ``.npz`` suffix is appended if missing).
+    """
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    problem = policy.problem
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "solver": policy.solver,
+        "num_tasks": problem.num_tasks,
+        "truncation_eps": problem.truncation_eps,
+        "penalty": {
+            "per_task": problem.penalty.per_task,
+            "existence": problem.penalty.existence,
+        },
+        "acceptance": _acceptance_header(problem.acceptance),
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        opt=policy.opt,
+        price_index=policy.price_index,
+        price_grid=problem.price_grid,
+        arrival_means=problem.arrival_means,
+    )
+    return path
+
+
+def load_policy(path: str | pathlib.Path) -> DeadlinePolicy:
+    """Load a policy written by :func:`save_policy`.
+
+    Raises ``ValueError`` on unknown format versions and propagates the
+    library's usual validation if the stored tables are inconsistent.
+    """
+    with np.load(pathlib.Path(path)) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported policy format version {header.get('format_version')!r}"
+            )
+        problem = DeadlineProblem(
+            num_tasks=int(header["num_tasks"]),
+            arrival_means=data["arrival_means"],
+            acceptance=_acceptance_from_header(header["acceptance"]),
+            price_grid=data["price_grid"],
+            penalty=PenaltyScheme(
+                per_task=header["penalty"]["per_task"],
+                existence=header["penalty"]["existence"],
+            ),
+            truncation_eps=header["truncation_eps"],
+        )
+        return DeadlinePolicy(
+            problem=problem,
+            opt=data["opt"],
+            price_index=data["price_index"].astype(int),
+            solver=str(header["solver"]),
+        )

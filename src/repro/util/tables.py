@@ -1,0 +1,70 @@
+"""Plain-text rendering of tables and series for benchmark output.
+
+Every benchmark regenerates one of the paper's tables or figures; since the
+harness is terminal-only, figures are rendered as aligned numeric series and
+tables as ASCII grids.  Keeping the renderer here ensures all experiment
+output looks the same and can be pasted into ``EXPERIMENTS.md`` verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def _cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [[_cell(v, precision) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    xs: Sequence[object],
+    ys: Sequence[object],
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render a figure's (x, y) series as a two-column table."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series lengths differ: {len(xs)} vs {len(ys)}")
+    return format_table([x_label, y_label], list(zip(xs, ys)), precision, title)
+
+
+def format_kv(items: Mapping[str, object], precision: int = 3, title: str | None = None) -> str:
+    """Render a mapping of scalar results as ``key = value`` lines."""
+    lines = [title] if title else []
+    width = max((len(k) for k in items), default=0)
+    for key, value in items.items():
+        lines.append(f"{key.ljust(width)} = {_cell(value, precision)}")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Small argument-validation helpers shared across the library.
+
+The public API validates eagerly and raises ``ValueError`` with the offending
+name and value, so user errors surface at construction time rather than deep
+inside a DP sweep.
+"""
+
+from __future__ import annotations
+
+__all__ = ["require_positive", "require_nonnegative", "require_in_range"]
+
+
+def require_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return the value."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_nonnegative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``; return the value."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``; return the value."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must lie in [{lo}, {hi}], got {value!r}")
+    return value

@@ -1,0 +1,70 @@
+"""Shared fixtures: small solvable instances and deterministic randomness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deadline.model import DeadlineProblem, PenaltyScheme
+from repro.market.acceptance import LogitAcceptance, paper_acceptance_model
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for statistical tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_acceptance() -> LogitAcceptance:
+    """The Eq. 13 acceptance model."""
+    return paper_acceptance_model()
+
+
+@pytest.fixture
+def small_problem(paper_acceptance: LogitAcceptance) -> DeadlineProblem:
+    """A tiny deadline instance solvable by the literal Algorithm 1."""
+    return DeadlineProblem(
+        num_tasks=6,
+        arrival_means=np.array([400.0, 250.0, 500.0, 350.0]),
+        acceptance=paper_acceptance,
+        price_grid=np.arange(1.0, 16.0),
+        penalty=PenaltyScheme(per_task=40.0),
+    )
+
+
+@pytest.fixture
+def medium_problem(paper_acceptance: LogitAcceptance) -> DeadlineProblem:
+    """A mid-size instance for the vectorized/efficient solvers."""
+    means = 300.0 + 150.0 * np.sin(np.linspace(0.0, 3.0, 12))
+    return DeadlineProblem(
+        num_tasks=30,
+        arrival_means=means,
+        acceptance=paper_acceptance,
+        price_grid=np.arange(1.0, 26.0),
+        penalty=PenaltyScheme(per_task=60.0),
+    )
+
+
+def make_problem(
+    num_tasks: int = 5,
+    arrival_means=None,
+    s: float = 15.0,
+    b: float = -0.39,
+    m: float = 2000.0,
+    max_price: float = 12.0,
+    penalty: float = 30.0,
+    existence: float = 0.0,
+    truncation_eps: float | None = 1e-9,
+) -> DeadlineProblem:
+    """Build ad hoc instances inside tests without fixture plumbing."""
+    if arrival_means is None:
+        arrival_means = np.array([300.0, 450.0, 200.0])
+    return DeadlineProblem(
+        num_tasks=num_tasks,
+        arrival_means=np.asarray(arrival_means, dtype=float),
+        acceptance=LogitAcceptance(s=s, b=b, m=m),
+        price_grid=np.arange(1.0, max_price + 1.0),
+        penalty=PenaltyScheme(per_task=penalty, existence=existence),
+        truncation_eps=truncation_eps,
+    )

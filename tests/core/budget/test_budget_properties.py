@@ -1,0 +1,74 @@
+"""Property-based tests for the budget solvers beyond the paper's p(c).
+
+Algorithm 3's correctness argument (Theorems 7-8) only needs ``p(c)``
+positive and the points ``(c, 1/p(c))`` well-defined — not the specific
+Eq. 13 instance.  These tests draw random logit parameters and budgets and
+check the structural guarantees hold everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget.exact_dp import solve_budget_exact
+from repro.core.budget.semi_static import expected_worker_arrivals
+from repro.core.budget.static_lp import solve_budget_hull
+from repro.market.acceptance import LogitAcceptance
+
+GRID = np.arange(1.0, 21.0)
+
+logit_params = st.tuples(
+    st.floats(min_value=3.0, max_value=40.0),    # s
+    st.floats(min_value=-2.0, max_value=2.0),    # b
+    st.floats(min_value=10.0, max_value=50_000.0),  # m
+)
+
+
+class TestHullStructureEverywhere:
+    @given(
+        params=logit_params,
+        num_tasks=st.integers(min_value=1, max_value=40),
+        per_task_budget=st.floats(min_value=1.0, max_value=20.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_feasible_and_consistent(self, params, num_tasks, per_task_budget):
+        model = LogitAcceptance(*params)
+        budget = num_tasks * per_task_budget
+        allocation = solve_budget_hull(num_tasks, budget, model, GRID)
+        # Structural guarantees independent of the acceptance instance.
+        assert allocation.num_tasks == num_tasks
+        assert allocation.total_cost <= budget + 1e-6
+        assert len(allocation.prices) <= 2
+        assert allocation.expected_arrivals == pytest.approx(
+            expected_worker_arrivals(allocation.price_sequence(), model)
+        )
+
+    @given(
+        params=logit_params,
+        num_tasks=st.integers(min_value=2, max_value=12),
+        per_task_budget=st.floats(min_value=1.5, max_value=18.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_theorem8_gap_everywhere(self, params, num_tasks, per_task_budget):
+        model = LogitAcceptance(*params)
+        budget = num_tasks * per_task_budget
+        hull = solve_budget_hull(num_tasks, budget, model, GRID)
+        exact = solve_budget_exact(num_tasks, budget, model, GRID)
+        assert hull.expected_arrivals >= exact.expected_arrivals - 1e-6
+        assert hull.expected_arrivals <= (
+            exact.expected_arrivals + hull.rounding_gap_bound + 1e-6
+        )
+
+    @given(
+        params=logit_params,
+        num_tasks=st.integers(min_value=2, max_value=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_more_budget_never_slower(self, params, num_tasks):
+        model = LogitAcceptance(*params)
+        small = solve_budget_hull(num_tasks, num_tasks * 3.0, model, GRID)
+        large = solve_budget_hull(num_tasks, num_tasks * 12.0, model, GRID)
+        assert large.expected_arrivals <= small.expected_arrivals + 1e-6

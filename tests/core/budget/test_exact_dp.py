@@ -1,0 +1,76 @@
+"""Tests for the Theorem 6 pseudo-polynomial exact DP."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.budget.exact_dp import solve_budget_exact
+from repro.market.acceptance import paper_acceptance_model
+
+GRID = np.arange(1.0, 16.0)
+
+
+def brute_force(num_tasks, budget, model, grid):
+    """Enumerate all price multisets (combinations with repetition)."""
+    best = None
+    for combo in itertools.combinations_with_replacement(grid, num_tasks):
+        if sum(combo) > budget:
+            continue
+        value = sum(1.0 / model.probability(c) for c in combo)
+        if best is None or value < best[0]:
+            best = (value, combo)
+    return best
+
+
+class TestSolveBudgetExact:
+    @pytest.mark.parametrize("num_tasks,budget", [(2, 10.0), (3, 18.0), (4, 30.0)])
+    def test_matches_brute_force(self, num_tasks, budget):
+        model = paper_acceptance_model()
+        exact = solve_budget_exact(num_tasks, budget, model, GRID)
+        best_value, _ = brute_force(num_tasks, budget, model, GRID)
+        assert exact.expected_arrivals == pytest.approx(best_value, rel=1e-12)
+        assert exact.total_cost <= budget + 1e-9
+
+    def test_counts_sum_to_n(self):
+        model = paper_acceptance_model()
+        exact = solve_budget_exact(12, 100.0, model, GRID)
+        assert exact.num_tasks == 12
+        assert exact.rounding_gap_bound == 0.0
+
+    def test_spends_as_much_as_helps(self):
+        # 1/p is decreasing in price, so more budget never hurts.
+        model = paper_acceptance_model()
+        small = solve_budget_exact(5, 25.0, model, GRID)
+        large = solve_budget_exact(5, 60.0, model, GRID)
+        assert large.expected_arrivals <= small.expected_arrivals + 1e-9
+
+    def test_price_unit_scaling(self):
+        model = paper_acceptance_model()
+        cents = solve_budget_exact(4, 20.0, model, GRID)
+        # Same problem expressed in half-cent units.
+        half = solve_budget_exact(
+            4, 20.0, model, GRID, price_unit=0.5
+        )
+        assert half.expected_arrivals == pytest.approx(cents.expected_arrivals)
+
+    def test_off_lattice_grid_rejected(self):
+        model = paper_acceptance_model()
+        with pytest.raises(ValueError, match="multiple of price_unit"):
+            solve_budget_exact(3, 10.0, model, [1.5, 2.0], price_unit=1.0)
+
+    def test_infeasible_rejected(self):
+        model = paper_acceptance_model()
+        with pytest.raises(ValueError, match="cannot cover"):
+            solve_budget_exact(10, 5.0, model, GRID)
+
+    def test_validation(self):
+        model = paper_acceptance_model()
+        with pytest.raises(ValueError):
+            solve_budget_exact(0, 10.0, model, GRID)
+        with pytest.raises(ValueError):
+            solve_budget_exact(2, -1.0, model, GRID)
+        with pytest.raises(ValueError):
+            solve_budget_exact(2, 10.0, model, GRID, price_unit=0.0)

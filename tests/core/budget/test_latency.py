@@ -1,0 +1,69 @@
+"""Tests for the latency linearity (Section 4.2.2) and the Fig. 11 sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.budget.latency import completion_time_distribution, expected_latency_hours
+from repro.core.budget.semi_static import SemiStaticStrategy, expected_worker_arrivals
+from repro.market.acceptance import paper_acceptance_model
+from repro.market.rates import ConstantRate
+
+
+class TestExpectedLatency:
+    def test_linearity_formula(self):
+        assert expected_latency_hours(1000.0, 250.0) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_latency_hours(100.0, 0.0)
+        with pytest.raises(ValueError):
+            expected_latency_hours(-1.0, 10.0)
+
+
+class TestCompletionTimeDistribution:
+    def test_matches_linearity_on_constant_rate(self, rng):
+        # E[T] = E[W] / lambda-bar exactly for a homogeneous process.
+        model = paper_acceptance_model()
+        strategy = SemiStaticStrategy((20.0, 20.0, 18.0))
+        rate = ConstantRate(500.0)
+        times = completion_time_distribution(
+            strategy, model, rate, num_replications=300, rng=rng,
+            horizon_hours=24.0 * 30,
+        )
+        finite = times[np.isfinite(times)]
+        assert finite.size == 300  # generous horizon: everything resolves
+        expected = expected_worker_arrivals(strategy.prices, model) / 500.0
+        assert finite.mean() == pytest.approx(expected, rel=0.1)
+
+    def test_unfinished_marked_inf(self, rng):
+        model = paper_acceptance_model()
+        strategy = SemiStaticStrategy((1.0,) * 50)
+        times = completion_time_distribution(
+            strategy, model, ConstantRate(1.0), num_replications=5, rng=rng,
+            horizon_hours=1.0,
+        )
+        assert np.all(np.isinf(times))
+
+    def test_times_positive_and_ordered_stages(self, rng):
+        model = paper_acceptance_model()
+        strategy = SemiStaticStrategy((25.0, 25.0))
+        times = completion_time_distribution(
+            strategy, model, ConstantRate(2000.0), num_replications=50, rng=rng,
+            horizon_hours=100.0,
+        )
+        assert np.all(times > 0)
+
+    def test_validation(self, rng):
+        model = paper_acceptance_model()
+        strategy = SemiStaticStrategy((5.0,))
+        with pytest.raises(ValueError):
+            completion_time_distribution(
+                strategy, model, ConstantRate(1.0), num_replications=0, rng=rng
+            )
+        with pytest.raises(ValueError):
+            completion_time_distribution(
+                strategy, model, ConstantRate(1.0), num_replications=1, rng=rng,
+                horizon_hours=0.0,
+            )

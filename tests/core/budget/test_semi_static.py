@@ -1,0 +1,118 @@
+"""Tests for semi-static strategies and Theorem 5 (E[W] = sum 1/p(ci))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget.semi_static import (
+    SemiStaticStrategy,
+    expected_worker_arrivals,
+    sample_worker_arrivals,
+)
+from repro.market.acceptance import EmpiricalAcceptance, paper_acceptance_model
+
+
+class TestExpectedWorkerArrivals:
+    def test_formula(self, paper_acceptance):
+        prices = [10.0, 12.0, 14.0]
+        expected = sum(1.0 / paper_acceptance.probability(c) for c in prices)
+        assert expected_worker_arrivals(prices, paper_acceptance) == pytest.approx(
+            expected
+        )
+
+    def test_zero_probability_rejected(self):
+        model = EmpiricalAcceptance({0.0: 0.0, 1.0: 0.5})
+        with pytest.raises(ValueError, match="diverge"):
+            expected_worker_arrivals([0.0], model)
+
+    @given(st.permutations([5.0, 8.0, 11.0, 14.0, 17.0]))
+    @settings(max_examples=30, deadline=None)
+    def test_order_invariance(self, permuted):
+        # Theorem 5: E[W] depends only on the multiset of prices.
+        model = paper_acceptance_model()
+        base = expected_worker_arrivals([5.0, 8.0, 11.0, 14.0, 17.0], model)
+        assert expected_worker_arrivals(list(permuted), model) == pytest.approx(base)
+
+    def test_monte_carlo_agreement(self, rng, paper_acceptance):
+        # Simulate the per-arrival acceptance walk and compare to Theorem 5.
+        prices = [12.0, 15.0]
+        expected = expected_worker_arrivals(prices, paper_acceptance)
+        probs = [paper_acceptance.probability(c) for c in prices]
+        totals = []
+        for _ in range(400):
+            count = 0
+            for p in probs:
+                count += rng.geometric(p)  # arrivals until acceptance, incl.
+            totals.append(count)
+        assert np.mean(totals) == pytest.approx(expected, rel=0.1)
+
+
+class TestSampleWorkerArrivals:
+    def test_theorem5_identity(self, rng, paper_acceptance):
+        # Monte-Carlo mean of W matches sum_i 1/p(c_i).
+        prices = [10.0, 13.0, 16.0]
+        samples = sample_worker_arrivals(
+            prices, paper_acceptance, rng, num_replications=3000
+        )
+        expected = expected_worker_arrivals(prices, paper_acceptance)
+        assert samples.mean() == pytest.approx(expected, rel=0.05)
+
+    def test_order_invariance_in_distribution(self, rng, paper_acceptance):
+        # The sum of independent geometrics is exchangeable in the stages.
+        forward = sample_worker_arrivals(
+            [10.0, 16.0], paper_acceptance, np.random.default_rng(5), 3000
+        )
+        backward = sample_worker_arrivals(
+            [16.0, 10.0], paper_acceptance, np.random.default_rng(6), 3000
+        )
+        assert forward.mean() == pytest.approx(backward.mean(), rel=0.1)
+
+    def test_at_least_one_arrival_per_task(self, rng, paper_acceptance):
+        samples = sample_worker_arrivals(
+            [30.0] * 5, paper_acceptance, rng, num_replications=50
+        )
+        assert np.all(samples >= 5)
+
+    def test_validation(self, rng, paper_acceptance):
+        with pytest.raises(ValueError):
+            sample_worker_arrivals([10.0], paper_acceptance, rng, 0)
+        dead = EmpiricalAcceptance({1.0: 0.0})
+        with pytest.raises(ValueError):
+            sample_worker_arrivals([1.0], dead, rng, 10)
+
+
+class TestSemiStaticStrategy:
+    def test_basic_accessors(self):
+        strategy = SemiStaticStrategy((5.0, 3.0, 8.0))
+        assert strategy.num_tasks == 3
+        assert strategy.total_cost == pytest.approx(16.0)
+        assert strategy.price_at(0) == 5.0
+        assert strategy.price_at(2) == 8.0
+
+    def test_price_at_bounds(self):
+        strategy = SemiStaticStrategy((5.0,))
+        with pytest.raises(ValueError):
+            strategy.price_at(1)
+        with pytest.raises(ValueError):
+            strategy.price_at(-1)
+
+    def test_as_static_sorted_descending(self):
+        strategy = SemiStaticStrategy((5.0, 9.0, 7.0))
+        static = strategy.as_static()
+        assert static.prices == (9.0, 7.0, 5.0)
+
+    def test_as_static_preserves_expected_arrivals(self, paper_acceptance):
+        # The Theorem 3 construction: reordering costs nothing.
+        strategy = SemiStaticStrategy((5.0, 9.0, 7.0))
+        assert strategy.as_static().expected_arrivals(
+            paper_acceptance
+        ) == pytest.approx(strategy.expected_arrivals(paper_acceptance))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SemiStaticStrategy(())
+        with pytest.raises(ValueError):
+            SemiStaticStrategy((1.0, -2.0))

@@ -1,0 +1,103 @@
+"""Tests for the adaptive re-solving policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deadline.adaptive import AdaptiveRepricer
+from repro.core.deadline.vectorized import solve_deadline
+from repro.sim.policies import TablePolicyRuntime
+from repro.sim.simulator import DeadlineSimulation
+
+from tests.conftest import make_problem
+
+
+@pytest.fixture
+def problem():
+    return make_problem(
+        num_tasks=10,
+        arrival_means=[2000.0, 1500.0, 2500.0, 1800.0],
+        max_price=15.0,
+        penalty=100.0,
+    )
+
+
+class TestNeutralBehaviour:
+    def test_matches_static_table_without_observations(self, problem):
+        static = solve_deadline(problem)
+        adaptive = AdaptiveRepricer(problem)
+        for n in (1, 5, 10):
+            assert adaptive.price(n, 0) == static.price(n, 0)
+
+    def test_matches_static_when_arrivals_on_forecast(self, problem):
+        static = solve_deadline(problem)
+        adaptive = AdaptiveRepricer(problem)
+        for t in range(problem.num_intervals):
+            price_static = static.price(5, t)
+            price_adaptive = adaptive.price(5, t)
+            assert price_adaptive == price_static
+            adaptive.observe(t, float(problem.arrival_means[t]))
+
+
+class TestAdaptation:
+    def test_underdelivery_raises_prices(self, problem):
+        static = solve_deadline(problem)
+        adaptive = AdaptiveRepricer(problem)
+        adaptive.price(10, 0)
+        adaptive.observe(0, 0.3 * float(problem.arrival_means[0]))
+        adaptive.observe(1, 0.3 * float(problem.arrival_means[1]))
+        # Mid-horizon with a big backlog and a learned shortfall.
+        assert adaptive.price(10, 2) >= static.price(10, 2)
+        assert adaptive.predictor.factor < 1.0
+
+    def test_cache_limits_solves(self, problem):
+        adaptive = AdaptiveRepricer(problem)
+        for t in range(problem.num_intervals):
+            adaptive.price(5, t)
+            adaptive.observe(t, float(problem.arrival_means[t]))
+        first_pass = adaptive.num_solves
+        for t in range(problem.num_intervals):
+            adaptive.price(5, t)
+        assert adaptive.num_solves == first_pass  # all cached
+
+    def test_resolve_every_reduces_solves(self, problem):
+        every = AdaptiveRepricer(problem, resolve_every=1)
+        coarse = AdaptiveRepricer(problem, resolve_every=2)
+        for t in range(problem.num_intervals):
+            every.price(5, t)
+            coarse.price(5, t)
+            # Feed diverging observations so factors keep moving.
+            every.observe(t, 0.5 * float(problem.arrival_means[t]))
+            coarse.observe(t, 0.5 * float(problem.arrival_means[t]))
+        assert coarse.num_solves <= every.num_solves
+
+
+class TestEndToEnd:
+    def test_rescues_consistent_shortfall(self, problem):
+        # True market delivers 40% of the forecast; the static table
+        # (trained on the forecast) strands tasks, the adaptive one adapts.
+        true_means = problem.arrival_means * 0.4
+        sim = DeadlineSimulation(problem.num_tasks, true_means, problem.acceptance)
+        static_runtime = TablePolicyRuntime(solve_deadline(problem))
+        static_left = []
+        adaptive_left = []
+        for i in range(30):
+            static_left.append(
+                sim.run(static_runtime, np.random.default_rng(i)).remaining
+            )
+            adaptive_left.append(
+                sim.run(AdaptiveRepricer(problem), np.random.default_rng(i)).remaining
+            )
+        assert np.mean(adaptive_left) <= np.mean(static_left)
+
+    def test_validation(self, problem):
+        with pytest.raises(ValueError):
+            AdaptiveRepricer(problem, resolve_every=0)
+        with pytest.raises(ValueError):
+            AdaptiveRepricer(problem, factor_quantum=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveRepricer(problem).price(0, 0)
+
+    def test_repr(self, problem):
+        assert "AdaptiveRepricer" in repr(AdaptiveRepricer(problem))

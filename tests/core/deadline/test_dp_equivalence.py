@@ -1,0 +1,123 @@
+"""All three deadline solvers compute the same table.
+
+Algorithm 1 (literal), the vectorized recurrence, and Algorithm 2
+(divide-and-conquer under Conjecture 1) must agree on the value function
+exactly and on the price table up to cost ties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deadline.efficient_dp import solve_deadline_efficient
+from repro.core.deadline.simple_dp import solve_deadline_simple
+from repro.core.deadline.vectorized import solve_deadline
+
+from tests.conftest import make_problem
+
+
+def assert_tables_equal(a, b):
+    assert np.allclose(a.opt, b.opt, rtol=1e-12, atol=1e-12), (
+        f"value tables differ ({a.solver} vs {b.solver})"
+    )
+    assert np.array_equal(a.price_index[1:], b.price_index[1:]), (
+        f"price tables differ ({a.solver} vs {b.solver})"
+    )
+
+
+class TestSolverEquivalence:
+    def test_small_fixture(self, small_problem):
+        simple = solve_deadline_simple(small_problem)
+        vectorized = solve_deadline(small_problem)
+        efficient = solve_deadline_efficient(small_problem)
+        assert_tables_equal(simple, vectorized)
+        assert_tables_equal(simple, efficient)
+
+    def test_medium_vectorized_vs_efficient(self, medium_problem):
+        vectorized = solve_deadline(medium_problem)
+        efficient = solve_deadline_efficient(medium_problem)
+        assert_tables_equal(vectorized, efficient)
+
+    def test_exact_mode(self):
+        problem = make_problem(truncation_eps=None)
+        simple = solve_deadline_simple(problem)
+        vectorized = solve_deadline(problem)
+        efficient = solve_deadline_efficient(problem)
+        assert_tables_equal(simple, vectorized)
+        assert_tables_equal(simple, efficient)
+
+    def test_extended_penalty(self):
+        problem = make_problem(existence=3.0)
+        assert_tables_equal(
+            solve_deadline_simple(problem), solve_deadline(problem)
+        )
+
+    def test_time_monotonicity_pruning_matches(self, small_problem):
+        unpruned = solve_deadline_efficient(small_problem)
+        pruned = solve_deadline_efficient(small_problem, use_time_monotonicity=True)
+        assert np.allclose(unpruned.opt, pruned.opt, rtol=1e-12)
+
+    @given(
+        num_tasks=st.integers(min_value=1, max_value=7),
+        num_intervals=st.integers(min_value=1, max_value=4),
+        scale=st.floats(min_value=50.0, max_value=2000.0),
+        max_price=st.integers(min_value=2, max_value=12),
+        penalty=st.floats(min_value=0.0, max_value=100.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances(
+        self, num_tasks, num_intervals, scale, max_price, penalty, seed
+    ):
+        rng = np.random.default_rng(seed)
+        means = rng.uniform(0.2, 1.0, size=num_intervals) * scale
+        problem = make_problem(
+            num_tasks=num_tasks,
+            arrival_means=means,
+            max_price=float(max_price),
+            penalty=penalty,
+        )
+        simple = solve_deadline_simple(problem)
+        vectorized = solve_deadline(problem)
+        efficient = solve_deadline_efficient(problem)
+        assert np.allclose(simple.opt, vectorized.opt, rtol=1e-10, atol=1e-10)
+        assert np.allclose(simple.opt, efficient.opt, rtol=1e-10, atol=1e-10)
+
+
+class TestTableStructure:
+    def test_terminal_layer_is_penalty(self, small_problem):
+        policy = solve_deadline(small_problem)
+        n_t = small_problem.num_intervals
+        expected = small_problem.penalty.terminal_costs(small_problem.num_tasks)
+        assert np.allclose(policy.opt[:, n_t], expected)
+
+    def test_zero_tasks_row_is_zero(self, small_problem):
+        policy = solve_deadline(small_problem)
+        assert np.allclose(policy.opt[0], 0.0)
+
+    def test_values_nonnegative_and_bounded(self, small_problem):
+        policy = solve_deadline(small_problem)
+        assert np.all(policy.opt >= 0.0)
+        # Opt(n, t) can never exceed paying the max price for everything
+        # plus the worst-case penalty.
+        n = small_problem.num_tasks
+        bound = n * float(small_problem.price_grid[-1]) + \
+            small_problem.penalty.terminal_cost(n)
+        assert np.all(policy.opt <= bound + 1e-9)
+
+    def test_value_monotone_in_n(self, small_problem):
+        # More remaining work can never cost less.
+        policy = solve_deadline(small_problem)
+        assert np.all(np.diff(policy.opt, axis=0) >= -1e-9)
+
+    def test_more_time_never_hurts(self):
+        # With identical interval means, Opt(n, t) is non-increasing in the
+        # remaining number of intervals... i.e. non-decreasing in t.
+        problem = make_problem(
+            num_tasks=5, arrival_means=[300.0, 300.0, 300.0, 300.0]
+        )
+        policy = solve_deadline(problem)
+        assert np.all(np.diff(policy.opt[1:, :], axis=1) >= -1e-9)

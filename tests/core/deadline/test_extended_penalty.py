@@ -1,0 +1,69 @@
+"""Tests for the Section 3.3 extended penalty formulation.
+
+The extended scheme charges ``(n + alpha) * Penalty`` whenever ``n > 0``;
+by the Theorem 2 extension its optimum bounds
+``E[remaining] + alpha * Pr(remaining > 0)`` — i.e., it buys down not just
+the expected leftover count but the *probability of any leftover at all*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deadline.model import PenaltyScheme
+from repro.core.deadline.vectorized import solve_deadline
+
+from tests.conftest import make_problem
+
+
+def solve_with(existence: float, per_task: float = 40.0):
+    problem = make_problem(
+        num_tasks=8,
+        arrival_means=[2500.0, 2000.0, 3000.0],
+        max_price=15.0,
+        penalty=per_task,
+        existence=existence,
+    )
+    return solve_deadline(problem).evaluate()
+
+
+class TestExtendedPenalty:
+    def test_existence_pressure_raises_completion_probability(self):
+        plain = solve_with(existence=0.0)
+        extended = solve_with(existence=10.0)
+        assert extended.prob_all_done >= plain.prob_all_done - 1e-12
+        assert extended.expected_cost >= plain.expected_cost - 1e-12
+
+    def test_extended_objective_is_optimized(self):
+        # The solver's value equals the evaluated extended objective:
+        # E[cost] + Penalty * (E[remaining] + alpha * Pr(remaining > 0)).
+        problem = make_problem(
+            num_tasks=6,
+            arrival_means=[2000.0, 2500.0],
+            max_price=12.0,
+            penalty=30.0,
+            existence=4.0,
+        )
+        policy = solve_deadline(problem)
+        outcome = policy.evaluate()
+        prob_some_left = 1.0 - outcome.prob_all_done
+        reconstructed = outcome.expected_cost + 30.0 * (
+            outcome.expected_remaining + 4.0 * prob_some_left
+        )
+        assert policy.optimal_value == pytest.approx(reconstructed, rel=1e-9)
+
+    def test_monotone_in_existence_weight(self):
+        completion = [
+            solve_with(existence=alpha).prob_all_done
+            for alpha in (0.0, 5.0, 20.0, 80.0)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(completion, completion[1:]))
+
+    def test_terminal_jump_at_one_task(self):
+        # The extended scheme's signature: a discontinuity between n=0 and
+        # n=1 that exceeds the per-task slope.
+        scheme = PenaltyScheme(per_task=10.0, existence=3.0)
+        costs = scheme.terminal_costs(4)
+        assert costs[1] - costs[0] == pytest.approx(40.0)  # (1 + 3) * 10
+        assert np.allclose(np.diff(costs[1:]), 10.0)

@@ -1,0 +1,79 @@
+"""Conjecture 1 and the t-monotonicity remark (Section 3.2).
+
+The paper reports that over many random instances the optimal price
+``Price(n, t)`` never decreases in ``n`` (fixed ``t``) and never decreases
+in ``t`` (fixed ``n``).  Algorithm 2's correctness rests on the former; we
+verify both over a spread of instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deadline.vectorized import solve_deadline
+
+from tests.conftest import make_problem
+
+
+def price_table(problem):
+    return solve_deadline(problem).price_table()
+
+
+class TestConjecture1:
+    def test_default_fixture(self, medium_problem):
+        prices = price_table(medium_problem)
+        # Non-decreasing in n for every t.
+        assert np.all(np.diff(prices[1:, :], axis=0) >= 0)
+
+    @given(
+        num_tasks=st.integers(min_value=2, max_value=25),
+        num_intervals=st.integers(min_value=1, max_value=8),
+        scale=st.floats(min_value=100.0, max_value=3000.0),
+        penalty=st.floats(min_value=5.0, max_value=300.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_instances(self, num_tasks, num_intervals, scale, penalty, seed):
+        rng = np.random.default_rng(seed)
+        means = rng.uniform(0.3, 1.0, size=num_intervals) * scale
+        problem = make_problem(
+            num_tasks=num_tasks,
+            arrival_means=means,
+            max_price=15.0,
+            penalty=penalty,
+        )
+        prices = price_table(problem)
+        assert np.all(np.diff(prices[1:, :], axis=0) >= 0)
+
+
+class TestTimeMonotonicity:
+    def test_constant_rate_prices_rise_toward_deadline(self):
+        # With a flat arrival profile, for fixed n prices never fall as the
+        # deadline nears (fewer chances left -> pay more).
+        problem = make_problem(
+            num_tasks=12,
+            arrival_means=[300.0] * 6,
+            max_price=15.0,
+            penalty=120.0,
+        )
+        prices = price_table(problem)
+        assert np.all(np.diff(prices[1:, :], axis=1) >= 0)
+
+    @given(
+        num_tasks=st.integers(min_value=2, max_value=15),
+        num_intervals=st.integers(min_value=2, max_value=6),
+        rate=st.floats(min_value=100.0, max_value=1500.0),
+        penalty=st.floats(min_value=10.0, max_value=200.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_constant_rate_random(self, num_tasks, num_intervals, rate, penalty):
+        problem = make_problem(
+            num_tasks=num_tasks,
+            arrival_means=[rate] * num_intervals,
+            max_price=12.0,
+            penalty=penalty,
+        )
+        prices = price_table(problem)
+        assert np.all(np.diff(prices[1:, :], axis=1) >= 0)

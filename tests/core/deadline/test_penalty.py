@@ -1,0 +1,86 @@
+"""Tests for penalty calibration (the Theorem 2 correspondence)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deadline.penalty import calibrate_penalty
+from repro.core.deadline.vectorized import solve_deadline
+
+from tests.conftest import make_problem
+
+
+@pytest.fixture
+def problem():
+    return make_problem(
+        num_tasks=10,
+        arrival_means=[3000.0, 2500.0, 4000.0, 2500.0],
+        max_price=15.0,
+        penalty=1.0,  # overridden by calibration
+    )
+
+
+class TestCalibratePenalty:
+    def test_meets_bound(self, problem):
+        calibration = calibrate_penalty(problem, bound=0.5)
+        assert calibration.expected_remaining <= 0.5
+        assert calibration.policy.evaluate().expected_remaining == pytest.approx(
+            calibration.expected_remaining
+        )
+
+    def test_tighter_bound_higher_penalty(self, problem):
+        loose = calibrate_penalty(problem, bound=2.0)
+        tight = calibrate_penalty(problem, bound=0.05)
+        assert tight.penalty >= loose.penalty
+        loose_cost = loose.policy.evaluate().expected_cost
+        tight_cost = tight.policy.evaluate().expected_cost
+        assert tight_cost >= loose_cost - 1e-9
+
+    def test_trivial_bound_zero_penalty(self, problem):
+        calibration = calibrate_penalty(problem, bound=float(problem.num_tasks))
+        assert calibration.penalty == 0.0
+
+    def test_unreachable_bound_raises(self):
+        # A dead marketplace can never finish anything.
+        dead = make_problem(
+            num_tasks=5, arrival_means=[0.0, 0.0], max_price=5.0
+        )
+        with pytest.raises(ValueError, match="unreachable"):
+            calibrate_penalty(dead, bound=0.5, penalty_hi=10.0)
+
+    def test_negative_bound_rejected(self, problem):
+        with pytest.raises(ValueError):
+            calibrate_penalty(problem, bound=-1.0)
+
+    def test_custom_solver_injected(self, problem):
+        calls = []
+
+        def spy_solver(p):
+            calls.append(p.penalty.per_task)
+            return solve_deadline(p)
+
+        calibrate_penalty(problem, bound=0.5, solver=spy_solver, max_iterations=5)
+        assert len(calls) >= 2
+
+    def test_existence_component_preserved(self):
+        problem = make_problem(
+            num_tasks=6,
+            arrival_means=[6000.0, 6000.0],
+            existence=2.5,
+        )
+        calibration = calibrate_penalty(problem, bound=0.5)
+        assert calibration.policy.problem.penalty.existence == 2.5
+
+    def test_theorem2_correspondence(self, problem):
+        # The calibrated soft policy is also optimal for the constrained
+        # formulation at its own achieved bound: no fixed-price policy with
+        # E[remaining] <= achieved can spend less.
+        from repro.core.deadline.policy import fixed_price_policy
+
+        calibration = calibrate_penalty(problem, bound=0.3)
+        achieved = calibration.expected_remaining
+        cost = calibration.policy.evaluate().expected_cost
+        for price in problem.price_grid:
+            fixed = fixed_price_policy(problem, float(price)).evaluate()
+            if fixed.expected_remaining <= achieved:
+                assert fixed.expected_cost >= cost - 1e-6

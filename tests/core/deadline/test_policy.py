@@ -1,0 +1,150 @@
+"""Tests for DeadlinePolicy lookup and exact forward evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deadline.policy import DeadlinePolicy, fixed_price_policy
+from repro.core.deadline.vectorized import solve_deadline
+from repro.util.poisson import poisson_pmf, poisson_tail
+
+from tests.conftest import make_problem
+
+
+class TestPriceLookup:
+    def test_bounds_checked(self, small_problem):
+        policy = solve_deadline(small_problem)
+        with pytest.raises(ValueError):
+            policy.price(0, 0)
+        with pytest.raises(ValueError):
+            policy.price(small_problem.num_tasks + 1, 0)
+        with pytest.raises(ValueError):
+            policy.price(1, small_problem.num_intervals)
+
+    def test_price_table_values_on_grid(self, small_problem):
+        policy = solve_deadline(small_problem)
+        table = policy.price_table()
+        assert np.all(np.isin(table, small_problem.price_grid))
+
+    def test_shape_validation(self, small_problem):
+        policy = solve_deadline(small_problem)
+        with pytest.raises(ValueError):
+            DeadlinePolicy(
+                problem=small_problem,
+                opt=policy.opt[:, :-1],
+                price_index=policy.price_index,
+                solver="bad",
+            )
+        with pytest.raises(ValueError):
+            DeadlinePolicy(
+                problem=small_problem,
+                opt=policy.opt,
+                price_index=policy.price_index[:-1],
+                solver="bad",
+            )
+
+
+class TestFixedPricePolicy:
+    def test_constant_table(self, small_problem):
+        policy = fixed_price_policy(small_problem, 7.0)
+        assert np.all(policy.price_table()[1:] == 7.0)
+        assert policy.solver == "fixed"
+
+    def test_off_grid_price_rejected(self, small_problem):
+        with pytest.raises(ValueError):
+            fixed_price_policy(small_problem, 7.5)
+
+
+class TestEvaluate:
+    def test_single_interval_closed_form(self):
+        lam = 400.0
+        penalty = 20.0
+        problem = make_problem(
+            num_tasks=2,
+            arrival_means=[lam],
+            max_price=8.0,
+            penalty=penalty,
+            truncation_eps=None,
+        )
+        price = 5.0
+        policy = fixed_price_policy(problem, price)
+        outcome = policy.evaluate()
+        mean = lam * problem.acceptance.probability(price)
+        p0 = poisson_pmf(0, mean)
+        p1 = poisson_pmf(1, mean)
+        p2 = poisson_tail(2, mean)
+        assert outcome.expected_cost == pytest.approx(p1 * price + p2 * 2 * price)
+        assert outcome.expected_remaining == pytest.approx(2 * p0 + p1)
+        assert outcome.expected_penalty == pytest.approx((2 * p0 + p1) * penalty)
+        assert outcome.prob_all_done == pytest.approx(p2)
+        assert outcome.average_reward == pytest.approx(outcome.expected_cost / 2)
+        assert outcome.expected_completed == pytest.approx(
+            2 - outcome.expected_remaining
+        )
+        assert outcome.total_objective == pytest.approx(
+            outcome.expected_cost + outcome.expected_penalty
+        )
+
+    def test_probabilities_conserved(self, medium_problem):
+        outcome = solve_deadline(medium_problem).evaluate()
+        assert 0.0 <= outcome.prob_all_done <= 1.0
+        assert 0.0 <= outcome.expected_remaining <= medium_problem.num_tasks
+
+    def test_evaluate_under_different_dynamics(self, small_problem):
+        policy = solve_deadline(small_problem)
+        worse = small_problem.with_acceptance(
+            small_problem.acceptance.with_params(m=4000.0)
+        )
+        trained = policy.evaluate()
+        shifted = policy.evaluate(dynamics=worse)
+        assert shifted.expected_remaining >= trained.expected_remaining
+        assert shifted.expected_cost >= 0.0
+
+    def test_dynamics_shape_mismatch_rejected(self, small_problem):
+        policy = solve_deadline(small_problem)
+        wrong_n = make_problem(num_tasks=3, arrival_means=small_problem.arrival_means)
+        with pytest.raises(ValueError):
+            policy.evaluate(dynamics=wrong_n)
+        wrong_t = make_problem(
+            num_tasks=small_problem.num_tasks, arrival_means=[100.0]
+        )
+        with pytest.raises(ValueError):
+            policy.evaluate(dynamics=wrong_t)
+
+    def test_zero_arrivals_nothing_happens(self):
+        problem = make_problem(num_tasks=4, arrival_means=[0.0, 0.0])
+        outcome = fixed_price_policy(problem, 3.0).evaluate()
+        assert outcome.expected_cost == 0.0
+        assert outcome.expected_remaining == 4.0
+        assert outcome.prob_all_done == 0.0
+
+    def test_flood_of_arrivals_finishes(self):
+        problem = make_problem(num_tasks=3, arrival_means=[1e6], penalty=50.0)
+        outcome = fixed_price_policy(problem, 10.0).evaluate()
+        assert outcome.prob_all_done == pytest.approx(1.0, abs=1e-6)
+        assert outcome.expected_cost == pytest.approx(30.0, rel=1e-6)
+
+
+class TestExpectedPricePath:
+    def test_fixed_policy_path_is_flat(self, small_problem):
+        prices, active = fixed_price_policy(small_problem, 7.0).expected_price_path()
+        assert np.allclose(prices[active > 0], 7.0)
+        assert active[0] == pytest.approx(1.0)
+        assert np.all(np.diff(active) <= 1e-12)  # active prob only decays
+
+    def test_dynamic_path_consistent_with_table(self, small_problem):
+        policy = solve_deadline(small_problem)
+        prices, active = policy.expected_price_path()
+        grid = small_problem.price_grid
+        assert np.all(prices[active > 0] >= grid[0] - 1e-9)
+        assert np.all(prices[active > 0] <= grid[-1] + 1e-9)
+        # Interval 0: deterministic state n=N, so the path starts exactly
+        # at the table's root price.
+        assert prices[0] == pytest.approx(policy.price(small_problem.num_tasks, 0))
+
+    def test_shape_mismatch_rejected(self, small_problem):
+        policy = solve_deadline(small_problem)
+        wrong = make_problem(num_tasks=3, arrival_means=small_problem.arrival_means)
+        with pytest.raises(ValueError):
+            policy.expected_price_path(dynamics=wrong)

@@ -1,0 +1,99 @@
+"""Tests for Poisson truncation in the DP and the Theorem 1 bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deadline.truncation import (
+    TruncationErrorBound,
+    transition_pmf,
+    truncation_error_bound,
+)
+from repro.core.deadline.vectorized import solve_deadline
+from repro.util.poisson import poisson_pmf
+
+from tests.conftest import make_problem
+
+
+class TestTransitionPmf:
+    def test_exact_mode_full_head(self):
+        pmf = transition_pmf(3.0, eps=None, max_completions=10)
+        assert pmf.size == 11
+        assert pmf[4] == pytest.approx(poisson_pmf(4, 3.0), rel=1e-12)
+
+    def test_truncated_mode_shorter(self):
+        pmf = transition_pmf(3.0, eps=1e-9, max_completions=10_000)
+        assert pmf.size < 50
+
+    def test_cap_enforced(self):
+        pmf = transition_pmf(50.0, eps=1e-9, max_completions=5)
+        assert pmf.size == 6
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            transition_pmf(1.0, eps=None, max_completions=-1)
+
+
+class TestTheorem1Bound:
+    def test_truncated_vs_exact_within_bound(self):
+        exact_problem = make_problem(
+            num_tasks=8,
+            arrival_means=[600.0, 300.0, 900.0],
+            max_price=12.0,
+            penalty=60.0,
+            truncation_eps=None,
+        )
+        truncated_problem = make_problem(
+            num_tasks=8,
+            arrival_means=[600.0, 300.0, 900.0],
+            max_price=12.0,
+            penalty=60.0,
+            truncation_eps=1e-9,
+        )
+        exact = solve_deadline(exact_problem)
+        truncated = solve_deadline(truncated_problem)
+        bound = truncation_error_bound(truncated_problem)
+        # Theorem 1: the root-state error is bounded by N * N_T * C * eps
+        # (generous factor for the tail-redistribution variant we use).
+        diff = abs(exact.optimal_value - truncated.optimal_value)
+        assert diff <= 10 * bound.per_state + 1e-9
+
+    def test_bound_fields(self):
+        problem = make_problem(truncation_eps=1e-9)
+        bound = truncation_error_bound(problem)
+        assert isinstance(bound, TruncationErrorBound)
+        assert bound.eps == 1e-9
+        assert bound.max_price == float(problem.price_grid[-1])
+        assert bound.per_state == pytest.approx(
+            problem.num_tasks * problem.num_intervals * bound.max_price * 1e-9
+        )
+        assert bound.largest_cutoff > 0
+
+    def test_exact_problem_rejected(self):
+        problem = make_problem(truncation_eps=None)
+        with pytest.raises(ValueError):
+            truncation_error_bound(problem)
+
+    def test_truncated_policy_quality(self):
+        # The *policy* from the truncated solve, evaluated exactly, is
+        # near-optimal too (the Cost_trunc side of Theorem 1).
+        exact_problem = make_problem(
+            num_tasks=6, arrival_means=[500.0, 400.0], truncation_eps=None
+        )
+        truncated_problem = make_problem(
+            num_tasks=6, arrival_means=[500.0, 400.0], truncation_eps=1e-9
+        )
+        exact = solve_deadline(exact_problem)
+        truncated = solve_deadline(truncated_problem)
+        from repro.core.deadline.policy import DeadlinePolicy
+
+        replay = DeadlinePolicy(
+            problem=exact_problem,
+            opt=exact.opt,
+            price_index=truncated.price_index,
+            solver="replay",
+        )
+        cost_trunc = replay.evaluate().total_objective
+        assert cost_trunc >= exact.optimal_value - 1e-9
+        assert cost_trunc - exact.optimal_value <= 1e-4

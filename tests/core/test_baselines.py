@@ -1,0 +1,87 @@
+"""Tests for the Faridani fixed-price baseline and the floor price c0."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import faridani_fixed_price, floor_price
+from repro.util.poisson import poisson_tail
+
+from tests.conftest import make_problem
+
+
+@pytest.fixture
+def problem():
+    return make_problem(
+        num_tasks=10,
+        arrival_means=[4000.0, 3000.0, 5000.0],
+        max_price=15.0,
+    )
+
+
+class TestFloorPrice:
+    def test_definition(self, problem):
+        c0 = floor_price(problem)
+        total = problem.total_arrivals()
+        acc = problem.acceptance
+        assert total * acc.probability(c0) >= problem.num_tasks
+        below = c0 - 1.0
+        if below >= problem.price_grid[0]:
+            assert total * acc.probability(below) < problem.num_tasks
+
+    def test_infeasible_raises(self):
+        dead = make_problem(num_tasks=100, arrival_means=[10.0], max_price=5.0)
+        with pytest.raises(ValueError, match="infeasible"):
+            floor_price(dead)
+
+    def test_paper_setting_floor_is_12(self):
+        # The Section 5.2.1 anchor: c0 ~ 12 cents for the default workload.
+        from repro.experiments.config import default_setting
+
+        problem = default_setting().problem()
+        assert floor_price(problem) == 12.0
+
+
+class TestFaridaniFixedPrice:
+    def test_confidence_met_minimally(self, problem):
+        diag = faridani_fixed_price(problem, confidence=0.99)
+        assert diag.feasible
+        assert diag.completion_probability >= 0.99
+        below = diag.price - 1.0
+        if below >= problem.price_grid[0]:
+            mean = problem.total_arrivals() * problem.acceptance.probability(below)
+            assert poisson_tail(problem.num_tasks, mean) < 0.99
+
+    def test_monotone_in_confidence(self, problem):
+        low = faridani_fixed_price(problem, confidence=0.5)
+        high = faridani_fixed_price(problem, confidence=0.9999)
+        assert high.price >= low.price
+
+    def test_price_at_least_floor(self, problem):
+        diag = faridani_fixed_price(problem, confidence=0.999)
+        assert diag.price >= floor_price(problem)
+
+    def test_infeasible_flagged(self):
+        dead = make_problem(num_tasks=100, arrival_means=[10.0], max_price=5.0)
+        diag = faridani_fixed_price(dead, confidence=0.999)
+        assert not diag.feasible
+        assert diag.price == 5.0
+        assert diag.completion_probability < 0.999
+
+    def test_confidence_validated(self, problem):
+        with pytest.raises(ValueError):
+            faridani_fixed_price(problem, confidence=1.5)
+
+    def test_expected_completions_reported(self, problem):
+        diag = faridani_fixed_price(problem, confidence=0.999)
+        expected = problem.total_arrivals() * problem.acceptance.probability(diag.price)
+        assert diag.expected_completions == pytest.approx(expected)
+
+    def test_paper_setting_needs_16(self):
+        # Section 5.2.1: the fixed baseline needs 16 cents at 99.9%.
+        from repro.experiments.config import default_setting
+
+        problem = default_setting().problem()
+        diag = faridani_fixed_price(problem, confidence=0.999)
+        assert diag.price == 16.0

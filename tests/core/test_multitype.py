@@ -1,0 +1,125 @@
+"""Tests for the multiple-task-types extension (Section 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multitype import (
+    MultitypeProblem,
+    TaskType,
+    solve_multitype_joint,
+    solve_multitype_separable,
+)
+from repro.market.acceptance import LogitAcceptance, paper_acceptance_model
+
+
+def make_types(sizes=(2, 3), penalty=(30.0, 20.0)):
+    return tuple(
+        TaskType(
+            name=f"type{i}",
+            num_tasks=n,
+            acceptance=LogitAcceptance(s=15.0, b=-0.39 + 0.2 * i, m=2000.0),
+            price_grid=np.arange(1.0, 9.0),
+            penalty_per_task=p,
+        )
+        for i, (n, p) in enumerate(zip(sizes, penalty))
+    )
+
+
+class TestTaskType:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskType("t", 0, paper_acceptance_model(), np.array([1.0]), 1.0)
+        with pytest.raises(ValueError):
+            TaskType("t", 1, paper_acceptance_model(), np.array([1.0]), -1.0)
+
+    def test_as_deadline_problem(self):
+        task_type = make_types()[0]
+        problem = task_type.as_deadline_problem(np.array([100.0, 200.0]), 1e-9)
+        assert problem.num_tasks == task_type.num_tasks
+        assert problem.penalty.per_task == task_type.penalty_per_task
+
+
+class TestSeparableSolver:
+    def test_value_is_sum_of_per_type_values(self):
+        problem = MultitypeProblem(
+            types=make_types(), arrival_means=np.array([800.0, 600.0])
+        )
+        solution = solve_multitype_separable(problem)
+        assert solution.solver == "separable"
+        per_type = sum(policy.optimal_value for policy in solution.policies)
+        assert solution.optimal_value == pytest.approx(per_type)
+
+    def test_rejects_coupled_penalty(self):
+        problem = MultitypeProblem(
+            types=make_types(),
+            arrival_means=np.array([500.0]),
+            joint_penalty=lambda counts: 100.0 * (sum(counts) > 0),
+        )
+        with pytest.raises(ValueError, match="coupled"):
+            solve_multitype_separable(problem)
+
+
+class TestJointSolver:
+    def test_matches_separable_when_additive(self):
+        # With the default additive penalty the joint DP must reproduce the
+        # decomposed solution exactly.
+        problem = MultitypeProblem(
+            types=make_types(sizes=(2, 2)),
+            arrival_means=np.array([700.0, 500.0]),
+            truncation_eps=None,
+        )
+        separable = solve_multitype_separable(problem)
+        joint = solve_multitype_joint(problem)
+        assert joint.optimal_value == pytest.approx(
+            separable.optimal_value, rel=1e-9
+        )
+
+    def test_coupled_penalty_changes_value(self):
+        types = make_types(sizes=(2, 2))
+        additive = MultitypeProblem(
+            types=types, arrival_means=np.array([600.0]), truncation_eps=None
+        )
+        coupled = MultitypeProblem(
+            types=types,
+            arrival_means=np.array([600.0]),
+            truncation_eps=None,
+            joint_penalty=lambda counts: additive.default_terminal(counts)
+            + 50.0 * (any(counts)),
+        )
+        value_additive = solve_multitype_joint(additive).optimal_value
+        value_coupled = solve_multitype_joint(coupled).optimal_value
+        assert value_coupled > value_additive
+
+    def test_joint_prices_recorded(self):
+        problem = MultitypeProblem(
+            types=make_types(sizes=(1, 1)),
+            arrival_means=np.array([500.0]),
+            truncation_eps=None,
+        )
+        joint = solve_multitype_joint(problem)
+        assert joint.joint_prices is not None
+        # Root state at t=0 has a price decision for both types.
+        assert (1, 1, 0) in joint.joint_prices
+        assert len(joint.joint_prices[(1, 1, 0)]) == 2
+
+    def test_single_type_matches_single_type_dp(self):
+        # A one-type joint instance reduces to the Section 3 solver.
+        types = make_types(sizes=(3,), penalty=(25.0,))
+        problem = MultitypeProblem(
+            types=types, arrival_means=np.array([400.0, 300.0]), truncation_eps=None
+        )
+        joint = solve_multitype_joint(problem)
+        separable = solve_multitype_separable(problem)
+        assert joint.optimal_value == pytest.approx(separable.optimal_value, rel=1e-9)
+
+
+class TestValidation:
+    def test_empty_types_rejected(self):
+        with pytest.raises(ValueError):
+            MultitypeProblem(types=(), arrival_means=np.array([1.0]))
+
+    def test_empty_means_rejected(self):
+        with pytest.raises(ValueError):
+            MultitypeProblem(types=make_types(), arrival_means=np.array([]))

@@ -1,0 +1,249 @@
+"""Tests for the quality-control integration (Section 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.quality import (
+    MajorityVoteStrategy,
+    QualityPoint,
+    discretize_by_posterior,
+    posterior_probability,
+    reduce_to_deadline_problem,
+    worst_case_questions_outstanding,
+)
+from repro.core.deadline.model import PenaltyScheme
+from repro.market.acceptance import paper_acceptance_model
+
+
+class TestMajorityVoteStrategy:
+    def test_decisions(self):
+        strategy = MajorityVoteStrategy(3)
+        assert strategy.decision(0, 0) == "continue"
+        assert strategy.decision(0, 2) == "pass"
+        assert strategy.decision(2, 0) == "fail"
+        assert strategy.decision(1, 1) == "continue"
+
+    def test_even_or_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            MajorityVoteStrategy(4)
+        with pytest.raises(ValueError):
+            MajorityVoteStrategy(0)
+
+    def test_continue_points_count(self):
+        # h^2 continue points; the paper's "k is often as small as 9" is
+        # majority-of-5 (h = 3).
+        assert len(MajorityVoteStrategy(5).continue_points()) == 9
+        assert len(MajorityVoteStrategy(3).continue_points()) == 4
+
+    def test_worst_case_at_origin_is_m(self):
+        for m in (1, 3, 5, 7):
+            assert MajorityVoteStrategy(m).worst_case_additional(0, 0) == m
+
+    def test_worst_case_formula(self):
+        strategy = MajorityVoteStrategy(5)
+        # From (2, 1): worst case alternates until one side reaches 3.
+        assert strategy.worst_case_additional(2, 1) == (3 - 2) + (3 - 1) - 1
+        assert strategy.worst_case_additional(0, 3) == 0  # already decided
+
+    def test_worst_case_decreases_with_answers(self):
+        strategy = MajorityVoteStrategy(7)
+        origin = strategy.worst_case_additional(0, 0)
+        assert strategy.worst_case_additional(1, 0) < origin
+        assert strategy.worst_case_additional(1, 1) < origin
+
+    def test_expected_at_most_worst_case(self):
+        strategy = MajorityVoteStrategy(5)
+        for x in range(3):
+            for y in range(3):
+                for p in (0.1, 0.5, 0.9):
+                    expected = strategy.expected_additional(x, y, p)
+                    assert expected <= strategy.worst_case_additional(x, y) + 1e-12
+
+    def test_expected_probability_validated(self):
+        with pytest.raises(ValueError):
+            MajorityVoteStrategy(3).expected_additional(0, 0, 1.5)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            MajorityVoteStrategy(3).decision(-1, 0)
+        with pytest.raises(ValueError):
+            MajorityVoteStrategy(3).worst_case_additional(0, -1)
+
+
+class TestQualityPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QualityPoint(-1, 0, "continue")
+        with pytest.raises(ValueError):
+            QualityPoint(0, 0, "maybe")
+
+
+class TestPosterior:
+    def test_symmetric_prior_balanced_answers(self):
+        assert posterior_probability(2, 2) == pytest.approx(0.5)
+
+    def test_yes_answers_raise_posterior(self):
+        assert posterior_probability(0, 3) > posterior_probability(0, 1) > 0.5
+
+    def test_bayes_single_answer(self):
+        # One Yes from a 90%-accurate worker with a 0.5 prior -> 0.9.
+        assert posterior_probability(0, 1, 0.5, 0.9) == pytest.approx(0.9)
+
+    def test_prior_shifts(self):
+        assert posterior_probability(0, 0, prior=0.8) == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            posterior_probability(-1, 0)
+        with pytest.raises(ValueError):
+            posterior_probability(0, 0, prior=1.0)
+        with pytest.raises(ValueError):
+            posterior_probability(0, 0, worker_accuracy=1.0)
+
+
+class TestDiscretization:
+    def test_groups_cover_all_points(self):
+        strategy = MajorityVoteStrategy(5)
+        points = strategy.continue_points()
+        groups = discretize_by_posterior(points, interval_width=0.25)
+        total = sum(len(g) for g in groups.values())
+        assert total == len(points)
+        assert all(0 <= idx < 4 for idx in groups)
+
+    def test_finer_intervals_refine(self):
+        strategy = MajorityVoteStrategy(7)
+        points = strategy.continue_points()
+        coarse = discretize_by_posterior(points, interval_width=0.5)
+        fine = discretize_by_posterior(points, interval_width=0.05)
+        assert len(fine) >= len(coarse)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            discretize_by_posterior([], interval_width=0.0)
+
+
+class TestPosteriorGridStrategy:
+    def _strategy(self, **kwargs):
+        from repro.core.quality import PosteriorGridStrategy
+
+        defaults = dict(interval_width=0.1)
+        defaults.update(kwargs)
+        return PosteriorGridStrategy(**defaults)
+
+    def test_interval_roundtrip(self):
+        strategy = self._strategy()
+        assert strategy.num_intervals == 10
+        for posterior in (0.0, 0.31, 0.5, 0.99, 1.0):
+            idx = strategy.interval_index(posterior)
+            rep = strategy.representative(idx)
+            assert abs(rep - posterior) <= strategy.interval_width
+
+    def test_decisions_at_boundaries(self):
+        strategy = self._strategy(pass_threshold=0.85, fail_threshold=0.15)
+        assert strategy.decision(0.95, 0) == "pass"
+        assert strategy.decision(0.05, 0) == "fail"
+        assert strategy.decision(0.5, 0) == "continue"
+
+    def test_question_cap_forces_decision(self):
+        strategy = self._strategy(max_questions=3)
+        assert strategy.decision(0.6, 3) == "pass"
+        assert strategy.decision(0.4, 3) == "fail"
+        assert strategy.decision(0.6, 2) == "continue"
+
+    def test_update_moves_toward_answer(self):
+        strategy = self._strategy()
+        up = strategy.update(0.5, answered_yes=True)
+        down = strategy.update(0.5, answered_yes=False)
+        assert up > 0.5 > down
+        # Single yes from a 90% worker at a 0.5 prior: posterior 0.9.
+        assert up == pytest.approx(0.9, abs=0.05)
+
+    def test_repeated_yes_converges_to_pass(self):
+        strategy = self._strategy()
+        posterior = 0.5
+        used = 0
+        while strategy.decision(posterior, used) == "continue":
+            posterior = strategy.update(posterior, answered_yes=True)
+            used += 1
+        assert strategy.decision(posterior, used) == "pass"
+        assert used <= strategy.max_questions
+
+    def test_worst_case_additional(self):
+        strategy = self._strategy(max_questions=7)
+        assert strategy.worst_case_additional(0.5, 0) == 7
+        assert strategy.worst_case_additional(0.5, 5) == 2
+        assert strategy.worst_case_additional(0.95, 0) == 0
+
+    def test_finer_grid_refines_decision(self):
+        # As a -> 0 the representative converges to the true posterior.
+        coarse = self._strategy(interval_width=0.5)
+        fine = self._strategy(interval_width=0.01)
+        assert abs(fine.representative(fine.interval_index(0.73)) - 0.73) < 0.01
+        assert abs(coarse.representative(coarse.interval_index(0.73)) - 0.73) <= 0.5
+
+    def test_validation(self):
+        from repro.core.quality import PosteriorGridStrategy
+
+        with pytest.raises(ValueError):
+            PosteriorGridStrategy(interval_width=0.0)
+        with pytest.raises(ValueError):
+            PosteriorGridStrategy(0.1, pass_threshold=0.2, fail_threshold=0.3)
+        with pytest.raises(ValueError):
+            PosteriorGridStrategy(0.1, max_questions=0)
+        with pytest.raises(ValueError):
+            PosteriorGridStrategy(0.1, prior=0.0)
+        strategy = self._strategy()
+        with pytest.raises(ValueError):
+            strategy.interval_index(1.5)
+        with pytest.raises(ValueError):
+            strategy.representative(99)
+        with pytest.raises(ValueError):
+            strategy.decision(0.5, -1)
+
+
+class TestReduction:
+    def test_worst_case_outstanding(self):
+        strategy = MajorityVoteStrategy(3)
+        positions = [(0, 0), (1, 1), (0, 2)]
+        expected = 3 + 1 + 0
+        assert worst_case_questions_outstanding(strategy, positions) == expected
+
+    def test_reduce_builds_scaled_problem(self):
+        strategy = MajorityVoteStrategy(5)
+        problem = reduce_to_deadline_problem(
+            strategy,
+            num_filter_tasks=10,
+            arrival_means=np.array([500.0, 500.0]),
+            acceptance=paper_acceptance_model(),
+            price_grid=np.arange(1.0, 11.0),
+            penalty=PenaltyScheme(per_task=20.0),
+        )
+        assert problem.num_tasks == 50  # N * alpha = 10 * 5
+
+    def test_reduce_validates_task_count(self):
+        with pytest.raises(ValueError):
+            reduce_to_deadline_problem(
+                MajorityVoteStrategy(3),
+                num_filter_tasks=0,
+                arrival_means=np.array([1.0]),
+                acceptance=paper_acceptance_model(),
+                price_grid=np.arange(1.0, 3.0),
+                penalty=PenaltyScheme(per_task=1.0),
+            )
+
+    def test_reduced_problem_solvable(self):
+        strategy = MajorityVoteStrategy(3)
+        problem = reduce_to_deadline_problem(
+            strategy,
+            num_filter_tasks=3,
+            arrival_means=np.array([2000.0, 2000.0]),
+            acceptance=paper_acceptance_model(),
+            price_grid=np.arange(1.0, 11.0),
+            penalty=PenaltyScheme(per_task=30.0),
+        )
+        from repro.core.deadline.vectorized import solve_deadline
+
+        policy = solve_deadline(problem)
+        assert policy.optimal_value > 0.0

@@ -1,0 +1,91 @@
+"""Tests for the Section 6 trade-off MDPs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tradeoff import (
+    solve_tradeoff_arrival,
+    solve_tradeoff_interval,
+    value_iteration_interval,
+)
+from repro.market.acceptance import paper_acceptance_model
+
+GRID = np.arange(1.0, 31.0)
+
+
+class TestIntervalModel:
+    def test_closed_form_matches_value_iteration(self):
+        model = paper_acceptance_model()
+        closed = solve_tradeoff_interval(20, 5.0, model, GRID, alpha=0.2)
+        iterated = value_iteration_interval(20, 5.0, model, GRID, alpha=0.2)
+        assert np.allclose(closed.opt, iterated.opt)
+        assert np.allclose(closed.prices[1:], iterated.prices[1:])
+
+    def test_value_linear_in_n(self):
+        model = paper_acceptance_model()
+        solution = solve_tradeoff_interval(10, 5.0, model, GRID, alpha=0.5)
+        increments = np.diff(solution.opt)
+        assert np.allclose(increments, increments[0])
+
+    def test_price_constant_across_states(self):
+        model = paper_acceptance_model()
+        solution = solve_tradeoff_interval(10, 5.0, model, GRID, alpha=0.5)
+        assert len(set(solution.prices[1:])) == 1
+        assert solution.optimal_price == solution.prices[-1]
+
+    def test_higher_alpha_higher_price(self):
+        # Valuing latency more pushes toward faster (pricier) completion.
+        model = paper_acceptance_model()
+        cheap = solve_tradeoff_interval(5, 5.0, model, GRID, alpha=0.01)
+        fast = solve_tradeoff_interval(5, 5.0, model, GRID, alpha=5.0)
+        assert fast.optimal_price >= cheap.optimal_price
+
+    def test_zero_alpha_minimum_price(self):
+        model = paper_acceptance_model()
+        solution = solve_tradeoff_interval(5, 5.0, model, GRID, alpha=0.0)
+        assert solution.optimal_price == GRID[0]
+        assert solution.total_value == pytest.approx(5 * GRID[0])
+
+    def test_validation(self):
+        model = paper_acceptance_model()
+        with pytest.raises(ValueError):
+            solve_tradeoff_interval(0, 5.0, model, GRID, alpha=1.0)
+        with pytest.raises(ValueError):
+            solve_tradeoff_interval(5, 0.0, model, GRID, alpha=1.0)
+        with pytest.raises(ValueError):
+            solve_tradeoff_interval(5, 5.0, model, GRID, alpha=-1.0)
+
+
+class TestArrivalModel:
+    def test_increment_formula(self):
+        # Opt(n) = n * min_c [ c + (alpha / lam) / p(c) ].
+        model = paper_acceptance_model()
+        alpha, lam = 100.0, 4000.0
+        solution = solve_tradeoff_arrival(8, lam, model, GRID, alpha=alpha)
+        best = min(c + (alpha / lam) / model.probability(c) for c in GRID)
+        assert solution.total_value == pytest.approx(8 * best)
+
+    def test_model_labels(self):
+        model = paper_acceptance_model()
+        a = solve_tradeoff_interval(3, 5.0, model, GRID, alpha=1.0)
+        b = solve_tradeoff_arrival(3, 500.0, model, GRID, alpha=1.0)
+        assert a.model == "interval"
+        assert b.model == "arrival"
+
+    def test_validation(self):
+        model = paper_acceptance_model()
+        with pytest.raises(ValueError):
+            solve_tradeoff_arrival(0, 5.0, model, GRID, alpha=1.0)
+        with pytest.raises(ValueError):
+            solve_tradeoff_arrival(5, -1.0, model, GRID, alpha=1.0)
+
+
+class TestDegenerateAcceptance:
+    def test_all_zero_probability_rejected(self):
+        from repro.market.acceptance import EmpiricalAcceptance
+
+        dead = EmpiricalAcceptance({1.0: 0.0, 2.0: 0.0})
+        with pytest.raises(ValueError):
+            solve_tradeoff_arrival(3, 100.0, dead, [1.0, 2.0], alpha=1.0)

@@ -1,0 +1,88 @@
+"""End-to-end tests of the cheap experiment modules (fig1/table1/fig5/fig6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1_arrivals, fig5_utility, fig6_table2_regression
+from repro.experiments import table1_truncation
+
+
+class TestFig1:
+    def test_periodicity_detected(self):
+        result = fig1_arrivals.run_fig1()
+        assert result.week_correlation > 0.8
+        assert result.week_correlation > result.day_correlation
+        assert result.weekend_mean < result.weekday_mean
+
+    def test_format(self):
+        result = fig1_arrivals.run_fig1()
+        text = fig1_arrivals.format_result(result)
+        assert "Fig 1" in text
+        assert "week-over-week" in text
+
+
+class TestTable1:
+    def test_paper_values(self):
+        rows = table1_truncation.run_table1()
+        values = {(r.eps, r.lam): r.s0 for r in rows}
+        assert values[(1e-9, 10.0)] == 35
+        assert values[(1e-9, 20.0)] == 53
+        assert values[(1e-9, 50.0)] == 99
+
+    def test_extended_thresholds(self):
+        rows = table1_truncation.run_table1(eps_values=(1e-6, 1e-9))
+        assert len(rows) == 6
+        by_eps = {}
+        for r in rows:
+            by_eps.setdefault(r.lam, {})[r.eps] = r.s0
+        for lam, cuts in by_eps.items():
+            assert cuts[1e-6] <= cuts[1e-9]
+
+    def test_format(self):
+        text = table1_truncation.format_result(table1_truncation.run_table1())
+        assert "Table 1" in text
+        assert "35" in text and "53" in text and "99" in text
+
+
+class TestFig5:
+    def test_fit_tracks_simulation(self):
+        result = fig5_utility.run_fig5(samples_per_reward=1500, seed=5)
+        assert result.rmse < 0.02
+        assert result.beta > 0  # utility rises with reward
+        # Acceptance grows with reward overall.
+        assert result.simulated[-1] > result.simulated[0]
+
+    def test_format(self):
+        result = fig5_utility.run_fig5(samples_per_reward=500, seed=5)
+        assert "beta" in fig5_utility.format_result(result)
+
+
+class TestFig6Table2:
+    def test_recovery_of_paper_coefficients(self):
+        result = fig6_table2_regression.run_fig6_table2()
+        cat = result.fits["Categorization"]
+        dc = result.fits["Data Collection"]
+        assert cat.alpha == pytest.approx(748.0, rel=0.15)
+        assert dc.alpha == pytest.approx(809.0, rel=0.15)
+        assert cat.bias == pytest.approx(3.66, abs=0.5)
+        assert dc.bias == pytest.approx(6.28, abs=0.5)
+
+    def test_derived_eq13(self):
+        result = fig6_table2_regression.run_fig6_table2()
+        assert result.derived.s == pytest.approx(15.0, abs=2.0)
+        assert result.derived.b == pytest.approx(-0.39, abs=0.35)
+        assert result.derived.m == 2000.0
+
+    def test_samples_exposed(self):
+        result = fig6_table2_regression.run_fig6_table2()
+        wages, workload = result.samples["Data Collection"]
+        assert wages.size == workload.size == 120
+        assert np.all(workload > 0)
+
+    def test_format(self):
+        text = fig6_table2_regression.format_result(
+            fig6_table2_regression.run_fig6_table2()
+        )
+        assert "Table 2" in text and "paper 15" in text

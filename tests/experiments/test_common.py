@@ -1,0 +1,54 @@
+"""Tests for the shared fixed-vs-dynamic comparison machinery."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.common import StrategyComparison, compare_strategies
+from repro.experiments.config import PaperSetting
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    setting = PaperSetting(
+        num_tasks=40, horizon_hours=6.0, interval_minutes=60.0, max_price=40
+    )
+    return compare_strategies(setting.problem())
+
+
+class TestCompareStrategies:
+    def test_fixed_cost_definition(self, comparison):
+        assert comparison.fixed_cost == comparison.fixed_price * 40
+
+    def test_dynamic_cost_alias(self, comparison):
+        assert comparison.dynamic_cost == comparison.dynamic_outcome.expected_cost
+
+    def test_reduction_sign_and_bound(self, comparison):
+        assert -0.05 <= comparison.cost_reduction < 1.0
+
+    def test_dynamic_meets_bound(self, comparison):
+        assert comparison.dynamic_outcome.expected_remaining <= 0.01
+
+    def test_penalty_recorded(self, comparison):
+        assert comparison.penalty > 0
+        assert comparison.dynamic_policy.problem.penalty.per_task == pytest.approx(
+            comparison.penalty
+        )
+
+    def test_zero_fixed_cost_rejected(self, comparison):
+        broken = dataclasses.replace(comparison, fixed_cost=0.0)
+        with pytest.raises(ValueError):
+            _ = broken.cost_reduction
+
+
+class TestStrategyComparisonIsValueObject:
+    def test_frozen(self, comparison):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            comparison.fixed_price = 1.0
+
+    def test_fields(self):
+        names = {f.name for f in dataclasses.fields(StrategyComparison)}
+        assert {"fixed_price", "fixed_cost", "dynamic_policy",
+                "dynamic_outcome", "penalty"} <= names

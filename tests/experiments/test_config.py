@@ -1,0 +1,48 @@
+"""Tests for the shared experiment configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import PaperSetting, default_setting
+
+
+class TestPaperSetting:
+    def test_defaults_match_section52(self):
+        setting = default_setting()
+        assert setting.num_tasks == 200
+        assert setting.horizon_hours == 24.0
+        assert setting.num_intervals == 72  # 20-minute intervals
+        assert setting.confidence == 0.999
+
+    def test_price_grid_starts_at_one_cent(self):
+        grid = default_setting().price_grid()
+        assert grid[0] == 1.0
+        assert np.all(np.diff(grid) == 1.0)
+
+    def test_problem_assembly(self):
+        setting = default_setting()
+        problem = setting.problem()
+        assert problem.num_tasks == 200
+        assert problem.num_intervals == 72
+        assert problem.arrival_means.sum() == pytest.approx(
+            setting.rate_function().integral(
+                setting.start_hour, setting.start_hour + 24.0
+            )
+        )
+
+    def test_problem_overrides(self):
+        setting = default_setting()
+        problem = setting.problem(num_tasks=50, horizon_hours=12.0)
+        assert problem.num_tasks == 50
+        assert problem.num_intervals == 36
+
+    def test_start_day_not_holiday(self):
+        # The default window must avoid the trace's holiday (day 0).
+        setting = default_setting()
+        assert setting.start_day != 0
+
+    def test_trace_cached_independently(self):
+        setting = default_setting()
+        assert np.array_equal(setting.trace().counts, setting.trace().counts)

@@ -1,0 +1,110 @@
+"""Rendering tests: every experiment's format_result produces its block.
+
+The heavy experiments are run at reduced scale; the goal here is coverage
+of the formatting paths (tables assemble, labels present, no crashes on
+edge shapes), complementing the integration tests that check the numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ext_adaptive,
+    fig7a_deadline_cost,
+    fig7b_trends,
+    fig8_param_trends,
+    fig8d_granularity,
+    fig9_pc_sensitivity,
+    fig10_arrival_sensitivity,
+    fig11_budget_completion,
+)
+from repro.experiments.config import PaperSetting
+
+
+@pytest.fixture(scope="module")
+def tiny_setting():
+    return PaperSetting(
+        num_tasks=30, horizon_hours=4.0, interval_minutes=60.0, max_price=40
+    )
+
+
+class TestFormatting:
+    def test_fig7a(self, tiny_setting):
+        result = fig7a_deadline_cost.run_fig7a(
+            setting=tiny_setting, bounds=(1.0, 0.1), fixed_prices=(20.0, 25.0)
+        )
+        text = fig7a_deadline_cost.format_result(result)
+        assert "dynamic pricing strategy" in text
+        assert "floor price" in text
+
+    def test_fig7b(self, tiny_setting):
+        result = fig7b_trends.run_fig7b(
+            setting=tiny_setting, n_values=(20,), t_values=(4.0,)
+        )
+        text = fig7b_trends.format_result(result)
+        assert "cost reduction vs batch size" in text
+
+    def test_fig8abc(self, tiny_setting):
+        result = fig8_param_trends.run_fig8_params(
+            setting=tiny_setting,
+            s_values=(15.0,),
+            b_values=(-0.39,),
+            m_values=(2000.0,),
+        )
+        text = fig8_param_trends.format_result(result)
+        assert "cost reduction vs s" in text
+        assert "cost reduction vs M" in text
+
+    def test_fig8d(self, tiny_setting):
+        result = fig8d_granularity.run_fig8d(
+            setting=tiny_setting, interval_minutes=(60.0, 120.0)
+        )
+        text = fig8d_granularity.format_result(result)
+        assert "granularity" in text
+
+    def test_fig9(self, tiny_setting):
+        result = fig9_pc_sensitivity.run_fig9(
+            setting=tiny_setting,
+            s_values=(15.0,),
+            b_values=(-0.39,),
+            m_values=(2000.0,),
+            fixed_prices=(20.0,),
+        )
+        text = fig9_pc_sensitivity.format_result(result)
+        assert "mis-estimated s" in text
+        assert "worst-case" in text
+
+    def test_fig10(self, tiny_setting):
+        result = fig10_arrival_sensitivity.run_fig10(
+            setting=tiny_setting, test_days=(0, 7)
+        )
+        text = fig10_arrival_sensitivity.format_result(result)
+        assert "leave-one-day-out" in text
+        assert "holiday" in text
+
+    def test_fig10_missing_holiday_raises(self, tiny_setting):
+        result = fig10_arrival_sensitivity.run_fig10(
+            setting=tiny_setting, test_days=(7, 14)
+        )
+        with pytest.raises(ValueError):
+            result.holiday()
+
+    def test_fig11(self, tiny_setting):
+        result = fig11_budget_completion.run_fig11(
+            setting=tiny_setting,
+            budget_cents=25.0 * tiny_setting.num_tasks,
+            num_replications=10,
+            seed=3,
+            num_bins=4,
+        )
+        text = fig11_budget_completion.format_result(result)
+        assert "completion-time distribution" in text
+
+    def test_ext_adaptive(self, tiny_setting):
+        result = ext_adaptive.run_ext_adaptive(
+            setting=tiny_setting, num_replications=2, seed=5
+        )
+        text = ext_adaptive.format_result(result)
+        assert "adaptive" in text
+        assert "learned factor" in text

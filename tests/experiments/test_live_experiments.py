@@ -1,0 +1,81 @@
+"""Tests for the live-deployment experiment modules on a shrunken config."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig12_live, fig15_sessions, tables34_accuracy
+from repro.sim.live import LiveExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def small_deployment():
+    config = LiveExperimentConfig(total_tasks=1000)
+    return fig12_live.run_fig12(config=config, num_dynamic_trials=2, seed=88)
+
+
+class TestFig12Module:
+    def test_all_group_sizes_present(self, small_deployment):
+        assert set(small_deployment.fixed_trials) == {10, 20, 30, 40, 50}
+        assert len(small_deployment.dynamic_trials) == 2
+
+    def test_cost_ordering(self, small_deployment):
+        # Per completed task, smaller groups cost strictly more.
+        costs = {
+            g: trial.cost_dollars / max(trial.tasks_completed, 1)
+            for g, trial in small_deployment.fixed_trials.items()
+        }
+        assert costs[10] > costs[20] > costs[50]
+
+    def test_dynamic_cheaper_than_fixed20_per_task(self, small_deployment):
+        fixed = small_deployment.fixed_trials[20]
+        fixed_rate = fixed.cost_dollars / max(fixed.tasks_completed, 1)
+        for trial in small_deployment.dynamic_trials:
+            dynamic_rate = trial.cost_dollars / max(trial.tasks_completed, 1)
+            assert dynamic_rate <= fixed_rate + 1e-9
+
+    def test_format(self, small_deployment):
+        text = fig12_live.format_result(small_deployment)
+        assert "Fig 12(a)" in text and "Fig 12(c)" in text
+
+
+class TestTables34Module:
+    def test_accuracy_band(self, small_deployment):
+        result = tables34_accuracy.run_tables34(deployment=small_deployment)
+        for value in result.fixed_mean_accuracy.values():
+            assert 0.82 <= value <= 0.98
+        assert result.accuracy_spread() < 0.08
+
+    def test_cdfs_monotone(self, small_deployment):
+        result = tables34_accuracy.run_tables34(deployment=small_deployment)
+        for cdf in result.fixed_cdfs.values():
+            finite = cdf[np.isfinite(cdf)]
+            assert np.all(np.diff(finite) >= 0)
+            assert finite[-1] == pytest.approx(1.0)
+
+    def test_cdf_helper_empty(self):
+        empty = tables34_accuracy.accuracy_cdf(np.array([]), [0.5, 1.0])
+        assert np.all(np.isnan(empty))
+
+    def test_format(self, small_deployment):
+        result = tables34_accuracy.run_tables34(deployment=small_deployment)
+        text = tables34_accuracy.format_result(result)
+        assert "Table 3" in text and "Table 4" in text
+
+
+class TestFig15Module:
+    def test_model_agreement(self, small_deployment):
+        result = fig15_sessions.run_fig15(
+            deployment=small_deployment, num_replications=2
+        )
+        for g, measured in result.mean_hits_per_worker.items():
+            assert measured == pytest.approx(
+                result.expected_hits_model[g], rel=0.35
+            )
+
+    def test_format(self, small_deployment):
+        result = fig15_sessions.run_fig15(
+            deployment=small_deployment, num_replications=1
+        )
+        assert "Fig 15" in fig15_sessions.format_result(result)

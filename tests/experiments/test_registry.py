@@ -1,0 +1,31 @@
+"""Tests for the experiment registry index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+EXPECTED_IDS = {
+    "fig1", "table1", "fig5", "fig6_table2", "fig7a", "fig7b", "fig8abc",
+    "fig8d", "fig9", "fig10", "fig11", "fig12", "tables34", "fig15",
+    "ext_adaptive",
+}
+
+
+class TestRegistry:
+    def test_every_table_and_figure_indexed(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_descriptions_nonempty(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.description
+            assert experiment.exp_id
+
+    def test_run_experiment_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_run_experiment_renders(self):
+        text = run_experiment("table1")
+        assert "Table 1" in text

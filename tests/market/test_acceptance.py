@@ -1,0 +1,128 @@
+"""Tests for the acceptance-probability models (Eq. 3 / Eq. 13)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.market.acceptance import (
+    EmpiricalAcceptance,
+    LogitAcceptance,
+    PAPER_B,
+    PAPER_M,
+    PAPER_S,
+    paper_acceptance_model,
+)
+
+
+class TestLogitAcceptance:
+    def test_eq13_values(self):
+        model = paper_acceptance_model()
+        # Eq. 13: p(c) = exp(c/15 + 0.39) / (exp(c/15 + 0.39) + 2000).
+        for c in (0.0, 12.0, 16.0, 30.0):
+            e = math.exp(c / 15.0 + 0.39)
+            assert model.probability(c) == pytest.approx(e / (e + 2000.0), rel=1e-12)
+
+    def test_parameters_match_paper(self):
+        model = paper_acceptance_model()
+        assert (model.s, model.b, model.m) == (PAPER_S, PAPER_B, PAPER_M)
+
+    def test_monotone_increasing(self):
+        model = paper_acceptance_model()
+        probs = model.probabilities(np.arange(0.0, 100.0))
+        assert np.all(np.diff(probs) > 0)
+
+    def test_bounds(self):
+        model = LogitAcceptance(s=1.0, b=0.0, m=1.0)
+        assert 0.0 < model.probability(0.0) < 1.0
+        assert model.probability(20_000.0) == 1.0  # saturation guard
+
+    def test_vectorized_matches_scalar(self):
+        model = paper_acceptance_model()
+        grid = np.array([0.0, 3.0, 17.0, 42.0])
+        vector = model.probabilities(grid)
+        scalars = [model.probability(c) for c in grid]
+        assert np.allclose(vector, scalars)
+
+    def test_callable(self):
+        model = paper_acceptance_model()
+        assert model(10.0) == model.probability(10.0)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            paper_acceptance_model().probability(-1.0)
+        with pytest.raises(ValueError):
+            paper_acceptance_model().probabilities([-1.0, 2.0])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogitAcceptance(s=0.0, b=0.0, m=1.0)
+        with pytest.raises(ValueError):
+            LogitAcceptance(s=1.0, b=0.0, m=0.0)
+
+    @given(st.floats(min_value=1e-5, max_value=0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_roundtrip(self, p):
+        model = paper_acceptance_model()
+        price = model.inverse(p)
+        if price >= 0:
+            assert model.probability(price) == pytest.approx(p, rel=1e-9)
+
+    def test_inverse_rejects_bounds(self):
+        model = paper_acceptance_model()
+        with pytest.raises(ValueError):
+            model.inverse(0.0)
+        with pytest.raises(ValueError):
+            model.inverse(1.0)
+        with pytest.raises(ValueError):
+            model.inverse(1.5)
+
+    def test_with_params(self):
+        base = paper_acceptance_model()
+        changed = base.with_params(m=4000.0)
+        assert changed.m == 4000.0
+        assert changed.s == base.s and changed.b == base.b
+        assert changed.probability(10.0) < base.probability(10.0)
+
+    def test_repr(self):
+        assert "LogitAcceptance" in repr(paper_acceptance_model())
+
+
+class TestEmpiricalAcceptance:
+    def test_exact_at_knots(self):
+        table = {1.0: 0.1, 2.0: 0.4}
+        model = EmpiricalAcceptance(table)
+        assert model.probability(1.0) == pytest.approx(0.1)
+        assert model.probability(2.0) == pytest.approx(0.4)
+
+    def test_interpolation(self):
+        model = EmpiricalAcceptance({0.0: 0.0, 2.0: 0.4})
+        assert model.probability(1.0) == pytest.approx(0.2)
+
+    def test_clamping_outside_range(self):
+        model = EmpiricalAcceptance({1.0: 0.1, 2.0: 0.4})
+        assert model.probability(0.0) == pytest.approx(0.1)
+        assert model.probability(5.0) == pytest.approx(0.4)
+
+    def test_vectorized(self):
+        model = EmpiricalAcceptance({0.0: 0.0, 1.0: 1.0})
+        assert np.allclose(model.probabilities([0.25, 0.75]), [0.25, 0.75])
+
+    def test_prices_accessor_copy(self):
+        model = EmpiricalAcceptance({1.0: 0.1})
+        prices = model.prices
+        prices[0] = 99.0
+        assert model.probability(1.0) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalAcceptance({})
+        with pytest.raises(ValueError):
+            EmpiricalAcceptance({1.0: 1.5})
+
+    def test_repr(self):
+        assert "EmpiricalAcceptance" in repr(EmpiricalAcceptance({1.0: 0.5}))

@@ -1,0 +1,92 @@
+"""Tests for the adaptive arrival-rate predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.market.adaptive import AdaptiveRatePredictor
+
+
+@pytest.fixture
+def predictor():
+    return AdaptiveRatePredictor(np.array([100.0, 200.0, 150.0, 100.0]))
+
+
+class TestObservation:
+    def test_starts_neutral(self, predictor):
+        assert predictor.factor == 1.0
+        assert predictor.num_observations == 0
+
+    def test_underdelivery_lowers_factor(self, predictor):
+        predictor.observe(0, 50.0)  # half the forecast
+        assert predictor.factor < 1.0
+
+    def test_overdelivery_raises_factor(self, predictor):
+        predictor.observe(0, 200.0)
+        assert predictor.factor > 1.0
+
+    def test_converges_to_consistent_ratio(self):
+        predictor = AdaptiveRatePredictor(np.full(50, 100.0), smoothing=0.4)
+        for t in range(50):
+            predictor.observe(t, 55.0)
+        assert predictor.factor == pytest.approx(0.55, abs=0.02)
+
+    def test_noise_averages_out(self, rng):
+        predictor = AdaptiveRatePredictor(np.full(200, 100.0), smoothing=0.2)
+        for t in range(200):
+            predictor.observe(t, float(rng.poisson(100.0)))
+        assert predictor.factor == pytest.approx(1.0, abs=0.1)
+
+    def test_clamping(self):
+        predictor = AdaptiveRatePredictor(
+            np.full(5, 100.0), smoothing=1.0, min_factor=0.5, max_factor=2.0
+        )
+        predictor.observe(0, 0.0)
+        assert predictor.factor == 0.5
+        predictor.observe(1, 10_000.0)
+        assert predictor.factor == 2.0
+
+    def test_zero_forecast_interval_skipped(self):
+        predictor = AdaptiveRatePredictor(np.array([0.0, 100.0]))
+        predictor.observe(0, 42.0)
+        assert predictor.factor == 1.0
+        assert predictor.num_observations == 0
+
+    def test_validation(self, predictor):
+        with pytest.raises(ValueError):
+            predictor.observe(99, 10.0)
+        with pytest.raises(ValueError):
+            predictor.observe(0, -1.0)
+
+
+class TestCorrectedMeans:
+    def test_scaling_and_slicing(self, predictor):
+        predictor.observe(0, 50.0)
+        corrected = predictor.corrected_means(from_interval=1)
+        expected = np.array([200.0, 150.0, 100.0]) * predictor.factor
+        assert np.allclose(corrected, expected)
+
+    def test_bounds_checked(self, predictor):
+        with pytest.raises(ValueError):
+            predictor.corrected_means(from_interval=5)
+
+    def test_reset(self, predictor):
+        predictor.observe(0, 10.0)
+        predictor.reset()
+        assert predictor.factor == 1.0
+        assert predictor.num_observations == 0
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveRatePredictor(np.array([]))
+        with pytest.raises(ValueError):
+            AdaptiveRatePredictor(np.array([-1.0]))
+        with pytest.raises(ValueError):
+            AdaptiveRatePredictor(np.array([1.0]), smoothing=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveRatePredictor(np.array([1.0]), min_factor=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveRatePredictor(np.array([1.0]), min_factor=2.0, max_factor=1.0)

@@ -1,0 +1,99 @@
+"""Tests for the discrete-choice substrate (Section 2.2 / Fig. 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.market.choice import (
+    ChoiceSetting,
+    conditional_logit_probabilities,
+    fit_logit_curve,
+    sample_gumbel_choice,
+    simulate_acceptance_curve,
+)
+
+
+class TestConditionalLogit:
+    def test_sums_to_one(self):
+        probs = conditional_logit_probabilities([0.0, 1.0, -2.0, 3.0])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_equal_utilities_uniform(self):
+        probs = conditional_logit_probabilities([2.0, 2.0, 2.0])
+        assert np.allclose(probs, 1.0 / 3.0)
+
+    def test_shift_invariance(self):
+        a = conditional_logit_probabilities([0.0, 1.0, 2.0])
+        b = conditional_logit_probabilities([100.0, 101.0, 102.0])
+        assert np.allclose(a, b)
+
+    def test_extreme_utilities_stable(self):
+        probs = conditional_logit_probabilities([1000.0, 0.0])
+        assert probs[0] == pytest.approx(1.0)
+        assert np.all(np.isfinite(probs))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            conditional_logit_probabilities([])
+
+
+class TestGumbelMax:
+    def test_matches_logit_distribution(self, rng):
+        # The Gumbel-max trick: argmax(u + Gumbel noise) ~ conditional logit.
+        utilities = [0.0, 1.0, 2.0]
+        expected = conditional_logit_probabilities(utilities)
+        draws = np.array(
+            [sample_gumbel_choice(utilities, rng) for _ in range(6000)]
+        )
+        empirical = np.bincount(draws, minlength=3) / draws.size
+        assert np.allclose(empirical, expected, atol=0.025)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_gumbel_choice([], rng)
+
+
+class TestChoiceSetting:
+    def test_defaults_match_paper(self):
+        setting = ChoiceSetting()
+        assert setting.num_tasks == 100
+        assert setting.reward_scale == 50.0
+        assert setting.reward_offset == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChoiceSetting(num_tasks=1)
+        with pytest.raises(ValueError):
+            ChoiceSetting(reward_scale=0.0)
+
+
+class TestSimulateAcceptanceCurve:
+    def test_monotone_in_reward(self, rng):
+        rewards = [0.0, 50.0, 100.0, 150.0]
+        curve = simulate_acceptance_curve(rewards, ChoiceSetting(), 3000, rng)
+        # Higher rewards raise our task's mean utility, hence win rate.
+        assert curve[-1] > curve[0]
+        assert np.all((curve >= 0.0) & (curve <= 1.0))
+
+    def test_invalid_samples_rejected(self, rng):
+        with pytest.raises(ValueError):
+            simulate_acceptance_curve([1.0], ChoiceSetting(), 0, rng)
+
+
+class TestFitLogitCurve:
+    def test_recovers_synthetic_parameters(self):
+        rewards = np.arange(0.0, 151.0, 5.0)
+        z = rewards / 50.0 - 1.0
+        beta_true, m_true = 2.6, 60.0
+        e = np.exp(beta_true * z)
+        probs = e / (e + m_true)
+        beta, m = fit_logit_curve(rewards, probs)
+        assert beta == pytest.approx(beta_true, rel=0.05)
+        assert m == pytest.approx(m_true, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_logit_curve([1.0, 2.0], [0.1])
+        with pytest.raises(ValueError):
+            fit_logit_curve([1.0, 2.0], [0.1, 0.2])

@@ -1,0 +1,104 @@
+"""Tests for the estimation pipelines (rates, Table 2 regression, Eq. 13)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.market.acceptance import LogitAcceptance
+from repro.market.estimation import (
+    WageRegressionResult,
+    derive_acceptance_model,
+    estimate_piecewise_rate,
+    fit_logit_acceptance,
+    fit_wage_workload_regression,
+)
+
+
+class TestEstimatePiecewiseRate:
+    def test_mle_is_count_over_width(self):
+        rate = estimate_piecewise_rate([10, 20, 0], bin_hours=0.5)
+        assert rate.rate(0.25) == pytest.approx(20.0)
+        assert rate.rate(0.75) == pytest.approx(40.0)
+        assert rate.rate(1.25) == pytest.approx(0.0)
+
+    def test_total_mass_preserved(self):
+        counts = [7, 3, 11, 2]
+        rate = estimate_piecewise_rate(counts, bin_hours=0.25)
+        assert rate.integral(0.0, 1.0) == pytest.approx(sum(counts))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_piecewise_rate([1, 2], bin_hours=0.0)
+        with pytest.raises(ValueError):
+            estimate_piecewise_rate([-1], bin_hours=1.0)
+
+
+class TestWageWorkloadRegression:
+    def test_exact_recovery_without_noise(self):
+        wages = np.linspace(0.0005, 0.003, 40)
+        workload = np.exp(809.0 * wages + 6.28)
+        fit = fit_wage_workload_regression(wages, workload)
+        assert fit.alpha == pytest.approx(809.0, rel=1e-9)
+        assert fit.bias == pytest.approx(6.28, rel=1e-9)
+        assert fit.residual_std == pytest.approx(0.0, abs=1e-9)
+        assert fit.num_points == 40
+
+    def test_noisy_recovery(self, rng):
+        wages = rng.uniform(0.0003, 0.004, 200)
+        workload = np.exp(748.0 * wages + 3.66 + rng.normal(0, 0.3, 200))
+        fit = fit_wage_workload_regression(wages, workload)
+        assert fit.alpha == pytest.approx(748.0, rel=0.12)
+        assert fit.bias == pytest.approx(3.66, abs=0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_wage_workload_regression([1.0], [2.0, 3.0])
+        with pytest.raises(ValueError):
+            fit_wage_workload_regression([1.0], [2.0])
+        with pytest.raises(ValueError):
+            fit_wage_workload_regression([1.0, 2.0], [1.0, 0.0])
+
+
+class TestDeriveAcceptanceModel:
+    def test_paper_numbers_give_eq13(self):
+        # Section 5.1.2: alpha=809, bias=6.28, 120s task, total=6000/h, M=2000
+        # => s ~ 15, b ~ -0.39.
+        fit = WageRegressionResult(alpha=809.0, bias=6.28, residual_std=0.0, num_points=100)
+        model = derive_acceptance_model(fit, task_seconds=120.0)
+        assert model.s == pytest.approx(14.83, abs=0.05)
+        assert model.b == pytest.approx(-0.39, abs=0.02)
+        assert model.m == 2000.0
+
+    def test_validation(self):
+        good = WageRegressionResult(alpha=800.0, bias=6.0, residual_std=0.0, num_points=10)
+        with pytest.raises(ValueError):
+            derive_acceptance_model(good, task_seconds=0.0)
+        bad_slope = WageRegressionResult(alpha=-1.0, bias=6.0, residual_std=0.0, num_points=10)
+        with pytest.raises(ValueError):
+            derive_acceptance_model(bad_slope, task_seconds=120.0)
+
+
+class TestFitLogitAcceptance:
+    def test_recovers_parameters_fixed_m(self):
+        truth = LogitAcceptance(s=15.0, b=-0.39, m=2000.0)
+        prices = np.arange(2.0, 40.0, 2.0)
+        probs = truth.probabilities(prices)
+        fit = fit_logit_acceptance(prices, probs, m=2000.0)
+        assert fit.s == pytest.approx(15.0, rel=1e-4)
+        assert fit.b == pytest.approx(-0.39, abs=1e-3)
+
+    def test_recovers_parameters_free_m(self):
+        truth = LogitAcceptance(s=12.0, b=0.5, m=800.0)
+        prices = np.arange(1.0, 60.0, 1.5)
+        probs = truth.probabilities(prices)
+        fit = fit_logit_acceptance(prices, probs)
+        assert fit.probabilities(prices) == pytest.approx(probs, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_logit_acceptance([1.0, 2.0], [0.1, 0.2])  # too few for free M
+        with pytest.raises(ValueError):
+            fit_logit_acceptance([1.0, 2.0, 3.0], [0.0, 0.1, 0.2])
+        with pytest.raises(ValueError):
+            fit_logit_acceptance([1.0], [0.1, 0.2], m=100.0)

@@ -1,0 +1,94 @@
+"""Tests for the general Eq. 2 conditional-logit market."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.market.acceptance import AcceptanceModel
+from repro.market.choice import ConditionalLogitMarket, conditional_logit_probabilities
+
+
+@pytest.fixture
+def market():
+    # Two attributes: (reward-derived utility term, task-type indicator).
+    beta = np.array([1.0, 0.5])
+    competitors = np.array([[0.0, 1.0], [0.5, 0.0], [1.0, 1.0], [-0.5, 0.0]])
+    return ConditionalLogitMarket(beta, competitors)
+
+
+class TestAcceptanceProbability:
+    def test_matches_full_logit(self, market):
+        # p must equal the first entry of the full choice distribution over
+        # [our task] + competitors.
+        ours = np.array([0.8, 1.0])
+        utilities = np.concatenate(
+            [
+                [ours @ market.beta],
+                market.competitor_attributes @ market.beta,
+            ]
+        )
+        expected = conditional_logit_probabilities(utilities)[0]
+        assert market.acceptance_probability(ours) == pytest.approx(expected)
+
+    def test_monotone_in_utility(self, market):
+        low = market.acceptance_probability(np.array([0.0, 0.0]))
+        high = market.acceptance_probability(np.array([2.0, 0.0]))
+        assert high > low
+
+    def test_saturates(self, market):
+        assert market.acceptance_probability(np.array([10_000.0, 0.0])) == 1.0
+
+    def test_shape_checked(self, market):
+        with pytest.raises(ValueError):
+            market.acceptance_probability(np.array([1.0]))
+
+    def test_stable_under_huge_competitor_utilities(self):
+        market = ConditionalLogitMarket(
+            np.array([1.0]), np.array([[1000.0], [999.0]])
+        )
+        p = market.acceptance_probability(np.array([998.0]))
+        assert 0.0 < p < 1.0
+        assert np.isfinite(p)
+
+
+class TestAcceptanceModelView:
+    def test_is_acceptance_model(self, market):
+        model = market.acceptance_model(lambda c: np.array([c / 50.0, 1.0]))
+        assert isinstance(model, AcceptanceModel)
+        probs = model.probabilities([0.0, 25.0, 50.0])
+        assert np.all(np.diff(probs) > 0)
+
+    def test_usable_by_deadline_solver(self, market):
+        from repro.core.deadline.model import DeadlineProblem, PenaltyScheme
+        from repro.core.deadline.vectorized import solve_deadline
+
+        model = market.acceptance_model(lambda c: np.array([c / 10.0 - 3.0, 0.0]))
+        problem = DeadlineProblem(
+            num_tasks=4,
+            arrival_means=np.array([60.0, 80.0]),
+            acceptance=model,
+            price_grid=np.arange(1.0, 11.0),
+            penalty=PenaltyScheme(per_task=30.0),
+        )
+        policy = solve_deadline(problem)
+        assert policy.optimal_value > 0
+
+    def test_negative_price_rejected(self, market):
+        model = market.acceptance_model(lambda c: np.array([c, 0.0]))
+        with pytest.raises(ValueError):
+            model.probability(-1.0)
+
+    def test_callable_required(self, market):
+        with pytest.raises(TypeError):
+            market.acceptance_model("not callable")
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConditionalLogitMarket(np.array([]), np.zeros((1, 0)))
+        with pytest.raises(ValueError):
+            ConditionalLogitMarket(np.array([1.0]), np.zeros((0, 1)))
+        with pytest.raises(ValueError):
+            ConditionalLogitMarket(np.array([1.0, 2.0]), np.zeros((3, 1)))

@@ -1,0 +1,106 @@
+"""Tests for the NHPP counting process and interval means (Eq. 1/4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.market.nhpp import NHPP, interval_means
+from repro.market.rates import ConstantRate, PiecewiseConstantRate
+
+
+class TestIntervalMeans:
+    def test_constant_rate(self):
+        means = interval_means(ConstantRate(6.0), horizon=4.0, num_intervals=4)
+        assert np.allclose(means, 6.0)
+
+    def test_piecewise_rate(self):
+        rate = PiecewiseConstantRate([0.0, 1.0, 2.0], [2.0, 4.0])
+        means = interval_means(rate, horizon=2.0, num_intervals=4)
+        assert np.allclose(means, [1.0, 1.0, 2.0, 2.0])
+
+    def test_start_offset(self):
+        rate = PiecewiseConstantRate([0.0, 1.0, 2.0], [2.0, 4.0])
+        means = interval_means(rate, horizon=1.0, num_intervals=2, start=1.0)
+        assert np.allclose(means, [2.0, 2.0])
+
+    def test_total_preserved(self):
+        rate = PiecewiseConstantRate.from_uniform_bins(0.3, [5.0, 1.0, 9.0, 2.0])
+        means = interval_means(rate, horizon=1.2, num_intervals=5)
+        assert means.sum() == pytest.approx(rate.integral(0.0, 1.2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interval_means(ConstantRate(1.0), horizon=0.0, num_intervals=2)
+        with pytest.raises(ValueError):
+            interval_means(ConstantRate(1.0), horizon=1.0, num_intervals=0)
+
+
+class TestNHPPSampling:
+    def test_mean_count(self, rng):
+        process = NHPP(ConstantRate(30.0))
+        counts = [process.sample_count(0.0, 2.0, rng) for _ in range(2000)]
+        assert np.mean(counts) == pytest.approx(60.0, rel=0.05)
+
+    def test_arrivals_sorted_and_in_window(self, rng):
+        rate = PiecewiseConstantRate.from_uniform_bins(1.0, [10.0, 40.0, 5.0])
+        process = NHPP(rate)
+        times = process.sample_arrivals(0.5, 2.5, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0.5 and times.max() <= 2.5
+
+    def test_arrival_counts_match_rate_profile(self, rng):
+        rate = PiecewiseConstantRate.from_uniform_bins(1.0, [5.0, 50.0])
+        process = NHPP(rate)
+        first, second = 0, 0
+        for _ in range(300):
+            times = process.sample_arrivals(0.0, 2.0, rng)
+            first += np.sum(times < 1.0)
+            second += np.sum(times >= 1.0)
+        assert second / max(first, 1) == pytest.approx(10.0, rel=0.25)
+
+    def test_empty_window(self, rng):
+        process = NHPP(ConstantRate(5.0))
+        assert process.sample_arrivals(1.0, 1.0, rng).size == 0
+
+    def test_reversed_window_rejected(self, rng):
+        with pytest.raises(ValueError):
+            NHPP(ConstantRate(5.0)).sample_arrivals(2.0, 1.0, rng)
+
+    def test_generic_rate_uses_resolution(self, rng):
+        process = NHPP(ConstantRate(40.0))
+        times = process.sample_arrivals(0.0, 3.0, rng, resolution=0.25)
+        assert times.size > 0
+        assert np.all((times >= 0.0) & (times <= 3.0))
+
+
+class TestThinning:
+    def test_thin_scales_rate(self):
+        process = NHPP(ConstantRate(10.0))
+        thinned = process.thin(0.3)
+        assert thinned.mean(0.0, 1.0) == pytest.approx(3.0)
+
+    def test_thin_probability_validated(self):
+        with pytest.raises(ValueError):
+            NHPP(ConstantRate(1.0)).thin(1.5)
+
+    def test_thin_arrivals_fraction(self, rng):
+        process = NHPP(ConstantRate(1.0))
+        arrivals = np.linspace(0.0, 1.0, 5000)
+        kept = process.thin_arrivals(arrivals, 0.2, rng)
+        assert kept.size / arrivals.size == pytest.approx(0.2, abs=0.03)
+
+    def test_thin_arrivals_empty(self, rng):
+        assert NHPP(ConstantRate(1.0)).thin_arrivals([], 0.5, rng).size == 0
+
+    def test_thinned_count_statistics(self, rng):
+        # Thinned NHPP is an NHPP with rate lambda * p (Section 2.1).
+        process = NHPP(ConstantRate(50.0))
+        direct = NHPP(ConstantRate(50.0 * 0.1))
+        thin_counts = [
+            process.thin_arrivals(process.sample_arrivals(0.0, 1.0, rng), 0.1, rng).size
+            for _ in range(800)
+        ]
+        direct_counts = [direct.sample_count(0.0, 1.0, rng) for _ in range(800)]
+        assert np.mean(thin_counts) == pytest.approx(np.mean(direct_counts), rel=0.15)
+        assert np.var(thin_counts) == pytest.approx(np.var(direct_counts), rel=0.3)

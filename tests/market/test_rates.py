@@ -1,0 +1,152 @@
+"""Tests for arrival-rate functions and their exact integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.market.rates import (
+    ConstantRate,
+    PeriodicRate,
+    PiecewiseConstantRate,
+    ScaledRate,
+    ShiftedRate,
+    SummedRate,
+)
+
+
+def numeric_integral(rate, s, t, steps=20000):
+    grid = np.linspace(s, t, steps)
+    values = np.array([rate.rate(x) for x in grid])
+    return float(np.trapezoid(values, grid))
+
+
+class TestConstantRate:
+    def test_integral_linear(self):
+        rate = ConstantRate(5.0)
+        assert rate.integral(1.0, 4.0) == pytest.approx(15.0)
+
+    def test_mean_rate(self):
+        assert ConstantRate(5.0).mean_rate(0.0, 10.0) == pytest.approx(5.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantRate(-1.0)
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantRate(1.0).integral(2.0, 1.0)
+
+    def test_mean_rate_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantRate(1.0).mean_rate(1.0, 1.0)
+
+
+class TestPiecewiseConstantRate:
+    def test_rate_lookup(self):
+        rate = PiecewiseConstantRate([0.0, 1.0, 3.0], [2.0, 5.0])
+        assert rate.rate(0.5) == 2.0
+        assert rate.rate(1.0) == 5.0
+        assert rate.rate(2.9) == 5.0
+        assert rate.rate(-0.1) == 0.0
+        assert rate.rate(3.0) == 0.0
+
+    def test_integral_exact(self):
+        rate = PiecewiseConstantRate([0.0, 1.0, 3.0], [2.0, 5.0])
+        assert rate.integral(0.0, 3.0) == pytest.approx(12.0)
+        assert rate.integral(0.5, 2.0) == pytest.approx(0.5 * 2 + 1.0 * 5)
+        assert rate.integral(-5.0, 10.0) == pytest.approx(12.0)
+
+    def test_from_uniform_bins(self):
+        rate = PiecewiseConstantRate.from_uniform_bins(0.5, [1.0, 2.0, 3.0])
+        assert rate.span == pytest.approx(1.5)
+        assert rate.integral(0.0, 1.5) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantRate([0.0], [])
+        with pytest.raises(ValueError):
+            PiecewiseConstantRate([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            PiecewiseConstantRate([0.0, 0.0], [1.0])
+        with pytest.raises(ValueError):
+            PiecewiseConstantRate([0.0, 1.0], [-1.0])
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=10),
+        st.floats(min_value=0.0, max_value=5.0),
+        st.floats(min_value=0.0, max_value=5.0),
+        st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_integral_additive(self, values, a, b, c):
+        rate = PiecewiseConstantRate.from_uniform_bins(0.7, values)
+        lo, mid, hi = sorted((a, b, c))
+        total = rate.integral(lo, hi)
+        split = rate.integral(lo, mid) + rate.integral(mid, hi)
+        assert total == pytest.approx(split, abs=1e-9)
+
+
+class TestPeriodicRate:
+    def test_wraps(self):
+        base = PiecewiseConstantRate([0.0, 1.0, 2.0], [1.0, 3.0])
+        periodic = PeriodicRate(base, 2.0)
+        assert periodic.rate(2.5) == 1.0
+        assert periodic.rate(3.5) == 3.0
+        assert periodic.rate(-0.5) == 3.0  # negative wraps too
+
+    def test_integral_multiple_periods(self):
+        base = PiecewiseConstantRate([0.0, 1.0, 2.0], [1.0, 3.0])
+        periodic = PeriodicRate(base, 2.0)
+        assert periodic.integral(0.0, 6.0) == pytest.approx(12.0)
+        assert periodic.integral(0.5, 4.5) == pytest.approx(
+            numeric_integral(periodic, 0.5, 4.5), rel=1e-3
+        )
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PeriodicRate(ConstantRate(1.0), 0.0)
+
+
+class TestCombinators:
+    def test_scaled(self):
+        scaled = ScaledRate(ConstantRate(4.0), 0.25)
+        assert scaled.rate(0.0) == 1.0
+        assert scaled.integral(0.0, 2.0) == pytest.approx(2.0)
+
+    def test_scaled_via_method(self):
+        assert ConstantRate(4.0).scaled(2.0).rate(0.0) == 8.0
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ScaledRate(ConstantRate(1.0), -0.5)
+
+    def test_summed(self):
+        total = SummedRate([ConstantRate(1.0), ConstantRate(2.0)])
+        assert total.rate(0.0) == 3.0
+        assert total.integral(0.0, 2.0) == pytest.approx(6.0)
+
+    def test_summed_via_operator(self):
+        total = ConstantRate(1.0) + ConstantRate(2.0)
+        assert total.rate(5.0) == 3.0
+
+    def test_summed_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SummedRate([])
+
+    def test_shifted(self):
+        base = PiecewiseConstantRate([0.0, 1.0, 2.0], [1.0, 3.0])
+        shifted = ShiftedRate(base, 1.0)
+        assert shifted.rate(0.0) == 3.0
+        assert shifted.integral(0.0, 1.0) == pytest.approx(3.0)
+        assert shifted.integral(-1.0, 1.0) == pytest.approx(4.0)
+
+    def test_reprs(self):
+        assert "ConstantRate" in repr(ConstantRate(1.0))
+        assert "PiecewiseConstantRate" in repr(
+            PiecewiseConstantRate([0.0, 1.0], [1.0])
+        )
+        assert "PeriodicRate" in repr(PeriodicRate(ConstantRate(1.0), 1.0))
+        assert "ShiftedRate" in repr(ShiftedRate(ConstantRate(1.0), 1.0))

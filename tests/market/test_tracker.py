@@ -1,0 +1,119 @@
+"""Tests for the synthetic mturk-tracker trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.market.tracker import SyntheticTrackerTrace, TrackerConfig
+
+
+class TestTrackerConfig:
+    def test_defaults(self):
+        config = TrackerConfig()
+        assert config.num_days == 28
+        assert config.bin_hours == pytest.approx(1.0 / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrackerConfig(num_days=0)
+        with pytest.raises(ValueError):
+            TrackerConfig(base_rate=-1.0)
+        with pytest.raises(ValueError):
+            TrackerConfig(diurnal_amplitude=1.0)
+
+    def test_holiday_depresses_rate(self):
+        config = TrackerConfig()
+        holiday = config.true_rate_at(12.0)  # day 0 = holiday
+        normal = config.true_rate_at(12.0 + 7 * 24.0)  # same weekday, week later
+        assert holiday < normal
+
+    def test_weekend_factor(self):
+        config = TrackerConfig(holiday_days=())
+        # Start Wednesday: day 3 = Saturday.
+        weekend = config.true_rate_at(12.0 + 3 * 24.0)
+        weekday = config.true_rate_at(12.0 + 7 * 24.0)
+        assert weekend == pytest.approx(weekday * config.weekend_factor)
+
+
+class TestSyntheticTrackerTrace:
+    def test_shapes(self):
+        trace = SyntheticTrackerTrace()
+        assert trace.counts.size == 28 * 72
+        assert trace.bins_per_day == 72
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticTrackerTrace(seed=1)
+        b = SyntheticTrackerTrace(seed=1)
+        c = SyntheticTrackerTrace(seed=2)
+        assert np.array_equal(a.counts, b.counts)
+        assert not np.array_equal(a.counts, c.counts)
+
+    def test_counts_near_true_rates(self):
+        trace = SyntheticTrackerTrace()
+        observed = trace.observed_rates()
+        truth = trace.true_rates()
+        # Poisson noise around truth: relative error small in aggregate.
+        assert observed.mean() == pytest.approx(truth.mean(), rel=0.02)
+
+    def test_rate_function_total(self):
+        trace = SyntheticTrackerTrace()
+        rate = trace.rate_function()
+        assert rate.integral(0.0, 28 * 24.0) == pytest.approx(trace.counts.sum())
+
+    def test_day_accessors(self):
+        trace = SyntheticTrackerTrace()
+        day_counts = trace.day_counts(3)
+        assert day_counts.size == 72
+        day_rate = trace.day_rate(3)
+        assert day_rate.integral(0.0, 24.0) == pytest.approx(day_counts.sum())
+
+    def test_day_bounds_checked(self):
+        trace = SyntheticTrackerTrace()
+        with pytest.raises(ValueError):
+            trace.day_counts(28)
+        with pytest.raises(ValueError):
+            trace.day_rate(-1)
+
+    def test_average_day_rate(self):
+        trace = SyntheticTrackerTrace()
+        avg = trace.average_day_rate([7, 14])
+        expected = (trace.day_counts(7) + trace.day_counts(14)) / 2.0
+        assert avg.integral(0.0, 24.0) == pytest.approx(expected.sum())
+
+    def test_average_day_rate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTrackerTrace().average_day_rate([])
+
+    def test_six_hour_series(self):
+        trace = SyntheticTrackerTrace()
+        series = trace.six_hour_series()
+        assert series.size == 28 * 4
+        assert series.sum() == trace.counts.sum()
+
+    def test_weekly_periodicity(self):
+        trace = SyntheticTrackerTrace()
+        series = trace.six_hour_series().astype(float)
+        week = 28
+        corr = np.corrcoef(series[:-week], series[week:])[0, 1]
+        assert corr > 0.8  # the Fig. 1 phenomenon
+
+    def test_calibration_gives_floor_price_near_12(self):
+        # The DESIGN.md calibration: average weekday rate ~5080/h makes the
+        # Section 5.2.1 floor price come out at ~12 cents.
+        trace = SyntheticTrackerTrace()
+        day_total = trace.day_counts(7).sum()
+        assert day_total / 24.0 == pytest.approx(5080.0, rel=0.05)
+
+    def test_holiday_day_depressed(self):
+        trace = SyntheticTrackerTrace()
+        assert trace.day_counts(0).sum() < 0.75 * trace.day_counts(7).sum()
+
+    def test_mean_hourly_rate(self):
+        trace = SyntheticTrackerTrace()
+        expected = trace.counts.sum() / (28 * 24.0)
+        assert trace.mean_hourly_rate() == pytest.approx(expected)
+
+    def test_bad_bin_width_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTrackerTrace(TrackerConfig(bin_hours=0.7))

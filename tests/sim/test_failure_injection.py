@@ -1,0 +1,103 @@
+"""Failure-injection tests: bad inputs surface loudly, never silently.
+
+Errors should never pass silently — a misbehaving policy or degenerate
+deployment must raise or produce an explicitly empty result, not corrupt
+the accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.live import LiveExperimentConfig, run_fixed_trial
+from repro.sim.policies import PricingRuntime
+from repro.sim.simulator import DeadlineSimulation
+
+from tests.conftest import make_problem
+
+
+class ExplodingPolicy(PricingRuntime):
+    """Raises after a configurable number of pricing calls."""
+
+    def __init__(self, after: int):
+        self.after = after
+        self.calls = 0
+
+    def price(self, remaining: int, interval: int) -> float:
+        self.calls += 1
+        if self.calls > self.after:
+            raise RuntimeError("policy backend lost connection")
+        return 5.0
+
+
+class NegativePricePolicy(PricingRuntime):
+    """Always returns an invalid negative price."""
+
+    def price(self, remaining: int, interval: int) -> float:
+        return -3.0
+
+
+@pytest.fixture
+def simulation():
+    problem = make_problem(num_tasks=5, arrival_means=[400.0, 400.0, 400.0])
+    return DeadlineSimulation(
+        problem.num_tasks, problem.arrival_means, problem.acceptance
+    )
+
+
+class TestSimulatorFailurePropagation:
+    def test_policy_exception_propagates(self, simulation, rng):
+        with pytest.raises(RuntimeError, match="lost connection"):
+            simulation.run(ExplodingPolicy(after=1), rng)
+
+    def test_negative_price_rejected_by_acceptance_model(self, simulation, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            simulation.run(NegativePricePolicy(), rng)
+
+    def test_no_partial_state_leaks(self, simulation):
+        # A failed run must not affect a subsequent clean run (the
+        # simulator is stateless across run() calls).
+        try:
+            simulation.run(ExplodingPolicy(after=1), np.random.default_rng(1))
+        except RuntimeError:
+            pass
+        from repro.sim.policies import FixedPriceRuntime
+
+        result = simulation.run(FixedPriceRuntime(5.0), np.random.default_rng(1))
+        assert result.completed + result.remaining == 5
+
+
+class TestLiveDegenerateDeployments:
+    def test_partial_final_hit(self, rng):
+        # 15 tasks at grouping 10: the second HIT holds only 5 tasks but
+        # still costs one HIT price.
+        config = LiveExperimentConfig(total_tasks=15)
+        result = run_fixed_trial(config, 10, rng)
+        sizes = sorted(c.num_tasks for c in result.completions)
+        assert all(s <= 10 for s in sizes)
+        if result.finished:
+            assert 5 in sizes
+            assert result.cost_dollars == pytest.approx(0.02 * len(sizes))
+
+    def test_dead_market_completes_nothing(self):
+        config = LiveExperimentConfig(
+            total_tasks=100,
+            hit_acceptance={g: 0.0 for g in (10, 20, 30, 40, 50)},
+        )
+        result = run_fixed_trial(config, 20, np.random.default_rng(2))
+        assert result.tasks_completed == 0
+        assert result.cost_dollars == 0.0
+        assert result.completion_time_hours is None
+
+    def test_tiny_deadline_rejects_unfinishable_hits(self):
+        # With a 0.05h (3-minute) window, a 50-task HIT (25 min of work)
+        # can never finish; nothing should complete or be paid.
+        config = LiveExperimentConfig(
+            total_tasks=100,
+            deadline_hours=0.05,
+            hourly_arrival_rates=(800.0,),
+        )
+        result = run_fixed_trial(config, 50, np.random.default_rng(3))
+        assert result.tasks_completed == 0
+        assert result.cost_dollars == 0.0

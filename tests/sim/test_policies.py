@@ -1,0 +1,57 @@
+"""Tests for the runtime pricing-policy adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget.semi_static import SemiStaticStrategy
+from repro.core.deadline.vectorized import solve_deadline
+from repro.sim.policies import FixedPriceRuntime, SemiStaticRuntime, TablePolicyRuntime
+
+
+class TestFixedPriceRuntime:
+    def test_constant(self):
+        runtime = FixedPriceRuntime(7.0)
+        assert runtime.price(5, 0) == 7.0
+        assert runtime.price(1, 99) == 7.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPriceRuntime(-1.0)
+
+    def test_repr(self):
+        assert "7.0" in repr(FixedPriceRuntime(7.0))
+
+
+class TestTablePolicyRuntime:
+    def test_delegates_to_table(self, small_problem):
+        policy = solve_deadline(small_problem)
+        runtime = TablePolicyRuntime(policy)
+        assert runtime.price(3, 1) == policy.price(3, 1)
+
+    def test_clamps_out_of_range(self, small_problem):
+        policy = solve_deadline(small_problem)
+        runtime = TablePolicyRuntime(policy)
+        last_t = small_problem.num_intervals - 1
+        assert runtime.price(3, 10_000) == policy.price(3, last_t)
+        assert runtime.price(10_000, 0) == policy.price(small_problem.num_tasks, 0)
+
+    def test_repr(self, small_problem):
+        assert "vectorized" in repr(TablePolicyRuntime(solve_deadline(small_problem)))
+
+
+class TestSemiStaticRuntime:
+    def test_price_by_completed_count(self):
+        strategy = SemiStaticStrategy((9.0, 7.0, 5.0))
+        runtime = SemiStaticRuntime(strategy)
+        assert runtime.price(3, 0) == 9.0  # 0 completed
+        assert runtime.price(2, 5) == 7.0  # 1 completed
+        assert runtime.price(1, 9) == 5.0  # 2 completed
+
+    def test_degenerate_remaining(self):
+        strategy = SemiStaticStrategy((9.0, 5.0))
+        runtime = SemiStaticRuntime(strategy)
+        assert runtime.price(0, 0) == 5.0
+
+    def test_repr(self):
+        assert "2 prices" in repr(SemiStaticRuntime(SemiStaticStrategy((1.0, 2.0))))

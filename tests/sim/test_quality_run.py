@@ -1,0 +1,86 @@
+"""Tests for the quality-controlled filtering simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deadline.model import PenaltyScheme
+from repro.core.deadline.vectorized import solve_deadline
+from repro.core.quality import MajorityVoteStrategy, reduce_to_deadline_problem
+from repro.market.acceptance import paper_acceptance_model
+from repro.sim.quality_run import simulate_filtering_run
+
+
+@pytest.fixture(scope="module")
+def strategy():
+    return MajorityVoteStrategy(3)
+
+
+@pytest.fixture(scope="module")
+def policy(strategy):
+    problem = reduce_to_deadline_problem(
+        strategy,
+        num_filter_tasks=30,
+        arrival_means=np.full(6, 20_000.0),
+        acceptance=paper_acceptance_model(),
+        price_grid=np.arange(1.0, 16.0),
+        penalty=PenaltyScheme(per_task=60.0),
+    )
+    return solve_deadline(problem)
+
+
+class TestFilteringRun:
+    def test_accounting_invariants(self, strategy, policy, rng):
+        result = simulate_filtering_run(strategy, policy, 30, 0.9, rng)
+        assert result.decided + result.undecided == 30
+        assert result.questions_asked == result.questions_per_interval.sum()
+        assert result.total_cost == pytest.approx(
+            float(
+                np.dot(result.questions_per_interval, result.prices_per_interval)
+            )
+        )
+        assert result.questions_per_item <= strategy.worst_case_additional(0, 0)
+
+    def test_decisions_mostly_correct(self, strategy, policy, rng):
+        # Majority-of-3 with 90% workers decides ~ 1 - (3*0.1^2*0.9 + 0.1^3)
+        # = 97.2% of items correctly.
+        results = [
+            simulate_filtering_run(
+                strategy, policy, 30, 0.9, np.random.default_rng(seed)
+            )
+            for seed in range(10)
+        ]
+        correct = sum(r.correct for r in results)
+        decided = sum(r.decided for r in results)
+        assert decided > 0
+        assert correct / decided > 0.9
+
+    def test_questions_bounded_by_worst_case(self, strategy, policy, rng):
+        result = simulate_filtering_run(strategy, policy, 30, 0.9, rng)
+        assert result.questions_asked <= 30 * strategy.worst_case_additional(0, 0)
+
+    def test_early_stopping_saves_questions(self, strategy, policy):
+        # With perfect workers every item decides after exactly 2 answers.
+        rng = np.random.default_rng(3)
+        result = simulate_filtering_run(strategy, policy, 30, 0.999, rng)
+        if result.decided == 30:
+            assert result.questions_asked <= 30 * 2 + 2
+
+    def test_accuracy_property_nan_when_undecided(self, strategy, policy, rng):
+        # A dead market decides nothing.
+        dead_problem = policy.problem.with_arrival_means(
+            np.zeros_like(policy.problem.arrival_means)
+        )
+        dead_policy = solve_deadline(dead_problem)
+        result = simulate_filtering_run(strategy, dead_policy, 30, 0.9, rng)
+        assert result.decided == 0
+        assert np.isnan(result.decision_accuracy)
+
+    def test_validation(self, strategy, policy, rng):
+        with pytest.raises(ValueError):
+            simulate_filtering_run(strategy, policy, 0, 0.9, rng)
+        with pytest.raises(ValueError):
+            simulate_filtering_run(strategy, policy, 30, 1.5, rng)
+        with pytest.raises(ValueError, match="question units"):
+            simulate_filtering_run(strategy, policy, 1000, 0.9, rng)

@@ -1,0 +1,54 @@
+"""Tests for replication management and summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.runner import run_replications, summarize
+
+
+class TestRunReplications:
+    def test_reproducible(self):
+        a = run_replications(lambda rng: rng.random(), 5, seed=3)
+        b = run_replications(lambda rng: rng.random(), 5, seed=3)
+        assert a == b
+
+    def test_independent_streams(self):
+        values = run_replications(lambda rng: rng.random(), 20, seed=3)
+        assert len(set(values)) == 20
+
+    def test_different_seed_different_values(self):
+        a = run_replications(lambda rng: rng.random(), 5, seed=3)
+        b = run_replications(lambda rng: rng.random(), 5, seed=4)
+        assert a != b
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            run_replications(lambda rng: 0.0, 0, seed=1)
+
+
+class TestSummarize:
+    def test_known_values(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.q50 == pytest.approx(2.5)
+        assert summary.count == 4
+
+    def test_stderr_and_ci(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.stderr == pytest.approx(summary.std / 2.0)
+        lo, hi = summary.confidence_interval()
+        assert lo < summary.mean < hi
+
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.std == 0.0
+        assert summary.mean == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

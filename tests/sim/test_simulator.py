@@ -1,0 +1,109 @@
+"""Tests for the interval-level deadline simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deadline.policy import fixed_price_policy
+from repro.core.deadline.vectorized import solve_deadline
+from repro.sim.policies import FixedPriceRuntime, TablePolicyRuntime
+from repro.sim.simulator import DeadlineSimulation
+
+from tests.conftest import make_problem
+
+
+@pytest.fixture
+def simulation(small_problem):
+    return DeadlineSimulation(
+        num_tasks=small_problem.num_tasks,
+        arrival_means=small_problem.arrival_means,
+        acceptance=small_problem.acceptance,
+    )
+
+
+class TestBasicInvariants:
+    def test_conservation(self, simulation, rng):
+        result = simulation.run(FixedPriceRuntime(8.0), rng)
+        assert result.completed + result.remaining == simulation.num_tasks
+        assert result.completions_per_interval.sum() == result.completed
+
+    def test_cost_accounting(self, simulation, rng):
+        result = simulation.run(FixedPriceRuntime(8.0), rng)
+        assert result.total_cost == pytest.approx(
+            float(np.dot(result.completions_per_interval, result.prices_per_interval))
+        )
+
+    def test_finished_flag(self, simulation, rng):
+        result = simulation.run(FixedPriceRuntime(8.0), rng)
+        assert result.finished == (result.remaining == 0)
+        if result.finished:
+            assert result.completion_interval is not None
+            last_active = np.nonzero(result.completions_per_interval)[0][-1]
+            assert result.completion_interval == last_active
+
+    def test_average_reward(self, simulation, rng):
+        result = simulation.run(FixedPriceRuntime(8.0), rng)
+        assert result.average_reward == pytest.approx(
+            result.total_cost / simulation.num_tasks
+        )
+
+    def test_deterministic_under_seed(self, simulation):
+        a = simulation.run(FixedPriceRuntime(8.0), np.random.default_rng(9))
+        b = simulation.run(FixedPriceRuntime(8.0), np.random.default_rng(9))
+        assert a.total_cost == b.total_cost
+        assert np.array_equal(a.completions_per_interval, b.completions_per_interval)
+
+
+class TestStatisticalAgreement:
+    def test_mean_outcomes_match_exact_evaluation(self, rng):
+        # Monte-Carlo means must track the exact forward evaluation.
+        problem = make_problem(
+            num_tasks=8, arrival_means=[900.0, 700.0, 1100.0], max_price=12.0
+        )
+        price = 8.0
+        exact = fixed_price_policy(problem, price).evaluate()
+        sim = DeadlineSimulation(
+            problem.num_tasks, problem.arrival_means, problem.acceptance
+        )
+        results = [sim.run(FixedPriceRuntime(price), rng) for _ in range(800)]
+        mc_cost = np.mean([r.total_cost for r in results])
+        mc_remaining = np.mean([r.remaining for r in results])
+        assert mc_cost == pytest.approx(exact.expected_cost, rel=0.05)
+        assert mc_remaining == pytest.approx(exact.expected_remaining, abs=0.25)
+
+    def test_dynamic_policy_statistics(self, rng):
+        problem = make_problem(
+            num_tasks=8, arrival_means=[900.0, 700.0, 1100.0], max_price=12.0,
+            penalty=80.0,
+        )
+        policy = solve_deadline(problem)
+        exact = policy.evaluate()
+        sim = DeadlineSimulation(
+            problem.num_tasks, problem.arrival_means, problem.acceptance
+        )
+        runtime = TablePolicyRuntime(policy)
+        results = [sim.run(runtime, rng) for _ in range(800)]
+        assert np.mean([r.total_cost for r in results]) == pytest.approx(
+            exact.expected_cost, rel=0.05
+        )
+        assert np.mean([r.remaining == 0 for r in results]) == pytest.approx(
+            exact.prob_all_done, abs=0.05
+        )
+
+
+class TestEdgeCases:
+    def test_zero_arrivals(self, rng):
+        sim = DeadlineSimulation(4, np.array([0.0, 0.0]), make_problem().acceptance)
+        result = sim.run(FixedPriceRuntime(5.0), rng)
+        assert result.completed == 0
+        assert result.total_cost == 0.0
+
+    def test_validation(self):
+        acceptance = make_problem().acceptance
+        with pytest.raises(ValueError):
+            DeadlineSimulation(0, np.array([1.0]), acceptance)
+        with pytest.raises(ValueError):
+            DeadlineSimulation(2, np.array([]), acceptance)
+        with pytest.raises(ValueError):
+            DeadlineSimulation(2, np.array([-1.0]), acceptance)

@@ -1,0 +1,75 @@
+"""Tests for the worker-session and accuracy models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.workers import Worker, WorkerPool, WorkerSessionModel
+
+
+class TestWorkerSessionModel:
+    def test_continue_probability_increases_with_price(self):
+        model = WorkerSessionModel()
+        low = model.continue_probability(0.04)
+        high = model.continue_probability(0.2)
+        assert high > low
+
+    def test_continue_probability_capped(self):
+        model = WorkerSessionModel(continue_cap=0.6)
+        assert model.continue_probability(100.0) == 0.6
+
+    def test_expected_hits_geometric(self):
+        model = WorkerSessionModel(continue_base=0.5, continue_slope=0.0)
+        assert model.expected_hits_per_session(1.0) == pytest.approx(2.0)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerSessionModel().continue_probability(-0.1)
+
+    def test_accuracy_distribution(self, rng):
+        model = WorkerSessionModel(accuracy_mean=0.905, accuracy_concentration=80.0)
+        draws = [model.sample_accuracy(rng) for _ in range(2000)]
+        assert np.mean(draws) == pytest.approx(0.905, abs=0.01)
+        assert all(0.0 <= a <= 1.0 for a in draws)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerSessionModel(accuracy_mean=1.5)
+        with pytest.raises(ValueError):
+            WorkerSessionModel(accuracy_concentration=0.0)
+        with pytest.raises(ValueError):
+            WorkerSessionModel(continue_slope=-1.0)
+        with pytest.raises(ValueError):
+            WorkerSessionModel(continue_base=2.0)
+
+
+class TestWorker:
+    def test_answer_counts(self, rng):
+        worker = Worker(worker_id=0, arrival_time=0.0, accuracy=0.9)
+        correct = worker.answer_correctly(1000, rng)
+        assert 0 <= correct <= 1000
+        assert correct / 1000 == pytest.approx(0.9, abs=0.05)
+
+    def test_zero_tasks(self, rng):
+        worker = Worker(worker_id=0, arrival_time=0.0, accuracy=0.9)
+        assert worker.answer_correctly(0, rng) == 0
+
+    def test_negative_rejected(self, rng):
+        worker = Worker(worker_id=0, arrival_time=0.0, accuracy=0.9)
+        with pytest.raises(ValueError):
+            worker.answer_correctly(-1, rng)
+
+
+class TestWorkerPool:
+    def test_sequential_ids(self, rng):
+        pool = WorkerPool(WorkerSessionModel(), rng)
+        first = pool.arrive(1.0)
+        second = pool.arrive(2.0)
+        assert (first.worker_id, second.worker_id) == (0, 1)
+        assert second.arrival_time == 2.0
+
+    def test_accuracies_vary(self, rng):
+        pool = WorkerPool(WorkerSessionModel(), rng)
+        accuracies = {pool.arrive(0.0).accuracy for _ in range(10)}
+        assert len(accuracies) > 1

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestExperimentsCommand:
+    def test_list(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out and "table1" in out and "ext_adaptive" in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["experiments", "run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "35" in out and "99" in out
+
+    def test_run_unknown_id(self, capsys):
+        assert main(["experiments", "run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_report_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        code = main(
+            ["experiments", "report", "--ids", "table1", "fig1", "--out", str(path)]
+        )
+        assert code == 0
+        text = path.read_text()
+        assert "## table1" in text and "## fig1" in text
+        assert "35" in text
+
+    def test_report_stdout(self, capsys):
+        assert main(["experiments", "report", "--ids", "table1"]) == 0
+        assert "## table1" in capsys.readouterr().out
+
+    def test_report_unknown_id(self, capsys):
+        assert main(["experiments", "report", "--ids", "nope"]) == 2
+        assert "unknown experiment ids" in capsys.readouterr().err
+
+
+class TestSolveDeadlineCommand:
+    def test_small_instance(self, capsys):
+        code = main(
+            [
+                "solve-deadline",
+                "--num-tasks", "20",
+                "--horizon-hours", "4",
+                "--interval-minutes", "60",
+                "--max-price", "40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "expected cost" in out
+        assert "floor price" in out
+
+    def test_save_policy(self, tmp_path, capsys):
+        path = tmp_path / "policy.npz"
+        code = main(
+            [
+                "solve-deadline",
+                "--num-tasks", "10",
+                "--horizon-hours", "2",
+                "--interval-minutes", "60",
+                "--max-price", "40",
+                "--save", str(path),
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+        from repro.util.serialization import load_policy
+
+        assert load_policy(path).problem.num_tasks == 10
+
+
+class TestSolveBudgetCommand:
+    def test_basic(self, capsys):
+        assert main(["solve-budget", "--num-tasks", "50", "--budget-cents", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "tasks at" in out
+
+    def test_exact_flag(self, capsys):
+        code = main(
+            [
+                "solve-budget",
+                "--num-tasks", "20",
+                "--budget-cents", "200",
+                "--max-price", "15",
+                "--exact",
+            ]
+        )
+        assert code == 0
+        assert "exact DP" in capsys.readouterr().out
+
+    def test_infeasible_budget(self, capsys):
+        assert main(["solve-budget", "--num-tasks", "100", "--budget-cents", "10"]) == 2
+        assert "cannot cover" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["solve-deadline"])
+        assert args.num_tasks == 200
+        assert args.horizon_hours == 24.0

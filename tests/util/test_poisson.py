@@ -1,0 +1,167 @@
+"""Tests for the Poisson utilities, including the paper's Table 1."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.util.poisson import (
+    poisson_cdf,
+    poisson_pmf,
+    poisson_pmf_vector,
+    poisson_sample,
+    poisson_tail,
+    truncated_pmf,
+    truncation_cutoff,
+)
+
+
+class TestPmf:
+    def test_matches_scipy_scalar(self):
+        for lam in (0.1, 1.0, 7.3, 50.0, 900.0):
+            for s in (0, 1, 5, 40):
+                assert poisson_pmf(s, lam) == pytest.approx(
+                    float(stats.poisson.pmf(s, lam)), rel=1e-10
+                )
+
+    def test_negative_count_is_zero(self):
+        assert poisson_pmf(-1, 5.0) == 0.0
+
+    def test_zero_mean_point_mass(self):
+        assert poisson_pmf(0, 0.0) == 1.0
+        assert poisson_pmf(3, 0.0) == 0.0
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_pmf(1, -2.0)
+
+    @given(st.floats(min_value=0.01, max_value=500.0))
+    @settings(max_examples=40, deadline=None)
+    def test_vector_sums_below_one(self, lam):
+        pmf = poisson_pmf_vector(int(lam + 10 * math.sqrt(lam) + 20), lam)
+        assert np.all(pmf >= 0)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_vector_matches_scalar(self):
+        lam = 17.5
+        pmf = poisson_pmf_vector(60, lam)
+        for s in (0, 3, 17, 59):
+            assert pmf[s] == pytest.approx(poisson_pmf(s, lam), rel=1e-10)
+
+    def test_vector_large_mean_log_space_path(self):
+        lam = 1200.0
+        pmf = poisson_pmf_vector(1600, lam)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-6)
+        assert pmf[1200] == pytest.approx(float(stats.poisson.pmf(1200, lam)), rel=1e-8)
+
+    def test_vector_zero_mean(self):
+        pmf = poisson_pmf_vector(4, 0.0)
+        assert pmf[0] == 1.0
+        assert pmf[1:].sum() == 0.0
+
+    def test_vector_rejects_negative_smax(self):
+        with pytest.raises(ValueError):
+            poisson_pmf_vector(-1, 3.0)
+
+
+class TestCdfTail:
+    def test_cdf_tail_complement(self):
+        lam = 9.0
+        for s in range(0, 30, 3):
+            assert poisson_cdf(s, lam) + poisson_tail(s + 1, lam) == pytest.approx(
+                1.0, abs=1e-12
+            )
+
+    def test_tail_at_zero_is_one(self):
+        assert poisson_tail(0, 5.0) == 1.0
+        assert poisson_tail(-3, 5.0) == 1.0
+
+    def test_cdf_below_zero(self):
+        assert poisson_cdf(-1, 5.0) == 0.0
+
+
+class TestSample:
+    def test_mean_close(self, rng):
+        draws = [poisson_sample(20.0, rng) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(20.0, rel=0.05)
+
+    def test_negative_mean_rejected(self, rng):
+        with pytest.raises(ValueError):
+            poisson_sample(-1.0, rng)
+
+
+class TestTruncationCutoff:
+    def test_paper_table1(self):
+        # The values printed in the paper's Table 1.
+        assert truncation_cutoff(10.0, 1e-9) == 35
+        assert truncation_cutoff(20.0, 1e-9) == 53
+        assert truncation_cutoff(50.0, 1e-9) == 99
+
+    def test_definition_minimality(self):
+        for lam in (3.0, 10.0, 77.0):
+            s0 = truncation_cutoff(lam, 1e-9)
+            assert poisson_tail(s0, lam) < 1e-9
+            assert poisson_tail(s0 - 1, lam) >= 1e-9
+
+    @given(
+        st.floats(min_value=0.1, max_value=300.0),
+        st.sampled_from([1e-6, 1e-9, 1e-12]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_eps(self, lam, eps):
+        # A stricter threshold can only push the cut-off further out.
+        assert truncation_cutoff(lam, eps) <= truncation_cutoff(lam, eps / 100)
+
+    def test_monotone_in_lam(self):
+        cuts = [truncation_cutoff(lam, 1e-9) for lam in (1.0, 5.0, 20.0, 80.0)]
+        assert cuts == sorted(cuts)
+
+    def test_zero_mean(self):
+        assert truncation_cutoff(0.0, 1e-9) == 1
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            truncation_cutoff(5.0, 0.0)
+        with pytest.raises(ValueError):
+            truncation_cutoff(5.0, 1.0)
+
+    def test_invalid_lam(self):
+        with pytest.raises(ValueError):
+            truncation_cutoff(-1.0, 1e-9)
+
+
+class TestTruncatedPmf:
+    def test_agrees_with_cutoff(self):
+        for lam in (0.5, 4.0, 30.0, 200.0):
+            s0 = truncation_cutoff(lam, 1e-9)
+            pmf = truncated_pmf(lam, 1e-9)
+            assert pmf.size == s0
+
+    def test_cap_applies(self):
+        pmf = truncated_pmf(50.0, 1e-9, s_cap=10)
+        assert pmf.size == 11
+        assert pmf[3] == pytest.approx(poisson_pmf(3, 50.0), rel=1e-10)
+
+    def test_cap_larger_than_cutoff(self):
+        # When the cap exceeds the band the eps rule decides the length.
+        pmf = truncated_pmf(5.0, 1e-9, s_cap=10_000)
+        assert pmf.size < 100
+
+    def test_mass_captured(self):
+        pmf = truncated_pmf(25.0, 1e-9)
+        assert 1.0 - pmf.sum() < 1e-8
+
+    def test_zero_mean(self):
+        pmf = truncated_pmf(0.0, 1e-9)
+        assert pmf[0] == 1.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            truncated_pmf(-1.0)
+        with pytest.raises(ValueError):
+            truncated_pmf(5.0, eps=2.0)

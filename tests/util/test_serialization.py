@@ -1,0 +1,86 @@
+"""Tests for policy save/load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deadline.vectorized import solve_deadline
+from repro.market.acceptance import EmpiricalAcceptance
+from repro.util.serialization import load_policy, save_policy
+
+from tests.conftest import make_problem
+
+
+class TestRoundtrip:
+    def test_logit_policy(self, tmp_path, small_problem):
+        policy = solve_deadline(small_problem)
+        path = save_policy(policy, tmp_path / "policy.npz")
+        loaded = load_policy(path)
+        assert np.allclose(loaded.opt, policy.opt)
+        assert np.array_equal(loaded.price_index, policy.price_index)
+        assert loaded.solver == policy.solver
+        assert loaded.problem.num_tasks == small_problem.num_tasks
+        assert loaded.problem.penalty == small_problem.penalty
+        # Behavioural equality: evaluation reproduces the same outcome.
+        assert loaded.evaluate().expected_cost == pytest.approx(
+            policy.evaluate().expected_cost
+        )
+
+    def test_empirical_acceptance_policy(self, tmp_path):
+        import dataclasses
+
+        base = make_problem(num_tasks=3, arrival_means=[500.0, 400.0], max_price=3.0)
+        problem = dataclasses.replace(
+            base, acceptance=EmpiricalAcceptance({1.0: 0.001, 2.0: 0.003, 3.0: 0.01})
+        )
+        policy = solve_deadline(problem)
+        loaded = load_policy(save_policy(policy, tmp_path / "emp"))
+        assert loaded.problem.acceptance.probability(2.0) == pytest.approx(0.003)
+        assert np.allclose(loaded.opt, policy.opt)
+
+    def test_suffix_appended(self, tmp_path, small_problem):
+        policy = solve_deadline(small_problem)
+        path = save_policy(policy, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_exact_mode_roundtrip(self, tmp_path):
+        problem = make_problem(truncation_eps=None)
+        policy = solve_deadline(problem)
+        loaded = load_policy(save_policy(policy, tmp_path / "exact"))
+        assert loaded.problem.truncation_eps is None
+
+
+class TestErrors:
+    def test_unserializable_acceptance(self, tmp_path):
+        import dataclasses
+
+        from repro.market.acceptance import AcceptanceModel
+
+        class Custom(AcceptanceModel):
+            def probability(self, price):
+                return 0.001
+
+        base = make_problem(num_tasks=2, arrival_means=[500.0], max_price=2.0)
+        problem = dataclasses.replace(base, acceptance=Custom())
+        policy = solve_deadline(problem)
+        with pytest.raises(TypeError, match="cannot serialize"):
+            save_policy(policy, tmp_path / "custom")
+
+    def test_unknown_format_version(self, tmp_path, small_problem):
+        import json
+
+        policy = solve_deadline(small_problem)
+        path = save_policy(policy, tmp_path / "old")
+        with np.load(path) as data:
+            header = json.loads(bytes(data["header"].tobytes()).decode())
+            arrays = {k: data[k] for k in data.files if k != "header"}
+        header["format_version"] = 999
+        np.savez(
+            path,
+            header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+            **arrays,
+        )
+        with pytest.raises(ValueError, match="format version"):
+            load_policy(path)

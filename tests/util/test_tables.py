@@ -1,0 +1,58 @@
+"""Tests for the ASCII table/series renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import format_kv, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "long_header"], [(1, 2.5), (30, 4.125)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equally wide
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [(1,)], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_precision_applied(self):
+        out = format_table(["v"], [(1.23456,)], precision=2)
+        assert "1.23" in out
+        assert "1.235" not in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_strings_pass_through(self):
+        out = format_table(["name"], [("hello",)])
+        assert "hello" in out
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        out = format_series("x", "y", [1, 2], [3, 4])
+        assert "x" in out and "y" in out
+        assert "3" in out and "4" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", "y", [1], [2, 3])
+
+
+class TestFormatKv:
+    def test_alignment_and_values(self):
+        out = format_kv({"short": 1, "much_longer_key": 2.5})
+        lines = out.splitlines()
+        assert lines[0].index("=") == lines[1].index("=")
+
+    def test_title(self):
+        out = format_kv({"k": 1}, title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_empty_mapping(self):
+        assert format_kv({}) == ""

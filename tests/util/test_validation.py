@@ -1,0 +1,37 @@
+"""Tests for the shared validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.validation import require_in_range, require_nonnegative, require_positive
+
+
+class TestRequirePositive:
+    def test_accepts_and_returns(self):
+        assert require_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive("x", 0.0)
+        with pytest.raises(ValueError):
+            require_positive("x", -1.0)
+
+
+class TestRequireNonnegative:
+    def test_accepts_zero(self):
+        assert require_nonnegative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            require_nonnegative("x", -0.1)
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        assert require_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert require_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="must lie in"):
+            require_in_range("x", 1.5, 0.0, 1.0)
