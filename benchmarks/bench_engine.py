@@ -1,0 +1,76 @@
+"""Engine throughput benchmarks: campaigns/sec and what the cache buys.
+
+Times one standard multi-campaign workload — 50 heterogeneous campaigns,
+staggered over a 96-interval shared stream — through the marketplace
+engine with the policy cache enabled and disabled.  Emits a results block
+recording campaigns/sec and the cache hit rate so EXPERIMENTS.md can track
+engine performance from this PR onward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import MarketplaceEngine, PolicyCache, generate_workload
+from repro.engine.engine import EngineResult
+from repro.market.acceptance import paper_acceptance_model
+from repro.sim.stream import SharedArrivalStream
+
+NUM_CAMPAIGNS = 50
+NUM_INTERVALS = 96
+SEED = 21
+
+
+@pytest.fixture(scope="module")
+def stream() -> SharedArrivalStream:
+    means = 1500.0 + 600.0 * np.sin(np.linspace(0.0, 6.0 * np.pi, NUM_INTERVALS))
+    return SharedArrivalStream(means)
+
+
+def run_workload(stream: SharedArrivalStream, cache_entries: int) -> EngineResult:
+    """One fresh engine + cache over the standard 50-campaign workload."""
+    engine = MarketplaceEngine(
+        stream,
+        paper_acceptance_model(),
+        cache=PolicyCache(max_entries=cache_entries),
+        planning="stationary",
+    )
+    engine.submit(generate_workload(NUM_CAMPAIGNS, NUM_INTERVALS, seed=SEED))
+    return engine.run(seed=SEED)
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_cached(benchmark, stream):
+    result = benchmark(run_workload, stream, 256)
+    assert result.num_campaigns == NUM_CAMPAIGNS
+    assert result.cache_stats.hit_rate > 0
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_uncached(benchmark, stream):
+    result = benchmark(run_workload, stream, 0)
+    assert result.num_campaigns == NUM_CAMPAIGNS
+    assert result.cache_stats.hit_rate == 0
+
+
+def test_engine_report(stream, emit):
+    """Emit the tracked engine metrics (not a timing benchmark itself)."""
+    cached = run_workload(stream, 256)
+    uncached = run_workload(stream, 0)
+    assert cached.cache_stats.hit_rate > 0
+    lines = [
+        "engine: 50 heterogeneous campaigns, one shared 96-interval stream",
+        "",
+        f"cached   : {cached.campaigns_per_second:8.1f} campaigns/sec  "
+        f"(hit rate {100 * cached.cache_stats.hit_rate:.1f}%, "
+        f"{cached.cache_stats.misses} solves)",
+        f"uncached : {uncached.campaigns_per_second:8.1f} campaigns/sec  "
+        f"({uncached.cache_stats.misses} solves)",
+        f"speedup  : {uncached.elapsed_seconds / cached.elapsed_seconds:8.1f}x "
+        f"wall-clock from policy caching",
+        f"completion {100 * cached.completion_rate:.1f}%, "
+        f"spend {cached.total_cost / 100:.2f}$, "
+        f"peak concurrency {cached.max_concurrent}",
+    ]
+    emit("engine", "\n".join(lines))

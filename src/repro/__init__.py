@@ -25,12 +25,31 @@ Build a marketplace model, a deadline instance, and solve it::
     outcome = policy.evaluate()
     print(outcome.average_reward, outcome.expected_remaining)
 
+Or serve *many* concurrent campaigns against one shared worker stream with
+the marketplace engine (``repro engine run`` on the command line)::
+
+    from repro import (
+        MarketplaceEngine, SharedArrivalStream, generate_workload,
+    )
+
+    stream = SharedArrivalStream.from_rate_function(
+        trace.rate_function(), horizon_hours=48.0, num_intervals=144,
+    )
+    engine = MarketplaceEngine(
+        stream, paper_acceptance_model(), planning="stationary",
+    )
+    engine.submit(generate_workload(60, stream.num_intervals, seed=7))
+    result = engine.run(seed=7)
+    print(result.summary())          # completions, spend, cache hit rate
+
 Subpackages
 -----------
 * :mod:`repro.market` — NHPP arrivals, discrete-choice acceptance, fitting.
 * :mod:`repro.core` — the pricing algorithms (deadline MDP, budget LP/DP,
   baselines, Section 6 extensions).
 * :mod:`repro.sim` — Monte-Carlo marketplace and live-experiment simulators.
+* :mod:`repro.engine` — the multi-campaign marketplace engine: concurrent
+  campaign lifecycles, shared-stream routing, policy caching, re-planning.
 * :mod:`repro.experiments` — one module per paper table/figure.
 """
 
@@ -53,6 +72,16 @@ from repro.core import (
     solve_deadline_simple,
 )
 from repro.core.deadline.adaptive import AdaptiveRepricer
+from repro.engine import (
+    CampaignOutcome,
+    CampaignSpec,
+    EngineResult,
+    LogitRouter,
+    MarketplaceEngine,
+    PolicyCache,
+    UniformRouter,
+    generate_workload,
+)
 from repro.market import (
     LogitAcceptance,
     NHPP,
@@ -61,9 +90,10 @@ from repro.market import (
     paper_acceptance_model,
 )
 from repro.market.adaptive import AdaptiveRatePredictor
+from repro.sim.stream import SharedArrivalStream
 from repro.util.serialization import load_policy, save_policy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -90,6 +120,15 @@ __all__ = [
     "SyntheticTrackerTrace",
     "AdaptiveRepricer",
     "AdaptiveRatePredictor",
+    "MarketplaceEngine",
+    "EngineResult",
+    "CampaignSpec",
+    "CampaignOutcome",
+    "PolicyCache",
+    "LogitRouter",
+    "UniformRouter",
+    "generate_workload",
+    "SharedArrivalStream",
     "save_policy",
     "load_policy",
 ]

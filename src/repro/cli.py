@@ -1,11 +1,13 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or just ``repro``).
 
-Three commands cover the library's day-to-day uses:
+Four commands cover the library's day-to-day uses:
 
 * ``experiments`` — list or run the paper's table/figure reproductions.
 * ``solve-deadline`` — solve a fixed-deadline instance against the bundled
   synthetic marketplace and print (optionally save) the policy.
 * ``solve-budget`` — run Algorithm 3 for a fixed-budget batch.
+* ``engine`` — run the multi-campaign marketplace engine: many concurrent
+  campaigns priced against one shared worker stream, with policy caching.
 
 Examples::
 
@@ -14,6 +16,7 @@ Examples::
     python -m repro solve-deadline --num-tasks 200 --horizon-hours 24 \
         --penalty 200 --save policy.npz
     python -m repro solve-budget --num-tasks 200 --budget-cents 2500
+    python -m repro engine run --campaigns 60 --planning stationary
 """
 
 from __future__ import annotations
@@ -85,6 +88,54 @@ def build_parser() -> argparse.ArgumentParser:
     budget.add_argument(
         "--exact", action="store_true",
         help="also run the pseudo-polynomial exact DP for comparison",
+    )
+
+    engine = sub.add_parser(
+        "engine", help="multiplex many campaigns over one shared worker stream"
+    )
+    engine_sub = engine.add_subparsers(dest="action", required=True)
+    engine_run = engine_sub.add_parser(
+        "run", help="run a synthetic multi-campaign workload"
+    )
+    engine_run.add_argument(
+        "--campaigns", type=int, default=60,
+        help="number of campaigns to submit (default 60)",
+    )
+    engine_run.add_argument("--horizon-hours", type=float, default=48.0)
+    engine_run.add_argument("--interval-minutes", type=float, default=20.0)
+    engine_run.add_argument(
+        "--start-day", type=int, default=7, help="trace day the stream starts on"
+    )
+    engine_run.add_argument(
+        "--router", choices=["logit", "uniform"], default="logit",
+        help="how arriving workers choose among live campaigns",
+    )
+    engine_run.add_argument(
+        "--planning", choices=["sliced", "stationary"], default="stationary",
+        help="campaign planning forecast: time-aligned slices, or one "
+        "canonical flat forecast (maximizes policy-cache reuse)",
+    )
+    engine_run.add_argument(
+        "--budget-fraction", type=float, default=0.3,
+        help="expected fraction of fixed-budget campaigns",
+    )
+    engine_run.add_argument(
+        "--adaptive-fraction", type=float, default=0.25,
+        help="expected fraction of deadline campaigns that re-plan online",
+    )
+    engine_run.add_argument(
+        "--surge", type=float, default=1.0,
+        help="scale realized arrivals by this factor (planning keeps the "
+        "unscaled forecast; adaptive campaigns compensate online)",
+    )
+    engine_run.add_argument(
+        "--cache-size", type=int, default=256,
+        help="policy-cache capacity; 0 disables memoization",
+    )
+    engine_run.add_argument("--seed", type=int, default=7)
+    engine_run.add_argument(
+        "--per-campaign", action="store_true",
+        help="also print one line per retired campaign",
     )
     return parser
 
@@ -185,6 +236,67 @@ def _cmd_solve_budget(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine(args: argparse.Namespace) -> int:
+    from repro.engine import (
+        LogitRouter,
+        MarketplaceEngine,
+        PolicyCache,
+        UniformRouter,
+        generate_workload,
+    )
+    from repro.market.acceptance import paper_acceptance_model
+    from repro.market.tracker import SyntheticTrackerTrace
+    from repro.sim.stream import SharedArrivalStream
+
+    num_intervals = int(round(args.horizon_hours * 60.0 / args.interval_minutes))
+    trace = SyntheticTrackerTrace()
+    acceptance = paper_acceptance_model()
+    router = (
+        LogitRouter(acceptance) if args.router == "logit" else UniformRouter(acceptance)
+    )
+    try:
+        forecast = SharedArrivalStream.from_rate_function(
+            trace.rate_function(),
+            args.horizon_hours,
+            num_intervals,
+            start_hour=args.start_day * 24.0,
+        )
+        engine = MarketplaceEngine(
+            stream=forecast.scaled(args.surge),
+            acceptance=acceptance,
+            router=router,
+            cache=PolicyCache(max_entries=args.cache_size),
+            planning=args.planning,
+            planning_means=forecast.arrival_means,
+        )
+        specs = generate_workload(
+            args.campaigns,
+            num_intervals,
+            seed=args.seed,
+            budget_fraction=args.budget_fraction,
+            adaptive_fraction=args.adaptive_fraction,
+        )
+        engine.submit(specs)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    result = engine.run(seed=args.seed)
+    print(f"stream        : {num_intervals} x {args.interval_minutes:.0f}min "
+          f"intervals from trace day {args.start_day}; router={args.router}, "
+          f"planning={args.planning}, surge={args.surge:g}")
+    print(result.summary())
+    if args.per_campaign:
+        print()
+        for o in sorted(result.outcomes, key=lambda o: o.spec.campaign_id):
+            status = "done" if o.finished else f"{o.remaining} left"
+            print(f"  {o.spec.campaign_id:<16} {o.spec.kind:<8} "
+                  f"N={o.spec.num_tasks:<3} t0={o.spec.submit_interval:<3} "
+                  f"{o.average_reward:5.1f}c/task  {status}"
+                  f"{'  [cached]' if o.cache_hit else ''}"
+                  f"{'  [adaptive]' if o.spec.adaptive else ''}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -194,4 +306,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_solve_deadline(args)
     if args.command == "solve-budget":
         return _cmd_solve_budget(args)
+    if args.command == "engine":
+        return _cmd_engine(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -19,11 +19,16 @@ from repro.core.budget.semi_static import (
     SemiStaticStrategy,
     expected_worker_arrivals,
 )
-from repro.core.budget.static_lp import StaticAllocation, solve_budget_hull
+from repro.core.budget.static_lp import (
+    StaticAllocation,
+    budget_signature,
+    solve_budget_hull,
+)
 
 __all__ = [
     "StaticAllocation",
     "SemiStaticStrategy",
+    "budget_signature",
     "expected_worker_arrivals",
     "solve_budget_hull",
     "solve_budget_exact",

@@ -22,7 +22,31 @@ from repro.core.budget.semi_static import SemiStaticStrategy
 from repro.market.acceptance import AcceptanceModel
 from repro.util.convexhull import hull_segment_for, lower_convex_hull
 
-__all__ = ["StaticAllocation", "solve_budget_hull"]
+__all__ = ["StaticAllocation", "budget_signature", "solve_budget_hull"]
+
+
+def budget_signature(
+    num_tasks: int,
+    budget: float,
+    acceptance: AcceptanceModel,
+    price_grid: Sequence[float],
+    precision: int = 9,
+) -> tuple:
+    """Hashable canonical key for a fixed-budget allocation instance.
+
+    The analogue of :meth:`repro.core.deadline.model.DeadlineProblem.signature`
+    for the Section 4 solvers: two instances with equal signatures share one
+    optimal :class:`StaticAllocation`, which is what lets the
+    :mod:`repro.engine` policy cache skip re-running Algorithm 3 for the
+    near-identical budget campaigns a marketplace sees.
+    """
+    return (
+        "budget",
+        int(num_tasks),
+        round(float(budget), precision),
+        acceptance.signature(),
+        tuple(round(float(c), precision) for c in np.asarray(price_grid, dtype=float)),
+    )
 
 
 @dataclasses.dataclass(frozen=True)

@@ -165,6 +165,24 @@ class DeadlineProblem:
         """``Lambda(0, T)``: expected marketplace arrivals over the horizon."""
         return float(self.arrival_means.sum())
 
+    def signature(self, precision: int = 9) -> tuple:
+        """Hashable canonical key identifying this instance up to rounding.
+
+        Two problems with equal signatures are solved by the same policy
+        table, so a policy cache (:mod:`repro.engine`) can share one solve
+        between them.  Arrival means and grid prices are rounded to
+        ``precision`` decimals to absorb float noise from rate integration.
+        """
+        return (
+            "deadline",
+            self.num_tasks,
+            tuple(round(float(x), precision) for x in self.arrival_means),
+            self.acceptance.signature(),
+            tuple(round(float(c), precision) for c in self.price_grid),
+            (float(self.penalty.per_task), float(self.penalty.existence)),
+            self.truncation_eps,
+        )
+
     def with_penalty(self, penalty: PenaltyScheme) -> "DeadlineProblem":
         """Return a copy with a different penalty scheme (for calibration)."""
         return dataclasses.replace(self, penalty=penalty)

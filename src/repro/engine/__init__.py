@@ -1,0 +1,62 @@
+"""Multi-campaign marketplace engine.
+
+The paper prices one batch at a time; a deployed marketplace runs *many*
+requesters' campaigns concurrently against one worker stream.  This
+subpackage is that serving layer:
+
+* :mod:`repro.engine.campaign` — campaign submissions
+  (:class:`CampaignSpec`) and retired-campaign accounting
+  (:class:`CampaignOutcome`).
+* :mod:`repro.engine.cache` — the :class:`PolicyCache` memoizing solved
+  policies behind canonical problem signatures, so near-identical
+  campaigns don't re-run the DP.
+* :mod:`repro.engine.routing` — pluggable splits of the shared worker
+  stream across live campaigns (:class:`LogitRouter` generalizing Eq. 3 to
+  multi-campaign choice; :class:`UniformRouter` as the attention-limited
+  baseline).
+* :mod:`repro.engine.engine` — the :class:`MarketplaceEngine` clock:
+  admission, pricing, routing, adaptive re-planning, retirement.
+* :mod:`repro.engine.workload` — synthetic heterogeneous-but-repetitive
+  campaign workloads (:func:`generate_workload`).
+
+Quick use::
+
+    from repro.engine import MarketplaceEngine, PolicyCache, generate_workload
+    from repro.market import paper_acceptance_model
+    from repro.sim import SharedArrivalStream
+
+    stream = SharedArrivalStream.from_rate_function(rate, 48.0, 144)
+    engine = MarketplaceEngine(stream, paper_acceptance_model(),
+                               planning="stationary")
+    engine.submit(generate_workload(60, stream.num_intervals, seed=7))
+    result = engine.run(seed=7)
+    print(result.summary())
+"""
+
+from repro.engine.cache import CacheStats, PolicyCache
+from repro.engine.campaign import BUDGET, DEADLINE, CampaignOutcome, CampaignSpec
+from repro.engine.engine import EngineResult, MarketplaceEngine, PLANNING_MODES
+from repro.engine.routing import ArrivalRouter, LogitRouter, UniformRouter
+from repro.engine.workload import (
+    CampaignTemplate,
+    DEFAULT_TEMPLATES,
+    generate_workload,
+)
+
+__all__ = [
+    "MarketplaceEngine",
+    "EngineResult",
+    "CampaignSpec",
+    "CampaignOutcome",
+    "CampaignTemplate",
+    "DEFAULT_TEMPLATES",
+    "DEADLINE",
+    "BUDGET",
+    "PLANNING_MODES",
+    "PolicyCache",
+    "CacheStats",
+    "ArrivalRouter",
+    "LogitRouter",
+    "UniformRouter",
+    "generate_workload",
+]

@@ -1,0 +1,120 @@
+"""Policy cache: share one solve among identical campaign instances.
+
+A real deployment of the paper's algorithms sees thousands of near-identical
+campaigns — same batch size, same horizon shape, same acceptance model —
+and re-running the Section 3 DP or Algorithm 3 for each is pure waste.
+:class:`PolicyCache` memoizes solved policies behind the canonical problem
+signatures exposed by
+:meth:`~repro.core.deadline.model.DeadlineProblem.signature` and
+:func:`~repro.core.budget.static_lp.budget_signature`: equal signature,
+equal optimal policy, one solve.
+
+The cache is a bounded LRU.  ``max_entries=0`` disables caching entirely
+(every lookup misses and nothing is stored), which the benchmarks use to
+quantify what memoization buys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+__all__ = ["CacheStats", "PolicyCache"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Lookup counters for one :class:`PolicyCache`.
+
+    Attributes
+    ----------
+    hits:
+        Lookups answered from the cache.
+    misses:
+        Lookups that had to solve.
+    evictions:
+        Entries dropped to respect ``max_entries``.
+    entries:
+        Entries currently stored.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups, ``hits + misses``."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / lookups`` (0.0 before any lookup)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PolicyCache:
+    """Bounded LRU memo of solved policies keyed by problem signature.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; least-recently-used entries are evicted beyond it.
+        0 disables the cache (all lookups miss, nothing is stored).
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be non-negative, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get_or_solve(
+        self, signature: Hashable, solve: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """Return ``(policy, was_hit)``, calling ``solve()`` only on a miss."""
+        if signature in self._entries:
+            self._entries.move_to_end(signature)
+            self._hits += 1
+            return self._entries[signature], True
+        self._misses += 1
+        policy = solve()
+        if self.max_entries > 0:
+            self._entries[signature] = policy
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return policy, False
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current counters as an immutable snapshot."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            entries=len(self._entries),
+        )
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self._hits = self._misses = self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, signature: Hashable) -> bool:
+        return signature in self._entries
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"PolicyCache(entries={s.entries}/{self.max_entries}, "
+            f"hits={s.hits}, misses={s.misses})"
+        )

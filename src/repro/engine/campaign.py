@@ -1,0 +1,156 @@
+"""Campaign descriptions and outcomes for the marketplace engine.
+
+A *campaign* is one requester's pricing problem submitted to the shared
+marketplace: either a fixed-deadline batch (Section 3 — the engine prices
+it with the MDP policy, optionally re-planning online) or a fixed-budget
+batch (Section 4 — priced by Algorithm 3's static allocation, applied
+semi-statically).  :class:`CampaignSpec` is the immutable submission record;
+:class:`CampaignOutcome` is what the engine reports once the campaign
+retires.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["CampaignSpec", "CampaignOutcome", "DEADLINE", "BUDGET"]
+
+#: Campaign kind markers.
+DEADLINE = "deadline"
+BUDGET = "budget"
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign submitted to the engine.
+
+    Attributes
+    ----------
+    campaign_id:
+        Unique identifier within one engine run.
+    kind:
+        ``"deadline"`` (Section 3 MDP pricing) or ``"budget"`` (Section 4
+        static allocation).
+    num_tasks:
+        Batch size ``N``.
+    submit_interval:
+        Engine-clock interval at which the campaign goes live.
+    horizon_intervals:
+        Campaign-local horizon: a deadline campaign's ``N_T``; a budget
+        campaign is retired (tasks may remain) after this many intervals.
+    max_price:
+        Largest admissible reward; the grid is ``1 .. max_price`` cents.
+    penalty_per_task:
+        Terminal penalty per unfinished task (deadline campaigns).
+    budget:
+        Total budget ``B`` in cents (budget campaigns; ``None`` otherwise).
+    adaptive:
+        Deadline campaigns only: wrap the policy in an
+        :class:`~repro.core.deadline.adaptive.AdaptiveRepricer` so the
+        campaign re-plans mid-flight from realized arrivals.
+    resolve_every:
+        Re-plan cadence of adaptive campaigns, in intervals.
+    """
+
+    campaign_id: str
+    kind: str
+    num_tasks: int
+    submit_interval: int
+    horizon_intervals: int
+    max_price: int = 30
+    penalty_per_task: float = 100.0
+    budget: float | None = None
+    adaptive: bool = False
+    resolve_every: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in (DEADLINE, BUDGET):
+            raise ValueError(f"kind must be {DEADLINE!r} or {BUDGET!r}, got {self.kind!r}")
+        if self.num_tasks <= 0:
+            raise ValueError(f"num_tasks must be positive, got {self.num_tasks}")
+        if self.submit_interval < 0:
+            raise ValueError(
+                f"submit_interval must be non-negative, got {self.submit_interval}"
+            )
+        if self.horizon_intervals <= 0:
+            raise ValueError(
+                f"horizon_intervals must be positive, got {self.horizon_intervals}"
+            )
+        if self.max_price < 1:
+            raise ValueError(f"max_price must be at least 1, got {self.max_price}")
+        if self.penalty_per_task < 0:
+            raise ValueError(
+                f"penalty_per_task must be non-negative, got {self.penalty_per_task}"
+            )
+        if self.kind == BUDGET:
+            if self.budget is None or self.budget <= 0:
+                raise ValueError("budget campaigns need a positive budget")
+            if self.adaptive:
+                raise ValueError("adaptive re-planning applies to deadline campaigns only")
+        if self.resolve_every < 1:
+            raise ValueError(f"resolve_every must be >= 1, got {self.resolve_every}")
+
+    @property
+    def end_interval(self) -> int:
+        """First engine-clock interval *after* the campaign's horizon."""
+        return self.submit_interval + self.horizon_intervals
+
+    def price_grid(self) -> np.ndarray:
+        """Integer-cent price grid ``1 .. max_price``."""
+        return np.arange(1.0, self.max_price + 1.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignOutcome:
+    """Final accounting for one retired campaign.
+
+    Attributes
+    ----------
+    spec:
+        The campaign as submitted.
+    completed:
+        Tasks finished before the campaign retired.
+    remaining:
+        Tasks still open at retirement.
+    total_cost:
+        Sum of rewards paid, in cents.
+    penalty:
+        Terminal penalty charged (deadline campaigns; 0 for budget).
+    finished_interval:
+        Engine-clock interval during which the last task finished, or
+        ``None`` if the batch did not finish.
+    cache_hit:
+        Whether admission reused a cached policy instead of solving.
+    num_solves:
+        DP/LP solves this campaign triggered (0 on a cache hit; adaptive
+        campaigns count every re-plan).
+    """
+
+    spec: CampaignSpec
+    completed: int
+    remaining: int
+    total_cost: float
+    penalty: float
+    finished_interval: int | None
+    cache_hit: bool
+    num_solves: int
+
+    @property
+    def finished(self) -> bool:
+        """True when every task completed before retirement."""
+        return self.remaining == 0
+
+    @property
+    def average_reward(self) -> float:
+        """Cost per task over the whole batch (Fig. 7(a) metric)."""
+        batch = self.completed + self.remaining
+        return self.total_cost / batch if batch else 0.0
+
+    @property
+    def within_budget(self) -> bool:
+        """True when spend stayed within the submitted budget (if any)."""
+        if self.spec.budget is None:
+            return True
+        return self.total_cost <= self.spec.budget + 1e-9

@@ -1,0 +1,434 @@
+"""The multi-campaign marketplace engine.
+
+:class:`MarketplaceEngine` multiplexes many concurrent pricing campaigns —
+deadline MDP and budget LP/DP, heterogeneous sizes and horizons, staggered
+submissions — over **one** shared NHPP worker stream, instead of solving
+and simulating each batch in isolation as the paper's experiments do.
+
+The engine advances a discrete clock over the stream's intervals.  Each
+tick it (1) admits newly-submitted campaigns, solving their policies
+through a :class:`~repro.engine.cache.PolicyCache` so identical instances
+are solved once, (2) collects the reward every live campaign posts for the
+interval, (3) draws the interval's marketplace arrivals from the shared
+:class:`~repro.sim.stream.SharedArrivalStream` and splits them across
+campaigns via a pluggable :class:`~repro.engine.routing.ArrivalRouter`,
+(4) feeds realized arrivals to adaptive campaigns
+(:class:`~repro.core.deadline.adaptive.AdaptiveRepricer`) so they re-plan
+mid-flight, and (5) retires campaigns that finished or hit their horizon.
+
+Campaign *planning* can run in two modes: ``"sliced"`` plans each campaign
+against its own time-aligned slice of the forecast (maximum fidelity), and
+``"stationary"`` plans every campaign against a flat canonical forecast at
+the stream's mean rate — the signatures of same-shaped campaigns then
+coincide regardless of submission time, which is what lets the policy
+cache absorb a whole day's traffic into a handful of solves (adaptive
+campaigns recover the diurnal level online).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.budget.static_lp import budget_signature, solve_budget_hull
+from repro.core.deadline.adaptive import AdaptiveRepricer
+from repro.core.deadline.model import DeadlineProblem, PenaltyScheme
+from repro.core.deadline.vectorized import solve_deadline
+from repro.engine.cache import CacheStats, PolicyCache
+from repro.engine.campaign import BUDGET, DEADLINE, CampaignOutcome, CampaignSpec
+from repro.engine.routing import ArrivalRouter, LogitRouter, UniformRouter
+from repro.market.acceptance import AcceptanceModel, LogitAcceptance
+from repro.sim.policies import PricingRuntime, SemiStaticRuntime, TablePolicyRuntime
+from repro.sim.stream import SharedArrivalStream
+
+__all__ = ["MarketplaceEngine", "EngineResult", "PLANNING_MODES"]
+
+#: Supported planning-forecast modes.
+PLANNING_MODES = ("sliced", "stationary")
+
+
+class _LiveCampaign:
+    """Mutable runtime state of one admitted campaign (engine-internal)."""
+
+    __slots__ = (
+        "spec",
+        "runtime",
+        "remaining",
+        "total_cost",
+        "finished_interval",
+        "cache_hit",
+        "initial_solves",
+    )
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        runtime: PricingRuntime,
+        cache_hit: bool,
+        initial_solves: int,
+    ):
+        self.spec = spec
+        self.runtime = runtime
+        self.remaining = spec.num_tasks
+        self.total_cost = 0.0
+        self.finished_interval: int | None = None
+        self.cache_hit = cache_hit
+        self.initial_solves = initial_solves
+
+    def num_solves(self) -> int:
+        """Solves attributable to this campaign (adaptive ones re-plan)."""
+        if isinstance(self.runtime, AdaptiveRepricer):
+            return self.runtime.num_solves
+        return self.initial_solves
+
+    def charge(self, done: int, posted_price: float) -> float:
+        """Payment owed for ``done`` completions this tick.
+
+        Deadline campaigns pay the posted reward per completion.  Budget
+        campaigns step through their semi-static price sequence one task
+        at a time (Definition 2 moves to the next price on *each*
+        completion), so realized spend can never exceed the allocation's
+        budget even when one interval delivers several completions.
+        """
+        if isinstance(self.runtime, SemiStaticRuntime):
+            completed = self.spec.num_tasks - self.remaining
+            strategy = self.runtime.strategy
+            return float(
+                sum(strategy.price_at(completed + j) for j in range(done))
+            )
+        return done * posted_price
+
+    def outcome(self) -> CampaignOutcome:
+        """Freeze the final accounting."""
+        penalty = (
+            self.spec.penalty_per_task * self.remaining
+            if self.spec.kind == DEADLINE
+            else 0.0
+        )
+        return CampaignOutcome(
+            spec=self.spec,
+            completed=self.spec.num_tasks - self.remaining,
+            remaining=self.remaining,
+            total_cost=self.total_cost,
+            penalty=penalty,
+            finished_interval=self.finished_interval,
+            cache_hit=self.cache_hit,
+            num_solves=self.num_solves(),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineResult:
+    """Aggregate outcome of one engine run.
+
+    Attributes
+    ----------
+    outcomes:
+        Per-campaign accounting, in retirement order.
+    intervals_run:
+        Engine-clock intervals actually simulated.
+    total_arrivals:
+        Marketplace worker arrivals while any campaign was live.
+    total_considered:
+        Worker looks routed to campaigns.
+    total_accepted:
+        Workers who accepted a task (completions before capping at the
+        campaigns' open-task counts).
+    max_concurrent:
+        Peak number of simultaneously live campaigns.
+    cache_stats:
+        Policy-cache counters at the end of the run.
+    elapsed_seconds:
+        Wall-clock duration of the run.
+    """
+
+    outcomes: tuple[CampaignOutcome, ...]
+    intervals_run: int
+    total_arrivals: int
+    total_considered: int
+    total_accepted: int
+    max_concurrent: int
+    cache_stats: CacheStats
+    elapsed_seconds: float
+
+    @property
+    def num_campaigns(self) -> int:
+        """Campaigns retired over the run."""
+        return len(self.outcomes)
+
+    @property
+    def total_completed(self) -> int:
+        """Tasks finished across all campaigns."""
+        return sum(o.completed for o in self.outcomes)
+
+    @property
+    def total_remaining(self) -> int:
+        """Tasks left unfinished across all campaigns."""
+        return sum(o.remaining for o in self.outcomes)
+
+    @property
+    def total_cost(self) -> float:
+        """Rewards paid across all campaigns, in cents."""
+        return sum(o.total_cost for o in self.outcomes)
+
+    @property
+    def total_penalty(self) -> float:
+        """Terminal penalties across all campaigns, in cents."""
+        return sum(o.penalty for o in self.outcomes)
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of all submitted tasks that finished."""
+        total = self.total_completed + self.total_remaining
+        return self.total_completed / total if total else 0.0
+
+    @property
+    def campaigns_per_second(self) -> float:
+        """Engine throughput: retired campaigns per wall-clock second."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.num_campaigns / self.elapsed_seconds
+
+    def summary(self) -> str:
+        """Human-readable run report (what ``repro engine run`` prints)."""
+        deadline = sum(1 for o in self.outcomes if o.spec.kind == DEADLINE)
+        budget = self.num_campaigns - deadline
+        adaptive = sum(1 for o in self.outcomes if o.spec.adaptive)
+        solves = sum(o.num_solves for o in self.outcomes)
+        s = self.cache_stats
+        lines = [
+            f"campaigns     : {self.num_campaigns} "
+            f"({deadline} deadline / {budget} budget; {adaptive} adaptive), "
+            f"peak {self.max_concurrent} concurrent",
+            f"intervals     : {self.intervals_run} ticks of the shared stream; "
+            f"{self.total_arrivals:,} worker arrivals, "
+            f"{self.total_accepted:,} acceptances",
+            f"tasks         : {self.total_completed:,} completed / "
+            f"{self.total_remaining:,} unfinished "
+            f"({100.0 * self.completion_rate:.1f}% completion)",
+            f"spend         : {self.total_cost / 100.0:,.2f}$ rewards + "
+            f"{self.total_penalty / 100.0:,.2f}$ penalties",
+            f"policy cache  : {s.hits} hits / {s.misses} misses "
+            f"(hit rate {100.0 * s.hit_rate:.1f}%), {s.entries} entries, "
+            f"{solves} solves total",
+            f"throughput    : {self.num_campaigns} campaigns in "
+            f"{self.elapsed_seconds:.2f}s "
+            f"({self.campaigns_per_second:,.1f} campaigns/sec)",
+        ]
+        return "\n".join(lines)
+
+
+class MarketplaceEngine:
+    """Discrete-time engine multiplexing campaigns over one worker stream.
+
+    Parameters
+    ----------
+    stream:
+        The shared marketplace arrival stream (true dynamics).
+    acceptance:
+        The marketplace's ``p(c)`` model, used for planning and (through
+        the default router) for worker choice.
+    router:
+        Arrival-splitting model; defaults to :class:`LogitRouter` when
+        ``acceptance`` is a :class:`LogitAcceptance`, else
+        :class:`UniformRouter`.
+    cache:
+        Policy cache shared by all admissions; defaults to a fresh
+        :class:`PolicyCache`.  Pass ``PolicyCache(max_entries=0)`` to
+        disable memoization.
+    planning:
+        ``"sliced"`` or ``"stationary"`` (see module docstring).
+    planning_means:
+        Per-interval forecast campaigns plan against; defaults to the
+        stream's own means.  Supplying a different array models forecast
+        error (e.g. a surge the planners did not expect).
+    truncation_eps:
+        Poisson-truncation threshold handed to every deadline instance.
+    """
+
+    def __init__(
+        self,
+        stream: SharedArrivalStream,
+        acceptance: AcceptanceModel,
+        router: ArrivalRouter | None = None,
+        cache: PolicyCache | None = None,
+        planning: str = "sliced",
+        planning_means: np.ndarray | None = None,
+        truncation_eps: float | None = 1e-9,
+    ):
+        if planning not in PLANNING_MODES:
+            raise ValueError(
+                f"planning must be one of {PLANNING_MODES}, got {planning!r}"
+            )
+        if router is None:
+            router = (
+                LogitRouter(acceptance)
+                if isinstance(acceptance, LogitAcceptance)
+                else UniformRouter(acceptance)
+            )
+        self.stream = stream
+        self.acceptance = acceptance
+        self.router = router
+        self.cache = cache if cache is not None else PolicyCache()
+        self.planning = planning
+        means = (
+            np.asarray(planning_means, dtype=float)
+            if planning_means is not None
+            else stream.arrival_means
+        )
+        if means.shape != stream.arrival_means.shape:
+            raise ValueError(
+                "planning_means must have one entry per stream interval "
+                f"({stream.num_intervals}), got shape {means.shape}"
+            )
+        self.planning_means = means
+        self.truncation_eps = truncation_eps
+        self._specs: list[CampaignSpec] = []
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, specs: CampaignSpec | Sequence[CampaignSpec]) -> None:
+        """Queue campaigns for admission at their submit intervals."""
+        batch = [specs] if isinstance(specs, CampaignSpec) else list(specs)
+        known = {s.campaign_id for s in self._specs}
+        for spec in batch:
+            if spec.campaign_id in known:
+                raise ValueError(f"duplicate campaign_id {spec.campaign_id!r}")
+            if spec.end_interval > self.stream.num_intervals:
+                raise ValueError(
+                    f"campaign {spec.campaign_id!r} runs to interval "
+                    f"{spec.end_interval}, beyond the stream's "
+                    f"{self.stream.num_intervals}"
+                )
+            known.add(spec.campaign_id)
+            self._specs.append(spec)
+
+    @property
+    def num_submitted(self) -> int:
+        """Campaigns queued so far."""
+        return len(self._specs)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def planning_slice(self, spec: CampaignSpec) -> np.ndarray:
+        """The per-interval arrival forecast ``spec`` plans against."""
+        if self.planning == "stationary":
+            level = float(self.planning_means.mean())
+            return np.full(spec.horizon_intervals, level)
+        start = spec.submit_interval
+        return self.planning_means[start : start + spec.horizon_intervals].copy()
+
+    def planning_problem(self, spec: CampaignSpec) -> DeadlineProblem:
+        """Build the deadline instance a campaign is solved against."""
+        if spec.kind != DEADLINE:
+            raise ValueError(f"campaign {spec.campaign_id!r} is not a deadline campaign")
+        return DeadlineProblem(
+            num_tasks=spec.num_tasks,
+            arrival_means=self.planning_slice(spec),
+            acceptance=self.acceptance,
+            price_grid=spec.price_grid(),
+            penalty=PenaltyScheme(per_task=spec.penalty_per_task),
+            truncation_eps=self.truncation_eps,
+        )
+
+    def _admit(self, spec: CampaignSpec) -> _LiveCampaign:
+        """Solve (or fetch) the campaign's policy and go live."""
+        if spec.kind == BUDGET:
+            signature = budget_signature(
+                spec.num_tasks, spec.budget, self.acceptance, spec.price_grid()
+            )
+            allocation, hit = self.cache.get_or_solve(
+                signature,
+                lambda: solve_budget_hull(
+                    spec.num_tasks, spec.budget, self.acceptance, spec.price_grid()
+                ),
+            )
+            runtime: PricingRuntime = SemiStaticRuntime(allocation.as_semi_static())
+            return _LiveCampaign(spec, runtime, hit, 0 if hit else 1)
+        problem = self.planning_problem(spec)
+        if spec.adaptive:
+            # Adaptive campaigns own their re-planning loop (and its private
+            # suffix-solve cache); the shared cache only serves static ones.
+            repricer = AdaptiveRepricer(problem, resolve_every=spec.resolve_every)
+            return _LiveCampaign(spec, repricer, False, 0)
+        policy, hit = self.cache.get_or_solve(
+            problem.signature(), lambda: solve_deadline(problem)
+        )
+        return _LiveCampaign(spec, TablePolicyRuntime(policy), hit, 0 if hit else 1)
+
+    # ------------------------------------------------------------------
+    # The clock
+    # ------------------------------------------------------------------
+    def run(
+        self, seed: int = 0, rng: np.random.Generator | None = None
+    ) -> EngineResult:
+        """Run the clock until every submitted campaign has retired."""
+        rng = rng if rng is not None else np.random.default_rng(seed)
+        start_time = time.perf_counter()
+        pending = sorted(self._specs, key=lambda s: (s.submit_interval, s.campaign_id))
+        next_pending = 0
+        live: list[_LiveCampaign] = []
+        outcomes: list[CampaignOutcome] = []
+        total_arrivals = 0
+        total_considered = 0
+        total_accepted = 0
+        max_concurrent = 0
+        intervals_run = 0
+        for t in range(self.stream.num_intervals):
+            while (
+                next_pending < len(pending)
+                and pending[next_pending].submit_interval <= t
+            ):
+                live.append(self._admit(pending[next_pending]))
+                next_pending += 1
+            if not live:
+                if next_pending >= len(pending):
+                    break  # nothing live, nothing coming: done early
+                continue  # marketplace idles until the next submission
+            intervals_run += 1
+            max_concurrent = max(max_concurrent, len(live))
+            prices = np.array(
+                [c.runtime.price(c.remaining, t - c.spec.submit_interval) for c in live]
+            )
+            arrived = self.stream.sample(t, rng)
+            total_arrivals += arrived
+            considered, accepted = self.router.split(arrived, prices, rng)
+            total_considered += int(considered.sum())
+            for campaign, taken, price in zip(live, accepted, prices):
+                total_accepted += int(taken)
+                done = min(int(taken), campaign.remaining)
+                if done == 0:
+                    continue
+                campaign.total_cost += campaign.charge(done, float(price))
+                campaign.remaining -= done
+                if campaign.remaining == 0:
+                    campaign.finished_interval = t
+            # Adaptive campaigns observe the interval's realized marketplace
+            # arrivals after pricing it (no peeking at the future).
+            for campaign in live:
+                observe = getattr(campaign.runtime, "observe", None)
+                if observe is not None:
+                    observe(t - campaign.spec.submit_interval, arrived)
+            still_live: list[_LiveCampaign] = []
+            for campaign in live:
+                if campaign.remaining == 0 or t + 1 >= campaign.spec.end_interval:
+                    outcomes.append(campaign.outcome())
+                else:
+                    still_live.append(campaign)
+            live = still_live
+        elapsed = time.perf_counter() - start_time
+        return EngineResult(
+            outcomes=tuple(outcomes),
+            intervals_run=intervals_run,
+            total_arrivals=total_arrivals,
+            total_considered=total_considered,
+            total_accepted=total_accepted,
+            max_concurrent=max_concurrent,
+            cache_stats=self.cache.stats,
+            elapsed_seconds=elapsed,
+        )

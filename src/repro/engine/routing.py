@@ -1,0 +1,137 @@
+"""Split one shared worker stream across the live campaigns.
+
+Each engine interval delivers a realized number of marketplace worker
+arrivals; an :class:`ArrivalRouter` decides which campaign (if any) each
+worker accepts, given the rewards currently posted.  Two models:
+
+* :class:`LogitRouter` — the multi-campaign generalization of the paper's
+  Eq. 3 acceptance model.  A worker facing live campaigns with rewards
+  ``c_1 .. c_K`` and the marketplace's competing-utility mass ``M`` picks
+  campaign ``i`` with probability ``e_i / (sum_j e_j + M)`` where
+  ``e_i = exp(c_i / s - b)``, and walks away with probability
+  ``M / (sum_j e_j + M)``.  With a single live campaign this reduces
+  exactly to ``p(c)`` from Eq. 3, so engine runs degrade gracefully to the
+  paper's single-batch setting.
+* :class:`UniformRouter` — attention-limited baseline: each worker
+  considers one uniformly-chosen live campaign and accepts it with the
+  ordinary ``p(c)``.  This is the "campaigns are solved in isolation"
+  assumption made literal, and shows what contention costs.
+
+Routers return both the *considered* and *accepted* counts so adaptive
+campaigns can feed realized demand into their rate predictors.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.market.acceptance import AcceptanceModel, LogitAcceptance
+
+__all__ = ["ArrivalRouter", "LogitRouter", "UniformRouter"]
+
+
+class ArrivalRouter(abc.ABC):
+    """Allocates one interval's worker arrivals among live campaigns."""
+
+    @abc.abstractmethod
+    def split(
+        self, arrived: int, prices: Sequence[float], rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(considered, accepted)`` counts per campaign.
+
+        ``considered[i]`` workers looked at campaign ``i``; ``accepted[i]``
+        of them took a task (``accepted <= considered`` elementwise, and
+        ``sum(considered) <= arrived``).
+        """
+
+    @staticmethod
+    def _validate(arrived: int, prices: Sequence[float]) -> np.ndarray:
+        """Shared argument validation; returns the price vector."""
+        if arrived < 0:
+            raise ValueError(f"arrived must be non-negative, got {arrived}")
+        price_arr = np.asarray(prices, dtype=float)
+        if price_arr.ndim != 1:
+            raise ValueError("prices must be a 1-D sequence")
+        if np.any(price_arr < 0):
+            raise ValueError("prices must be non-negative")
+        return price_arr
+
+
+class LogitRouter(ArrivalRouter):
+    """Conditional-logit choice over all live campaigns plus walking away.
+
+    Parameters
+    ----------
+    model:
+        The marketplace's :class:`~repro.market.acceptance.LogitAcceptance`
+        (Eq. 3 / Eq. 13); its ``s``, ``b``, ``m`` give the utility scale,
+        task attractiveness, and competing-utility mass.
+    """
+
+    def __init__(self, model: LogitAcceptance):
+        if not isinstance(model, LogitAcceptance):
+            raise TypeError(
+                "LogitRouter needs a LogitAcceptance model (the router's "
+                f"choice weights are its exponentiated utilities), got {model!r}"
+            )
+        self.model = model
+
+    def split(
+        self, arrived: int, prices: Sequence[float], rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Multinomial worker choice: campaigns' logit weights vs mass ``M``."""
+        price_arr = self._validate(arrived, prices)
+        k = price_arr.size
+        if k == 0 or arrived == 0:
+            zero = np.zeros(k, dtype=int)
+            return zero, zero.copy()
+        utilities = np.clip(price_arr / self.model.s - self.model.b, None, 700.0)
+        weights = np.exp(utilities)
+        denom = weights.sum() + self.model.m
+        pvals = np.append(weights / denom, self.model.m / denom)
+        draws = rng.multinomial(arrived, pvals)
+        accepted = draws[:k].astype(int)
+        # Choosing a campaign is accepting one of its tasks: considered ==
+        # accepted under pure discrete choice.
+        return accepted.copy(), accepted
+
+    def __repr__(self) -> str:
+        return f"LogitRouter({self.model!r})"
+
+
+class UniformRouter(ArrivalRouter):
+    """Each worker considers one uniformly-drawn campaign, then applies ``p(c)``.
+
+    Parameters
+    ----------
+    acceptance:
+        The single-campaign acceptance model ``p(c)`` applied after the
+        uniform attention draw (any :class:`AcceptanceModel`).
+    """
+
+    def __init__(self, acceptance: AcceptanceModel):
+        self.acceptance = acceptance
+
+    def split(
+        self, arrived: int, prices: Sequence[float], rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Uniform attention split followed by per-campaign Bernoulli acceptance."""
+        price_arr = self._validate(arrived, prices)
+        k = price_arr.size
+        if k == 0 or arrived == 0:
+            zero = np.zeros(k, dtype=int)
+            return zero, zero.copy()
+        considered = rng.multinomial(arrived, np.full(k, 1.0 / k))
+        accepted = np.zeros(k, dtype=int)
+        for i in range(k):
+            if considered[i] == 0:
+                continue
+            p = self.acceptance.probability(float(price_arr[i]))
+            accepted[i] = int(rng.binomial(considered[i], p)) if p > 0 else 0
+        return considered.astype(int), accepted
+
+    def __repr__(self) -> str:
+        return f"UniformRouter({self.acceptance!r})"

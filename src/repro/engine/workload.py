@@ -1,0 +1,167 @@
+"""Synthetic campaign workloads for the marketplace engine.
+
+Real marketplaces see traffic that is *heterogeneous but repetitive*: many
+requesters submit batches drawn from a small family of shapes (label 1k
+images by tonight, moderate 200 posts on a $20 budget, ...).
+:func:`generate_workload` reproduces that structure — campaigns are drawn
+from a pool of :class:`CampaignTemplate` shapes and submitted in staggered
+waves — so engine runs exercise both concurrency (overlapping horizons)
+and the policy cache (repeated shapes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.campaign import BUDGET, DEADLINE, CampaignSpec
+
+__all__ = ["CampaignTemplate", "DEFAULT_TEMPLATES", "generate_workload"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignTemplate:
+    """One recurring campaign shape requesters submit over and over.
+
+    Attributes
+    ----------
+    name:
+        Template identifier (prefixes generated campaign ids).
+    kind:
+        ``"deadline"`` or ``"budget"``.
+    num_tasks:
+        Batch size ``N``.
+    horizon_intervals:
+        Campaign-local horizon length.
+    max_price:
+        Top of the 1..max_price cent price grid.
+    penalty_per_task:
+        Deadline campaigns' terminal penalty per unfinished task.
+    per_task_budget:
+        Budget campaigns' budget per task, in cents (``B = N * this``).
+    """
+
+    name: str
+    kind: str
+    num_tasks: int
+    horizon_intervals: int
+    max_price: int = 30
+    penalty_per_task: float = 100.0
+    per_task_budget: float = 12.0
+
+    def spec(
+        self, campaign_id: str, submit_interval: int, adaptive: bool = False
+    ) -> CampaignSpec:
+        """Instantiate the template at a submission time."""
+        return CampaignSpec(
+            campaign_id=campaign_id,
+            kind=self.kind,
+            num_tasks=self.num_tasks,
+            submit_interval=submit_interval,
+            horizon_intervals=self.horizon_intervals,
+            max_price=self.max_price,
+            penalty_per_task=self.penalty_per_task,
+            budget=(
+                self.num_tasks * self.per_task_budget if self.kind == BUDGET else None
+            ),
+            adaptive=adaptive and self.kind == DEADLINE,
+        )
+
+
+#: A heterogeneous default pool: small/medium/large deadline batches with
+#: different urgency (horizon, penalty), plus lean and generous budget runs.
+DEFAULT_TEMPLATES: tuple[CampaignTemplate, ...] = (
+    CampaignTemplate("dl-small", DEADLINE, num_tasks=15, horizon_intervals=9,
+                     max_price=25, penalty_per_task=80.0),
+    CampaignTemplate("dl-medium", DEADLINE, num_tasks=40, horizon_intervals=18,
+                     max_price=30, penalty_per_task=120.0),
+    CampaignTemplate("dl-large", DEADLINE, num_tasks=80, horizon_intervals=30,
+                     max_price=30, penalty_per_task=150.0),
+    CampaignTemplate("dl-urgent", DEADLINE, num_tasks=25, horizon_intervals=6,
+                     max_price=40, penalty_per_task=250.0),
+    CampaignTemplate("bg-lean", BUDGET, num_tasks=30, horizon_intervals=24,
+                     max_price=25, per_task_budget=9.0),
+    CampaignTemplate("bg-generous", BUDGET, num_tasks=50, horizon_intervals=18,
+                     max_price=30, per_task_budget=14.0),
+)
+
+
+def generate_workload(
+    num_campaigns: int,
+    num_intervals: int,
+    seed: int = 0,
+    templates: Sequence[CampaignTemplate] = DEFAULT_TEMPLATES,
+    budget_fraction: float = 0.3,
+    adaptive_fraction: float = 0.25,
+    submit_waves: int = 8,
+) -> list[CampaignSpec]:
+    """Draw a staggered, heterogeneous campaign workload.
+
+    Parameters
+    ----------
+    num_campaigns:
+        Campaigns to generate.
+    num_intervals:
+        Engine-stream horizon the workload must fit inside.
+    seed:
+        Workload-generation seed (independent of the engine's run seed).
+    templates:
+        Shape pool to draw from (must contain each kind a fraction asks for).
+    budget_fraction:
+        Expected fraction of budget-kind campaigns.
+    adaptive_fraction:
+        Expected fraction of *deadline* campaigns that re-plan adaptively.
+    submit_waves:
+        Number of distinct submission times; campaigns in the same wave
+        start together, waves are spread over the feasible prefix of the
+        horizon.  Fewer waves = more concurrency and more cache hits.
+
+    Raises
+    ------
+    ValueError
+        If no template (of a needed kind) fits inside ``num_intervals``.
+    """
+    if num_campaigns <= 0:
+        raise ValueError(f"num_campaigns must be positive, got {num_campaigns}")
+    if num_intervals <= 0:
+        raise ValueError(f"num_intervals must be positive, got {num_intervals}")
+    if not templates:
+        raise ValueError("need at least one template")
+    if not 0.0 <= budget_fraction <= 1.0:
+        raise ValueError(f"budget_fraction must lie in [0, 1], got {budget_fraction}")
+    if not 0.0 <= adaptive_fraction <= 1.0:
+        raise ValueError(
+            f"adaptive_fraction must lie in [0, 1], got {adaptive_fraction}"
+        )
+    if submit_waves < 1:
+        raise ValueError(f"submit_waves must be >= 1, got {submit_waves}")
+    fitting = [t for t in templates if t.horizon_intervals <= num_intervals]
+    deadline_pool = [t for t in fitting if t.kind == DEADLINE]
+    budget_pool = [t for t in fitting if t.kind == BUDGET]
+    if budget_fraction < 1.0 and not deadline_pool:
+        raise ValueError(
+            f"no deadline template fits a {num_intervals}-interval stream"
+        )
+    if budget_fraction > 0.0 and not budget_pool:
+        raise ValueError(f"no budget template fits a {num_intervals}-interval stream")
+    rng = np.random.default_rng(seed)
+    specs: list[CampaignSpec] = []
+    for i in range(num_campaigns):
+        pool = budget_pool if rng.random() < budget_fraction else deadline_pool
+        template = pool[int(rng.integers(len(pool)))]
+        # A wave's submission time is spread over the prefix that still
+        # leaves room for this template's horizon.
+        latest = num_intervals - template.horizon_intervals
+        wave = int(rng.integers(submit_waves))
+        submit = round(latest * wave / max(submit_waves - 1, 1))
+        adaptive = bool(rng.random() < adaptive_fraction)
+        specs.append(
+            template.spec(
+                campaign_id=f"{template.name}-{i:04d}",
+                submit_interval=submit,
+                adaptive=adaptive,
+            )
+        )
+    return specs

@@ -54,6 +54,16 @@ class AcceptanceModel(abc.ABC):
         """Vectorized ``p(c)`` over a price grid."""
         return np.array([self.probability(c) for c in prices])
 
+    def signature(self) -> tuple:
+        """Hashable canonical key identifying this model's ``p(c)`` curve.
+
+        Two models with equal signatures must assign equal probabilities to
+        every price — the policy cache of :mod:`repro.engine` relies on this
+        to share solved policies across campaigns.  Subclasses whose
+        ``repr`` does not pin down the curve must override.
+        """
+        return (type(self).__name__, repr(self))
+
     def __call__(self, price: float) -> float:
         return self.probability(price)
 
@@ -106,6 +116,10 @@ class LogitAcceptance(AcceptanceModel):
             raise ValueError("p must be strictly inside (0, 1) for a finite price")
         return self.s * (math.log(self.m * p / (1.0 - p)) + self.b)
 
+    def signature(self) -> tuple:
+        """Canonical key ``("logit", s, b, m)``."""
+        return ("logit", float(self.s), float(self.b), float(self.m))
+
     def with_params(
         self, s: float | None = None, b: float | None = None, m: float | None = None
     ) -> "LogitAcceptance":
@@ -150,6 +164,10 @@ class EmpiricalAcceptance(AcceptanceModel):
 
     def probabilities(self, prices: Sequence[float]) -> np.ndarray:
         return np.interp(np.asarray(prices, dtype=float), self._prices, self._probs)
+
+    def signature(self) -> tuple:
+        """Canonical key: the full interpolation table."""
+        return ("empirical", tuple(self._prices.tolist()), tuple(self._probs.tolist()))
 
     def __repr__(self) -> str:
         return f"EmpiricalAcceptance({len(self._prices)} price points)"

@@ -5,6 +5,8 @@
 * :mod:`repro.sim.simulator` — interval-level marketplace simulation of a
   deadline run: NHPP arrivals, Bernoulli acceptance, policy consultation,
   cost accounting.
+* :mod:`repro.sim.stream` — the marketplace-wide worker-arrival stream the
+  simulator (and the multi-campaign engine) draw from.
 * :mod:`repro.sim.runner` — replication management with seeds and summary
   statistics.
 * :mod:`repro.sim.workers` — worker-session and answer-accuracy models for
@@ -21,6 +23,7 @@ from repro.sim.policies import (
 )
 from repro.sim.runner import ReplicationSummary, run_replications, summarize
 from repro.sim.simulator import DeadlineSimulation, SimulationResult
+from repro.sim.stream import SharedArrivalStream
 from repro.sim.workers import WorkerPool, WorkerSessionModel
 from repro.sim.live import (
     LiveExperimentConfig,
@@ -36,6 +39,7 @@ __all__ = [
     "SemiStaticRuntime",
     "DeadlineSimulation",
     "SimulationResult",
+    "SharedArrivalStream",
     "run_replications",
     "summarize",
     "ReplicationSummary",

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.market.acceptance import AcceptanceModel
 from repro.sim.policies import PricingRuntime
+from repro.sim.stream import SharedArrivalStream
 
 __all__ = ["SimulationResult", "DeadlineSimulation"]
 
@@ -92,18 +93,18 @@ class DeadlineSimulation:
     ):
         if num_tasks <= 0:
             raise ValueError(f"num_tasks must be positive, got {num_tasks}")
-        means = np.asarray(arrival_means, dtype=float)
-        if means.ndim != 1 or means.size == 0:
-            raise ValueError("arrival_means must be a non-empty 1-D array")
-        if np.any(means < 0):
-            raise ValueError("arrival_means must be non-negative")
+        self.stream = SharedArrivalStream(arrival_means)
         self.num_tasks = num_tasks
-        self.arrival_means = means
         self.acceptance = acceptance
 
     @property
+    def arrival_means(self) -> np.ndarray:
+        """Expected marketplace arrivals per interval (the stream's means)."""
+        return self.stream.arrival_means
+
+    @property
     def num_intervals(self) -> int:
-        return int(self.arrival_means.size)
+        return self.stream.num_intervals
 
     def run(self, policy: PricingRuntime, rng: np.random.Generator) -> SimulationResult:
         """Simulate one replication under ``policy``."""
@@ -120,7 +121,7 @@ class DeadlineSimulation:
             if n > 0:
                 last_price = float(policy.price(n, t))
             prices[t] = last_price
-            arrived = int(rng.poisson(self.arrival_means[t]))
+            arrived = self.stream.sample(t, rng)
             arrivals[t] = arrived
             if observe is not None:
                 # Adaptive policies see realized arrivals *after* pricing

@@ -1,0 +1,1 @@
+"""Tests for the multi-campaign marketplace engine."""

@@ -1,0 +1,95 @@
+"""Tests for the canonical problem signatures the policy cache keys on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.budget import budget_signature
+from repro.market.acceptance import (
+    EmpiricalAcceptance,
+    LogitAcceptance,
+    paper_acceptance_model,
+)
+from tests.conftest import make_problem
+
+
+class TestAcceptanceSignatures:
+    def test_logit_equal_params_equal_signature(self):
+        assert LogitAcceptance(15, -0.39, 2000).signature() == \
+            LogitAcceptance(15.0, -0.39, 2000.0).signature()
+
+    def test_logit_differs_on_any_param(self):
+        base = LogitAcceptance(15, -0.39, 2000).signature()
+        assert LogitAcceptance(16, -0.39, 2000).signature() != base
+        assert LogitAcceptance(15, -0.40, 2000).signature() != base
+        assert LogitAcceptance(15, -0.39, 1999).signature() != base
+
+    def test_empirical_signature_covers_table(self):
+        a = EmpiricalAcceptance({5.0: 0.01, 10.0: 0.02})
+        b = EmpiricalAcceptance({5.0: 0.01, 10.0: 0.02})
+        c = EmpiricalAcceptance({5.0: 0.01, 10.0: 0.03})
+        assert a.signature() == b.signature()
+        assert a.signature() != c.signature()
+
+    def test_cross_model_signatures_differ(self):
+        logit = paper_acceptance_model()
+        table = EmpiricalAcceptance(
+            {c: logit.probability(c) for c in (1.0, 10.0, 20.0)}
+        )
+        assert logit.signature() != table.signature()
+
+
+class TestDeadlineSignature:
+    def test_identical_problems_share_signature(self):
+        assert make_problem().signature() == make_problem().signature()
+
+    def test_signature_is_hashable(self):
+        assert isinstance(hash(make_problem().signature()), int)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_tasks": 6},
+            {"arrival_means": np.array([300.0, 450.0, 201.0])},
+            {"s": 16.0},
+            {"max_price": 13.0},
+            {"penalty": 31.0},
+            {"existence": 1.0},
+            {"truncation_eps": None},
+        ],
+    )
+    def test_signature_differs_on_each_field(self, kwargs):
+        assert make_problem(**kwargs).signature() != make_problem().signature()
+
+    def test_rounding_absorbs_float_noise(self):
+        means = np.array([300.0, 450.0, 200.0])
+        jitter = means + 1e-12
+        assert (
+            make_problem(arrival_means=means).signature()
+            == make_problem(arrival_means=jitter).signature()
+        )
+
+
+class TestBudgetSignature:
+    def test_equal_instances_share_signature(self, paper_acceptance):
+        grid = np.arange(1.0, 31.0)
+        assert budget_signature(50, 600.0, paper_acceptance, grid) == \
+            budget_signature(50, 600.0, paper_acceptance, grid.copy())
+
+    def test_differs_on_each_field(self, paper_acceptance):
+        grid = np.arange(1.0, 31.0)
+        base = budget_signature(50, 600.0, paper_acceptance, grid)
+        assert budget_signature(51, 600.0, paper_acceptance, grid) != base
+        assert budget_signature(50, 601.0, paper_acceptance, grid) != base
+        assert budget_signature(50, 600.0, paper_acceptance, grid[:-1]) != base
+        other = paper_acceptance.with_params(s=16.0)
+        assert budget_signature(50, 600.0, other, grid) != base
+
+    def test_budget_never_collides_with_deadline(self, paper_acceptance):
+        problem = make_problem()
+        sig = budget_signature(
+            problem.num_tasks, 600.0, paper_acceptance, problem.price_grid
+        )
+        assert sig != problem.signature()
+        assert sig[0] == "budget" and problem.signature()[0] == "deadline"

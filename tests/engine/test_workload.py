@@ -1,0 +1,139 @@
+"""Tests for workload generation and campaign spec validation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.engine.campaign import BUDGET, DEADLINE, CampaignOutcome, CampaignSpec
+from repro.engine.workload import (
+    DEFAULT_TEMPLATES,
+    CampaignTemplate,
+    generate_workload,
+)
+
+
+def make_spec(**overrides) -> CampaignSpec:
+    base = dict(
+        campaign_id="c0",
+        kind=DEADLINE,
+        num_tasks=10,
+        submit_interval=0,
+        horizon_intervals=6,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestCampaignSpec:
+    def test_deadline_defaults(self):
+        spec = make_spec()
+        assert spec.end_interval == 6
+        assert spec.price_grid().tolist() == [float(c) for c in range(1, 31)]
+
+    def test_budget_requires_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            make_spec(kind=BUDGET)
+
+    def test_budget_rejects_adaptive(self):
+        with pytest.raises(ValueError, match="adaptive"):
+            make_spec(kind=BUDGET, budget=100.0, adaptive=True)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"kind": "auction"},
+            {"num_tasks": 0},
+            {"submit_interval": -1},
+            {"horizon_intervals": 0},
+            {"max_price": 0},
+            {"penalty_per_task": -1.0},
+            {"resolve_every": 0},
+        ],
+    )
+    def test_invalid_fields_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            make_spec(**overrides)
+
+    def test_outcome_properties(self):
+        outcome = CampaignOutcome(
+            spec=make_spec(kind=BUDGET, budget=120.0),
+            completed=8,
+            remaining=2,
+            total_cost=90.0,
+            penalty=0.0,
+            finished_interval=None,
+            cache_hit=True,
+            num_solves=0,
+        )
+        assert not outcome.finished
+        assert outcome.average_reward == pytest.approx(9.0)
+        assert outcome.within_budget
+
+
+class TestTemplates:
+    def test_default_pool_is_heterogeneous(self):
+        kinds = {t.kind for t in DEFAULT_TEMPLATES}
+        sizes = {t.num_tasks for t in DEFAULT_TEMPLATES}
+        horizons = {t.horizon_intervals for t in DEFAULT_TEMPLATES}
+        assert kinds == {DEADLINE, BUDGET}
+        assert len(sizes) >= 4 and len(horizons) >= 4
+
+    def test_budget_template_computes_budget(self):
+        template = CampaignTemplate("b", BUDGET, 30, 12, per_task_budget=9.0)
+        spec = template.spec("b-1", submit_interval=3)
+        assert spec.budget == pytest.approx(270.0)
+        assert not spec.adaptive
+
+    def test_adaptive_flag_only_applies_to_deadline(self):
+        template = CampaignTemplate("b", BUDGET, 30, 12)
+        assert not template.spec("b-1", 0, adaptive=True).adaptive
+
+
+class TestGenerateWorkload:
+    def test_count_ids_and_fit(self):
+        specs = generate_workload(50, 96, seed=1)
+        assert len(specs) == 50
+        assert len({s.campaign_id for s in specs}) == 50
+        assert all(s.end_interval <= 96 for s in specs)
+
+    def test_reproducible(self):
+        assert generate_workload(20, 96, seed=5) == generate_workload(20, 96, seed=5)
+        assert generate_workload(20, 96, seed=5) != generate_workload(20, 96, seed=6)
+
+    def test_staggered_submissions(self):
+        specs = generate_workload(50, 96, seed=2)
+        assert len({s.submit_interval for s in specs}) > 3
+
+    def test_kind_mix_follows_fraction(self):
+        specs = generate_workload(300, 96, seed=3, budget_fraction=0.4)
+        budget = sum(1 for s in specs if s.kind == BUDGET)
+        assert 0.3 < budget / 300 < 0.5
+
+    def test_all_deadline_when_fraction_zero(self):
+        specs = generate_workload(30, 96, seed=4, budget_fraction=0.0)
+        assert all(s.kind == DEADLINE for s in specs)
+
+    def test_adaptive_fraction(self):
+        specs = generate_workload(
+            200, 96, seed=5, budget_fraction=0.0, adaptive_fraction=0.5
+        )
+        adaptive = sum(1 for s in specs if s.adaptive)
+        assert 0.35 < adaptive / 200 < 0.65
+
+    def test_templates_too_long_are_rejected(self):
+        long_only = tuple(
+            dataclasses.replace(t, horizon_intervals=999) for t in DEFAULT_TEMPLATES
+        )
+        with pytest.raises(ValueError, match="fits"):
+            generate_workload(10, 96, templates=long_only)
+
+    def test_duplicate_shapes_exist_for_cache(self):
+        """The workload's whole point: repeated (template, submit) shapes."""
+        specs = generate_workload(60, 96, seed=7, submit_waves=4)
+        shapes = {
+            (s.kind, s.num_tasks, s.horizon_intervals, s.submit_interval)
+            for s in specs
+        }
+        assert len(shapes) < len(specs)

@@ -1,0 +1,1 @@
+"""Test package marker (disambiguates same-basename test modules)."""

@@ -1,0 +1,54 @@
+"""Tests for the shared marketplace arrival stream."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.market.rates import ConstantRate
+from repro.sim.simulator import DeadlineSimulation
+from repro.sim.stream import SharedArrivalStream
+
+
+class TestConstruction:
+    def test_validates_means(self):
+        with pytest.raises(ValueError):
+            SharedArrivalStream(np.array([]))
+        with pytest.raises(ValueError):
+            SharedArrivalStream(np.array([1.0, -2.0]))
+
+    def test_from_rate_function(self):
+        stream = SharedArrivalStream.from_rate_function(
+            ConstantRate(600.0), horizon_hours=4.0, num_intervals=12
+        )
+        assert stream.num_intervals == 12
+        assert stream.mean(0) == pytest.approx(200.0)
+        assert stream.total_mean == pytest.approx(2400.0)
+
+    def test_scaled(self):
+        stream = SharedArrivalStream(np.array([100.0, 200.0])).scaled(0.5)
+        assert stream.arrival_means.tolist() == [50.0, 100.0]
+        with pytest.raises(ValueError):
+            stream.scaled(-1.0)
+
+
+class TestSampling:
+    def test_sample_matches_mean(self, rng):
+        stream = SharedArrivalStream(np.array([1000.0]))
+        draws = [stream.sample(0, rng) for _ in range(200)]
+        assert np.mean(draws) == pytest.approx(1000.0, rel=0.05)
+
+    def test_interval_bounds_checked(self, rng):
+        stream = SharedArrivalStream(np.array([10.0]))
+        with pytest.raises(ValueError):
+            stream.sample(1, rng)
+        with pytest.raises(ValueError):
+            stream.mean(-1)
+
+    def test_simulator_exposes_stream(self, paper_acceptance):
+        """DeadlineSimulation now draws from a SharedArrivalStream."""
+        means = np.array([300.0, 400.0])
+        sim = DeadlineSimulation(5, means, paper_acceptance)
+        assert isinstance(sim.stream, SharedArrivalStream)
+        assert np.array_equal(sim.arrival_means, means)
+        assert sim.num_intervals == 2

@@ -40,6 +40,12 @@ class TestExperimentsCommand:
         assert main(["experiments", "report", "--ids", "nope"]) == 2
         assert "unknown experiment ids" in capsys.readouterr().err
 
+    def test_report_multiple_blocks_in_order(self, capsys):
+        assert main(["experiments", "report", "--ids", "fig1", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("## fig1") < out.index("## table1")
+        assert out.count("```") == 4  # one fenced block per experiment
+
 
 class TestSolveDeadlineCommand:
     def test_small_instance(self, capsys):
@@ -100,6 +106,67 @@ class TestSolveBudgetCommand:
         assert "cannot cover" in capsys.readouterr().err
 
 
+class TestEngineCommand:
+    def test_run_smoke(self, capsys):
+        code = main(
+            [
+                "engine", "run",
+                "--campaigns", "8",
+                "--horizon-hours", "12",
+                "--interval-minutes", "30",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaigns     : 8" in out
+        assert "hit rate" in out
+        assert "campaigns/sec" in out
+
+    def test_run_per_campaign_listing(self, capsys):
+        code = main(
+            [
+                "engine", "run",
+                "--campaigns", "6",
+                "--horizon-hours", "12",
+                "--interval-minutes", "30",
+                "--budget-fraction", "0.5",
+                "--per-campaign",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "c/task" in out
+        assert "bg-" in out and "dl-" in out
+
+    def test_run_uniform_router_and_surge(self, capsys):
+        code = main(
+            [
+                "engine", "run",
+                "--campaigns", "5",
+                "--horizon-hours", "12",
+                "--interval-minutes", "30",
+                "--router", "uniform",
+                "--planning", "sliced",
+                "--surge", "1.5",
+            ]
+        )
+        assert code == 0
+        assert "router=uniform" in capsys.readouterr().out
+
+    def test_run_rejects_bad_workload(self, capsys):
+        code = main(
+            [
+                "engine", "run",
+                "--campaigns", "4",
+                "--horizon-hours", "1",  # too short for any template
+                "--interval-minutes", "30",
+            ]
+        )
+        assert code == 2
+        assert "fits" in capsys.readouterr().err
+
+
 class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -109,3 +176,9 @@ class TestParser:
         args = build_parser().parse_args(["solve-deadline"])
         assert args.num_tasks == 200
         assert args.horizon_hours == 24.0
+
+    def test_engine_defaults(self):
+        args = build_parser().parse_args(["engine", "run"])
+        assert args.campaigns == 60
+        assert args.planning == "stationary"
+        assert args.router == "logit"
