@@ -1,0 +1,25 @@
+# Developer entry points.  Everything runs from the repo root with no
+# install step: PYTHONPATH=src is injected here (pyproject's pytest
+# config does the same for bare pytest invocations).
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test bench docs-check lint-docs all
+
+## Tier-1 test suite (what CI gates on).
+test:
+	$(PYTEST) -x -q
+
+## Engine benchmarks: cache ablation, batch-vs-scalar solve speedup,
+## shard scaling.  Regenerates BENCH_engine.json at the repo root.
+bench:
+	$(PYTEST) benchmarks/bench_engine.py -q -p no:cacheprovider
+
+## Documentation contract: docs pages exist and are linked, relative
+## links resolve, the tracked benchmark record has its fields, and every
+## public symbol carries a docstring.
+docs-check:
+	$(PYTEST) tests/test_docs.py tests/test_documentation.py -q
+
+all: test docs-check

@@ -1,18 +1,43 @@
-"""Engine throughput benchmarks: campaigns/sec and what the cache buys.
+"""Engine throughput benchmarks: the cache, the batch fast path, sharding.
 
-Times one standard multi-campaign workload — 50 heterogeneous campaigns,
-staggered over a 96-interval shared stream — through the marketplace
-engine with the policy cache enabled and disabled.  Emits a results block
-recording campaigns/sec and the cache hit rate so EXPERIMENTS.md can track
-engine performance from this PR onward.
+Three tracked surfaces:
+
+* **Policy caching** — one standard multi-campaign workload through the
+  engine with the cache enabled and disabled (what memoization buys).
+* **Batch fast path** — 64 *distinct* deadline instances (so the cache
+  cannot collapse them) solved one-by-one with the scalar
+  :func:`~repro.core.deadline.vectorized.solve_deadline` versus one call
+  to :func:`~repro.core.batch.deadline.solve_deadline_batch`; the
+  acceptance bar is a >= 3x policy-solve throughput win for the batch
+  kernel.
+* **Shard scaling** — the same workload through
+  :class:`~repro.engine.sharding.ShardedEngine` at 1/2/4 shards
+  (identical outcomes by construction; wall-clock depends on available
+  cores, and is reported as measured).
+
+Besides the human-readable blocks under ``benchmarks/results/``, the
+fast-path run writes ``BENCH_engine.json`` at the repository root — the
+machine-readable record ``docs/performance.md`` explains how to read.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
+import time
+
 import numpy as np
 import pytest
 
-from repro.engine import MarketplaceEngine, PolicyCache, generate_workload
+from repro.core.batch import solve_deadline_batch
+from repro.core.deadline.model import DeadlineProblem, PenaltyScheme
+from repro.core.deadline.vectorized import solve_deadline
+from repro.engine import (
+    MarketplaceEngine,
+    PolicyCache,
+    ShardedEngine,
+    generate_workload,
+)
 from repro.engine.engine import EngineResult
 from repro.market.acceptance import paper_acceptance_model
 from repro.sim.stream import SharedArrivalStream
@@ -20,6 +45,13 @@ from repro.sim.stream import SharedArrivalStream
 NUM_CAMPAIGNS = 50
 NUM_INTERVALS = 96
 SEED = 21
+
+#: The 64-campaign solve workload for the batch-vs-scalar comparison:
+#: the four default template shapes, each at 16 distinct forecast levels.
+SOLVE_BATCH = 64
+SOLVE_SHAPES = ((15, 9, 25), (40, 18, 30), (80, 30, 30), (25, 6, 40))
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
 
 @pytest.fixture(scope="module")
@@ -37,6 +69,50 @@ def run_workload(stream: SharedArrivalStream, cache_entries: int) -> EngineResul
         planning="stationary",
     )
     engine.submit(generate_workload(NUM_CAMPAIGNS, NUM_INTERVALS, seed=SEED))
+    return engine.run(seed=SEED)
+
+
+def distinct_solve_workload(n: int = SOLVE_BATCH) -> list[DeadlineProblem]:
+    """``n`` deadline instances with distinct signatures (no cache collapse)."""
+    rng = np.random.default_rng(SEED)
+    acceptance = paper_acceptance_model()
+    problems = []
+    for i in range(n):
+        num_tasks, horizon, max_price = SOLVE_SHAPES[i % len(SOLVE_SHAPES)]
+        level = 900.0 * float(rng.uniform(0.6, 1.4))
+        problems.append(
+            DeadlineProblem(
+                num_tasks=num_tasks,
+                arrival_means=np.full(horizon, level),
+                acceptance=acceptance,
+                price_grid=np.arange(1.0, max_price + 1.0),
+                penalty=PenaltyScheme(per_task=float(rng.uniform(80.0, 250.0))),
+            )
+        )
+    return problems
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Minimum wall-clock of ``repeats`` calls (the usual timing estimator)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_sharded(stream: SharedArrivalStream, num_shards: int) -> EngineResult:
+    """One ShardedEngine run over a 120-campaign workload."""
+    engine = ShardedEngine(
+        stream,
+        paper_acceptance_model(),
+        num_shards=num_shards,
+        cache=PolicyCache(max_entries=256),
+        planning="stationary",
+        executor="serial" if num_shards == 1 else "thread",
+    )
+    engine.submit(generate_workload(120, NUM_INTERVALS, seed=SEED))
     return engine.run(seed=SEED)
 
 
@@ -74,3 +150,89 @@ def test_engine_report(stream, emit):
         f"peak concurrency {cached.max_concurrent}",
     ]
     emit("engine", "\n".join(lines))
+
+
+def test_engine_fastpath_report(stream, emit):
+    """Batch-vs-scalar solve throughput and shard scaling -> BENCH_engine.json.
+
+    The acceptance bar: the batched kernel must deliver at least 3x the
+    policy-solve throughput of the scalar path on the 64-campaign solve
+    workload.
+    """
+    problems = distinct_solve_workload()
+    # Warm-up pass doubling as the equivalence guard: the speedup must
+    # not come from solving less.
+    scalar_policies = [solve_deadline(p) for p in problems]
+    batch_policies = solve_deadline_batch(problems)
+    assert all(
+        np.array_equal(s.price_index, b.price_index)
+        and np.allclose(s.opt, b.opt, rtol=1e-9, atol=1e-8)
+        for s, b in zip(scalar_policies, batch_policies)
+    )
+    scalar_seconds = _best_of(2, lambda: [solve_deadline(p) for p in problems])
+    batch_seconds = _best_of(2, lambda: solve_deadline_batch(problems))
+    speedup = scalar_seconds / batch_seconds
+    assert speedup >= 3.0, (
+        f"batch fast path delivered only {speedup:.1f}x over scalar solves"
+    )
+
+    shard_counts = (1, 2, 4)
+    shard_runs = {n: run_sharded(stream, n) for n in shard_counts}
+    baseline = shard_runs[1]
+    for n in shard_counts[1:]:  # sharding is a pure throughput lever
+        assert shard_runs[n].total_completed == baseline.total_completed
+        assert shard_runs[n].total_cost == pytest.approx(baseline.total_cost)
+
+    record = {
+        "workload": {
+            "solve_instances": len(problems),
+            "shapes": [list(s) for s in SOLVE_SHAPES],
+            "sharded_campaigns": 120,
+            "stream_intervals": NUM_INTERVALS,
+            "seed": SEED,
+        },
+        "policy_solve": {
+            "scalar_seconds": round(scalar_seconds, 4),
+            "batch_seconds": round(batch_seconds, 4),
+            "scalar_solves_per_second": round(len(problems) / scalar_seconds, 1),
+            "batch_solves_per_second": round(len(problems) / batch_seconds, 1),
+            "speedup": round(speedup, 2),
+            "required_speedup": 3.0,
+        },
+        "shard_scaling": [
+            {
+                "shards": n,
+                "seconds": round(shard_runs[n].elapsed_seconds, 3),
+                "campaigns_per_second": round(
+                    shard_runs[n].campaigns_per_second, 1
+                ),
+                "completed": shard_runs[n].total_completed,
+            }
+            for n in shard_counts
+        ],
+        "cache": {
+            "hit_rate": round(baseline.cache_stats.hit_rate, 4),
+            "misses": baseline.cache_stats.misses,
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    lines = [
+        f"fast path: {len(problems)} distinct deadline instances "
+        "(4 shapes x 16 forecast levels)",
+        "",
+        f"scalar : {scalar_seconds:7.3f}s "
+        f"({len(problems) / scalar_seconds:7.1f} solves/sec)",
+        f"batch  : {batch_seconds:7.3f}s "
+        f"({len(problems) / batch_seconds:7.1f} solves/sec)",
+        f"speedup: {speedup:7.1f}x policy-solve throughput (bar: 3x)",
+        "",
+        "shard scaling (120 campaigns, identical outcomes per shard count):",
+    ]
+    lines += [
+        f"  {n} shard{'s' if n > 1 else ' '}: "
+        f"{shard_runs[n].elapsed_seconds:6.2f}s  "
+        f"({shard_runs[n].campaigns_per_second:6.1f} campaigns/sec)"
+        for n in shard_counts
+    ]
+    lines.append(f"[written to {BENCH_JSON}]")
+    emit("engine_fastpath", "\n".join(lines))

@@ -55,6 +55,18 @@ def run_engine(
         planning="stationary",
         planning_means=stream.arrival_means,
     )
+    # Each run states its routing model up front: with a LogitAcceptance
+    # marketplace the engine defaults to the multi-campaign LogitRouter
+    # (Eq. 3 generalized to worker choice among live campaigns).
+    print(f"router        : {engine.router!r}")
+    # Workload-generator knobs (see repro.engine.workload for the full list):
+    #   NUM_CAMPAIGNS    — campaigns drawn from the default template pool
+    #   budget_fraction  — expected share of fixed-budget (Section 4)
+    #                      campaigns; the rest are deadline MDPs (default 0.3)
+    #   adaptive_fraction— share of *deadline* campaigns that re-plan online
+    #                      from realized arrivals (AdaptiveRepricer)
+    #   submit_waves     — distinct submission times; fewer waves = more
+    #                      concurrency and more policy-cache hits (default 8)
     engine.submit(
         generate_workload(
             NUM_CAMPAIGNS,
@@ -63,7 +75,11 @@ def run_engine(
             adaptive_fraction=adaptive_fraction,
         )
     )
-    return engine.run(seed=SEED)
+    result = engine.run(seed=SEED)
+    hit_rate = 100.0 * result.cache_stats.hit_rate
+    print(f"cache         : {hit_rate:.1f}% hit rate "
+          f"({result.cache_stats.hits} hits / {result.cache_stats.misses} solves)")
+    return result
 
 
 def main() -> None:

@@ -42,15 +42,31 @@ the marketplace engine (``repro engine run`` on the command line)::
     result = engine.run(seed=7)
     print(result.summary())          # completions, spend, cache hit rate
 
+At scale, partition the campaign set over worker shards — the outcome is
+identical for any shard count under one seed (``repro engine run
+--shards 4`` on the command line)::
+
+    from repro import ShardedEngine
+
+    engine = ShardedEngine(
+        stream, paper_acceptance_model(), num_shards=4, executor="thread",
+    )
+
 Subpackages
 -----------
 * :mod:`repro.market` — NHPP arrivals, discrete-choice acceptance, fitting.
 * :mod:`repro.core` — the pricing algorithms (deadline MDP, budget LP/DP,
-  baselines, Section 6 extensions).
+  baselines, Section 6 extensions) and the :mod:`repro.core.batch`
+  vectorized fast path solving many instances per array pass.
 * :mod:`repro.sim` — Monte-Carlo marketplace and live-experiment simulators.
 * :mod:`repro.engine` — the multi-campaign marketplace engine: concurrent
-  campaign lifecycles, shared-stream routing, policy caching, re-planning.
+  campaign lifecycles, shared-stream routing, policy caching, batched
+  admission, sharding, re-planning.
 * :mod:`repro.experiments` — one module per paper table/figure.
+
+See ``docs/architecture.md`` for the module map and dataflow,
+``docs/paper_mapping.md`` for the paper-to-code index, and
+``docs/performance.md`` for benchmarks and the fast path.
 """
 
 from repro.core import (
@@ -71,6 +87,7 @@ from repro.core import (
     solve_deadline_efficient,
     solve_deadline_simple,
 )
+from repro.core.batch import BatchPolicySolver, solve_budget_batch, solve_deadline_batch
 from repro.core.deadline.adaptive import AdaptiveRepricer
 from repro.engine import (
     CampaignOutcome,
@@ -79,6 +96,7 @@ from repro.engine import (
     LogitRouter,
     MarketplaceEngine,
     PolicyCache,
+    ShardedEngine,
     UniformRouter,
     generate_workload,
 )
@@ -93,7 +111,7 @@ from repro.market.adaptive import AdaptiveRatePredictor
 from repro.sim.stream import SharedArrivalStream
 from repro.util.serialization import load_policy, save_policy
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -104,6 +122,9 @@ __all__ = [
     "solve_deadline",
     "solve_deadline_simple",
     "solve_deadline_efficient",
+    "solve_deadline_batch",
+    "solve_budget_batch",
+    "BatchPolicySolver",
     "calibrate_penalty",
     "floor_price",
     "faridani_fixed_price",
@@ -121,6 +142,7 @@ __all__ = [
     "AdaptiveRepricer",
     "AdaptiveRatePredictor",
     "MarketplaceEngine",
+    "ShardedEngine",
     "EngineResult",
     "CampaignSpec",
     "CampaignOutcome",

@@ -1,0 +1,184 @@
+"""Batched fixed-deadline solver: many MDP instances, one backward sweep.
+
+:func:`solve_deadline_batch` groups instances by shape
+``(num_tasks, num_intervals, num_prices, truncation_eps)`` and solves each
+group as one stacked tensor computation.  Per time layer ``t`` it builds
+
+* the Poisson-mean matrix ``M[b, j] = lam[b, t] * p_b(c_j)``,
+* the completion-count pmf tensor ``P[b, j, s]`` (same multiplicative
+  recurrence and Section 3.2 truncation cut-offs as
+  :func:`repro.util.poisson.truncated_pmf`, applied elementwise), and
+* the continuation values as **one batched matrix product**
+  ``P @ T_b`` against a Toeplitz view of the next layer's value vectors —
+  replacing the ``batch x prices`` individual ``np.convolve`` calls of
+  :func:`repro.core.deadline.vectorized.solve_deadline` with a single BLAS
+  call per layer.
+
+The recurrence, truncation lengths, absorbing-tail payment, and
+lowest-price tie-breaking all mirror the scalar solvers, so the produced
+tables agree with :func:`~repro.core.deadline.vectorized.solve_deadline`
+and :func:`~repro.core.deadline.simple_dp.solve_deadline_simple` to float
+tolerance; the test suite asserts this on randomized instances.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+from scipy import special
+
+from repro.core.deadline.model import DeadlineProblem
+from repro.core.deadline.policy import DeadlinePolicy
+
+__all__ = ["solve_deadline_batch", "group_key"]
+
+#: Above this Poisson mean the pmf recurrence underflows at ``s = 0``; the
+#: scalar path (:func:`repro.util.poisson.poisson_pmf_vector`) switches to
+#: log-space there, and the batch kernel mirrors the switch exactly.
+_LOG_SPACE_MEAN = 700.0
+
+
+def group_key(problem: DeadlineProblem) -> tuple:
+    """Batching key: instances sharing it stack into one tensor solve."""
+    return (
+        problem.num_tasks,
+        problem.num_intervals,
+        problem.num_prices,
+        problem.truncation_eps,
+    )
+
+
+def _pmf_tensor(means: np.ndarray, s_max: int) -> np.ndarray:
+    """Poisson pmf ``P[..., s] = Pr(Pois(means) = s)`` for ``s = 0..s_max``.
+
+    Applies :func:`repro.util.poisson.poisson_pmf_vector`'s scheme
+    elementwise over the leading axes: the stable multiplicative recurrence
+    below mean 700, log space (``gammaln``) above it.
+    """
+    shape = means.shape + (s_max + 1,)
+    pmf = np.empty(shape)
+    pmf[..., 0] = np.exp(-means)
+    for s in range(1, s_max + 1):
+        pmf[..., s] = pmf[..., s - 1] * means / s
+    big = means >= _LOG_SPACE_MEAN
+    if np.any(big):
+        s_range = np.arange(s_max + 1, dtype=float)
+        m = means[big][:, None]
+        pmf[big] = np.exp(
+            s_range * np.log(m) - m - special.gammaln(s_range + 1.0)
+        )
+    return pmf
+
+
+def _truncation_lengths(
+    means: np.ndarray, pmf: np.ndarray, eps: float | None, s_max: int
+) -> np.ndarray:
+    """Per-(instance, price) kept pmf length, matching ``truncated_pmf``.
+
+    The scalar rule: with the Gaussian band ``hi = mean + 12 sqrt(mean) + 20``
+    covering the whole head (``s_max + 1 <= hi``) nothing is cut; otherwise
+    the head is cut at the smallest ``s0`` with ``Pr(Pois >= s0) < eps``
+    (at least 1, at most ``s_max + 1``).
+    """
+    full = s_max + 1
+    if eps is None:
+        return np.full(means.shape, full, dtype=int)
+    hi = np.floor(means + 12.0 * np.sqrt(means) + 20.0).astype(int)
+    cums = np.cumsum(pmf, axis=-1)
+    # s0 = 1 + #{s' in 0..s_max-1 : Pr(Pois >= s'+1) = 1 - cdf(s') >= eps}.
+    s0 = 1 + np.sum(1.0 - cums[..., : s_max] >= eps, axis=-1)
+    s0 = np.clip(s0, 1, full)
+    return np.where(full <= hi, full, s0)
+
+
+def _solve_group(problems: Sequence[DeadlineProblem]) -> list[DeadlinePolicy]:
+    """Solve one same-shaped group of instances as stacked tensors."""
+    first = problems[0]
+    n_tasks = first.num_tasks
+    n_intervals = first.num_intervals
+    eps = first.truncation_eps
+    size = n_tasks + 1  # states 0..N, also the pmf head length
+    batch = len(problems)
+    lam = np.stack([p.arrival_means for p in problems])  # (B, T)
+    prices = np.stack([p.price_grid for p in problems])  # (B, C)
+    probs = np.stack([p.acceptance_probabilities() for p in problems])
+    opt = np.zeros((batch, size, n_intervals + 1))
+    price_index = np.zeros((batch, size, n_intervals), dtype=int)
+    opt[:, :, n_intervals] = np.stack(
+        [p.penalty.terminal_costs(n_tasks) for p in problems]
+    )
+    n_range = np.arange(size)
+    for t in range(n_intervals - 1, -1, -1):
+        means = lam[:, t : t + 1] * probs  # (B, C)
+        pmf = _pmf_tensor(means, n_tasks)  # (B, C, S)
+        lengths = _truncation_lengths(means, pmf, eps, n_tasks)
+        pmf[n_range[None, None, :] >= lengths[:, :, None]] = 0.0
+        prob_cum = np.cumsum(pmf, axis=-1)
+        paid_cum = np.cumsum(pmf * n_range, axis=-1)
+        # Toeplitz view T[b, s, n] = opt_next[b, n - s] (0 for n < s): the
+        # continuation of every (instance, price) is then one batched
+        # matmul pmf @ T instead of B*C separate convolutions.
+        opt_next = opt[:, :, t + 1]
+        padded = np.concatenate([np.zeros((batch, n_tasks)), opt_next], axis=1)
+        toeplitz = sliding_window_view(padded, size, axis=1)[:, ::-1, :]
+        conv = pmf @ toeplitz  # (B, C, S)
+        # Head of the payment term covers s = 0 .. min(n-1, length-1); the
+        # Poisson tail completes all n remaining tasks (absorbing state).
+        k = np.minimum(n_range[None, None, :] - 1, lengths[:, :, None] - 1)
+        k_safe = np.maximum(k, 0)
+        head_prob = np.where(
+            k >= 0, np.take_along_axis(prob_cum, k_safe, axis=-1), 0.0
+        )
+        head_paid = np.where(
+            k >= 0, np.take_along_axis(paid_cum, k_safe, axis=-1), 0.0
+        )
+        tail = np.maximum(0.0, 1.0 - head_prob)
+        costs = prices[:, :, None] * (head_paid + n_range * tail) + conv
+        costs[:, :, 0] = 0.0
+        best = np.argmin(costs, axis=1)  # first minimum = lowest price
+        opt[:, :, t] = np.take_along_axis(costs, best[:, None, :], axis=1)[:, 0, :]
+        opt[:, 0, t] = 0.0
+        price_index[:, 1:, t] = best[:, 1:]
+    return [
+        DeadlinePolicy(
+            problem=problem,
+            opt=opt[b],
+            price_index=price_index[b],
+            solver="batch",
+        )
+        for b, problem in enumerate(problems)
+    ]
+
+
+def solve_deadline_batch(
+    problems: Sequence[DeadlineProblem],
+) -> list[DeadlinePolicy]:
+    """Solve many fixed-deadline MDP instances in stacked array passes.
+
+    Parameters
+    ----------
+    problems:
+        Deadline instances of any mix of shapes.  Instances sharing
+        ``(num_tasks, num_intervals, num_prices, truncation_eps)`` are
+        solved together in one tensor sweep; singleton shapes degrade to
+        a batch of one (still the batched kernel, still correct).
+
+    Returns
+    -------
+    list[DeadlinePolicy]
+        Solved policies in the same order as ``problems``, each tagged
+        ``solver="batch"``.
+    """
+    if not problems:
+        return []
+    groups: dict[tuple, list[int]] = {}
+    for i, problem in enumerate(problems):
+        groups.setdefault(group_key(problem), []).append(i)
+    out: list[DeadlinePolicy | None] = [None] * len(problems)
+    for indices in groups.values():
+        solved = _solve_group([problems[i] for i in indices])
+        for i, policy in zip(indices, solved):
+            out[i] = policy
+    return out  # type: ignore[return-value]

@@ -1,0 +1,101 @@
+"""The batch-solve façade the engine's policy cache drains on miss.
+
+:class:`BatchPolicySolver` is the seam between the serving layer and the
+array kernels: the engine collects every campaign signature that missed
+the :class:`~repro.engine.cache.PolicyCache` during one admission tick and
+hands the whole miss set here, which dispatches deadline instances to
+:func:`~repro.core.batch.deadline.solve_deadline_batch` and budget
+instances to :func:`~repro.core.batch.budget.solve_budget_batch` — one
+array pass per tick instead of one solve per campaign.  Counters record
+how much batching actually happened (batch calls, instances per call)
+for the benchmark reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.core.batch.budget import BudgetRequest, solve_budget_batch
+from repro.core.batch.deadline import solve_deadline_batch
+from repro.core.budget.static_lp import StaticAllocation
+from repro.core.deadline.model import DeadlineProblem
+from repro.core.deadline.policy import DeadlinePolicy
+
+__all__ = ["BatchPolicySolver", "BatchSolveStats"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchSolveStats:
+    """Counters for one :class:`BatchPolicySolver`.
+
+    Attributes
+    ----------
+    batches:
+        Batch-solve calls issued (deadline and budget combined).
+    instances:
+        Total instances solved across all calls.
+    largest_batch:
+        Size of the widest single batch — how much stacking the workload
+        actually offered.
+    """
+
+    batches: int
+    instances: int
+    largest_batch: int
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average instances per batch call (0.0 before any call)."""
+        return self.instances / self.batches if self.batches else 0.0
+
+
+class BatchPolicySolver:
+    """Solves outstanding deadline/budget instances in stacked array passes.
+
+    Stateless apart from its counters; one instance can serve any number
+    of engines, but it is not thread-safe (the engines drain it from the
+    coordinator thread only).
+    """
+
+    def __init__(self) -> None:
+        self._batches = 0
+        self._instances = 0
+        self._largest = 0
+
+    def _count(self, size: int) -> None:
+        if size == 0:
+            return
+        self._batches += 1
+        self._instances += size
+        self._largest = max(self._largest, size)
+
+    def solve_deadline_many(
+        self, problems: Sequence[DeadlineProblem]
+    ) -> list[DeadlinePolicy]:
+        """Solve deadline MDP instances via the batched tensor kernel."""
+        self._count(len(problems))
+        return solve_deadline_batch(problems)
+
+    def solve_budget_many(
+        self, requests: Sequence[BudgetRequest]
+    ) -> list[StaticAllocation]:
+        """Solve fixed-budget instances via the shared-hull batch kernel."""
+        self._count(len(requests))
+        return solve_budget_batch(requests)
+
+    @property
+    def stats(self) -> BatchSolveStats:
+        """Current counters as an immutable snapshot."""
+        return BatchSolveStats(
+            batches=self._batches,
+            instances=self._instances,
+            largest_batch=self._largest,
+        )
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"BatchPolicySolver(batches={s.batches}, instances={s.instances}, "
+            f"largest={s.largest_batch})"
+        )

@@ -14,8 +14,15 @@ subpackage is that serving layer:
   stream across live campaigns (:class:`LogitRouter` generalizing Eq. 3 to
   multi-campaign choice; :class:`UniformRouter` as the attention-limited
   baseline).
+* :mod:`repro.engine.planning` — the :class:`CampaignPlanner` shared by
+  both engine front-ends: forecast slices, problem construction, and
+  cache-mediated admission (scalar or batched through
+  :mod:`repro.core.batch`).
 * :mod:`repro.engine.engine` — the :class:`MarketplaceEngine` clock:
   admission, pricing, routing, adaptive re-planning, retirement.
+* :mod:`repro.engine.sharding` — :class:`ShardedEngine`, partitioning the
+  campaign set over parallel worker shards while splitting the arrival
+  stream deterministically (same seed, any shard count, same outcomes).
 * :mod:`repro.engine.workload` — synthetic heterogeneous-but-repetitive
   campaign workloads (:func:`generate_workload`).
 
@@ -36,7 +43,9 @@ Quick use::
 from repro.engine.cache import CacheStats, PolicyCache
 from repro.engine.campaign import BUDGET, DEADLINE, CampaignOutcome, CampaignSpec
 from repro.engine.engine import EngineResult, MarketplaceEngine, PLANNING_MODES
+from repro.engine.planning import CampaignPlanner
 from repro.engine.routing import ArrivalRouter, LogitRouter, UniformRouter
+from repro.engine.sharding import EXECUTORS, ShardedEngine, shard_of
 from repro.engine.workload import (
     CampaignTemplate,
     DEFAULT_TEMPLATES,
@@ -45,7 +54,11 @@ from repro.engine.workload import (
 
 __all__ = [
     "MarketplaceEngine",
+    "ShardedEngine",
+    "CampaignPlanner",
     "EngineResult",
+    "EXECUTORS",
+    "shard_of",
     "CampaignSpec",
     "CampaignOutcome",
     "CampaignTemplate",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import OrderedDict
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Sequence
 
 __all__ = ["CacheStats", "PolicyCache"]
 
@@ -90,6 +90,77 @@ class PolicyCache:
                 self._entries.popitem(last=False)
                 self._evictions += 1
         return policy, False
+
+    def get_or_solve_many(
+        self,
+        items: Sequence[tuple[Hashable, Any]],
+        solve_many: Callable[[list[Any]], Sequence[Any]],
+    ) -> list[tuple[Any, bool]]:
+        """Batch drain: resolve many ``(signature, request)`` pairs at once.
+
+        Cached signatures are answered immediately; every remaining
+        *distinct* signature is collected and handed to ``solve_many`` as
+        one request list — the batch-solve fast path — then stored.  A
+        signature repeated within ``items`` is solved once and counted as
+        one miss plus hits, exactly as sequential ``get_or_solve`` calls
+        would have scored it.  With the cache disabled (``max_entries=0``)
+        nothing is deduplicated: every item misses and gets its own solve,
+        again matching the sequential semantics.
+
+        Parameters
+        ----------
+        items:
+            ``(signature, request)`` pairs; ``request`` is whatever
+            ``solve_many`` consumes (a problem, a budget request, ...).
+        solve_many:
+            Callable mapping a request list to a same-length, same-order
+            list of solved policies.
+
+        Returns
+        -------
+        list[tuple[Any, bool]]
+            ``(policy, was_hit)`` per item, in input order.
+        """
+        results: list[Any] = [None] * len(items)
+        hit_flags = [False] * len(items)
+        requests: list[Any] = []
+        # Which result slots each pending solve fills (singleton lists when
+        # the cache is disabled and duplicates are deliberately re-solved).
+        fills: list[list[int]] = []
+        pending: dict[Hashable, int] = {}
+        for i, (signature, request) in enumerate(items):
+            if signature in self._entries:
+                self._entries.move_to_end(signature)
+                self._hits += 1
+                results[i] = self._entries[signature]
+                hit_flags[i] = True
+                continue
+            if self.max_entries > 0 and signature in pending:
+                self._hits += 1
+                hit_flags[i] = True
+                fills[pending[signature]].append(i)
+                continue
+            self._misses += 1
+            if self.max_entries > 0:
+                pending[signature] = len(requests)
+            requests.append(request)
+            fills.append([i])
+        if requests:
+            solved = list(solve_many(requests))
+            if len(solved) != len(requests):
+                raise ValueError(
+                    f"solve_many returned {len(solved)} policies for "
+                    f"{len(requests)} requests"
+                )
+            for slots, policy in zip(fills, solved):
+                for i in slots:
+                    results[i] = policy
+                if self.max_entries > 0:
+                    self._entries[items[slots[0]][0]] = policy
+                    if len(self._entries) > self.max_entries:
+                        self._entries.popitem(last=False)
+                        self._evictions += 1
+        return list(zip(results, hit_flags))
 
     @property
     def stats(self) -> CacheStats:

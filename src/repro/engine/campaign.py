@@ -15,7 +15,13 @@ import dataclasses
 
 import numpy as np
 
-__all__ = ["CampaignSpec", "CampaignOutcome", "DEADLINE", "BUDGET"]
+__all__ = [
+    "CampaignSpec",
+    "CampaignOutcome",
+    "DEADLINE",
+    "BUDGET",
+    "validate_submission",
+]
 
 #: Campaign kind markers.
 DEADLINE = "deadline"
@@ -100,6 +106,28 @@ class CampaignSpec:
     def price_grid(self) -> np.ndarray:
         """Integer-cent price grid ``1 .. max_price``."""
         return np.arange(1.0, self.max_price + 1.0)
+
+
+def validate_submission(
+    new_specs: list["CampaignSpec"],
+    known_ids: set[str],
+    num_intervals: int,
+) -> None:
+    """Reject duplicate ids and campaigns outrunning the stream horizon.
+
+    Shared by every engine front-end's ``submit`` so the validation rules
+    cannot drift between them.  Mutates ``known_ids`` as specs are
+    accepted (so duplicates *within* ``new_specs`` are caught too).
+    """
+    for spec in new_specs:
+        if spec.campaign_id in known_ids:
+            raise ValueError(f"duplicate campaign_id {spec.campaign_id!r}")
+        if spec.end_interval > num_intervals:
+            raise ValueError(
+                f"campaign {spec.campaign_id!r} runs to interval "
+                f"{spec.end_interval}, beyond the stream's {num_intervals}"
+            )
+        known_ids.add(spec.campaign_id)
 
 
 @dataclasses.dataclass(frozen=True)

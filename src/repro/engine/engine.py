@@ -8,8 +8,10 @@ and simulating each batch in isolation as the paper's experiments do.
 The engine advances a discrete clock over the stream's intervals.  Each
 tick it (1) admits newly-submitted campaigns, solving their policies
 through a :class:`~repro.engine.cache.PolicyCache` so identical instances
-are solved once, (2) collects the reward every live campaign posts for the
-interval, (3) draws the interval's marketplace arrivals from the shared
+are solved once — by default all of a tick's cache misses are drained in
+one stacked array pass through the :mod:`repro.core.batch` kernels —
+(2) collects the reward every live campaign posts for the interval,
+(3) draws the interval's marketplace arrivals from the shared
 :class:`~repro.sim.stream.SharedArrivalStream` and splits them across
 campaigns via a pluggable :class:`~repro.engine.routing.ArrivalRouter`,
 (4) feeds realized arrivals to adaptive campaigns
@@ -23,6 +25,11 @@ the stream's mean rate — the signatures of same-shaped campaigns then
 coincide regardless of submission time, which is what lets the policy
 cache absorb a whole day's traffic into a handful of solves (adaptive
 campaigns recover the diurnal level online).
+
+For scaling *across* campaigns see
+:class:`~repro.engine.sharding.ShardedEngine`, which partitions the
+campaign set over worker shards while splitting the same arrival stream
+deterministically.
 """
 
 from __future__ import annotations
@@ -33,91 +40,26 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.budget.static_lp import budget_signature, solve_budget_hull
-from repro.core.deadline.adaptive import AdaptiveRepricer
-from repro.core.deadline.model import DeadlineProblem, PenaltyScheme
-from repro.core.deadline.vectorized import solve_deadline
+from repro.core.batch.solver import BatchSolveStats
+from repro.core.deadline.model import DeadlineProblem
 from repro.engine.cache import CacheStats, PolicyCache
-from repro.engine.campaign import BUDGET, DEADLINE, CampaignOutcome, CampaignSpec
-from repro.engine.routing import ArrivalRouter, LogitRouter, UniformRouter
-from repro.market.acceptance import AcceptanceModel, LogitAcceptance
-from repro.sim.policies import PricingRuntime, SemiStaticRuntime, TablePolicyRuntime
+from repro.engine.campaign import (
+    DEADLINE,
+    CampaignOutcome,
+    CampaignSpec,
+    validate_submission,
+)
+from repro.engine.planning import (
+    PLANNING_MODES,
+    CampaignPlanner,
+    _LiveCampaign,
+    resolve_planning_means,
+)
+from repro.engine.routing import ArrivalRouter, default_router
+from repro.market.acceptance import AcceptanceModel
 from repro.sim.stream import SharedArrivalStream
 
 __all__ = ["MarketplaceEngine", "EngineResult", "PLANNING_MODES"]
-
-#: Supported planning-forecast modes.
-PLANNING_MODES = ("sliced", "stationary")
-
-
-class _LiveCampaign:
-    """Mutable runtime state of one admitted campaign (engine-internal)."""
-
-    __slots__ = (
-        "spec",
-        "runtime",
-        "remaining",
-        "total_cost",
-        "finished_interval",
-        "cache_hit",
-        "initial_solves",
-    )
-
-    def __init__(
-        self,
-        spec: CampaignSpec,
-        runtime: PricingRuntime,
-        cache_hit: bool,
-        initial_solves: int,
-    ):
-        self.spec = spec
-        self.runtime = runtime
-        self.remaining = spec.num_tasks
-        self.total_cost = 0.0
-        self.finished_interval: int | None = None
-        self.cache_hit = cache_hit
-        self.initial_solves = initial_solves
-
-    def num_solves(self) -> int:
-        """Solves attributable to this campaign (adaptive ones re-plan)."""
-        if isinstance(self.runtime, AdaptiveRepricer):
-            return self.runtime.num_solves
-        return self.initial_solves
-
-    def charge(self, done: int, posted_price: float) -> float:
-        """Payment owed for ``done`` completions this tick.
-
-        Deadline campaigns pay the posted reward per completion.  Budget
-        campaigns step through their semi-static price sequence one task
-        at a time (Definition 2 moves to the next price on *each*
-        completion), so realized spend can never exceed the allocation's
-        budget even when one interval delivers several completions.
-        """
-        if isinstance(self.runtime, SemiStaticRuntime):
-            completed = self.spec.num_tasks - self.remaining
-            strategy = self.runtime.strategy
-            return float(
-                sum(strategy.price_at(completed + j) for j in range(done))
-            )
-        return done * posted_price
-
-    def outcome(self) -> CampaignOutcome:
-        """Freeze the final accounting."""
-        penalty = (
-            self.spec.penalty_per_task * self.remaining
-            if self.spec.kind == DEADLINE
-            else 0.0
-        )
-        return CampaignOutcome(
-            spec=self.spec,
-            completed=self.spec.num_tasks - self.remaining,
-            remaining=self.remaining,
-            total_cost=self.total_cost,
-            penalty=penalty,
-            finished_interval=self.finished_interval,
-            cache_hit=self.cache_hit,
-            num_solves=self.num_solves(),
-        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -143,6 +85,11 @@ class EngineResult:
         Policy-cache counters at the end of the run.
     elapsed_seconds:
         Wall-clock duration of the run.
+    batch_stats:
+        Batch-solver counters when the run used the batched admission
+        fast path; ``None`` on the scalar path.
+    num_shards:
+        Worker shards the run was partitioned over (1 = unsharded).
     """
 
     outcomes: tuple[CampaignOutcome, ...]
@@ -153,6 +100,8 @@ class EngineResult:
     max_concurrent: int
     cache_stats: CacheStats
     elapsed_seconds: float
+    batch_stats: BatchSolveStats | None = None
+    num_shards: int = 1
 
     @property
     def num_campaigns(self) -> int:
@@ -214,10 +163,20 @@ class EngineResult:
             f"policy cache  : {s.hits} hits / {s.misses} misses "
             f"(hit rate {100.0 * s.hit_rate:.1f}%), {s.entries} entries, "
             f"{solves} solves total",
+        ]
+        if self.batch_stats is not None and self.batch_stats.batches:
+            b = self.batch_stats
+            lines.append(
+                f"batch solver  : {b.instances} instances in {b.batches} "
+                f"array passes (widest {b.largest_batch}, "
+                f"mean {b.mean_batch_size:.1f}/pass)"
+            )
+        shards = f" across {self.num_shards} shards" if self.num_shards > 1 else ""
+        lines.append(
             f"throughput    : {self.num_campaigns} campaigns in "
             f"{self.elapsed_seconds:.2f}s "
-            f"({self.campaigns_per_second:,.1f} campaigns/sec)",
-        ]
+            f"({self.campaigns_per_second:,.1f} campaigns/sec{shards})"
+        )
         return "\n".join(lines)
 
 
@@ -247,6 +206,11 @@ class MarketplaceEngine:
         error (e.g. a surge the planners did not expect).
     truncation_eps:
         Poisson-truncation threshold handed to every deadline instance.
+    batch_solve:
+        When True (default) each tick's policy-cache misses are solved in
+        one stacked array pass (:mod:`repro.core.batch`); False restores
+        the scalar one-solve-per-campaign path.  Both paths produce the
+        same policies.
     """
 
     def __init__(
@@ -258,35 +222,38 @@ class MarketplaceEngine:
         planning: str = "sliced",
         planning_means: np.ndarray | None = None,
         truncation_eps: float | None = 1e-9,
+        batch_solve: bool = True,
     ):
-        if planning not in PLANNING_MODES:
-            raise ValueError(
-                f"planning must be one of {PLANNING_MODES}, got {planning!r}"
-            )
-        if router is None:
-            router = (
-                LogitRouter(acceptance)
-                if isinstance(acceptance, LogitAcceptance)
-                else UniformRouter(acceptance)
-            )
         self.stream = stream
         self.acceptance = acceptance
-        self.router = router
+        self.router = router if router is not None else default_router(acceptance)
         self.cache = cache if cache is not None else PolicyCache()
-        self.planning = planning
-        means = (
-            np.asarray(planning_means, dtype=float)
-            if planning_means is not None
-            else stream.arrival_means
+        self.planner = CampaignPlanner(
+            acceptance=acceptance,
+            cache=self.cache,
+            planning=planning,
+            planning_means=resolve_planning_means(
+                planning_means, stream.arrival_means
+            ),
+            truncation_eps=truncation_eps,
+            batch_solve=batch_solve,
         )
-        if means.shape != stream.arrival_means.shape:
-            raise ValueError(
-                "planning_means must have one entry per stream interval "
-                f"({stream.num_intervals}), got shape {means.shape}"
-            )
-        self.planning_means = means
-        self.truncation_eps = truncation_eps
         self._specs: list[CampaignSpec] = []
+
+    @property
+    def planning(self) -> str:
+        """The planner's forecast mode (``"sliced"`` or ``"stationary"``)."""
+        return self.planner.planning
+
+    @property
+    def planning_means(self) -> np.ndarray:
+        """Per-interval forecast campaigns plan against."""
+        return self.planner.planning_means
+
+    @property
+    def truncation_eps(self) -> float | None:
+        """Poisson-truncation threshold handed to deadline instances."""
+        return self.planner.truncation_eps
 
     # ------------------------------------------------------------------
     # Submission
@@ -295,17 +262,8 @@ class MarketplaceEngine:
         """Queue campaigns for admission at their submit intervals."""
         batch = [specs] if isinstance(specs, CampaignSpec) else list(specs)
         known = {s.campaign_id for s in self._specs}
-        for spec in batch:
-            if spec.campaign_id in known:
-                raise ValueError(f"duplicate campaign_id {spec.campaign_id!r}")
-            if spec.end_interval > self.stream.num_intervals:
-                raise ValueError(
-                    f"campaign {spec.campaign_id!r} runs to interval "
-                    f"{spec.end_interval}, beyond the stream's "
-                    f"{self.stream.num_intervals}"
-                )
-            known.add(spec.campaign_id)
-            self._specs.append(spec)
+        validate_submission(batch, known, self.stream.num_intervals)
+        self._specs.extend(batch)
 
     @property
     def num_submitted(self) -> int:
@@ -317,49 +275,15 @@ class MarketplaceEngine:
     # ------------------------------------------------------------------
     def planning_slice(self, spec: CampaignSpec) -> np.ndarray:
         """The per-interval arrival forecast ``spec`` plans against."""
-        if self.planning == "stationary":
-            level = float(self.planning_means.mean())
-            return np.full(spec.horizon_intervals, level)
-        start = spec.submit_interval
-        return self.planning_means[start : start + spec.horizon_intervals].copy()
+        return self.planner.planning_slice(spec)
 
     def planning_problem(self, spec: CampaignSpec) -> DeadlineProblem:
         """Build the deadline instance a campaign is solved against."""
-        if spec.kind != DEADLINE:
-            raise ValueError(f"campaign {spec.campaign_id!r} is not a deadline campaign")
-        return DeadlineProblem(
-            num_tasks=spec.num_tasks,
-            arrival_means=self.planning_slice(spec),
-            acceptance=self.acceptance,
-            price_grid=spec.price_grid(),
-            penalty=PenaltyScheme(per_task=spec.penalty_per_task),
-            truncation_eps=self.truncation_eps,
-        )
+        return self.planner.planning_problem(spec)
 
     def _admit(self, spec: CampaignSpec) -> _LiveCampaign:
         """Solve (or fetch) the campaign's policy and go live."""
-        if spec.kind == BUDGET:
-            signature = budget_signature(
-                spec.num_tasks, spec.budget, self.acceptance, spec.price_grid()
-            )
-            allocation, hit = self.cache.get_or_solve(
-                signature,
-                lambda: solve_budget_hull(
-                    spec.num_tasks, spec.budget, self.acceptance, spec.price_grid()
-                ),
-            )
-            runtime: PricingRuntime = SemiStaticRuntime(allocation.as_semi_static())
-            return _LiveCampaign(spec, runtime, hit, 0 if hit else 1)
-        problem = self.planning_problem(spec)
-        if spec.adaptive:
-            # Adaptive campaigns own their re-planning loop (and its private
-            # suffix-solve cache); the shared cache only serves static ones.
-            repricer = AdaptiveRepricer(problem, resolve_every=spec.resolve_every)
-            return _LiveCampaign(spec, repricer, False, 0)
-        policy, hit = self.cache.get_or_solve(
-            problem.signature(), lambda: solve_deadline(problem)
-        )
-        return _LiveCampaign(spec, TablePolicyRuntime(policy), hit, 0 if hit else 1)
+        return self.planner.admit(spec)
 
     # ------------------------------------------------------------------
     # The clock
@@ -380,12 +304,15 @@ class MarketplaceEngine:
         max_concurrent = 0
         intervals_run = 0
         for t in range(self.stream.num_intervals):
+            due: list[CampaignSpec] = []
             while (
                 next_pending < len(pending)
                 and pending[next_pending].submit_interval <= t
             ):
-                live.append(self._admit(pending[next_pending]))
+                due.append(pending[next_pending])
                 next_pending += 1
+            if due:
+                live.extend(self.planner.admit_many(due))
             if not live:
                 if next_pending >= len(pending):
                     break  # nothing live, nothing coming: done early
@@ -422,6 +349,7 @@ class MarketplaceEngine:
                     still_live.append(campaign)
             live = still_live
         elapsed = time.perf_counter() - start_time
+        batch = self.planner.batch_solver.stats
         return EngineResult(
             outcomes=tuple(outcomes),
             intervals_run=intervals_run,
@@ -431,4 +359,6 @@ class MarketplaceEngine:
             max_concurrent=max_concurrent,
             cache_stats=self.cache.stats,
             elapsed_seconds=elapsed,
+            batch_stats=batch if self.planner.batch_solve else None,
+            num_shards=1,
         )

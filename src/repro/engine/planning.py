@@ -1,0 +1,298 @@
+"""Campaign planning and admission, shared by both engine front-ends.
+
+:class:`CampaignPlanner` owns everything that happens between "a campaign
+was submitted" and "a campaign is live with a pricing runtime": building
+the forecast slice the campaign plans against, constructing its
+:class:`~repro.core.deadline.model.DeadlineProblem` or budget request, and
+resolving the policy through the shared
+:class:`~repro.engine.cache.PolicyCache`.  Both
+:class:`~repro.engine.engine.MarketplaceEngine` and
+:class:`~repro.engine.sharding.ShardedEngine` admit through one planner,
+so they price campaigns identically.
+
+Admission has two paths:
+
+* :meth:`CampaignPlanner.admit` — the scalar path: one cache lookup, one
+  solve on miss (``solve_deadline`` / ``solve_budget_hull`` per instance).
+* :meth:`CampaignPlanner.admit_many` — the batch fast path: all of one
+  tick's cache misses are drained into a
+  :class:`~repro.core.batch.solver.BatchPolicySolver` and solved in one
+  stacked array pass (see :mod:`repro.core.batch`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batch.budget import BudgetRequest
+from repro.core.batch.solver import BatchPolicySolver
+from repro.core.budget.static_lp import solve_budget_hull
+from repro.core.deadline.adaptive import AdaptiveRepricer
+from repro.core.deadline.model import DeadlineProblem, PenaltyScheme
+from repro.core.deadline.vectorized import solve_deadline
+from repro.engine.cache import PolicyCache
+from repro.engine.campaign import BUDGET, DEADLINE, CampaignSpec
+from repro.market.acceptance import AcceptanceModel
+from repro.sim.policies import PricingRuntime, SemiStaticRuntime, TablePolicyRuntime
+
+__all__ = ["CampaignPlanner", "PLANNING_MODES", "resolve_planning_means"]
+
+#: Supported planning-forecast modes.
+PLANNING_MODES = ("sliced", "stationary")
+
+
+def resolve_planning_means(
+    planning_means: np.ndarray | None, stream_means: np.ndarray
+) -> np.ndarray:
+    """Default the planning forecast to the stream and check its shape.
+
+    Shared by every engine front-end so the forecast contract (one entry
+    per stream interval) cannot drift between them.
+    """
+    if planning_means is None:
+        return stream_means
+    means = np.asarray(planning_means, dtype=float)
+    if means.shape != stream_means.shape:
+        raise ValueError(
+            "planning_means must have one entry per stream interval "
+            f"({stream_means.size}), got shape {means.shape}"
+        )
+    return means
+
+
+class _LiveCampaign:
+    """Mutable runtime state of one admitted campaign (engine-internal)."""
+
+    __slots__ = (
+        "spec",
+        "runtime",
+        "remaining",
+        "total_cost",
+        "finished_interval",
+        "cache_hit",
+        "initial_solves",
+    )
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        runtime: PricingRuntime,
+        cache_hit: bool,
+        initial_solves: int,
+    ):
+        self.spec = spec
+        self.runtime = runtime
+        self.remaining = spec.num_tasks
+        self.total_cost = 0.0
+        self.finished_interval: int | None = None
+        self.cache_hit = cache_hit
+        self.initial_solves = initial_solves
+
+    def num_solves(self) -> int:
+        """Solves attributable to this campaign (adaptive ones re-plan)."""
+        if isinstance(self.runtime, AdaptiveRepricer):
+            return self.runtime.num_solves
+        return self.initial_solves
+
+    def charge(self, done: int, posted_price: float) -> float:
+        """Payment owed for ``done`` completions this tick.
+
+        Deadline campaigns pay the posted reward per completion.  Budget
+        campaigns step through their semi-static price sequence one task
+        at a time (Definition 2 moves to the next price on *each*
+        completion), so realized spend can never exceed the allocation's
+        budget even when one interval delivers several completions.
+        """
+        if isinstance(self.runtime, SemiStaticRuntime):
+            completed = self.spec.num_tasks - self.remaining
+            strategy = self.runtime.strategy
+            return float(
+                sum(strategy.price_at(completed + j) for j in range(done))
+            )
+        return done * posted_price
+
+    def outcome(self):
+        """Freeze the final accounting (a ``CampaignOutcome``)."""
+        from repro.engine.campaign import CampaignOutcome
+
+        penalty = (
+            self.spec.penalty_per_task * self.remaining
+            if self.spec.kind == DEADLINE
+            else 0.0
+        )
+        return CampaignOutcome(
+            spec=self.spec,
+            completed=self.spec.num_tasks - self.remaining,
+            remaining=self.remaining,
+            total_cost=self.total_cost,
+            penalty=penalty,
+            finished_interval=self.finished_interval,
+            cache_hit=self.cache_hit,
+            num_solves=self.num_solves(),
+        )
+
+
+class CampaignPlanner:
+    """Builds planning problems and admits campaigns through the cache.
+
+    Parameters
+    ----------
+    acceptance:
+        The marketplace ``p(c)`` model all campaigns plan against.
+    cache:
+        Shared :class:`PolicyCache`; identical instances are solved once.
+    planning:
+        ``"sliced"`` (plan against the time-aligned forecast slice) or
+        ``"stationary"`` (plan against a flat canonical forecast, which
+        makes same-shaped campaigns cache-identical).
+    planning_means:
+        Per-interval arrival forecast the campaigns plan against.
+    truncation_eps:
+        Poisson-truncation threshold handed to every deadline instance.
+    batch_solve:
+        When True (default), :meth:`admit_many` drains cache misses
+        through the batched array kernels; when False it falls back to
+        per-campaign scalar solves (useful for benchmarking the fast
+        path against its baseline).
+    batch_solver:
+        The :class:`BatchPolicySolver` to drain into; defaults to a fresh
+        one.  Its :attr:`~BatchPolicySolver.stats` record how much
+        batching the workload offered.
+    """
+
+    def __init__(
+        self,
+        acceptance: AcceptanceModel,
+        cache: PolicyCache,
+        planning: str,
+        planning_means: np.ndarray,
+        truncation_eps: float | None = 1e-9,
+        batch_solve: bool = True,
+        batch_solver: BatchPolicySolver | None = None,
+    ):
+        if planning not in PLANNING_MODES:
+            raise ValueError(
+                f"planning must be one of {PLANNING_MODES}, got {planning!r}"
+            )
+        self.acceptance = acceptance
+        self.cache = cache
+        self.planning = planning
+        self.planning_means = np.asarray(planning_means, dtype=float)
+        self.truncation_eps = truncation_eps
+        self.batch_solve = batch_solve
+        self.batch_solver = batch_solver if batch_solver is not None else BatchPolicySolver()
+
+    # ------------------------------------------------------------------
+    # Planning inputs
+    # ------------------------------------------------------------------
+    def planning_slice(self, spec: CampaignSpec) -> np.ndarray:
+        """The per-interval arrival forecast ``spec`` plans against."""
+        if self.planning == "stationary":
+            level = float(self.planning_means.mean())
+            return np.full(spec.horizon_intervals, level)
+        start = spec.submit_interval
+        return self.planning_means[start : start + spec.horizon_intervals].copy()
+
+    def planning_problem(self, spec: CampaignSpec) -> DeadlineProblem:
+        """Build the deadline instance a campaign is solved against."""
+        if spec.kind != DEADLINE:
+            raise ValueError(f"campaign {spec.campaign_id!r} is not a deadline campaign")
+        return DeadlineProblem(
+            num_tasks=spec.num_tasks,
+            arrival_means=self.planning_slice(spec),
+            acceptance=self.acceptance,
+            price_grid=spec.price_grid(),
+            penalty=PenaltyScheme(per_task=spec.penalty_per_task),
+            truncation_eps=self.truncation_eps,
+        )
+
+    def budget_request(self, spec: CampaignSpec) -> BudgetRequest:
+        """Build the fixed-budget instance a campaign is solved against."""
+        if spec.kind != BUDGET:
+            raise ValueError(f"campaign {spec.campaign_id!r} is not a budget campaign")
+        assert spec.budget is not None  # CampaignSpec validates this
+        return BudgetRequest(
+            num_tasks=spec.num_tasks,
+            budget=spec.budget,
+            acceptance=self.acceptance,
+            price_grid=spec.price_grid(),
+        )
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(self, spec: CampaignSpec) -> _LiveCampaign:
+        """Scalar path: solve (or fetch) one campaign's policy and go live."""
+        if spec.kind == BUDGET:
+            request = self.budget_request(spec)
+            allocation, hit = self.cache.get_or_solve(
+                request.signature(),
+                lambda: solve_budget_hull(
+                    request.num_tasks,
+                    request.budget,
+                    request.acceptance,
+                    request.price_grid,
+                ),
+            )
+            runtime: PricingRuntime = SemiStaticRuntime(allocation.as_semi_static())
+            return _LiveCampaign(spec, runtime, hit, 0 if hit else 1)
+        problem = self.planning_problem(spec)
+        if spec.adaptive:
+            # Adaptive campaigns own their re-planning loop (and its private
+            # suffix-solve cache); the shared cache only serves static ones.
+            repricer = AdaptiveRepricer(problem, resolve_every=spec.resolve_every)
+            return _LiveCampaign(spec, repricer, False, 0)
+        policy, hit = self.cache.get_or_solve(
+            problem.signature(), lambda: solve_deadline(problem)
+        )
+        return _LiveCampaign(spec, TablePolicyRuntime(policy), hit, 0 if hit else 1)
+
+    def admit_many(self, specs: list[CampaignSpec]) -> list[_LiveCampaign]:
+        """Batch path: admit one tick's campaigns in stacked solve passes.
+
+        All static-deadline cache misses of the tick are solved in one
+        call to :func:`~repro.core.batch.deadline.solve_deadline_batch`,
+        and all budget misses in one call to
+        :func:`~repro.core.batch.budget.solve_budget_batch`.  Adaptive
+        campaigns keep their private re-planning loops and are admitted
+        individually.  Returns live campaigns in submission order, priced
+        identically to the scalar path.
+        """
+        if not self.batch_solve or len(specs) <= 1:
+            return [self.admit(spec) for spec in specs]
+        live: list[_LiveCampaign | None] = [None] * len(specs)
+        deadline_items: list[tuple[tuple, DeadlineProblem]] = []
+        deadline_slots: list[int] = []
+        budget_items: list[tuple[tuple, BudgetRequest]] = []
+        budget_slots: list[int] = []
+        for i, spec in enumerate(specs):
+            if spec.kind == BUDGET:
+                request = self.budget_request(spec)
+                budget_items.append((request.signature(), request))
+                budget_slots.append(i)
+            elif spec.adaptive:
+                live[i] = self.admit(spec)
+            else:
+                problem = self.planning_problem(spec)
+                deadline_items.append((problem.signature(), problem))
+                deadline_slots.append(i)
+        if deadline_items:
+            resolved = self.cache.get_or_solve_many(
+                deadline_items, self.batch_solver.solve_deadline_many
+            )
+            for i, (policy, hit) in zip(deadline_slots, resolved):
+                live[i] = _LiveCampaign(
+                    specs[i], TablePolicyRuntime(policy), hit, 0 if hit else 1
+                )
+        if budget_items:
+            resolved = self.cache.get_or_solve_many(
+                budget_items, self.batch_solver.solve_budget_many
+            )
+            for i, (allocation, hit) in zip(budget_slots, resolved):
+                live[i] = _LiveCampaign(
+                    specs[i],
+                    SemiStaticRuntime(allocation.as_semi_static()),
+                    hit,
+                    0 if hit else 1,
+                )
+        return live  # type: ignore[return-value]

@@ -30,7 +30,19 @@ import numpy as np
 
 from repro.market.acceptance import AcceptanceModel, LogitAcceptance
 
-__all__ = ["ArrivalRouter", "LogitRouter", "UniformRouter"]
+__all__ = ["ArrivalRouter", "LogitRouter", "UniformRouter", "default_router"]
+
+
+def default_router(acceptance: AcceptanceModel) -> "ArrivalRouter":
+    """The router both engines default to for a given acceptance model.
+
+    A :class:`LogitAcceptance` marketplace gets the :class:`LogitRouter`
+    (its exponentiated utilities are the choice weights); any other model
+    falls back to the attention-limited :class:`UniformRouter`.
+    """
+    if isinstance(acceptance, LogitAcceptance):
+        return LogitRouter(acceptance)
+    return UniformRouter(acceptance)
 
 
 class ArrivalRouter(abc.ABC):
@@ -45,6 +57,23 @@ class ArrivalRouter(abc.ABC):
         ``considered[i]`` workers looked at campaign ``i``; ``accepted[i]``
         of them took a task (``accepted <= considered`` elementwise, and
         ``sum(considered) <= arrived``).
+        """
+
+    @abc.abstractmethod
+    def fractions(self, prices: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(accept, consider)`` per-worker choice fractions.
+
+        ``accept[i]`` is the probability that one arriving worker ends up
+        accepting a task of campaign ``i``; ``consider[i]`` the probability
+        that the worker looks at campaign ``i`` at all (``accept <=
+        consider`` elementwise, ``sum(consider) <= 1``).
+
+        These fractions are what makes the stream *splittable*: thinning a
+        Poisson arrival stream by independent per-worker choices yields
+        **independent** Poisson streams with means ``lambda_t * accept[i]``
+        (the classical Poisson-splitting property), which is how
+        :class:`~repro.engine.sharding.ShardedEngine` lets each shard draw
+        its own campaigns' acceptances without simulating the others.
         """
 
     @staticmethod
@@ -98,6 +127,17 @@ class LogitRouter(ArrivalRouter):
         # accepted under pure discrete choice.
         return accepted.copy(), accepted
 
+    def fractions(self, prices: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+        """Logit choice shares ``e_i / (sum_j e_j + M)`` (consider == accept)."""
+        price_arr = self._validate(0, prices)
+        if price_arr.size == 0:
+            empty = np.zeros(0)
+            return empty, empty.copy()
+        utilities = np.clip(price_arr / self.model.s - self.model.b, None, 700.0)
+        weights = np.exp(utilities)
+        accept = weights / (weights.sum() + self.model.m)
+        return accept, accept.copy()
+
     def __repr__(self) -> str:
         return f"LogitRouter({self.model!r})"
 
@@ -132,6 +172,17 @@ class UniformRouter(ArrivalRouter):
             p = self.acceptance.probability(float(price_arr[i]))
             accepted[i] = int(rng.binomial(considered[i], p)) if p > 0 else 0
         return considered.astype(int), accepted
+
+    def fractions(self, prices: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+        """Uniform attention ``1/K`` per campaign, acceptance ``p(c_i)/K``."""
+        price_arr = self._validate(0, prices)
+        k = price_arr.size
+        if k == 0:
+            empty = np.zeros(0)
+            return empty, empty.copy()
+        consider = np.full(k, 1.0 / k)
+        accept = consider * self.acceptance.probabilities(price_arr)
+        return accept, consider
 
     def __repr__(self) -> str:
         return f"UniformRouter({self.acceptance!r})"

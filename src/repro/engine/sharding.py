@@ -1,0 +1,391 @@
+"""Engine sharding: partition campaigns across parallel worker shards.
+
+:class:`ShardedEngine` scales the marketplace engine across campaigns: the
+submitted campaign set is partitioned over ``N`` worker shards by a stable
+hash of the campaign id, and each tick's pricing/acceptance work is mapped
+over the shards through a pluggable executor (serial loop, thread pool, or
+any ``concurrent.futures.Executor``).
+
+**Deterministic stream splitting.**  The shared NHPP worker stream is
+split by *Poisson factorization* rather than by handing realized workers
+around: a worker arriving at rate ``lambda_t`` accepts campaign ``i`` with
+the router's choice fraction ``q_i`` (see
+:meth:`~repro.engine.routing.ArrivalRouter.fractions`), and thinning a
+Poisson process by independent choices yields **independent** Poisson
+processes — campaign ``i``'s acceptances are exactly
+``Pois(lambda_t * q_i)``, drawn from a private per-campaign generator
+keyed by ``(seed, campaign_id)``.  The walk-away remainder is drawn by the
+coordinator, so the superposed arrival process is distributed exactly like
+the unsharded stream.
+
+Because every random decision is keyed by campaign (not by shard), the
+realized run is **invariant to the shard count and executor**: the same
+seed produces identical per-campaign outcomes for 1 shard, N shards,
+serial or threaded — sharding is purely a throughput lever.  The choice
+fractions are computed once per tick from the canonically-ordered global
+price vector, which is the only cross-shard coordination each tick needs.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+import zlib
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.engine.cache import PolicyCache
+from repro.engine.engine import EngineResult
+from repro.engine.campaign import CampaignOutcome, CampaignSpec, validate_submission
+from repro.engine.planning import (
+    CampaignPlanner,
+    _LiveCampaign,
+    resolve_planning_means,
+)
+from repro.engine.routing import ArrivalRouter, default_router
+from repro.market.acceptance import AcceptanceModel
+from repro.sim.stream import SharedArrivalStream
+
+__all__ = ["ShardedEngine", "shard_of", "EXECUTORS"]
+
+#: Built-in executor names (any ``concurrent.futures.Executor`` also works).
+EXECUTORS = ("serial", "thread")
+
+# Sub-stream tags keeping the coordinator's draws independent of every
+# campaign's draws under one run seed.
+_MARKET_STREAM = 0x5EED
+_CAMPAIGN_STREAM = 0xCA4
+
+_T = TypeVar("_T")
+
+
+def shard_of(campaign_id: str, num_shards: int) -> int:
+    """Stable shard assignment: CRC-32 of the campaign id, modulo shards.
+
+    Uses CRC rather than :func:`hash` so the partition is reproducible
+    across processes (Python string hashing is salted per process).
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return zlib.crc32(campaign_id.encode()) % num_shards
+
+
+def _campaign_rng(seed: int, campaign_id: str) -> np.random.Generator:
+    """The private generator owning every random decision of one campaign."""
+    return np.random.default_rng(
+        [seed, _CAMPAIGN_STREAM, zlib.crc32(campaign_id.encode())]
+    )
+
+
+class _ShardCampaign:
+    """One live campaign plus its private random stream (shard-internal)."""
+
+    __slots__ = ("live", "rng")
+
+    def __init__(self, live: _LiveCampaign, rng: np.random.Generator):
+        self.live = live
+        self.rng = rng
+
+
+class _Shard:
+    """One worker shard: the campaigns it owns and their per-tick work.
+
+    All methods are called with the shard as the unit of parallelism —
+    each touches only this shard's campaigns, so shards never contend.
+    """
+
+    __slots__ = ("index", "campaigns")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.campaigns: list[_ShardCampaign] = []
+
+    def prices(self, t: int) -> list[tuple[str, float]]:
+        """Posted ``(campaign_id, reward)`` pairs for interval ``t``."""
+        return [
+            (
+                c.live.spec.campaign_id,
+                c.live.runtime.price(c.live.remaining, t - c.live.spec.submit_interval),
+            )
+            for c in self.campaigns
+        ]
+
+    def step(
+        self,
+        t: int,
+        mean_arrivals: float,
+        fractions: dict[str, tuple[float, float]],
+        prices: dict[str, float],
+    ) -> tuple[int, int]:
+        """Draw the tick's factored acceptances and apply completions.
+
+        Each campaign draws ``Pois(lambda_t * accept_i)`` acceptances and
+        an independent considered-but-declined remainder from its own
+        generator — always the same two draws per live tick, so the
+        consumed random stream is identical whatever the shard layout.
+        Returns the shard's ``(considered, accepted)`` totals (accepted is
+        counted before capping at the campaign's open tasks, matching
+        :class:`~repro.engine.engine.MarketplaceEngine` accounting).
+        """
+        considered_total = 0
+        accepted_total = 0
+        for c in self.campaigns:
+            live = c.live
+            cid = live.spec.campaign_id
+            accept_q, consider_q = fractions[cid]
+            accepted = int(c.rng.poisson(mean_arrivals * accept_q))
+            declined = int(
+                c.rng.poisson(mean_arrivals * max(consider_q - accept_q, 0.0))
+            )
+            considered_total += accepted + declined
+            accepted_total += accepted
+            done = min(accepted, live.remaining)
+            if done:
+                live.total_cost += live.charge(done, prices[cid])
+                live.remaining -= done
+                if live.remaining == 0:
+                    live.finished_interval = t
+        return considered_total, accepted_total
+
+    def observe(self, t: int, arrived: int) -> None:
+        """Feed the tick's realized marketplace arrivals to adaptive campaigns."""
+        for c in self.campaigns:
+            observe = getattr(c.live.runtime, "observe", None)
+            if observe is not None:
+                observe(t - c.live.spec.submit_interval, arrived)
+
+    def retire(self, t: int) -> list[CampaignOutcome]:
+        """Drop finished/expired campaigns, returning their outcomes."""
+        outcomes: list[CampaignOutcome] = []
+        still_live: list[_ShardCampaign] = []
+        for c in self.campaigns:
+            live = c.live
+            if live.remaining == 0 or t + 1 >= live.spec.end_interval:
+                outcomes.append(live.outcome())
+            else:
+                still_live.append(c)
+        self.campaigns = still_live
+        return outcomes
+
+
+class ShardedEngine:
+    """Multi-shard marketplace engine: same semantics, parallel campaigns.
+
+    Parameters
+    ----------
+    stream:
+        The shared marketplace arrival stream.
+    acceptance:
+        The marketplace's ``p(c)`` model.
+    num_shards:
+        Worker shards to partition the campaign set over.
+    router:
+        Arrival-choice model supplying the per-tick fractions; defaults
+        like :class:`~repro.engine.engine.MarketplaceEngine`.
+    cache:
+        Shared policy cache (admission runs on the coordinator, so the
+        cache needs no locking).
+    planning, planning_means, truncation_eps, batch_solve:
+        Forwarded to the shared :class:`CampaignPlanner` — identical
+        meaning to the unsharded engine.
+    executor:
+        ``"serial"``, ``"thread"``, or any ``concurrent.futures.Executor``
+        instance (e.g. a pre-warmed thread pool).  The executor choice
+        never changes results, only wall-clock.  Process pools are not
+        supported: shard state is mutated in place each tick, which
+        requires a shared address space.
+    """
+
+    def __init__(
+        self,
+        stream: SharedArrivalStream,
+        acceptance: AcceptanceModel,
+        num_shards: int = 2,
+        router: ArrivalRouter | None = None,
+        cache: PolicyCache | None = None,
+        planning: str = "stationary",
+        planning_means: np.ndarray | None = None,
+        truncation_eps: float | None = 1e-9,
+        batch_solve: bool = True,
+        executor: str | concurrent.futures.Executor = "thread",
+    ):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if isinstance(executor, str) and executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS} or an Executor instance, "
+                f"got {executor!r}"
+            )
+        if isinstance(executor, concurrent.futures.ProcessPoolExecutor):
+            raise ValueError(
+                "process pools are not supported: shards mutate shared state"
+            )
+        self.stream = stream
+        self.acceptance = acceptance
+        self.num_shards = num_shards
+        self.router = router if router is not None else default_router(acceptance)
+        self.cache = cache if cache is not None else PolicyCache()
+        self.executor = executor
+        self.planner = CampaignPlanner(
+            acceptance=acceptance,
+            cache=self.cache,
+            planning=planning,
+            planning_means=resolve_planning_means(
+                planning_means, stream.arrival_means
+            ),
+            truncation_eps=truncation_eps,
+            batch_solve=batch_solve,
+        )
+        self._specs: list[CampaignSpec] = []
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, specs: CampaignSpec | Sequence[CampaignSpec]) -> None:
+        """Queue campaigns for admission at their submit intervals."""
+        batch = [specs] if isinstance(specs, CampaignSpec) else list(specs)
+        known = {s.campaign_id for s in self._specs}
+        validate_submission(batch, known, self.stream.num_intervals)
+        self._specs.extend(batch)
+
+    @property
+    def num_submitted(self) -> int:
+        """Campaigns queued so far."""
+        return len(self._specs)
+
+    # ------------------------------------------------------------------
+    # The clock
+    # ------------------------------------------------------------------
+    def _map(
+        self,
+        pool: concurrent.futures.Executor | None,
+        fn: Callable[[_Shard], _T],
+        shards: list[_Shard],
+    ) -> list[_T]:
+        """Apply ``fn`` to every shard, serially or through the pool."""
+        if pool is None:
+            return [fn(shard) for shard in shards]
+        return list(pool.map(fn, shards))
+
+    def run(self, seed: int = 0) -> EngineResult:
+        """Run the clock until every submitted campaign has retired.
+
+        The result is bit-identical for any ``num_shards`` and executor:
+        same seed, same per-campaign outcomes (see module docstring).
+        """
+        start_time = time.perf_counter()
+        pending = sorted(self._specs, key=lambda s: (s.submit_interval, s.campaign_id))
+        next_pending = 0
+        shards = [_Shard(i) for i in range(self.num_shards)]
+        market_rng = np.random.default_rng([seed, _MARKET_STREAM])
+        outcomes: list[CampaignOutcome] = []
+        total_arrivals = 0
+        total_considered = 0
+        total_accepted = 0
+        max_concurrent = 0
+        intervals_run = 0
+        own_pool = (
+            concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.num_shards, thread_name_prefix="repro-shard"
+            )
+            if self.executor == "thread" and self.num_shards > 1
+            else None
+        )
+        pool = (
+            self.executor
+            if isinstance(self.executor, concurrent.futures.Executor)
+            else own_pool
+        )
+        try:
+            for t in range(self.stream.num_intervals):
+                due: list[CampaignSpec] = []
+                while (
+                    next_pending < len(pending)
+                    and pending[next_pending].submit_interval <= t
+                ):
+                    due.append(pending[next_pending])
+                    next_pending += 1
+                if due:
+                    # Admission (and the policy cache behind it) runs on the
+                    # coordinator: one batched solve pass for the whole tick.
+                    for spec, live in zip(due, self.planner.admit_many(due)):
+                        shard = shards[shard_of(spec.campaign_id, self.num_shards)]
+                        shard.campaigns.append(
+                            _ShardCampaign(live, _campaign_rng(seed, spec.campaign_id))
+                        )
+                num_live = sum(len(s.campaigns) for s in shards)
+                if num_live == 0:
+                    if next_pending >= len(pending):
+                        break  # nothing live, nothing coming: done early
+                    continue  # marketplace idles until the next submission
+                intervals_run += 1
+                max_concurrent = max(max_concurrent, num_live)
+                # Phase 1 — gather posted rewards, then compute the tick's
+                # choice fractions over the *canonically ordered* global
+                # price vector so float summation (and therefore every
+                # fraction) is independent of the shard layout.
+                posted = [
+                    pair
+                    for shard_prices in self._map(pool, lambda s: s.prices(t), shards)
+                    for pair in shard_prices
+                ]
+                posted.sort(key=lambda pair: pair[0])
+                price_vec = np.array([price for _, price in posted])
+                accept_q, consider_q = self.router.fractions(price_vec)
+                fractions = {
+                    cid: (float(a), float(c))
+                    for (cid, _), a, c in zip(posted, accept_q, consider_q)
+                }
+                prices = {cid: float(price) for cid, price in posted}
+                mean_t = self.stream.mean(t)
+                # The coordinator owns the walk-away remainder of the
+                # factored arrival process (drawn every live tick so its
+                # stream position never depends on the shard layout).
+                walked = int(
+                    market_rng.poisson(
+                        mean_t * max(1.0 - float(consider_q.sum()), 0.0)
+                    )
+                )
+                # Phase 2 — factored acceptance draws + completions.
+                step_totals = self._map(
+                    pool,
+                    lambda s: s.step(t, mean_t, fractions, prices),
+                    shards,
+                )
+                considered = sum(c for c, _ in step_totals)
+                accepted = sum(a for _, a in step_totals)
+                total_considered += considered
+                total_accepted += accepted
+                arrived = walked + considered
+                total_arrivals += arrived
+                # Phase 3 — adaptive campaigns observe the realized
+                # marketplace arrivals (walk-aways included), then retire.
+                self._map(pool, lambda s: s.observe(t, arrived), shards)
+                retired = [
+                    outcome
+                    for shard_outcomes in self._map(
+                        pool, lambda s: s.retire(t), shards
+                    )
+                    for outcome in shard_outcomes
+                ]
+                retired.sort(key=lambda o: o.spec.campaign_id)
+                outcomes.extend(retired)
+        finally:
+            if own_pool is not None:
+                own_pool.shutdown()
+        elapsed = time.perf_counter() - start_time
+        return EngineResult(
+            outcomes=tuple(outcomes),
+            intervals_run=intervals_run,
+            total_arrivals=total_arrivals,
+            total_considered=total_considered,
+            total_accepted=total_accepted,
+            max_concurrent=max_concurrent,
+            cache_stats=self.cache.stats,
+            elapsed_seconds=elapsed,
+            batch_stats=(
+                self.planner.batch_solver.stats if self.planner.batch_solve else None
+            ),
+            num_shards=self.num_shards,
+        )

@@ -1,0 +1,1 @@
+"""Tests for the batch-vectorized solver fast path."""

@@ -1,0 +1,137 @@
+"""Equivalence of the batched deadline kernel with the scalar solvers.
+
+The batch fast path is only a fast path if it computes the *same tables*:
+these property tests draw randomized instances (sizes, horizons, grids,
+acceptance parameters, penalties, truncation settings) and assert the
+stacked kernel reproduces ``solve_deadline`` (and, on small instances,
+the literal Algorithm 1 of ``solve_deadline_simple``) — identical price
+tables, values within float tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import solve_deadline_batch
+from repro.core.batch.deadline import group_key
+from repro.core.deadline.model import DeadlineProblem, PenaltyScheme
+from repro.core.deadline.simple_dp import solve_deadline_simple
+from repro.core.deadline.vectorized import solve_deadline
+from repro.market.acceptance import LogitAcceptance, paper_acceptance_model
+
+
+def random_problem(rng: np.random.Generator, *, small: bool = False) -> DeadlineProblem:
+    """One randomized deadline instance (small => Algorithm-1 tractable)."""
+    num_tasks = int(rng.integers(3, 15 if small else 45))
+    horizon = int(rng.integers(3, 8 if small else 20))
+    num_prices = int(rng.integers(5, 15 if small else 35))
+    eps = [1e-9, 1e-6, None][int(rng.integers(3))]
+    acceptance = LogitAcceptance(
+        s=float(rng.uniform(2.0, 10.0)),
+        b=float(rng.uniform(-1.0, 3.0)),
+        m=float(rng.uniform(50.0, 2000.0)),
+    )
+    return DeadlineProblem(
+        num_tasks=num_tasks,
+        arrival_means=rng.uniform(0.0, 120.0, horizon),
+        acceptance=acceptance,
+        price_grid=np.arange(1.0, num_prices + 1.0),
+        penalty=PenaltyScheme(
+            per_task=float(rng.uniform(10.0, 400.0)),
+            existence=float(rng.choice([0.0, 1.5])),
+        ),
+        truncation_eps=eps,
+    )
+
+
+def assert_same_policy(scalar, batch) -> None:
+    """Identical price tables; values within float tolerance."""
+    assert np.array_equal(scalar.price_index, batch.price_index)
+    assert np.allclose(scalar.opt, batch.opt, rtol=1e-9, atol=1e-8)
+
+
+class TestAgainstVectorizedSolver:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_instances_match(self, seed):
+        rng = np.random.default_rng(seed)
+        problems = [random_problem(rng) for _ in range(5)]
+        batch = solve_deadline_batch(problems)
+        for problem, policy in zip(problems, batch):
+            assert_same_policy(solve_deadline(problem), policy)
+
+    def test_mixed_shapes_group_and_restore_order(self):
+        rng = np.random.default_rng(99)
+        problems = [random_problem(rng) for _ in range(4)]
+        # Duplicate each shape with a different penalty: same group, new
+        # instance — exercises multi-instance groups and order restoration.
+        problems += [
+            p.with_penalty(PenaltyScheme(per_task=33.0)) for p in problems
+        ]
+        assert len({group_key(p) for p in problems}) < len(problems)
+        batch = solve_deadline_batch(problems)
+        for problem, policy in zip(problems, batch):
+            assert policy.problem is problem
+            assert_same_policy(solve_deadline(problem), policy)
+
+    def test_engine_scale_means_match(self):
+        # Marketplace-scale arrival means (large Poisson means exercise the
+        # log-space pmf branch and deep truncation).
+        acceptance = paper_acceptance_model()
+        problems = [
+            DeadlineProblem(
+                num_tasks=30,
+                arrival_means=np.full(10, level),
+                acceptance=acceptance,
+                price_grid=np.arange(1.0, 31.0),
+                penalty=PenaltyScheme(per_task=150.0),
+            )
+            for level in (5.0, 300.0, 1500.0, 4000.0)
+        ]
+        for problem, policy in zip(problems, solve_deadline_batch(problems)):
+            assert_same_policy(solve_deadline(problem), policy)
+
+    def test_zero_arrival_intervals(self):
+        acceptance = paper_acceptance_model()
+        problem = DeadlineProblem(
+            num_tasks=8,
+            arrival_means=np.array([0.0, 40.0, 0.0, 12.0]),
+            acceptance=acceptance,
+            price_grid=np.arange(1.0, 16.0),
+            penalty=PenaltyScheme(per_task=90.0),
+        )
+        (policy,) = solve_deadline_batch([problem])
+        assert_same_policy(solve_deadline(problem), policy)
+
+
+class TestAgainstAlgorithm1:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_small_instances_match_the_literal_dp(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        problems = [random_problem(rng, small=True) for _ in range(3)]
+        batch = solve_deadline_batch(problems)
+        for problem, policy in zip(problems, batch):
+            assert_same_policy(solve_deadline_simple(problem), policy)
+
+
+class TestInterface:
+    def test_empty_input(self):
+        assert solve_deadline_batch([]) == []
+
+    def test_single_instance_degrades_gracefully(self):
+        rng = np.random.default_rng(7)
+        problem = random_problem(rng)
+        (policy,) = solve_deadline_batch([problem])
+        assert policy.solver == "batch"
+        assert_same_policy(solve_deadline(problem), policy)
+
+    def test_policies_evaluate_like_scalar_ones(self):
+        # The produced DeadlinePolicy supports the same downstream API
+        # (forward evaluation) with the same numbers.
+        rng = np.random.default_rng(11)
+        problem = random_problem(rng)
+        (policy,) = solve_deadline_batch([problem])
+        scalar = solve_deadline(problem).evaluate()
+        batched = policy.evaluate()
+        assert batched.expected_cost == pytest.approx(scalar.expected_cost)
+        assert batched.prob_all_done == pytest.approx(scalar.prob_all_done)

@@ -1,0 +1,208 @@
+"""Shard determinism and the factored arrival split.
+
+The contract under test: sharding is a pure throughput lever.  The same
+seed must produce identical per-campaign outcomes for one shard, many
+shards, serial or threaded execution — because every random decision is
+keyed by campaign, not by shard layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CampaignSpec,
+    LogitRouter,
+    PolicyCache,
+    ShardedEngine,
+    UniformRouter,
+    generate_workload,
+    shard_of,
+)
+from repro.market.acceptance import paper_acceptance_model
+from repro.sim.stream import SharedArrivalStream
+
+
+@pytest.fixture
+def stream() -> SharedArrivalStream:
+    means = 1400.0 + 500.0 * np.sin(np.linspace(0.0, 4.0 * np.pi, 72))
+    return SharedArrivalStream(means)
+
+
+def run_sharded(stream, num_shards, executor="serial", router=None, seed=5):
+    engine = ShardedEngine(
+        stream,
+        paper_acceptance_model(),
+        num_shards=num_shards,
+        router=router,
+        cache=PolicyCache(max_entries=256),
+        planning="stationary",
+        executor=executor,
+    )
+    engine.submit(generate_workload(36, stream.num_intervals, seed=17))
+    return engine.run(seed=seed)
+
+
+def outcome_key(result):
+    return [
+        (
+            o.spec.campaign_id,
+            o.completed,
+            o.remaining,
+            round(o.total_cost, 9),
+            round(o.penalty, 9),
+            o.finished_interval,
+        )
+        for o in result.outcomes
+    ]
+
+
+class TestShardDeterminism:
+    def test_one_vs_many_shards_identical_outcomes(self, stream):
+        one = run_sharded(stream, 1)
+        three = run_sharded(stream, 3)
+        five = run_sharded(stream, 5)
+        assert outcome_key(one) == outcome_key(three) == outcome_key(five)
+        assert one.total_completed == three.total_completed
+        assert one.total_arrivals == three.total_arrivals == five.total_arrivals
+        assert one.total_accepted == three.total_accepted
+
+    def test_executor_choice_never_changes_results(self, stream):
+        serial = run_sharded(stream, 4, executor="serial")
+        threaded = run_sharded(stream, 4, executor="thread")
+        assert outcome_key(serial) == outcome_key(threaded)
+
+    def test_same_seed_reproducible(self, stream):
+        assert outcome_key(run_sharded(stream, 2)) == outcome_key(
+            run_sharded(stream, 2)
+        )
+
+    def test_different_seeds_differ(self, stream):
+        assert outcome_key(run_sharded(stream, 2, seed=5)) != outcome_key(
+            run_sharded(stream, 2, seed=6)
+        )
+
+    def test_uniform_router_is_also_shard_invariant(self, stream):
+        router = UniformRouter(paper_acceptance_model())
+        one = run_sharded(stream, 1, router=router)
+        four = run_sharded(stream, 4, router=router)
+        assert outcome_key(one) == outcome_key(four)
+        # Uniform attention considers more workers than it converts.
+        assert one.total_considered > one.total_accepted
+
+    def test_result_reports_shard_count(self, stream):
+        result = run_sharded(stream, 4)
+        assert result.num_shards == 4
+        assert "across 4 shards" in result.summary()
+
+
+class TestShardAssignment:
+    def test_stable_and_in_range(self):
+        ids = [f"camp-{i}" for i in range(200)]
+        first = [shard_of(cid, 7) for cid in ids]
+        assert first == [shard_of(cid, 7) for cid in ids]
+        assert set(first) <= set(range(7))
+        assert len(set(first)) > 1  # actually spreads
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            shard_of("x", 0)
+
+
+class TestValidation:
+    def test_submit_checks_match_the_unsharded_engine(self, stream):
+        engine = ShardedEngine(stream, paper_acceptance_model(), num_shards=2)
+        spec = CampaignSpec(
+            campaign_id="dl-0",
+            kind="deadline",
+            num_tasks=10,
+            submit_interval=0,
+            horizon_intervals=12,
+        )
+        engine.submit(spec)
+        with pytest.raises(ValueError, match="duplicate"):
+            engine.submit(spec)
+        with pytest.raises(ValueError, match="beyond"):
+            engine.submit(
+                CampaignSpec(
+                    campaign_id="dl-late",
+                    kind="deadline",
+                    num_tasks=10,
+                    submit_interval=70,
+                    horizon_intervals=12,
+                )
+            )
+
+    def test_bad_constructor_arguments(self, stream):
+        acceptance = paper_acceptance_model()
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardedEngine(stream, acceptance, num_shards=0)
+        with pytest.raises(ValueError, match="executor"):
+            ShardedEngine(stream, acceptance, executor="rocket")
+        import concurrent.futures
+
+        with pytest.raises(ValueError, match="process pools"):
+            ShardedEngine(
+                stream,
+                acceptance,
+                executor=concurrent.futures.ProcessPoolExecutor(max_workers=1),
+            )
+
+    def test_external_executor_instance_accepted(self, stream):
+        import concurrent.futures
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+            a = run_sharded(stream, 2)
+            engine = ShardedEngine(
+                stream,
+                paper_acceptance_model(),
+                num_shards=2,
+                cache=PolicyCache(max_entries=256),
+                planning="stationary",
+                executor=pool,
+            )
+            engine.submit(generate_workload(36, stream.num_intervals, seed=17))
+            b = engine.run(seed=5)
+        assert outcome_key(a) == outcome_key(b)
+
+
+class TestRouterFractions:
+    def test_logit_single_campaign_reduces_to_acceptance_probability(self):
+        model = paper_acceptance_model()
+        router = LogitRouter(model)
+        accept, consider = router.fractions([12.0])
+        assert accept[0] == pytest.approx(model.probability(12.0))
+        assert np.array_equal(accept, consider)
+
+    def test_logit_fractions_leave_walkaway_mass(self):
+        router = LogitRouter(paper_acceptance_model())
+        accept, _ = router.fractions([5.0, 10.0, 20.0])
+        assert np.all(accept > 0)
+        assert accept.sum() < 1.0
+        assert accept[2] > accept[0]  # higher reward draws more workers
+
+    def test_uniform_fractions(self):
+        model = paper_acceptance_model()
+        router = UniformRouter(model)
+        accept, consider = router.fractions([5.0, 25.0])
+        assert consider == pytest.approx([0.5, 0.5])
+        assert accept[0] == pytest.approx(0.5 * model.probability(5.0))
+        assert np.all(accept <= consider)
+
+    def test_empty_price_vector(self):
+        router = LogitRouter(paper_acceptance_model())
+        accept, consider = router.fractions([])
+        assert accept.size == 0 and consider.size == 0
+
+
+class TestStreamSplit:
+    def test_split_preserves_total_mean(self, stream):
+        shards = stream.split(4)
+        assert len(shards) == 4
+        total = sum(s.arrival_means for s in shards)
+        assert np.allclose(total, stream.arrival_means)
+
+    def test_split_validation(self, stream):
+        with pytest.raises(ValueError, match="num_shards"):
+            stream.split(0)

@@ -65,3 +65,45 @@ def test_public_members_documented(module):
     assert not undocumented, (
         f"undocumented public items in {module.__name__}: {undocumented}"
     )
+
+
+#: The serving-layer API surface this repo's docs explicitly promise:
+#: every symbol here must exist and carry real documentation (the generic
+#: walk above covers them too, but these are load-bearing enough to name).
+PROMISED_API = [
+    ("repro.engine", "MarketplaceEngine"),
+    ("repro.engine", "ShardedEngine"),
+    ("repro.engine", "CampaignPlanner"),
+    ("repro.engine", "PolicyCache"),
+    ("repro.engine", "generate_workload"),
+    ("repro.core.batch", "solve_deadline_batch"),
+    ("repro.core.batch", "solve_budget_batch"),
+    ("repro.core.batch", "BatchPolicySolver"),
+    ("repro.core.batch", "BudgetRequest"),
+]
+
+PROMISED_METHODS = [
+    ("repro.core.deadline.model", "DeadlineProblem", "signature"),
+    ("repro.market.acceptance", "AcceptanceModel", "signature"),
+    ("repro.engine.cache", "PolicyCache", "get_or_solve_many"),
+    ("repro.engine.routing", "ArrivalRouter", "fractions"),
+]
+
+
+@pytest.mark.parametrize("module_name,symbol", PROMISED_API)
+def test_promised_symbol_documented(module_name, symbol):
+    member = getattr(importlib.import_module(module_name), symbol)
+    assert member.__doc__ and len(member.__doc__.strip()) > 20
+
+
+@pytest.mark.parametrize("module_name,cls,method", PROMISED_METHODS)
+def test_promised_method_documented(module_name, cls, method):
+    owner = getattr(importlib.import_module(module_name), cls)
+    member = getattr(owner, method)
+    assert member.__doc__ and len(member.__doc__.strip()) > 20
+
+
+def test_budget_signature_documented():
+    from repro.core.budget.static_lp import budget_signature
+
+    assert budget_signature.__doc__ and "signature" in budget_signature.__doc__
