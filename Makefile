@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench docs-check lint-docs all
+.PHONY: test bench docs-check checkpoint-smoke lint-docs all
 
 ## Tier-1 test suite (what CI gates on).
 test:
@@ -22,4 +22,10 @@ bench:
 docs-check:
 	$(PYTEST) tests/test_docs.py tests/test_documentation.py -q
 
-all: test docs-check
+## Durability drill: run each engine flavour, kill it at a mid-run tick,
+## resume from the checkpoint bundle, and require the stitched run to be
+## bit-identical to an uninterrupted one.
+checkpoint-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/checkpoint_smoke.py
+
+all: test docs-check checkpoint-smoke

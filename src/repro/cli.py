@@ -8,7 +8,8 @@ Four commands cover the library's day-to-day uses:
 * ``solve-budget`` — run Algorithm 3 for a fixed-budget batch.
 * ``engine`` — run the multi-campaign marketplace engine: many concurrent
   campaigns priced against one shared worker stream, with policy caching,
-  batched solving, and optional sharding (``--shards N``).
+  batched solving, optional sharding (``--shards N``), and durable
+  checkpoint/resume (``--checkpoint-every``/``--resume``).
 
 Examples::
 
@@ -19,6 +20,8 @@ Examples::
     python -m repro solve-budget --num-tasks 200 --budget-cents 2500
     python -m repro engine run --campaigns 60 --planning stationary
     python -m repro engine run --campaigns 200 --shards 4
+    python -m repro engine run --checkpoint-every 24 --checkpoint-path ck/
+    python -m repro engine run --resume ck/
 """
 
 from __future__ import annotations
@@ -105,7 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
             "policy-cache hit rate (the 'policy cache' line), the batched-"
             "solver utilization, and campaign throughput.  --shards N "
             "partitions campaigns across N parallel worker shards; shard "
-            "count never changes the outcome, only wall-clock."
+            "count never changes the outcome, only wall-clock.  "
+            "--checkpoint-every N snapshots the run every N ticks and "
+            "--resume P finishes an interrupted run bit-identically."
         ),
     )
     engine_run.add_argument(
@@ -163,6 +168,25 @@ def build_parser() -> argparse.ArgumentParser:
     engine_run.add_argument(
         "--per-campaign", action="store_true",
         help="also print one line per retired campaign",
+    )
+    engine_run.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="save a checkpoint bundle every N engine ticks (0 = never); "
+        "requires --checkpoint-path",
+    )
+    engine_run.add_argument(
+        "--checkpoint-path", metavar="P", default=None,
+        help="checkpoint bundle directory (manifest.json + arrays.npz)",
+    )
+    engine_run.add_argument(
+        "--stop-after", type=int, default=0, metavar="T",
+        help="stop after T ticks, saving a final checkpoint (simulates a "
+        "kill mid-run; requires --checkpoint-path)",
+    )
+    engine_run.add_argument(
+        "--resume", metavar="P", default=None,
+        help="resume a checkpointed run from bundle P and finish it "
+        "(workload flags are ignored; the bundle carries the state)",
     )
     return parser
 
@@ -265,12 +289,15 @@ def _cmd_solve_budget(args: argparse.Namespace) -> int:
 
 def _cmd_engine(args: argparse.Namespace) -> int:
     from repro.engine import (
+        CheckpointError,
         LogitRouter,
         MarketplaceEngine,
         PolicyCache,
         ShardedEngine,
         UniformRouter,
         generate_workload,
+        restore_engine,
+        save_checkpoint,
     )
     from repro.market.acceptance import paper_acceptance_model
     from repro.market.tracker import SyntheticTrackerTrace
@@ -279,54 +306,98 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     if args.shards < 0:
         print(f"--shards must be >= 0, got {args.shards}", file=sys.stderr)
         return 2
-    num_intervals = int(round(args.horizon_hours * 60.0 / args.interval_minutes))
-    trace = SyntheticTrackerTrace()
-    acceptance = paper_acceptance_model()
-    router = (
-        LogitRouter(acceptance) if args.router == "logit" else UniformRouter(acceptance)
-    )
-    try:
-        forecast = SharedArrivalStream.from_rate_function(
-            trace.rate_function(),
-            args.horizon_hours,
-            num_intervals,
-            start_hour=args.start_day * 24.0,
-        )
-        common = dict(
-            stream=forecast.scaled(args.surge),
-            acceptance=acceptance,
-            router=router,
-            cache=PolicyCache(max_entries=args.cache_size),
-            planning=args.planning,
-            planning_means=forecast.arrival_means,
-            batch_solve=args.solver == "batch",
-        )
-        if args.shards > 0:
-            engine: MarketplaceEngine | ShardedEngine = ShardedEngine(
-                num_shards=args.shards, executor=args.executor, **common
-            )
-        else:
-            engine = MarketplaceEngine(**common)
-        specs = generate_workload(
-            args.campaigns,
-            num_intervals,
-            seed=args.seed,
-            budget_fraction=args.budget_fraction,
-            adaptive_fraction=args.adaptive_fraction,
-        )
-        engine.submit(specs)
-    except ValueError as exc:
-        print(str(exc), file=sys.stderr)
+    if args.checkpoint_every < 0 or args.stop_after < 0:
+        print("--checkpoint-every and --stop-after must be >= 0", file=sys.stderr)
         return 2
-    result = engine.run(seed=args.seed)
-    sharding = (
-        f"shards={args.shards} ({args.executor})" if args.shards > 0 else "unsharded"
-    )
-    print(f"stream        : {num_intervals} x {args.interval_minutes:.0f}min "
-          f"intervals from trace day {args.start_day}; router={args.router}, "
-          f"planning={args.planning}, surge={args.surge:g}")
-    print(f"serving       : {sharding}, solver={args.solver}, "
-          f"cache capacity {args.cache_size}")
+    if (args.checkpoint_every or args.stop_after) and not args.checkpoint_path:
+        print(
+            "--checkpoint-every/--stop-after need --checkpoint-path",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume:
+        try:
+            engine = restore_engine(args.resume)
+        except CheckpointError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        core = engine.core
+        assert core is not None  # restore_engine always opens a session
+        print(f"resume        : {args.resume} at tick {core.clock} "
+              f"({core.num_live} live, {core.num_pending} pending, "
+              f"{len(core.outcomes)} already retired)")
+    else:
+        num_intervals = int(
+            round(args.horizon_hours * 60.0 / args.interval_minutes)
+        )
+        trace = SyntheticTrackerTrace()
+        acceptance = paper_acceptance_model()
+        router = (
+            LogitRouter(acceptance)
+            if args.router == "logit"
+            else UniformRouter(acceptance)
+        )
+        try:
+            forecast = SharedArrivalStream.from_rate_function(
+                trace.rate_function(),
+                args.horizon_hours,
+                num_intervals,
+                start_hour=args.start_day * 24.0,
+            )
+            common = dict(
+                stream=forecast.scaled(args.surge),
+                acceptance=acceptance,
+                router=router,
+                cache=PolicyCache(max_entries=args.cache_size),
+                planning=args.planning,
+                planning_means=forecast.arrival_means,
+                batch_solve=args.solver == "batch",
+            )
+            if args.shards > 0:
+                engine: MarketplaceEngine | ShardedEngine = ShardedEngine(
+                    num_shards=args.shards, executor=args.executor, **common
+                )
+            else:
+                engine = MarketplaceEngine(**common)
+            specs = generate_workload(
+                args.campaigns,
+                num_intervals,
+                seed=args.seed,
+                budget_fraction=args.budget_fraction,
+                adaptive_fraction=args.adaptive_fraction,
+            )
+            engine.submit(specs)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        core = engine.start(seed=args.seed)
+        sharding = (
+            f"shards={args.shards} ({args.executor})"
+            if args.shards > 0
+            else "unsharded"
+        )
+        print(f"stream        : {num_intervals} x {args.interval_minutes:.0f}min "
+              f"intervals from trace day {args.start_day}; router={args.router}, "
+              f"planning={args.planning}, surge={args.surge:g}")
+        print(f"serving       : {sharding}, solver={args.solver}, "
+              f"cache capacity {args.cache_size}")
+    # One shared stepping loop drives plain runs, periodic checkpointing,
+    # and the simulated-kill path alike.
+    ticks = 0
+    while not core.done:
+        core.tick()
+        ticks += 1
+        if args.checkpoint_every and ticks % args.checkpoint_every == 0:
+            save_checkpoint(engine, args.checkpoint_path)
+        if args.stop_after and ticks >= args.stop_after and not core.done:
+            save_checkpoint(engine, args.checkpoint_path)
+            engine.close()
+            print(f"stopped       : after {ticks} ticks at interval {core.clock}; "
+                  f"checkpoint saved to {args.checkpoint_path} "
+                  f"(finish with --resume {args.checkpoint_path})")
+            return 0
+    result = core.result()
+    engine.close()
     print(result.summary())
     if args.per_campaign:
         print()

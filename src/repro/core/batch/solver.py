@@ -49,6 +49,22 @@ class BatchSolveStats:
         """Average instances per batch call (0.0 before any call)."""
         return self.instances / self.batches if self.batches else 0.0
 
+    def since(self, baseline: "BatchSolveStats") -> "BatchSolveStats":
+        """Counters accumulated after ``baseline`` was snapshotted.
+
+        Used by the engines to report per-session batch stats: a serving
+        session resets (or snapshots) the solver's counters when it
+        starts, so reruns don't report cumulative cross-run numbers.
+        ``largest_batch`` is a running maximum, not a counter — it is
+        reported as-is, which is exact whenever the baseline is a
+        session-start reset (the only way the engines use it).
+        """
+        return BatchSolveStats(
+            batches=self.batches - baseline.batches,
+            instances=self.instances - baseline.instances,
+            largest_batch=self.largest_batch,
+        )
+
 
 class BatchPolicySolver:
     """Solves outstanding deadline/budget instances in stacked array passes.
@@ -92,6 +108,25 @@ class BatchPolicySolver:
             instances=self._instances,
             largest_batch=self._largest,
         )
+
+    def reset(self) -> None:
+        """Zero the counters (the engines call this at serving-session start)."""
+        self._batches = self._instances = self._largest = 0
+
+    def counters(self) -> tuple[int, int, int]:
+        """The raw ``(batches, instances, largest)`` counters (checkpointing)."""
+        return (self._batches, self._instances, self._largest)
+
+    def restore_counters(self, batches: int, instances: int, largest: int) -> None:
+        """Overwrite the counters (checkpoint restore only).
+
+        A resume replays admissions through the solver — bumping these as
+        a side effect — then resets them to the interrupted session's
+        recorded values so per-session stats stay exact.
+        """
+        self._batches = int(batches)
+        self._instances = int(instances)
+        self._largest = int(largest)
 
     def __repr__(self) -> str:
         s = self.stats

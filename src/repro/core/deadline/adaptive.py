@@ -115,6 +115,53 @@ class AdaptiveRepricer(PricingRuntime):
         self._cache[key] = policy.price_index
         return policy.price_index
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the repricer's mutable state for a checkpoint.
+
+        Returns a dict with the predictor's level-correction state, the
+        solve counter, the active ``(anchor, factor)`` key, and the suffix
+        solve cache (key -> price-index table).  Together with the
+        immutable planning problem — which a resume rebuilds from the
+        campaign spec — this is everything needed to continue pricing
+        bit-identically: restoring the cache keeps already-performed
+        suffix solves free (so ``num_solves`` stays exact), and restoring
+        the active key pins the anchor window's factor at the value it was
+        sampled at rather than re-sampling the drifted current factor.
+        """
+        factor, observations = self.predictor.export_state()
+        return {
+            "factor": factor,
+            "observations": observations,
+            "num_solves": self.num_solves,
+            "active_key": self._active_key,
+            "cache": dict(self._cache),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`export_state` (checkpoint resume)."""
+        self.predictor.import_state(state["factor"], state["observations"])
+        self.num_solves = int(state["num_solves"])
+        self._cache = {
+            (int(anchor), float(factor)): np.asarray(table)
+            for (anchor, factor), table in state["cache"].items()
+        }
+        key = state["active_key"]
+        if key is None:
+            self._active_key = None
+            self._active_price_col = None
+        else:
+            key = (int(key[0]), float(key[1]))
+            if key not in self._cache:
+                raise ValueError(
+                    f"active repricer key {key} missing from the restored "
+                    "solve cache"
+                )
+            self._active_key = key
+            self._active_price_col = self._cache[key]
+
     def __repr__(self) -> str:
         return (
             f"AdaptiveRepricer(factor={self.predictor.factor:.2f}, "

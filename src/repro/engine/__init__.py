@@ -18,11 +18,20 @@ subpackage is that serving layer:
   both engine front-ends: forecast slices, problem construction, and
   cache-mediated admission (scalar or batched through
   :mod:`repro.core.batch`).
-* :mod:`repro.engine.engine` — the :class:`MarketplaceEngine` clock:
-  admission, pricing, routing, adaptive re-planning, retirement.
+* :mod:`repro.engine.clock` — the **one** engine clock
+  (:class:`EngineCore`): the admission → pricing → routing → completion →
+  retirement tick loop both front-ends share, with explicit
+  :meth:`~repro.engine.clock.EngineCore.tick` stepping and mid-flight
+  submission between ticks.
+* :mod:`repro.engine.engine` — :class:`MarketplaceEngine`, the pooled
+  front-end: one generator draws realized arrivals and the router splits
+  them across live campaigns.
 * :mod:`repro.engine.sharding` — :class:`ShardedEngine`, partitioning the
   campaign set over parallel worker shards while splitting the arrival
   stream deterministically (same seed, any shard count, same outcomes).
+* :mod:`repro.engine.checkpoint` — durable serving state:
+  :func:`save_checkpoint` / :func:`restore_engine` snapshot a session
+  mid-flight to a versioned JSON+npz bundle and resume it bit-identically.
 * :mod:`repro.engine.workload` — synthetic heterogeneous-but-repetitive
   campaign workloads (:func:`generate_workload`).
 
@@ -42,6 +51,13 @@ Quick use::
 
 from repro.engine.cache import CacheStats, PolicyCache
 from repro.engine.campaign import BUDGET, DEADLINE, CampaignOutcome, CampaignSpec
+from repro.engine.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    restore_engine,
+    save_checkpoint,
+)
+from repro.engine.clock import ClockBackend, EngineBase, EngineCore, TickReport
 from repro.engine.engine import EngineResult, MarketplaceEngine, PLANNING_MODES
 from repro.engine.planning import CampaignPlanner
 from repro.engine.routing import ArrivalRouter, LogitRouter, UniformRouter
@@ -56,7 +72,15 @@ __all__ = [
     "MarketplaceEngine",
     "ShardedEngine",
     "CampaignPlanner",
+    "EngineBase",
+    "EngineCore",
+    "ClockBackend",
+    "TickReport",
     "EngineResult",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "save_checkpoint",
+    "restore_engine",
     "EXECUTORS",
     "shard_of",
     "CampaignSpec",

@@ -54,6 +54,22 @@ class CacheStats:
         """``hits / lookups`` (0.0 before any lookup)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def since(self, baseline: "CacheStats") -> "CacheStats":
+        """Counters accumulated after ``baseline`` was snapshotted.
+
+        The engines snapshot the cache's stats when a serving session
+        starts and report the delta, so an :class:`EngineResult` describes
+        one run instead of leaking cumulative cross-run counters.
+        ``entries`` is a point-in-time gauge, not a counter, and is
+        reported as-is.
+        """
+        return CacheStats(
+            hits=self.hits - baseline.hits,
+            misses=self.misses - baseline.misses,
+            evictions=self.evictions - baseline.evictions,
+            entries=self.entries,
+        )
+
 
 class PolicyCache:
     """Bounded LRU memo of solved policies keyed by problem signature.
@@ -171,6 +187,25 @@ class PolicyCache:
             evictions=self._evictions,
             entries=len(self._entries),
         )
+
+    def counters(self) -> tuple[int, int, int]:
+        """The raw ``(hits, misses, evictions)`` counters.
+
+        Exposed so :mod:`repro.engine.checkpoint` can serialize lookup
+        accounting alongside the entries a resume will rebuild by replay.
+        """
+        return (self._hits, self._misses, self._evictions)
+
+    def restore_counters(self, hits: int, misses: int, evictions: int) -> None:
+        """Overwrite the lookup counters (checkpoint restore only).
+
+        A resume rebuilds the cache's *entries* by replaying admissions —
+        which bumps the counters as a side effect — then calls this to
+        reset them to the values the interrupted session had recorded.
+        """
+        self._hits = int(hits)
+        self._misses = int(misses)
+        self._evictions = int(evictions)
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""

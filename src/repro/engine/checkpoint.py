@@ -1,0 +1,513 @@
+"""Durable serving state: snapshot and resume an engine session mid-flight.
+
+A long-lived marketplace deployment cannot afford to lose hours of
+campaign state to a crash, and operators need to pause/migrate a serving
+session without perturbing its outcomes.  This module serializes a
+running :class:`~repro.engine.clock.EngineCore` session — pending
+submissions, live-campaign runtime state (including adaptive repricer
+observations and solve caches), per-campaign generator states, counters —
+to a versioned **JSON + npz bundle**, and restores it such that
+
+    ``snapshot -> restore -> finish``  ==  an uninterrupted same-seed run
+
+bit-for-bit (same outcomes, same counters, same per-run stats), for both
+engine front-ends and any shard count/executor.
+
+Bundle layout (a directory)::
+
+    <path>/manifest.json      # everything human-readable: specs, counters,
+                              # generator states, adaptive metadata, config
+    <path>/arrays-<id>.npz    # the numeric payloads: stream / planning
+                              # forecasts, adaptive suffix price tables
+                              # (unique name recorded in the manifest)
+
+Saves are **crash-safe**: files are written to temp names and renamed
+into place, payload first and manifest last, so killing a periodic save
+mid-write leaves the previous bundle intact rather than a torn one.
+
+Two design points worth knowing:
+
+* **Policies are replayed, not stored.**  Solved price tables can be
+  megabytes; instead of serializing them the manifest records the
+  *admission log* (which campaigns were admitted at which tick, in
+  order).  Restore replays those admissions through the fresh engine's
+  planner — the solvers are deterministic, so the policy cache is rebuilt
+  entry-for-entry (same contents, same LRU order) — then overwrites the
+  cache/batch counters with the recorded values so per-session stats stay
+  exact.  The round-trip guarantee therefore assumes the session started
+  from an empty cache, which :meth:`~repro.engine.clock.EngineBase.start`
+  guarantees.
+* **Only declarative configuration is checkpointable.**  Acceptance
+  models (:class:`LogitAcceptance` / :class:`EmpiricalAcceptance`),
+  built-in routers, and string executors round-trip; a custom router
+  class or an executor *instance* cannot be serialized and raises
+  :class:`CheckpointError` at save time.
+
+CLI: ``repro engine run --checkpoint-every N --checkpoint-path P`` saves
+periodic bundles, and ``repro engine run --resume P`` finishes an
+interrupted run (see ``make checkpoint-smoke`` for the kill/resume drill).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import uuid
+
+import numpy as np
+
+from repro.core.batch.solver import BatchSolveStats
+from repro.core.deadline.adaptive import AdaptiveRepricer
+from repro.engine.cache import CacheStats, PolicyCache
+from repro.engine.campaign import CampaignOutcome, CampaignSpec
+from repro.engine.clock import EngineBase, EngineCore
+from repro.engine.engine import MarketplaceEngine, _PooledBackend
+from repro.engine.routing import LogitRouter, UniformRouter
+from repro.engine.sharding import (
+    ShardedEngine,
+    _FactoredBackend,
+    _ShardCampaign,
+    shard_of,
+)
+from repro.market.acceptance import (
+    AcceptanceModel,
+    EmpiricalAcceptance,
+    LogitAcceptance,
+)
+from repro.sim.stream import SharedArrivalStream
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "save_checkpoint",
+    "restore_engine",
+]
+
+#: Bundle format version; bumped on any incompatible manifest change.
+CHECKPOINT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+#: Legacy fixed payload name, read as a fallback when a manifest predates
+#: the unique-name scheme.
+_ARRAYS = "arrays.npz"
+
+
+class CheckpointError(RuntimeError):
+    """A session could not be serialized, or a bundle could not be restored."""
+
+
+# ----------------------------------------------------------------------
+# JSON helpers
+# ----------------------------------------------------------------------
+def _jsonable(value):
+    """Recursively convert numpy scalars so ``json.dumps`` accepts the tree."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _acceptance_to_dict(model: AcceptanceModel) -> dict:
+    if isinstance(model, LogitAcceptance):
+        return {"type": "logit", "s": model.s, "b": model.b, "m": model.m}
+    if isinstance(model, EmpiricalAcceptance):
+        prices = model.prices
+        return {
+            "type": "empirical",
+            "prices": prices.tolist(),
+            "probs": model.probabilities(prices).tolist(),
+        }
+    raise CheckpointError(
+        f"acceptance model {type(model).__name__} is not checkpointable "
+        "(supported: LogitAcceptance, EmpiricalAcceptance)"
+    )
+
+
+def _acceptance_from_dict(data: dict) -> AcceptanceModel:
+    if data["type"] == "logit":
+        return LogitAcceptance(data["s"], data["b"], data["m"])
+    if data["type"] == "empirical":
+        return EmpiricalAcceptance(dict(zip(data["prices"], data["probs"])))
+    raise CheckpointError(f"unknown acceptance model type {data['type']!r}")
+
+
+def _router_to_dict(router) -> dict:
+    if isinstance(router, LogitRouter):
+        return {"type": "logit", "acceptance": _acceptance_to_dict(router.model)}
+    if isinstance(router, UniformRouter):
+        return {
+            "type": "uniform",
+            "acceptance": _acceptance_to_dict(router.acceptance),
+        }
+    raise CheckpointError(
+        f"router {type(router).__name__} is not checkpointable "
+        "(supported: LogitRouter, UniformRouter)"
+    )
+
+
+def _router_from_dict(data: dict):
+    acceptance = _acceptance_from_dict(data["acceptance"])
+    if data["type"] == "logit":
+        return LogitRouter(acceptance)
+    if data["type"] == "uniform":
+        return UniformRouter(acceptance)
+    raise CheckpointError(f"unknown router type {data['type']!r}")
+
+
+def _generator_state(rng: np.random.Generator) -> dict:
+    return _jsonable(rng.bit_generator.state)
+
+
+def _generator_from_state(state: dict) -> np.random.Generator:
+    try:
+        bit_cls = getattr(np.random, state["bit_generator"])
+    except AttributeError as exc:
+        raise CheckpointError(
+            f"unknown bit generator {state['bit_generator']!r}"
+        ) from exc
+    gen = np.random.Generator(bit_cls())
+    gen.bit_generator.state = state
+    return gen
+
+
+def _adaptive_key(cid: str, index: int) -> str:
+    return f"adaptive::{cid}::{index}"
+
+
+# ----------------------------------------------------------------------
+# Save
+# ----------------------------------------------------------------------
+def _live_entry(live, rng: np.random.Generator | None, arrays: dict) -> dict:
+    """Serialize one live campaign's mutable state (arrays filled in place)."""
+    cid = live.spec.campaign_id
+    entry = {
+        "campaign_id": cid,
+        "remaining": live.remaining,
+        "total_cost": live.total_cost,
+        "finished_interval": live.finished_interval,
+        "cache_hit": live.cache_hit,
+        "initial_solves": live.initial_solves,
+        "rng_state": None if rng is None else _generator_state(rng),
+        "adaptive": None,
+    }
+    if isinstance(live.runtime, AdaptiveRepricer):
+        state = live.runtime.export_state()
+        keys = sorted(state["cache"])
+        for i, key in enumerate(keys):
+            arrays[_adaptive_key(cid, i)] = state["cache"][key]
+        entry["adaptive"] = {
+            "factor": state["factor"],
+            "observations": state["observations"],
+            "num_solves": state["num_solves"],
+            "active_key": (
+                None
+                if state["active_key"] is None
+                else list(state["active_key"])
+            ),
+            "cache_keys": [list(key) for key in keys],
+        }
+    return entry
+
+
+def save_checkpoint(engine: EngineBase, path: str | pathlib.Path) -> pathlib.Path:
+    """Snapshot the engine's active serving session to a bundle directory.
+
+    Legal at any tick boundary (including before the first tick and after
+    the last).  Returns the bundle path.  Raises :class:`CheckpointError`
+    when no session is active or the engine's configuration contains
+    non-serializable parts (custom router classes, executor instances,
+    exotic acceptance models).
+    """
+    core = engine.core
+    if core is None:
+        raise CheckpointError(
+            "no active serving session to snapshot: call start()/tick() first"
+        )
+    config = {
+        "planning": engine.planner.planning,
+        "truncation_eps": engine.planner.truncation_eps,
+        "batch_solve": engine.planner.batch_solve,
+        "cache_max_entries": engine.cache.max_entries,
+        "acceptance": _acceptance_to_dict(engine.acceptance),
+        "router": _router_to_dict(engine.router),
+    }
+    arrays: dict = {
+        "stream_means": engine.stream.arrival_means,
+        "planning_means": engine.planner.planning_means,
+    }
+    backend = core.backend
+    if isinstance(engine, ShardedEngine):
+        kind = "sharded"
+        if not isinstance(engine.executor, str):
+            raise CheckpointError(
+                "executor instances cannot be checkpointed; construct the "
+                "engine with executor='serial' or 'thread' to enable resume"
+            )
+        config["num_shards"] = engine.num_shards
+        config["executor"] = engine.executor
+        live_entries = [
+            _live_entry(c.live, c.rng, arrays)
+            for shard in backend.shards
+            for c in shard.campaigns
+        ]
+        rng_state = _generator_state(backend.market_rng)
+    elif isinstance(engine, MarketplaceEngine):
+        kind = "marketplace"
+        live_entries = [_live_entry(c, None, arrays) for c in backend.live]
+        rng_state = _generator_state(backend.rng)
+    else:
+        raise CheckpointError(
+            f"engine {type(engine).__name__} is not checkpointable"
+        )
+    manifest = {
+        "version": CHECKPOINT_VERSION,
+        "engine": kind,
+        "seed": core.seed,
+        "config": config,
+        "specs": [dataclasses.asdict(s) for s in engine._specs],
+        "admissions": [[t, list(ids)] for t, ids in core._admission_log],
+        "clock": {
+            "interval": core.clock,
+            "intervals_run": core.intervals_run,
+            "total_arrivals": core.total_arrivals,
+            "total_considered": core.total_considered,
+            "total_accepted": core.total_accepted,
+            "max_concurrent": core.max_concurrent,
+            "elapsed_seconds": core.elapsed_seconds,
+        },
+        "live": live_entries,
+        "outcomes": [
+            {
+                "campaign_id": o.spec.campaign_id,
+                "completed": o.completed,
+                "remaining": o.remaining,
+                "total_cost": o.total_cost,
+                "penalty": o.penalty,
+                "finished_interval": o.finished_interval,
+                "cache_hit": o.cache_hit,
+                "num_solves": o.num_solves,
+            }
+            for o in core.outcomes
+        ],
+        "rng": rng_state,
+        "stats": {
+            "cache": list(engine.cache.counters()),
+            "cache_baseline": dataclasses.asdict(core._cache_baseline),
+            "batch": list(engine.planner.batch_solver.counters()),
+            "batch_baseline": dataclasses.asdict(core._batch_baseline),
+        },
+    }
+    bundle = pathlib.Path(path)
+    bundle.mkdir(parents=True, exist_ok=True)
+    # Crash-safe overwrite: the arrays payload gets a fresh unique name
+    # recorded in the manifest, both files are written to temp names and
+    # renamed into place, and the manifest rename comes *last* — so at
+    # every instant the visible manifest references a fully-written
+    # payload.  A kill mid-save (the exact event periodic checkpointing
+    # exists for) leaves the previous bundle intact, never a torn one.
+    arrays_name = f"arrays-{uuid.uuid4().hex[:12]}.npz"
+    manifest["arrays"] = arrays_name
+    tmp_arrays = bundle / (arrays_name + ".tmp")
+    with open(tmp_arrays, "wb") as fh:
+        np.savez(fh, **arrays)
+    os.replace(tmp_arrays, bundle / arrays_name)
+    tmp_manifest = bundle / (_MANIFEST + ".tmp")
+    tmp_manifest.write_text(json.dumps(_jsonable(manifest), indent=1))
+    os.replace(tmp_manifest, bundle / _MANIFEST)
+    # Best-effort cleanup of payloads no longer referenced by any manifest.
+    for stale in list(bundle.glob("arrays-*.npz")) + list(bundle.glob("*.tmp")):
+        if stale.name != arrays_name:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - cleanup is advisory
+                pass
+    return bundle
+
+
+# ----------------------------------------------------------------------
+# Restore
+# ----------------------------------------------------------------------
+def _restore_adaptive(runtime, meta: dict, cid: str, arrays) -> None:
+    if not isinstance(runtime, AdaptiveRepricer):
+        raise CheckpointError(
+            f"campaign {cid!r} carries adaptive state but replayed admission "
+            "produced a non-adaptive runtime (corrupt bundle?)"
+        )
+    cache = {
+        (int(key[0]), float(key[1])): arrays[_adaptive_key(cid, i)]
+        for i, key in enumerate(meta["cache_keys"])
+    }
+    runtime.import_state(
+        {
+            "factor": meta["factor"],
+            "observations": meta["observations"],
+            "num_solves": meta["num_solves"],
+            "active_key": (
+                None if meta["active_key"] is None else tuple(meta["active_key"])
+            ),
+            "cache": cache,
+        }
+    )
+
+
+def restore_engine(path: str | pathlib.Path) -> MarketplaceEngine | ShardedEngine:
+    """Rebuild an engine from a bundle, mid-flight session included.
+
+    The returned engine has an active serving session positioned exactly
+    where the snapshot was taken: step it with ``tick()``, keep submitting
+    between ticks, or call ``run_to_completion()`` — the finished result
+    is bit-identical to the uninterrupted run's.
+
+    Every failure mode of a bad bundle — missing, truncated, torn, or
+    inconsistent — surfaces as :class:`CheckpointError`, so callers (the
+    CLI's ``--resume``) need exactly one except clause.
+    """
+    bundle = pathlib.Path(path)
+    try:
+        return _restore(bundle)
+    except CheckpointError:
+        raise
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise CheckpointError(
+            f"corrupt or unreadable checkpoint bundle at {bundle}: {exc}"
+        ) from exc
+
+
+def _restore(bundle: pathlib.Path) -> MarketplaceEngine | ShardedEngine:
+    manifest_path = bundle / _MANIFEST
+    if not manifest_path.is_file():
+        raise CheckpointError(f"no checkpoint bundle at {bundle}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {manifest.get('version')!r} is not supported "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    arrays = np.load(
+        bundle / manifest.get("arrays", _ARRAYS), allow_pickle=False
+    )
+    cfg = manifest["config"]
+    common = dict(
+        stream=SharedArrivalStream(arrays["stream_means"]),
+        acceptance=_acceptance_from_dict(cfg["acceptance"]),
+        router=_router_from_dict(cfg["router"]),
+        cache=PolicyCache(max_entries=cfg["cache_max_entries"]),
+        planning=cfg["planning"],
+        planning_means=arrays["planning_means"],
+        truncation_eps=cfg["truncation_eps"],
+        batch_solve=cfg["batch_solve"],
+    )
+    engine: MarketplaceEngine | ShardedEngine
+    if manifest["engine"] == "sharded":
+        engine = ShardedEngine(
+            num_shards=cfg["num_shards"], executor=cfg["executor"], **common
+        )
+    elif manifest["engine"] == "marketplace":
+        engine = MarketplaceEngine(**common)
+    else:
+        raise CheckpointError(f"unknown engine kind {manifest['engine']!r}")
+    specs = [CampaignSpec(**d) for d in manifest["specs"]]
+    # Bypass submit(): these specs were validated when first submitted.
+    engine._specs = list(specs)
+    id2spec = {s.campaign_id: s for s in specs}
+    core = engine.start(seed=manifest["seed"])
+    _replay_admissions(core, manifest, id2spec, arrays, engine)
+    # Counters and clock position.
+    c = manifest["clock"]
+    core.clock = c["interval"]
+    core.intervals_run = c["intervals_run"]
+    core.total_arrivals = c["total_arrivals"]
+    core.total_considered = c["total_considered"]
+    core.total_accepted = c["total_accepted"]
+    core.max_concurrent = c["max_concurrent"]
+    core.elapsed_seconds = c["elapsed_seconds"]
+    core.outcomes = [
+        CampaignOutcome(
+            spec=id2spec[o["campaign_id"]],
+            completed=o["completed"],
+            remaining=o["remaining"],
+            total_cost=o["total_cost"],
+            penalty=o["penalty"],
+            finished_interval=o["finished_interval"],
+            cache_hit=o["cache_hit"],
+            num_solves=o["num_solves"],
+        )
+        for o in manifest["outcomes"]
+    ]
+    # The replay bumped the cache/batch counters; reset them to the
+    # interrupted session's recorded values so per-session stats are exact.
+    stats = manifest["stats"]
+    engine.cache.restore_counters(*stats["cache"])
+    engine.planner.batch_solver.restore_counters(*stats["batch"])
+    core._cache_baseline = CacheStats(**stats["cache_baseline"])
+    core._batch_baseline = BatchSolveStats(**stats["batch_baseline"])
+    return engine
+
+
+def _replay_admissions(
+    core: EngineCore, manifest: dict, id2spec: dict, arrays, engine
+) -> None:
+    """Re-admit every previously admitted campaign, rebuilding cache + state."""
+    admitted_order: list[str] = []
+    live_map: dict = {}
+    for t, ids in manifest["admissions"]:
+        group = [id2spec[cid] for cid in ids]
+        for lc in core.planner.admit_many(group):
+            live_map[lc.spec.campaign_id] = lc
+        core._admission_log.append((int(t), tuple(ids)))
+        admitted_order.extend(ids)
+    n = len(admitted_order)
+    pending_prefix = [s.campaign_id for s in core._pending[:n]]
+    if pending_prefix != admitted_order:
+        raise CheckpointError(
+            "admission log does not match the submission queue (corrupt "
+            "bundle?): expected the queue to drain as "
+            f"{admitted_order[:5]}..., found {pending_prefix[:5]}..."
+        )
+    core._next_pending = n
+    backend = core.backend
+    placed = []
+    for entry in manifest["live"]:
+        cid = entry["campaign_id"]
+        if cid not in live_map:
+            raise CheckpointError(
+                f"live campaign {cid!r} missing from the admission replay "
+                "(corrupt bundle?)"
+            )
+        lc = live_map[cid]
+        lc.remaining = entry["remaining"]
+        lc.total_cost = entry["total_cost"]
+        lc.finished_interval = entry["finished_interval"]
+        lc.cache_hit = entry["cache_hit"]
+        lc.initial_solves = entry["initial_solves"]
+        if entry["adaptive"] is not None:
+            _restore_adaptive(lc.runtime, entry["adaptive"], cid, arrays)
+        placed.append((lc, entry["rng_state"]))
+    if isinstance(backend, _PooledBackend):
+        backend.live = [lc for lc, _ in placed]
+        backend.rng = _generator_from_state(manifest["rng"])
+    elif isinstance(backend, _FactoredBackend):
+        for lc, rng_state in placed:
+            if rng_state is None:
+                raise CheckpointError(
+                    f"sharded bundle lost the generator state of campaign "
+                    f"{lc.spec.campaign_id!r}"
+                )
+            shard = backend.shards[
+                shard_of(lc.spec.campaign_id, backend.num_shards)
+            ]
+            shard.campaigns.append(
+                _ShardCampaign(lc, _generator_from_state(rng_state))
+            )
+        backend.market_rng = _generator_from_state(manifest["rng"])
+    else:  # pragma: no cover - new backends must opt into checkpointing
+        raise CheckpointError(
+            f"backend {type(backend).__name__} is not checkpointable"
+        )

@@ -1,0 +1,611 @@
+"""The unified engine clock: one tick loop behind every engine front-end.
+
+Both engine front-ends — :class:`~repro.engine.engine.MarketplaceEngine`
+and :class:`~repro.engine.sharding.ShardedEngine` — advance the same
+discrete clock over the shared arrival stream: drain newly-due campaign
+submissions, gather the live campaigns' posted rewards, split the
+interval's worker arrivals, apply completions and adaptive observations,
+and retire finished campaigns.  Historically each front-end carried its
+own ~100-line copy of that loop; this module owns it **once**.
+
+The pieces:
+
+* :class:`EngineCore` — one *serving session* of the clock.  It owns the
+  pending-submission queue, the run counters, and the explicit stepping
+  API: :meth:`EngineCore.tick` advances one interval and returns a
+  :class:`TickReport`; :meth:`EngineCore.run_to_completion` loops it;
+  :meth:`EngineCore.result` aggregates the session into an
+  :class:`EngineResult` at any point.  New campaigns may be submitted
+  *between ticks* (validated against the remaining horizon), which is
+  what a long-lived serving deployment needs.
+* :class:`ClockBackend` — the strategy interface hiding what differs
+  between the front-ends: how live campaigns are stored and how one
+  interval's arrivals are realized (one pooled generator splitting
+  realized workers, vs. per-campaign factored Poisson draws mapped over
+  shards).  The clock itself never branches on the engine flavour.
+* :class:`EngineBase` — the shared front-end surface (``submit`` /
+  ``start`` / ``tick`` / ``run`` / ``run_to_completion``) both engines
+  inherit, so submission validation and session lifecycle cannot drift
+  between them.
+* :class:`EngineResult` — the aggregate outcome of one session.
+
+Sessions are *checkpointable*: :mod:`repro.engine.checkpoint` serializes
+an :class:`EngineCore` mid-flight (pending specs, live runtime state,
+generator states, counters) and restores it bit-identically, so
+``snapshot -> restore -> finish`` equals an uninterrupted run.
+
+Stats scoping: a session snapshots the policy-cache and batch-solver
+counters when it starts and reports *per-session deltas*, so a second
+``run()`` on the same engine describes that run alone instead of leaking
+cumulative counters across runs.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.batch.solver import BatchSolveStats
+from repro.engine.cache import CacheStats
+from repro.engine.campaign import (
+    DEADLINE,
+    CampaignOutcome,
+    CampaignSpec,
+    validate_submission,
+)
+from repro.engine.planning import CampaignPlanner, _LiveCampaign
+from repro.sim.stream import SharedArrivalStream
+
+__all__ = [
+    "ClockBackend",
+    "EngineBase",
+    "EngineCore",
+    "EngineResult",
+    "TickReport",
+]
+
+
+def _submission_key(spec: CampaignSpec) -> tuple[int, str]:
+    """Admission order: by submit interval, ties broken by campaign id."""
+    return (spec.submit_interval, spec.campaign_id)
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineResult:
+    """Aggregate outcome of one engine serving session.
+
+    Attributes
+    ----------
+    outcomes:
+        Per-campaign accounting, in retirement order.
+    intervals_run:
+        Engine-clock intervals actually simulated.
+    total_arrivals:
+        Marketplace worker arrivals while any campaign was live.
+    total_considered:
+        Worker looks routed to campaigns.
+    total_accepted:
+        Workers who accepted a task (completions before capping at the
+        campaigns' open-task counts).
+    max_concurrent:
+        Peak number of simultaneously live campaigns.
+    cache_stats:
+        Policy-cache counters *for this session* (deltas against the
+        session-start snapshot, so reruns don't report cumulative stats).
+    elapsed_seconds:
+        Wall-clock spent inside the session's ticks (time the clock sat
+        idle between explicit ``tick()`` calls is not counted).
+    batch_stats:
+        Batch-solver counters for this session when it used the batched
+        admission fast path; ``None`` on the scalar path.
+    num_shards:
+        Worker shards the run was partitioned over (1 = unsharded).
+    """
+
+    outcomes: tuple[CampaignOutcome, ...]
+    intervals_run: int
+    total_arrivals: int
+    total_considered: int
+    total_accepted: int
+    max_concurrent: int
+    cache_stats: CacheStats
+    elapsed_seconds: float
+    batch_stats: BatchSolveStats | None = None
+    num_shards: int = 1
+
+    @property
+    def num_campaigns(self) -> int:
+        """Campaigns retired over the run."""
+        return len(self.outcomes)
+
+    @property
+    def total_completed(self) -> int:
+        """Tasks finished across all campaigns."""
+        return sum(o.completed for o in self.outcomes)
+
+    @property
+    def total_remaining(self) -> int:
+        """Tasks left unfinished across all campaigns."""
+        return sum(o.remaining for o in self.outcomes)
+
+    @property
+    def total_cost(self) -> float:
+        """Rewards paid across all campaigns, in cents."""
+        return sum(o.total_cost for o in self.outcomes)
+
+    @property
+    def total_penalty(self) -> float:
+        """Terminal penalties across all campaigns, in cents."""
+        return sum(o.penalty for o in self.outcomes)
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of all submitted tasks that finished."""
+        total = self.total_completed + self.total_remaining
+        return self.total_completed / total if total else 0.0
+
+    @property
+    def campaigns_per_second(self) -> float:
+        """Engine throughput: retired campaigns per wall-clock second.
+
+        Returns 0.0 when no wall-clock elapsed (a sub-resolution or empty
+        run) — never ``inf``, which ``json.dumps`` would emit as the
+        non-standard token ``Infinity`` and corrupt recorded benchmarks.
+        """
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.num_campaigns / self.elapsed_seconds
+
+    def summary(self) -> str:
+        """Human-readable run report (what ``repro engine run`` prints)."""
+        deadline = sum(1 for o in self.outcomes if o.spec.kind == DEADLINE)
+        budget = self.num_campaigns - deadline
+        adaptive = sum(1 for o in self.outcomes if o.spec.adaptive)
+        solves = sum(o.num_solves for o in self.outcomes)
+        s = self.cache_stats
+        lines = [
+            f"campaigns     : {self.num_campaigns} "
+            f"({deadline} deadline / {budget} budget; {adaptive} adaptive), "
+            f"peak {self.max_concurrent} concurrent",
+            f"intervals     : {self.intervals_run} ticks of the shared stream; "
+            f"{self.total_arrivals:,} worker arrivals, "
+            f"{self.total_accepted:,} acceptances",
+            f"tasks         : {self.total_completed:,} completed / "
+            f"{self.total_remaining:,} unfinished "
+            f"({100.0 * self.completion_rate:.1f}% completion)",
+            f"spend         : {self.total_cost / 100.0:,.2f}$ rewards + "
+            f"{self.total_penalty / 100.0:,.2f}$ penalties",
+            f"policy cache  : {s.hits} hits / {s.misses} misses "
+            f"(hit rate {100.0 * s.hit_rate:.1f}%), {s.entries} entries, "
+            f"{solves} solves total",
+        ]
+        if self.batch_stats is not None and self.batch_stats.batches:
+            b = self.batch_stats
+            lines.append(
+                f"batch solver  : {b.instances} instances in {b.batches} "
+                f"array passes (widest {b.largest_batch}, "
+                f"mean {b.mean_batch_size:.1f}/pass)"
+            )
+        shards = f" across {self.num_shards} shards" if self.num_shards > 1 else ""
+        lines.append(
+            f"throughput    : {self.num_campaigns} campaigns in "
+            f"{self.elapsed_seconds:.2f}s "
+            f"({self.campaigns_per_second:,.1f} campaigns/sec{shards})"
+        )
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class TickReport:
+    """What one :meth:`EngineCore.tick` call did.
+
+    Attributes
+    ----------
+    interval:
+        The engine-clock interval that was just processed.
+    admitted:
+        Campaigns that went live at this tick.
+    arrived:
+        Realized marketplace worker arrivals this interval (0 when idle).
+    considered:
+        Worker looks routed to live campaigns this interval.
+    accepted:
+        Workers who accepted a task this interval (before capping at the
+        campaigns' open-task counts).
+    retired:
+        Campaigns that finished or hit their horizon this tick.
+    num_live:
+        Campaigns still live *after* this tick's retirements.
+    idle:
+        True when no campaign was live this interval (the marketplace
+        idled until the next submission; no randomness was consumed).
+    """
+
+    interval: int
+    admitted: int
+    arrived: int
+    considered: int
+    accepted: int
+    retired: tuple[CampaignOutcome, ...]
+    num_live: int
+    idle: bool
+
+
+class ClockBackend(abc.ABC):
+    """Per-tick campaign mechanics behind the shared clock.
+
+    A backend owns the live-campaign storage and the arrival realization
+    for one engine flavour; :class:`EngineCore` drives it through four
+    calls per tick (place / num_live / step / retire) and never needs to
+    know whether arrivals are pooled or factored, serial or sharded.
+    Implementations set :attr:`num_shards` (1 for unsharded backends).
+    """
+
+    #: Worker shards the backend partitions campaigns over.
+    num_shards: int = 1
+
+    @abc.abstractmethod
+    def place(self, admitted: Sequence[_LiveCampaign]) -> None:
+        """Take ownership of newly admitted live campaigns."""
+
+    @abc.abstractmethod
+    def num_live(self) -> int:
+        """Number of currently live campaigns."""
+
+    @abc.abstractmethod
+    def step(self, t: int) -> tuple[int, int, int]:
+        """Realize interval ``t``: price, split arrivals, apply completions.
+
+        Feeds adaptive campaigns their observation of the realized
+        marketplace arrivals, then returns the tick's
+        ``(arrived, considered, accepted)`` totals.
+        """
+
+    @abc.abstractmethod
+    def retire(self, t: int) -> list[CampaignOutcome]:
+        """Drop campaigns that finished or expired at ``t``; return outcomes."""
+
+    def close(self) -> None:
+        """Release backend resources (executor pools); a no-op by default."""
+
+
+class EngineCore:
+    """One serving session of the engine clock, steppable tick by tick.
+
+    Create a session through an engine front-end's
+    :meth:`EngineBase.start` rather than directly — the front-end wires
+    up the right :class:`ClockBackend` and resets the session-scoped
+    policy-cache/batch-solver counters.
+
+    Parameters
+    ----------
+    stream:
+        The shared marketplace arrival stream (defines the horizon).
+    planner:
+        The :class:`~repro.engine.planning.CampaignPlanner` admissions
+        are resolved through.
+    backend:
+        The engine flavour's per-tick mechanics.
+    specs:
+        Campaigns submitted before the session started.
+    seed:
+        The session's run seed (recorded for checkpoints; the backend
+        derives its generators from it).
+    """
+
+    def __init__(
+        self,
+        stream: SharedArrivalStream,
+        planner: CampaignPlanner,
+        backend: ClockBackend,
+        specs: Sequence[CampaignSpec],
+        seed: int,
+    ):
+        self.stream = stream
+        self.planner = planner
+        self.backend = backend
+        self.seed = seed
+        self.clock = 0
+        self.outcomes: list[CampaignOutcome] = []
+        self.intervals_run = 0
+        self.total_arrivals = 0
+        self.total_considered = 0
+        self.total_accepted = 0
+        self.max_concurrent = 0
+        self.elapsed_seconds = 0.0
+        self._pending = sorted(specs, key=_submission_key)
+        self._next_pending = 0
+        # Which campaigns were admitted at which tick, in admission order —
+        # the replay script a checkpoint restore uses to rebuild the policy
+        # cache exactly as the uninterrupted session would have.
+        self._admission_log: list[tuple[int, tuple[str, ...]]] = []
+        self._cache_baseline = planner.cache.stats
+        self._batch_baseline = planner.batch_solver.stats
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_live(self) -> int:
+        """Currently live campaigns."""
+        return self.backend.num_live()
+
+    @property
+    def num_pending(self) -> int:
+        """Submitted campaigns not yet admitted."""
+        return len(self._pending) - self._next_pending
+
+    @property
+    def done(self) -> bool:
+        """True once no tick could change anything.
+
+        The clock is done when it has crossed the stream horizon, or when
+        nothing is live and nothing is pending.  A mid-flight
+        :meth:`submit` can flip a done-early session back to runnable (the
+        clock then idles forward to the new campaign's submit interval).
+        """
+        if self.clock >= self.stream.num_intervals:
+            return True
+        return self.backend.num_live() == 0 and self._next_pending >= len(
+            self._pending
+        )
+
+    # ------------------------------------------------------------------
+    # Mid-flight submission
+    # ------------------------------------------------------------------
+    def submit(self, specs: Sequence[CampaignSpec]) -> None:
+        """Queue campaigns mid-session (legal between ticks).
+
+        Each spec is validated against the *remaining* horizon: its
+        submit interval must not predate the current clock (the engine
+        cannot admit into the past), and — as at any submission — its
+        end interval must fit the stream.  Submitting a campaign before
+        its submit interval has been reached produces a run bit-identical
+        to having submitted it up front: queueing consumes no randomness.
+        """
+        batch = list(specs)
+        for spec in batch:
+            if spec.submit_interval < self.clock:
+                raise ValueError(
+                    f"campaign {spec.campaign_id!r} submits at interval "
+                    f"{spec.submit_interval}, but the engine clock is already "
+                    f"at {self.clock}"
+                )
+        tail = self._pending[self._next_pending :] + batch
+        tail.sort(key=_submission_key)
+        self._pending[self._next_pending :] = tail
+
+    # ------------------------------------------------------------------
+    # The clock
+    # ------------------------------------------------------------------
+    def tick(self) -> TickReport:
+        """Advance the clock by one interval and report what happened.
+
+        One tick = admission drain → price gathering → arrival split →
+        completion/observe → retirement, exactly the loop body both
+        engines historically duplicated.  Raises :class:`RuntimeError`
+        once the session is :attr:`done`.
+        """
+        if self.done:
+            raise RuntimeError(
+                "the engine clock is exhausted: every submitted campaign has "
+                "retired (submit more campaigns to keep serving)"
+            )
+        started = time.perf_counter()
+        t = self.clock
+        due: list[CampaignSpec] = []
+        while (
+            self._next_pending < len(self._pending)
+            and self._pending[self._next_pending].submit_interval <= t
+        ):
+            due.append(self._pending[self._next_pending])
+            self._next_pending += 1
+        if due:
+            self.backend.place(self.planner.admit_many(due))
+            self._admission_log.append((t, tuple(s.campaign_id for s in due)))
+        num_live = self.backend.num_live()
+        self.clock = t + 1
+        if num_live == 0:
+            # Marketplace idles until the next submission; no randomness
+            # is consumed, so idle gaps never shift downstream draws.
+            self.elapsed_seconds += time.perf_counter() - started
+            return TickReport(
+                interval=t, admitted=0, arrived=0, considered=0, accepted=0,
+                retired=(), num_live=0, idle=True,
+            )
+        self.intervals_run += 1
+        self.max_concurrent = max(self.max_concurrent, num_live)
+        arrived, considered, accepted = self.backend.step(t)
+        self.total_arrivals += arrived
+        self.total_considered += considered
+        self.total_accepted += accepted
+        retired = tuple(self.backend.retire(t))
+        self.outcomes.extend(retired)
+        self.elapsed_seconds += time.perf_counter() - started
+        return TickReport(
+            interval=t,
+            admitted=len(due),
+            arrived=arrived,
+            considered=considered,
+            accepted=accepted,
+            retired=retired,
+            num_live=self.backend.num_live(),
+            idle=False,
+        )
+
+    def run_to_completion(self) -> EngineResult:
+        """Tick until :attr:`done`, then return the session's result."""
+        while not self.done:
+            self.tick()
+        return self.result()
+
+    def result(self) -> EngineResult:
+        """Aggregate the session so far (callable mid-run or when done).
+
+        Cache and batch-solver stats are reported as deltas against the
+        session-start snapshot, so results describe *this* session even
+        when the underlying counters have lived through earlier runs.
+        """
+        return EngineResult(
+            outcomes=tuple(self.outcomes),
+            intervals_run=self.intervals_run,
+            total_arrivals=self.total_arrivals,
+            total_considered=self.total_considered,
+            total_accepted=self.total_accepted,
+            max_concurrent=self.max_concurrent,
+            cache_stats=self.planner.cache.stats.since(self._cache_baseline),
+            elapsed_seconds=self.elapsed_seconds,
+            batch_stats=(
+                self.planner.batch_solver.stats.since(self._batch_baseline)
+                if self.planner.batch_solve
+                else None
+            ),
+            num_shards=self.backend.num_shards,
+        )
+
+    def close(self) -> None:
+        """Release backend resources; the session stays readable."""
+        self.backend.close()
+
+
+class EngineBase(abc.ABC):
+    """Shared serving surface of the engine front-ends.
+
+    Subclasses build their stream / planner / router in ``__init__`` and
+    implement :meth:`_make_backend`; everything else — submission
+    validation, session lifecycle, the batch ``run()`` — lives here once,
+    so the front-ends cannot drift apart.
+
+    Two ways to drive the clock:
+
+    * **Batch**: ``engine.run(seed)`` — a fresh, self-contained serving
+      session run to completion.  Reruns are independent replays: the
+      policy cache is session-scoped (cleared at session start), so two
+      identical back-to-back runs report identical results *including*
+      cache and batch-solver stats.
+    * **Stepping**: ``core = engine.start(seed)`` then ``core.tick()``
+      (or ``engine.tick()``) — explicit intervals with mid-flight
+      ``submit()`` between ticks, checkpointable at any tick boundary via
+      :mod:`repro.engine.checkpoint`.
+    """
+
+    def __init__(self, stream: SharedArrivalStream, planner: CampaignPlanner):
+        self.stream = stream
+        self.planner = planner
+        self._specs: list[CampaignSpec] = []
+        self._core: EngineCore | None = None
+
+    # ------------------------------------------------------------------
+    # Planner passthroughs
+    # ------------------------------------------------------------------
+    @property
+    def planning(self) -> str:
+        """The planner's forecast mode (``"sliced"`` or ``"stationary"``)."""
+        return self.planner.planning
+
+    @property
+    def planning_means(self) -> np.ndarray:
+        """Per-interval forecast campaigns plan against."""
+        return self.planner.planning_means
+
+    @property
+    def truncation_eps(self) -> float | None:
+        """Poisson-truncation threshold handed to deadline instances."""
+        return self.planner.truncation_eps
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, specs: CampaignSpec | Sequence[CampaignSpec]) -> None:
+        """Queue campaigns for admission at their submit intervals.
+
+        Legal both before a session starts and *between ticks* of an
+        active one (mid-flight submission); in the latter case the specs
+        are additionally validated against the session's remaining
+        horizon.
+        """
+        batch = [specs] if isinstance(specs, CampaignSpec) else list(specs)
+        known = {s.campaign_id for s in self._specs}
+        validate_submission(batch, known, self.stream.num_intervals)
+        if self._core is not None:
+            self._core.submit(batch)
+        self._specs.extend(batch)
+
+    @property
+    def num_submitted(self) -> int:
+        """Campaigns queued so far."""
+        return len(self._specs)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _make_backend(self, seed: int, rng: np.random.Generator | None) -> ClockBackend:
+        """Build this engine flavour's per-tick mechanics for one session."""
+
+    def start(
+        self, seed: int = 0, rng: np.random.Generator | None = None
+    ) -> EngineCore:
+        """Begin a fresh serving session and return its stepping core.
+
+        Any previous session is closed.  The policy cache and
+        batch-solver counters are reset: memoization is scoped to one
+        serving session (shared across all of its campaigns and ticks),
+        which is what makes every session an independent, reproducible
+        replay.
+        """
+        self.close()
+        self.planner.cache.clear()
+        self.planner.batch_solver.reset()
+        backend = self._make_backend(seed, rng)
+        self._core = EngineCore(self.stream, self.planner, backend, self._specs, seed)
+        return self._core
+
+    @property
+    def core(self) -> EngineCore | None:
+        """The active serving session, or ``None`` outside one."""
+        return self._core
+
+    def tick(self) -> TickReport:
+        """Advance the active session's clock by one interval."""
+        if self._core is None:
+            raise RuntimeError(
+                "no active serving session: call start(seed) before tick()"
+            )
+        return self._core.tick()
+
+    def run_to_completion(self) -> EngineResult:
+        """Finish the active session (starting a fresh one if needed).
+
+        Like :meth:`run`, the session is over once this returns: the
+        engine holds no active core, so a later ``submit()`` queues for
+        the *next* session instead of being validated against the
+        finished session's clock.
+        """
+        core = self._core if self._core is not None else self.start()
+        try:
+            return core.run_to_completion()
+        finally:
+            core.close()
+            self._core = None
+
+    def run(
+        self, seed: int = 0, rng: np.random.Generator | None = None
+    ) -> EngineResult:
+        """Run a fresh session until every submitted campaign has retired."""
+        core = self.start(seed=seed, rng=rng)
+        try:
+            return core.run_to_completion()
+        finally:
+            core.close()
+            self._core = None
+
+    def close(self) -> None:
+        """End any active session, releasing executor resources."""
+        if self._core is not None:
+            self._core.close()
+            self._core = None

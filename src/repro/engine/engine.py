@@ -5,18 +5,27 @@ deadline MDP and budget LP/DP, heterogeneous sizes and horizons, staggered
 submissions — over **one** shared NHPP worker stream, instead of solving
 and simulating each batch in isolation as the paper's experiments do.
 
-The engine advances a discrete clock over the stream's intervals.  Each
-tick it (1) admits newly-submitted campaigns, solving their policies
-through a :class:`~repro.engine.cache.PolicyCache` so identical instances
-are solved once — by default all of a tick's cache misses are drained in
-one stacked array pass through the :mod:`repro.core.batch` kernels —
-(2) collects the reward every live campaign posts for the interval,
-(3) draws the interval's marketplace arrivals from the shared
+The engine advances the discrete clock owned by
+:class:`~repro.engine.clock.EngineCore` (one loop shared with
+:class:`~repro.engine.sharding.ShardedEngine`).  Each tick it (1) admits
+newly-submitted campaigns, solving their policies through a
+:class:`~repro.engine.cache.PolicyCache` so identical instances are solved
+once — by default all of a tick's cache misses are drained in one stacked
+array pass through the :mod:`repro.core.batch` kernels — (2) collects the
+reward every live campaign posts for the interval, (3) draws the
+interval's marketplace arrivals from the shared
 :class:`~repro.sim.stream.SharedArrivalStream` and splits them across
 campaigns via a pluggable :class:`~repro.engine.routing.ArrivalRouter`,
 (4) feeds realized arrivals to adaptive campaigns
 (:class:`~repro.core.deadline.adaptive.AdaptiveRepricer`) so they re-plan
 mid-flight, and (5) retires campaigns that finished or hit their horizon.
+
+What this module adds on top of the shared clock is the *pooled* arrival
+backend: one run-level generator draws the interval's realized worker
+count and the router splits those realized workers across the live
+campaigns.  Beyond the batch ``run()``, the engine can be stepped tick by
+tick (``start()`` / ``tick()``), accepts mid-flight submissions between
+ticks, and checkpoints/resumes through :mod:`repro.engine.checkpoint`.
 
 Campaign *planning* can run in two modes: ``"sliced"`` plans each campaign
 against its own time-aligned slice of the forecast (maximum fidelity), and
@@ -34,21 +43,14 @@ deterministically.
 
 from __future__ import annotations
 
-import dataclasses
-import time
 from typing import Sequence
 
 import numpy as np
 
-from repro.core.batch.solver import BatchSolveStats
 from repro.core.deadline.model import DeadlineProblem
-from repro.engine.cache import CacheStats, PolicyCache
-from repro.engine.campaign import (
-    DEADLINE,
-    CampaignOutcome,
-    CampaignSpec,
-    validate_submission,
-)
+from repro.engine.cache import PolicyCache
+from repro.engine.campaign import CampaignOutcome, CampaignSpec
+from repro.engine.clock import ClockBackend, EngineBase, EngineResult
 from repro.engine.planning import (
     PLANNING_MODES,
     CampaignPlanner,
@@ -62,125 +64,72 @@ from repro.sim.stream import SharedArrivalStream
 __all__ = ["MarketplaceEngine", "EngineResult", "PLANNING_MODES"]
 
 
-@dataclasses.dataclass(frozen=True)
-class EngineResult:
-    """Aggregate outcome of one engine run.
+class _PooledBackend(ClockBackend):
+    """Pooled-arrival mechanics: one generator, router-split realized workers.
 
-    Attributes
-    ----------
-    outcomes:
-        Per-campaign accounting, in retirement order.
-    intervals_run:
-        Engine-clock intervals actually simulated.
-    total_arrivals:
-        Marketplace worker arrivals while any campaign was live.
-    total_considered:
-        Worker looks routed to campaigns.
-    total_accepted:
-        Workers who accepted a task (completions before capping at the
-        campaigns' open-task counts).
-    max_concurrent:
-        Peak number of simultaneously live campaigns.
-    cache_stats:
-        Policy-cache counters at the end of the run.
-    elapsed_seconds:
-        Wall-clock duration of the run.
-    batch_stats:
-        Batch-solver counters when the run used the batched admission
-        fast path; ``None`` on the scalar path.
-    num_shards:
-        Worker shards the run was partitioned over (1 = unsharded).
+    Live campaigns are kept in admission order (retired ones removed),
+    which fixes the order the price vector — and therefore the router's
+    multinomial draw — is laid out in, making runs reproducible under a
+    seed.
     """
 
-    outcomes: tuple[CampaignOutcome, ...]
-    intervals_run: int
-    total_arrivals: int
-    total_considered: int
-    total_accepted: int
-    max_concurrent: int
-    cache_stats: CacheStats
-    elapsed_seconds: float
-    batch_stats: BatchSolveStats | None = None
-    num_shards: int = 1
+    num_shards = 1
 
-    @property
-    def num_campaigns(self) -> int:
-        """Campaigns retired over the run."""
-        return len(self.outcomes)
+    def __init__(
+        self,
+        stream: SharedArrivalStream,
+        router: ArrivalRouter,
+        rng: np.random.Generator,
+    ):
+        self.stream = stream
+        self.router = router
+        self.rng = rng
+        self.live: list[_LiveCampaign] = []
 
-    @property
-    def total_completed(self) -> int:
-        """Tasks finished across all campaigns."""
-        return sum(o.completed for o in self.outcomes)
+    def place(self, admitted: Sequence[_LiveCampaign]) -> None:
+        self.live.extend(admitted)
 
-    @property
-    def total_remaining(self) -> int:
-        """Tasks left unfinished across all campaigns."""
-        return sum(o.remaining for o in self.outcomes)
+    def num_live(self) -> int:
+        return len(self.live)
 
-    @property
-    def total_cost(self) -> float:
-        """Rewards paid across all campaigns, in cents."""
-        return sum(o.total_cost for o in self.outcomes)
-
-    @property
-    def total_penalty(self) -> float:
-        """Terminal penalties across all campaigns, in cents."""
-        return sum(o.penalty for o in self.outcomes)
-
-    @property
-    def completion_rate(self) -> float:
-        """Fraction of all submitted tasks that finished."""
-        total = self.total_completed + self.total_remaining
-        return self.total_completed / total if total else 0.0
-
-    @property
-    def campaigns_per_second(self) -> float:
-        """Engine throughput: retired campaigns per wall-clock second."""
-        if self.elapsed_seconds <= 0:
-            return float("inf")
-        return self.num_campaigns / self.elapsed_seconds
-
-    def summary(self) -> str:
-        """Human-readable run report (what ``repro engine run`` prints)."""
-        deadline = sum(1 for o in self.outcomes if o.spec.kind == DEADLINE)
-        budget = self.num_campaigns - deadline
-        adaptive = sum(1 for o in self.outcomes if o.spec.adaptive)
-        solves = sum(o.num_solves for o in self.outcomes)
-        s = self.cache_stats
-        lines = [
-            f"campaigns     : {self.num_campaigns} "
-            f"({deadline} deadline / {budget} budget; {adaptive} adaptive), "
-            f"peak {self.max_concurrent} concurrent",
-            f"intervals     : {self.intervals_run} ticks of the shared stream; "
-            f"{self.total_arrivals:,} worker arrivals, "
-            f"{self.total_accepted:,} acceptances",
-            f"tasks         : {self.total_completed:,} completed / "
-            f"{self.total_remaining:,} unfinished "
-            f"({100.0 * self.completion_rate:.1f}% completion)",
-            f"spend         : {self.total_cost / 100.0:,.2f}$ rewards + "
-            f"{self.total_penalty / 100.0:,.2f}$ penalties",
-            f"policy cache  : {s.hits} hits / {s.misses} misses "
-            f"(hit rate {100.0 * s.hit_rate:.1f}%), {s.entries} entries, "
-            f"{solves} solves total",
-        ]
-        if self.batch_stats is not None and self.batch_stats.batches:
-            b = self.batch_stats
-            lines.append(
-                f"batch solver  : {b.instances} instances in {b.batches} "
-                f"array passes (widest {b.largest_batch}, "
-                f"mean {b.mean_batch_size:.1f}/pass)"
-            )
-        shards = f" across {self.num_shards} shards" if self.num_shards > 1 else ""
-        lines.append(
-            f"throughput    : {self.num_campaigns} campaigns in "
-            f"{self.elapsed_seconds:.2f}s "
-            f"({self.campaigns_per_second:,.1f} campaigns/sec{shards})"
+    def step(self, t: int) -> tuple[int, int, int]:
+        live = self.live
+        prices = np.array(
+            [c.runtime.price(c.remaining, t - c.spec.submit_interval) for c in live]
         )
-        return "\n".join(lines)
+        arrived = self.stream.sample(t, self.rng)
+        considered, accepted = self.router.split(arrived, prices, self.rng)
+        accepted_total = 0
+        for campaign, taken, price in zip(live, accepted, prices):
+            accepted_total += int(taken)
+            done = min(int(taken), campaign.remaining)
+            if done == 0:
+                continue
+            campaign.total_cost += campaign.charge(done, float(price))
+            campaign.remaining -= done
+            if campaign.remaining == 0:
+                campaign.finished_interval = t
+        # Adaptive campaigns observe the interval's realized marketplace
+        # arrivals after pricing it (no peeking at the future).
+        for campaign in live:
+            observe = getattr(campaign.runtime, "observe", None)
+            if observe is not None:
+                observe(t - campaign.spec.submit_interval, arrived)
+        return arrived, int(considered.sum()), accepted_total
+
+    def retire(self, t: int) -> list[CampaignOutcome]:
+        outcomes: list[CampaignOutcome] = []
+        still_live: list[_LiveCampaign] = []
+        for campaign in self.live:
+            if campaign.remaining == 0 or t + 1 >= campaign.spec.end_interval:
+                outcomes.append(campaign.outcome())
+            else:
+                still_live.append(campaign)
+        self.live = still_live
+        return outcomes
 
 
-class MarketplaceEngine:
+class MarketplaceEngine(EngineBase):
     """Discrete-time engine multiplexing campaigns over one worker stream.
 
     Parameters
@@ -197,7 +146,9 @@ class MarketplaceEngine:
     cache:
         Policy cache shared by all admissions; defaults to a fresh
         :class:`PolicyCache`.  Pass ``PolicyCache(max_entries=0)`` to
-        disable memoization.
+        disable memoization.  Memoization is scoped to one serving
+        session: each ``run()``/``start()`` begins with a cleared cache,
+        so reruns are independent replays.
     planning:
         ``"sliced"`` or ``"stationary"`` (see module docstring).
     planning_means:
@@ -224,11 +175,10 @@ class MarketplaceEngine:
         truncation_eps: float | None = 1e-9,
         batch_solve: bool = True,
     ):
-        self.stream = stream
         self.acceptance = acceptance
         self.router = router if router is not None else default_router(acceptance)
         self.cache = cache if cache is not None else PolicyCache()
-        self.planner = CampaignPlanner(
+        planner = CampaignPlanner(
             acceptance=acceptance,
             cache=self.cache,
             planning=planning,
@@ -238,37 +188,7 @@ class MarketplaceEngine:
             truncation_eps=truncation_eps,
             batch_solve=batch_solve,
         )
-        self._specs: list[CampaignSpec] = []
-
-    @property
-    def planning(self) -> str:
-        """The planner's forecast mode (``"sliced"`` or ``"stationary"``)."""
-        return self.planner.planning
-
-    @property
-    def planning_means(self) -> np.ndarray:
-        """Per-interval forecast campaigns plan against."""
-        return self.planner.planning_means
-
-    @property
-    def truncation_eps(self) -> float | None:
-        """Poisson-truncation threshold handed to deadline instances."""
-        return self.planner.truncation_eps
-
-    # ------------------------------------------------------------------
-    # Submission
-    # ------------------------------------------------------------------
-    def submit(self, specs: CampaignSpec | Sequence[CampaignSpec]) -> None:
-        """Queue campaigns for admission at their submit intervals."""
-        batch = [specs] if isinstance(specs, CampaignSpec) else list(specs)
-        known = {s.campaign_id for s in self._specs}
-        validate_submission(batch, known, self.stream.num_intervals)
-        self._specs.extend(batch)
-
-    @property
-    def num_submitted(self) -> int:
-        """Campaigns queued so far."""
-        return len(self._specs)
+        super().__init__(stream, planner)
 
     # ------------------------------------------------------------------
     # Planning
@@ -286,79 +206,11 @@ class MarketplaceEngine:
         return self.planner.admit(spec)
 
     # ------------------------------------------------------------------
-    # The clock
+    # The clock (shared EngineCore; this engine only supplies the backend)
     # ------------------------------------------------------------------
-    def run(
-        self, seed: int = 0, rng: np.random.Generator | None = None
-    ) -> EngineResult:
-        """Run the clock until every submitted campaign has retired."""
+    def _make_backend(
+        self, seed: int, rng: np.random.Generator | None
+    ) -> _PooledBackend:
+        """One pooled backend per session: the run generator and live list."""
         rng = rng if rng is not None else np.random.default_rng(seed)
-        start_time = time.perf_counter()
-        pending = sorted(self._specs, key=lambda s: (s.submit_interval, s.campaign_id))
-        next_pending = 0
-        live: list[_LiveCampaign] = []
-        outcomes: list[CampaignOutcome] = []
-        total_arrivals = 0
-        total_considered = 0
-        total_accepted = 0
-        max_concurrent = 0
-        intervals_run = 0
-        for t in range(self.stream.num_intervals):
-            due: list[CampaignSpec] = []
-            while (
-                next_pending < len(pending)
-                and pending[next_pending].submit_interval <= t
-            ):
-                due.append(pending[next_pending])
-                next_pending += 1
-            if due:
-                live.extend(self.planner.admit_many(due))
-            if not live:
-                if next_pending >= len(pending):
-                    break  # nothing live, nothing coming: done early
-                continue  # marketplace idles until the next submission
-            intervals_run += 1
-            max_concurrent = max(max_concurrent, len(live))
-            prices = np.array(
-                [c.runtime.price(c.remaining, t - c.spec.submit_interval) for c in live]
-            )
-            arrived = self.stream.sample(t, rng)
-            total_arrivals += arrived
-            considered, accepted = self.router.split(arrived, prices, rng)
-            total_considered += int(considered.sum())
-            for campaign, taken, price in zip(live, accepted, prices):
-                total_accepted += int(taken)
-                done = min(int(taken), campaign.remaining)
-                if done == 0:
-                    continue
-                campaign.total_cost += campaign.charge(done, float(price))
-                campaign.remaining -= done
-                if campaign.remaining == 0:
-                    campaign.finished_interval = t
-            # Adaptive campaigns observe the interval's realized marketplace
-            # arrivals after pricing it (no peeking at the future).
-            for campaign in live:
-                observe = getattr(campaign.runtime, "observe", None)
-                if observe is not None:
-                    observe(t - campaign.spec.submit_interval, arrived)
-            still_live: list[_LiveCampaign] = []
-            for campaign in live:
-                if campaign.remaining == 0 or t + 1 >= campaign.spec.end_interval:
-                    outcomes.append(campaign.outcome())
-                else:
-                    still_live.append(campaign)
-            live = still_live
-        elapsed = time.perf_counter() - start_time
-        batch = self.planner.batch_solver.stats
-        return EngineResult(
-            outcomes=tuple(outcomes),
-            intervals_run=intervals_run,
-            total_arrivals=total_arrivals,
-            total_considered=total_considered,
-            total_accepted=total_accepted,
-            max_concurrent=max_concurrent,
-            cache_stats=self.cache.stats,
-            elapsed_seconds=elapsed,
-            batch_stats=batch if self.planner.batch_solve else None,
-            num_shards=1,
-        )
+        return _PooledBackend(self.stream, self.router, rng)

@@ -33,6 +33,19 @@ from repro.market.acceptance import AcceptanceModel, LogitAcceptance
 __all__ = ["ArrivalRouter", "LogitRouter", "UniformRouter", "default_router"]
 
 
+def _logit_weights(model: LogitAcceptance, price_arr: np.ndarray) -> np.ndarray:
+    """Exponentiated logit utilities ``e_i = exp(c_i / s - b)``, clipped.
+
+    The single choice-weight computation shared by
+    :meth:`LogitRouter.split` and :meth:`LogitRouter.fractions`, so the
+    realized-split and factored-fraction paths can never disagree on the
+    weights (the :class:`~repro.engine.sharding.ShardedEngine` invariance
+    proof relies on both using the same ``e_i``).
+    """
+    utilities = np.clip(price_arr / model.s - model.b, None, 700.0)
+    return np.exp(utilities)
+
+
 def default_router(acceptance: AcceptanceModel) -> "ArrivalRouter":
     """The router both engines default to for a given acceptance model.
 
@@ -117,8 +130,7 @@ class LogitRouter(ArrivalRouter):
         if k == 0 or arrived == 0:
             zero = np.zeros(k, dtype=int)
             return zero, zero.copy()
-        utilities = np.clip(price_arr / self.model.s - self.model.b, None, 700.0)
-        weights = np.exp(utilities)
+        weights = _logit_weights(self.model, price_arr)
         denom = weights.sum() + self.model.m
         pvals = np.append(weights / denom, self.model.m / denom)
         draws = rng.multinomial(arrived, pvals)
@@ -133,8 +145,7 @@ class LogitRouter(ArrivalRouter):
         if price_arr.size == 0:
             empty = np.zeros(0)
             return empty, empty.copy()
-        utilities = np.clip(price_arr / self.model.s - self.model.b, None, 700.0)
-        weights = np.exp(utilities)
+        weights = _logit_weights(self.model, price_arr)
         accept = weights / (weights.sum() + self.model.m)
         return accept, accept.copy()
 
@@ -158,20 +169,24 @@ class UniformRouter(ArrivalRouter):
     def split(
         self, arrived: int, prices: Sequence[float], rng: np.random.Generator
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Uniform attention split followed by per-campaign Bernoulli acceptance."""
+        """Uniform attention split followed by per-campaign Bernoulli acceptance.
+
+        The acceptance thinning is one vectorized ``rng.binomial`` call
+        over *every* campaign — including those whose price draws zero
+        acceptance or zero attention — so the generator always sees the
+        same call pattern per tick.  Skipping draws conditionally (the old
+        behaviour) made every later draw of the run depend on whether any
+        posted price happened to hit ``p(c) == 0``.
+        """
         price_arr = self._validate(arrived, prices)
         k = price_arr.size
         if k == 0 or arrived == 0:
             zero = np.zeros(k, dtype=int)
             return zero, zero.copy()
         considered = rng.multinomial(arrived, np.full(k, 1.0 / k))
-        accepted = np.zeros(k, dtype=int)
-        for i in range(k):
-            if considered[i] == 0:
-                continue
-            p = self.acceptance.probability(float(price_arr[i]))
-            accepted[i] = int(rng.binomial(considered[i], p)) if p > 0 else 0
-        return considered.astype(int), accepted
+        probs = np.clip(self.acceptance.probabilities(price_arr), 0.0, 1.0)
+        accepted = rng.binomial(considered, probs)
+        return considered.astype(int), accepted.astype(int)
 
     def fractions(self, prices: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
         """Uniform attention ``1/K`` per campaign, acceptance ``p(c_i)/K``."""

@@ -4,7 +4,11 @@
 submitted campaign set is partitioned over ``N`` worker shards by a stable
 hash of the campaign id, and each tick's pricing/acceptance work is mapped
 over the shards through a pluggable executor (serial loop, thread pool, or
-any ``concurrent.futures.Executor``).
+any ``concurrent.futures.Executor``).  The clock itself is the shared
+:class:`~repro.engine.clock.EngineCore`; this module only supplies the
+*factored* arrival backend each session runs on, so the sharded engine
+inherits tick stepping, mid-flight submission, and checkpoint/resume from
+the same loop the unsharded engine uses.
 
 **Deterministic stream splitting.**  The shared NHPP worker stream is
 split by *Poisson factorization* rather than by handing realized workers
@@ -29,15 +33,14 @@ price vector, which is the only cross-shard coordination each tick needs.
 from __future__ import annotations
 
 import concurrent.futures
-import time
 import zlib
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, TypeVar
 
 import numpy as np
 
 from repro.engine.cache import PolicyCache
-from repro.engine.engine import EngineResult
-from repro.engine.campaign import CampaignOutcome, CampaignSpec, validate_submission
+from repro.engine.campaign import CampaignOutcome
+from repro.engine.clock import ClockBackend, EngineBase, EngineResult
 from repro.engine.planning import (
     CampaignPlanner,
     _LiveCampaign,
@@ -169,7 +172,112 @@ class _Shard:
         return outcomes
 
 
-class ShardedEngine:
+class _FactoredBackend(ClockBackend):
+    """Sharded mechanics: factored per-campaign draws mapped over shards.
+
+    Owns the shard array, the coordinator's walk-away generator, and the
+    (lazily created) thread pool for the ``"thread"`` executor — pool
+    lifetime matches the serving session, so tick stepping does not spin
+    a pool per interval.
+    """
+
+    def __init__(
+        self,
+        stream: SharedArrivalStream,
+        router: ArrivalRouter,
+        num_shards: int,
+        seed: int,
+        executor: str | concurrent.futures.Executor,
+    ):
+        self.stream = stream
+        self.router = router
+        self.num_shards = num_shards
+        self.seed = seed
+        self.executor = executor
+        self.shards = [_Shard(i) for i in range(num_shards)]
+        self.market_rng = np.random.default_rng([seed, _MARKET_STREAM])
+        self._own_pool: concurrent.futures.ThreadPoolExecutor | None = None
+
+    def _pool(self) -> concurrent.futures.Executor | None:
+        if isinstance(self.executor, concurrent.futures.Executor):
+            return self.executor
+        if self.executor == "thread" and self.num_shards > 1:
+            if self._own_pool is None:
+                self._own_pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.num_shards, thread_name_prefix="repro-shard"
+                )
+            return self._own_pool
+        return None
+
+    def _map(self, fn: Callable[[_Shard], _T]) -> list[_T]:
+        pool = self._pool()
+        if pool is None:
+            return [fn(shard) for shard in self.shards]
+        return list(pool.map(fn, self.shards))
+
+    def place(self, admitted) -> None:
+        for live in admitted:
+            cid = live.spec.campaign_id
+            self.shards[shard_of(cid, self.num_shards)].campaigns.append(
+                _ShardCampaign(live, _campaign_rng(self.seed, cid))
+            )
+
+    def num_live(self) -> int:
+        return sum(len(s.campaigns) for s in self.shards)
+
+    def step(self, t: int) -> tuple[int, int, int]:
+        # Phase 1 — gather posted rewards, then compute the tick's choice
+        # fractions over the *canonically ordered* global price vector so
+        # float summation (and therefore every fraction) is independent of
+        # the shard layout.
+        posted = [
+            pair
+            for shard_prices in self._map(lambda s: s.prices(t))
+            for pair in shard_prices
+        ]
+        posted.sort(key=lambda pair: pair[0])
+        price_vec = np.array([price for _, price in posted])
+        accept_q, consider_q = self.router.fractions(price_vec)
+        fractions = {
+            cid: (float(a), float(c))
+            for (cid, _), a, c in zip(posted, accept_q, consider_q)
+        }
+        prices = {cid: float(price) for cid, price in posted}
+        mean_t = self.stream.mean(t)
+        # The coordinator owns the walk-away remainder of the factored
+        # arrival process (drawn every live tick so its stream position
+        # never depends on the shard layout).
+        walked = int(
+            self.market_rng.poisson(
+                mean_t * max(1.0 - float(consider_q.sum()), 0.0)
+            )
+        )
+        # Phase 2 — factored acceptance draws + completions.
+        step_totals = self._map(lambda s: s.step(t, mean_t, fractions, prices))
+        considered = sum(c for c, _ in step_totals)
+        accepted = sum(a for _, a in step_totals)
+        arrived = walked + considered
+        # Phase 3 — adaptive campaigns observe the realized marketplace
+        # arrivals (walk-aways included).
+        self._map(lambda s: s.observe(t, arrived))
+        return arrived, considered, accepted
+
+    def retire(self, t: int) -> list[CampaignOutcome]:
+        retired = [
+            outcome
+            for shard_outcomes in self._map(lambda s: s.retire(t))
+            for outcome in shard_outcomes
+        ]
+        retired.sort(key=lambda o: o.spec.campaign_id)
+        return retired
+
+    def close(self) -> None:
+        if self._own_pool is not None:
+            self._own_pool.shutdown()
+            self._own_pool = None
+
+
+class ShardedEngine(EngineBase):
     """Multi-shard marketplace engine: same semantics, parallel campaigns.
 
     Parameters
@@ -185,7 +293,8 @@ class ShardedEngine:
         like :class:`~repro.engine.engine.MarketplaceEngine`.
     cache:
         Shared policy cache (admission runs on the coordinator, so the
-        cache needs no locking).
+        cache needs no locking).  Session-scoped, as in the unsharded
+        engine.
     planning, planning_means, truncation_eps, batch_solve:
         Forwarded to the shared :class:`CampaignPlanner` — identical
         meaning to the unsharded engine.
@@ -221,13 +330,12 @@ class ShardedEngine:
             raise ValueError(
                 "process pools are not supported: shards mutate shared state"
             )
-        self.stream = stream
         self.acceptance = acceptance
         self.num_shards = num_shards
         self.router = router if router is not None else default_router(acceptance)
         self.cache = cache if cache is not None else PolicyCache()
         self.executor = executor
-        self.planner = CampaignPlanner(
+        planner = CampaignPlanner(
             acceptance=acceptance,
             cache=self.cache,
             planning=planning,
@@ -237,155 +345,28 @@ class ShardedEngine:
             truncation_eps=truncation_eps,
             batch_solve=batch_solve,
         )
-        self._specs: list[CampaignSpec] = []
+        super().__init__(stream, planner)
 
     # ------------------------------------------------------------------
-    # Submission
+    # The clock (shared EngineCore; this engine only supplies the backend)
     # ------------------------------------------------------------------
-    def submit(self, specs: CampaignSpec | Sequence[CampaignSpec]) -> None:
-        """Queue campaigns for admission at their submit intervals."""
-        batch = [specs] if isinstance(specs, CampaignSpec) else list(specs)
-        known = {s.campaign_id for s in self._specs}
-        validate_submission(batch, known, self.stream.num_intervals)
-        self._specs.extend(batch)
+    def _make_backend(
+        self, seed: int, rng: np.random.Generator | None
+    ) -> _FactoredBackend:
+        """One factored backend per session; all generators derive from ``seed``."""
+        if rng is not None:
+            raise ValueError(
+                "ShardedEngine derives per-campaign generators from the seed; "
+                "pass seed= instead of a Generator"
+            )
+        return _FactoredBackend(
+            self.stream, self.router, self.num_shards, seed, self.executor
+        )
 
-    @property
-    def num_submitted(self) -> int:
-        """Campaigns queued so far."""
-        return len(self._specs)
-
-    # ------------------------------------------------------------------
-    # The clock
-    # ------------------------------------------------------------------
-    def _map(
-        self,
-        pool: concurrent.futures.Executor | None,
-        fn: Callable[[_Shard], _T],
-        shards: list[_Shard],
-    ) -> list[_T]:
-        """Apply ``fn`` to every shard, serially or through the pool."""
-        if pool is None:
-            return [fn(shard) for shard in shards]
-        return list(pool.map(fn, shards))
-
-    def run(self, seed: int = 0) -> EngineResult:
+    def run(self, seed: int = 0, rng: np.random.Generator | None = None) -> EngineResult:
         """Run the clock until every submitted campaign has retired.
 
         The result is bit-identical for any ``num_shards`` and executor:
         same seed, same per-campaign outcomes (see module docstring).
         """
-        start_time = time.perf_counter()
-        pending = sorted(self._specs, key=lambda s: (s.submit_interval, s.campaign_id))
-        next_pending = 0
-        shards = [_Shard(i) for i in range(self.num_shards)]
-        market_rng = np.random.default_rng([seed, _MARKET_STREAM])
-        outcomes: list[CampaignOutcome] = []
-        total_arrivals = 0
-        total_considered = 0
-        total_accepted = 0
-        max_concurrent = 0
-        intervals_run = 0
-        own_pool = (
-            concurrent.futures.ThreadPoolExecutor(
-                max_workers=self.num_shards, thread_name_prefix="repro-shard"
-            )
-            if self.executor == "thread" and self.num_shards > 1
-            else None
-        )
-        pool = (
-            self.executor
-            if isinstance(self.executor, concurrent.futures.Executor)
-            else own_pool
-        )
-        try:
-            for t in range(self.stream.num_intervals):
-                due: list[CampaignSpec] = []
-                while (
-                    next_pending < len(pending)
-                    and pending[next_pending].submit_interval <= t
-                ):
-                    due.append(pending[next_pending])
-                    next_pending += 1
-                if due:
-                    # Admission (and the policy cache behind it) runs on the
-                    # coordinator: one batched solve pass for the whole tick.
-                    for spec, live in zip(due, self.planner.admit_many(due)):
-                        shard = shards[shard_of(spec.campaign_id, self.num_shards)]
-                        shard.campaigns.append(
-                            _ShardCampaign(live, _campaign_rng(seed, spec.campaign_id))
-                        )
-                num_live = sum(len(s.campaigns) for s in shards)
-                if num_live == 0:
-                    if next_pending >= len(pending):
-                        break  # nothing live, nothing coming: done early
-                    continue  # marketplace idles until the next submission
-                intervals_run += 1
-                max_concurrent = max(max_concurrent, num_live)
-                # Phase 1 — gather posted rewards, then compute the tick's
-                # choice fractions over the *canonically ordered* global
-                # price vector so float summation (and therefore every
-                # fraction) is independent of the shard layout.
-                posted = [
-                    pair
-                    for shard_prices in self._map(pool, lambda s: s.prices(t), shards)
-                    for pair in shard_prices
-                ]
-                posted.sort(key=lambda pair: pair[0])
-                price_vec = np.array([price for _, price in posted])
-                accept_q, consider_q = self.router.fractions(price_vec)
-                fractions = {
-                    cid: (float(a), float(c))
-                    for (cid, _), a, c in zip(posted, accept_q, consider_q)
-                }
-                prices = {cid: float(price) for cid, price in posted}
-                mean_t = self.stream.mean(t)
-                # The coordinator owns the walk-away remainder of the
-                # factored arrival process (drawn every live tick so its
-                # stream position never depends on the shard layout).
-                walked = int(
-                    market_rng.poisson(
-                        mean_t * max(1.0 - float(consider_q.sum()), 0.0)
-                    )
-                )
-                # Phase 2 — factored acceptance draws + completions.
-                step_totals = self._map(
-                    pool,
-                    lambda s: s.step(t, mean_t, fractions, prices),
-                    shards,
-                )
-                considered = sum(c for c, _ in step_totals)
-                accepted = sum(a for _, a in step_totals)
-                total_considered += considered
-                total_accepted += accepted
-                arrived = walked + considered
-                total_arrivals += arrived
-                # Phase 3 — adaptive campaigns observe the realized
-                # marketplace arrivals (walk-aways included), then retire.
-                self._map(pool, lambda s: s.observe(t, arrived), shards)
-                retired = [
-                    outcome
-                    for shard_outcomes in self._map(
-                        pool, lambda s: s.retire(t), shards
-                    )
-                    for outcome in shard_outcomes
-                ]
-                retired.sort(key=lambda o: o.spec.campaign_id)
-                outcomes.extend(retired)
-        finally:
-            if own_pool is not None:
-                own_pool.shutdown()
-        elapsed = time.perf_counter() - start_time
-        return EngineResult(
-            outcomes=tuple(outcomes),
-            intervals_run=intervals_run,
-            total_arrivals=total_arrivals,
-            total_considered=total_considered,
-            total_accepted=total_accepted,
-            max_concurrent=max_concurrent,
-            cache_stats=self.cache.stats,
-            elapsed_seconds=elapsed,
-            batch_stats=(
-                self.planner.batch_solver.stats if self.planner.batch_solve else None
-            ),
-            num_shards=self.num_shards,
-        )
+        return super().run(seed=seed, rng=rng)

@@ -105,3 +105,12 @@ class AdaptiveRatePredictor:
         """Forget all observations (factor back to 1.0)."""
         self._factor = 1.0
         self._observations = 0
+
+    def export_state(self) -> tuple[float, int]:
+        """The mutable state ``(factor, num_observations)`` for checkpoints."""
+        return (self._factor, self._observations)
+
+    def import_state(self, factor: float, observations: int) -> None:
+        """Restore state captured by :meth:`export_state` (checkpoint resume)."""
+        self._factor = float(np.clip(factor, self.min_factor, self.max_factor))
+        self._observations = int(observations)

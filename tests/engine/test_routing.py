@@ -106,3 +106,63 @@ class TestUniformRouter:
         considered, accepted = router.split(10_000, [1.0, 30.0], rng)
         assert accepted[0] == 0
         assert accepted[1] > 0
+
+
+class _CountingGenerator:
+    """Duck-typed generator proxy counting the router's draw calls."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+        self.multinomial_calls = 0
+        self.binomial_calls = 0
+
+    def multinomial(self, n, pvals):
+        self.multinomial_calls += 1
+        return self._rng.multinomial(n, pvals)
+
+    def binomial(self, n, p):
+        self.binomial_calls += 1
+        return self._rng.binomial(n, p)
+
+
+class TestUniformRouterDrawDiscipline:
+    """Regression for conditional RNG consumption (the ``if p > 0`` skip).
+
+    The router must issue the *same sequence of generator calls* whatever
+    the posted prices, otherwise every later draw of an engine run shifts
+    depending on whether some price happened to hit zero acceptance —
+    silently decorrelating runs that differ only in one campaign's policy.
+    """
+
+    ZERO_BELOW_10 = EmpiricalAcceptance({10.0: 0.0, 30.0: 0.5})
+
+    def test_zero_acceptance_price_still_draws(self):
+        router = UniformRouter(self.ZERO_BELOW_10)
+        with_zero = _CountingGenerator()
+        router.split(500, [5.0, 20.0], with_zero)
+        without_zero = _CountingGenerator()
+        router.split(500, [15.0, 20.0], without_zero)
+        assert with_zero.multinomial_calls == without_zero.multinomial_calls == 1
+        assert with_zero.binomial_calls == without_zero.binomial_calls == 1
+
+    def test_zero_acceptance_price_accepts_nothing(self, rng):
+        router = UniformRouter(self.ZERO_BELOW_10)
+        considered, accepted = router.split(10_000, [5.0, 25.0], rng)
+        assert accepted[0] == 0
+        assert considered[0] > 0  # attention was still spent
+        assert accepted[1] > 0
+
+
+class TestLogitWeightHelper:
+    def test_split_and_fractions_share_the_same_weights(self, logit_router):
+        """The realized split's choice law must equal the factored
+        fractions — the sharding invariance proof rests on it."""
+        prices = [4.0, 12.0, 27.0]
+        accept, consider = logit_router.fractions(prices)
+        arrived = 2_000_000
+        considered, accepted = logit_router.split(
+            arrived, prices, np.random.default_rng(6)
+        )
+        np.testing.assert_array_equal(considered, accepted)
+        np.testing.assert_allclose(accepted / arrived, accept, atol=5e-4)
+        assert consider == pytest.approx(list(accept))

@@ -167,6 +167,61 @@ class TestEngineCommand:
         assert "fits" in capsys.readouterr().err
 
 
+class TestEngineCheckpointCLI:
+    WORKLOAD = [
+        "--campaigns", "8",
+        "--horizon-hours", "12",
+        "--interval-minutes", "30",
+        "--seed", "3",
+    ]
+
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path, capsys):
+        assert main(["engine", "run", *self.WORKLOAD]) == 0
+        uninterrupted = capsys.readouterr().out
+
+        bundle = str(tmp_path / "ck")
+        code = main(
+            ["engine", "run", *self.WORKLOAD,
+             "--stop-after", "6", "--checkpoint-path", bundle]
+        )
+        assert code == 0
+        stopped = capsys.readouterr().out
+        assert "stopped" in stopped and "--resume" in stopped
+
+        assert main(["engine", "run", "--resume", bundle]) == 0
+        resumed = capsys.readouterr().out
+        assert "resume        :" in resumed
+        # Everything after the resume banner must match the uninterrupted
+        # run's report except wall-clock (the throughput line).
+        def body(text):
+            return [
+                line for line in text.splitlines()
+                if line.split(":")[0].strip()
+                not in ("stream", "serving", "resume", "throughput")
+            ]
+        assert body(resumed) == body(uninterrupted)
+
+    def test_periodic_checkpoints_leave_a_bundle(self, tmp_path, capsys):
+        bundle = tmp_path / "ck"
+        code = main(
+            ["engine", "run", *self.WORKLOAD,
+             "--checkpoint-every", "4", "--checkpoint-path", str(bundle)]
+        )
+        assert code == 0
+        assert (bundle / "manifest.json").is_file()
+        assert len(list(bundle.glob("arrays-*.npz"))) == 1
+
+    def test_checkpoint_flags_require_path(self, capsys):
+        code = main(["engine", "run", *self.WORKLOAD, "--checkpoint-every", "4"])
+        assert code == 2
+        assert "--checkpoint-path" in capsys.readouterr().err
+
+    def test_resume_missing_bundle(self, tmp_path, capsys):
+        code = main(["engine", "run", "--resume", str(tmp_path / "nope")])
+        assert code == 2
+        assert "no checkpoint bundle" in capsys.readouterr().err
+
+
 class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):

@@ -19,6 +19,7 @@ DOCS_PAGES = (
     "docs/architecture.md",
     "docs/paper_mapping.md",
     "docs/performance.md",
+    "docs/checkpointing.md",
 )
 #: Relative markdown links: [text](target) excluding URLs and anchors.
 _LINK = re.compile(r"\[[^\]]+\]\((?!https?://|#|mailto:)([^)#\s]+)")
