@@ -5,7 +5,8 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench docs-check checkpoint-smoke lint-docs all
+.PHONY: test bench bench-scenario cov regen-golden docs-check \
+	checkpoint-smoke lint-docs all
 
 ## Tier-1 test suite (what CI gates on).
 test:
@@ -15,6 +16,23 @@ test:
 ## shard scaling.  Regenerates BENCH_engine.json at the repo root.
 bench:
 	$(PYTEST) benchmarks/bench_engine.py -q -p no:cacheprovider
+
+## Scenario-engine benchmarks: driver overhead vs the raw clock, and
+## stress throughput under churn + shock + cancellation at 1/3 shards.
+## CI runs this with REPRO_BENCH_SMOKE=1 (tiny horizon, same code paths).
+bench-scenario:
+	$(PYTEST) benchmarks/bench_scenario.py -q -p no:cacheprovider
+
+## Coverage gate (CI): line coverage over src/repro with a ratcheted
+## fail-under floor — raise the threshold when coverage rises, never
+## lower it.  Needs pytest-cov (installed via `pip install -e '.[test]'`).
+cov:
+	$(PYTEST) -q --cov=repro --cov-report=term --cov-fail-under=80
+
+## Regenerate the golden scenario traces (tests/golden/*.json) after an
+## *intentional* engine-behaviour change; review the diff like code.
+regen-golden:
+	PYTHONPATH=src $(PYTHON) scripts/regen_golden.py
 
 ## Documentation contract: docs pages exist and are linked, relative
 ## links resolve, the tracked benchmark record has its fields, and every

@@ -1,0 +1,44 @@
+"""Regenerate the golden scenario traces under tests/golden/.
+
+This is the ``make regen-golden`` target.  Run it after an *intentional*
+engine-behaviour change (new draw order, different routing, changed
+accounting), then review the JSON diff like any other code change —
+unreviewed regeneration defeats the point of a golden trace.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for entry in (REPO_ROOT / "src", REPO_ROOT):
+    if str(entry) not in sys.path:  # allow running without an install step
+        sys.path.insert(0, str(entry))
+
+from tests.golden.cases import CASES, run_case, trace_path  # noqa: E402
+
+
+def main() -> int:
+    """Recompute every canonical case and rewrite its committed trace."""
+    for case in sorted(CASES):
+        payload = run_case(case)
+        path = trace_path(case)
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        telemetry_ticks = len(payload["telemetry"]["series"]["interval"])
+        print(
+            f"{path.relative_to(REPO_ROOT)}: "
+            f"{len(payload['result']['outcomes'])} outcomes, "
+            f"{telemetry_ticks} telemetry ticks"
+        )
+    print("review the diff before committing (git diff tests/golden/)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

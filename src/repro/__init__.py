@@ -61,12 +61,16 @@ Subpackages
 * :mod:`repro.sim` — Monte-Carlo marketplace and live-experiment simulators.
 * :mod:`repro.engine` — the multi-campaign marketplace engine: concurrent
   campaign lifecycles, shared-stream routing, policy caching, batched
-  admission, sharding, re-planning.
+  admission, sharding, re-planning, per-tick telemetry.
+* :mod:`repro.scenario` — declarative stress scenarios (churn, demand
+  shocks, cancellations) driven tick-by-tick with a determinism
+  contract across shards/executors/checkpoints.
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 See ``docs/architecture.md`` for the module map and dataflow,
-``docs/paper_mapping.md`` for the paper-to-code index, and
-``docs/performance.md`` for benchmarks and the fast path.
+``docs/paper_mapping.md`` for the paper-to-code index,
+``docs/performance.md`` for benchmarks and the fast path, and
+``docs/scenarios.md`` for the scenario spec schema and telemetry.
 """
 
 from repro.core import (

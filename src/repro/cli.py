@@ -9,7 +9,11 @@ Four commands cover the library's day-to-day uses:
 * ``engine`` — run the multi-campaign marketplace engine: many concurrent
   campaigns priced against one shared worker stream, with policy caching,
   batched solving, optional sharding (``--shards N``), and durable
-  checkpoint/resume (``--checkpoint-every``/``--resume``).
+  checkpoint/resume (``--checkpoint-every``/``--resume``).  ``engine
+  run`` drives a *static* workload (every campaign known up front);
+  ``engine scenario run`` drives a *declarative stress scenario* — churn,
+  demand shocks, cancellations — with per-tick telemetry
+  (``--list-scenarios`` prints the canned library).
 
 Examples::
 
@@ -22,6 +26,10 @@ Examples::
     python -m repro engine run --campaigns 200 --shards 4
     python -m repro engine run --checkpoint-every 24 --checkpoint-path ck/
     python -m repro engine run --resume ck/
+    python -m repro engine scenario run --canned black-friday --shards 3
+    python -m repro engine scenario run --spec my_scenario.json \
+        --telemetry-out telemetry.json
+    python -m repro engine scenario run --list-scenarios
 """
 
 from __future__ import annotations
@@ -101,9 +109,14 @@ def build_parser() -> argparse.ArgumentParser:
     engine_sub = engine.add_subparsers(dest="action", required=True)
     engine_run = engine_sub.add_parser(
         "run",
-        help="run a synthetic multi-campaign workload",
+        help="run a synthetic multi-campaign workload (static; see "
+        "'engine scenario run' for churn/shock/cancellation timelines)",
         description=(
-            "Run the marketplace engine over a synthetic campaign workload. "
+            "Run the marketplace engine over a synthetic campaign workload: "
+            "a *static* workload — every campaign generated up front from "
+            "the --seed'ed template pool and submitted at its wave time.  "
+            "For dynamic workloads (campaigns churning in mid-run, demand "
+            "shocks, cancellations) use 'engine scenario run'.  "
             "The report surfaces the routing choice (the 'stream' line), the "
             "policy-cache hit rate (the 'policy cache' line), the batched-"
             "solver utilization, and campaign throughput.  --shards N "
@@ -164,7 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="policy-solve path on cache miss: one stacked array pass per "
         "tick (batch, the fast path) or one solve per campaign (scalar)",
     )
-    engine_run.add_argument("--seed", type=int, default=7)
+    engine_run.add_argument(
+        "--seed", type=int, default=7,
+        help="seeds both the workload draw (which campaigns exist) and the "
+        "engine run (realized arrivals); scenario timelines carry their "
+        "own seed — see 'engine scenario run'",
+    )
     engine_run.add_argument(
         "--per-campaign", action="store_true",
         help="also print one line per retired campaign",
@@ -187,6 +205,96 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", metavar="P", default=None,
         help="resume a checkpointed run from bundle P and finish it "
         "(workload flags are ignored; the bundle carries the state)",
+    )
+
+    scenario = engine_sub.add_parser(
+        "scenario",
+        help="declarative stress workloads: churn, demand shocks, cancellations",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_action", required=True)
+    scenario_run = scenario_sub.add_parser(
+        "run",
+        help="drive the engine through a scenario timeline",
+        description=(
+            "Step the engine tick-by-tick through a declarative scenario — "
+            "campaigns churning in mid-run, demand shocks and day/night "
+            "rate schedules modulating the shared stream, cancellations "
+            "retiring campaigns early — while recording per-tick telemetry "
+            "(live campaigns, routed arrivals, cache hits, adaptive "
+            "re-plans).  A scenario with a fixed seed is bit-identical "
+            "across shard counts, executors, and checkpoint/resume "
+            "boundaries; see docs/scenarios.md for the spec schema."
+        ),
+    )
+    scenario_run.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help="scenario spec to run (JSON; see docs/scenarios.md)",
+    )
+    scenario_run.add_argument(
+        "--canned", metavar="NAME", default=None,
+        help="run a built-in scenario (see --list-scenarios)",
+    )
+    scenario_run.add_argument(
+        "--list-scenarios", action="store_true",
+        help="list the canned scenario library and exit",
+    )
+    scenario_run.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's seed (default: the spec's own)",
+    )
+    scenario_run.add_argument(
+        "--base-campaigns", type=int, default=0, metavar="N",
+        help="also submit N static workload campaigns up front, under the "
+        "scenario's churn (default 0: scenario traffic only)",
+    )
+    scenario_run.add_argument("--horizon-hours", type=float, default=48.0)
+    scenario_run.add_argument("--interval-minutes", type=float, default=20.0)
+    scenario_run.add_argument(
+        "--start-day", type=int, default=7, help="trace day the stream starts on"
+    )
+    scenario_run.add_argument(
+        "--planning", choices=["sliced", "stationary"], default="stationary",
+        help="campaign planning forecast (as in 'engine run')",
+    )
+    scenario_run.add_argument(
+        "--cache-size", type=int, default=256,
+        help="policy-cache capacity; 0 disables memoization",
+    )
+    scenario_run.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="partition campaigns across N worker shards; 0 = pooled "
+        "engine.  Telemetry is identical for any N >= 1 under one seed",
+    )
+    scenario_run.add_argument(
+        "--executor", choices=["thread", "serial"], default="thread",
+        help="shard executor (with --shards); never changes results",
+    )
+    scenario_run.add_argument(
+        "--solver", choices=["batch", "scalar"], default="batch",
+        help="policy-solve path on cache miss (as in 'engine run')",
+    )
+    scenario_run.add_argument(
+        "--telemetry-out", metavar="PATH", default=None,
+        help="write the per-tick telemetry to PATH as JSON",
+    )
+    scenario_run.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="save a bundle (engine + scenario cursor + telemetry) every "
+        "N ticks (0 = never); requires --checkpoint-path",
+    )
+    scenario_run.add_argument(
+        "--checkpoint-path", metavar="P", default=None,
+        help="checkpoint bundle directory",
+    )
+    scenario_run.add_argument(
+        "--stop-after", type=int, default=0, metavar="T",
+        help="stop after T ticks, saving a final bundle (simulates a kill "
+        "mid-scenario; requires --checkpoint-path)",
+    )
+    scenario_run.add_argument(
+        "--resume", metavar="P", default=None,
+        help="resume a scenario run from bundle P and finish it "
+        "(scenario/stream flags are ignored; the bundle carries the state)",
     )
     return parser
 
@@ -287,21 +395,63 @@ def _cmd_solve_budget(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_engine(args: argparse.Namespace, router=None, surge: float = 1.0):
+    """Shared engine construction for ``engine run`` / ``engine scenario run``.
+
+    Builds the synthetic-trace arrival stream from the common stream flags
+    (``--horizon-hours``/``--interval-minutes``/``--start-day``) and the
+    engine front-end from the common serving flags (``--shards``/
+    ``--executor``/``--planning``/``--cache-size``/``--solver``), so the
+    two commands can never diverge on what an engine *is*.  ``surge``
+    scales realized arrivals while planning keeps the unscaled forecast;
+    ``router=None`` uses the engine's default.  Returns
+    ``(num_intervals, engine)``; raises :class:`ValueError` on bad
+    configuration (the callers turn that into an exit-2 message).
+    """
+    from repro.engine import MarketplaceEngine, PolicyCache, ShardedEngine
+    from repro.market.acceptance import paper_acceptance_model
+    from repro.market.tracker import SyntheticTrackerTrace
+    from repro.sim.stream import SharedArrivalStream
+
+    num_intervals = int(round(args.horizon_hours * 60.0 / args.interval_minutes))
+    forecast = SharedArrivalStream.from_rate_function(
+        SyntheticTrackerTrace().rate_function(),
+        args.horizon_hours,
+        num_intervals,
+        start_hour=args.start_day * 24.0,
+    )
+    common = dict(
+        stream=forecast.scaled(surge),
+        acceptance=paper_acceptance_model(),
+        cache=PolicyCache(max_entries=args.cache_size),
+        planning=args.planning,
+        planning_means=forecast.arrival_means,
+        batch_solve=args.solver == "batch",
+    )
+    if router is not None:
+        common["router"] = router
+    engine: MarketplaceEngine | ShardedEngine
+    if args.shards > 0:
+        engine = ShardedEngine(
+            num_shards=args.shards, executor=args.executor, **common
+        )
+    else:
+        engine = MarketplaceEngine(**common)
+    return num_intervals, engine
+
+
 def _cmd_engine(args: argparse.Namespace) -> int:
+    if args.action == "scenario":
+        return _cmd_engine_scenario(args)
     from repro.engine import (
         CheckpointError,
         LogitRouter,
-        MarketplaceEngine,
-        PolicyCache,
-        ShardedEngine,
         UniformRouter,
         generate_workload,
         restore_engine,
         save_checkpoint,
     )
     from repro.market.acceptance import paper_acceptance_model
-    from repro.market.tracker import SyntheticTrackerTrace
-    from repro.sim.stream import SharedArrivalStream
 
     if args.shards < 0:
         print(f"--shards must be >= 0, got {args.shards}", file=sys.stderr)
@@ -327,10 +477,6 @@ def _cmd_engine(args: argparse.Namespace) -> int:
               f"({core.num_live} live, {core.num_pending} pending, "
               f"{len(core.outcomes)} already retired)")
     else:
-        num_intervals = int(
-            round(args.horizon_hours * 60.0 / args.interval_minutes)
-        )
-        trace = SyntheticTrackerTrace()
         acceptance = paper_acceptance_model()
         router = (
             LogitRouter(acceptance)
@@ -338,27 +484,9 @@ def _cmd_engine(args: argparse.Namespace) -> int:
             else UniformRouter(acceptance)
         )
         try:
-            forecast = SharedArrivalStream.from_rate_function(
-                trace.rate_function(),
-                args.horizon_hours,
-                num_intervals,
-                start_hour=args.start_day * 24.0,
+            num_intervals, engine = _build_engine(
+                args, router=router, surge=args.surge
             )
-            common = dict(
-                stream=forecast.scaled(args.surge),
-                acceptance=acceptance,
-                router=router,
-                cache=PolicyCache(max_entries=args.cache_size),
-                planning=args.planning,
-                planning_means=forecast.arrival_means,
-                batch_solve=args.solver == "batch",
-            )
-            if args.shards > 0:
-                engine: MarketplaceEngine | ShardedEngine = ShardedEngine(
-                    num_shards=args.shards, executor=args.executor, **common
-                )
-            else:
-                engine = MarketplaceEngine(**common)
             specs = generate_workload(
                 args.campaigns,
                 num_intervals,
@@ -408,6 +536,124 @@ def _cmd_engine(args: argparse.Namespace) -> int:
                   f"{o.average_reward:5.1f}c/task  {status}"
                   f"{'  [cached]' if o.cache_hit else ''}"
                   f"{'  [adaptive]' if o.spec.adaptive else ''}")
+    return 0
+
+
+def _cmd_engine_scenario(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.engine import CheckpointError, generate_workload
+    from repro.scenario import (
+        Scenario,
+        ScenarioDriver,
+        canned_scenario,
+        list_scenarios,
+    )
+
+    if args.list_scenarios:
+        width = max(len(name) for name, _ in list_scenarios())
+        for name, description in list_scenarios():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    if args.shards < 0:
+        print(f"--shards must be >= 0, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.checkpoint_every < 0 or args.stop_after < 0:
+        print("--checkpoint-every and --stop-after must be >= 0", file=sys.stderr)
+        return 2
+    if (args.checkpoint_every or args.stop_after) and not args.checkpoint_path:
+        print(
+            "--checkpoint-every/--stop-after need --checkpoint-path",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume:
+        try:
+            driver = ScenarioDriver.resume(args.resume)
+        except CheckpointError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        core = driver.core
+        assert core is not None  # resume always reopens the session
+        print(f"resume        : {args.resume} scenario "
+              f"{driver.scenario.name!r} at tick {core.clock} "
+              f"({core.num_live} live, {core.num_pending} pending, "
+              f"{driver.telemetry.num_ticks} ticks of telemetry)")
+    else:
+        if (args.spec is None) == (args.canned is None):
+            print(
+                "pick exactly one scenario source: --spec FILE or "
+                "--canned NAME (--list-scenarios shows the library)",
+                file=sys.stderr,
+            )
+            return 2
+        num_intervals = int(
+            round(args.horizon_hours * 60.0 / args.interval_minutes)
+        )
+        try:
+            if args.spec is not None:
+                scenario = Scenario.load(args.spec)
+                if args.seed is not None:
+                    scenario = dataclasses.replace(scenario, seed=args.seed)
+            else:
+                scenario = canned_scenario(
+                    args.canned, num_intervals,
+                    seed=args.seed if args.seed is not None else 0,
+                )
+        except (OSError, KeyError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        try:
+            num_intervals, engine = _build_engine(args)
+            if args.base_campaigns:
+                engine.submit(generate_workload(
+                    args.base_campaigns, num_intervals, seed=scenario.seed
+                ))
+            driver = ScenarioDriver(engine, scenario)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        driver.start()
+        sharding = (
+            f"shards={args.shards} ({args.executor})"
+            if args.shards > 0
+            else "unsharded"
+        )
+        print(f"scenario      : {scenario.name!r} seed={scenario.seed}, "
+              f"{len(scenario.events)} events, "
+              f"{driver.timeline.num_campaigns} timeline campaigns "
+              f"+ {args.base_campaigns} base")
+        print(f"stream        : {num_intervals} x {args.interval_minutes:.0f}min "
+              f"intervals from trace day {args.start_day}; "
+              f"planning={args.planning}")
+        print(f"serving       : {sharding}, solver={args.solver}, "
+              f"cache capacity {args.cache_size}")
+    ticks = 0
+    while not driver.done:
+        driver.step()
+        ticks += 1
+        if args.checkpoint_every and ticks % args.checkpoint_every == 0:
+            driver.save(args.checkpoint_path)
+        if args.stop_after and ticks >= args.stop_after and not driver.done:
+            driver.save(args.checkpoint_path)
+            driver.engine.close()
+            print(f"stopped       : after {ticks} ticks; scenario bundle "
+                  f"saved to {args.checkpoint_path} "
+                  f"(finish with --resume {args.checkpoint_path})")
+            if args.telemetry_out:
+                path = driver.telemetry.save(args.telemetry_out)
+                print(f"telemetry     : written to {path} "
+                      f"(partial: {driver.telemetry.num_ticks} ticks)")
+            return 0
+    core = driver.core
+    assert core is not None
+    result = core.result()
+    driver.engine.close()
+    print(result.summary())
+    print(driver.telemetry.summary())
+    if args.telemetry_out:
+        path = driver.telemetry.save(args.telemetry_out)
+        print(f"telemetry     : written to {path}")
     return 0
 
 

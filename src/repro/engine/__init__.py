@@ -31,9 +31,15 @@ subpackage is that serving layer:
   stream deterministically (same seed, any shard count, same outcomes).
 * :mod:`repro.engine.checkpoint` — durable serving state:
   :func:`save_checkpoint` / :func:`restore_engine` snapshot a session
-  mid-flight to a versioned JSON+npz bundle and resume it bit-identically.
+  mid-flight to a versioned JSON+npz bundle and resume it bit-identically
+  (bundles can carry layered extras, e.g. the scenario driver's cursor).
+* :mod:`repro.engine.telemetry` — per-tick serving series
+  (:class:`Telemetry`): live campaigns, routed arrivals, cache hits,
+  adaptive re-plans, cancellations; JSON-serializable and
+  checkpoint-resumable.
 * :mod:`repro.engine.workload` — synthetic heterogeneous-but-repetitive
-  campaign workloads (:func:`generate_workload`).
+  campaign workloads (:func:`generate_workload`); for *dynamic* workloads
+  (churn, demand shocks, cancellations) see :mod:`repro.scenario`.
 
 Quick use::
 
@@ -54,6 +60,7 @@ from repro.engine.campaign import BUDGET, DEADLINE, CampaignOutcome, CampaignSpe
 from repro.engine.checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointError,
+    load_extras,
     restore_engine,
     save_checkpoint,
 )
@@ -62,6 +69,7 @@ from repro.engine.engine import EngineResult, MarketplaceEngine, PLANNING_MODES
 from repro.engine.planning import CampaignPlanner
 from repro.engine.routing import ArrivalRouter, LogitRouter, UniformRouter
 from repro.engine.sharding import EXECUTORS, ShardedEngine, shard_of
+from repro.engine.telemetry import CampaignRecord, Telemetry
 from repro.engine.workload import (
     CampaignTemplate,
     DEFAULT_TEMPLATES,
@@ -81,6 +89,9 @@ __all__ = [
     "CheckpointError",
     "save_checkpoint",
     "restore_engine",
+    "load_extras",
+    "Telemetry",
+    "CampaignRecord",
     "EXECUTORS",
     "shard_of",
     "CampaignSpec",

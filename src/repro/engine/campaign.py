@@ -146,6 +146,8 @@ class CampaignOutcome:
         Sum of rewards paid, in cents.
     penalty:
         Terminal penalty charged (deadline campaigns; 0 for budget).
+        Cancelled campaigns are never charged a terminal penalty: the
+        requester withdrew, the marketplace did not miss a deadline.
     finished_interval:
         Engine-clock interval during which the last task finished, or
         ``None`` if the batch did not finish.
@@ -154,6 +156,11 @@ class CampaignOutcome:
     num_solves:
         DP/LP solves this campaign triggered (0 on a cache hit; adaptive
         campaigns count every re-plan).
+    cancelled:
+        True when the campaign was retired early through
+        :meth:`~repro.engine.clock.EngineBase.cancel` instead of
+        finishing or reaching its horizon; ``completed``/``total_cost``
+        then report the partial utility delivered up to cancellation.
     """
 
     spec: CampaignSpec
@@ -164,6 +171,7 @@ class CampaignOutcome:
     finished_interval: int | None
     cache_hit: bool
     num_solves: int
+    cancelled: bool = False
 
     @property
     def finished(self) -> bool:

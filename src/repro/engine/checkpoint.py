@@ -83,6 +83,7 @@ __all__ = [
     "CheckpointError",
     "save_checkpoint",
     "restore_engine",
+    "load_extras",
 ]
 
 #: Bundle format version; bumped on any incompatible manifest change.
@@ -216,7 +217,11 @@ def _live_entry(live, rng: np.random.Generator | None, arrays: dict) -> dict:
     return entry
 
 
-def save_checkpoint(engine: EngineBase, path: str | pathlib.Path) -> pathlib.Path:
+def save_checkpoint(
+    engine: EngineBase,
+    path: str | pathlib.Path,
+    extras: dict | None = None,
+) -> pathlib.Path:
     """Snapshot the engine's active serving session to a bundle directory.
 
     Legal at any tick boundary (including before the first tick and after
@@ -224,6 +229,12 @@ def save_checkpoint(engine: EngineBase, path: str | pathlib.Path) -> pathlib.Pat
     when no session is active or the engine's configuration contains
     non-serializable parts (custom router classes, executor instances,
     exotic acceptance models).
+
+    ``extras`` is an optional JSON-serializable dict stored verbatim in
+    the manifest and read back with :func:`load_extras` — how layers
+    above the engine (the scenario driver's cursor and telemetry) ride
+    inside the same crash-safe bundle without the engine knowing about
+    them.
     """
     core = engine.core
     if core is None:
@@ -242,6 +253,8 @@ def save_checkpoint(engine: EngineBase, path: str | pathlib.Path) -> pathlib.Pat
         "stream_means": engine.stream.arrival_means,
         "planning_means": engine.planner.planning_means,
     }
+    if core.rate_multipliers is not None:
+        arrays["rate_multipliers"] = core.rate_multipliers
     backend = core.backend
     if isinstance(engine, ShardedEngine):
         kind = "sharded"
@@ -293,9 +306,11 @@ def save_checkpoint(engine: EngineBase, path: str | pathlib.Path) -> pathlib.Pat
                 "finished_interval": o.finished_interval,
                 "cache_hit": o.cache_hit,
                 "num_solves": o.num_solves,
+                "cancelled": o.cancelled,
             }
             for o in core.outcomes
         ],
+        "extras": extras,
         "rng": rng_state,
         "stats": {
             "cache": list(engine.cache.counters()),
@@ -334,6 +349,27 @@ def save_checkpoint(engine: EngineBase, path: str | pathlib.Path) -> pathlib.Pat
 # ----------------------------------------------------------------------
 # Restore
 # ----------------------------------------------------------------------
+def load_extras(path: str | pathlib.Path) -> dict | None:
+    """Read the extras dict a bundle was saved with (``None`` if none).
+
+    The cheap companion to :func:`restore_engine`: it only parses the
+    manifest, letting layers above the engine (the scenario driver)
+    recover their cursor/telemetry without touching engine state.  Raises
+    :class:`CheckpointError` when the bundle is missing or unreadable.
+    """
+    bundle = pathlib.Path(path)
+    manifest_path = bundle / _MANIFEST
+    if not manifest_path.is_file():
+        raise CheckpointError(f"no checkpoint bundle at {bundle}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(
+            f"corrupt or unreadable checkpoint bundle at {bundle}: {exc}"
+        ) from exc
+    return manifest.get("extras")
+
+
 def _restore_adaptive(runtime, meta: dict, cid: str, arrays) -> None:
     if not isinstance(runtime, AdaptiveRepricer):
         raise CheckpointError(
@@ -438,9 +474,12 @@ def _restore(bundle: pathlib.Path) -> MarketplaceEngine | ShardedEngine:
             finished_interval=o["finished_interval"],
             cache_hit=o["cache_hit"],
             num_solves=o["num_solves"],
+            cancelled=o.get("cancelled", False),
         )
         for o in manifest["outcomes"]
     ]
+    if "rate_multipliers" in arrays:
+        core.set_rate_multipliers(arrays["rate_multipliers"])
     # The replay bumped the cache/batch counters; reset them to the
     # interrupted session's recorded values so per-session stats are exact.
     stats = manifest["stats"]

@@ -165,12 +165,14 @@ class EngineResult:
         deadline = sum(1 for o in self.outcomes if o.spec.kind == DEADLINE)
         budget = self.num_campaigns - deadline
         adaptive = sum(1 for o in self.outcomes if o.spec.adaptive)
+        cancelled = sum(1 for o in self.outcomes if o.cancelled)
         solves = sum(o.num_solves for o in self.outcomes)
         s = self.cache_stats
         lines = [
             f"campaigns     : {self.num_campaigns} "
-            f"({deadline} deadline / {budget} budget; {adaptive} adaptive), "
-            f"peak {self.max_concurrent} concurrent",
+            f"({deadline} deadline / {budget} budget; {adaptive} adaptive"
+            + (f"; {cancelled} cancelled" if cancelled else "")
+            + f"), peak {self.max_concurrent} concurrent",
             f"intervals     : {self.intervals_run} ticks of the shared stream; "
             f"{self.total_arrivals:,} worker arrivals, "
             f"{self.total_accepted:,} acceptances",
@@ -257,17 +259,41 @@ class ClockBackend(abc.ABC):
         """Number of currently live campaigns."""
 
     @abc.abstractmethod
-    def step(self, t: int) -> tuple[int, int, int]:
+    def step(self, t: int, rate_factor: float = 1.0) -> tuple[int, int, int]:
         """Realize interval ``t``: price, split arrivals, apply completions.
 
-        Feeds adaptive campaigns their observation of the realized
-        marketplace arrivals, then returns the tick's
+        ``rate_factor`` modulates the interval's arrival rate (scenario
+        demand shocks and day/night schedules); backends must apply it to
+        the *rate* before drawing, never to realized counts, so the
+        modulated process stays Poisson and remains splittable across
+        shards.  Feeds adaptive campaigns their observation of the
+        realized marketplace arrivals, then returns the tick's
         ``(arrived, considered, accepted)`` totals.
         """
 
     @abc.abstractmethod
     def retire(self, t: int) -> list[CampaignOutcome]:
         """Drop campaigns that finished or expired at ``t``; return outcomes."""
+
+    @abc.abstractmethod
+    def cancel(self, campaign_id: str) -> CampaignOutcome | None:
+        """Retire one live campaign early, releasing its runtime state.
+
+        Returns the campaign's partial-utility outcome (``cancelled=True``,
+        no terminal penalty) or ``None`` when no such campaign is live.
+        Cancellation consumes no randomness, so the surviving campaigns'
+        draws are unaffected — on the factored backend the cancelled
+        campaign's private generator simply stops being used, which keeps
+        the run shard-layout invariant.
+        """
+
+    @abc.abstractmethod
+    def live_stats(self) -> list[tuple[str, int, int, bool]]:
+        """Per-live-campaign ``(campaign_id, remaining, num_solves, adaptive)``.
+
+        Sorted by campaign id so the listing is independent of the shard
+        layout; telemetry builds its per-tick series from this.
+        """
 
     def close(self) -> None:
         """Release backend resources (executor pools); a no-op by default."""
@@ -319,6 +345,7 @@ class EngineCore:
         self.elapsed_seconds = 0.0
         self._pending = sorted(specs, key=_submission_key)
         self._next_pending = 0
+        self._rate_multipliers: np.ndarray | None = None
         # Which campaigns were admitted at which tick, in admission order —
         # the replay script a checkpoint restore uses to rebuild the policy
         # cache exactly as the uninterrupted session would have.
@@ -352,6 +379,75 @@ class EngineCore:
             return True
         return self.backend.num_live() == 0 and self._next_pending >= len(
             self._pending
+        )
+
+    # ------------------------------------------------------------------
+    # Rate modulation
+    # ------------------------------------------------------------------
+    @property
+    def rate_multipliers(self) -> np.ndarray | None:
+        """Per-interval arrival-rate factors, or ``None`` when unmodulated."""
+        return self._rate_multipliers
+
+    def set_rate_multipliers(self, multipliers: Sequence[float] | None) -> None:
+        """Install per-interval arrival-rate factors for this session.
+
+        ``multipliers[t]`` scales interval ``t``'s arrival rate before the
+        tick's draws (demand shocks, day/night schedules); campaigns keep
+        planning against the unmodulated forecast and only adaptive ones
+        notice the shift, through their realized-arrival observations.
+        Scaling applies to the *rate*, so the modulated stream stays
+        Poisson and the sharded engine's per-campaign factorization — and
+        therefore shard-count invariance — is preserved.  Pass ``None``
+        to clear.  The array must cover every stream interval and be
+        finite and non-negative.
+        """
+        if multipliers is None:
+            self._rate_multipliers = None
+            return
+        arr = np.asarray(multipliers, dtype=float)
+        if arr.shape != (self.stream.num_intervals,):
+            raise ValueError(
+                "rate multipliers must cover every stream interval "
+                f"({self.stream.num_intervals}), got shape {arr.shape}"
+            )
+        if not np.all(np.isfinite(arr)) or np.any(arr < 0):
+            raise ValueError("rate multipliers must be finite and non-negative")
+        self._rate_multipliers = arr.copy()
+
+    def rate_factor(self, t: int) -> float:
+        """The arrival-rate factor interval ``t`` runs under (1.0 default)."""
+        if self._rate_multipliers is None:
+            return 1.0
+        return float(self._rate_multipliers[t])
+
+    # ------------------------------------------------------------------
+    # Mid-flight cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, campaign_id: str) -> CampaignOutcome | None:
+        """Cancel one campaign between ticks (live or still pending).
+
+        A *live* campaign is retired immediately: its runtime (policy
+        table, adaptive repricer state, private generator) is released and
+        its partial-utility outcome — completions and spend so far, no
+        terminal penalty, ``cancelled=True`` — is appended to the
+        session's outcomes and returned.  A *pending* campaign is simply
+        dropped from the submission queue and ``None`` is returned (it
+        never went live, so there is nothing to account).  Raises
+        :class:`KeyError` when the id is unknown or already retired.
+        Cancellation consumes no randomness.
+        """
+        outcome = self.backend.cancel(campaign_id)
+        if outcome is not None:
+            self.outcomes.append(outcome)
+            return outcome
+        for i in range(self._next_pending, len(self._pending)):
+            if self._pending[i].campaign_id == campaign_id:
+                del self._pending[i]
+                return None
+        raise KeyError(
+            f"campaign {campaign_id!r} is neither live nor pending "
+            "(unknown id, or already retired)"
         )
 
     # ------------------------------------------------------------------
@@ -419,7 +515,7 @@ class EngineCore:
             )
         self.intervals_run += 1
         self.max_concurrent = max(self.max_concurrent, num_live)
-        arrived, considered, accepted = self.backend.step(t)
+        arrived, considered, accepted = self.backend.step(t, self.rate_factor(t))
         self.total_arrivals += arrived
         self.total_considered += considered
         self.total_accepted += accepted
@@ -539,6 +635,25 @@ class EngineBase(abc.ABC):
     def num_submitted(self) -> int:
         """Campaigns queued so far."""
         return len(self._specs)
+
+    def cancel(self, campaign_id: str) -> CampaignOutcome | None:
+        """Cancel one campaign of the active session (between ticks).
+
+        See :meth:`EngineCore.cancel` for the live-vs-pending semantics.
+        When a still-pending campaign is cancelled its spec is forgotten
+        at the front-end too, so the id becomes reusable and checkpoint
+        bundles stay consistent with the submission queue.
+        """
+        if self._core is None:
+            raise RuntimeError(
+                "no active serving session: call start(seed) before cancel()"
+            )
+        outcome = self._core.cancel(campaign_id)
+        if outcome is None:
+            self._specs = [
+                s for s in self._specs if s.campaign_id != campaign_id
+            ]
+        return outcome
 
     # ------------------------------------------------------------------
     # Session lifecycle

@@ -92,12 +92,12 @@ class _PooledBackend(ClockBackend):
     def num_live(self) -> int:
         return len(self.live)
 
-    def step(self, t: int) -> tuple[int, int, int]:
+    def step(self, t: int, rate_factor: float = 1.0) -> tuple[int, int, int]:
         live = self.live
         prices = np.array(
             [c.runtime.price(c.remaining, t - c.spec.submit_interval) for c in live]
         )
-        arrived = self.stream.sample(t, self.rng)
+        arrived = self.stream.sample(t, self.rng, scale=rate_factor)
         considered, accepted = self.router.split(arrived, prices, self.rng)
         accepted_total = 0
         for campaign, taken, price in zip(live, accepted, prices):
@@ -127,6 +127,19 @@ class _PooledBackend(ClockBackend):
                 still_live.append(campaign)
         self.live = still_live
         return outcomes
+
+    def cancel(self, campaign_id: str) -> CampaignOutcome | None:
+        for i, campaign in enumerate(self.live):
+            if campaign.spec.campaign_id == campaign_id:
+                del self.live[i]
+                return campaign.outcome(cancelled=True)
+        return None
+
+    def live_stats(self) -> list[tuple[str, int, int, bool]]:
+        return sorted(
+            (c.spec.campaign_id, c.remaining, c.num_solves(), c.spec.adaptive)
+            for c in self.live
+        )
 
 
 class MarketplaceEngine(EngineBase):

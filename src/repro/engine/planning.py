@@ -111,13 +111,18 @@ class _LiveCampaign:
             )
         return done * posted_price
 
-    def outcome(self):
-        """Freeze the final accounting (a ``CampaignOutcome``)."""
+    def outcome(self, cancelled: bool = False):
+        """Freeze the final accounting (a ``CampaignOutcome``).
+
+        A cancelled campaign reports the partial utility delivered so far
+        (completions, spend) and is charged no terminal penalty — the
+        requester withdrew; the marketplace did not miss the deadline.
+        """
         from repro.engine.campaign import CampaignOutcome
 
         penalty = (
             self.spec.penalty_per_task * self.remaining
-            if self.spec.kind == DEADLINE
+            if self.spec.kind == DEADLINE and not cancelled
             else 0.0
         )
         return CampaignOutcome(
@@ -129,6 +134,7 @@ class _LiveCampaign:
             finished_interval=self.finished_interval,
             cache_hit=self.cache_hit,
             num_solves=self.num_solves(),
+            cancelled=cancelled,
         )
 
 

@@ -225,7 +225,7 @@ class _FactoredBackend(ClockBackend):
     def num_live(self) -> int:
         return sum(len(s.campaigns) for s in self.shards)
 
-    def step(self, t: int) -> tuple[int, int, int]:
+    def step(self, t: int, rate_factor: float = 1.0) -> tuple[int, int, int]:
         # Phase 1 — gather posted rewards, then compute the tick's choice
         # fractions over the *canonically ordered* global price vector so
         # float summation (and therefore every fraction) is independent of
@@ -243,7 +243,10 @@ class _FactoredBackend(ClockBackend):
             for (cid, _), a, c in zip(posted, accept_q, consider_q)
         }
         prices = {cid: float(price) for cid, price in posted}
-        mean_t = self.stream.mean(t)
+        # Modulation scales the *rate*, so every factored sub-stream below
+        # (per-campaign acceptances, coordinator walk-aways) sees the same
+        # scalar and the split stays invariant to the shard layout.
+        mean_t = self.stream.mean(t) * rate_factor
         # The coordinator owns the walk-away remainder of the factored
         # arrival process (drawn every live tick so its stream position
         # never depends on the shard layout).
@@ -270,6 +273,26 @@ class _FactoredBackend(ClockBackend):
         ]
         retired.sort(key=lambda o: o.spec.campaign_id)
         return retired
+
+    def cancel(self, campaign_id: str) -> CampaignOutcome | None:
+        shard = self.shards[shard_of(campaign_id, self.num_shards)]
+        for i, c in enumerate(shard.campaigns):
+            if c.live.spec.campaign_id == campaign_id:
+                del shard.campaigns[i]
+                return c.live.outcome(cancelled=True)
+        return None
+
+    def live_stats(self) -> list[tuple[str, int, int, bool]]:
+        return sorted(
+            (
+                c.live.spec.campaign_id,
+                c.live.remaining,
+                c.live.num_solves(),
+                c.live.spec.adaptive,
+            )
+            for shard in self.shards
+            for c in shard.campaigns
+        )
 
     def close(self) -> None:
         if self._own_pool is not None:

@@ -7,6 +7,15 @@ images by tonight, moderate 200 posts on a $20 budget, ...).
 from a pool of :class:`CampaignTemplate` shapes and submitted in staggered
 waves — so engine runs exercise both concurrency (overlapping horizons)
 and the policy cache (repeated shapes).
+
+This generator produces *static* workloads: the full campaign set is
+materialized up front from one seed and submitted before the run starts.
+Everything here is also the raw material of the *dynamic* workload layer:
+:mod:`repro.scenario` draws churn waves from the same
+:class:`CampaignTemplate` pool under its own scenario seed, submitting
+them mid-run, modulating the arrival stream, and cancelling campaigns on
+a declarative timeline — reach for it when a static batch is not stress
+enough.
 """
 
 from __future__ import annotations
@@ -106,7 +115,12 @@ def generate_workload(
     num_intervals:
         Engine-stream horizon the workload must fit inside.
     seed:
-        Workload-generation seed (independent of the engine's run seed).
+        Workload-generation seed: fixes which campaigns exist (shapes,
+        submit waves, adaptive flags).  Independent of the engine's run
+        seed (which fixes realized arrivals) and of any scenario seed
+        (:mod:`repro.scenario` draws its churn campaigns from its own
+        generator, so a scenario can ride on top of a static base
+        workload without perturbing it).
     templates:
         Shape pool to draw from (must contain each kind a fraction asks for).
     budget_fraction:

@@ -1,0 +1,240 @@
+"""The scenario driver: step any engine through a declarative timeline.
+
+:class:`ScenarioDriver` is the conductor between a compiled
+:class:`~repro.scenario.spec.Scenario` and a live
+:class:`~repro.engine.clock.EngineBase` session.  Each :meth:`step`:
+
+1. pushes submission waves whose tick has arrived through the engine's
+   ordinary ``submit()`` path (and *wakes* an otherwise-done clock by
+   queueing the next future wave early — queueing consumes no randomness,
+   so the run is bit-identical either way);
+2. applies the tick's cancellations (live targets retire with partial
+   utility; pending targets are dropped; already-retired targets are
+   deterministic no-ops; never-seen ids fail loudly as spec typos);
+3. advances the engine clock one interval through the shared
+   :meth:`~repro.engine.clock.EngineCore.tick` API;
+4. records the tick into a :class:`~repro.engine.telemetry.Telemetry`
+   collector.
+
+Rate modulation needs no per-tick driving: the compiled timeline's
+multiplier array is installed on the session once at :meth:`start` (and
+travels inside checkpoint bundles).
+
+The driver is engine-agnostic — pooled :class:`MarketplaceEngine` or
+:class:`ShardedEngine` at any shard count/executor — and checkpointable:
+:meth:`save` snapshots the engine session *plus* the scenario cursor and
+telemetry into one bundle, and :meth:`resume` reopens it mid-scenario,
+bit-identical to never having stopped.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.engine.campaign import CampaignOutcome
+from repro.engine.checkpoint import (
+    CheckpointError,
+    load_extras,
+    restore_engine,
+    save_checkpoint,
+)
+from repro.engine.clock import EngineBase, EngineCore, EngineResult, TickReport
+from repro.engine.telemetry import Telemetry
+from repro.scenario.spec import Scenario
+
+__all__ = ["ScenarioDriver"]
+
+#: Key the driver's state lives under in a checkpoint bundle's extras.
+_EXTRAS_KEY = "scenario_driver"
+
+
+class ScenarioDriver:
+    """Steps one engine session through one scenario's timeline.
+
+    Parameters
+    ----------
+    engine:
+        Any engine front-end (:class:`MarketplaceEngine` or
+        :class:`ShardedEngine`).  Submit a base workload *before*
+        :meth:`start` if the scenario should run on top of static
+        traffic; churn waves arrive on top through the timeline.
+    scenario:
+        The declarative timeline; compiled against the engine stream's
+        horizon at construction.
+    telemetry:
+        The collector to append to; a fresh one by default (a restored
+        one when resuming).
+    """
+
+    def __init__(
+        self,
+        engine: EngineBase,
+        scenario: Scenario,
+        telemetry: Telemetry | None = None,
+    ):
+        self.engine = engine
+        self.scenario = scenario
+        self.timeline = scenario.compile(engine.stream.num_intervals)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._next_wave = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def core(self) -> EngineCore | None:
+        """The engine's active session, or ``None`` outside one."""
+        return self.engine.core
+
+    @property
+    def started(self) -> bool:
+        """True once :meth:`start` (or :meth:`resume`) opened the session."""
+        return self._started
+
+    @property
+    def done(self) -> bool:
+        """True once the engine is drained and no future waves remain."""
+        if not self._started:
+            return False
+        core = self.engine.core
+        if core is None:
+            return True
+        return core.done and self._next_wave >= len(self.timeline.submissions)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def start(self) -> EngineCore:
+        """Open the serving session (scenario seed) and install modulation."""
+        if self._started:
+            raise RuntimeError("the scenario driver has already started")
+        core = self.engine.start(seed=self.scenario.seed)
+        core.set_rate_multipliers(self.timeline.rate_multipliers)
+        # Anchor the telemetry deltas to this session's counters (a no-op
+        # for the cleared-at-start cache, but robust to shared caches).
+        self.telemetry.sync_baselines(core)
+        self._started = True
+        return core
+
+    def step(self) -> TickReport:
+        """Apply the tick's events, advance the clock, record telemetry."""
+        if not self._started:
+            raise RuntimeError("call start() before step()")
+        core = self.engine.core
+        if core is None:
+            raise RuntimeError("the engine session has been closed")
+        if self.done:
+            raise RuntimeError("the scenario is exhausted")
+        t = core.clock
+        waves = self.timeline.submissions
+        while self._next_wave < len(waves) and waves[self._next_wave][0] <= t:
+            self.engine.submit(waves[self._next_wave][1])
+            self._next_wave += 1
+        if core.done and self._next_wave < len(waves):
+            # Nothing live or pending, but the timeline still has traffic:
+            # queue the next wave now so the clock idles forward to it.
+            # The specs keep their true submit intervals, so admission
+            # still happens at the wave tick and the run is bit-identical
+            # to submitting on time.
+            self.engine.submit(waves[self._next_wave][1])
+            self._next_wave += 1
+        cancelled: list[CampaignOutcome] = []
+        for campaign_id in self.timeline.cancellations.get(t, ()):
+            try:
+                outcome = self.engine.cancel(campaign_id)
+            except KeyError:
+                # A target that already retired naturally is a legitimate,
+                # deterministic no-op.  An id the engine has never seen is
+                # a spec typo — fail loudly instead of silently dropping
+                # the event (compile() gives out-of-horizon ticks the same
+                # treatment).
+                if any(o.spec.campaign_id == campaign_id for o in core.outcomes):
+                    continue
+                raise ValueError(
+                    f"cancellation of unknown campaign {campaign_id!r} at "
+                    f"tick {t}: no live, pending, or retired campaign has "
+                    "this id (spec typo, or the event fires before the "
+                    "campaign's submission wave?)"
+                ) from None
+            if outcome is not None:
+                cancelled.append(outcome)
+        report = core.tick()
+        self.telemetry.record_tick(core, report, cancelled=cancelled)
+        return report
+
+    def run(self) -> EngineResult:
+        """Drive the scenario to exhaustion and return the session result.
+
+        The engine's executor resources are released, but the session
+        stays readable (``driver.core.result()``, telemetry intact).
+        """
+        if not self._started:
+            self.start()
+        while not self.done:
+            self.step()
+        core = self.engine.core
+        assert core is not None  # done-with-no-core only after close()
+        result = core.result()
+        core.close()
+        return result
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Snapshot the session + scenario cursor + telemetry to a bundle.
+
+        The bundle is a regular engine checkpoint
+        (:func:`~repro.engine.checkpoint.save_checkpoint`) whose extras
+        carry the scenario spec, the submission cursor, and the telemetry
+        collected so far — everything :meth:`resume` needs.
+        """
+        if not self._started:
+            raise CheckpointError(
+                "the scenario driver has not started; nothing to snapshot"
+            )
+        return save_checkpoint(
+            self.engine,
+            path,
+            extras={
+                _EXTRAS_KEY: {
+                    "scenario": self.scenario.to_dict(),
+                    "next_wave": self._next_wave,
+                    "telemetry": self.telemetry.to_dict(),
+                }
+            },
+        )
+
+    @classmethod
+    def resume(cls, path: str | pathlib.Path) -> "ScenarioDriver":
+        """Reopen a scenario run from a bundle written by :meth:`save`.
+
+        Restores the engine session (clock position, live campaigns,
+        generator states, rate modulation), recompiles the timeline from
+        the stored spec, and rewinds nothing: stepping the returned
+        driver to exhaustion is bit-identical to never having stopped.
+        """
+        engine = restore_engine(path)
+        extras = load_extras(path)
+        state = (extras or {}).get(_EXTRAS_KEY)
+        if state is None:
+            raise CheckpointError(
+                f"bundle at {path} carries no scenario-driver state "
+                "(was it written by ScenarioDriver.save?)"
+            )
+        driver = cls(
+            engine,
+            Scenario.from_dict(state["scenario"]),
+            telemetry=Telemetry.from_dict(state["telemetry"]),
+        )
+        driver._next_wave = int(state["next_wave"])
+        driver._started = True
+        return driver
+
+    def __repr__(self) -> str:
+        return (
+            f"ScenarioDriver({self.scenario.name!r}, "
+            f"{self.timeline.num_campaigns} timeline campaigns, "
+            f"wave {self._next_wave}/{len(self.timeline.submissions)})"
+        )

@@ -67,9 +67,20 @@ class SharedArrivalStream:
             )
         return float(self.arrival_means[interval])
 
-    def sample(self, interval: int, rng: np.random.Generator) -> int:
-        """Draw the realized worker-arrival count for one interval."""
-        return int(rng.poisson(self.mean(interval)))
+    def sample(
+        self, interval: int, rng: np.random.Generator, scale: float = 1.0
+    ) -> int:
+        """Draw the realized worker-arrival count for one interval.
+
+        ``scale`` modulates the interval's rate without touching the
+        stream itself — scaling a Poisson rate yields a Poisson process at
+        the scaled rate, which is how the engine applies scenario-driven
+        demand shocks (:mod:`repro.scenario`) to one tick at a time while
+        campaign *planning* keeps seeing the unmodulated forecast.
+        """
+        if scale < 0:
+            raise ValueError(f"scale must be non-negative, got {scale}")
+        return int(rng.poisson(self.mean(interval) * scale))
 
     def scaled(self, factor: float) -> "SharedArrivalStream":
         """A copy with every interval mean multiplied by ``factor``.

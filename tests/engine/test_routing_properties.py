@@ -1,0 +1,101 @@
+"""Property-based routing invariants (hypothesis).
+
+The scenario layer leans on two router guarantees for its determinism
+contract, so they are asserted for *arbitrary* price vectors and campaign
+counts rather than hand-picked cases:
+
+* ``fractions`` is a probability split of one arriving worker: fractions
+  are non-negative, ``accept <= consider`` elementwise, and the total
+  probability mass — campaign choices plus the implied walk-away — sums
+  to exactly 1 (LogitRouter: choice shares + M-mass; UniformRouter:
+  uniform attention).
+* ``split`` conserves arrivals: campaign-routed workers never exceed the
+  realized arrival count, ``accepted <= considered`` elementwise, and the
+  realized split agrees with ``fractions`` in expectation structure
+  (UniformRouter routes *every* arrival to exactly one campaign).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import LogitRouter, UniformRouter
+from repro.market.acceptance import paper_acceptance_model
+
+MODEL = paper_acceptance_model()
+
+#: Arbitrary non-negative posted rewards, any live-campaign count 0..40.
+prices = st.lists(
+    st.floats(min_value=0.0, max_value=500.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=40,
+)
+arrivals = st.integers(min_value=0, max_value=20_000)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def total_mass(router, price_vec):
+    """Campaign probability mass plus the implied walk-away mass."""
+    accept, consider = router.fractions(price_vec)
+    if isinstance(router, LogitRouter):
+        weights = np.exp(np.clip(np.asarray(price_vec) / router.model.s
+                                 - router.model.b, None, 700.0))
+        walk = router.model.m / (weights.sum() + router.model.m)
+        return consider.sum() + walk
+    # UniformRouter: every worker considers exactly one campaign (when any
+    # is live), so the attention fractions alone carry the whole mass.
+    return consider.sum() if len(price_vec) else 1.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(price_vec=prices)
+def test_fractions_form_a_probability_split(price_vec):
+    for router in (LogitRouter(MODEL), UniformRouter(MODEL)):
+        accept, consider = router.fractions(price_vec)
+        assert accept.shape == consider.shape == (len(price_vec),)
+        assert np.all(accept >= 0.0) and np.all(consider >= 0.0)
+        assert np.all(accept <= consider + 1e-12)
+        assert consider.sum() <= 1.0 + 1e-9
+        assert np.isclose(total_mass(router, price_vec), 1.0, atol=1e-9)
+
+
+@settings(max_examples=200, deadline=None)
+@given(price_vec=prices, arrived=arrivals, seed=seeds)
+def test_split_conserves_arrivals(price_vec, arrived, seed):
+    for router in (LogitRouter(MODEL), UniformRouter(MODEL)):
+        rng = np.random.default_rng(seed)
+        considered, accepted = router.split(arrived, price_vec, rng)
+        assert considered.shape == accepted.shape == (len(price_vec),)
+        assert np.all(accepted >= 0) and np.all(considered >= 0)
+        assert np.all(accepted <= considered)
+        assert considered.sum() <= arrived
+        if isinstance(router, UniformRouter) and len(price_vec) and arrived:
+            # Uniform attention routes every arrival to exactly one campaign.
+            assert considered.sum() == arrived
+
+
+@settings(max_examples=100, deadline=None)
+@given(price_vec=prices, arrived=arrivals, seed=seeds)
+def test_split_is_deterministic_under_a_seed(price_vec, arrived, seed):
+    for router in (LogitRouter(MODEL), UniformRouter(MODEL)):
+        a = router.split(arrived, price_vec, np.random.default_rng(seed))
+        b = router.split(arrived, price_vec, np.random.default_rng(seed))
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+@settings(max_examples=100, deadline=None)
+@given(price_vec=prices)
+def test_logit_and_uniform_fractions_agree_on_edge_shapes(price_vec):
+    """Empty marketplaces and single campaigns degrade gracefully."""
+    logit, uniform = LogitRouter(MODEL), UniformRouter(MODEL)
+    if not price_vec:
+        for router in (logit, uniform):
+            accept, consider = router.fractions(price_vec)
+            assert accept.size == 0 and consider.size == 0
+        return
+    single = [price_vec[0]]
+    accept, _ = logit.fractions(single)
+    # One live campaign: the logit share reduces to the paper's p(c).
+    assert np.isclose(accept[0], MODEL.probability(single[0]), atol=1e-12)

@@ -1,0 +1,131 @@
+"""The canonical golden-trace cases, shared by the test and the regen script.
+
+Everything here must be deterministic: fixed stream means, fixed seeds,
+fixed scenario events.  ``run_case`` returns the full golden payload —
+scenario spec, deterministic result fields, telemetry — as a
+JSON-normalized dict, so the comparator can diff it 1:1 against the
+committed trace.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.engine import MarketplaceEngine, ShardedEngine, generate_workload
+from repro.engine.clock import EngineResult
+from repro.market.acceptance import paper_acceptance_model
+from repro.scenario import (
+    CampaignChurn,
+    Cancellation,
+    DemandShock,
+    Scenario,
+    ScenarioDriver,
+)
+from repro.sim.stream import SharedArrivalStream
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+
+NUM_INTERVALS = 28
+SCENARIO_SEED = 17
+BASE_SEED = 9
+
+#: Case name -> engine factory kwargs.
+CASES = {
+    "pooled_small": {"num_shards": 0},
+    "sharded3_small": {"num_shards": 3},
+}
+
+
+def golden_scenario() -> Scenario:
+    """Churn + shock + one cancellation, hand-pinned for trace stability."""
+    return Scenario(
+        name="golden-small",
+        seed=SCENARIO_SEED,
+        description="canonical churn + shock + cancellation trace case",
+        events=(
+            CampaignChurn(start=0, stop=20, every=7, per_wave=1,
+                          templates=("dl-small", "bg-lean"),
+                          adaptive_fraction=0.5, prefix="g"),
+            DemandShock(start=10, stop=16, factor=2.0),
+            # Cancels the first churn campaign mid-flight (id pinned: the
+            # churn event sits at index 0 under SCENARIO_SEED).
+            Cancellation(tick=4, campaign_id="g0-000-00"),
+        ),
+    )
+
+
+def make_stream() -> SharedArrivalStream:
+    means = 650.0 + 200.0 * np.sin(np.linspace(0.0, 2.0 * np.pi, NUM_INTERVALS))
+    return SharedArrivalStream(means)
+
+
+def build_driver(case: str) -> ScenarioDriver:
+    """Construct one canonical case's engine + driver (not yet started)."""
+    num_shards = CASES[case]["num_shards"]
+    if num_shards:
+        engine: MarketplaceEngine | ShardedEngine = ShardedEngine(
+            make_stream(), paper_acceptance_model(), num_shards=num_shards,
+            executor="serial", planning="stationary",
+        )
+    else:
+        engine = MarketplaceEngine(
+            make_stream(), paper_acceptance_model(), planning="stationary"
+        )
+    engine.submit(generate_workload(4, NUM_INTERVALS, seed=BASE_SEED))
+    return ScenarioDriver(engine, golden_scenario())
+
+
+def result_to_dict(result: EngineResult) -> dict:
+    """The deterministic slice of an EngineResult (no wall-clock fields)."""
+    return {
+        "num_shards": result.num_shards,
+        "intervals_run": result.intervals_run,
+        "total_arrivals": result.total_arrivals,
+        "total_considered": result.total_considered,
+        "total_accepted": result.total_accepted,
+        "max_concurrent": result.max_concurrent,
+        "cache": {
+            "hits": result.cache_stats.hits,
+            "misses": result.cache_stats.misses,
+            "evictions": result.cache_stats.evictions,
+            "entries": result.cache_stats.entries,
+        },
+        "outcomes": [
+            {
+                "campaign_id": o.spec.campaign_id,
+                "kind": o.spec.kind,
+                "completed": o.completed,
+                "remaining": o.remaining,
+                "total_cost": o.total_cost,
+                "penalty": o.penalty,
+                "finished_interval": o.finished_interval,
+                "cancelled": o.cancelled,
+                "cache_hit": o.cache_hit,
+                "num_solves": o.num_solves,
+            }
+            for o in sorted(result.outcomes, key=lambda o: o.spec.campaign_id)
+        ],
+    }
+
+
+def run_case(case: str) -> dict:
+    """Run one canonical case and return its JSON-normalized golden payload."""
+    driver = build_driver(case)
+    result = driver.run()
+    payload = {
+        "case": case,
+        "scenario": driver.scenario.to_dict(),
+        "result": result_to_dict(result),
+        "telemetry": driver.telemetry.to_dict(),
+    }
+    # Round-trip through JSON so tuples/np scalars normalize exactly the
+    # way the committed trace file stores them.
+    return json.loads(json.dumps(payload))
+
+
+def trace_path(case: str) -> pathlib.Path:
+    """Where the committed golden trace for ``case`` lives."""
+    return GOLDEN_DIR / f"{case}.json"

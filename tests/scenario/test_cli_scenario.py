@@ -1,0 +1,117 @@
+"""CLI coverage for ``repro engine scenario run`` and ``--list-scenarios``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenario import CANNED_SCENARIOS
+
+# Small stream so CLI runs stay fast: 8 hours of 20-minute ticks = 24.
+FAST = ["--horizon-hours", "8"]
+
+
+class TestListScenarios:
+    def test_lists_every_canned_scenario(self, capsys):
+        assert main(["engine", "scenario", "run", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in CANNED_SCENARIOS:
+            assert name in out
+
+
+class TestScenarioRun:
+    def test_canned_run_smoke(self, capsys):
+        code = main(["engine", "scenario", "run", "--canned", "steady-churn",
+                     *FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario      : 'steady-churn'" in out
+        assert "telemetry     :" in out
+        assert "campaigns     :" in out
+
+    def test_shard_count_never_changes_telemetry(self, capsys):
+        assert main(["engine", "scenario", "run", "--canned", "black-friday",
+                     *FAST, "--shards", "1"]) == 0
+        one = capsys.readouterr().out
+        assert main(["engine", "scenario", "run", "--canned", "black-friday",
+                     *FAST, "--shards", "3"]) == 0
+        three = capsys.readouterr().out
+        # Identical telemetry line; only the serving/throughput lines differ.
+        telemetry = [l for l in one.splitlines() if l.startswith("telemetry")]
+        assert telemetry and telemetry == [
+            l for l in three.splitlines() if l.startswith("telemetry")
+        ]
+
+    def test_spec_file_and_seed_override(self, tmp_path, capsys):
+        from repro.scenario import canned_scenario
+
+        spec = tmp_path / "spec.json"
+        canned_scenario("steady-churn", 24, seed=3).dump(spec)
+        code = main(["engine", "scenario", "run", "--spec", str(spec),
+                     "--seed", "5", *FAST])
+        assert code == 0
+        assert "seed=5" in capsys.readouterr().out
+
+    def test_telemetry_out_writes_json(self, tmp_path, capsys):
+        out_path = tmp_path / "telemetry.json"
+        code = main(["engine", "scenario", "run", "--canned", "day-night",
+                     *FAST, "--telemetry-out", str(out_path)])
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert data["series"]["interval"]
+        assert len(data["series"]["rate_factor"]) == len(data["series"]["interval"])
+
+    def test_base_campaigns_add_static_load(self, capsys):
+        assert main(["engine", "scenario", "run", "--canned", "steady-churn",
+                     *FAST, "--base-campaigns", "4"]) == 0
+        assert "+ 4 base" in capsys.readouterr().out
+
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path, capsys):
+        args = ["engine", "scenario", "run", "--canned", "black-friday", *FAST]
+        assert main(args) == 0
+        uninterrupted = capsys.readouterr().out
+        bundle = tmp_path / "bundle"
+        assert main([*args, "--stop-after", "7",
+                     "--checkpoint-path", str(bundle)]) == 0
+        assert "stopped" in capsys.readouterr().out
+        assert main(["engine", "scenario", "run", "--resume", str(bundle)]) == 0
+        resumed = capsys.readouterr().out
+        assert "resume        :" in resumed
+        ref_telemetry = [l for l in uninterrupted.splitlines()
+                         if l.startswith("telemetry")]
+        assert ref_telemetry == [l for l in resumed.splitlines()
+                                 if l.startswith("telemetry")]
+
+    def test_stop_after_still_writes_partial_telemetry(self, tmp_path, capsys):
+        out_path = tmp_path / "partial.json"
+        code = main(["engine", "scenario", "run", "--canned", "steady-churn",
+                     *FAST, "--stop-after", "5",
+                     "--checkpoint-path", str(tmp_path / "bundle"),
+                     "--telemetry-out", str(out_path)])
+        assert code == 0
+        assert "partial: 5 ticks" in capsys.readouterr().out
+        data = json.loads(out_path.read_text())
+        assert len(data["series"]["interval"]) == 5
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["engine", "scenario", "run", *FAST]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["engine", "scenario", "run", "--canned", "day-night",
+                     "--spec", "x.json", *FAST]) == 2
+
+    def test_unknown_canned_name(self, capsys):
+        assert main(["engine", "scenario", "run", "--canned", "no-such",
+                     *FAST]) == 2
+        assert "unknown canned scenario" in capsys.readouterr().err
+
+    def test_checkpoint_flags_require_path(self, capsys):
+        assert main(["engine", "scenario", "run", "--canned", "day-night",
+                     *FAST, "--stop-after", "5"]) == 2
+        assert "--checkpoint-path" in capsys.readouterr().err
+
+    def test_resume_missing_bundle(self, tmp_path, capsys):
+        assert main(["engine", "scenario", "run",
+                     "--resume", str(tmp_path / "nope")]) == 2
+        assert "no checkpoint bundle" in capsys.readouterr().err

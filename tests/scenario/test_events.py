@@ -1,0 +1,98 @@
+"""Scenario event types: validation, compilation helpers, JSON round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenario import (
+    EVENT_TYPES,
+    CampaignChurn,
+    Cancellation,
+    DemandShock,
+    RateSchedule,
+    event_from_dict,
+    event_to_dict,
+)
+
+
+class TestValidation:
+    def test_churn_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            CampaignChurn(start=-1, stop=5)
+        with pytest.raises(ValueError):
+            CampaignChurn(start=5, stop=5)
+        with pytest.raises(ValueError):
+            CampaignChurn(start=0, stop=5, every=0)
+        with pytest.raises(ValueError):
+            CampaignChurn(start=0, stop=5, per_wave=0)
+        with pytest.raises(ValueError):
+            CampaignChurn(start=0, stop=5, adaptive_fraction=1.5)
+        with pytest.raises(ValueError):
+            CampaignChurn(start=0, stop=5, prefix="")
+
+    def test_shock_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            DemandShock(start=3, stop=3, factor=2.0)
+        with pytest.raises(ValueError):
+            DemandShock(start=0, stop=3, factor=-1.0)
+        with pytest.raises(ValueError):
+            DemandShock(start=0, stop=3, factor=float("nan"))
+
+    def test_schedule_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            RateSchedule(multipliers=(), every=4)
+        with pytest.raises(ValueError):
+            RateSchedule(multipliers=(1.0, -2.0), every=4)
+        with pytest.raises(ValueError):
+            RateSchedule(multipliers=(1.0,), every=0)
+
+    def test_cancellation_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            Cancellation(tick=-1, campaign_id="x")
+        with pytest.raises(ValueError):
+            Cancellation(tick=0, campaign_id="")
+
+
+class TestCompilationHelpers:
+    def test_shock_multipliers_window(self):
+        shock = DemandShock(start=2, stop=5, factor=3.0)
+        out = shock.multipliers(8)
+        assert out.tolist() == [1.0, 1.0, 3.0, 3.0, 3.0, 1.0, 1.0, 1.0]
+
+    def test_schedule_cycles(self):
+        schedule = RateSchedule(multipliers=(2.0, 0.5), every=2, start=1)
+        out = schedule.multipliers_over(8)
+        # Tick 0 unmodulated; then 2.0 for 2 ticks, 0.5 for 2, cycling.
+        assert out.tolist() == [1.0, 2.0, 2.0, 0.5, 0.5, 2.0, 2.0, 0.5]
+
+    def test_churn_wave_ticks_clip_to_horizon(self):
+        churn = CampaignChurn(start=2, stop=100, every=5)
+        assert list(churn.wave_ticks(14)) == [2, 7, 12]
+
+
+class TestJsonRoundTrip:
+    EVENTS = [
+        CampaignChurn(start=0, stop=20, every=4, per_wave=2,
+                      templates=("dl-small",), adaptive_fraction=0.5,
+                      prefix="x"),
+        DemandShock(start=5, stop=9, factor=2.5),
+        RateSchedule(multipliers=(1.3, 0.7), every=6, start=2),
+        Cancellation(tick=7, campaign_id="x0-000-00"),
+    ]
+
+    @pytest.mark.parametrize("event", EVENTS, ids=lambda e: type(e).__name__)
+    def test_round_trip(self, event):
+        data = event_to_dict(event)
+        assert data["type"] in EVENT_TYPES
+        import json
+
+        assert event_from_dict(json.loads(json.dumps(data))) == event
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario event"):
+            event_from_dict({"type": "meteor-strike"})
+
+    def test_non_event_rejected(self):
+        with pytest.raises(TypeError):
+            event_to_dict(object())

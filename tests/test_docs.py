@@ -20,6 +20,7 @@ DOCS_PAGES = (
     "docs/paper_mapping.md",
     "docs/performance.md",
     "docs/checkpointing.md",
+    "docs/scenarios.md",
 )
 #: Relative markdown links: [text](target) excluding URLs and anchors.
 _LINK = re.compile(r"\[[^\]]+\]\((?!https?://|#|mailto:)([^)#\s]+)")
