@@ -5,8 +5,8 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-scenario cov regen-golden docs-check \
-	checkpoint-smoke lint-docs all
+.PHONY: test bench bench-scenario bench-serve serve-smoke cov \
+	regen-golden docs-check checkpoint-smoke lint-docs all
 
 ## Tier-1 test suite (what CI gates on).
 test:
@@ -22,6 +22,17 @@ bench:
 ## CI runs this with REPRO_BENCH_SMOKE=1 (tiny horizon, same code paths).
 bench-scenario:
 	$(PYTEST) benchmarks/bench_scenario.py -q -p no:cacheprovider
+
+## Serving-gateway benchmarks: sustained requests/sec through the
+## gateway (>= 5k bar, recorded under BENCH_engine.json's "serve" key)
+## and closed-loop latency percentiles.
+bench-serve:
+	$(PYTEST) benchmarks/bench_serve.py -q -p no:cacheprovider
+
+## Serving smoke (CI): the serve bench on a tiny horizon — same code
+## paths, seconds of wall-clock, same >= 5k requests/sec bar.
+serve-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTEST) benchmarks/bench_serve.py -q -p no:cacheprovider
 
 ## Coverage gate (CI): line coverage over src/repro with a ratcheted
 ## fail-under floor — raise the threshold when coverage rises, never

@@ -21,20 +21,26 @@ for entry in (REPO_ROOT / "src", REPO_ROOT):
     if str(entry) not in sys.path:  # allow running without an install step
         sys.path.insert(0, str(entry))
 
-from tests.golden.cases import CASES, run_case, trace_path  # noqa: E402
+from tests.golden.cases import (  # noqa: E402
+    CASES,
+    SERVE_CASES,
+    run_any_case,
+    trace_path,
+)
 
 
 def main() -> int:
     """Recompute every canonical case and rewrite its committed trace."""
-    for case in sorted(CASES):
-        payload = run_case(case)
+    for case in sorted(CASES) + sorted(SERVE_CASES):
+        payload = run_any_case(case)
         path = trace_path(case)
         path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
-        telemetry_ticks = len(payload["telemetry"]["series"]["interval"])
+        telemetry = payload["telemetry"]
+        series = telemetry["engine"]["series"] if "engine" in telemetry else telemetry["series"]
         print(
             f"{path.relative_to(REPO_ROOT)}: "
             f"{len(payload['result']['outcomes'])} outcomes, "
-            f"{telemetry_ticks} telemetry ticks"
+            f"{len(series['interval'])} telemetry ticks"
         )
     print("review the diff before committing (git diff tests/golden/)")
     return 0

@@ -65,12 +65,17 @@ Subpackages
 * :mod:`repro.scenario` — declarative stress scenarios (churn, demand
   shocks, cancellations) driven tick-by-tick with a determinism
   contract across shards/executors/checkpoints.
+* :mod:`repro.serve` — the serving gateway: an async request frontier
+  (submissions, quotes, cancellations, telemetry reads) over one engine
+  session, with tick-boundary admission batching, backpressure, a seeded
+  load generator, and the served-equals-offline determinism contract.
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 See ``docs/architecture.md`` for the module map and dataflow,
 ``docs/paper_mapping.md`` for the paper-to-code index,
-``docs/performance.md`` for benchmarks and the fast path, and
-``docs/scenarios.md`` for the scenario spec schema and telemetry.
+``docs/performance.md`` for benchmarks and the fast path,
+``docs/scenarios.md`` for the scenario spec schema and telemetry, and
+``docs/serving.md`` for the gateway's request semantics.
 """
 
 from repro.core import (

@@ -13,7 +13,10 @@ Four commands cover the library's day-to-day uses:
   run`` drives a *static* workload (every campaign known up front);
   ``engine scenario run`` drives a *declarative stress scenario* — churn,
   demand shocks, cancellations — with per-tick telemetry
-  (``--list-scenarios`` prints the canned library).
+  (``--list-scenarios`` prints the canned library); ``engine serve``
+  replays a *request trace* (or a scenario lowered into one) through the
+  serving gateway, and ``engine loadtest`` drives live synthetic clients
+  against it, reporting requests/sec and latency percentiles.
 
 Examples::
 
@@ -30,6 +33,9 @@ Examples::
     python -m repro engine scenario run --spec my_scenario.json \
         --telemetry-out telemetry.json
     python -m repro engine scenario run --list-scenarios
+    python -m repro engine serve --canned flash-crowd --max-live 32
+    python -m repro engine serve --trace requests.json --shards 3
+    python -m repro engine loadtest --clients 8 --requests 24
 """
 
 from __future__ import annotations
@@ -41,6 +47,69 @@ from typing import Sequence
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_serving_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """The stream/engine flags every serving command shares.
+
+    ``engine run``, ``engine scenario run``, ``engine serve``, and
+    ``engine loadtest`` all construct the same synthetic-trace stream and
+    engine front-end; defining the flags once keeps the four commands'
+    serving surface from drifting.
+    """
+    parser.add_argument("--horizon-hours", type=float, default=48.0)
+    parser.add_argument("--interval-minutes", type=float, default=20.0)
+    parser.add_argument(
+        "--start-day", type=int, default=7, help="trace day the stream starts on"
+    )
+    parser.add_argument(
+        "--planning", choices=["sliced", "stationary"], default="stationary",
+        help="campaign planning forecast: time-aligned slices, or one "
+        "canonical flat forecast (maximizes policy-cache reuse)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=256,
+        help="policy-cache capacity; 0 disables memoization",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="partition campaigns across N worker shards (ShardedEngine); "
+        "0 = classic single-loop engine.  Results are identical for any "
+        "N >= 1 under the same seed",
+    )
+    parser.add_argument(
+        "--executor", choices=["thread", "serial"], default="thread",
+        help="shard executor (with --shards): thread pool or serial loop; "
+        "the choice never changes results",
+    )
+    parser.add_argument(
+        "--solver", choices=["batch", "scalar"], default="batch",
+        help="policy-solve path on cache miss: one stacked array pass per "
+        "tick (batch, the fast path) or one solve per campaign (scalar)",
+    )
+
+
+def _add_checkpoint_flags(parser: argparse.ArgumentParser, what: str) -> None:
+    """The durable-run flags shared by ``run``/``scenario run``/``serve``."""
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help=f"save a {what} bundle every N engine ticks (0 = never); "
+        "requires --checkpoint-path",
+    )
+    parser.add_argument(
+        "--checkpoint-path", metavar="P", default=None,
+        help="checkpoint bundle directory (manifest.json + arrays.npz)",
+    )
+    parser.add_argument(
+        "--stop-after", type=int, default=0, metavar="T",
+        help=f"stop after T ticks, saving a final {what} bundle (simulates "
+        "a kill mid-run; requires --checkpoint-path)",
+    )
+    parser.add_argument(
+        "--resume", metavar="P", default=None,
+        help=f"resume a {what} from bundle P and finish it (workload and "
+        "stream flags are ignored; the bundle carries the state)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,19 +199,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--campaigns", type=int, default=60,
         help="number of campaigns to submit (default 60)",
     )
-    engine_run.add_argument("--horizon-hours", type=float, default=48.0)
-    engine_run.add_argument("--interval-minutes", type=float, default=20.0)
-    engine_run.add_argument(
-        "--start-day", type=int, default=7, help="trace day the stream starts on"
-    )
     engine_run.add_argument(
         "--router", choices=["logit", "uniform"], default="logit",
         help="how arriving workers choose among live campaigns",
-    )
-    engine_run.add_argument(
-        "--planning", choices=["sliced", "stationary"], default="stationary",
-        help="campaign planning forecast: time-aligned slices, or one "
-        "canonical flat forecast (maximizes policy-cache reuse)",
     )
     engine_run.add_argument(
         "--budget-fraction", type=float, default=0.3,
@@ -158,26 +217,6 @@ def build_parser() -> argparse.ArgumentParser:
         "unscaled forecast; adaptive campaigns compensate online)",
     )
     engine_run.add_argument(
-        "--cache-size", type=int, default=256,
-        help="policy-cache capacity; 0 disables memoization",
-    )
-    engine_run.add_argument(
-        "--shards", type=int, default=0, metavar="N",
-        help="partition campaigns across N worker shards (ShardedEngine); "
-        "0 = classic single-loop engine.  Results are identical for any "
-        "N >= 1 under the same seed",
-    )
-    engine_run.add_argument(
-        "--executor", choices=["thread", "serial"], default="thread",
-        help="shard executor (with --shards): thread pool or serial loop; "
-        "the choice never changes results",
-    )
-    engine_run.add_argument(
-        "--solver", choices=["batch", "scalar"], default="batch",
-        help="policy-solve path on cache miss: one stacked array pass per "
-        "tick (batch, the fast path) or one solve per campaign (scalar)",
-    )
-    engine_run.add_argument(
         "--seed", type=int, default=7,
         help="seeds both the workload draw (which campaigns exist) and the "
         "engine run (realized arrivals); scenario timelines carry their "
@@ -187,25 +226,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-campaign", action="store_true",
         help="also print one line per retired campaign",
     )
-    engine_run.add_argument(
-        "--checkpoint-every", type=int, default=0, metavar="N",
-        help="save a checkpoint bundle every N engine ticks (0 = never); "
-        "requires --checkpoint-path",
-    )
-    engine_run.add_argument(
-        "--checkpoint-path", metavar="P", default=None,
-        help="checkpoint bundle directory (manifest.json + arrays.npz)",
-    )
-    engine_run.add_argument(
-        "--stop-after", type=int, default=0, metavar="T",
-        help="stop after T ticks, saving a final checkpoint (simulates a "
-        "kill mid-run; requires --checkpoint-path)",
-    )
-    engine_run.add_argument(
-        "--resume", metavar="P", default=None,
-        help="resume a checkpointed run from bundle P and finish it "
-        "(workload flags are ignored; the bundle carries the state)",
-    )
+    _add_serving_engine_flags(engine_run)
+    _add_checkpoint_flags(engine_run, "checkpoint")
 
     scenario = engine_sub.add_parser(
         "scenario",
@@ -247,55 +269,132 @@ def build_parser() -> argparse.ArgumentParser:
         help="also submit N static workload campaigns up front, under the "
         "scenario's churn (default 0: scenario traffic only)",
     )
-    scenario_run.add_argument("--horizon-hours", type=float, default=48.0)
-    scenario_run.add_argument("--interval-minutes", type=float, default=20.0)
-    scenario_run.add_argument(
-        "--start-day", type=int, default=7, help="trace day the stream starts on"
-    )
-    scenario_run.add_argument(
-        "--planning", choices=["sliced", "stationary"], default="stationary",
-        help="campaign planning forecast (as in 'engine run')",
-    )
-    scenario_run.add_argument(
-        "--cache-size", type=int, default=256,
-        help="policy-cache capacity; 0 disables memoization",
-    )
-    scenario_run.add_argument(
-        "--shards", type=int, default=0, metavar="N",
-        help="partition campaigns across N worker shards; 0 = pooled "
-        "engine.  Telemetry is identical for any N >= 1 under one seed",
-    )
-    scenario_run.add_argument(
-        "--executor", choices=["thread", "serial"], default="thread",
-        help="shard executor (with --shards); never changes results",
-    )
-    scenario_run.add_argument(
-        "--solver", choices=["batch", "scalar"], default="batch",
-        help="policy-solve path on cache miss (as in 'engine run')",
-    )
     scenario_run.add_argument(
         "--telemetry-out", metavar="PATH", default=None,
         help="write the per-tick telemetry to PATH as JSON",
     )
-    scenario_run.add_argument(
-        "--checkpoint-every", type=int, default=0, metavar="N",
-        help="save a bundle (engine + scenario cursor + telemetry) every "
-        "N ticks (0 = never); requires --checkpoint-path",
+    _add_serving_engine_flags(scenario_run)
+    _add_checkpoint_flags(scenario_run, "scenario run")
+
+    serve = engine_sub.add_parser(
+        "serve",
+        help="serve a request trace (or a scenario) through the gateway",
+        description=(
+            "Run the serving gateway over one engine session: typed client "
+            "requests — campaign submissions, quotes, cancellations, "
+            "telemetry reads, snapshots — are coalesced into per-tick "
+            "admission batches riding the engine's ordinary mid-flight "
+            "submit()/cancel() paths, with backpressure once the "
+            "live-campaign budget (--max-live) or the request queue "
+            "(--max-queue) fills.  The request source is a recorded trace "
+            "(--trace, see 'engine loadtest' and RequestTrace.save) or a "
+            "declarative scenario lowered into one (--canned/--spec).  A "
+            "served run is deterministic: the same trace and seed produce "
+            "per-campaign outcomes and telemetry bit-identical to the "
+            "offline run, across shard counts and checkpoint/resume "
+            "boundaries; see docs/serving.md."
+        ),
     )
-    scenario_run.add_argument(
-        "--checkpoint-path", metavar="P", default=None,
-        help="checkpoint bundle directory",
+    serve.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="request trace to replay (JSON; see RequestTrace.save)",
     )
-    scenario_run.add_argument(
-        "--stop-after", type=int, default=0, metavar="T",
-        help="stop after T ticks, saving a final bundle (simulates a kill "
-        "mid-scenario; requires --checkpoint-path)",
+    serve.add_argument(
+        "--canned", metavar="NAME", default=None,
+        help="serve a built-in scenario's traffic through the gateway "
+        "(see 'engine scenario run --list-scenarios')",
     )
-    scenario_run.add_argument(
-        "--resume", metavar="P", default=None,
-        help="resume a scenario run from bundle P and finish it "
-        "(scenario/stream flags are ignored; the bundle carries the state)",
+    serve.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help="serve a scenario spec's traffic through the gateway",
     )
+    serve.add_argument(
+        "--seed", type=int, default=None,
+        help="engine session seed (default: the scenario's own seed, or 0 "
+        "for --trace)",
+    )
+    serve.add_argument(
+        "--base-campaigns", type=int, default=0, metavar="N",
+        help="also submit N static workload campaigns up front",
+    )
+    serve.add_argument(
+        "--max-live", type=int, default=0, metavar="N",
+        help="live-campaign admission budget: submissions are rejected "
+        "(backpressure) while N campaigns are live or pending "
+        "(0 = unlimited)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="mutating-request queue depth; offers beyond it are rejected "
+        "at offer time (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--telemetry-out", metavar="PATH", default=None,
+        help="write the serving telemetry (serve + engine series) as JSON",
+    )
+    _add_serving_engine_flags(serve)
+    _add_checkpoint_flags(serve, "served run")
+
+    loadtest = engine_sub.add_parser(
+        "loadtest",
+        help="drive synthetic clients against a served engine session",
+        description=(
+            "Run the seeded LoadGenerator against an in-process gateway "
+            "and report sustained requests/sec plus offer-to-response "
+            "latency percentiles (p50/p95/p99).  Closed mode (default) "
+            "runs real asyncio client sessions — issue, await the "
+            "response, think, repeat — against a live serve() loop; open "
+            "mode draws a Poisson per-tick arrival trace and replays it "
+            "deterministically.  The same knobs feed "
+            "benchmarks/bench_serve.py."
+        ),
+    )
+    loadtest.add_argument(
+        "--mode", choices=["closed", "open"], default="closed",
+        help="closed: real client sessions adapt to service speed; "
+        "open: exogenous Poisson arrivals replayed deterministically",
+    )
+    loadtest.add_argument(
+        "--clients", type=int, default=8, help="concurrent client sessions"
+    )
+    loadtest.add_argument(
+        "--requests", type=int, default=24,
+        help="requests per client before it goes quiet (closed mode)",
+    )
+    loadtest.add_argument(
+        "--rate", type=float, default=4.0,
+        help="mean requests per tick (open mode)",
+    )
+    loadtest.add_argument(
+        "--think", type=int, default=1,
+        help="mean think ticks between a response and the next request",
+    )
+    loadtest.add_argument(
+        "--loadgen-seed", type=int, default=3,
+        help="seeds the client traffic draw (independent of --seed)",
+    )
+    loadtest.add_argument(
+        "--mix", nargs=4, type=float, default=[0.5, 0.3, 0.1, 0.1],
+        metavar=("SUBMIT", "QUOTE", "CANCEL", "QUERY"),
+        help="relative request-kind weights of the client mix",
+    )
+    loadtest.add_argument(
+        "--max-live", type=int, default=0, metavar="N",
+        help="live-campaign admission budget (0 = unlimited)",
+    )
+    loadtest.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="request queue depth (0 = unbounded)",
+    )
+    loadtest.add_argument(
+        "--seed", type=int, default=7, help="engine session seed"
+    )
+    loadtest.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="also save the generated open-mode trace to PATH (replayable "
+        "with 'engine serve --trace')",
+    )
+    _add_serving_engine_flags(loadtest)
     return parser
 
 
@@ -395,19 +494,56 @@ def _cmd_solve_budget(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_engine(args: argparse.Namespace, router=None, surge: float = 1.0):
-    """Shared engine construction for ``engine run`` / ``engine scenario run``.
+class _CliError(Exception):
+    """A bad command line or input; the message prints to stderr, exit 2.
 
-    Builds the synthetic-trace arrival stream from the common stream flags
+    Every serving command (``engine run``, ``engine scenario run``,
+    ``engine serve``, ``engine loadtest``) funnels its flag validation and
+    construction failures through this one exception, so the exit-code-2
+    behaviour cannot drift between them.
+    """
+
+
+def _check_serving_flags(args: argparse.Namespace) -> None:
+    """Validate the flags shared by every serving command."""
+    if args.shards < 0:
+        raise _CliError(f"--shards must be >= 0, got {args.shards}")
+    checkpoint_every = getattr(args, "checkpoint_every", 0)
+    stop_after = getattr(args, "stop_after", 0)
+    if checkpoint_every < 0 or stop_after < 0:
+        raise _CliError("--checkpoint-every and --stop-after must be >= 0")
+    if (checkpoint_every or stop_after) and not getattr(
+        args, "checkpoint_path", None
+    ):
+        raise _CliError("--checkpoint-every/--stop-after need --checkpoint-path")
+
+
+def _make_serving_engine(
+    args: argparse.Namespace, router=None, surge: float = 1.0
+):
+    """Validate the shared flags, then build the stream and engine.
+
+    The one construction path behind ``engine run``, ``engine scenario
+    run``, ``engine serve``, and ``engine loadtest``: the synthetic-trace
+    arrival stream comes from the common stream flags
     (``--horizon-hours``/``--interval-minutes``/``--start-day``) and the
     engine front-end from the common serving flags (``--shards``/
     ``--executor``/``--planning``/``--cache-size``/``--solver``), so the
-    two commands can never diverge on what an engine *is*.  ``surge``
-    scales realized arrivals while planning keeps the unscaled forecast;
+    commands can never diverge on what an engine *is*.  ``surge`` scales
+    realized arrivals while planning keeps the unscaled forecast;
     ``router=None`` uses the engine's default.  Returns
-    ``(num_intervals, engine)``; raises :class:`ValueError` on bad
-    configuration (the callers turn that into an exit-2 message).
+    ``(num_intervals, engine)``; every bad configuration surfaces as
+    :class:`_CliError` (one exit-2 message, uniform across commands).
     """
+    _check_serving_flags(args)
+    try:
+        return _build_engine(args, router=router, surge=surge)
+    except ValueError as exc:
+        raise _CliError(str(exc)) from exc
+
+
+def _build_engine(args: argparse.Namespace, router=None, surge: float = 1.0):
+    """Construct the stream + engine (see :func:`_make_serving_engine`)."""
     from repro.engine import MarketplaceEngine, PolicyCache, ShardedEngine
     from repro.market.acceptance import paper_acceptance_model
     from repro.market.tracker import SyntheticTrackerTrace
@@ -441,8 +577,20 @@ def _build_engine(args: argparse.Namespace, router=None, surge: float = 1.0):
 
 
 def _cmd_engine(args: argparse.Namespace) -> int:
-    if args.action == "scenario":
-        return _cmd_engine_scenario(args)
+    dispatch = {
+        "scenario": _cmd_engine_scenario,
+        "serve": _cmd_engine_serve,
+        "loadtest": _cmd_engine_loadtest,
+        "run": _cmd_engine_run,
+    }
+    try:
+        return dispatch[args.action](args)
+    except _CliError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+def _cmd_engine_run(args: argparse.Namespace) -> int:
     from repro.engine import (
         CheckpointError,
         LogitRouter,
@@ -453,24 +601,12 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     )
     from repro.market.acceptance import paper_acceptance_model
 
-    if args.shards < 0:
-        print(f"--shards must be >= 0, got {args.shards}", file=sys.stderr)
-        return 2
-    if args.checkpoint_every < 0 or args.stop_after < 0:
-        print("--checkpoint-every and --stop-after must be >= 0", file=sys.stderr)
-        return 2
-    if (args.checkpoint_every or args.stop_after) and not args.checkpoint_path:
-        print(
-            "--checkpoint-every/--stop-after need --checkpoint-path",
-            file=sys.stderr,
-        )
-        return 2
+    _check_serving_flags(args)
     if args.resume:
         try:
             engine = restore_engine(args.resume)
         except CheckpointError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
+            raise _CliError(str(exc)) from exc
         core = engine.core
         assert core is not None  # restore_engine always opens a session
         print(f"resume        : {args.resume} at tick {core.clock} "
@@ -483,10 +619,10 @@ def _cmd_engine(args: argparse.Namespace) -> int:
             if args.router == "logit"
             else UniformRouter(acceptance)
         )
+        num_intervals, engine = _make_serving_engine(
+            args, router=router, surge=args.surge
+        )
         try:
-            num_intervals, engine = _build_engine(
-                args, router=router, surge=args.surge
-            )
             specs = generate_workload(
                 args.campaigns,
                 num_intervals,
@@ -496,8 +632,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
             )
             engine.submit(specs)
         except ValueError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
+            raise _CliError(str(exc)) from exc
         core = engine.start(seed=args.seed)
         sharding = (
             f"shards={args.shards} ({args.executor})"
@@ -555,24 +690,12 @@ def _cmd_engine_scenario(args: argparse.Namespace) -> int:
         for name, description in list_scenarios():
             print(f"{name.ljust(width)}  {description}")
         return 0
-    if args.shards < 0:
-        print(f"--shards must be >= 0, got {args.shards}", file=sys.stderr)
-        return 2
-    if args.checkpoint_every < 0 or args.stop_after < 0:
-        print("--checkpoint-every and --stop-after must be >= 0", file=sys.stderr)
-        return 2
-    if (args.checkpoint_every or args.stop_after) and not args.checkpoint_path:
-        print(
-            "--checkpoint-every/--stop-after need --checkpoint-path",
-            file=sys.stderr,
-        )
-        return 2
+    _check_serving_flags(args)
     if args.resume:
         try:
             driver = ScenarioDriver.resume(args.resume)
         except CheckpointError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
+            raise _CliError(str(exc)) from exc
         core = driver.core
         assert core is not None  # resume always reopens the session
         print(f"resume        : {args.resume} scenario "
@@ -581,12 +704,10 @@ def _cmd_engine_scenario(args: argparse.Namespace) -> int:
               f"{driver.telemetry.num_ticks} ticks of telemetry)")
     else:
         if (args.spec is None) == (args.canned is None):
-            print(
+            raise _CliError(
                 "pick exactly one scenario source: --spec FILE or "
-                "--canned NAME (--list-scenarios shows the library)",
-                file=sys.stderr,
+                "--canned NAME (--list-scenarios shows the library)"
             )
-            return 2
         num_intervals = int(
             round(args.horizon_hours * 60.0 / args.interval_minutes)
         )
@@ -601,18 +722,16 @@ def _cmd_engine_scenario(args: argparse.Namespace) -> int:
                     seed=args.seed if args.seed is not None else 0,
                 )
         except (OSError, KeyError, ValueError) as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
+            raise _CliError(str(exc)) from exc
+        num_intervals, engine = _make_serving_engine(args)
         try:
-            num_intervals, engine = _build_engine(args)
             if args.base_campaigns:
                 engine.submit(generate_workload(
                     args.base_campaigns, num_intervals, seed=scenario.seed
                 ))
             driver = ScenarioDriver(engine, scenario)
         except ValueError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
+            raise _CliError(str(exc)) from exc
         driver.start()
         sharding = (
             f"shards={args.shards} ({args.executor})"
@@ -654,6 +773,200 @@ def _cmd_engine_scenario(args: argparse.Namespace) -> int:
     if args.telemetry_out:
         path = driver.telemetry.save(args.telemetry_out)
         print(f"telemetry     : written to {path}")
+    return 0
+
+
+def _serve_scenario_inputs(args: argparse.Namespace, num_intervals: int):
+    """Resolve ``engine serve``'s request source into a trace + modulation.
+
+    Returns ``(trace, rate_multipliers, seed)``; every bad source (missing
+    file, unknown canned name, malformed JSON) surfaces as
+    :class:`_CliError`.
+    """
+    import dataclasses
+
+    from repro.scenario import Scenario, canned_scenario
+    from repro.serve import RequestTrace
+
+    sources = [s for s in (args.trace, args.canned, args.spec) if s is not None]
+    if len(sources) != 1:
+        raise _CliError(
+            "pick exactly one request source: --trace FILE, --canned NAME, "
+            "or --spec FILE"
+        )
+    if args.trace is not None:
+        try:
+            trace = RequestTrace.load(args.trace)
+        except (OSError, KeyError, TypeError, ValueError) as exc:
+            raise _CliError(
+                f"could not load request trace {args.trace}: {exc}"
+            ) from exc
+        return trace, None, args.seed if args.seed is not None else 0
+    try:
+        if args.spec is not None:
+            scenario = Scenario.load(args.spec)
+            if args.seed is not None:
+                scenario = dataclasses.replace(scenario, seed=args.seed)
+        else:
+            scenario = canned_scenario(
+                args.canned, num_intervals,
+                seed=args.seed if args.seed is not None else 0,
+            )
+        trace = RequestTrace.from_scenario(scenario, num_intervals)
+        multipliers = scenario.compile(num_intervals).rate_multipliers
+    except (OSError, KeyError, ValueError) as exc:
+        raise _CliError(str(exc)) from exc
+    return trace, multipliers, scenario.seed
+
+
+def _cmd_engine_serve(args: argparse.Namespace) -> int:
+    from repro.engine import CheckpointError, generate_workload
+    from repro.serve import Gateway
+
+    _check_serving_flags(args)
+    if args.max_live < 0 or args.max_queue < 0:
+        raise _CliError("--max-live and --max-queue must be >= 0")
+    if args.resume:
+        try:
+            gateway = Gateway.resume(args.resume)
+        except CheckpointError as exc:
+            raise _CliError(str(exc)) from exc
+        core = gateway.core
+        assert core is not None  # resume always reopens the session
+        remaining = gateway.replay_remaining
+        print(f"resume        : {args.resume} at tick {core.clock} "
+              f"({core.num_live} live, {core.num_pending} pending, "
+              f"{gateway.queue.depth} queued requests, "
+              f"{remaining if remaining is not None else 'no'} trace "
+              "requests left)")
+        if remaining is None:
+            raise _CliError(
+                "the bundle carries no trace cursor to finish "
+                "(snapshot taken outside 'engine serve'?)"
+            )
+        runner = gateway.resume_replay
+    else:
+        num_intervals, engine = _make_serving_engine(args)
+        trace, multipliers, seed = _serve_scenario_inputs(args, num_intervals)
+        try:
+            if args.base_campaigns:
+                engine.submit(
+                    generate_workload(args.base_campaigns, num_intervals,
+                                      seed=seed)
+                )
+        except ValueError as exc:
+            raise _CliError(str(exc)) from exc
+        gateway = Gateway(
+            engine,
+            max_live=args.max_live or None,
+            max_queue=args.max_queue or None,
+        )
+        gateway.start(seed=seed, rate_multipliers=multipliers)
+        sharding = (
+            f"shards={args.shards} ({args.executor})"
+            if args.shards > 0
+            else "unsharded"
+        )
+        print(f"serving       : trace {trace.name!r} "
+              f"({trace.num_requests} requests), seed={seed}, "
+              f"{sharding}, solver={args.solver}")
+        print(f"admission     : max-live "
+              f"{args.max_live if args.max_live else 'unlimited'}, "
+              f"queue depth {args.max_queue if args.max_queue else 'unbounded'}")
+
+        def runner(on_tick=None):
+            return gateway.replay(trace, on_tick=on_tick)
+
+    state = {"ticks": 0, "stopped": False}
+
+    def on_tick(gw: "Gateway"):
+        state["ticks"] += 1
+        if args.checkpoint_every and state["ticks"] % args.checkpoint_every == 0:
+            gw.save(args.checkpoint_path)
+        if (
+            args.stop_after
+            and state["ticks"] >= args.stop_after
+            and not (gw.done and not gw.replay_remaining)
+        ):
+            gw.save(args.checkpoint_path)
+            state["stopped"] = True
+            return False
+        return True
+
+    runner(on_tick=on_tick)
+    if state["stopped"]:
+        gateway.engine.close()
+        print(f"stopped       : after {state['ticks']} ticks; served bundle "
+              f"saved to {args.checkpoint_path} "
+              f"(finish with --resume {args.checkpoint_path})")
+        if args.telemetry_out:
+            path = gateway.telemetry.save(args.telemetry_out)
+            print(f"telemetry     : written to {path} "
+                  f"(partial: {gateway.telemetry.num_ticks} ticks)")
+        return 0
+    core = gateway.core
+    assert core is not None
+    result = core.result()
+    gateway.engine.close()
+    print(result.summary())
+    print(gateway.telemetry.summary())
+    if args.telemetry_out:
+        path = gateway.telemetry.save(args.telemetry_out)
+        print(f"telemetry     : written to {path}")
+    return 0
+
+
+def _cmd_engine_loadtest(args: argparse.Namespace) -> int:
+    import asyncio
+    import time
+
+    from repro.serve import ClientMix, Gateway, LoadGenerator
+
+    if args.max_live < 0 or args.max_queue < 0:
+        raise _CliError("--max-live and --max-queue must be >= 0")
+    num_intervals, engine = _make_serving_engine(args)
+    try:
+        generator = LoadGenerator(
+            num_intervals,
+            seed=args.loadgen_seed,
+            clients=args.clients,
+            mix=ClientMix(*args.mix),
+            rate=args.rate,
+            think=args.think,
+            requests_per_client=args.requests,
+        )
+    except ValueError as exc:
+        raise _CliError(str(exc)) from exc
+    gateway = Gateway(
+        engine,
+        max_live=args.max_live or None,
+        max_queue=args.max_queue or None,
+    )
+    gateway.start(seed=args.seed)
+    print(f"loadtest      : mode={args.mode}, {args.clients} clients, "
+          f"loadgen seed {args.loadgen_seed}, engine seed {args.seed}, "
+          f"{num_intervals} intervals")
+    started = time.perf_counter()
+    if args.mode == "closed":
+        responses = asyncio.run(generator.run_closed(gateway))
+        num_responses = len(responses)
+    else:
+        trace = generator.trace("open")
+        if args.trace_out:
+            path = trace.save(args.trace_out)
+            print(f"trace         : written to {path} "
+                  f"({trace.num_requests} requests)")
+        tickets = gateway.replay(trace)
+        num_responses = len(tickets)
+    elapsed = time.perf_counter() - started
+    rps = num_responses / elapsed if elapsed > 0 else 0.0
+    core = gateway.core
+    assert core is not None
+    print(core.result().summary())
+    print(gateway.telemetry.summary())
+    print(f"throughput    : {num_responses} requests in {elapsed:.2f}s "
+          f"({rps:,.0f} requests/sec)")
+    gateway.engine.close()
     return 0
 
 

@@ -178,6 +178,18 @@ class PolicyCache:
                         self._evictions += 1
         return list(zip(results, hit_flags))
 
+    def peek(self, signature: Hashable):
+        """Return the cached policy for ``signature``, or ``None`` — read-only.
+
+        Unlike :meth:`get_or_solve`, a peek counts no hit or miss and does
+        not refresh the entry's LRU position, so observing the cache this
+        way is side-effect free.  The serving gateway answers ``Quote``
+        requests through it: quoting a price must never perturb the
+        admission path's per-tick hit/miss telemetry, or a served run
+        would stop being bit-identical to its offline replay.
+        """
+        return self._entries.get(signature)
+
     @property
     def stats(self) -> CacheStats:
         """Current counters as an immutable snapshot."""

@@ -232,9 +232,10 @@ def save_checkpoint(
 
     ``extras`` is an optional JSON-serializable dict stored verbatim in
     the manifest and read back with :func:`load_extras` — how layers
-    above the engine (the scenario driver's cursor and telemetry) ride
-    inside the same crash-safe bundle without the engine knowing about
-    them.
+    above the engine ride inside the same crash-safe bundle without the
+    engine knowing about them: the scenario driver stores its cursor and
+    telemetry there, and the serving gateway (:mod:`repro.serve`) its
+    request queue, trace cursor, and serving telemetry.
     """
     core = engine.core
     if core is None:

@@ -346,6 +346,13 @@ class EngineCore:
         self._pending = sorted(specs, key=_submission_key)
         self._next_pending = 0
         self._rate_multipliers: np.ndarray | None = None
+        # Tick-boundary hooks: callables invoked at the top of every tick,
+        # before the admission drain.  This is how layers above the clock
+        # (the serving gateway) coalesce externally arriving requests into
+        # the tick's admission batch without owning the loop themselves.
+        # Hooks are runtime wiring, not state: checkpoints never serialize
+        # them, and whoever registered one re-registers after a resume.
+        self._tick_boundary_hooks: list = []
         # Which campaigns were admitted at which tick, in admission order —
         # the replay script a checkpoint restore uses to rebuild the policy
         # cache exactly as the uninterrupted session would have.
@@ -451,6 +458,27 @@ class EngineCore:
         )
 
     # ------------------------------------------------------------------
+    # Tick-boundary hooks
+    # ------------------------------------------------------------------
+    def add_tick_boundary_hook(self, hook) -> None:
+        """Register ``hook(core)`` to run at the top of every :meth:`tick`.
+
+        Hooks fire *before* the tick's admission drain, which makes a
+        tick boundary the natural coalescing point for externally
+        arriving work: anything a hook submits or cancels with a due
+        submit interval is admitted (or retired) in the very tick that
+        follows.  The serving gateway (:mod:`repro.serve`) drains its
+        request queue through one of these.  Hook work is not counted in
+        the session's ``elapsed_seconds``, and hooks are never
+        checkpointed — re-register after a resume.
+        """
+        self._tick_boundary_hooks.append(hook)
+
+    def remove_tick_boundary_hook(self, hook) -> None:
+        """Unregister a hook added with :meth:`add_tick_boundary_hook`."""
+        self._tick_boundary_hooks.remove(hook)
+
+    # ------------------------------------------------------------------
     # Mid-flight submission
     # ------------------------------------------------------------------
     def submit(self, specs: Sequence[CampaignSpec]) -> None:
@@ -491,6 +519,8 @@ class EngineCore:
                 "the engine clock is exhausted: every submitted campaign has "
                 "retired (submit more campaigns to keep serving)"
             )
+        for hook in list(self._tick_boundary_hooks):
+            hook(self)
         started = time.perf_counter()
         t = self.clock
         due: list[CampaignSpec] = []

@@ -162,6 +162,18 @@ class Telemetry:
         """Campaign cancellations recorded."""
         return sum(1 for r in self.campaigns if r.cancelled)
 
+    def window(self, last: int) -> dict[str, list]:
+        """The most recent ``last`` ticks of every series, as plain lists.
+
+        The read the serving gateway answers ``QueryTelemetry`` requests
+        with: a bounded, JSON-ready slice of the session's tail instead of
+        the whole (potentially long) history.  ``last <= 0`` returns empty
+        series; asking for more ticks than recorded returns everything.
+        """
+        if last <= 0:
+            return {key: [] for key in SERIES_FIELDS}
+        return {key: list(values[-last:]) for key, values in self.series.items()}
+
     def summary(self) -> str:
         """Short human-readable digest (what the scenario CLI prints)."""
         active = sum(1 for idle in self.series["idle"] if not idle)

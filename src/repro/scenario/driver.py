@@ -42,10 +42,53 @@ from repro.engine.clock import EngineBase, EngineCore, EngineResult, TickReport
 from repro.engine.telemetry import Telemetry
 from repro.scenario.spec import Scenario
 
-__all__ = ["ScenarioDriver"]
+__all__ = ["ScenarioDriver", "apply_cancellation"]
 
 #: Key the driver's state lives under in a checkpoint bundle's extras.
 _EXTRAS_KEY = "scenario_driver"
+
+
+def apply_cancellation(
+    engine: EngineBase, campaign_id: str, context: str = ""
+) -> tuple[str, CampaignOutcome | None]:
+    """Cancel one campaign with mid-run tolerance; returns ``(status, outcome)``.
+
+    The shared cancellation semantics of every layer that drives a live
+    session — the scenario driver's timeline events and the serving
+    gateway's ``Cancel`` requests — so the two cannot drift:
+
+    * a *live* target retires with partial utility →
+      ``("cancelled", outcome)``;
+    * a *pending* target is dropped from the queue → ``("dropped", None)``;
+    * a target that already retired naturally is a legitimate,
+      deterministic no-op → ``("retired", None)``;
+    * an id the engine has never seen raises :class:`ValueError` — almost
+      certainly a typo, and silently dropping it would hide the bug.
+      ``context`` (e.g. ``"at tick 12"``) is woven into that message so
+      callers can say which event fired.
+
+    Requires an active engine session (start one first); cancellation
+    consumes no randomness.
+    """
+    core = engine.core
+    if core is None:
+        raise RuntimeError(
+            "no active engine session: start one before cancelling"
+        )
+    try:
+        outcome = engine.cancel(campaign_id)
+    except KeyError:
+        if any(o.spec.campaign_id == campaign_id for o in core.outcomes):
+            return ("retired", None)
+        where = f" {context}" if context else ""
+        raise ValueError(
+            f"cancellation of unknown campaign {campaign_id!r}{where}: no "
+            "live, pending, or retired campaign has this id (typo, or the "
+            "cancellation fires before the campaign's submission?)"
+        ) from None
+    if outcome is not None:
+        return ("cancelled", outcome)
+    return ("dropped", None)
 
 
 class ScenarioDriver:
@@ -141,23 +184,15 @@ class ScenarioDriver:
             self._next_wave += 1
         cancelled: list[CampaignOutcome] = []
         for campaign_id in self.timeline.cancellations.get(t, ()):
-            try:
-                outcome = self.engine.cancel(campaign_id)
-            except KeyError:
-                # A target that already retired naturally is a legitimate,
-                # deterministic no-op.  An id the engine has never seen is
-                # a spec typo — fail loudly instead of silently dropping
-                # the event (compile() gives out-of-horizon ticks the same
-                # treatment).
-                if any(o.spec.campaign_id == campaign_id for o in core.outcomes):
-                    continue
-                raise ValueError(
-                    f"cancellation of unknown campaign {campaign_id!r} at "
-                    f"tick {t}: no live, pending, or retired campaign has "
-                    "this id (spec typo, or the event fires before the "
-                    "campaign's submission wave?)"
-                ) from None
-            if outcome is not None:
+            # Shared semantics with the serving gateway: live → partial
+            # utility, pending → dropped, already-retired → deterministic
+            # no-op, never-seen → loud failure (compile() gives
+            # out-of-horizon ticks the same treatment).
+            status, outcome = apply_cancellation(
+                self.engine, campaign_id, context=f"at tick {t}"
+            )
+            if status == "cancelled":
+                assert outcome is not None
                 cancelled.append(outcome)
         report = core.tick()
         self.telemetry.record_tick(core, report, cancelled=cancelled)

@@ -1,0 +1,229 @@
+"""The gateway's admission-control queue: bounded, FIFO, loss-free.
+
+Mutating requests (submissions, cancellations, snapshots) do not touch
+the engine when they arrive — they are *offered* to an
+:class:`AdmissionQueue` and applied together at the next tick boundary.
+The queue enforces the serving layer's three ordering/robustness
+invariants (property-tested in ``tests/serve/``):
+
+* **FIFO per client** (and globally): requests are drained in arrival
+  order, so one client's submissions and cancellations can never be
+  reordered against each other.
+* **No loss, no duplication**: every offered request is drained exactly
+  once or rejected exactly once at offer time — a :class:`Ticket` tracks
+  each request until its :class:`~repro.serve.requests.Response` arrives.
+* **Deterministic backpressure**: the only offer-time rejection is queue
+  depth, a pure function of the arrival sequence — replaying the same
+  trace rejects the same requests.  (The live-campaign budget is the
+  gateway's drain-time admission check, equally deterministic.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+
+from repro.serve.requests import Response
+
+__all__ = ["AdmissionQueue", "QueueStats", "Ticket"]
+
+
+class Ticket:
+    """One in-flight request's response handle.
+
+    Created when a request is offered to the gateway; resolved exactly
+    once with the request's :class:`~repro.serve.requests.Response` —
+    either immediately (reads, offer-time rejections) or at the tick
+    boundary its drain batch is applied at.  Synchronous callers read
+    :attr:`response` after driving the gateway; the asyncio facade
+    bridges :meth:`add_done_callback` onto a future.
+    """
+
+    __slots__ = ("seq", "client", "request", "offered_at", "_response", "_callbacks")
+
+    def __init__(self, seq: int, client: str, request, offered_at: float):
+        self.seq = seq
+        self.client = client
+        self.request = request
+        #: ``time.perf_counter()`` at offer time (latency accounting).
+        self.offered_at = offered_at
+        self._response: Response | None = None
+        self._callbacks: list = []
+
+    @property
+    def done(self) -> bool:
+        """True once the response has arrived."""
+        return self._response is not None
+
+    @property
+    def response(self) -> Response:
+        """The response; raises if the request is still in flight."""
+        if self._response is None:
+            raise RuntimeError(
+                f"request #{self.seq} from {self.client!r} is still queued "
+                "(drive the gateway to a tick boundary first)"
+            )
+        return self._response
+
+    def resolve(self, response: Response) -> None:
+        """Deliver the response (exactly once) and fire the callbacks."""
+        if self._response is not None:
+            raise RuntimeError(f"request #{self.seq} was already resolved")
+        self._response = response
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(self, callback) -> None:
+        """Call ``callback(ticket)`` on resolution (now, if already done)."""
+        if self._response is not None:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = self._response.status if self._response else "queued"
+        return f"Ticket(#{self.seq}, {self.client!r}, {state})"
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueStats:
+    """Lifetime counters of one :class:`AdmissionQueue`.
+
+    Attributes
+    ----------
+    offered:
+        Requests ever offered.
+    accepted:
+        Offers that entered the queue.
+    rejected_full:
+        Offers bounced at the depth bound (backpressure).
+    drained:
+        Requests handed out by :meth:`AdmissionQueue.drain`.
+    max_depth_seen:
+        Peak queue depth observed.
+    """
+
+    offered: int
+    accepted: int
+    rejected_full: int
+    drained: int
+    max_depth_seen: int
+
+
+class AdmissionQueue:
+    """Bounded FIFO of mutating requests awaiting the next tick drain.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth bound; offers beyond it are rejected (deterministic
+        backpressure).  ``None`` disables the bound.
+    """
+
+    def __init__(self, max_depth: int | None = 256):
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1 or None, got {max_depth}")
+        self.max_depth = max_depth
+        # A deque: the gateway drains one ticket at a time (so a
+        # mid-batch snapshot sees the tail), and popleft keeps that O(1)
+        # per request instead of list.pop(0)'s O(depth) shift.
+        self._queue: deque[Ticket] = deque()
+        self._next_seq = 0
+        self._offered = 0
+        self._rejected_full = 0
+        self._drained = 0
+        self._max_depth_seen = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued."""
+        return len(self._queue)
+
+    @property
+    def stats(self) -> QueueStats:
+        """Current counters as an immutable snapshot."""
+        return QueueStats(
+            offered=self._offered,
+            accepted=self._offered - self._rejected_full,
+            rejected_full=self._rejected_full,
+            drained=self._drained,
+            max_depth_seen=self._max_depth_seen,
+        )
+
+    def make_ticket(self, client: str, request, offered_at: float = 0.0) -> Ticket:
+        """Mint a ticket with the next arrival sequence, without queueing.
+
+        Reads share the gateway's arrival numbering (one total order over
+        all requests) but are answered immediately, so they get a ticket
+        here and never enter the queue.
+        """
+        ticket = Ticket(self._next_seq, client, request, offered_at)
+        self._next_seq += 1
+        return ticket
+
+    def offer(self, client: str, request, offered_at: float = 0.0) -> tuple[Ticket, bool]:
+        """Enqueue one request; returns ``(ticket, accepted)``.
+
+        ``accepted=False`` means the depth bound bounced the offer: the
+        ticket is *not* queued and the caller must resolve it with a
+        backpressure rejection immediately (the queue does not know the
+        engine tick, so it never builds responses itself).
+        """
+        ticket = self.make_ticket(client, request, offered_at)
+        self._offered += 1
+        if self.max_depth is not None and len(self._queue) >= self.max_depth:
+            self._rejected_full += 1
+            return ticket, False
+        self._queue.append(ticket)
+        self._max_depth_seen = max(self._max_depth_seen, len(self._queue))
+        return ticket, True
+
+    def pop(self) -> Ticket | None:
+        """Take the oldest queued request (``None`` when empty).
+
+        The gateway drains one ticket at a time so a mid-batch
+        :class:`~repro.serve.requests.Snapshot` still finds the batch's
+        unprocessed tail in the queue — the checkpoint then carries it.
+        """
+        if not self._queue:
+            return None
+        self._drained += 1
+        return self._queue.popleft()
+
+    def snapshot(self) -> tuple[Ticket, ...]:
+        """The queued tickets, oldest first, without removing them.
+
+        What :meth:`Gateway.save <repro.serve.gateway.Gateway.save>`
+        serializes so a checkpoint loses no in-flight request.
+        """
+        return tuple(self._queue)
+
+    def drain(self) -> list[Ticket]:
+        """Pop every queued request, in arrival (= per-client FIFO) order."""
+        batch: list[Ticket] = []
+        while (ticket := self.pop()) is not None:
+            batch.append(ticket)
+        return batch
+
+    def restore(self, next_seq: int, tickets: list[Ticket]) -> None:
+        """Reload queued tickets and the arrival counter (checkpoint resume).
+
+        ``tickets`` must already be in arrival order with their original
+        sequence numbers; the queue takes them as its content verbatim.
+        """
+        self._queue = deque(tickets)
+        self._next_seq = int(next_seq)
+        self._max_depth_seen = max(self._max_depth_seen, len(self._queue))
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next offer will receive."""
+        return self._next_seq
+
+    def __repr__(self) -> str:
+        bound = self.max_depth if self.max_depth is not None else "unbounded"
+        return f"AdmissionQueue(depth={len(self._queue)}/{bound})"

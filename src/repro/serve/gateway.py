@@ -1,0 +1,783 @@
+"""The serving gateway: an async request frontier over one engine session.
+
+:class:`Gateway` turns any :class:`~repro.engine.clock.EngineBase` — the
+pooled :class:`~repro.engine.engine.MarketplaceEngine` or the
+:class:`~repro.engine.sharding.ShardedEngine` at any shard count — into a
+long-lived service that many concurrent client sessions talk to while the
+deterministic tick loop keeps running underneath:
+
+* **Mutating requests coalesce at tick boundaries.**  Submissions,
+  cancellations, and snapshots queue in arrival order and are applied by
+  a tick-boundary hook
+  (:meth:`~repro.engine.clock.EngineCore.add_tick_boundary_hook`) riding
+  the engine's ordinary mid-flight ``submit()``/``cancel()`` paths.
+  Queueing consumes no randomness, so a served run's per-campaign
+  outcomes are **bit-identical** to the same submissions issued directly
+  against the engine — the serving determinism contract
+  (``docs/serving.md``), asserted across shard counts, executors, and
+  checkpoint/resume boundaries.
+* **Admission control backpressures instead of dropping.**  A bounded
+  request queue rejects offers beyond its depth, and a live-campaign
+  budget rejects submissions once ``live + pending`` reaches it — both
+  deterministic functions of the arrival sequence, never of wall-clock.
+* **Reads never wait for the clock.**  Quotes are answered from the
+  policy cache via a side-effect-free
+  :meth:`~repro.engine.cache.PolicyCache.peek`, and telemetry queries
+  from the collector — immediately, between ticks.
+* **Serving sessions are durable.**  :meth:`Gateway.save` checkpoints
+  the engine session *plus* the gateway's queue, drain-in-progress
+  tally, telemetry, and replay cursor into one bundle (manifest extras);
+  :meth:`Gateway.resume` reopens it mid-serve, bit-identical to never
+  having stopped.
+
+Two ways to drive it: the synchronous :meth:`step`/:meth:`replay` pair
+(deterministic traces, tests, golden runs) and the asyncio facade
+(:meth:`request` + :meth:`serve`) for genuinely concurrent clients —
+the :class:`~repro.serve.loadgen.LoadGenerator`'s closed-loop mode, the
+``repro engine loadtest`` CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.budget.static_lp import solve_budget_hull
+from repro.core.deadline.vectorized import solve_deadline
+from repro.engine.campaign import BUDGET, CampaignOutcome
+from repro.engine.checkpoint import (
+    CheckpointError,
+    load_extras,
+    restore_engine,
+    save_checkpoint,
+)
+from repro.engine.clock import EngineBase, EngineCore, TickReport
+from repro.scenario.driver import apply_cancellation
+from repro.serve.admission import AdmissionQueue, Ticket
+from repro.serve.requests import (
+    Cancel,
+    Quote,
+    QueryTelemetry,
+    RequestTrace,
+    Response,
+    Snapshot,
+    SubmitCampaign,
+    is_mutating,
+    request_from_dict,
+    request_to_dict,
+)
+from repro.serve.telemetry import DrainReport, GatewayTelemetry
+
+__all__ = ["Gateway"]
+
+#: Key the gateway's state lives under in a checkpoint bundle's extras.
+_EXTRAS_KEY = "serve_gateway"
+
+#: Extras format version; bumped on any incompatible change.
+_EXTRAS_VERSION = 1
+
+
+def _kind(request) -> str:
+    """The request's type tag (response ``kind`` field)."""
+    return request_to_dict(request)["type"]
+
+
+class Gateway:
+    """One engine session served to many concurrent client sessions.
+
+    Parameters
+    ----------
+    engine:
+        Any engine front-end.  The gateway owns its serving session:
+        call :meth:`start` (not ``engine.start``) and drive ticks through
+        :meth:`step`/:meth:`serve`.
+    max_live:
+        Live-campaign budget: submissions are rejected (backpressure)
+        while ``live + pending`` campaigns would exceed it.  ``None``
+        disables the budget.
+    max_queue:
+        Mutating-request queue depth; offers beyond it are rejected at
+        offer time.  ``None`` disables the bound.
+    telemetry:
+        The serving collector; fresh by default (restored on resume).
+    """
+
+    def __init__(
+        self,
+        engine: EngineBase,
+        *,
+        max_live: int | None = None,
+        max_queue: int | None = 256,
+        telemetry: GatewayTelemetry | None = None,
+    ):
+        if max_live is not None and max_live < 1:
+            raise ValueError(f"max_live must be >= 1 or None, got {max_live}")
+        self.engine = engine
+        self.max_live = max_live
+        self.queue = AdmissionQueue(max_depth=max_queue)
+        self.telemetry = telemetry if telemetry is not None else GatewayTelemetry()
+        self._started = False
+        # Quote-side memo: campaign shape -> cache signature.  Signatures
+        # are pure functions of the shape and the planner's (per-session
+        # constant) configuration, and computing one builds a full
+        # planning problem — far too slow to repeat for every quote of a
+        # popular shape on the read path.  Bounded (shapes are
+        # client-controlled): oldest entries are dropped past the cap.
+        self._quote_signatures: dict = {}
+        self._quote_signatures_cap = 1024
+        self._pending_drain = DrainReport()
+        self._pending_cancelled: list[CampaignOutcome] = []
+        self._replay_trace: RequestTrace | None = None
+        self._replay_cursor = 0
+        self._stopping = False
+        self._wakeup = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def start(
+        self, seed: int = 0, rate_multipliers=None
+    ) -> EngineCore:
+        """Open the served session and register the tick-boundary drain.
+
+        ``rate_multipliers`` installs per-interval arrival-rate factors
+        (how a scenario's compiled modulation rides a served run).
+        """
+        if self._started:
+            raise RuntimeError("the gateway has already started its session")
+        core = self.engine.start(seed=seed)
+        if rate_multipliers is not None:
+            core.set_rate_multipliers(np.asarray(rate_multipliers, dtype=float))
+        core.add_tick_boundary_hook(self._drain_hook)
+        self.telemetry.engine.sync_baselines(core)
+        self._started = True
+        return core
+
+    @property
+    def started(self) -> bool:
+        """True once :meth:`start` (or :meth:`resume`) opened the session."""
+        return self._started
+
+    @property
+    def core(self) -> EngineCore | None:
+        """The engine's active session, or ``None`` outside one."""
+        return self.engine.core
+
+    def _active_core(self) -> EngineCore:
+        if not self._started:
+            raise RuntimeError("call start(seed) before serving requests")
+        core = self.engine.core
+        if core is None:
+            raise RuntimeError("the gateway's engine session has been closed")
+        return core
+
+    @property
+    def clock(self) -> int:
+        """The engine-clock interval the session stands at."""
+        return self._active_core().clock
+
+    @property
+    def horizon_exhausted(self) -> bool:
+        """True once the clock crossed the stream horizon (no revival)."""
+        return self._active_core().clock >= self.engine.stream.num_intervals
+
+    @property
+    def done(self) -> bool:
+        """True when nothing could change: engine drained, queue empty."""
+        if not self._started:
+            return False
+        core = self.engine.core
+        if core is None:
+            return True
+        return core.done and self.queue.depth == 0
+
+    def close(self) -> None:
+        """End the session; unanswered queued requests are rejected."""
+        if self.engine.core is not None:
+            self._flush("gateway closed before the next tick boundary")
+        self.engine.close()
+
+    # ------------------------------------------------------------------
+    # The request frontier (synchronous surface)
+    # ------------------------------------------------------------------
+    def offer(self, request, client: str = "local") -> Ticket:
+        """Hand one request to the gateway; returns its response ticket.
+
+        Reads (:class:`Quote`, :class:`QueryTelemetry`) resolve before
+        this returns.  Mutating requests resolve at the next tick
+        boundary — drive the gateway (:meth:`step`, :meth:`serve`, or
+        :meth:`replay`) and read ``ticket.response``.
+        """
+        core = self._active_core()
+        now = time.perf_counter()
+        if not is_mutating(request):
+            ticket = self.queue.make_ticket(client, request, now)
+            self._resolve(ticket, self._answer_read(request, core))
+            return ticket
+        ticket, accepted = self.queue.offer(client, request, now)
+        if not accepted:
+            self._resolve(
+                ticket,
+                Response(
+                    kind=_kind(request),
+                    status="rejected",
+                    tick=core.clock,
+                    detail=(
+                        f"request queue full ({self.queue.max_depth} deep): "
+                        "backpressure, retry after a tick"
+                    ),
+                ),
+            )
+        else:
+            self._wakeup.set()
+        return ticket
+
+    def _resolve(self, ticket: Ticket, response: Response) -> None:
+        """Deliver a response, tallying counters and latency."""
+        ticket.resolve(response)
+        self.telemetry.count_response(
+            response.status, is_read=not is_mutating(ticket.request)
+        )
+        self.telemetry.latency.observe(time.perf_counter() - ticket.offered_at)
+
+    # ------------------------------------------------------------------
+    # Reads: answered immediately, never blocking the tick loop
+    # ------------------------------------------------------------------
+    def _answer_read(self, request, core: EngineCore) -> Response:
+        if isinstance(request, Quote):
+            return self._quote(request, core)
+        if isinstance(request, QueryTelemetry):
+            payload = {
+                "clock": core.clock,
+                "live": core.num_live,
+                "pending": core.num_pending,
+                "queue_depth": self.queue.depth,
+                "responses": dict(self.telemetry.responses),
+                "ticks_recorded": self.telemetry.num_ticks,
+            }
+            if request.last > 0:
+                payload["window"] = self.telemetry.window(request.last)
+            return Response(
+                kind="query-telemetry", status="ok", tick=core.clock,
+                payload=payload,
+            )
+        raise TypeError(  # pragma: no cover - offer() routes by is_mutating
+            f"not a read request: {type(request).__name__}"
+        )
+
+    def _cached_quote_signature(self, spec):
+        """The shape's cache signature, memoized on the read path.
+
+        Keyed by everything the signature can depend on: the shape
+        itself, and — under ``"sliced"`` planning, where each submit
+        interval plans against its own forecast slice — the submit
+        interval too.  The planner's configuration is constant for the
+        session, so entries never go stale.
+        """
+        planner = self.engine.planner
+        key = (
+            spec.kind, spec.num_tasks, spec.horizon_intervals,
+            spec.max_price, spec.penalty_per_task, spec.budget,
+            spec.submit_interval if planner.planning == "sliced" else -1,
+        )
+        signature = self._quote_signatures.get(key)
+        if signature is None:
+            if spec.kind == BUDGET:
+                signature = planner.budget_request(spec).signature()
+            else:
+                signature = planner.planning_problem(spec).signature()
+            if len(self._quote_signatures) >= self._quote_signatures_cap:
+                # Clients control the shape space; drop the oldest entry
+                # (dicts iterate in insertion order) to stay bounded.
+                self._quote_signatures.pop(next(iter(self._quote_signatures)))
+            self._quote_signatures[key] = signature
+        return signature
+
+    def _quote(self, request: Quote, core: EngineCore) -> Response:
+        """Price a campaign shape from the cache without touching it.
+
+        The peek counts no cache lookup and refreshes no LRU position,
+        so quoting cannot perturb the underlying run's admission
+        telemetry; ``solve_on_miss`` solves *outside* the cache (nothing
+        stored) for the same reason.
+        """
+        planner = self.engine.planner
+        spec = request.spec
+        payload: dict = {"kind": spec.kind, "cached": False, "solved": False,
+                         "price": None}
+        signature = self._cached_quote_signature(spec)
+        if spec.kind == BUDGET:
+            allocation = planner.cache.peek(signature)
+            if allocation is not None:
+                payload["cached"] = True
+            elif request.solve_on_miss:
+                budget_request = planner.budget_request(spec)
+                allocation = solve_budget_hull(
+                    budget_request.num_tasks,
+                    budget_request.budget,
+                    budget_request.acceptance,
+                    budget_request.price_grid,
+                )
+                payload["solved"] = True
+            if allocation is not None:
+                payload["price"] = float(
+                    allocation.as_semi_static().price_at(0)
+                )
+        else:
+            policy = planner.cache.peek(signature)
+            if policy is not None:
+                payload["cached"] = True
+            elif request.solve_on_miss:
+                policy = solve_deadline(planner.planning_problem(spec))
+                payload["solved"] = True
+            if policy is not None:
+                payload["price"] = float(policy.price(spec.num_tasks, 0))
+        return Response(
+            kind="quote", status="ok", tick=core.clock, payload=payload
+        )
+
+    # ------------------------------------------------------------------
+    # The tick-boundary drain (mutating requests coalesce here)
+    # ------------------------------------------------------------------
+    def _drain_hook(self, core: EngineCore) -> None:
+        """The :meth:`EngineCore.tick` boundary hook: apply the queue."""
+        self._do_drain(core)
+
+    def _do_drain(self, core: EngineCore) -> None:
+        """Apply queued mutations in arrival order, tallying the drain.
+
+        The tally accumulates in-place on ``self._pending_drain`` so a
+        mid-batch :class:`Snapshot` checkpoints a consistent partial
+        drain (the resumed gateway finishes the batch and the recorded
+        tick comes out identical to the uninterrupted run's).
+        """
+        pd = self._pending_drain
+        pd.queue_depth = max(pd.queue_depth, self.queue.depth)
+        while (ticket := self.queue.pop()) is not None:
+            pd.drained += 1
+            request = ticket.request
+            if isinstance(request, SubmitCampaign):
+                self._apply_submit(ticket, core, pd)
+            elif isinstance(request, Cancel):
+                self._apply_cancel(ticket, core, pd)
+            elif isinstance(request, Snapshot):
+                self._apply_snapshot(ticket, core, pd)
+            else:  # pragma: no cover - is_mutating() gates the queue
+                raise TypeError(
+                    f"unexpected queued request {type(request).__name__}"
+                )
+
+    def _apply_submit(
+        self, ticket: Ticket, core: EngineCore, pd: DrainReport
+    ) -> None:
+        spec = ticket.request.spec
+        if self.max_live is not None:
+            occupied = core.num_live + core.num_pending
+            if occupied >= self.max_live:
+                pd.rejected += 1
+                self._resolve(
+                    ticket,
+                    Response(
+                        kind="submit-campaign", status="rejected",
+                        tick=core.clock,
+                        detail=(
+                            f"live-campaign budget exhausted ({occupied} "
+                            f"live+pending >= {self.max_live}): backpressure, "
+                            "retry after retirements"
+                        ),
+                    ),
+                )
+                return
+        try:
+            self.engine.submit([spec])
+        except ValueError as exc:
+            pd.rejected += 1
+            self._resolve(
+                ticket,
+                Response(
+                    kind="submit-campaign", status="rejected",
+                    tick=core.clock, detail=str(exc),
+                ),
+            )
+            return
+        pd.admitted += 1
+        self._resolve(
+            ticket,
+            Response(
+                kind="submit-campaign", status="ok", tick=core.clock,
+                payload={
+                    "campaign_id": spec.campaign_id,
+                    "submit_interval": spec.submit_interval,
+                },
+            ),
+        )
+
+    def _apply_cancel(
+        self, ticket: Ticket, core: EngineCore, pd: DrainReport
+    ) -> None:
+        campaign_id = ticket.request.campaign_id
+        try:
+            status, outcome = apply_cancellation(self.engine, campaign_id)
+        except ValueError as exc:
+            self._resolve(
+                ticket,
+                Response(
+                    kind="cancel", status="error", tick=core.clock,
+                    detail=str(exc),
+                ),
+            )
+            return
+        pd.cancels += 1
+        payload: dict = {"campaign_id": campaign_id, "result": status}
+        if outcome is not None:
+            self._pending_cancelled.append(outcome)
+            payload.update(
+                completed=outcome.completed,
+                remaining=outcome.remaining,
+                total_cost=outcome.total_cost,
+            )
+        self._resolve(
+            ticket,
+            Response(kind="cancel", status="ok", tick=core.clock, payload=payload),
+        )
+
+    def _apply_snapshot(
+        self, ticket: Ticket, core: EngineCore, pd: DrainReport
+    ) -> None:
+        # Tallied before saving so the bundle accounts for the snapshot
+        # itself — its drain entry and its own "ok" response — exactly as
+        # the uninterrupted run will have recorded them; a resumed
+        # gateway then continues from identical counters.  The ticket is
+        # resolved directly (not through _resolve) to avoid re-counting.
+        pd.snapshots += 1
+        self.telemetry.count_response("ok", is_read=False)
+        try:
+            path = self.save(ticket.request.path)
+        except CheckpointError as exc:
+            pd.snapshots -= 1
+            self.telemetry.responses["ok"] -= 1
+            self.telemetry.count_response("error", is_read=False)
+            ticket.resolve(
+                Response(
+                    kind="snapshot", status="error", tick=core.clock,
+                    detail=str(exc),
+                )
+            )
+            self.telemetry.latency.observe(
+                time.perf_counter() - ticket.offered_at
+            )
+            return
+        ticket.resolve(
+            Response(
+                kind="snapshot", status="ok", tick=core.clock,
+                payload={"path": str(path)},
+            )
+        )
+        self.telemetry.latency.observe(time.perf_counter() - ticket.offered_at)
+
+    def _flush(self, reason: str) -> None:
+        """Reject every still-queued request (shutdown path: none lost)."""
+        core = self.engine.core
+        tick = core.clock if core is not None else -1
+        while (ticket := self.queue.pop()) is not None:
+            self._resolve(
+                ticket,
+                Response(
+                    kind=_kind(ticket.request), status="rejected",
+                    tick=tick, detail=reason,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Driving the clock
+    # ------------------------------------------------------------------
+    def step(self) -> TickReport | None:
+        """Advance one tick (draining the queue at its boundary).
+
+        When the engine is idle-done, queued mutations are drained first
+        — a submission can revive the clock.  Returns ``None`` when no
+        tick could run (still idle after the drain); otherwise the
+        engine's :class:`~repro.engine.clock.TickReport`, with the tick
+        recorded into :attr:`telemetry`.
+        """
+        core = self._active_core()
+        if core.done:
+            self._do_drain(core)
+            if core.done:
+                return None
+        report = core.tick()
+        drain, self._pending_drain = self._pending_drain, DrainReport()
+        cancelled, self._pending_cancelled = self._pending_cancelled, []
+        self.telemetry.record_tick(core, report, drain, cancelled)
+        return report
+
+    def replay(self, trace: RequestTrace, on_tick=None) -> list[Ticket]:
+        """Deliver a trace at its recorded ticks; run the session through it.
+
+        The deterministic serving mode: requests are offered to the
+        gateway right before their arrival tick's boundary, so the same
+        trace always produces the same admission batches — and therefore
+        per-campaign outcomes and telemetry bit-identical across shard
+        counts, executors, and checkpoint/resume boundaries.  When the
+        engine goes idle with trace left, requests up to and including
+        the next submission are delivered early to wake the clock
+        (queueing consumes no randomness; the submission still admits at
+        its own submit interval).  Returns every delivered request's
+        ticket.
+
+        ``on_tick(gateway)``, when given, runs after every recorded tick;
+        returning ``False`` stops the replay early — the trace cursor is
+        kept so :meth:`save` can checkpoint the interrupted replay (the
+        CLI's ``--checkpoint-every``/``--stop-after`` path) and
+        :meth:`resume_replay` can finish it.
+        """
+        self._replay_trace = trace
+        self._replay_cursor = 0
+        return self._replay_loop(on_tick)
+
+    @property
+    def replay_remaining(self) -> int | None:
+        """Trace requests not yet delivered (``None`` outside a replay)."""
+        if self._replay_trace is None:
+            return None
+        return len(self._replay_trace.requests) - self._replay_cursor
+
+    def resume_replay(self, on_tick=None) -> list[Ticket]:
+        """Continue a trace replay restored by :meth:`resume`.
+
+        Returns tickets for the requests delivered *after* the resume
+        (earlier responses were already tallied before the snapshot).
+        """
+        if self._replay_trace is None:
+            raise RuntimeError(
+                "no replay to resume: the bundle carried no trace cursor"
+            )
+        return self._replay_loop(on_tick)
+
+    def _replay_loop(self, on_tick=None) -> list[Ticket]:
+        core = self._active_core()
+        tickets: list[Ticket] = []
+
+        def deliver(stop: int) -> None:
+            while self._replay_cursor < stop:
+                timed = self._replay_trace.requests[self._replay_cursor]
+                self._replay_cursor += 1
+                tickets.append(self.offer(timed.request, client=timed.client))
+
+        while True:
+            trace = self._replay_trace
+            assert trace is not None
+            requests = trace.requests
+            i = self._replay_cursor
+            while i < len(requests) and requests[i].tick <= core.clock:
+                i += 1
+            deliver(i)
+            if core.done and self.queue.depth == 0:
+                if self._replay_cursor >= len(requests):
+                    break
+                # Engine idle mid-trace: deliver up to and including the
+                # next submission to wake the clock (reads answer now;
+                # early cancels can only hit already-retired targets,
+                # which the tolerant semantics make order-independent).
+                j = self._replay_cursor
+                while j < len(requests) and not isinstance(
+                    requests[j].request, SubmitCampaign
+                ):
+                    j += 1
+                deliver(min(j + 1, len(requests)))
+                continue
+            report = self.step()
+            if report is not None and on_tick is not None:
+                if on_tick(self) is False:
+                    # Early stop: keep the trace cursor for save()/resume.
+                    return tickets
+        self._replay_trace = None
+        self._replay_cursor = 0
+        return tickets
+
+    # ------------------------------------------------------------------
+    # The asyncio facade (concurrent client sessions)
+    # ------------------------------------------------------------------
+    async def request(self, request, client: str = "anon") -> Response:
+        """Send one request and await its response.
+
+        Reads return immediately; mutating requests wait for the tick
+        boundary their batch is applied at.  Requires a running
+        :meth:`serve` loop (or someone else stepping the gateway).
+        """
+        ticket = self.offer(request, client=client)
+        if ticket.done:
+            return ticket.response
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        ticket.add_done_callback(
+            lambda t: None if future.done() else future.set_result(t.response)
+        )
+        return await future
+
+    async def serve(
+        self, *, max_ticks: int | None = None, stop_when_idle: bool = False
+    ) -> int:
+        """Run the tick loop, yielding to client coroutines between ticks.
+
+        Ticks as long as the engine has work; when idle before the
+        horizon it parks on an event until new requests arrive (or
+        :meth:`stop` is called).  Returns the number of ticks run.  On
+        exit, still-queued requests are rejected — every request always
+        gets exactly one response.
+
+        Parameters
+        ----------
+        max_ticks:
+            Stop after this many ticks (``None`` = no limit).
+        stop_when_idle:
+            Return instead of parking when the engine drains (closed
+            traffic: stop once every client went quiet).
+        """
+        self._stopping = False
+        ticks = 0
+        while not self._stopping:
+            if max_ticks is not None and ticks >= max_ticks:
+                break
+            report = self.step()
+            if report is not None:
+                ticks += 1
+                # Yield between ticks so clients can enqueue and observe.
+                await asyncio.sleep(0)
+                continue
+            if self.horizon_exhausted or stop_when_idle:
+                break
+            self._wakeup.clear()
+            await self._wakeup.wait()
+        self._flush("gateway stopped before the next tick boundary")
+        return ticks
+
+    def stop(self) -> None:
+        """Ask a running :meth:`serve` loop to exit at the next boundary."""
+        self._stopping = True
+        self._wakeup.set()
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Snapshot the served session to a bundle (engine + gateway state).
+
+        The bundle is a regular engine checkpoint whose extras carry the
+        gateway's unanswered queue, the drain-in-progress tally, the
+        serving telemetry, the admission configuration, and — when called
+        inside :meth:`replay` — the trace and its cursor.  Legal at any
+        tick boundary, including mid-drain (a queued :class:`Snapshot`).
+        """
+        if not self._started:
+            raise CheckpointError(
+                "the gateway has not started; nothing to snapshot"
+            )
+        state = {
+            "version": _EXTRAS_VERSION,
+            "config": {
+                "max_live": self.max_live,
+                "max_queue": self.queue.max_depth,
+            },
+            "next_seq": self.queue.next_seq,
+            "queue": [
+                {
+                    "seq": t.seq,
+                    "client": t.client,
+                    "request": request_to_dict(t.request),
+                }
+                for t in self.queue.snapshot()
+            ],
+            "pending_drain": {
+                "queue_depth": self._pending_drain.queue_depth,
+                "drained": self._pending_drain.drained,
+                "admitted": self._pending_drain.admitted,
+                "rejected": self._pending_drain.rejected,
+                "cancels": self._pending_drain.cancels,
+                "snapshots": self._pending_drain.snapshots,
+            },
+            "pending_cancelled": [
+                o.spec.campaign_id for o in self._pending_cancelled
+            ],
+            "telemetry": self.telemetry.to_dict(),
+            "replay": (
+                None
+                if self._replay_trace is None
+                else {
+                    "trace": self._replay_trace.to_dict(),
+                    "cursor": self._replay_cursor,
+                }
+            ),
+        }
+        return save_checkpoint(self.engine, path, extras={_EXTRAS_KEY: state})
+
+    @classmethod
+    def resume(cls, path: str | pathlib.Path) -> "Gateway":
+        """Reopen a served session from a bundle written by :meth:`save`.
+
+        Restores the engine session, re-registers the tick-boundary
+        drain, reloads the unanswered queue (the restored requests will
+        be answered at the next boundary — none were lost), and rewinds
+        nothing: driving the resumed gateway to exhaustion produces
+        telemetry bit-identical to never having stopped.  A bundle saved
+        mid-:meth:`replay` carries its trace; continue with
+        :meth:`resume_replay`.
+        """
+        engine = restore_engine(path)
+        extras = load_extras(path)
+        state = (extras or {}).get(_EXTRAS_KEY)
+        if state is None:
+            raise CheckpointError(
+                f"bundle at {path} carries no serving-gateway state "
+                "(was it written by Gateway.save?)"
+            )
+        if state.get("version") != _EXTRAS_VERSION:
+            raise CheckpointError(
+                f"serve-gateway state version {state.get('version')!r} is not "
+                f"supported (this build reads version {_EXTRAS_VERSION})"
+            )
+        gateway = cls(
+            engine,
+            max_live=state["config"]["max_live"],
+            max_queue=state["config"]["max_queue"],
+            telemetry=GatewayTelemetry.from_dict(state["telemetry"]),
+        )
+        core = engine.core
+        assert core is not None  # restore_engine always opens a session
+        core.add_tick_boundary_hook(gateway._drain_hook)
+        gateway._started = True
+        now = time.perf_counter()
+        gateway.queue.restore(
+            state["next_seq"],
+            [
+                Ticket(
+                    int(entry["seq"]),
+                    entry["client"],
+                    request_from_dict(entry["request"]),
+                    now,
+                )
+                for entry in state["queue"]
+            ],
+        )
+        gateway._pending_drain = DrainReport(**state["pending_drain"])
+        outcomes = {o.spec.campaign_id: o for o in core.outcomes}
+        gateway._pending_cancelled = [
+            outcomes[cid] for cid in state["pending_cancelled"]
+        ]
+        if state["replay"] is not None:
+            gateway._replay_trace = RequestTrace.from_dict(
+                state["replay"]["trace"]
+            )
+            gateway._replay_cursor = int(state["replay"]["cursor"])
+        return gateway
+
+    def __repr__(self) -> str:
+        state = "started" if self._started else "idle"
+        return (
+            f"Gateway({type(self.engine).__name__}, {state}, "
+            f"queue depth {self.queue.depth}, "
+            f"{self.telemetry.total_requests} responses)"
+        )

@@ -1,0 +1,314 @@
+"""Serving telemetry: what the gateway did, tick by tick and per request.
+
+:class:`GatewayTelemetry` layers the request-frontier series on top of
+the engine's per-tick :class:`~repro.engine.telemetry.Telemetry`:
+
+* **Per-tick serve series** (:data:`SERVE_SERIES_FIELDS`): queue depth at
+  the drain, drain batch occupancy, submissions admitted vs rejected
+  (backpressure and validation), cancellations and snapshots applied,
+  reads answered since the previous tick.
+* **The wrapped engine telemetry** (:attr:`GatewayTelemetry.engine`):
+  the same 14 per-tick series and per-campaign records an offline
+  :class:`~repro.scenario.driver.ScenarioDriver` run would have
+  produced — the object the serving determinism contract compares.
+* **Per-request latency** (:class:`LatencyRecorder`): wall-clock
+  offer→response seconds with p50/p95/p99 summaries.  Latency is
+  *deliberately excluded* from the serialized form: everything
+  :meth:`GatewayTelemetry.to_dict` emits is deterministic under a fixed
+  trace and seed (bit-identical across shard counts and
+  checkpoint/resume boundaries — the golden serve trace asserts it),
+  while wall-clock never is.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import TYPE_CHECKING, Iterable
+
+from repro.engine.telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.campaign import CampaignOutcome
+    from repro.engine.clock import EngineCore, TickReport
+
+__all__ = [
+    "SERVE_TELEMETRY_VERSION",
+    "SERVE_SERIES_FIELDS",
+    "DrainReport",
+    "LatencyRecorder",
+    "GatewayTelemetry",
+]
+
+#: Serialization format version; bumped on any incompatible change.
+SERVE_TELEMETRY_VERSION = 1
+
+#: The per-tick serving series.  Every key maps to a list with one entry
+#: per recorded tick:
+#:
+#: ``interval``       — the engine-clock interval the entry describes.
+#: ``queue_depth``    — mutating requests queued when the drain fired.
+#: ``drained``        — requests applied at this boundary (batch occupancy).
+#: ``admitted``       — submissions accepted into the engine.
+#: ``rejected``       — submissions refused (budget backpressure/validation).
+#: ``cancels``        — cancellation requests applied (any tolerant status).
+#: ``snapshots``      — checkpoint snapshots taken at this boundary.
+#: ``reads``          — read requests answered since the previous tick.
+SERVE_SERIES_FIELDS = (
+    "interval",
+    "queue_depth",
+    "drained",
+    "admitted",
+    "rejected",
+    "cancels",
+    "snapshots",
+    "reads",
+)
+
+
+@dataclasses.dataclass
+class DrainReport:
+    """What one tick boundary's queue drain did (gateway-internal tally).
+
+    A single engine tick can see two drains — an explicit revival drain
+    while the clock is idle plus the in-tick hook drain — so the gateway
+    accumulates both in place on one pending report and resets it after
+    the tick is recorded.  ``queue_depth`` reports the deepest queue any
+    drain found at the boundary.
+    """
+
+    queue_depth: int = 0
+    drained: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    cancels: int = 0
+    snapshots: int = 0
+
+
+class LatencyRecorder:
+    """Wall-clock offer→response latencies with percentile summaries.
+
+    Purely observational: latencies never enter the deterministic
+    serialized telemetry (wall-clock differs run to run), they feed the
+    loadtest report and ``bench_serve.py``.  Memory is bounded: past
+    ``max_samples`` the recorder halves itself by keeping every other
+    sample — the distribution survives, a long-lived serving session's
+    footprint does not grow without bound.
+    """
+
+    def __init__(self, max_samples: int = 65536) -> None:
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.max_samples = max_samples
+        self._samples: list[float] = []
+        #: Samples observed over the recorder's lifetime (decimation
+        #: drops stored samples, never this count).
+        self.total_observed = 0
+
+    def observe(self, seconds: float) -> None:
+        """Record one request's offer→response latency."""
+        self.total_observed += 1
+        self._samples.append(float(seconds))
+        if len(self._samples) >= self.max_samples:
+            self._samples = self._samples[::2]
+
+    @property
+    def count(self) -> int:
+        """Latency samples currently held (== observed until decimation)."""
+        return len(self._samples)
+
+    @staticmethod
+    def _rank(ordered: list[float], q: float) -> float:
+        """Nearest-rank percentile of an already-sorted sample list."""
+        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile latency in seconds (0.0 when empty).
+
+        Nearest-rank on the sorted samples — no numpy dependency, exact
+        for the sample counts a loadtest produces.  Computing several
+        percentiles?  :meth:`summary` sorts once for all of them.
+        """
+        if not self._samples:
+            return 0.0
+        return self._rank(sorted(self._samples), q)
+
+    def summary(self) -> dict:
+        """``{count, mean_ms, p50_ms, p95_ms, p99_ms}`` (milliseconds)."""
+        if not self._samples:
+            return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+        ordered = sorted(self._samples)
+        return {
+            "count": len(ordered),
+            "mean_ms": 1e3 * sum(ordered) / len(ordered),
+            "p50_ms": 1e3 * self._rank(ordered, 50.0),
+            "p95_ms": 1e3 * self._rank(ordered, 95.0),
+            "p99_ms": 1e3 * self._rank(ordered, 99.0),
+        }
+
+
+class GatewayTelemetry:
+    """Collects one served session's request-frontier and engine series.
+
+    Parameters
+    ----------
+    engine:
+        The wrapped per-tick engine telemetry; a fresh
+        :class:`~repro.engine.telemetry.Telemetry` by default (a restored
+        one when resuming from a checkpoint).
+    """
+
+    def __init__(self, engine: Telemetry | None = None):
+        self.engine = engine if engine is not None else Telemetry()
+        self.serve: dict[str, list] = {key: [] for key in SERVE_SERIES_FIELDS}
+        self.latency = LatencyRecorder()
+        # Lifetime response counters by status, plus total reads served.
+        self.responses = {"ok": 0, "rejected": 0, "error": 0}
+        self.reads_served = 0
+        # Delta baseline: reads as of the previously recorded tick.
+        self._reads_seen = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_ticks(self) -> int:
+        """Serve-series ticks recorded so far."""
+        return len(self.serve["interval"])
+
+    @property
+    def total_requests(self) -> int:
+        """Responses delivered (any status)."""
+        return sum(self.responses.values())
+
+    @property
+    def total_rejected(self) -> int:
+        """Requests answered with backpressure/validation rejections."""
+        return self.responses["rejected"]
+
+    def window(self, last: int) -> dict:
+        """The most recent ``last`` ticks of the serve and engine series.
+
+        What a :class:`~repro.serve.requests.QueryTelemetry` request with
+        ``last > 0`` answers with: ``{"serve": ..., "engine": ...}``,
+        both JSON-ready.  ``last <= 0`` returns empty series.
+        """
+        if last <= 0:
+            serve = {key: [] for key in SERVE_SERIES_FIELDS}
+        else:
+            serve = {
+                key: list(values[-last:]) for key, values in self.serve.items()
+            }
+        return {"serve": serve, "engine": self.engine.window(last)}
+
+    def summary(self) -> str:
+        """Short human-readable digest (what the serve CLI prints)."""
+        peak_queue = max(self.serve["queue_depth"], default=0)
+        drains = [d for d in self.serve["drained"] if d]
+        mean_batch = sum(drains) / len(drains) if drains else 0.0
+        lat = self.latency.summary()
+        lines = [
+            f"gateway       : {self.total_requests} responses "
+            f"({self.responses['ok']} ok / {self.responses['rejected']} rejected "
+            f"/ {self.responses['error']} error), {self.reads_served} reads",
+            f"admission     : {sum(self.serve['admitted'])} campaigns admitted, "
+            f"{sum(self.serve['rejected'])} submissions rejected, "
+            f"{sum(self.serve['cancels'])} cancels, "
+            f"{sum(self.serve['snapshots'])} snapshots; "
+            f"peak queue {peak_queue}, mean batch {mean_batch:.1f}",
+        ]
+        if lat["count"]:
+            lines.append(
+                f"latency       : p50 {lat['p50_ms']:.2f}ms / "
+                f"p95 {lat['p95_ms']:.2f}ms / p99 {lat['p99_ms']:.2f}ms "
+                f"over {lat['count']} requests"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def count_response(self, status: str, is_read: bool) -> None:
+        """Tally one delivered response (the gateway calls this per resolve)."""
+        self.responses[status] = self.responses.get(status, 0) + 1
+        if is_read:
+            self.reads_served += 1
+
+    def record_tick(
+        self,
+        core: "EngineCore",
+        report: "TickReport",
+        drain: DrainReport,
+        cancelled: Iterable["CampaignOutcome"] = (),
+    ) -> None:
+        """Append one tick: the engine series plus the serve series."""
+        self.engine.record_tick(core, report, cancelled=cancelled)
+        row = {
+            "interval": report.interval,
+            "queue_depth": drain.queue_depth,
+            "drained": drain.drained,
+            "admitted": drain.admitted,
+            "rejected": drain.rejected,
+            "cancels": drain.cancels,
+            "snapshots": drain.snapshots,
+            "reads": self.reads_served - self._reads_seen,
+        }
+        for key in SERVE_SERIES_FIELDS:
+            self.serve[key].append(row[key])
+        self._reads_seen = self.reads_served
+
+    # ------------------------------------------------------------------
+    # Serialization (deterministic fields only — latency stays out)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The deterministic state as a JSON-ready dict (bit-exact round trip)."""
+        return {
+            "version": SERVE_TELEMETRY_VERSION,
+            "serve": {key: list(values) for key, values in self.serve.items()},
+            "responses": dict(self.responses),
+            "reads_served": self.reads_served,
+            "reads_seen": self._reads_seen,
+            "engine": self.engine.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GatewayTelemetry":
+        """Rebuild serving telemetry (and its baselines) from a dict."""
+        if data.get("version") != SERVE_TELEMETRY_VERSION:
+            raise ValueError(
+                f"serve telemetry version {data.get('version')!r} is not "
+                f"supported (this build reads version {SERVE_TELEMETRY_VERSION})"
+            )
+        telemetry = cls(engine=Telemetry.from_dict(data["engine"]))
+        for key in SERVE_SERIES_FIELDS:
+            telemetry.serve[key] = list(data["serve"][key])
+        telemetry.responses = {k: int(v) for k, v in data["responses"].items()}
+        telemetry.reads_served = int(data["reads_served"])
+        telemetry._reads_seen = int(data["reads_seen"])
+        return telemetry
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write the deterministic telemetry to ``path`` as JSON."""
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=1))
+        return target
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "GatewayTelemetry":
+        """Read serving telemetry previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GatewayTelemetry):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"GatewayTelemetry({self.num_ticks} ticks, "
+            f"{self.total_requests} responses, "
+            f"{self.reads_served} reads)"
+        )

@@ -23,7 +23,9 @@ from repro.scenario import (
     DemandShock,
     Scenario,
     ScenarioDriver,
+    canned_scenario,
 )
+from repro.serve import ClientMix, Gateway, LoadGenerator, RequestTrace
 from repro.sim.stream import SharedArrivalStream
 
 GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
@@ -36,6 +38,15 @@ BASE_SEED = 9
 CASES = {
     "pooled_small": {"num_shards": 0},
     "sharded3_small": {"num_shards": 3},
+}
+
+#: Served cases: a request trace replayed through the Gateway.
+#: ``serve_flash_crowd`` rides the canned flash-crowd scenario with a
+#: LoadGenerator client mix on top, under a tight live-campaign budget so
+#: the trace exercises admission backpressure as well as quotes, reads,
+#: and cancellations.
+SERVE_CASES = {
+    "serve_flash_crowd": {"num_shards": 0, "max_live": 8},
 }
 
 
@@ -124,6 +135,64 @@ def run_case(case: str) -> dict:
     # Round-trip through JSON so tuples/np scalars normalize exactly the
     # way the committed trace file stores them.
     return json.loads(json.dumps(payload))
+
+
+def serve_trace() -> RequestTrace:
+    """The canonical served workload: flash-crowd traffic + a client mix."""
+    scenario = canned_scenario("flash-crowd", NUM_INTERVALS, seed=SCENARIO_SEED)
+    clients = LoadGenerator(
+        NUM_INTERVALS,
+        seed=SCENARIO_SEED,
+        clients=3,
+        rate=1.5,
+        mix=ClientMix(submit=0.4, quote=0.3, cancel=0.15, query=0.15),
+    ).trace("open")
+    return RequestTrace.from_scenario(scenario, NUM_INTERVALS).merge(
+        clients, name="serve-flash-crowd"
+    )
+
+
+def build_serve_gateway(case: str) -> Gateway:
+    """Construct one served case's engine + gateway (session not yet open)."""
+    num_shards = SERVE_CASES[case]["num_shards"]
+    if num_shards:
+        engine: MarketplaceEngine | ShardedEngine = ShardedEngine(
+            make_stream(), paper_acceptance_model(), num_shards=num_shards,
+            executor="serial", planning="stationary",
+        )
+    else:
+        engine = MarketplaceEngine(
+            make_stream(), paper_acceptance_model(), planning="stationary"
+        )
+    return Gateway(engine, max_live=SERVE_CASES[case]["max_live"])
+
+
+def run_serve_case(case: str) -> dict:
+    """Run one served case; payload = trace + result + serving telemetry."""
+    scenario = canned_scenario("flash-crowd", NUM_INTERVALS, seed=SCENARIO_SEED)
+    trace = serve_trace()
+    gateway = build_serve_gateway(case)
+    gateway.start(
+        seed=SCENARIO_SEED,
+        rate_multipliers=scenario.compile(NUM_INTERVALS).rate_multipliers,
+    )
+    gateway.replay(trace)
+    core = gateway.core
+    assert core is not None
+    payload = {
+        "case": case,
+        "trace": trace.to_dict(),
+        "result": result_to_dict(core.result()),
+        "telemetry": gateway.telemetry.to_dict(),
+    }
+    return json.loads(json.dumps(payload))
+
+
+def run_any_case(case: str) -> dict:
+    """Dispatch a case name to its runner (scenario-driven or served)."""
+    if case in SERVE_CASES:
+        return run_serve_case(case)
+    return run_case(case)
 
 
 def trace_path(case: str) -> pathlib.Path:

@@ -13,7 +13,12 @@ import json
 
 import pytest
 
-from tests.golden.cases import CASES, run_case, trace_path
+from tests.golden.cases import (
+    CASES,
+    SERVE_CASES,
+    run_any_case,
+    trace_path,
+)
 
 
 def _first_divergence(expected, actual, path="$"):
@@ -41,7 +46,7 @@ def _first_divergence(expected, actual, path="$"):
     return None
 
 
-@pytest.mark.parametrize("case", sorted(CASES))
+@pytest.mark.parametrize("case", sorted(CASES) + sorted(SERVE_CASES))
 def test_trace_matches_committed_golden(case):
     path = trace_path(case)
     assert path.is_file(), (
@@ -49,7 +54,7 @@ def test_trace_matches_committed_golden(case):
         "`make regen-golden` and commit the file"
     )
     expected = json.loads(path.read_text())
-    actual = run_case(case)
+    actual = run_any_case(case)
     if expected != actual:
         divergence = _first_divergence(expected, actual)
         pytest.fail(
@@ -76,3 +81,18 @@ def test_golden_traces_exercise_all_three_stressors():
         assert max(series["rate_factor"]) > 1.0, f"{case}: no demand shock"
         assert sum(series["cancelled"]) >= 1, f"{case}: no cancellation"
         assert sum(series["admitted"]) > 4, f"{case}: no churn beyond the base"
+
+
+def test_served_golden_trace_exercises_the_request_frontier():
+    """The served run contains admissions, reads, AND backpressure."""
+    for case in sorted(SERVE_CASES):
+        trace = json.loads(trace_path(case).read_text())
+        serve = trace["telemetry"]["serve"]
+        engine = trace["telemetry"]["engine"]["series"]
+        assert sum(serve["admitted"]) > 4, f"{case}: no served admissions"
+        assert sum(serve["rejected"]) >= 1, f"{case}: no backpressure"
+        assert sum(serve["reads"]) >= 1, f"{case}: no reads served"
+        assert sum(serve["cancels"]) >= 1, f"{case}: no cancellations"
+        assert max(engine["rate_factor"]) > 1.0, f"{case}: no flash crowd"
+        # Wall-clock latency must never leak into the committed trace.
+        assert "latency" not in trace["telemetry"]

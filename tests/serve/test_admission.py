@@ -1,0 +1,85 @@
+"""Admission queue unit behaviour: tickets, bounds, drains, restore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import AdmissionQueue, Cancel, Response, Ticket
+
+
+def response(status: str = "ok") -> Response:
+    return Response(kind="cancel", status=status, tick=0)
+
+
+def test_offer_assigns_sequential_seqs_and_fifo_drain():
+    queue = AdmissionQueue(max_depth=None)
+    tickets = [queue.offer(f"c{i % 2}", Cancel(f"x{i}"))[0] for i in range(5)]
+    assert [t.seq for t in tickets] == [0, 1, 2, 3, 4]
+    drained = queue.drain()
+    assert drained == tickets
+    assert queue.depth == 0
+    assert queue.stats.drained == 5
+
+
+def test_depth_bound_rejects_without_queueing():
+    queue = AdmissionQueue(max_depth=2)
+    (_, ok1), (_, ok2) = queue.offer("a", Cancel("1")), queue.offer("a", Cancel("2"))
+    bounced, ok3 = queue.offer("a", Cancel("3"))
+    assert (ok1, ok2, ok3) == (True, True, False)
+    assert queue.depth == 2
+    assert bounced.seq == 2  # the bounced offer still consumed its seq
+    assert queue.stats.rejected_full == 1
+    # The next drain sees only the accepted two.
+    assert [t.request.campaign_id for t in queue.drain()] == ["1", "2"]
+
+
+def test_zero_or_negative_depth_is_rejected():
+    with pytest.raises(ValueError, match="max_depth"):
+        AdmissionQueue(max_depth=0)
+
+
+def test_pop_keeps_order_and_snapshot_sees_the_tail():
+    queue = AdmissionQueue()
+    for i in range(4):
+        queue.offer("c", Cancel(str(i)))
+    first = queue.pop()
+    assert first.request.campaign_id == "0"
+    assert [t.request.campaign_id for t in queue.snapshot()] == ["1", "2", "3"]
+    assert queue.pop().request.campaign_id == "1"
+
+
+def test_restore_reloads_tickets_and_seq():
+    queue = AdmissionQueue()
+    restored = [Ticket(7, "c", Cancel("a"), 0.0), Ticket(9, "c", Cancel("b"), 0.0)]
+    queue.restore(10, restored)
+    assert queue.next_seq == 10
+    assert queue.depth == 2
+    assert queue.pop().seq == 7
+
+
+def test_ticket_resolves_exactly_once():
+    ticket = Ticket(0, "c", Cancel("x"), 0.0)
+    with pytest.raises(RuntimeError, match="still queued"):
+        _ = ticket.response
+    ticket.resolve(response())
+    assert ticket.done and ticket.response.ok
+    with pytest.raises(RuntimeError, match="already resolved"):
+        ticket.resolve(response())
+
+
+def test_ticket_callbacks_fire_on_and_after_resolution():
+    ticket = Ticket(0, "c", Cancel("x"), 0.0)
+    seen: list[str] = []
+    ticket.add_done_callback(lambda t: seen.append("before"))
+    ticket.resolve(response())
+    ticket.add_done_callback(lambda t: seen.append("after"))
+    assert seen == ["before", "after"]
+
+
+def test_make_ticket_shares_numbering_without_queueing():
+    queue = AdmissionQueue()
+    queue.offer("c", Cancel("0"))
+    read_ticket = queue.make_ticket("c", Cancel("read"))
+    queue.offer("c", Cancel("2"))
+    assert read_ticket.seq == 1
+    assert queue.depth == 2  # the read ticket never entered the queue

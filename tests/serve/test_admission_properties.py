@@ -1,0 +1,102 @@
+"""Property-based admission-queue invariants (hypothesis).
+
+The serving determinism contract stands on three queue guarantees, so
+they are asserted for *arbitrary* offer/drain interleavings rather than
+hand-picked cases:
+
+* **FIFO per client**: however offers and tick drains interleave, one
+  client's requests come out of the drains in exactly the order that
+  client issued them (and the global drain order is arrival order).
+* **No loss, no duplication**: every offered request is either drained
+  exactly once or bounced exactly once at offer time; sequence numbers
+  never repeat and nothing vanishes across drain boundaries.
+* **Deterministic backpressure**: which offers bounce is a pure function
+  of the offer/drain sequence — replaying the same schedule (same seed)
+  bounces exactly the same requests.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import AdmissionQueue, Cancel
+
+#: A schedule: True = offer (with a client index), None = tick drain.
+schedules = st.lists(
+    st.one_of(st.integers(min_value=0, max_value=4), st.none()),
+    min_size=0,
+    max_size=200,
+)
+depths = st.one_of(st.none(), st.integers(min_value=1, max_value=8))
+
+
+def run_schedule(schedule, max_depth):
+    """Execute one offer/drain schedule; returns (tickets, drains, bounced)."""
+    queue = AdmissionQueue(max_depth=max_depth)
+    tickets = []
+    drains = []
+    bounced = []
+    for step in schedule:
+        if step is None:
+            drains.append(queue.drain())
+            continue
+        client = f"c{step}"
+        ticket, accepted = queue.offer(client, Cancel(f"{client}-{len(tickets)}"))
+        tickets.append(ticket)
+        if not accepted:
+            bounced.append(ticket)
+    drains.append(queue.drain())  # final boundary flushes the rest
+    return tickets, drains, bounced
+
+
+@settings(max_examples=200, deadline=None)
+@given(schedule=schedules, max_depth=depths)
+def test_fifo_per_client_across_drains(schedule, max_depth):
+    tickets, drains, bounced = run_schedule(schedule, max_depth)
+    drained = [t for batch in drains for t in batch]
+    # Global drain order is arrival order...
+    assert [t.seq for t in drained] == sorted(t.seq for t in drained)
+    # ...which implies per-client FIFO.
+    for client in {t.client for t in drained}:
+        ours = [t.seq for t in drained if t.client == client]
+        assert ours == sorted(ours)
+
+
+@settings(max_examples=200, deadline=None)
+@given(schedule=schedules, max_depth=depths)
+def test_no_request_lost_or_duplicated(schedule, max_depth):
+    tickets, drains, bounced = run_schedule(schedule, max_depth)
+    drained = [t for batch in drains for t in batch]
+    # Exactly once: every offer is either drained or bounced, never both,
+    # never twice.
+    seen = [t.seq for t in drained] + [t.seq for t in bounced]
+    assert sorted(seen) == [t.seq for t in tickets]
+    assert len(set(seen)) == len(seen)
+
+
+@settings(max_examples=200, deadline=None)
+@given(schedule=schedules, max_depth=depths)
+def test_backpressure_is_deterministic(schedule, max_depth):
+    _, _, bounced_a = run_schedule(schedule, max_depth)
+    _, _, bounced_b = run_schedule(schedule, max_depth)
+    assert [t.seq for t in bounced_a] == [t.seq for t in bounced_b]
+
+
+@settings(max_examples=100, deadline=None)
+@given(schedule=schedules)
+def test_unbounded_queue_never_bounces(schedule):
+    _, _, bounced = run_schedule(schedule, None)
+    assert bounced == []
+
+
+@settings(max_examples=100, deadline=None)
+@given(schedule=schedules, max_depth=st.integers(min_value=1, max_value=8))
+def test_depth_never_exceeds_bound(schedule, max_depth):
+    queue = AdmissionQueue(max_depth=max_depth)
+    for i, step in enumerate(schedule):
+        if step is None:
+            queue.drain()
+        else:
+            queue.offer(f"c{step}", Cancel(str(i)))
+        assert queue.depth <= max_depth
+    assert queue.stats.max_depth_seen <= max_depth

@@ -1,0 +1,137 @@
+"""CLI surface of the serving layer: ``engine serve`` / ``engine loadtest``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve import GatewayTelemetry, LoadGenerator
+
+FAST = ["--horizon-hours", "6"]
+
+
+def test_serve_canned_scenario(capsys):
+    assert main(["engine", "serve", "--canned", "flash-crowd", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "serving       : trace 'flash-crowd'" in out
+    assert "gateway       :" in out
+    assert "campaigns     :" in out
+
+
+def test_serve_requires_exactly_one_source(capsys):
+    assert main(["engine", "serve", *FAST]) == 2
+    assert "exactly one request source" in capsys.readouterr().err
+    assert main([
+        "engine", "serve", "--canned", "flash-crowd", "--trace", "x.json",
+        *FAST,
+    ]) == 2
+
+
+def test_serve_unknown_canned_name_exits_2(capsys):
+    assert main(["engine", "serve", "--canned", "nope", *FAST]) == 2
+    assert "nope" in capsys.readouterr().err
+
+
+def test_serve_bad_trace_file_exits_2(tmp_path, capsys):
+    missing = tmp_path / "missing.json"
+    assert main(["engine", "serve", "--trace", str(missing), *FAST]) == 2
+    assert "could not load request trace" in capsys.readouterr().err
+    mangled = tmp_path / "mangled.json"
+    mangled.write_text("{not json")
+    assert main(["engine", "serve", "--trace", str(mangled), *FAST]) == 2
+
+
+def test_serve_flag_validation_exits_2(capsys):
+    assert main([
+        "engine", "serve", "--canned", "flash-crowd", "--shards", "-1", *FAST,
+    ]) == 2
+    assert main([
+        "engine", "serve", "--canned", "flash-crowd", "--max-live", "-2",
+        *FAST,
+    ]) == 2
+    assert main([
+        "engine", "serve", "--canned", "flash-crowd", "--stop-after", "4",
+        *FAST,
+    ]) == 2  # needs --checkpoint-path
+    err = capsys.readouterr().err
+    assert "--checkpoint-path" in err
+
+
+def test_serve_trace_with_telemetry_out_and_shards(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    LoadGenerator(18, seed=3, rate=2.0).trace("open").save(trace_path)
+    telemetry_path = tmp_path / "telemetry.json"
+    assert main([
+        "engine", "serve", "--trace", str(trace_path), *FAST,
+        "--shards", "3", "--executor", "serial",
+        "--telemetry-out", str(telemetry_path),
+    ]) == 0
+    telemetry = GatewayTelemetry.load(telemetry_path)
+    assert telemetry.num_ticks > 0
+    assert "telemetry     : written to" in capsys.readouterr().out
+
+
+def test_serve_stop_resume_round_trip(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    LoadGenerator(18, seed=3, rate=2.0).trace("open").save(trace_path)
+    bundle = tmp_path / "bundle"
+    full_out = tmp_path / "full.json"
+    resumed_out = tmp_path / "resumed.json"
+
+    assert main([
+        "engine", "serve", "--trace", str(trace_path), *FAST,
+        "--stop-after", "5", "--checkpoint-path", str(bundle),
+    ]) == 0
+    assert "stopped       : after 5 ticks" in capsys.readouterr().out
+
+    assert main([
+        "engine", "serve", "--resume", str(bundle),
+        "--telemetry-out", str(resumed_out),
+    ]) == 0
+    assert "resume        :" in capsys.readouterr().out
+
+    assert main([
+        "engine", "serve", "--trace", str(trace_path), *FAST,
+        "--telemetry-out", str(full_out),
+    ]) == 0
+    assert json.loads(resumed_out.read_text()) == json.loads(
+        full_out.read_text()
+    )
+
+
+def test_serve_resume_of_non_gateway_bundle_exits_2(tmp_path, capsys):
+    assert main([
+        "engine", "serve", "--resume", str(tmp_path / "nothing"),
+    ]) == 2
+    assert "no checkpoint bundle" in capsys.readouterr().err
+
+
+def test_loadtest_closed_mode(capsys):
+    assert main([
+        "engine", "loadtest", *FAST, "--clients", "3", "--requests", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "loadtest      : mode=closed" in out
+    assert "requests/sec" in out
+    assert "latency" in out
+
+
+def test_loadtest_open_mode_writes_a_replayable_trace(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    assert main([
+        "engine", "loadtest", *FAST, "--mode", "open", "--rate", "2",
+        "--trace-out", str(trace_path),
+    ]) == 0
+    assert "mode=open" in capsys.readouterr().out
+    assert main(["engine", "serve", "--trace", str(trace_path), *FAST]) == 0
+
+
+def test_loadtest_flag_validation_exits_2(capsys):
+    assert main(["engine", "loadtest", *FAST, "--max-queue", "-1"]) == 2
+    assert main(["engine", "loadtest", *FAST, "--clients", "0"]) == 2
+    assert main([
+        "engine", "loadtest", *FAST, "--mix", "0", "0", "0", "0",
+    ]) == 2
+    assert "positive" in capsys.readouterr().err

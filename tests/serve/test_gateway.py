@@ -1,0 +1,257 @@
+"""Gateway behaviour: reads, drains, backpressure, revival, the async facade."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.engine.campaign import CampaignSpec
+from repro.engine.workload import DEFAULT_TEMPLATES
+from repro.serve import (
+    Cancel,
+    Gateway,
+    QueryTelemetry,
+    Quote,
+    SubmitCampaign,
+)
+from tests.serve.conftest import NUM_INTERVALS, make_engine
+
+
+def spec(cid: str, submit: int = 0, tasks: int = 10) -> CampaignSpec:
+    return CampaignSpec(
+        campaign_id=cid, kind="deadline", num_tasks=tasks,
+        submit_interval=submit, horizon_intervals=6, max_price=25,
+    )
+
+
+def budget_spec(cid: str, submit: int = 0) -> CampaignSpec:
+    return CampaignSpec(
+        campaign_id=cid, kind="budget", num_tasks=10,
+        submit_interval=submit, horizon_intervals=6, budget=120.0,
+    )
+
+
+def started_gateway(**kwargs) -> Gateway:
+    gateway = Gateway(make_engine(), **kwargs)
+    gateway.start(seed=3)
+    return gateway
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+def test_requests_require_a_started_session():
+    gateway = Gateway(make_engine())
+    with pytest.raises(RuntimeError, match="start"):
+        gateway.offer(QueryTelemetry())
+
+
+def test_start_twice_fails():
+    gateway = started_gateway()
+    with pytest.raises(RuntimeError, match="already started"):
+        gateway.start(seed=4)
+
+
+def test_bad_admission_config_rejected():
+    with pytest.raises(ValueError, match="max_live"):
+        Gateway(make_engine(), max_live=0)
+
+
+# ----------------------------------------------------------------------
+# Mutating requests coalesce at tick boundaries
+# ----------------------------------------------------------------------
+def test_submissions_apply_at_the_next_boundary():
+    gateway = started_gateway()
+    ticket = gateway.offer(SubmitCampaign(spec("a")), client="c1")
+    assert not ticket.done  # queued, not yet applied
+    report = gateway.step()
+    assert ticket.done and ticket.response.ok
+    assert ticket.response.payload["campaign_id"] == "a"
+    assert report.admitted == 1
+
+
+def test_submission_validation_rejects_deterministically():
+    gateway = started_gateway()
+    gateway.offer(SubmitCampaign(spec("dup")))
+    late = gateway.offer(SubmitCampaign(
+        spec("late", submit=NUM_INTERVALS)))  # horizon overrun
+    duplicate = gateway.offer(SubmitCampaign(spec("dup")))
+    gateway.step()
+    assert late.response.status == "rejected"
+    assert "beyond the stream" in late.response.detail
+    assert duplicate.response.status == "rejected"
+    assert "duplicate" in duplicate.response.detail
+
+
+def test_live_campaign_budget_backpressure():
+    gateway = started_gateway(max_live=2)
+    tickets = [
+        gateway.offer(SubmitCampaign(spec(f"c{i}"))) for i in range(4)
+    ]
+    gateway.step()
+    statuses = [t.response.status for t in tickets]
+    assert statuses == ["ok", "ok", "rejected", "rejected"]
+    assert all(
+        "budget exhausted" in t.response.detail
+        for t in tickets[2:]
+    )
+
+
+def test_queue_depth_backpressure_is_immediate():
+    gateway = started_gateway(max_queue=2)
+    accepted = [gateway.offer(SubmitCampaign(spec(f"c{i}"))) for i in range(2)]
+    bounced = gateway.offer(SubmitCampaign(spec("c2")))
+    assert bounced.done and bounced.response.status == "rejected"
+    assert "queue full" in bounced.response.detail
+    assert not accepted[0].done  # the queued ones wait for the boundary
+
+
+def test_cancel_statuses():
+    gateway = started_gateway()
+    gateway.offer(SubmitCampaign(spec("live", submit=0)))
+    gateway.offer(SubmitCampaign(spec("pending", submit=20)))
+    gateway.step()
+    cancel_live = gateway.offer(Cancel("live"))
+    cancel_pending = gateway.offer(Cancel("pending"))
+    cancel_unknown = gateway.offer(Cancel("nope"))
+    gateway.step()
+    assert cancel_live.response.ok
+    assert cancel_live.response.payload["result"] == "cancelled"
+    assert cancel_pending.response.payload["result"] == "dropped"
+    assert cancel_unknown.response.status == "error"
+    assert "unknown campaign" in cancel_unknown.response.detail
+    # Cancelling a retired campaign is a deterministic no-op.
+    retired = gateway.offer(Cancel("live"))
+    gateway.step()
+    assert retired.response.ok
+    assert retired.response.payload["result"] == "retired"
+
+
+def test_idle_engine_is_revived_by_a_queued_submission():
+    gateway = started_gateway()
+    assert gateway.step() is None  # nothing live, nothing queued
+    gateway.offer(SubmitCampaign(spec("wake", submit=2)))
+    report = gateway.step()  # revival drain, then the tick runs
+    assert report is not None and report.idle  # idling toward interval 2
+    assert gateway.core.num_pending == 1
+
+
+def test_close_rejects_queued_requests():
+    gateway = started_gateway()
+    ticket = gateway.offer(SubmitCampaign(spec("a")))
+    gateway.close()
+    assert ticket.done and ticket.response.status == "rejected"
+    assert "closed" in ticket.response.detail
+
+
+# ----------------------------------------------------------------------
+# Reads: immediate, side-effect free
+# ----------------------------------------------------------------------
+def test_quote_miss_then_cached_hit():
+    gateway = started_gateway()
+    shape = spec("any")
+    miss = gateway.offer(Quote(shape))
+    assert miss.done and miss.response.ok
+    assert miss.response.payload == {
+        "kind": "deadline", "cached": False, "solved": False, "price": None,
+    }
+    # Admit a same-shaped campaign; its solved policy lands in the cache.
+    gateway.offer(SubmitCampaign(spec("real")))
+    gateway.step()
+    hit = gateway.offer(Quote(shape))
+    assert hit.response.payload["cached"] is True
+    assert hit.response.payload["price"] is not None
+
+
+def test_quote_solve_on_miss_prices_without_storing():
+    gateway = started_gateway()
+    stats_before = gateway.engine.cache.stats
+    solved = gateway.offer(Quote(spec("s"), solve_on_miss=True))
+    payload = solved.response.payload
+    assert payload["solved"] is True and payload["price"] is not None
+    # Nothing was stored and no lookup was counted: quoting is invisible
+    # to the admission path's cache accounting.
+    assert gateway.engine.cache.stats == stats_before
+    budget = gateway.offer(Quote(budget_spec("b"), solve_on_miss=True))
+    assert budget.response.payload["price"] is not None
+    assert gateway.engine.cache.stats == stats_before
+
+
+def test_query_telemetry_summary_and_window():
+    gateway = started_gateway()
+    gateway.offer(SubmitCampaign(spec("a")))
+    gateway.step()
+    gateway.step()
+    summary = gateway.offer(QueryTelemetry()).response
+    assert summary.payload["ticks_recorded"] == 2
+    assert "window" not in summary.payload
+    windowed = gateway.offer(QueryTelemetry(last=1)).response
+    window = windowed.payload["window"]
+    assert len(window["engine"]["interval"]) == 1
+    assert len(window["serve"]["queue_depth"]) == 1
+
+
+# ----------------------------------------------------------------------
+# Serving telemetry
+# ----------------------------------------------------------------------
+def test_serve_series_track_the_drains():
+    gateway = started_gateway(max_live=1)
+    gateway.offer(SubmitCampaign(spec("a")))
+    gateway.offer(SubmitCampaign(spec("b")))
+    gateway.offer(Cancel("missing-before-boundary"))
+    gateway.step()
+    serve = gateway.telemetry.serve
+    assert serve["queue_depth"][-1] == 3
+    assert serve["drained"][-1] == 3
+    assert serve["admitted"][-1] == 1
+    assert serve["rejected"][-1] == 1  # budget bounced the second submit
+    gateway.offer(QueryTelemetry())
+    gateway.step()
+    assert serve["reads"][-1] == 1
+
+
+# ----------------------------------------------------------------------
+# The asyncio facade
+# ----------------------------------------------------------------------
+def test_async_request_and_serve_loop():
+    async def drill():
+        gateway = started_gateway()
+        read = await gateway.request(QueryTelemetry(), client="r")
+        assert read.ok  # reads resolve without the serve loop
+
+        serve_task = asyncio.ensure_future(gateway.serve())
+        submitted = await gateway.request(
+            SubmitCampaign(spec("x")), client="w"
+        )
+        assert submitted.ok
+        gateway.stop()
+        ticks = await serve_task
+        assert ticks >= 1
+        return gateway
+
+    gateway = asyncio.run(drill())
+    assert gateway.telemetry.responses["ok"] == 2
+
+
+def test_serve_flushes_queue_on_stop():
+    async def drill():
+        gateway = started_gateway()
+        serve_task = asyncio.ensure_future(
+            gateway.serve(max_ticks=0)  # exits before any boundary
+        )
+        ticket = gateway.offer(SubmitCampaign(spec("x")))
+        await serve_task
+        return ticket
+
+    ticket = asyncio.run(drill())
+    assert ticket.done and ticket.response.status == "rejected"
+    assert "stopped" in ticket.response.detail
+
+
+def test_serve_stop_when_idle_returns():
+    async def drill():
+        gateway = started_gateway()
+        return await gateway.serve(stop_when_idle=True)
+
+    assert asyncio.run(drill()) == 0

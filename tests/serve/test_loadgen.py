@@ -1,0 +1,185 @@
+"""LoadGenerator: deterministic traces, client mixes, live closed loops."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import (
+    Cancel,
+    ClientMix,
+    Gateway,
+    LoadGenerator,
+    QueryTelemetry,
+    Quote,
+    SubmitCampaign,
+)
+from tests.serve.conftest import NUM_INTERVALS, make_engine
+
+
+def kinds(trace):
+    return {type(r.request).__name__ for r in trace.requests}
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        (dict(clients=0), "clients"),
+        (dict(rate=0.0), "rate"),
+        (dict(think=-1), "think"),
+        (dict(requests_per_client=0), "requests_per_client"),
+        (dict(templates=()), "template"),
+    ],
+)
+def test_constructor_validation(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        LoadGenerator(NUM_INTERVALS, **kwargs)
+
+
+def test_bad_horizon():
+    with pytest.raises(ValueError, match="num_intervals"):
+        LoadGenerator(0)
+
+
+def test_mix_validation():
+    with pytest.raises(ValueError, match="non-negative"):
+        ClientMix(submit=-1.0)
+    with pytest.raises(ValueError, match="positive"):
+        ClientMix(submit=0, quote=0, cancel=0, query=0)
+    probs = ClientMix(submit=2.0, quote=2.0, cancel=0.0, query=0.0).probabilities()
+    assert probs.sum() == pytest.approx(1.0)
+    assert probs[2] == probs[3] == 0.0
+
+
+def test_bad_trace_mode():
+    with pytest.raises(ValueError, match="mode"):
+        LoadGenerator(NUM_INTERVALS).trace("sideways")
+
+
+# ----------------------------------------------------------------------
+# Deterministic traces
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["open", "closed"])
+def test_same_seed_same_trace(mode):
+    a = LoadGenerator(NUM_INTERVALS, seed=9, clients=3).trace(mode)
+    b = LoadGenerator(NUM_INTERVALS, seed=9, clients=3).trace(mode)
+    assert a == b
+    c = LoadGenerator(NUM_INTERVALS, seed=10, clients=3).trace(mode)
+    assert a != c
+
+
+def test_open_trace_spans_the_horizon_with_every_kind():
+    trace = LoadGenerator(NUM_INTERVALS, seed=1, clients=4, rate=4.0).trace("open")
+    assert trace.num_requests > NUM_INTERVALS  # rate 4 across the horizon
+    assert kinds(trace) == {
+        "SubmitCampaign", "Quote", "Cancel", "QueryTelemetry",
+    }
+    assert all(0 <= r.tick < NUM_INTERVALS for r in trace.requests)
+
+
+def test_closed_trace_respects_per_client_budget():
+    generator = LoadGenerator(
+        NUM_INTERVALS, seed=2, clients=3, think=1, requests_per_client=5,
+    )
+    trace = generator.trace("closed")
+    per_client: dict[str, int] = {}
+    for r in trace.requests:
+        per_client[r.client] = per_client.get(r.client, 0) + 1
+    assert set(per_client) <= {"c00", "c01", "c02"}
+    assert all(count <= 5 for count in per_client.values())
+    # Closed loop: a client's requests are strictly spaced in time.
+    for client in per_client:
+        ticks = [r.tick for r in trace.requests if r.client == client]
+        assert ticks == sorted(ticks)
+        assert len(set(ticks)) == len(ticks)
+
+
+def test_submissions_always_fit_the_horizon():
+    trace = LoadGenerator(NUM_INTERVALS, seed=3, rate=5.0).trace("open")
+    for timed in trace.requests:
+        if isinstance(timed.request, SubmitCampaign):
+            spec = timed.request.spec
+            assert spec.submit_interval == timed.tick
+            assert spec.end_interval <= NUM_INTERVALS
+
+
+def test_cancels_target_own_earlier_campaigns():
+    trace = LoadGenerator(
+        NUM_INTERVALS, seed=7, clients=2, rate=4.0,
+        mix=ClientMix(submit=0.5, cancel=0.5, quote=0.0, query=0.0),
+    ).trace("open")
+    submitted: dict[str, set] = {}
+    for timed in trace.requests:
+        if isinstance(timed.request, SubmitCampaign):
+            submitted.setdefault(timed.client, set()).add(
+                timed.request.spec.campaign_id
+            )
+        elif isinstance(timed.request, Cancel):
+            assert timed.request.campaign_id in submitted.get(
+                timed.client, set()
+            )
+
+
+def test_single_kind_mixes():
+    quote_only = LoadGenerator(
+        NUM_INTERVALS, seed=1, rate=2.0,
+        mix=ClientMix(submit=0, quote=1, cancel=0, query=0),
+    ).trace("open")
+    assert kinds(quote_only) == {"Quote"}
+    query_only = LoadGenerator(
+        NUM_INTERVALS, seed=1, rate=2.0,
+        mix=ClientMix(submit=0, quote=0, cancel=0, query=1),
+    ).trace("open")
+    assert kinds(query_only) == {"QueryTelemetry"}
+    # All-cancel downgrades to quotes until something was submitted.
+    cancel_only = LoadGenerator(
+        NUM_INTERVALS, seed=1, rate=2.0,
+        mix=ClientMix(submit=0, quote=0, cancel=1, query=0),
+    ).trace("open")
+    assert kinds(cancel_only) == {"Quote"}
+
+
+def test_solve_on_miss_flag_propagates():
+    trace = LoadGenerator(
+        NUM_INTERVALS, seed=1, rate=3.0, quote_solve_on_miss=True,
+        mix=ClientMix(submit=0, quote=1, cancel=0, query=0),
+    ).trace("open")
+    assert all(
+        r.request.solve_on_miss
+        for r in trace.requests
+        if isinstance(r.request, Quote)
+    )
+
+
+# ----------------------------------------------------------------------
+# Live closed loop (asyncio)
+# ----------------------------------------------------------------------
+def test_run_closed_serves_every_client_request():
+    generator = LoadGenerator(
+        NUM_INTERVALS, seed=3, clients=3, think=1, requests_per_client=5,
+    )
+    gateway = Gateway(make_engine())
+    gateway.start(seed=9)
+    responses = asyncio.run(generator.run_closed(gateway))
+    assert 0 < len(responses) <= 15
+    assert all(r.status in ("ok", "rejected", "error") for r in responses)
+    # The gateway observed a latency sample per response.
+    assert gateway.telemetry.latency.count >= len(responses)
+    assert gateway.telemetry.total_requests >= len(responses)
+
+
+def test_run_closed_respects_admission_budget():
+    generator = LoadGenerator(
+        NUM_INTERVALS, seed=3, clients=4, think=0, requests_per_client=8,
+        mix=ClientMix(submit=1.0, quote=0.0, cancel=0.0, query=0.0),
+    )
+    gateway = Gateway(make_engine(), max_live=2)
+    gateway.start(seed=9)
+    responses = asyncio.run(generator.run_closed(gateway))
+    rejected = [r for r in responses if r.status == "rejected"]
+    assert rejected, "a 2-campaign budget must bounce an all-submit mix"
+    assert all("budget exhausted" in r.detail for r in rejected)

@@ -1,0 +1,136 @@
+"""Request vocabulary: serialization round trips, traces, scenario lowering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.campaign import CampaignSpec
+from repro.scenario import canned_scenario
+from repro.serve import (
+    Cancel,
+    QueryTelemetry,
+    Quote,
+    RequestTrace,
+    Snapshot,
+    SubmitCampaign,
+    TimedRequest,
+    is_mutating,
+    request_from_dict,
+    request_to_dict,
+)
+
+
+def spec(cid: str = "c-000", submit: int = 0) -> CampaignSpec:
+    return CampaignSpec(
+        campaign_id=cid, kind="deadline", num_tasks=10,
+        submit_interval=submit, horizon_intervals=6,
+    )
+
+
+ALL_REQUESTS = [
+    SubmitCampaign(spec()),
+    Quote(spec("q"), solve_on_miss=True),
+    Cancel("c-000"),
+    QueryTelemetry(last=5),
+    Snapshot("/tmp/bundle"),
+]
+
+
+@pytest.mark.parametrize("request_", ALL_REQUESTS, ids=lambda r: type(r).__name__)
+def test_request_round_trips_through_dict(request_):
+    data = request_to_dict(request_)
+    assert isinstance(data["type"], str)
+    assert request_from_dict(data) == request_
+
+
+def test_mutating_split():
+    assert is_mutating(SubmitCampaign(spec()))
+    assert is_mutating(Cancel("x"))
+    assert is_mutating(Snapshot("p"))
+    assert not is_mutating(Quote(spec()))
+    assert not is_mutating(QueryTelemetry())
+
+
+def test_unknown_request_types_fail_loudly():
+    with pytest.raises(TypeError, match="unknown request type"):
+        request_to_dict(object())
+    with pytest.raises(ValueError, match="unknown request type"):
+        request_from_dict({"type": "frobnicate"})
+
+
+def test_timed_request_validation():
+    with pytest.raises(ValueError, match="tick"):
+        TimedRequest(-1, "c", Cancel("x"))
+    with pytest.raises(ValueError, match="client"):
+        TimedRequest(0, "", Cancel("x"))
+    with pytest.raises(TypeError, match="unknown request type"):
+        TimedRequest(0, "c", "not a request")
+
+
+def test_trace_sorts_by_tick_stably():
+    trace = RequestTrace(
+        name="t",
+        requests=(
+            TimedRequest(5, "a", Cancel("x1")),
+            TimedRequest(2, "a", Cancel("x2")),
+            TimedRequest(5, "b", Cancel("x3")),
+            TimedRequest(2, "b", Cancel("x4")),
+        ),
+    )
+    assert [r.tick for r in trace.requests] == [2, 2, 5, 5]
+    # Stable: same-tick requests keep their original relative order.
+    assert [r.request.campaign_id for r in trace.requests] == [
+        "x2", "x4", "x1", "x3",
+    ]
+
+
+def test_trace_json_round_trip(tmp_path):
+    trace = RequestTrace(
+        name="rt",
+        requests=tuple(
+            TimedRequest(i, f"c{i % 2}", r)
+            for i, r in enumerate(ALL_REQUESTS)
+        ),
+    )
+    path = trace.save(tmp_path / "trace.json")
+    loaded = RequestTrace.load(path)
+    assert loaded == trace
+
+
+def test_trace_merge_interleaves_by_tick():
+    a = RequestTrace("a", (TimedRequest(1, "a", Cancel("a1")),
+                           TimedRequest(4, "a", Cancel("a2"))))
+    b = RequestTrace("b", (TimedRequest(1, "b", Cancel("b1")),
+                           TimedRequest(3, "b", Cancel("b2"))))
+    merged = a.merge(b)
+    assert merged.name == "a+b"
+    assert [r.request.campaign_id for r in merged.requests] == [
+        "a1", "b1", "b2", "a2",
+    ]
+
+
+def test_trace_name_required():
+    with pytest.raises(ValueError, match="name"):
+        RequestTrace(name="", requests=())
+
+
+def test_from_scenario_lowers_waves_and_cancellations():
+    scenario = canned_scenario("black-friday", 48, seed=3)
+    timeline = scenario.compile(48)
+    trace = RequestTrace.from_scenario(scenario, 48)
+    submits = [r for r in trace.requests
+               if isinstance(r.request, SubmitCampaign)]
+    cancels = [r for r in trace.requests if isinstance(r.request, Cancel)]
+    assert len(submits) == timeline.num_campaigns
+    assert len(cancels) == sum(
+        len(ids) for ids in timeline.cancellations.values()
+    )
+    # Every submission arrives at its spec's submit interval.
+    assert all(r.tick == r.request.spec.submit_interval for r in submits)
+    # Same-tick ordering: submissions before cancellations (driver order).
+    by_tick: dict[int, list[str]] = {}
+    for r in trace.requests:
+        by_tick.setdefault(r.tick, []).append(type(r.request).__name__)
+    for kinds in by_tick.values():
+        if "SubmitCampaign" in kinds and "Cancel" in kinds:
+            assert kinds.index("Cancel") > kinds.index("SubmitCampaign")

@@ -1,0 +1,144 @@
+"""Durability of served sessions: snapshot mid-serve, resume bit-identically.
+
+The contract mirrors the engine/scenario checkpoint suites: a served run
+that snapshots at any tick boundary — through a queued ``Snapshot``
+request or an external :meth:`Gateway.save` — and resumes from the
+bundle must finish with telemetry and outcomes bit-identical to the
+uninterrupted run, including the requests that were still queued when
+the snapshot was taken.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.checkpoint import CheckpointError
+from repro.serve import (
+    Cancel,
+    Gateway,
+    LoadGenerator,
+    RequestTrace,
+    Snapshot,
+    SubmitCampaign,
+    TimedRequest,
+)
+from tests.serve.conftest import NUM_INTERVALS, make_engine
+
+SEED = 5
+BASE_TRACE = LoadGenerator(
+    NUM_INTERVALS, seed=11, clients=3, rate=2.0, think=1,
+).trace("open")
+
+
+def outcome_map(core):
+    return {
+        o.spec.campaign_id: (o.completed, o.remaining, o.total_cost,
+                             o.penalty, o.cancelled)
+        for o in core.outcomes
+    }
+
+
+@pytest.mark.parametrize("num_shards", [0, 3], ids=["pooled", "sharded3"])
+@pytest.mark.parametrize("snapshot_tick", [0, 14, 30])
+def test_snapshot_request_resumes_bit_identically(
+    tmp_path, num_shards, snapshot_tick
+):
+    bundle = str(tmp_path / "bundle")
+    trace = BASE_TRACE.merge(
+        RequestTrace(
+            "snap",
+            (TimedRequest(snapshot_tick, "ops", Snapshot(bundle)),),
+        )
+    )
+    uninterrupted = Gateway(make_engine(num_shards))
+    uninterrupted.start(seed=SEED)
+    tickets = uninterrupted.replay(trace)
+    snapshot_response = next(
+        t.response for t in tickets if isinstance(t.request, Snapshot)
+    )
+    assert snapshot_response.ok
+    assert snapshot_response.payload["path"] == bundle
+
+    resumed = Gateway.resume(bundle)
+    assert resumed.replay_remaining is not None
+    resumed.resume_replay()
+
+    assert resumed.telemetry == uninterrupted.telemetry
+    assert outcome_map(resumed.core) == outcome_map(uninterrupted.core)
+
+
+def test_external_save_preserves_the_queue(tmp_path):
+    """Requests still queued at the snapshot are answered after resume."""
+    bundle = tmp_path / "bundle"
+    gateway = Gateway(make_engine())
+    gateway.start(seed=SEED)
+    gateway.offer(SubmitCampaign(BASE_TRACE.requests[0].request.spec))
+    gateway.step()
+    queued = gateway.offer(Cancel("never-seen"), client="c9")
+    gateway.save(bundle)
+    assert not queued.done  # still queued in the saved bundle
+
+    resumed = Gateway.resume(bundle)
+    assert resumed.queue.depth == 1
+    restored = resumed.queue.snapshot()[0]
+    assert restored.seq == queued.seq and restored.client == "c9"
+    resumed.step()
+    assert restored.done  # answered at the first post-resume boundary
+    assert restored.response.status == "error"  # unknown campaign
+
+
+def test_save_requires_a_started_session(tmp_path):
+    gateway = Gateway(make_engine())
+    with pytest.raises(CheckpointError, match="not started"):
+        gateway.save(tmp_path / "bundle")
+
+
+def test_resume_rejects_foreign_bundles(tmp_path):
+    """An engine-only bundle (no gateway extras) fails loudly."""
+    from repro.engine.checkpoint import save_checkpoint
+
+    engine = make_engine()
+    engine.submit([BASE_TRACE.requests[0].request.spec])
+    engine.start(seed=SEED)
+    save_checkpoint(engine, tmp_path / "plain")
+    with pytest.raises(CheckpointError, match="serving-gateway state"):
+        Gateway.resume(tmp_path / "plain")
+
+
+def test_resume_rejects_missing_bundle(tmp_path):
+    with pytest.raises(CheckpointError, match="no checkpoint bundle"):
+        Gateway.resume(tmp_path / "nothing-here")
+
+
+def test_resume_replay_without_trace_fails():
+    gateway = Gateway(make_engine())
+    gateway.start(seed=SEED)
+    with pytest.raises(RuntimeError, match="no replay to resume"):
+        gateway.resume_replay()
+
+
+def test_double_hop_resume(tmp_path):
+    """Snapshot -> resume -> snapshot -> resume still matches end to end."""
+    first = str(tmp_path / "first")
+    second = str(tmp_path / "second")
+    trace = BASE_TRACE.merge(
+        RequestTrace(
+            "snaps",
+            (
+                TimedRequest(8, "ops", Snapshot(first)),
+                TimedRequest(22, "ops", Snapshot(second)),
+            ),
+        )
+    )
+    uninterrupted = Gateway(make_engine())
+    uninterrupted.start(seed=SEED)
+    uninterrupted.replay(trace)
+
+    hop1 = Gateway.resume(first)
+    hop1.resume_replay()
+    assert hop1.telemetry == uninterrupted.telemetry
+
+    hop2 = Gateway.resume(second)  # written again during hop1's replay
+    hop2.resume_replay()
+    assert hop2.telemetry == uninterrupted.telemetry
+    assert outcome_map(hop2.core) == outcome_map(uninterrupted.core)

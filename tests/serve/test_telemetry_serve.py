@@ -1,0 +1,123 @@
+"""Serving telemetry: round trips, windows, latency percentiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    DrainReport,
+    GatewayTelemetry,
+    LatencyRecorder,
+    SERVE_SERIES_FIELDS,
+    SubmitCampaign,
+)
+from repro.serve.gateway import Gateway
+from tests.serve.conftest import make_engine
+from tests.serve.test_gateway import spec
+
+
+def recorded_telemetry() -> GatewayTelemetry:
+    gateway = Gateway(make_engine())
+    gateway.start(seed=3)
+    gateway.offer(SubmitCampaign(spec("a")))
+    gateway.offer(SubmitCampaign(spec("b", submit=4)))
+    for _ in range(6):
+        if gateway.step() is None:
+            break
+    return gateway.telemetry
+
+
+def test_round_trip_is_bit_exact():
+    telemetry = recorded_telemetry()
+    clone = GatewayTelemetry.from_dict(telemetry.to_dict())
+    assert clone == telemetry
+    assert clone.to_dict() == telemetry.to_dict()
+    # ...and keeps recording deltas from where it left off.
+    assert clone.reads_served == telemetry.reads_served
+
+
+def test_save_load(tmp_path):
+    telemetry = recorded_telemetry()
+    path = telemetry.save(tmp_path / "serve.json")
+    assert GatewayTelemetry.load(path) == telemetry
+
+
+def test_version_gate():
+    with pytest.raises(ValueError, match="version"):
+        GatewayTelemetry.from_dict({"version": 99})
+
+
+def test_latency_stays_out_of_the_serialized_form():
+    telemetry = recorded_telemetry()
+    assert telemetry.latency.count > 0  # responses were observed
+    data = telemetry.to_dict()
+    assert "latency" not in data  # wall-clock never enters the contract
+    restored = GatewayTelemetry.from_dict(data)
+    assert restored.latency.count == 0
+
+
+def test_window_bounds():
+    telemetry = recorded_telemetry()
+    empty = telemetry.window(0)
+    assert all(empty["serve"][k] == [] for k in SERVE_SERIES_FIELDS)
+    everything = telemetry.window(10_000)
+    assert len(everything["serve"]["interval"]) == telemetry.num_ticks
+    assert len(everything["engine"]["interval"]) == telemetry.num_ticks
+
+
+def test_summary_mentions_the_counters():
+    telemetry = recorded_telemetry()
+    text = telemetry.summary()
+    assert "responses" in text and "admission" in text and "latency" in text
+
+
+def test_drain_report_defaults_to_an_empty_tally():
+    report = DrainReport()
+    assert (report.queue_depth, report.drained, report.admitted,
+            report.rejected, report.cancels, report.snapshots) == (0,) * 6
+
+
+class TestLatencyRecorder:
+    def test_empty(self):
+        recorder = LatencyRecorder()
+        assert recorder.percentile(50) == 0.0
+        assert recorder.summary() == {
+            "count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0,
+            "p99_ms": 0.0,
+        }
+
+    def test_percentiles_nearest_rank(self):
+        recorder = LatencyRecorder()
+        for ms in range(1, 101):  # 1ms .. 100ms
+            recorder.observe(ms / 1000.0)
+        summary = recorder.summary()
+        assert summary["count"] == 100
+        assert summary["p50_ms"] == pytest.approx(50.0)
+        assert summary["p95_ms"] == pytest.approx(95.0)
+        assert summary["p99_ms"] == pytest.approx(99.0)
+        assert summary["mean_ms"] == pytest.approx(50.5)
+
+    def test_bounded_by_decimation(self):
+        recorder = LatencyRecorder(max_samples=8)
+        for i in range(40):
+            recorder.observe(i / 1000.0)
+        assert recorder.count < 8  # halved whenever the cap is reached
+        assert recorder.total_observed == 40
+        assert recorder.percentile(50) > 0.0  # distribution survives
+
+    def test_bad_cap(self):
+        with pytest.raises(ValueError, match="max_samples"):
+            LatencyRecorder(max_samples=1)
+
+    def test_order_independent(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        samples = [0.005, 0.001, 0.009, 0.003]
+        for s in samples:
+            a.observe(s)
+        for s in reversed(samples):
+            b.observe(s)
+        # Percentiles sort internally; the mean differs only by float
+        # summation order.
+        assert a.percentile(50) == b.percentile(50)
+        assert a.percentile(99) == b.percentile(99)
+        assert a.summary()["mean_ms"] == pytest.approx(b.summary()["mean_ms"])

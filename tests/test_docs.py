@@ -21,6 +21,7 @@ DOCS_PAGES = (
     "docs/performance.md",
     "docs/checkpointing.md",
     "docs/scenarios.md",
+    "docs/serving.md",
 )
 #: Relative markdown links: [text](target) excluding URLs and anchors.
 _LINK = re.compile(r"\[[^\]]+\]\((?!https?://|#|mailto:)([^)#\s]+)")
@@ -80,3 +81,17 @@ class TestBenchRecord:
         assert [entry["shards"] for entry in scaling] == [1, 2, 4]
         completed = {entry["completed"] for entry in scaling}
         assert len(completed) == 1, "shard count changed the outcome"
+
+    def test_serve_fields(self, record):
+        serve = record["serve"]
+        for field in (
+            "requests_per_second",
+            "required_requests_per_second",
+            "seconds",
+            "workload",
+        ):
+            assert field in serve
+        assert (
+            serve["requests_per_second"]
+            >= serve["required_requests_per_second"]
+        )
