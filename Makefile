@@ -5,8 +5,8 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-scenario bench-serve serve-smoke cov \
-	regen-golden docs-check checkpoint-smoke lint-docs all
+.PHONY: test bench bench-scenario bench-serve serve-smoke bench-obs \
+	obs-smoke cov regen-golden docs-check checkpoint-smoke lint-docs all
 
 ## Tier-1 test suite (what CI gates on).
 test:
@@ -33,6 +33,18 @@ bench-serve:
 ## paths, seconds of wall-clock, same >= 5k requests/sec bar.
 serve-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTEST) benchmarks/bench_serve.py -q -p no:cacheprovider
+
+## Observability benchmark: the scenario tick loop with and without an
+## event log attached (< 5% overhead bar, recorded under
+## BENCH_engine.json's "obs" key).  CI runs it with REPRO_BENCH_SMOKE=1.
+bench-obs:
+	$(PYTEST) benchmarks/bench_obs.py -q -p no:cacheprovider
+
+## Event-log durability drill (CI): SIGKILL a live served run mid-tick,
+## recover from checkpoint bundle + event log, and require telemetry
+## bit-identical to an uninterrupted run over the same logged trace.
+obs-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/obs_recovery_smoke.py
 
 ## Coverage gate (CI): line coverage over src/repro with a ratcheted
 ## fail-under floor — raise the threshold when coverage rises, never

@@ -24,6 +24,8 @@ for entry in (REPO_ROOT / "src", REPO_ROOT):
 from tests.golden.cases import (  # noqa: E402
     CASES,
     SERVE_CASES,
+    analytics_path,
+    run_analytics_case,
     run_any_case,
     trace_path,
 )
@@ -42,6 +44,16 @@ def main() -> int:
             f"{len(payload['result']['outcomes'])} outcomes, "
             f"{len(series['interval'])} telemetry ticks"
         )
+    # The analytics golden derives from the freshly rewritten serve trace,
+    # so it must regenerate after the case loop.
+    analytics = run_analytics_case()
+    path = analytics_path()
+    path.write_text(json.dumps(analytics, indent=1, sort_keys=True) + "\n")
+    print(
+        f"{path.relative_to(REPO_ROOT)}: "
+        f"{len(analytics['queries'])} canned queries at window "
+        f"{analytics['window']}"
+    )
     print("review the diff before committing (git diff tests/golden/)")
     return 0
 

@@ -89,6 +89,35 @@ def _add_serving_engine_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_logging_flags(parser: argparse.ArgumentParser) -> None:
+    """The structured-logging flags shared by every engine subcommand.
+
+    One switch configures the whole ``repro`` logger tree
+    (:func:`repro.obs.logsetup.setup_logging`); reports keep going to
+    stdout, diagnostics to stderr, so piped output stays clean.
+    """
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "critical"),
+        default=None,
+        help="enable structured logging for the 'repro' logger tree at "
+        "this level (default: library logging stays silent)",
+    )
+    parser.add_argument(
+        "--log-format", choices=("text", "json"), default="text",
+        help="log line format: human-readable text or one JSON object "
+        "per line (with --log-level)",
+    )
+
+
+def _apply_logging(args: argparse.Namespace) -> None:
+    """Configure structured logging when the subcommand asked for it."""
+    if getattr(args, "log_level", None):
+        from repro.obs.logsetup import setup_logging
+
+        setup_logging(args.log_level, fmt=args.log_format)
+
+
 def _add_checkpoint_flags(parser: argparse.ArgumentParser, what: str) -> None:
     """The durable-run flags shared by ``run``/``scenario run``/``serve``."""
     parser.add_argument(
@@ -228,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serving_engine_flags(engine_run)
     _add_checkpoint_flags(engine_run, "checkpoint")
+    _add_logging_flags(engine_run)
 
     scenario = engine_sub.add_parser(
         "scenario",
@@ -273,8 +303,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-out", metavar="PATH", default=None,
         help="write the per-tick telemetry to PATH as JSON",
     )
+    scenario_run.add_argument(
+        "--event-log", metavar="PATH", default=None,
+        help="append admissions, cancellations, and tick summaries to a "
+        "durable sqlite event log at PATH (see 'engine analytics')",
+    )
     _add_serving_engine_flags(scenario_run)
     _add_checkpoint_flags(scenario_run, "scenario run")
+    _add_logging_flags(scenario_run)
 
     serve = engine_sub.add_parser(
         "serve",
@@ -332,8 +368,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-out", metavar="PATH", default=None,
         help="write the serving telemetry (serve + engine series) as JSON",
     )
+    serve.add_argument(
+        "--event-log", metavar="PATH", default=None,
+        help="append requests, responses, admissions, and tick summaries "
+        "to a durable sqlite event log at PATH (see 'engine analytics' "
+        "and docs/observability.md)",
+    )
+    serve.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the process metrics registry at exit: Prometheus text "
+        "for .prom paths, JSON otherwise",
+    )
     _add_serving_engine_flags(serve)
     _add_checkpoint_flags(serve, "served run")
+    _add_logging_flags(serve)
 
     loadtest = engine_sub.add_parser(
         "loadtest",
@@ -394,7 +442,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="also save the generated open-mode trace to PATH (replayable "
         "with 'engine serve --trace')",
     )
+    loadtest.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the process metrics registry at exit: Prometheus text "
+        "for .prom paths, JSON otherwise",
+    )
     _add_serving_engine_flags(loadtest)
+    _add_logging_flags(loadtest)
+
+    analytics = engine_sub.add_parser(
+        "analytics",
+        help="SQL window-function analytics over telemetry + event logs",
+        description=(
+            "Load recorded run artifacts — per-tick telemetry JSON "
+            "(--telemetry-out) and/or a durable sqlite event log "
+            "(--event-log) — into an in-memory SQL store and answer "
+            "canned window-function queries: rolling queue-depth "
+            "percentiles, per-window admission/rejection rates, policy-"
+            "cache hit-rate trends, cumulative per-campaign fill, request "
+            "outcome joins.  Each query declares which tables it needs; "
+            "by default every query the loaded artifacts can answer runs. "
+            "See docs/observability.md for the schema and query list."
+        ),
+    )
+    analytics.add_argument(
+        "--telemetry", metavar="FILE", default=None,
+        help="telemetry JSON written by --telemetry-out (engine scenario "
+        "form or serve gateway form; the gateway form loads both)",
+    )
+    analytics.add_argument(
+        "--event-log", metavar="FILE", default=None,
+        help="durable sqlite event log written by --event-log",
+    )
+    analytics.add_argument(
+        "--query", action="append", metavar="NAME", default=None,
+        help="canned query to run (repeatable; see --list-queries); "
+        "default: every query the loaded artifacts support",
+    )
+    analytics.add_argument(
+        "--list-queries", action="store_true",
+        help="list the canned query library and exit",
+    )
+    analytics.add_argument(
+        "--window", type=int, default=10, metavar="N",
+        help="window width in ticks for windowed queries (default 10)",
+    )
+    analytics.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format: aligned text tables or one JSON document",
+    )
+    _add_logging_flags(analytics)
     return parser
 
 
@@ -582,8 +679,10 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         "serve": _cmd_engine_serve,
         "loadtest": _cmd_engine_loadtest,
         "run": _cmd_engine_run,
+        "analytics": _cmd_engine_analytics,
     }
     try:
+        _apply_logging(args)
         return dispatch[args.action](args)
     except _CliError as exc:
         print(str(exc), file=sys.stderr)
@@ -691,9 +790,14 @@ def _cmd_engine_scenario(args: argparse.Namespace) -> int:
             print(f"{name.ljust(width)}  {description}")
         return 0
     _check_serving_flags(args)
+    event_log = None
+    if args.event_log:
+        from repro.obs import EventLog
+
+        event_log = EventLog(args.event_log)
     if args.resume:
         try:
-            driver = ScenarioDriver.resume(args.resume)
+            driver = ScenarioDriver.resume(args.resume, event_log=event_log)
         except CheckpointError as exc:
             raise _CliError(str(exc)) from exc
         core = driver.core
@@ -729,7 +833,7 @@ def _cmd_engine_scenario(args: argparse.Namespace) -> int:
                 engine.submit(generate_workload(
                     args.base_campaigns, num_intervals, seed=scenario.seed
                 ))
-            driver = ScenarioDriver(engine, scenario)
+            driver = ScenarioDriver(engine, scenario, event_log=event_log)
         except ValueError as exc:
             raise _CliError(str(exc)) from exc
         driver.start()
@@ -763,6 +867,10 @@ def _cmd_engine_scenario(args: argparse.Namespace) -> int:
                 path = driver.telemetry.save(args.telemetry_out)
                 print(f"telemetry     : written to {path} "
                       f"(partial: {driver.telemetry.num_ticks} ticks)")
+            if event_log is not None:
+                event_log.close()
+                print(f"event log     : {args.event_log} "
+                      f"({event_log.last_seq} events)")
             return 0
     core = driver.core
     assert core is not None
@@ -773,6 +881,10 @@ def _cmd_engine_scenario(args: argparse.Namespace) -> int:
     if args.telemetry_out:
         path = driver.telemetry.save(args.telemetry_out)
         print(f"telemetry     : written to {path}")
+    if event_log is not None:
+        event_log.close()
+        print(f"event log     : {args.event_log} "
+              f"({event_log.last_seq} events)")
     return 0
 
 
@@ -826,9 +938,21 @@ def _cmd_engine_serve(args: argparse.Namespace) -> int:
     _check_serving_flags(args)
     if args.max_live < 0 or args.max_queue < 0:
         raise _CliError("--max-live and --max-queue must be >= 0")
+    event_log = None
+    if args.event_log:
+        from repro.obs import EventLog
+
+        event_log = EventLog(args.event_log)
+    metrics = None
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     if args.resume:
         try:
-            gateway = Gateway.resume(args.resume)
+            gateway = Gateway.resume(
+                args.resume, event_log=event_log, metrics=metrics
+            )
         except CheckpointError as exc:
             raise _CliError(str(exc)) from exc
         core = gateway.core
@@ -860,6 +984,8 @@ def _cmd_engine_serve(args: argparse.Namespace) -> int:
             engine,
             max_live=args.max_live or None,
             max_queue=args.max_queue or None,
+            event_log=event_log,
+            metrics=metrics,
         )
         gateway.start(seed=seed, rate_multipliers=multipliers)
         sharding = (
@@ -893,6 +1019,15 @@ def _cmd_engine_serve(args: argparse.Namespace) -> int:
             return False
         return True
 
+    def _write_observability() -> None:
+        if event_log is not None:
+            event_log.close()
+            print(f"event log     : {args.event_log} "
+                  f"({event_log.last_seq} events)")
+        if metrics is not None:
+            path = metrics.save(args.metrics_out)
+            print(f"metrics       : written to {path}")
+
     runner(on_tick=on_tick)
     if state["stopped"]:
         gateway.engine.close()
@@ -903,6 +1038,7 @@ def _cmd_engine_serve(args: argparse.Namespace) -> int:
             path = gateway.telemetry.save(args.telemetry_out)
             print(f"telemetry     : written to {path} "
                   f"(partial: {gateway.telemetry.num_ticks} ticks)")
+        _write_observability()
         return 0
     core = gateway.core
     assert core is not None
@@ -913,6 +1049,7 @@ def _cmd_engine_serve(args: argparse.Namespace) -> int:
     if args.telemetry_out:
         path = gateway.telemetry.save(args.telemetry_out)
         print(f"telemetry     : written to {path}")
+    _write_observability()
     return 0
 
 
@@ -924,6 +1061,11 @@ def _cmd_engine_loadtest(args: argparse.Namespace) -> int:
 
     if args.max_live < 0 or args.max_queue < 0:
         raise _CliError("--max-live and --max-queue must be >= 0")
+    metrics = None
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     num_intervals, engine = _make_serving_engine(args)
     try:
         generator = LoadGenerator(
@@ -941,6 +1083,7 @@ def _cmd_engine_loadtest(args: argparse.Namespace) -> int:
         engine,
         max_live=args.max_live or None,
         max_queue=args.max_queue or None,
+        metrics=metrics,
     )
     gateway.start(seed=args.seed)
     print(f"loadtest      : mode={args.mode}, {args.clients} clients, "
@@ -967,6 +1110,86 @@ def _cmd_engine_loadtest(args: argparse.Namespace) -> int:
     print(f"throughput    : {num_responses} requests in {elapsed:.2f}s "
           f"({rps:,.0f} requests/sec)")
     gateway.engine.close()
+    if metrics is not None:
+        path = metrics.save(args.metrics_out)
+        print(f"metrics       : written to {path}")
+    return 0
+
+
+def _cmd_engine_analytics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.analytics import (
+        AnalyticsDB,
+        AnalyticsError,
+        canned_queries,
+        render_table,
+    )
+
+    if args.list_queries:
+        width = max(len(q.name) for q in canned_queries())
+        for q in canned_queries():
+            needs = ", ".join(q.requires)
+            print(f"{q.name.ljust(width)}  {q.title} (needs: {needs})")
+        return 0
+    if args.telemetry is None and args.event_log is None:
+        raise _CliError(
+            "nothing to analyze: provide --telemetry FILE (from "
+            "--telemetry-out) and/or --event-log FILE (from --event-log); "
+            "--list-queries shows the query library"
+        )
+    if args.window < 1:
+        raise _CliError("--window must be >= 1")
+    db = AnalyticsDB()
+    try:
+        if args.telemetry is not None:
+            db.load_telemetry(args.telemetry)
+        if args.event_log is not None:
+            db.load_event_log(args.event_log)
+    except (OSError, AnalyticsError, KeyError, ValueError) as exc:
+        raise _CliError(str(exc)) from exc
+    if args.query:
+        selected = list(dict.fromkeys(args.query))
+    else:
+        # Default sweep: every query the loaded artifacts can answer.
+        selected = [
+            q.name for q in canned_queries()
+            if set(q.requires) <= db.loaded
+        ]
+        if not selected:
+            raise _CliError(
+                "the loaded artifacts support none of the canned queries "
+                "(an event log alone answers event queries; telemetry in "
+                "the gateway form answers serve queries)"
+            )
+    results = {}
+    for name in selected:
+        try:
+            columns, rows = db.run(name, window=args.window)
+        except AnalyticsError as exc:
+            raise _CliError(str(exc)) from exc
+        results[name] = (columns, rows)
+    if args.format == "json":
+        document = {
+            "window": args.window,
+            "queries": {
+                name: {
+                    "columns": list(columns),
+                    "rows": [list(row) for row in rows],
+                }
+                for name, (columns, rows) in results.items()
+            },
+        }
+        print(json.dumps(document, indent=1))
+        return 0
+    by_name = {q.name: q for q in canned_queries()}
+    first = True
+    for name, (columns, rows) in results.items():
+        if not first:
+            print()
+        first = False
+        print(f"{name}: {by_name[name].title}")
+        print(render_table(columns, rows))
     return 0
 
 

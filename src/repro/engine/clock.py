@@ -65,6 +65,7 @@ __all__ = [
     "EngineBase",
     "EngineCore",
     "EngineResult",
+    "PhaseTimings",
     "TickReport",
 ]
 
@@ -201,6 +202,86 @@ class EngineResult:
         return "\n".join(lines)
 
 
+class PhaseTimings:
+    """Wall-clock seconds per tick phase, accumulated across ticks.
+
+    The tick loop has five phases worth timing separately: the admission
+    drain (due submissions through the planner into the backend), the
+    backend's price gathering, its arrival split (including completion
+    application), its adaptive observe pass, and retirement.  The core
+    times ``admission`` and ``retire`` itself; the backend records
+    ``price`` / ``split`` / ``observe`` through the :attr:`ClockBackend.phases`
+    handle :meth:`EngineCore.enable_phase_timings` installs (a backend
+    that never touches ``phases`` simply leaves those at zero).
+
+    Purely observational wall-clock, like ``elapsed_seconds``: never
+    serialized into checkpoints or deterministic telemetry.  When a
+    metrics registry is given, each recording also feeds a
+    ``engine_tick_phase_seconds`` histogram labelled by phase.
+    """
+
+    PHASES = ("admission", "price", "split", "observe", "retire")
+
+    def __init__(self, metrics=None) -> None:
+        self.totals = {phase: 0.0 for phase in self.PHASES}
+        self.last = {phase: 0.0 for phase in self.PHASES}
+        self.ticks = 0
+        if metrics is not None:
+            self._histograms = {
+                phase: metrics.histogram(
+                    "engine_tick_phase_seconds",
+                    "Wall-clock seconds spent per tick phase",
+                    labels={"phase": phase},
+                )
+                for phase in self.PHASES
+            }
+        else:
+            self._histograms = None
+
+    def record(self, phase: str, seconds: float) -> None:
+        """Add ``seconds`` to ``phase`` for the tick in progress."""
+        if phase not in self.totals:
+            raise ValueError(
+                f"unknown phase {phase!r}; expected one of {self.PHASES}"
+            )
+        self.totals[phase] += seconds
+        self.last[phase] += seconds
+        if self._histograms is not None:
+            self._histograms[phase].observe(seconds)
+
+    def tick_done(self) -> dict:
+        """Close the tick in progress; returns its per-phase seconds."""
+        self.ticks += 1
+        finished = dict(self.last)
+        self.last = {phase: 0.0 for phase in self.PHASES}
+        return finished
+
+    def mean_seconds(self) -> dict:
+        """Mean seconds per phase per tick (zeros before any tick)."""
+        if not self.ticks:
+            return {phase: 0.0 for phase in self.PHASES}
+        return {phase: total / self.ticks for phase, total in self.totals.items()}
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary: tick count, per-phase totals and means."""
+        return {
+            "ticks": self.ticks,
+            "totals": dict(self.totals),
+            "mean": self.mean_seconds(),
+        }
+
+    def summary(self) -> str:
+        """One line per phase: total and mean milliseconds."""
+        mean = self.mean_seconds()
+        lines = [f"tick phases   : {self.ticks} ticks timed"]
+        for phase in self.PHASES:
+            lines.append(
+                f"  {phase:<9}: {1e3 * self.totals[phase]:9.2f}ms total, "
+                f"{1e3 * mean[phase]:7.3f}ms/tick"
+            )
+        return "\n".join(lines)
+
+
 @dataclasses.dataclass(frozen=True)
 class TickReport:
     """What one :meth:`EngineCore.tick` call did.
@@ -249,6 +330,11 @@ class ClockBackend(abc.ABC):
 
     #: Worker shards the backend partitions campaigns over.
     num_shards: int = 1
+
+    #: Optional :class:`PhaseTimings` sink; when set (by
+    #: :meth:`EngineCore.enable_phase_timings`) the backend's ``step``
+    #: records its ``price`` / ``split`` / ``observe`` sub-phases into it.
+    phases: "PhaseTimings | None" = None
 
     @abc.abstractmethod
     def place(self, admitted: Sequence[_LiveCampaign]) -> None:
@@ -359,6 +445,9 @@ class EngineCore:
         self._admission_log: list[tuple[int, tuple[str, ...]]] = []
         self._cache_baseline = planner.cache.stats
         self._batch_baseline = planner.batch_solver.stats
+        # Optional per-phase tick timers (enable_phase_timings); None
+        # keeps the hot path free of timing branches' bookkeeping.
+        self.phase_timings: PhaseTimings | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -372,6 +461,50 @@ class EngineCore:
     def num_pending(self) -> int:
         """Submitted campaigns not yet admitted."""
         return len(self._pending) - self._next_pending
+
+    @property
+    def admission_log(self) -> tuple[tuple[int, tuple[str, ...]], ...]:
+        """Which campaigns were admitted at which tick, in admission order.
+
+        The same record checkpoint restores replay to rebuild the policy
+        cache; exposed read-only so observability layers (the event log,
+        recovery verification) can mirror it without reaching into
+        private state.
+        """
+        return tuple(self._admission_log)
+
+    def admissions_since(self, start: int) -> tuple[tuple[int, tuple[str, ...]], ...]:
+        """Admission-log entries from index ``start`` on (incremental
+        consumption for event recording, without copying the whole log)."""
+        return tuple(self._admission_log[start:])
+
+    @property
+    def num_admission_batches(self) -> int:
+        """Admission-log entries recorded so far."""
+        return len(self._admission_log)
+
+    # ------------------------------------------------------------------
+    # Phase timing
+    # ------------------------------------------------------------------
+    def enable_phase_timings(self, timings: PhaseTimings | None = None) -> PhaseTimings:
+        """Start per-phase tick timing; returns the active sink.
+
+        Installs ``timings`` (a fresh :class:`PhaseTimings` by default) on
+        the session *and* on its backend, so both halves of a tick —
+        admission/retire in the core, price/split/observe in the backend —
+        land in one place.  Timing is runtime wiring like tick-boundary
+        hooks: never checkpointed, re-enable after a resume.
+        """
+        if timings is None:
+            timings = PhaseTimings()
+        self.phase_timings = timings
+        self.backend.phases = timings
+        return timings
+
+    def disable_phase_timings(self) -> None:
+        """Stop per-phase tick timing (the sink keeps its totals)."""
+        self.phase_timings = None
+        self.backend.phases = None
 
     @property
     def done(self) -> bool:
@@ -521,6 +654,7 @@ class EngineCore:
             )
         for hook in list(self._tick_boundary_hooks):
             hook(self)
+        timings = self.phase_timings
         started = time.perf_counter()
         t = self.clock
         due: list[CampaignSpec] = []
@@ -533,12 +667,16 @@ class EngineCore:
         if due:
             self.backend.place(self.planner.admit_many(due))
             self._admission_log.append((t, tuple(s.campaign_id for s in due)))
+        if timings is not None:
+            timings.record("admission", time.perf_counter() - started)
         num_live = self.backend.num_live()
         self.clock = t + 1
         if num_live == 0:
             # Marketplace idles until the next submission; no randomness
             # is consumed, so idle gaps never shift downstream draws.
             self.elapsed_seconds += time.perf_counter() - started
+            if timings is not None:
+                timings.tick_done()
             return TickReport(
                 interval=t, admitted=0, arrived=0, considered=0, accepted=0,
                 retired=(), num_live=0, idle=True,
@@ -549,8 +687,13 @@ class EngineCore:
         self.total_arrivals += arrived
         self.total_considered += considered
         self.total_accepted += accepted
+        if timings is not None:
+            retire_started = time.perf_counter()
         retired = tuple(self.backend.retire(t))
         self.outcomes.extend(retired)
+        if timings is not None:
+            timings.record("retire", time.perf_counter() - retire_started)
+            timings.tick_done()
         self.elapsed_seconds += time.perf_counter() - started
         return TickReport(
             interval=t,

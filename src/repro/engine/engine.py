@@ -43,6 +43,7 @@ deterministically.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
@@ -93,10 +94,17 @@ class _PooledBackend(ClockBackend):
         return len(self.live)
 
     def step(self, t: int, rate_factor: float = 1.0) -> tuple[int, int, int]:
+        phases = self.phases
+        if phases is not None:
+            phase_started = time.perf_counter()
         live = self.live
         prices = np.array(
             [c.runtime.price(c.remaining, t - c.spec.submit_interval) for c in live]
         )
+        if phases is not None:
+            now = time.perf_counter()
+            phases.record("price", now - phase_started)
+            phase_started = now
         arrived = self.stream.sample(t, self.rng, scale=rate_factor)
         considered, accepted = self.router.split(arrived, prices, self.rng)
         accepted_total = 0
@@ -109,12 +117,18 @@ class _PooledBackend(ClockBackend):
             campaign.remaining -= done
             if campaign.remaining == 0:
                 campaign.finished_interval = t
+        if phases is not None:
+            now = time.perf_counter()
+            phases.record("split", now - phase_started)
+            phase_started = now
         # Adaptive campaigns observe the interval's realized marketplace
         # arrivals after pricing it (no peeking at the future).
         for campaign in live:
             observe = getattr(campaign.runtime, "observe", None)
             if observe is not None:
                 observe(t - campaign.spec.submit_interval, arrived)
+        if phases is not None:
+            phases.record("observe", time.perf_counter() - phase_started)
         return arrived, int(considered.sum()), accepted_total
 
     def retire(self, t: int) -> list[CampaignOutcome]:

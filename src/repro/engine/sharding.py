@@ -33,6 +33,7 @@ price vector, which is the only cross-shard coordination each tick needs.
 from __future__ import annotations
 
 import concurrent.futures
+import time
 import zlib
 from typing import Callable, TypeVar
 
@@ -226,6 +227,9 @@ class _FactoredBackend(ClockBackend):
         return sum(len(s.campaigns) for s in self.shards)
 
     def step(self, t: int, rate_factor: float = 1.0) -> tuple[int, int, int]:
+        phases = self.phases
+        if phases is not None:
+            phase_started = time.perf_counter()
         # Phase 1 — gather posted rewards, then compute the tick's choice
         # fractions over the *canonically ordered* global price vector so
         # float summation (and therefore every fraction) is independent of
@@ -247,6 +251,10 @@ class _FactoredBackend(ClockBackend):
         # (per-campaign acceptances, coordinator walk-aways) sees the same
         # scalar and the split stays invariant to the shard layout.
         mean_t = self.stream.mean(t) * rate_factor
+        if phases is not None:
+            now = time.perf_counter()
+            phases.record("price", now - phase_started)
+            phase_started = now
         # The coordinator owns the walk-away remainder of the factored
         # arrival process (drawn every live tick so its stream position
         # never depends on the shard layout).
@@ -260,9 +268,15 @@ class _FactoredBackend(ClockBackend):
         considered = sum(c for c, _ in step_totals)
         accepted = sum(a for _, a in step_totals)
         arrived = walked + considered
+        if phases is not None:
+            now = time.perf_counter()
+            phases.record("split", now - phase_started)
+            phase_started = now
         # Phase 3 — adaptive campaigns observe the realized marketplace
         # arrivals (walk-aways included).
         self._map(lambda s: s.observe(t, arrived))
+        if phases is not None:
+            phases.record("observe", time.perf_counter() - phase_started)
         return arrived, considered, accepted
 
     def retire(self, t: int) -> list[CampaignOutcome]:

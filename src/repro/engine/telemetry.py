@@ -162,6 +162,16 @@ class Telemetry:
         """Campaign cancellations recorded."""
         return sum(1 for r in self.campaigns if r.cancelled)
 
+    def iter_rows(self) -> Iterable[dict]:
+        """Yield one ``{field: value}`` dict per recorded tick, in order.
+
+        The row-oriented view of the column-oriented series — what SQL
+        analytics (:mod:`repro.obs.analytics`) loads and what brute-force
+        recomputation in tests iterates over.
+        """
+        for values in zip(*(self.series[key] for key in SERIES_FIELDS)):
+            yield dict(zip(SERIES_FIELDS, values))
+
     def window(self, last: int) -> dict[str, list]:
         """The most recent ``last`` ticks of every series, as plain lists.
 

@@ -1,0 +1,80 @@
+"""Observability: durable event log, SQL analytics, tracing, and metrics.
+
+The engine (:mod:`repro.engine`), the scenario driver
+(:mod:`repro.scenario`), and the serving gateway (:mod:`repro.serve`)
+produce rich in-memory state — per-tick telemetry, request tickets,
+checkpoint bundles — but until this package none of it was *queryable*
+or *durable between checkpoints*.  ``repro.obs`` adds the missing layer:
+
+* :mod:`repro.obs.eventlog` — an append-only **sqlite-WAL event log** of
+  admissions, cancellations, tick summaries, and serve
+  requests/responses, written off the tick path by a batched background
+  writer (bounded buffer, flushed at tick boundaries).  Together with a
+  checkpoint bundle it makes a served run recoverable after ``kill -9``:
+  :mod:`repro.obs.recovery` replays log + last checkpoint into a run
+  bit-identical to an uninterrupted one.
+* :mod:`repro.obs.analytics` — loads the event log and the
+  engine/gateway telemetry series into sqlite and answers **canned
+  window-function queries** (rolling p50/p95 queue depth, admission and
+  rejection rates per window, cache hit-rate trends, per-campaign fill,
+  arrival modulation) — the ``repro engine analytics`` CLI.
+* :mod:`repro.obs.tracing` — deterministic trace/span ids threaded from
+  a gateway request through its admission batch to the tick that applied
+  it, plus the per-tick-phase timers
+  (:class:`~repro.engine.clock.PhaseTimings`) the engine clock records.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and histograms, exportable as JSON or Prometheus text format.
+* :mod:`repro.obs.logsetup` — the CLI's shared structured-logging
+  configuration (``--log-level``).
+
+Design rule, inherited from the serving layer's
+:class:`~repro.serve.telemetry.LatencyRecorder`: **wall-clock never
+enters a deterministic serialized form**.  Event-log rows, spans, and
+metrics may carry wall-clock durations for operators, but the recovery
+and determinism contracts compare only deterministic telemetry.  See
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.analytics import AnalyticsDB, CannedQuery, canned_queries
+from repro.obs.events import EVENT_KINDS, Event
+from repro.obs.eventlog import EventLog
+from repro.obs.logsetup import setup_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "AnalyticsDB",
+    "CannedQuery",
+    "canned_queries",
+    "Counter",
+    "EVENT_KINDS",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "get_registry",
+    "Histogram",
+    "MetricsRegistry",
+    "recover_serve_run",
+    "setup_logging",
+    "Span",
+    "Tracer",
+]
+
+
+def __getattr__(name: str):
+    # Recovery imports the serving gateway, which itself records into
+    # this package's metrics/eventlog modules; loading it lazily keeps
+    # ``import repro.obs`` free of the serve package (no import cycle).
+    if name == "recover_serve_run":
+        from repro.obs.recovery import recover_serve_run
+
+        return recover_serve_run
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,118 @@
+"""Shared structured-logging configuration for the CLI and library.
+
+Every CLI command that drives an engine session (``engine run``,
+``engine scenario run``, ``engine serve``, ``engine loadtest``,
+``engine analytics``) accepts ``--log-level``/``--log-format`` and
+funnels them through :func:`setup_logging` — one configuration path, so
+log behaviour cannot drift between commands.  Library modules obtain
+their loggers with the ordinary ``logging.getLogger(__name__)``; nothing
+in :mod:`repro` prints to stdout except the CLI's own report output.
+
+Two formats:
+
+* ``text`` (default) — one aligned human-readable line per record:
+  ``12:31:05 INFO  repro.obs.eventlog: flushed batch=128 seq=4096``.
+* ``json`` — one JSON object per line (``ts``, ``level``, ``logger``,
+  ``message``, plus any ``extra=`` fields), for log shippers.
+
+Logging is configured on the ``repro`` logger only (never the root
+logger), so embedding the library cannot hijack the host application's
+logging; repeated calls reconfigure instead of stacking handlers.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+__all__ = ["LOG_LEVELS", "setup_logging"]
+
+#: The ``--log-level`` vocabulary, least to most severe.
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+#: Attributes every LogRecord carries; anything else came in via
+#: ``extra=`` and is emitted as a structured field.
+_STANDARD_ATTRS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def _extra_fields(record: logging.LogRecord) -> dict:
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _STANDARD_ATTRS
+    }
+
+
+class _TextFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL logger: message key=value ...`` lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        message = record.getMessage()
+        fields = " ".join(
+            f"{key}={value}" for key, value in sorted(_extra_fields(record).items())
+        )
+        line = f"{stamp} {record.levelname:<7} {record.name}: {message}"
+        if fields:
+            line = f"{line} {fields}"
+        if record.exc_info:
+            line = f"{line}\n{self.formatException(record.exc_info)}"
+        return line
+
+
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per line; ``extra=`` fields become top-level keys."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(_extra_fields(record))
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def setup_logging(
+    level: str = "warning", fmt: str = "text", stream=None
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the configured logger.
+
+    Parameters
+    ----------
+    level:
+        One of :data:`LOG_LEVELS` (case-insensitive).
+    fmt:
+        ``"text"`` for aligned human-readable lines, ``"json"`` for one
+        JSON object per line.
+    stream:
+        Destination stream; ``sys.stderr`` by default, so log lines
+        never contaminate the CLI's stdout report output.
+
+    Idempotent: calling again replaces the previous handler and level
+    rather than stacking handlers (the CLI may be invoked repeatedly in
+    one process, e.g. from tests).
+    """
+    level = level.lower()
+    if level not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r} (expected one of {', '.join(LOG_LEVELS)})"
+        )
+    if fmt not in ("text", "json"):
+        raise ValueError(f"unknown log format {fmt!r} (expected 'text' or 'json')")
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(_TextFormatter() if fmt == "text" else _JsonFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, level.upper()))
+    logger.propagate = False
+    return logger

@@ -1,0 +1,194 @@
+"""Request tracing: deterministic trace/span ids across the serving stack.
+
+A served request's life crosses three layers — the gateway's request
+frontier, the admission queue's tick-boundary batch, and the engine tick
+that applies the batch.  :class:`Tracer` stitches them together:
+
+* Every request offered to a traced :class:`~repro.serve.gateway.Gateway`
+  gets a **trace id** derived from its arrival sequence number
+  (``req-000042``) — deterministic, not random, so the same replayed
+  trace produces the same ids and tests can assert on them (the same
+  reason the engine derives generators from seeds).
+* The gateway opens a **request span** per request (offer → response), a
+  **drain span** per tick boundary whose attributes list the trace ids
+  of the batch it applied, and the engine tick's
+  :class:`~repro.engine.clock.PhaseTimings` ride the **tick span** — so
+  "which requests rode tick 37, and where did tick 37's time go?" is one
+  lookup.
+
+Spans carry wall-clock start/duration for operators; like
+:class:`~repro.serve.telemetry.LatencyRecorder` they are observational
+only and never enter checkpoints or deterministic telemetry.  Memory is
+bounded: the tracer keeps the most recent ``max_spans`` finished spans.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+from collections import deque
+
+__all__ = ["Span", "Tracer", "trace_id_for_seq"]
+
+
+def trace_id_for_seq(seq: int) -> str:
+    """The deterministic trace id of arrival-sequence ``seq``."""
+    return f"req-{seq:06d}"
+
+
+@dataclasses.dataclass
+class Span:
+    """One timed operation inside a trace.
+
+    Attributes
+    ----------
+    span_id:
+        Unique within the tracer (``s-<n>``, assignment order).
+    trace_id:
+        The trace this span belongs to (requests: their request id;
+        engine-side spans: the tick's ``tick-<t>`` trace).
+    name:
+        Operation name (``request``, ``drain``, ``tick``).
+    parent_id:
+        Enclosing span's id, or ``None`` for a root span.
+    started_at:
+        ``time.perf_counter()`` at start (wall-clock, observational).
+    duration_s:
+        Seconds from start to finish; ``None`` while open.
+    attrs:
+        Free-form JSON-ready attributes (request kind, batch trace ids,
+        tick phase seconds).
+    """
+
+    span_id: str
+    trace_id: str
+    name: str
+    parent_id: str | None
+    started_at: float
+    duration_s: float | None = None
+    attrs: dict = dataclasses.field(default_factory=dict)
+
+    def finish(self, attrs: dict | None = None) -> "Span":
+        """Close the span (idempotent), merging any final attributes."""
+        if self.duration_s is None:
+            self.duration_s = time.perf_counter() - self.started_at
+        if attrs:
+            self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> dict:
+        """The span as a JSON-ready dict (``duration_s`` None while open)."""
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "parent_id": self.parent_id,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects spans with bounded memory; export as JSON.
+
+    Parameters
+    ----------
+    max_spans:
+        Finished spans retained (oldest evicted first).  Open spans are
+        tracked separately and never evicted — a span is only lost if it
+        is never finished.
+    """
+
+    def __init__(self, max_spans: int = 4096) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self.max_spans = max_spans
+        self._finished: deque[Span] = deque(maxlen=max_spans)
+        self._open: dict[str, Span] = {}
+        self._next_span = 0
+        #: Spans ever started (eviction never decrements this).
+        self.total_started = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: str | None = None,
+        attrs: dict | None = None,
+    ) -> Span:
+        """Open a span; close it with :meth:`finish_span` (or ``span.finish``)."""
+        span = Span(
+            span_id=f"s-{self._next_span}",
+            trace_id=trace_id,
+            name=name,
+            parent_id=parent_id,
+            started_at=time.perf_counter(),
+            attrs=dict(attrs) if attrs else {},
+        )
+        self._next_span += 1
+        self.total_started += 1
+        self._open[span.span_id] = span
+        return span
+
+    def finish_span(self, span: Span, attrs: dict | None = None) -> Span:
+        """Close ``span`` and move it to the finished ring."""
+        span.finish(attrs)
+        self._open.pop(span.span_id, None)
+        self._finished.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_finished(self) -> int:
+        """Finished spans currently retained."""
+        return len(self._finished)
+
+    @property
+    def num_open(self) -> int:
+        """Spans started but not yet finished."""
+        return len(self._open)
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        """Finished spans, oldest first; optionally one trace's only."""
+        if trace_id is None:
+            return list(self._finished)
+        return [s for s in self._finished if s.trace_id == trace_id]
+
+    def trace(self, trace_id: str) -> list[dict]:
+        """One trace's finished spans as JSON-ready dicts, oldest first."""
+        return [s.to_dict() for s in self.spans(trace_id)]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Every retained span (open and finished) as JSON-ready dicts."""
+        return {
+            "total_started": self.total_started,
+            "open": [s.to_dict() for s in self._open.values()],
+            "spans": [s.to_dict() for s in self._finished],
+        }
+
+    def to_json(self, indent: int | None = 1) -> str:
+        """:meth:`to_dict`, serialized."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path) -> pathlib.Path:
+        """Write every retained span to ``path`` as JSON; returns the path."""
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json())
+        return target
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({self.num_finished} finished, {self.num_open} open, "
+            f"{self.total_started} started)"
+        )

@@ -107,6 +107,12 @@ class ScenarioDriver:
     telemetry:
         The collector to append to; a fresh one by default (a restored
         one when resuming).
+    event_log:
+        Optional durable :class:`~repro.obs.eventlog.EventLog`.  When
+        wired, the driver appends admission batches, applied
+        cancellations, and a per-tick summary row — buffered off the
+        tick path, flushed once per tick boundary.  Purely
+        observational: the log never feeds back into the run.
     """
 
     def __init__(
@@ -114,13 +120,16 @@ class ScenarioDriver:
         engine: EngineBase,
         scenario: Scenario,
         telemetry: Telemetry | None = None,
+        event_log=None,
     ):
         self.engine = engine
         self.scenario = scenario
         self.timeline = scenario.compile(engine.stream.num_intervals)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.event_log = event_log
         self._next_wave = 0
         self._started = False
+        self._admission_seen = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -158,6 +167,16 @@ class ScenarioDriver:
         # for the cleared-at-start cache, but robust to shared caches).
         self.telemetry.sync_baselines(core)
         self._started = True
+        if self.event_log is not None:
+            self.event_log.log(
+                "run",
+                core.clock,
+                {
+                    "action": "start",
+                    "seed": self.scenario.seed,
+                    "scenario": self.scenario.name,
+                },
+            )
         return core
 
     def step(self) -> TickReport:
@@ -194,9 +213,40 @@ class ScenarioDriver:
             if status == "cancelled":
                 assert outcome is not None
                 cancelled.append(outcome)
+            if self.event_log is not None:
+                self.event_log.log(
+                    "cancel", t, {"result": status}, campaign_id=campaign_id
+                )
         report = core.tick()
         self.telemetry.record_tick(core, report, cancelled=cancelled)
+        if self.event_log is not None:
+            self._log_tick(core, report)
+            # One flush per boundary keeps writer batches tick-aligned
+            # without ever blocking the tick path on sqlite.
+            self.event_log.flush()
         return report
+
+    def _log_tick(self, core: EngineCore, report: TickReport) -> None:
+        """Append this tick's admission batches and summary row."""
+        new = core.admissions_since(self._admission_seen)
+        self._admission_seen += len(new)
+        for interval, campaign_ids in new:
+            self.event_log.log(
+                "admission", interval, {"campaign_ids": list(campaign_ids)}
+            )
+        self.event_log.log(
+            "tick",
+            report.interval,
+            {
+                "admitted": report.admitted,
+                "arrived": report.arrived,
+                "considered": report.considered,
+                "accepted": report.accepted,
+                "retired": len(report.retired),
+                "num_live": report.num_live,
+                "idle": report.idle,
+            },
+        )
 
     def run(self) -> EngineResult:
         """Drive the scenario to exhaustion and return the session result.
@@ -211,6 +261,9 @@ class ScenarioDriver:
         core = self.engine.core
         assert core is not None  # done-with-no-core only after close()
         result = core.result()
+        if self.event_log is not None:
+            self.event_log.log("run", core.clock, {"action": "done"})
+            self.event_log.flush()
         core.close()
         return result
 
@@ -242,13 +295,17 @@ class ScenarioDriver:
         )
 
     @classmethod
-    def resume(cls, path: str | pathlib.Path) -> "ScenarioDriver":
+    def resume(
+        cls, path: str | pathlib.Path, *, event_log=None
+    ) -> "ScenarioDriver":
         """Reopen a scenario run from a bundle written by :meth:`save`.
 
         Restores the engine session (clock position, live campaigns,
         generator states, rate modulation), recompiles the timeline from
         the stored spec, and rewinds nothing: stepping the returned
         driver to exhaustion is bit-identical to never having stopped.
+        ``event_log`` re-wires durable event logging for the resumed run
+        (logs are observational state and never travel in the bundle).
         """
         engine = restore_engine(path)
         extras = load_extras(path)
@@ -262,9 +319,17 @@ class ScenarioDriver:
             engine,
             Scenario.from_dict(state["scenario"]),
             telemetry=Telemetry.from_dict(state["telemetry"]),
+            event_log=event_log,
         )
         driver._next_wave = int(state["next_wave"])
         driver._started = True
+        core = engine.core
+        if core is not None:
+            # Only mirror admission batches from here on; the restored
+            # log (pre-kill) already has the earlier ones.
+            driver._admission_seen = core.num_admission_batches
+        if event_log is not None and core is not None:
+            event_log.log("run", core.clock, {"action": "resume"})
         return driver
 
     def __repr__(self) -> str:

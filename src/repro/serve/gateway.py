@@ -35,6 +35,17 @@ Two ways to drive it: the synchronous :meth:`step`/:meth:`replay` pair
 (:meth:`request` + :meth:`serve`) for genuinely concurrent clients —
 the :class:`~repro.serve.loadgen.LoadGenerator`'s closed-loop mode, the
 ``repro engine loadtest`` CLI.
+
+Observability is opt-in wiring (``event_log=`` / ``tracer=`` /
+``metrics=``): a wired gateway records every request/response,
+admission batch, cancellation, and tick summary into the durable
+:class:`~repro.obs.eventlog.EventLog` (flushed at tick boundaries,
+synced before checkpoints, so bundle + log together survive ``kill
+-9`` — :mod:`repro.obs.recovery`), threads deterministic trace ids from
+each request through its drain batch to the tick that applied it, and
+counts requests/latency into a metrics registry.  None of it perturbs
+the served run: recording happens outside the engine's draws and
+wall-clock never enters the deterministic telemetry.
 """
 
 from __future__ import annotations
@@ -54,7 +65,8 @@ from repro.engine.checkpoint import (
     restore_engine,
     save_checkpoint,
 )
-from repro.engine.clock import EngineBase, EngineCore, TickReport
+from repro.engine.clock import EngineBase, EngineCore, PhaseTimings, TickReport
+from repro.obs.tracing import trace_id_for_seq
 from repro.scenario.driver import apply_cancellation
 from repro.serve.admission import AdmissionQueue, Ticket
 from repro.serve.requests import (
@@ -103,6 +115,21 @@ class Gateway:
         offer time.  ``None`` disables the bound.
     telemetry:
         The serving collector; fresh by default (restored on resume).
+    event_log:
+        Optional :class:`~repro.obs.eventlog.EventLog`.  When given,
+        every request/response, admission batch, cancellation, and tick
+        summary is appended (off the tick path, flushed at tick
+        boundaries) and :meth:`save` syncs the log before recording its
+        high-water sequence in the bundle — the durable half of the
+        kill--9 recovery contract.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`.  Requests get
+        deterministic trace ids derived from their arrival sequence; the
+        per-tick span lists the trace ids its drain batch applied.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` for
+        request/response counters, queue-depth gauge, request-latency
+        histograms, and the engine's per-tick-phase timers.
     """
 
     def __init__(
@@ -112,6 +139,9 @@ class Gateway:
         max_live: int | None = None,
         max_queue: int | None = 256,
         telemetry: GatewayTelemetry | None = None,
+        event_log=None,
+        tracer=None,
+        metrics=None,
     ):
         if max_live is not None and max_live < 1:
             raise ValueError(f"max_live must be >= 1 or None, got {max_live}")
@@ -119,6 +149,19 @@ class Gateway:
         self.max_live = max_live
         self.queue = AdmissionQueue(max_depth=max_queue)
         self.telemetry = telemetry if telemetry is not None else GatewayTelemetry()
+        self.event_log = event_log
+        self.tracer = tracer
+        self.metrics = metrics
+        #: ``last_seq`` recorded in the bundle this gateway resumed from
+        #: (``None`` on a fresh start or a pre-event-log bundle); events
+        #: beyond it are the request tail recovery replays.
+        self.resumed_event_seq: int | None = None
+        # Open request spans by arrival seq (tracer wiring only).
+        self._open_spans: dict = {}
+        # Arrival seqs the current tick's drain applied (tick-span attrs).
+        self._drained_seqs: list[int] = []
+        # Admission-log entries already mirrored into the event log.
+        self._admission_seen = 0
         self._started = False
         # Quote-side memo: campaign shape -> cache signature.  Signatures
         # are pure functions of the shape and the planner's (per-session
@@ -153,6 +196,10 @@ class Gateway:
             core.set_rate_multipliers(np.asarray(rate_multipliers, dtype=float))
         core.add_tick_boundary_hook(self._drain_hook)
         self.telemetry.engine.sync_baselines(core)
+        if self.metrics is not None:
+            core.enable_phase_timings(PhaseTimings(metrics=self.metrics))
+        if self.event_log is not None:
+            self.event_log.log("run", core.clock, {"action": "start", "seed": seed})
         self._started = True
         return core
 
@@ -197,8 +244,13 @@ class Gateway:
     def close(self) -> None:
         """End the session; unanswered queued requests are rejected."""
         if self.engine.core is not None:
+            clock = self.engine.core.clock
             self._flush("gateway closed before the next tick boundary")
+            if self.event_log is not None and self._started:
+                self.event_log.log("run", clock, {"action": "close"})
         self.engine.close()
+        if self.event_log is not None:
+            self.event_log.flush()
 
     # ------------------------------------------------------------------
     # The request frontier (synchronous surface)
@@ -215,9 +267,11 @@ class Gateway:
         now = time.perf_counter()
         if not is_mutating(request):
             ticket = self.queue.make_ticket(client, request, now)
+            self._record_request(ticket, core)
             self._resolve(ticket, self._answer_read(request, core))
             return ticket
         ticket, accepted = self.queue.offer(client, request, now)
+        self._record_request(ticket, core)
         if not accepted:
             self._resolve(
                 ticket,
@@ -242,6 +296,65 @@ class Gateway:
             response.status, is_read=not is_mutating(ticket.request)
         )
         self.telemetry.latency.observe(time.perf_counter() - ticket.offered_at)
+        self._record_response(ticket, response)
+
+    # ------------------------------------------------------------------
+    # Observability recording (no-ops unless the sinks are wired)
+    # ------------------------------------------------------------------
+    def _record_request(self, ticket: Ticket, core: EngineCore) -> None:
+        """Log/trace/count one offered request (reads included).
+
+        The request event is the recovery-critical row: it carries the
+        clock the request arrived at and its full serialized form, which
+        is exactly a :class:`~repro.serve.requests.RequestTrace` entry —
+        recovery rebuilds the post-checkpoint request tail from these.
+        """
+        if self.event_log is not None:
+            self.event_log.log(
+                "request",
+                core.clock,
+                {"seq": ticket.seq, "request": request_to_dict(ticket.request)},
+                client=ticket.client,
+                trace_id=trace_id_for_seq(ticket.seq),
+            )
+        if self.tracer is not None:
+            self._open_spans[ticket.seq] = self.tracer.start_span(
+                "request",
+                trace_id_for_seq(ticket.seq),
+                attrs={"kind": _kind(ticket.request), "client": ticket.client},
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "serve_requests_total",
+                "Requests offered to the gateway",
+                labels={"kind": _kind(ticket.request)},
+            ).inc()
+
+    def _record_response(self, ticket: Ticket, response: Response) -> None:
+        """Log/trace/count one delivered response."""
+        if self.event_log is not None:
+            self.event_log.log(
+                "response",
+                response.tick,
+                {"seq": ticket.seq, "kind": response.kind,
+                 "status": response.status},
+                client=ticket.client,
+                trace_id=trace_id_for_seq(ticket.seq),
+            )
+        if self.tracer is not None:
+            span = self._open_spans.pop(ticket.seq, None)
+            if span is not None:
+                self.tracer.finish_span(span, {"status": response.status})
+        if self.metrics is not None:
+            self.metrics.counter(
+                "serve_responses_total",
+                "Responses delivered by the gateway",
+                labels={"status": response.status},
+            ).inc()
+            self.metrics.histogram(
+                "serve_request_latency_seconds",
+                "Offer-to-response wall-clock seconds",
+            ).observe(time.perf_counter() - ticket.offered_at)
 
     # ------------------------------------------------------------------
     # Reads: answered immediately, never blocking the tick loop
@@ -358,6 +471,7 @@ class Gateway:
         pd.queue_depth = max(pd.queue_depth, self.queue.depth)
         while (ticket := self.queue.pop()) is not None:
             pd.drained += 1
+            self._drained_seqs.append(ticket.seq)
             request = ticket.request
             if isinstance(request, SubmitCampaign):
                 self._apply_submit(ticket, core, pd)
@@ -431,6 +545,15 @@ class Gateway:
             )
             return
         pd.cancels += 1
+        if self.event_log is not None:
+            self.event_log.log(
+                "cancel",
+                core.clock,
+                {"result": status},
+                campaign_id=campaign_id,
+                client=ticket.client,
+                trace_id=trace_id_for_seq(ticket.seq),
+            )
         payload: dict = {"campaign_id": campaign_id, "result": status}
         if outcome is not None:
             self._pending_cancelled.append(outcome)
@@ -460,23 +583,23 @@ class Gateway:
             pd.snapshots -= 1
             self.telemetry.responses["ok"] -= 1
             self.telemetry.count_response("error", is_read=False)
-            ticket.resolve(
-                Response(
-                    kind="snapshot", status="error", tick=core.clock,
-                    detail=str(exc),
-                )
+            response = Response(
+                kind="snapshot", status="error", tick=core.clock,
+                detail=str(exc),
             )
+            ticket.resolve(response)
             self.telemetry.latency.observe(
                 time.perf_counter() - ticket.offered_at
             )
+            self._record_response(ticket, response)
             return
-        ticket.resolve(
-            Response(
-                kind="snapshot", status="ok", tick=core.clock,
-                payload={"path": str(path)},
-            )
+        response = Response(
+            kind="snapshot", status="ok", tick=core.clock,
+            payload={"path": str(path)},
         )
+        ticket.resolve(response)
         self.telemetry.latency.observe(time.perf_counter() - ticket.offered_at)
+        self._record_response(ticket, response)
 
     def _flush(self, reason: str) -> None:
         """Reject every still-queued request (shutdown path: none lost)."""
@@ -508,11 +631,59 @@ class Gateway:
             self._do_drain(core)
             if core.done:
                 return None
+        tick_span = (
+            self.tracer.start_span("tick", f"tick-{core.clock}")
+            if self.tracer is not None
+            else None
+        )
         report = core.tick()
         drain, self._pending_drain = self._pending_drain, DrainReport()
         cancelled, self._pending_cancelled = self._pending_cancelled, []
         self.telemetry.record_tick(core, report, drain, cancelled)
+        drained_seqs, self._drained_seqs = self._drained_seqs, []
+        if tick_span is not None:
+            self.tracer.finish_span(
+                tick_span,
+                {
+                    "interval": report.interval,
+                    "idle": report.idle,
+                    "batch": [trace_id_for_seq(s) for s in drained_seqs],
+                },
+            )
+        if self.event_log is not None:
+            self._log_tick(core, report, drain)
+            # Flushing here keeps the writer's batches aligned with tick
+            # boundaries instead of arbitrary buffer fill levels.
+            self.event_log.flush()
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "serve_queue_depth", "Mutating requests queued"
+            ).set(self.queue.depth)
         return report
+
+    def _log_tick(self, core: EngineCore, report: TickReport, drain: DrainReport) -> None:
+        """Append this tick's admission batches and summary row."""
+        new = core.admissions_since(self._admission_seen)
+        self._admission_seen += len(new)
+        for interval, campaign_ids in new:
+            self.event_log.log(
+                "admission", interval, {"campaign_ids": list(campaign_ids)}
+            )
+        self.event_log.log(
+            "tick",
+            report.interval,
+            {
+                "admitted": report.admitted,
+                "arrived": report.arrived,
+                "considered": report.considered,
+                "accepted": report.accepted,
+                "retired": len(report.retired),
+                "num_live": report.num_live,
+                "idle": report.idle,
+                "queue_depth": drain.queue_depth,
+                "drained": drain.drained,
+            },
+        )
 
     def replay(self, trace: RequestTrace, on_tick=None) -> list[Ticket]:
         """Deliver a trace at its recorded ticks; run the session through it.
@@ -676,8 +847,16 @@ class Gateway:
             raise CheckpointError(
                 "the gateway has not started; nothing to snapshot"
             )
+        # Sync the event log *before* recording its high-water mark: once
+        # the manifest (written last, renamed into place) names last_seq,
+        # every event up to it is already durable — recovery can treat
+        # "bundle + events beyond last_seq" as the complete run history.
+        event_log_state = None
+        if self.event_log is not None:
+            event_log_state = {"last_seq": self.event_log.sync()}
         state = {
             "version": _EXTRAS_VERSION,
+            "event_log": event_log_state,
             "config": {
                 "max_live": self.max_live,
                 "max_queue": self.queue.max_depth,
@@ -712,10 +891,25 @@ class Gateway:
                 }
             ),
         }
-        return save_checkpoint(self.engine, path, extras={_EXTRAS_KEY: state})
+        bundle = save_checkpoint(self.engine, path, extras={_EXTRAS_KEY: state})
+        if self.event_log is not None:
+            self.event_log.log(
+                "checkpoint",
+                self._active_core().clock,
+                {"path": str(bundle), "last_seq": event_log_state["last_seq"]},
+            )
+            self.event_log.flush()
+        return bundle
 
     @classmethod
-    def resume(cls, path: str | pathlib.Path) -> "Gateway":
+    def resume(
+        cls,
+        path: str | pathlib.Path,
+        *,
+        event_log=None,
+        tracer=None,
+        metrics=None,
+    ) -> "Gateway":
         """Reopen a served session from a bundle written by :meth:`save`.
 
         Restores the engine session, re-registers the tick-boundary
@@ -744,10 +938,28 @@ class Gateway:
             max_live=state["config"]["max_live"],
             max_queue=state["config"]["max_queue"],
             telemetry=GatewayTelemetry.from_dict(state["telemetry"]),
+            event_log=event_log,
+            tracer=tracer,
+            metrics=metrics,
         )
         core = engine.core
         assert core is not None  # restore_engine always opens a session
         core.add_tick_boundary_hook(gateway._drain_hook)
+        # Pre-checkpoint admissions were logged before the snapshot;
+        # mirror only what happens from here on.
+        gateway._admission_seen = core.num_admission_batches
+        # "event_log" is an additive extras field (.get: bundles written
+        # before it existed read as None).
+        log_state = state.get("event_log")
+        if log_state is not None:
+            gateway.resumed_event_seq = log_state["last_seq"]
+        if metrics is not None:
+            core.enable_phase_timings(PhaseTimings(metrics=metrics))
+        if event_log is not None:
+            event_log.log(
+                "run", core.clock,
+                {"action": "resume", "bundle": str(path)},
+            )
         gateway._started = True
         now = time.perf_counter()
         gateway.queue.restore(

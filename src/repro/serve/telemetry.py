@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import pathlib
 from typing import TYPE_CHECKING, Iterable
 
@@ -109,9 +110,12 @@ class LatencyRecorder:
     def observe(self, seconds: float) -> None:
         """Record one request's offer→response latency."""
         self.total_observed += 1
-        self._samples.append(float(seconds))
-        if len(self._samples) >= self.max_samples:
+        if len(self._samples) >= self.max_samples - 1:
+            # Halve *before* appending so the incoming sample always
+            # survives: halving afterwards would silently drop the newest
+            # observation whenever it landed on an odd index.
             self._samples = self._samples[::2]
+        self._samples.append(float(seconds))
 
     @property
     def count(self) -> int:
@@ -120,9 +124,17 @@ class LatencyRecorder:
 
     @staticmethod
     def _rank(ordered: list[float], q: float) -> float:
-        """Nearest-rank percentile of an already-sorted sample list."""
-        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
-        return ordered[rank]
+        """Nearest-rank percentile of an already-sorted sample list.
+
+        The textbook definition, ``rank = ceil(q/100 * n)`` clamped to
+        ``[1, n]`` — not ``round()``, whose banker's rounding at ``.5``
+        fractions picks the rank *below* (n=10, q=85 would yield the 8th
+        sample instead of the 9th) and disagrees with every standard
+        percentile implementation.
+        """
+        n = len(ordered)
+        rank = math.ceil(q / 100.0 * n)
+        return ordered[max(0, min(n - 1, rank - 1))]
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile latency in seconds (0.0 when empty).

@@ -198,3 +198,43 @@ def run_any_case(case: str) -> dict:
 def trace_path(case: str) -> pathlib.Path:
     """Where the committed golden trace for ``case`` lives."""
     return GOLDEN_DIR / f"{case}.json"
+
+
+#: Window width the golden analytics queries are pinned at.
+ANALYTICS_WINDOW = 8
+
+
+def analytics_path() -> pathlib.Path:
+    """Where the committed golden analytics results live."""
+    return GOLDEN_DIR / "analytics_flash_crowd.json"
+
+
+def run_analytics_case() -> dict:
+    """Canned analytics over the committed ``serve_flash_crowd`` trace.
+
+    Loads the golden served run's telemetry into an
+    :class:`~repro.obs.analytics.AnalyticsDB` and runs every canned
+    query the telemetry tables can answer at :data:`ANALYTICS_WINDOW`.
+    Input and queries are both pinned, so the result is deterministic —
+    a golden trace for the SQL layer itself.  (Event-log queries are
+    exercised by live tests; a sqlite file is not a reviewable golden
+    artifact the way JSON is.)
+    """
+    from repro.obs.analytics import AnalyticsDB, canned_queries
+
+    telemetry = json.loads(trace_path("serve_flash_crowd").read_text())[
+        "telemetry"
+    ]
+    queries = {}
+    with AnalyticsDB() as db:
+        db.load_telemetry(telemetry)
+        for query in canned_queries():
+            if set(query.requires) <= db.loaded:
+                columns, rows = db.run(query.name, window=ANALYTICS_WINDOW)
+                queries[query.name] = {
+                    "columns": list(columns),
+                    "rows": [list(row) for row in rows],
+                }
+    return json.loads(
+        json.dumps({"window": ANALYTICS_WINDOW, "queries": queries})
+    )

@@ -1,0 +1,107 @@
+"""Shared structured-logging path: formats, idempotence, CLI wiring."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.obs.logsetup import LOG_LEVELS, setup_logging
+
+
+@pytest.fixture(autouse=True)
+def restore_repro_logger():
+    """Leave the shared ``repro`` logger exactly as we found it."""
+    logger = logging.getLogger("repro")
+    saved = (list(logger.handlers), logger.level, logger.propagate)
+    yield
+    logger.handlers[:] = saved[0]
+    logger.setLevel(saved[1])
+    logger.propagate = saved[2]
+
+
+class TestSetupLogging:
+    def test_levels_are_pinned(self):
+        assert LOG_LEVELS == ("debug", "info", "warning", "error", "critical")
+
+    def test_configures_repro_logger_only(self):
+        stream = io.StringIO()
+        logger = setup_logging("info", stream=stream)
+        assert logger.name == "repro"
+        assert logger.propagate is False
+        assert len(logger.handlers) == 1
+        assert logging.getLogger().handlers == [] or (
+            logger.handlers[0] not in logging.getLogger().handlers
+        )
+
+    def test_idempotent_reconfiguration(self):
+        stream = io.StringIO()
+        setup_logging("debug", stream=stream)
+        logger = setup_logging("error", stream=stream)
+        assert len(logger.handlers) == 1
+        assert logger.level == logging.ERROR
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        setup_logging("warning", stream=stream)
+        child = logging.getLogger("repro.obs.test")
+        child.info("quiet")
+        child.warning("loud")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert "loud" in lines[0]
+
+    def test_text_format_includes_extra_fields(self):
+        stream = io.StringIO()
+        setup_logging("info", fmt="text", stream=stream)
+        logging.getLogger("repro.obs.test").info(
+            "flushed", extra={"batch": 128, "seq": 4096}
+        )
+        (line,) = stream.getvalue().splitlines()
+        assert "repro.obs.test: flushed" in line
+        assert line.endswith("batch=128 seq=4096")
+
+    def test_json_format_one_object_per_line(self):
+        stream = io.StringIO()
+        setup_logging("info", fmt="json", stream=stream)
+        logging.getLogger("repro.obs.test").info(
+            "flushed", extra={"batch": 128}
+        )
+        (line,) = stream.getvalue().splitlines()
+        record = json.loads(line)
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.obs.test"
+        assert record["message"] == "flushed"
+        assert record["batch"] == 128
+        assert isinstance(record["ts"], float)
+
+    def test_bad_level_and_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            setup_logging("loudest")
+        with pytest.raises(ValueError, match="unknown log format"):
+            setup_logging("info", fmt="yaml")
+
+
+class TestCliWiring:
+    def test_log_level_flag_configures_logger(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "engine", "run",
+                "--campaigns", "2",
+                "--horizon-hours", "8",
+                "--log-level", "error",
+                "--log-format", "json",
+            ]
+        )
+        assert exit_code == 0
+        logger = logging.getLogger("repro")
+        assert logger.level == logging.ERROR
+        assert len(logger.handlers) == 1
+
+    def test_unknown_log_level_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["engine", "run", "--log-level", "loudest"])
+        assert "invalid choice" in capsys.readouterr().err

@@ -121,3 +121,65 @@ class TestLatencyRecorder:
         assert a.percentile(50) == b.percentile(50)
         assert a.percentile(99) == b.percentile(99)
         assert a.summary()["mean_ms"] == pytest.approx(b.summary()["mean_ms"])
+
+
+class TestPercentileRegressions:
+    """Edge cases from the nearest-rank audit; each pinned a past bug."""
+
+    def test_single_sample_answers_every_quantile(self):
+        recorder = LatencyRecorder()
+        recorder.observe(0.007)
+        for q in (0, 1, 50, 95, 99, 100):
+            assert recorder.percentile(q) == 0.007
+
+    def test_p0_and_p100_are_min_and_max(self):
+        recorder = LatencyRecorder()
+        for s in (0.004, 0.001, 0.009, 0.002):
+            recorder.observe(s)
+        assert recorder.percentile(0) == 0.001
+        assert recorder.percentile(100) == 0.009
+
+    def test_half_fraction_rank_rounds_up(self):
+        # n=10, q=85 → rank = ceil(8.5) = 9 → the 9th-smallest sample.
+        # round() would bankers-round 8.5 down to the 8th.
+        recorder = LatencyRecorder()
+        for ms in range(1, 11):
+            recorder.observe(ms / 1000.0)
+        assert recorder.percentile(85) == pytest.approx(0.009)
+        # n=10, q=50 → ceil(5.0) = 5 → the 5th sample, not the 6th.
+        assert recorder.percentile(50) == pytest.approx(0.005)
+
+    def test_monotone_in_q(self):
+        recorder = LatencyRecorder()
+        for ms in (3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5):
+            recorder.observe(ms / 1000.0)
+        values = [recorder.percentile(q) for q in range(0, 101, 5)]
+        assert values == sorted(values)
+
+    def test_percentile_is_always_an_observed_sample(self):
+        recorder = LatencyRecorder()
+        samples = [0.0013, 0.0042, 0.0021, 0.0088]
+        for s in samples:
+            recorder.observe(s)
+        for q in (1, 33, 50, 66, 99):
+            assert recorder.percentile(q) in samples
+
+    def test_decimation_keeps_the_newest_sample(self):
+        recorder = LatencyRecorder(max_samples=4)
+        for i in range(1, 9):
+            recorder.observe(i / 1000.0)
+        # The halve-before-append order guarantees the last observation
+        # survives every decimation (halving after would drop odd-index
+        # newcomers).
+        assert recorder.percentile(100) == pytest.approx(0.008)
+        assert recorder.count < recorder.max_samples
+        assert recorder.total_observed == 8
+
+    def test_summary_matches_percentile_method(self):
+        recorder = LatencyRecorder()
+        for ms in range(1, 42):
+            recorder.observe(ms / 1000.0)
+        summary = recorder.summary()
+        assert summary["p50_ms"] == pytest.approx(1e3 * recorder.percentile(50))
+        assert summary["p95_ms"] == pytest.approx(1e3 * recorder.percentile(95))
+        assert summary["p99_ms"] == pytest.approx(1e3 * recorder.percentile(99))

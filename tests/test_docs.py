@@ -22,6 +22,7 @@ DOCS_PAGES = (
     "docs/checkpointing.md",
     "docs/scenarios.md",
     "docs/serving.md",
+    "docs/observability.md",
 )
 #: Relative markdown links: [text](target) excluding URLs and anchors.
 _LINK = re.compile(r"\[[^\]]+\]\((?!https?://|#|mailto:)([^)#\s]+)")
@@ -95,3 +96,17 @@ class TestBenchRecord:
             serve["requests_per_second"]
             >= serve["required_requests_per_second"]
         )
+
+    def test_obs_fields(self, record):
+        obs = record["obs"]
+        for field in (
+            "baseline_seconds",
+            "logged_seconds",
+            "overhead_fraction",
+            "required_max_overhead",
+            "events_written",
+            "workload",
+        ):
+            assert field in obs
+        assert obs["overhead_fraction"] <= obs["required_max_overhead"]
+        assert obs["events_written"] > 0
