@@ -5,8 +5,9 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-scenario bench-serve serve-smoke bench-obs \
-	obs-smoke cov regen-golden docs-check checkpoint-smoke lint-docs all
+.PHONY: test bench bench-kernels kernels-smoke bench-scenario bench-serve \
+	serve-smoke bench-obs obs-smoke cov regen-golden docs-check \
+	checkpoint-smoke lint-docs all
 
 ## Tier-1 test suite (what CI gates on).
 test:
@@ -16,6 +17,18 @@ test:
 ## shard scaling.  Regenerates BENCH_engine.json at the repo root.
 bench:
 	$(PYTEST) benchmarks/bench_engine.py -q -p no:cacheprovider
+
+## Compiled-kernel microbenchmark: scalar vs kernel DP-solve throughput
+## under the resolved REPRO_KERNELS backend (>= 5x bar with numba, the
+## numpy fallback holds 3x; recorded under BENCH_engine.json's
+## "kernels" key).
+bench-kernels:
+	$(PYTEST) benchmarks/bench_kernels.py -q -p no:cacheprovider
+
+## Kernel smoke (CI): the kernel bench on a tiny workload — same code
+## paths, seconds of wall-clock, hang-guard bar only.
+kernels-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTEST) benchmarks/bench_kernels.py -q -p no:cacheprovider
 
 ## Scenario-engine benchmarks: driver overhead vs the raw clock, and
 ## stress throughput under churn + shock + cancellation at 1/3 shards.

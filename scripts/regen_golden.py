@@ -5,6 +5,15 @@ engine-behaviour change (new draw order, different routing, changed
 accounting), then review the JSON diff like any other code change —
 unreviewed regeneration defeats the point of a golden trace.
 
+Before writing anything, the script verifies the executor/kernel
+invariance contract on the *candidate* traces: the sharded cases re-run
+under ``executor="process"`` and under the numba kernel path must be
+byte-identical to the serial/numpy recomputation.  A divergence means
+the engine change broke the determinism contract — regeneration would
+only bake the bug into the goldens — so the script refuses and points at
+the first differing cell instead (the matrix suite,
+``tests/engine/test_executor_matrix.py``, localizes it further).
+
 Usage::
 
     PYTHONPATH=src python scripts/regen_golden.py
@@ -27,12 +36,45 @@ from tests.golden.cases import (  # noqa: E402
     analytics_path,
     run_analytics_case,
     run_any_case,
+    run_case,
     trace_path,
 )
+from tests.kernel_modes import kernel_mode  # noqa: E402
+
+
+def verify_invariance() -> str | None:
+    """Prove the candidate traces hold across executors and kernels.
+
+    Returns ``None`` when every re-run is byte-identical, else a message
+    naming the first diverging (case, executor, kernels) cell.
+    """
+    for case in sorted(CASES):
+        baseline = run_case(case)
+        sharded = bool(CASES[case]["num_shards"])
+        executors = ("process",) if sharded else ("serial",)
+        for executor in executors:
+            for kernels_name in ("numpy", "numba"):
+                with kernel_mode(kernels_name):
+                    candidate = run_case(case, executor=executor)
+                if candidate != baseline:
+                    return (
+                        f"case {case!r} diverged under executor="
+                        f"{executor!r}, kernels={kernels_name!r}; the "
+                        "determinism contract is broken — fix the engine "
+                        "(see tests/engine/test_executor_matrix.py) "
+                        "before regenerating goldens"
+                    )
+    return None
 
 
 def main() -> int:
     """Recompute every canonical case and rewrite its committed trace."""
+    failure = verify_invariance()
+    if failure is not None:
+        print(f"refusing to regenerate: {failure}", file=sys.stderr)
+        return 1
+    print("invariance verified: sharded cases byte-identical under "
+          "executor='process' and the numba kernel path")
     for case in sorted(CASES) + sorted(SERVE_CASES):
         payload = run_any_case(case)
         path = trace_path(case)

@@ -78,14 +78,22 @@ def _add_serving_engine_flags(parser: argparse.ArgumentParser) -> None:
         "N >= 1 under the same seed",
     )
     parser.add_argument(
-        "--executor", choices=["thread", "serial"], default="thread",
-        help="shard executor (with --shards): thread pool or serial loop; "
-        "the choice never changes results",
+        "--executor", choices=["thread", "serial", "process"],
+        default="thread",
+        help="shard executor (with --shards): thread pool, serial loop, or "
+        "one worker process per shard; the choice never changes results",
     )
     parser.add_argument(
         "--solver", choices=["batch", "scalar"], default="batch",
         help="policy-solve path on cache miss: one stacked array pass per "
         "tick (batch, the fast path) or one solve per campaign (scalar)",
+    )
+    parser.add_argument(
+        "--kernels", choices=["auto", "numpy", "numba"], default=None,
+        help="compiled-kernel backend for the hot solve loops (default: "
+        "the REPRO_KERNELS env var, else auto); numba falls back to "
+        "numpy with a warning where the compiler is absent, and the "
+        "backend never changes results",
     )
 
 
@@ -634,6 +642,10 @@ def _make_serving_engine(
     """
     _check_serving_flags(args)
     try:
+        if getattr(args, "kernels", None):
+            from repro.core.batch import kernels
+
+            kernels.set_kernels(args.kernels)
         return _build_engine(args, router=router, surge=surge)
     except ValueError as exc:
         raise _CliError(str(exc)) from exc

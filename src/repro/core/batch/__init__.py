@@ -18,6 +18,10 @@ around the array layout instead:
   the engine's :class:`~repro.engine.cache.PolicyCache` drains on miss:
   all outstanding campaign signatures of a tick are solved in one array
   pass instead of one-by-one.
+* :mod:`repro.core.batch.kernels` — the compiled twins of the hottest
+  inner loops (deadline layer, budget hull, shard tick) behind the
+  ``REPRO_KERNELS`` flag, falling back to the numpy reference when numba
+  is absent.  Exact-equality-tested, so selection never changes results.
 
 Every batch kernel reproduces the corresponding scalar solver's tables
 (same truncation cut-offs, same tie-breaking toward lower prices); the
@@ -26,12 +30,24 @@ test suite asserts equality on randomized instances.
 
 from repro.core.batch.budget import BudgetRequest, solve_budget_batch
 from repro.core.batch.deadline import solve_deadline_batch
+from repro.core.batch.kernels import (
+    HAVE_NUMBA,
+    active_kernels,
+    available_kernels,
+    set_kernels,
+    use_kernels,
+)
 from repro.core.batch.solver import BatchPolicySolver, BatchSolveStats
 
 __all__ = [
     "BatchPolicySolver",
     "BatchSolveStats",
     "BudgetRequest",
+    "HAVE_NUMBA",
+    "active_kernels",
+    "available_kernels",
+    "set_kernels",
     "solve_budget_batch",
     "solve_deadline_batch",
+    "use_kernels",
 ]

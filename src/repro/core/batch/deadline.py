@@ -26,9 +26,8 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
-from scipy import special
 
+from repro.core.batch import kernels
 from repro.core.deadline.model import DeadlineProblem
 from repro.core.deadline.policy import DeadlinePolicy
 
@@ -37,7 +36,7 @@ __all__ = ["solve_deadline_batch", "group_key"]
 #: Above this Poisson mean the pmf recurrence underflows at ``s = 0``; the
 #: scalar path (:func:`repro.util.poisson.poisson_pmf_vector`) switches to
 #: log-space there, and the batch kernel mirrors the switch exactly.
-_LOG_SPACE_MEAN = 700.0
+_LOG_SPACE_MEAN = kernels.LOG_SPACE_MEAN
 
 
 def group_key(problem: DeadlineProblem) -> tuple:
@@ -50,51 +49,15 @@ def group_key(problem: DeadlineProblem) -> tuple:
     )
 
 
-def _pmf_tensor(means: np.ndarray, s_max: int) -> np.ndarray:
-    """Poisson pmf ``P[..., s] = Pr(Pois(means) = s)`` for ``s = 0..s_max``.
-
-    Applies :func:`repro.util.poisson.poisson_pmf_vector`'s scheme
-    elementwise over the leading axes: the stable multiplicative recurrence
-    below mean 700, log space (``gammaln``) above it.
-    """
-    shape = means.shape + (s_max + 1,)
-    pmf = np.empty(shape)
-    pmf[..., 0] = np.exp(-means)
-    for s in range(1, s_max + 1):
-        pmf[..., s] = pmf[..., s - 1] * means / s
-    big = means >= _LOG_SPACE_MEAN
-    if np.any(big):
-        s_range = np.arange(s_max + 1, dtype=float)
-        m = means[big][:, None]
-        pmf[big] = np.exp(
-            s_range * np.log(m) - m - special.gammaln(s_range + 1.0)
-        )
-    return pmf
-
-
-def _truncation_lengths(
-    means: np.ndarray, pmf: np.ndarray, eps: float | None, s_max: int
-) -> np.ndarray:
-    """Per-(instance, price) kept pmf length, matching ``truncated_pmf``.
-
-    The scalar rule: with the Gaussian band ``hi = mean + 12 sqrt(mean) + 20``
-    covering the whole head (``s_max + 1 <= hi``) nothing is cut; otherwise
-    the head is cut at the smallest ``s0`` with ``Pr(Pois >= s0) < eps``
-    (at least 1, at most ``s_max + 1``).
-    """
-    full = s_max + 1
-    if eps is None:
-        return np.full(means.shape, full, dtype=int)
-    hi = np.floor(means + 12.0 * np.sqrt(means) + 20.0).astype(int)
-    cums = np.cumsum(pmf, axis=-1)
-    # s0 = 1 + #{s' in 0..s_max-1 : Pr(Pois >= s'+1) = 1 - cdf(s') >= eps}.
-    s0 = 1 + np.sum(1.0 - cums[..., : s_max] >= eps, axis=-1)
-    s0 = np.clip(s0, 1, full)
-    return np.where(full <= hi, full, s0)
-
-
 def _solve_group(problems: Sequence[DeadlineProblem]) -> list[DeadlinePolicy]:
-    """Solve one same-shaped group of instances as stacked tensors."""
+    """Solve one same-shaped group of instances as stacked tensors.
+
+    Each backward-induction layer is delegated to
+    :func:`repro.core.batch.kernels.deadline_layer` — the numpy reference
+    by default, the numba-compiled twin under ``REPRO_KERNELS=numba``;
+    the two are exact-equality-tested, so the selection never changes the
+    produced tables.
+    """
     first = problems[0]
     n_tasks = first.num_tasks
     n_intervals = first.num_intervals
@@ -109,37 +72,11 @@ def _solve_group(problems: Sequence[DeadlineProblem]) -> list[DeadlinePolicy]:
     opt[:, :, n_intervals] = np.stack(
         [p.penalty.terminal_costs(n_tasks) for p in problems]
     )
-    n_range = np.arange(size)
     for t in range(n_intervals - 1, -1, -1):
-        means = lam[:, t : t + 1] * probs  # (B, C)
-        pmf = _pmf_tensor(means, n_tasks)  # (B, C, S)
-        lengths = _truncation_lengths(means, pmf, eps, n_tasks)
-        pmf[n_range[None, None, :] >= lengths[:, :, None]] = 0.0
-        prob_cum = np.cumsum(pmf, axis=-1)
-        paid_cum = np.cumsum(pmf * n_range, axis=-1)
-        # Toeplitz view T[b, s, n] = opt_next[b, n - s] (0 for n < s): the
-        # continuation of every (instance, price) is then one batched
-        # matmul pmf @ T instead of B*C separate convolutions.
-        opt_next = opt[:, :, t + 1]
-        padded = np.concatenate([np.zeros((batch, n_tasks)), opt_next], axis=1)
-        toeplitz = sliding_window_view(padded, size, axis=1)[:, ::-1, :]
-        conv = pmf @ toeplitz  # (B, C, S)
-        # Head of the payment term covers s = 0 .. min(n-1, length-1); the
-        # Poisson tail completes all n remaining tasks (absorbing state).
-        k = np.minimum(n_range[None, None, :] - 1, lengths[:, :, None] - 1)
-        k_safe = np.maximum(k, 0)
-        head_prob = np.where(
-            k >= 0, np.take_along_axis(prob_cum, k_safe, axis=-1), 0.0
+        opt_t, best = kernels.deadline_layer(
+            lam[:, t], probs, prices, opt[:, :, t + 1], eps
         )
-        head_paid = np.where(
-            k >= 0, np.take_along_axis(paid_cum, k_safe, axis=-1), 0.0
-        )
-        tail = np.maximum(0.0, 1.0 - head_prob)
-        costs = prices[:, :, None] * (head_paid + n_range * tail) + conv
-        costs[:, :, 0] = 0.0
-        best = np.argmin(costs, axis=1)  # first minimum = lowest price
-        opt[:, :, t] = np.take_along_axis(costs, best[:, None, :], axis=1)[:, 0, :]
-        opt[:, 0, t] = 0.0
+        opt[:, :, t] = opt_t
         price_index[:, 1:, t] = best[:, 1:]
     return [
         DeadlinePolicy(

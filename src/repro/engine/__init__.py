@@ -29,6 +29,10 @@ subpackage is that serving layer:
 * :mod:`repro.engine.sharding` — :class:`ShardedEngine`, partitioning the
   campaign set over parallel worker shards while splitting the arrival
   stream deterministically (same seed, any shard count, same outcomes).
+* :mod:`repro.engine.procpool` — the ``executor="process"`` backend:
+  per-shard worker processes owning their campaigns and generators
+  end-to-end, exchanging only per-tick aggregates (bit-identical to the
+  in-process executors; worker death surfaces as :class:`EngineError`).
 * :mod:`repro.engine.checkpoint` — durable serving state:
   :func:`save_checkpoint` / :func:`restore_engine` snapshot a session
   mid-flight to a versioned JSON+npz bundle and resume it bit-identically
@@ -64,7 +68,13 @@ from repro.engine.checkpoint import (
     restore_engine,
     save_checkpoint,
 )
-from repro.engine.clock import ClockBackend, EngineBase, EngineCore, TickReport
+from repro.engine.clock import (
+    ClockBackend,
+    EngineBase,
+    EngineCore,
+    EngineError,
+    TickReport,
+)
 from repro.engine.engine import EngineResult, MarketplaceEngine, PLANNING_MODES
 from repro.engine.planning import CampaignPlanner
 from repro.engine.routing import ArrivalRouter, LogitRouter, UniformRouter
@@ -83,6 +93,7 @@ __all__ = [
     "EngineBase",
     "EngineCore",
     "ClockBackend",
+    "EngineError",
     "TickReport",
     "EngineResult",
     "CHECKPOINT_VERSION",

@@ -63,20 +63,16 @@ from repro.core.deadline.adaptive import AdaptiveRepricer
 from repro.engine.cache import CacheStats, PolicyCache
 from repro.engine.campaign import CampaignOutcome, CampaignSpec
 from repro.engine.clock import EngineBase, EngineCore
-from repro.engine.engine import MarketplaceEngine, _PooledBackend
+from repro.engine.engine import MarketplaceEngine
 from repro.engine.routing import LogitRouter, UniformRouter
-from repro.engine.sharding import (
-    ShardedEngine,
-    _FactoredBackend,
-    _ShardCampaign,
-    shard_of,
-)
+from repro.engine.sharding import ShardedEngine
 from repro.market.acceptance import (
     AcceptanceModel,
     EmpiricalAcceptance,
     LogitAcceptance,
 )
 from repro.sim.stream import SharedArrivalStream
+from repro.util import rngstate
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -163,19 +159,14 @@ def _router_from_dict(data: dict):
 
 
 def _generator_state(rng: np.random.Generator) -> dict:
-    return _jsonable(rng.bit_generator.state)
+    return rngstate.generator_state(rng)
 
 
 def _generator_from_state(state: dict) -> np.random.Generator:
     try:
-        bit_cls = getattr(np.random, state["bit_generator"])
-    except AttributeError as exc:
-        raise CheckpointError(
-            f"unknown bit generator {state['bit_generator']!r}"
-        ) from exc
-    gen = np.random.Generator(bit_cls())
-    gen.bit_generator.state = state
-    return gen
+        return rngstate.generator_from_state(state)
+    except ValueError as exc:
+        raise CheckpointError(str(exc)) from exc
 
 
 def _adaptive_key(cid: str, index: int) -> str:
@@ -185,7 +176,7 @@ def _adaptive_key(cid: str, index: int) -> str:
 # ----------------------------------------------------------------------
 # Save
 # ----------------------------------------------------------------------
-def _live_entry(live, rng: np.random.Generator | None, arrays: dict) -> dict:
+def _live_entry(live, rng_state: dict | None, arrays: dict) -> dict:
     """Serialize one live campaign's mutable state (arrays filled in place)."""
     cid = live.spec.campaign_id
     entry = {
@@ -195,7 +186,7 @@ def _live_entry(live, rng: np.random.Generator | None, arrays: dict) -> dict:
         "finished_interval": live.finished_interval,
         "cache_hit": live.cache_hit,
         "initial_solves": live.initial_solves,
-        "rng_state": None if rng is None else _generator_state(rng),
+        "rng_state": rng_state,
         "adaptive": None,
     }
     if isinstance(live.runtime, AdaptiveRepricer):
@@ -262,24 +253,24 @@ def save_checkpoint(
         if not isinstance(engine.executor, str):
             raise CheckpointError(
                 "executor instances cannot be checkpointed; construct the "
-                "engine with executor='serial' or 'thread' to enable resume"
+                "engine with executor='serial', 'thread', or 'process' to "
+                "enable resume"
             )
         config["num_shards"] = engine.num_shards
         config["executor"] = engine.executor
-        live_entries = [
-            _live_entry(c.live, c.rng, arrays)
-            for shard in backend.shards
-            for c in shard.campaigns
-        ]
-        rng_state = _generator_state(backend.market_rng)
     elif isinstance(engine, MarketplaceEngine):
         kind = "marketplace"
-        live_entries = [_live_entry(c, None, arrays) for c in backend.live]
-        rng_state = _generator_state(backend.rng)
     else:
         raise CheckpointError(
             f"engine {type(engine).__name__} is not checkpointable"
         )
+    try:
+        exported, rng_state = backend.export_live()
+    except NotImplementedError as exc:
+        raise CheckpointError(str(exc)) from exc
+    live_entries = [
+        _live_entry(lc, state, arrays) for lc, state in exported
+    ]
     manifest = {
         "version": CHECKPOINT_VERSION,
         "engine": kind,
@@ -530,24 +521,9 @@ def _replay_admissions(
         if entry["adaptive"] is not None:
             _restore_adaptive(lc.runtime, entry["adaptive"], cid, arrays)
         placed.append((lc, entry["rng_state"]))
-    if isinstance(backend, _PooledBackend):
-        backend.live = [lc for lc, _ in placed]
-        backend.rng = _generator_from_state(manifest["rng"])
-    elif isinstance(backend, _FactoredBackend):
-        for lc, rng_state in placed:
-            if rng_state is None:
-                raise CheckpointError(
-                    f"sharded bundle lost the generator state of campaign "
-                    f"{lc.spec.campaign_id!r}"
-                )
-            shard = backend.shards[
-                shard_of(lc.spec.campaign_id, backend.num_shards)
-            ]
-            shard.campaigns.append(
-                _ShardCampaign(lc, _generator_from_state(rng_state))
-            )
-        backend.market_rng = _generator_from_state(manifest["rng"])
-    else:  # pragma: no cover - new backends must opt into checkpointing
-        raise CheckpointError(
-            f"backend {type(backend).__name__} is not checkpointable"
-        )
+    try:
+        backend.restore_live(placed, manifest["rng"])
+    except NotImplementedError as exc:  # pragma: no cover - new backends
+        raise CheckpointError(str(exc)) from exc
+    except ValueError as exc:
+        raise CheckpointError(str(exc)) from exc

@@ -64,10 +64,23 @@ __all__ = [
     "ClockBackend",
     "EngineBase",
     "EngineCore",
+    "EngineError",
     "EngineResult",
     "PhaseTimings",
     "TickReport",
 ]
+
+
+class EngineError(RuntimeError):
+    """A serving session failed irrecoverably mid-flight.
+
+    Raised by backends when the machinery under a session breaks — e.g. a
+    process-executor shard worker dies mid-tick — as opposed to caller
+    mistakes, which stay ``ValueError``/``RuntimeError``.  The session's
+    deterministic state is gone; recovery is restoring the most recent
+    checkpoint bundle (which resumes bit-identically) rather than
+    retrying the tick.
+    """
 
 
 def _submission_key(spec: CampaignSpec) -> tuple[int, str]:
@@ -383,6 +396,39 @@ class ClockBackend(abc.ABC):
 
     def close(self) -> None:
         """Release backend resources (executor pools); a no-op by default."""
+
+    # ------------------------------------------------------------------
+    # Checkpoint surface (optional)
+    # ------------------------------------------------------------------
+    def export_live(self) -> tuple[list[tuple[_LiveCampaign, dict | None]], dict]:
+        """Snapshot live-campaign state for checkpointing.
+
+        Returns ``(entries, rng_state)``: ``entries`` is every live
+        campaign paired with its serialized private generator state
+        (``None`` for backends whose campaigns share one pooled
+        generator), in the backend's canonical storage order;
+        ``rng_state`` is the backend's own generator state.  Backends
+        that don't implement this pair are simply not checkpointable.
+        """
+        raise NotImplementedError(
+            f"backend {type(self).__name__} does not support checkpointing"
+        )
+
+    def restore_live(
+        self,
+        placed: list[tuple[_LiveCampaign, dict | None]],
+        rng_state: dict,
+    ) -> None:
+        """Re-install live campaigns and generator state from a snapshot.
+
+        The inverse of :meth:`export_live`: ``placed`` preserves the
+        exported order, and each entry's generator state (where the
+        backend keeps per-campaign generators) must continue the stream
+        bit-for-bit.
+        """
+        raise NotImplementedError(
+            f"backend {type(self).__name__} does not support checkpointing"
+        )
 
 
 class EngineCore:

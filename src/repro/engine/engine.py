@@ -155,6 +155,19 @@ class _PooledBackend(ClockBackend):
             for c in self.live
         )
 
+    def export_live(self) -> tuple[list[tuple[_LiveCampaign, dict | None]], dict]:
+        from repro.util.rngstate import generator_state
+
+        return [(c, None) for c in self.live], generator_state(self.rng)
+
+    def restore_live(
+        self, placed: list[tuple[_LiveCampaign, dict | None]], rng_state: dict
+    ) -> None:
+        from repro.util.rngstate import generator_from_state
+
+        self.live = [lc for lc, _ in placed]
+        self.rng = generator_from_state(rng_state)
+
 
 class MarketplaceEngine(EngineBase):
     """Discrete-time engine multiplexing campaigns over one worker stream.

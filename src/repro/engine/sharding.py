@@ -25,9 +25,16 @@ the unsharded stream.
 Because every random decision is keyed by campaign (not by shard), the
 realized run is **invariant to the shard count and executor**: the same
 seed produces identical per-campaign outcomes for 1 shard, N shards,
-serial or threaded — sharding is purely a throughput lever.  The choice
-fractions are computed once per tick from the canonically-ordered global
-price vector, which is the only cross-shard coordination each tick needs.
+serial, threaded, or process-parallel — sharding is purely a throughput
+lever.  The choice fractions are computed once per tick from the
+canonically-ordered global price vector, which is the only cross-shard
+coordination each tick needs.  ``executor="process"``
+(:mod:`repro.engine.procpool`) pushes the same factorization across
+process boundaries: each worker process owns its shard's campaigns and
+generators end-to-end and exchanges only per-tick aggregates with the
+coordinator (the differential suite in
+``tests/engine/test_executor_matrix.py`` asserts the invariance cell by
+cell).
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from typing import Callable, TypeVar
 
 import numpy as np
 
+from repro.core.batch import kernels
 from repro.engine.cache import PolicyCache
 from repro.engine.campaign import CampaignOutcome
 from repro.engine.clock import ClockBackend, EngineBase, EngineResult
@@ -49,12 +57,17 @@ from repro.engine.planning import (
 )
 from repro.engine.routing import ArrivalRouter, default_router
 from repro.market.acceptance import AcceptanceModel
+from repro.sim.policies import SemiStaticRuntime
 from repro.sim.stream import SharedArrivalStream
+from repro.util.rngstate import generator_from_state, generator_state
 
 __all__ = ["ShardedEngine", "shard_of", "EXECUTORS"]
 
 #: Built-in executor names (any ``concurrent.futures.Executor`` also works).
-EXECUTORS = ("serial", "thread")
+#: ``"process"`` runs each shard in its own worker process
+#: (:mod:`repro.engine.procpool`) — same bit-identical results, true
+#: multi-core parallelism.
+EXECUTORS = ("serial", "thread", "process")
 
 # Sub-stream tags keeping the coordinator's draws independent of every
 # campaign's draws under one run seed.
@@ -128,29 +141,50 @@ class _Shard:
         an independent considered-but-declined remainder from its own
         generator — always the same two draws per live tick, so the
         consumed random stream is identical whatever the shard layout.
+        The draws stay in Python (they walk each campaign's private
+        generator); applying them — capping at open tasks and charging
+        the posted reward — runs through the
+        :func:`repro.core.batch.kernels.shard_tick` kernel, whose numpy
+        and numba paths are exact-equality-tested.  Semi-static budget
+        campaigns are charged through their per-completion price sequence
+        (:meth:`_LiveCampaign.charge`) instead of the kernel's
+        ``done * price`` product.
         Returns the shard's ``(considered, accepted)`` totals (accepted is
         counted before capping at the campaign's open tasks, matching
         :class:`~repro.engine.engine.MarketplaceEngine` accounting).
         """
-        considered_total = 0
-        accepted_total = 0
-        for c in self.campaigns:
+        campaigns = self.campaigns
+        n = len(campaigns)
+        if n == 0:
+            return 0, 0
+        accepted = np.empty(n, dtype=np.int64)
+        remaining = np.empty(n, dtype=np.int64)
+        price_arr = np.empty(n)
+        declined_total = 0
+        for i, c in enumerate(campaigns):
             live = c.live
             cid = live.spec.campaign_id
             accept_q, consider_q = fractions[cid]
-            accepted = int(c.rng.poisson(mean_arrivals * accept_q))
-            declined = int(
+            accepted[i] = c.rng.poisson(mean_arrivals * accept_q)
+            declined_total += int(
                 c.rng.poisson(mean_arrivals * max(consider_q - accept_q, 0.0))
             )
-            considered_total += accepted + declined
-            accepted_total += accepted
-            done = min(accepted, live.remaining)
-            if done:
-                live.total_cost += live.charge(done, prices[cid])
-                live.remaining -= done
+            remaining[i] = live.remaining
+            price_arr[i] = prices[cid]
+        done, cost = kernels.shard_tick(accepted, remaining, price_arr)
+        for i, c in enumerate(campaigns):
+            d = int(done[i])
+            if d:
+                live = c.live
+                if isinstance(live.runtime, SemiStaticRuntime):
+                    live.total_cost += live.charge(d, float(price_arr[i]))
+                else:
+                    live.total_cost += float(cost[i])
+                live.remaining -= d
                 if live.remaining == 0:
                     live.finished_interval = t
-        return considered_total, accepted_total
+        accepted_total = int(accepted.sum())
+        return accepted_total + declined_total, accepted_total
 
     def observe(self, t: int, arrived: int) -> None:
         """Feed the tick's realized marketplace arrivals to adaptive campaigns."""
@@ -313,6 +347,29 @@ class _FactoredBackend(ClockBackend):
             self._own_pool.shutdown()
             self._own_pool = None
 
+    def export_live(self) -> tuple[list[tuple[_LiveCampaign, dict | None]], dict]:
+        entries = [
+            (c.live, generator_state(c.rng))
+            for shard in self.shards
+            for c in shard.campaigns
+        ]
+        return entries, generator_state(self.market_rng)
+
+    def restore_live(
+        self, placed: list[tuple[_LiveCampaign, dict | None]], rng_state: dict
+    ) -> None:
+        for lc, state in placed:
+            if state is None:
+                raise ValueError(
+                    f"sharded bundle lost the generator state of campaign "
+                    f"{lc.spec.campaign_id!r}"
+                )
+            shard = self.shards[shard_of(lc.spec.campaign_id, self.num_shards)]
+            shard.campaigns.append(
+                _ShardCampaign(lc, generator_from_state(state))
+            )
+        self.market_rng = generator_from_state(rng_state)
+
 
 class ShardedEngine(EngineBase):
     """Multi-shard marketplace engine: same semantics, parallel campaigns.
@@ -336,11 +393,16 @@ class ShardedEngine(EngineBase):
         Forwarded to the shared :class:`CampaignPlanner` — identical
         meaning to the unsharded engine.
     executor:
-        ``"serial"``, ``"thread"``, or any ``concurrent.futures.Executor``
-        instance (e.g. a pre-warmed thread pool).  The executor choice
-        never changes results, only wall-clock.  Process pools are not
-        supported: shard state is mutated in place each tick, which
-        requires a shared address space.
+        ``"serial"``, ``"thread"``, ``"process"``, or any
+        ``concurrent.futures.Executor`` instance (e.g. a pre-warmed
+        thread pool).  The executor choice never changes results, only
+        wall-clock.  ``"process"`` gives each shard its own persistent
+        worker process (:mod:`repro.engine.procpool`) that owns the
+        shard's campaigns, generators, and tick loop end-to-end and
+        exchanges only per-tick aggregates — the executor that actually
+        escapes the GIL.  ``concurrent.futures.ProcessPoolExecutor``
+        *instances* remain unsupported (a stateless pool cannot own
+        mutable shard state; use ``executor="process"`` instead).
     """
 
     def __init__(
@@ -366,6 +428,8 @@ class ShardedEngine(EngineBase):
         if isinstance(executor, concurrent.futures.ProcessPoolExecutor):
             raise ValueError(
                 "process pools are not supported: shards mutate shared state"
+                " (use executor='process' for the shard-owning worker "
+                "processes instead)"
             )
         self.acceptance = acceptance
         self.num_shards = num_shards
@@ -387,14 +451,20 @@ class ShardedEngine(EngineBase):
     # ------------------------------------------------------------------
     # The clock (shared EngineCore; this engine only supplies the backend)
     # ------------------------------------------------------------------
-    def _make_backend(
-        self, seed: int, rng: np.random.Generator | None
-    ) -> _FactoredBackend:
+    def _make_backend(self, seed: int, rng: np.random.Generator | None) -> ClockBackend:
         """One factored backend per session; all generators derive from ``seed``."""
         if rng is not None:
             raise ValueError(
                 "ShardedEngine derives per-campaign generators from the seed; "
                 "pass seed= instead of a Generator"
+            )
+        if self.executor == "process":
+            # Imported lazily: procpool pulls _Shard/_campaign_rng from
+            # this module, so a top-level import would be circular.
+            from repro.engine.procpool import _ProcessBackend
+
+            return _ProcessBackend(
+                self.stream, self.router, self.num_shards, seed
             )
         return _FactoredBackend(
             self.stream, self.router, self.num_shards, seed, self.executor

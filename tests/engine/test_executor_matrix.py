@@ -1,0 +1,212 @@
+"""The differential executor/kernel matrix: every cell, bit-identical.
+
+This is the proof obligation for the process executor and the compiled
+kernels: the engine's behaviour is a function of ``(workload, scenario,
+seed)`` and **nothing else**.  The sweep runs the canonical golden
+scenario through every cell of
+
+    {pooled, sharded x {1, 3, 5} shards}
+  x {serial, thread, process} executors
+  x {numpy, numba} kernel backends           (tests/kernel_modes.py)
+  x {uninterrupted, checkpoint/resume at a fuzzed tick}
+
+and asserts the full JSON-normalized payload — deterministic
+``EngineResult`` fields *and* per-tick telemetry — is equal across every
+cell of each family.  There are two baselines by design: pooled and
+sharded engines realize arrivals through different mechanisms (one
+marketplace draw vs. factored per-campaign draws), so their traces are
+not comparable to each other; within each family, every knob must be
+invisible.
+
+The sharded/pooled baselines are additionally pinned to the committed
+golden traces, so a matrix-wide drift (all cells equal, all wrong)
+cannot slip through.
+
+Note for single-core CI: these tests assert *invariance*, not scaling —
+the process executor must produce identical bits even when its workers
+time-slice one core.  Throughput claims live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.engine import MarketplaceEngine, ShardedEngine, generate_workload
+from repro.market.acceptance import paper_acceptance_model
+from repro.scenario import ScenarioDriver
+
+from tests.golden.cases import (
+    BASE_SEED,
+    NUM_INTERVALS,
+    golden_scenario,
+    make_stream,
+    result_to_dict,
+    run_case,
+    trace_path,
+)
+from tests.kernel_modes import KERNEL_MODES, kernel_mode
+
+SHARD_COUNTS = (1, 3, 5)
+EXECUTORS = ("serial", "thread", "process")
+RUN_MODES = ("full", "resume")
+
+
+def cell_id(*parts) -> str:
+    return "-".join(str(p) for p in parts)
+
+
+SHARDED_CELLS = [
+    pytest.param(s, e, k, m, id=cell_id(s, e, k, m))
+    for s in SHARD_COUNTS
+    for e in EXECUTORS
+    for k in KERNEL_MODES
+    for m in RUN_MODES
+]
+POOLED_CELLS = [
+    pytest.param(k, m, id=cell_id(k, m))
+    for k in KERNEL_MODES
+    for m in RUN_MODES
+]
+
+
+def resume_tick(cell: str) -> int:
+    """Deterministically fuzzed mid-run checkpoint tick for one cell.
+
+    Keyed by the cell name so different cells pause at different ticks
+    (exercising many cut points across the sweep) while any given cell
+    is reproducible run to run.
+    """
+    return 3 + zlib.crc32(cell.encode()) % (NUM_INTERVALS - 10)
+
+
+def build_matrix_driver(num_shards: int, executor: str) -> ScenarioDriver:
+    """The golden-case workload + scenario on an arbitrary engine shape."""
+    if num_shards:
+        engine: MarketplaceEngine | ShardedEngine = ShardedEngine(
+            make_stream(), paper_acceptance_model(), num_shards=num_shards,
+            executor=executor, planning="stationary",
+        )
+    else:
+        engine = MarketplaceEngine(
+            make_stream(), paper_acceptance_model(), planning="stationary"
+        )
+    engine.submit(generate_workload(4, NUM_INTERVALS, seed=BASE_SEED))
+    return ScenarioDriver(engine, golden_scenario())
+
+
+def finish(driver: ScenarioDriver) -> dict:
+    """Drive to exhaustion; return the JSON-normalized comparison payload."""
+    result = driver.run()
+    return json.loads(json.dumps({
+        "result": result_to_dict(result),
+        "telemetry": driver.telemetry.to_dict(),
+    }))
+
+
+def run_cell(num_shards, executor, mode, cell, tmp_path) -> dict:
+    driver = build_matrix_driver(num_shards, executor)
+    if mode == "full":
+        return finish(driver)
+    # Checkpoint/resume cell: pause at the fuzzed tick, snapshot, abandon
+    # the original session, and finish from the bundle.  The payload must
+    # be indistinguishable from never having stopped.
+    driver.start()
+    for _ in range(resume_tick(cell)):
+        driver.step()
+    bundle = driver.save(tmp_path / cell)
+    driver.engine.close()
+    return finish(ScenarioDriver.resume(bundle))
+
+
+def normalized(payload: dict) -> dict:
+    """Strip the one field that legitimately varies: the shard count."""
+    payload = json.loads(json.dumps(payload))
+    payload["result"].pop("num_shards")
+    return payload
+
+
+@pytest.fixture(scope="module")
+def sharded_baseline():
+    with kernel_mode("numpy"):
+        return finish(build_matrix_driver(3, "serial"))
+
+
+@pytest.fixture(scope="module")
+def pooled_baseline():
+    with kernel_mode("numpy"):
+        return finish(build_matrix_driver(0, "serial"))
+
+
+class TestBaselines:
+    """Anchor the in-memory baselines to the committed golden traces."""
+
+    def test_sharded_baseline_is_the_committed_golden(self, sharded_baseline):
+        golden = json.loads(trace_path("sharded3_small").read_text())
+        assert sharded_baseline["result"] == golden["result"]
+        assert sharded_baseline["telemetry"] == golden["telemetry"]
+
+    def test_pooled_baseline_is_the_committed_golden(self, pooled_baseline):
+        golden = json.loads(trace_path("pooled_small").read_text())
+        assert pooled_baseline["result"] == golden["result"]
+        assert pooled_baseline["telemetry"] == golden["telemetry"]
+
+    def test_pooled_and_sharded_are_distinct_baselines(
+        self, pooled_baseline, sharded_baseline
+    ):
+        # Different arrival mechanisms: the two families are intentionally
+        # separate equivalence classes, not one.
+        assert normalized(pooled_baseline) != normalized(sharded_baseline)
+
+
+class TestShardedMatrix:
+    @pytest.mark.parametrize(
+        "num_shards,executor,kernels_name,mode", SHARDED_CELLS
+    )
+    def test_cell_matches_baseline(
+        self, num_shards, executor, kernels_name, mode, sharded_baseline,
+        tmp_path,
+    ):
+        cell = cell_id("sharded", num_shards, executor, kernels_name, mode)
+        with kernel_mode(kernels_name):
+            payload = run_cell(num_shards, executor, mode, cell, tmp_path)
+        assert payload["result"]["num_shards"] == num_shards
+        assert normalized(payload) == normalized(sharded_baseline), (
+            f"cell {cell} diverged from the serial/numpy baseline"
+        )
+
+
+class TestPooledMatrix:
+    @pytest.mark.parametrize("kernels_name,mode", POOLED_CELLS)
+    def test_cell_matches_baseline(
+        self, kernels_name, mode, pooled_baseline, tmp_path
+    ):
+        cell = cell_id("pooled", kernels_name, mode)
+        with kernel_mode(kernels_name):
+            payload = run_cell(0, "serial", mode, cell, tmp_path)
+        assert normalized(payload) == normalized(pooled_baseline), (
+            f"cell {cell} diverged from the pooled baseline"
+        )
+
+
+class TestGoldenTraceInvariance:
+    """The committed sharded golden byte-compares under every knob.
+
+    ``make regen-golden`` runs the same check before writing anything;
+    here it gates every PR.
+    """
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("kernels_name", KERNEL_MODES)
+    def test_sharded_golden_invariant(self, executor, kernels_name):
+        golden = json.loads(trace_path("sharded3_small").read_text())
+        with kernel_mode(kernels_name):
+            assert run_case("sharded3_small", executor=executor) == golden
+
+    @pytest.mark.parametrize("kernels_name", KERNEL_MODES)
+    def test_pooled_golden_invariant_under_kernels(self, kernels_name):
+        golden = json.loads(trace_path("pooled_small").read_text())
+        with kernel_mode(kernels_name):
+            assert run_case("pooled_small") == golden

@@ -1,0 +1,213 @@
+"""Process-executor failure semantics: typed errors, no hangs, clean resume.
+
+The matrix suite proves the happy path is bit-identical; this file proves
+the *unhappy* path is survivable.  The contract
+(:mod:`repro.engine.procpool`):
+
+* a worker process dying mid-run (``kill -9``, OOM, segfault) surfaces as
+  a typed :class:`~repro.engine.EngineError` naming the shard — never a
+  hang waiting on a dead pipe and never a bare ``BrokenPipeError``;
+* a handler exception inside a worker is reported back without killing
+  the worker, so a poisoned message is recoverable;
+* a checkpoint bundle saved before the crash restores and finishes
+  bit-identically to the uninterrupted run — the documented recovery
+  path for a lost session;
+* teardown is idempotent and safe whatever state the workers are in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    EngineError,
+    ShardedEngine,
+    generate_workload,
+    restore_engine,
+    save_checkpoint,
+)
+from repro.engine.procpool import START_METHOD_ENV, _ProcessBackend
+from repro.market.acceptance import paper_acceptance_model
+from repro.sim.stream import SharedArrivalStream
+
+SEED = 11
+NUM_INTERVALS = 40
+
+
+def make_stream() -> SharedArrivalStream:
+    means = 900.0 + 300.0 * np.sin(np.linspace(0.0, 3.0 * np.pi, NUM_INTERVALS))
+    return SharedArrivalStream(means)
+
+
+def make_engine(num_shards: int = 3) -> ShardedEngine:
+    engine = ShardedEngine(
+        make_stream(), paper_acceptance_model(), num_shards=num_shards,
+        executor="process", planning="stationary",
+    )
+    engine.submit(
+        generate_workload(12, NUM_INTERVALS, seed=7, adaptive_fraction=0.25)
+    )
+    return engine
+
+
+def outcome_key(result):
+    return [
+        (
+            o.spec.campaign_id,
+            o.completed,
+            o.remaining,
+            o.total_cost,
+            o.penalty,
+            o.finished_interval,
+            o.cancelled,
+            o.num_solves,
+        )
+        for o in sorted(result.outcomes, key=lambda o: o.spec.campaign_id)
+    ]
+
+
+def tick_until_workers(core) -> _ProcessBackend:
+    """Advance until the lazy worker pool exists; return the backend."""
+    backend = core.backend
+    assert isinstance(backend, _ProcessBackend)
+    while backend._workers is None and not core.done:
+        core.tick()
+    assert backend._workers is not None, "workload never went live"
+    return backend
+
+
+class TestWorkerDeath:
+    def test_sigkill_mid_run_raises_typed_engine_error(self):
+        engine = make_engine()
+        try:
+            core = engine.start(seed=SEED)
+            backend = tick_until_workers(core)
+            victim, _conn = backend._workers[1]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10)
+            # The next ticks must fail fast with the typed error — the
+            # poll/is_alive loop turns the dead pipe into a diagnosis, so
+            # this raises rather than blocking on recv forever.
+            with pytest.raises(EngineError, match="shard worker 1"):
+                for _ in range(5):
+                    core.tick()
+        finally:
+            engine.close()
+
+    def test_engine_error_names_the_recovery_path(self):
+        engine = make_engine(num_shards=2)
+        try:
+            core = engine.start(seed=SEED)
+            backend = tick_until_workers(core)
+            victim, _conn = backend._workers[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10)
+            with pytest.raises(EngineError, match="restore the latest checkpoint"):
+                for _ in range(5):
+                    core.tick()
+        finally:
+            engine.close()
+
+    def test_engine_error_is_a_runtime_error(self):
+        # Callers that guard engine loops with ``except RuntimeError``
+        # (the serving gateway) catch worker deaths without importing the
+        # process module.
+        assert issubclass(EngineError, RuntimeError)
+
+    def test_checkpoint_saved_before_kill_resumes_bit_identically(self, tmp_path):
+        reference = make_engine()
+        uninterrupted = reference.run(seed=SEED)
+
+        engine = make_engine()
+        core = engine.start(seed=SEED)
+        backend = tick_until_workers(core)
+        for _ in range(6):
+            core.tick()
+        save_checkpoint(engine, tmp_path / "pre-crash")
+        victim, _conn = backend._workers[2]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10)
+        with pytest.raises(EngineError):
+            for _ in range(5):
+                core.tick()
+        engine.close()
+
+        restored = restore_engine(tmp_path / "pre-crash")
+        try:
+            resumed = restored.run_to_completion()
+        finally:
+            restored.close()
+        assert outcome_key(resumed) == outcome_key(uninterrupted)
+        assert dataclasses.replace(
+            resumed, elapsed_seconds=0.0
+        ) == dataclasses.replace(uninterrupted, elapsed_seconds=0.0)
+
+
+class TestWorkerErrors:
+    def test_poisoned_message_reports_without_killing_the_worker(self):
+        engine = make_engine(num_shards=2)
+        try:
+            core = engine.start(seed=SEED)
+            backend = tick_until_workers(core)
+            with pytest.raises(EngineError, match="unknown worker message"):
+                backend._request(0, "frobnicate", None)
+            proc, _conn = backend._workers[0]
+            assert proc.is_alive()
+            core.tick()  # the session keeps serving after the bad message
+        finally:
+            engine.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        engine = make_engine(num_shards=2)
+        core = engine.start(seed=SEED)
+        tick_until_workers(core)
+        engine.close()
+        engine.close()
+
+    def test_backend_apis_safe_before_workers_start(self):
+        from repro.engine import LogitRouter
+
+        backend = _ProcessBackend(
+            make_stream(), LogitRouter(paper_acceptance_model()),
+            num_shards=2, seed=SEED,
+        )
+        assert backend.cancel("nobody") is None
+        assert backend.live_stats() == []
+        assert backend.num_live() == 0
+        exported, rng_state = backend.export_live()
+        assert exported == []
+        assert rng_state["bit_generator"]
+        backend.close()  # nothing started: a no-op, not an error
+
+    def test_process_pool_instance_still_rejected(self):
+        import concurrent.futures
+
+        with pytest.raises(ValueError, match="executor='process'"):
+            ShardedEngine(
+                make_stream(),
+                paper_acceptance_model(),
+                num_shards=2,
+                executor=concurrent.futures.ProcessPoolExecutor(max_workers=1),
+            )
+
+    def test_spawn_start_method_matches_serial(self, monkeypatch):
+        if "spawn" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("spawn start method unavailable")
+        monkeypatch.setenv(START_METHOD_ENV, "spawn")
+        spawned = make_engine(num_shards=2).run(seed=SEED)
+        monkeypatch.delenv(START_METHOD_ENV)
+        serial = ShardedEngine(
+            make_stream(), paper_acceptance_model(), num_shards=2,
+            executor="serial", planning="stationary",
+        )
+        serial.submit(
+            generate_workload(12, NUM_INTERVALS, seed=7, adaptive_fraction=0.25)
+        )
+        assert outcome_key(spawned) == outcome_key(serial.run(seed=SEED))

@@ -73,13 +73,19 @@ def make_stream() -> SharedArrivalStream:
     return SharedArrivalStream(means)
 
 
-def build_driver(case: str) -> ScenarioDriver:
-    """Construct one canonical case's engine + driver (not yet started)."""
+def build_driver(case: str, executor: str = "serial") -> ScenarioDriver:
+    """Construct one canonical case's engine + driver (not yet started).
+
+    ``executor`` overrides the sharded cases' executor (the committed
+    traces are pinned under ``"serial"``; the executor-matrix suite and
+    the regen guard re-run them under the others to prove invariance).
+    Pooled cases have no executor and ignore the override.
+    """
     num_shards = CASES[case]["num_shards"]
     if num_shards:
         engine: MarketplaceEngine | ShardedEngine = ShardedEngine(
             make_stream(), paper_acceptance_model(), num_shards=num_shards,
-            executor="serial", planning="stationary",
+            executor=executor, planning="stationary",
         )
     else:
         engine = MarketplaceEngine(
@@ -122,9 +128,9 @@ def result_to_dict(result: EngineResult) -> dict:
     }
 
 
-def run_case(case: str) -> dict:
+def run_case(case: str, executor: str = "serial") -> dict:
     """Run one canonical case and return its JSON-normalized golden payload."""
-    driver = build_driver(case)
+    driver = build_driver(case, executor=executor)
     result = driver.run()
     payload = {
         "case": case,

@@ -79,9 +79,29 @@ class TestBenchRecord:
 
     def test_shard_scaling_fields(self, record):
         scaling = record["shard_scaling"]
-        assert [entry["shards"] for entry in scaling] == [1, 2, 4]
-        completed = {entry["completed"] for entry in scaling}
-        assert len(completed) == 1, "shard count changed the outcome"
+        assert scaling["interleaved"] is True
+        arms = {(a["shards"], a["executor"]) for a in scaling["arms"]}
+        assert {(1, "serial"), (4, "thread"), (4, "process")} <= arms
+        completed = {a["completed"] for a in scaling["arms"]}
+        assert len(completed) == 1, (
+            "shard count or executor changed the outcome"
+        )
+        floor = scaling["required_min_campaigns_per_second"]
+        assert all(
+            a["campaigns_per_second"] >= floor for a in scaling["arms"]
+        )
+
+    def test_kernels_fields(self, record):
+        kern = record["kernels"]
+        for field in (
+            "backend",
+            "scalar_seconds",
+            "batch_seconds",
+            "speedup",
+            "required_speedup",
+        ):
+            assert field in kern
+        assert kern["speedup"] >= kern["required_speedup"]
 
     def test_serve_fields(self, record):
         serve = record["serve"]
