@@ -6,8 +6,8 @@ PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
 .PHONY: test bench bench-kernels kernels-smoke bench-scenario bench-serve \
-	serve-smoke bench-obs obs-smoke cov regen-golden docs-check \
-	checkpoint-smoke lint-docs all
+	serve-smoke bench-obs obs-smoke bench-scale scale-smoke cov \
+	regen-golden docs-check checkpoint-smoke lint-docs all
 
 ## Tier-1 test suite (what CI gates on).
 test:
@@ -58,6 +58,17 @@ bench-obs:
 ## bit-identical to an uninterrupted run over the same logged trace.
 obs-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/obs_recovery_smoke.py
+
+## Streaming scale benchmark: >= 1M campaigns through a scenario with a
+## lazy source + aggregate-only sink, under hard tracemalloc/peak-RSS
+## ceilings (recorded under BENCH_engine.json's "scale" key).
+bench-scale:
+	$(PYTEST) benchmarks/bench_scale.py -q -p no:cacheprovider
+
+## Scale smoke (CI): the scale bench at 20k campaigns — same streaming
+## code paths and the same memory assertions, seconds of wall-clock.
+scale-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTEST) benchmarks/bench_scale.py -q -p no:cacheprovider
 
 ## Coverage gate (CI): line coverage over src/repro with a ratcheted
 ## fail-under floor — raise the threshold when coverage rises, never

@@ -5,14 +5,15 @@ engine-behaviour change (new draw order, different routing, changed
 accounting), then review the JSON diff like any other code change —
 unreviewed regeneration defeats the point of a golden trace.
 
-Before writing anything, the script verifies the executor/kernel
+Before writing anything, the script verifies the executor/kernel/memory
 invariance contract on the *candidate* traces: the sharded cases re-run
-under ``executor="process"`` and under the numba kernel path must be
-byte-identical to the serial/numpy recomputation.  A divergence means
-the engine change broke the determinism contract — regeneration would
-only bake the bug into the goldens — so the script refuses and points at
-the first differing cell instead (the matrix suite,
-``tests/engine/test_executor_matrix.py``, localizes it further).
+under ``executor="process"`` and under the numba kernel path, and every
+case re-run in streaming mode (lazy source + spill-backed sink), must be
+byte-identical to the serial/numpy/materialized recomputation.  A
+divergence means the engine change broke the determinism contract —
+regeneration would only bake the bug into the goldens — so the script
+refuses and points at the first differing cell instead (the matrix
+suite, ``tests/engine/test_executor_matrix.py``, localizes it further).
 
 Usage::
 
@@ -64,6 +65,18 @@ def verify_invariance() -> str | None:
                         "(see tests/engine/test_executor_matrix.py) "
                         "before regenerating goldens"
                     )
+        # Memory-mode arm: the same workload fed through a lazy source
+        # into a streaming (aggregate + spill) sink must reproduce the
+        # trace byte-for-byte — goldens are only ever rewritten when
+        # materialized and streaming runs agree.
+        if run_case(case, streaming=True) != baseline:
+            return (
+                f"case {case!r} diverged between materialized and "
+                "streaming outcome modes; the streaming memory core is "
+                "not bit-identical (see tests/engine/"
+                "test_streaming_core.py) — fix the engine before "
+                "regenerating goldens"
+            )
     return None
 
 
@@ -73,8 +86,9 @@ def main() -> int:
     if failure is not None:
         print(f"refusing to regenerate: {failure}", file=sys.stderr)
         return 1
-    print("invariance verified: sharded cases byte-identical under "
-          "executor='process' and the numba kernel path")
+    print("invariance verified: traces byte-identical under "
+          "executor='process', the numba kernel path, and streaming "
+          "outcome mode")
     for case in sorted(CASES) + sorted(SERVE_CASES):
         payload = run_any_case(case)
         path = trace_path(case)

@@ -149,6 +149,22 @@ def _add_checkpoint_flags(parser: argparse.ArgumentParser, what: str) -> None:
     )
 
 
+def _add_outcome_flags(parser: argparse.ArgumentParser) -> None:
+    """The streaming-outcome flags shared by ``run`` and ``scenario run``."""
+    parser.add_argument(
+        "--keep-outcomes", action="store_true",
+        help="materialize every retired CampaignOutcome in memory (legacy "
+        "behavior; by default retirements stream into O(1) aggregates and "
+        "only the summary survives)",
+    )
+    parser.add_argument(
+        "--outcomes-out", metavar="PATH", default=None,
+        help="while streaming, spill each retired campaign to PATH as one "
+        "JSONL record (full fidelity; replay with "
+        "repro.engine.replay_outcomes)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -265,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serving_engine_flags(engine_run)
     _add_checkpoint_flags(engine_run, "checkpoint")
+    _add_outcome_flags(engine_run)
     _add_logging_flags(engine_run)
 
     scenario = engine_sub.add_parser(
@@ -318,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serving_engine_flags(scenario_run)
     _add_checkpoint_flags(scenario_run, "scenario run")
+    _add_outcome_flags(scenario_run)
     _add_logging_flags(scenario_run)
 
     serve = engine_sub.add_parser(
@@ -722,7 +740,7 @@ def _cmd_engine_run(args: argparse.Namespace) -> int:
         assert core is not None  # restore_engine always opens a session
         print(f"resume        : {args.resume} at tick {core.clock} "
               f"({core.num_live} live, {core.num_pending} pending, "
-              f"{len(core.outcomes)} already retired)")
+              f"{core.num_retired} already retired)")
     else:
         acceptance = paper_acceptance_model()
         router = (
@@ -744,7 +762,13 @@ def _cmd_engine_run(args: argparse.Namespace) -> int:
             engine.submit(specs)
         except ValueError as exc:
             raise _CliError(str(exc)) from exc
-        core = engine.start(seed=args.seed)
+        # --per-campaign needs the full outcome list, so it forces the
+        # legacy materialized sink; everything else streams into aggregates.
+        core = engine.start(
+            seed=args.seed,
+            keep_outcomes=args.keep_outcomes or args.per_campaign,
+            outcomes_path=args.outcomes_out,
+        )
         sharding = (
             f"shards={args.shards} ({args.executor})"
             if args.shards > 0
@@ -773,7 +797,15 @@ def _cmd_engine_run(args: argparse.Namespace) -> int:
     result = core.result()
     engine.close()
     print(result.summary())
-    if args.per_campaign:
+    if args.outcomes_out:
+        print(f"outcomes      : spilled to {args.outcomes_out} "
+              f"({result.num_campaigns} campaigns, "
+              f"checksum {result.checksum[:12]})")
+    if args.per_campaign and not result.outcomes and result.num_campaigns:
+        print("per-campaign  : unavailable — this run streamed its outcomes "
+              "(resume bundles keep the sink mode; rerun with "
+              "--keep-outcomes)")
+    elif args.per_campaign:
         print()
         for o in sorted(result.outcomes, key=lambda o: o.spec.campaign_id):
             status = "done" if o.finished else f"{o.remaining} left"
@@ -845,7 +877,11 @@ def _cmd_engine_scenario(args: argparse.Namespace) -> int:
                 engine.submit(generate_workload(
                     args.base_campaigns, num_intervals, seed=scenario.seed
                 ))
-            driver = ScenarioDriver(engine, scenario, event_log=event_log)
+            driver = ScenarioDriver(
+                engine, scenario, event_log=event_log,
+                keep_outcomes=args.keep_outcomes,
+                outcomes_path=args.outcomes_out,
+            )
         except ValueError as exc:
             raise _CliError(str(exc)) from exc
         driver.start()
@@ -889,6 +925,10 @@ def _cmd_engine_scenario(args: argparse.Namespace) -> int:
     result = core.result()
     driver.engine.close()
     print(result.summary())
+    if args.outcomes_out:
+        print(f"outcomes      : spilled to {args.outcomes_out} "
+              f"({result.num_campaigns} campaigns, "
+              f"checksum {result.checksum[:12]})")
     print(driver.telemetry.summary())
     if args.telemetry_out:
         path = driver.telemetry.save(args.telemetry_out)

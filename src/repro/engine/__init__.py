@@ -44,6 +44,14 @@ subpackage is that serving layer:
 * :mod:`repro.engine.workload` — synthetic heterogeneous-but-repetitive
   campaign workloads (:func:`generate_workload`); for *dynamic* workloads
   (churn, demand shocks, cancellations) see :mod:`repro.scenario`.
+* :mod:`repro.engine.source` — lazy workloads (:class:`WorkloadSource`,
+  :class:`StreamedWorkload`): specs materialize at their submit ticks
+  instead of being pre-built, so the pending frontier stays O(live) at
+  millions of campaigns.
+* :mod:`repro.engine.outcomes` — the streaming outcome boundary
+  (:class:`OutcomeSink`, :class:`OutcomeAggregate`): every retirement
+  folds into O(1) aggregates plus a chained checksum, optionally spilling
+  full-fidelity JSONL replayable via :func:`replay_outcomes`.
 
 Quick use::
 
@@ -76,7 +84,20 @@ from repro.engine.clock import (
     TickReport,
 )
 from repro.engine.engine import EngineResult, MarketplaceEngine, PLANNING_MODES
+from repro.engine.outcomes import (
+    OutcomeAggregate,
+    OutcomeSink,
+    outcome_from_record,
+    outcome_record,
+    replay_outcomes,
+)
 from repro.engine.planning import CampaignPlanner
+from repro.engine.source import (
+    ListSource,
+    StreamedWorkload,
+    WorkloadSource,
+    source_from_dict,
+)
 from repro.engine.routing import ArrivalRouter, LogitRouter, UniformRouter
 from repro.engine.sharding import EXECUTORS, ShardedEngine, shard_of
 from repro.engine.telemetry import CampaignRecord, Telemetry
@@ -118,4 +139,13 @@ __all__ = [
     "LogitRouter",
     "UniformRouter",
     "generate_workload",
+    "WorkloadSource",
+    "ListSource",
+    "StreamedWorkload",
+    "source_from_dict",
+    "OutcomeAggregate",
+    "OutcomeSink",
+    "outcome_record",
+    "outcome_from_record",
+    "replay_outcomes",
 ]

@@ -61,9 +61,16 @@ import numpy as np
 from repro.core.batch.solver import BatchSolveStats
 from repro.core.deadline.adaptive import AdaptiveRepricer
 from repro.engine.cache import CacheStats, PolicyCache
-from repro.engine.campaign import CampaignOutcome, CampaignSpec
+from repro.engine.campaign import CampaignSpec
 from repro.engine.clock import EngineBase, EngineCore
 from repro.engine.engine import MarketplaceEngine
+from repro.engine.outcomes import (
+    OutcomeAggregate,
+    OutcomeSink,
+    outcome_from_record,
+    outcome_record,
+)
+from repro.engine.source import source_from_dict
 from repro.engine.routing import LogitRouter, UniformRouter
 from repro.engine.sharding import ShardedEngine
 from repro.market.acceptance import (
@@ -83,7 +90,14 @@ __all__ = [
 ]
 
 #: Bundle format version; bumped on any incompatible manifest change.
-CHECKPOINT_VERSION = 1
+#: Version 2 added the streaming fields: workload-source descriptor +
+#: cursor, outcome aggregate, sink configuration + spill offset, and
+#: source-cancellation tombstones.  Version-1 bundles (materialized
+#: sessions) still restore — see :data:`_READABLE_VERSIONS`.
+CHECKPOINT_VERSION = 2
+
+#: Bundle versions this build can restore.
+_READABLE_VERSIONS = (1, 2)
 
 _MANIFEST = "manifest.json"
 #: Legacy fixed payload name, read as a fallback when a manifest predates
@@ -271,6 +285,23 @@ def save_checkpoint(
     live_entries = [
         _live_entry(lc, state, arrays) for lc, state in exported
     ]
+    # Make the spill durable through the snapshot's recorded offset, so a
+    # resume that truncates back to it continues a fully-written file.
+    sink = core.sink
+    sink.flush()
+    if core._source is None:
+        source_entry = None
+    else:
+        try:
+            source_entry = {
+                "spec": core._source.to_dict(),
+                "cursor": core._source_cursor,
+            }
+        except (NotImplementedError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"workload source {type(core._source).__name__} is not "
+                f"checkpointable: {exc}"
+            ) from exc
     manifest = {
         "version": CHECKPOINT_VERSION,
         "engine": kind,
@@ -288,19 +319,23 @@ def save_checkpoint(
             "elapsed_seconds": core.elapsed_seconds,
         },
         "live": live_entries,
+        # Streaming layer (v2): the aggregate always travels; the
+        # materialized outcome list only when the sink keeps one — a
+        # streaming session's bundle stays O(live) no matter how many
+        # campaigns have retired.
+        "source": source_entry,
+        "dropped": sorted(core._dropped),
+        "sink": {
+            "keep": sink.keep,
+            "spill_path": (
+                None if sink.spill_path is None else str(sink.spill_path)
+            ),
+            "spill_offset": sink.spill_offset,
+            "spill_count": sink.spill_count,
+        },
+        "aggregate": sink.aggregate.to_dict(),
         "outcomes": [
-            {
-                "campaign_id": o.spec.campaign_id,
-                "completed": o.completed,
-                "remaining": o.remaining,
-                "total_cost": o.total_cost,
-                "penalty": o.penalty,
-                "finished_interval": o.finished_interval,
-                "cache_hit": o.cache_hit,
-                "num_solves": o.num_solves,
-                "cancelled": o.cancelled,
-            }
-            for o in core.outcomes
+            outcome_record(o, with_spec=False) for o in sink.outcomes
         ],
         "extras": extras,
         "rng": rng_state,
@@ -413,10 +448,10 @@ def _restore(bundle: pathlib.Path) -> MarketplaceEngine | ShardedEngine:
     if not manifest_path.is_file():
         raise CheckpointError(f"no checkpoint bundle at {bundle}")
     manifest = json.loads(manifest_path.read_text())
-    if manifest.get("version") != CHECKPOINT_VERSION:
+    if manifest.get("version") not in _READABLE_VERSIONS:
         raise CheckpointError(
             f"checkpoint version {manifest.get('version')!r} is not supported "
-            f"(this build reads version {CHECKPOINT_VERSION})"
+            f"(this build reads versions {_READABLE_VERSIONS})"
         )
     arrays = np.load(
         bundle / manifest.get("arrays", _ARRAYS), allow_pickle=False
@@ -444,9 +479,22 @@ def _restore(bundle: pathlib.Path) -> MarketplaceEngine | ShardedEngine:
     specs = [CampaignSpec(**d) for d in manifest["specs"]]
     # Bypass submit(): these specs were validated when first submitted.
     engine._specs = list(specs)
+    engine._known_ids = {s.campaign_id for s in specs}
     id2spec = {s.campaign_id: s for s in specs}
+    source_entry = manifest.get("source")
+    if source_entry is not None:
+        engine._source = source_from_dict(source_entry["spec"])
     core = engine.start(seed=manifest["seed"])
-    _replay_admissions(core, manifest, id2spec, arrays, engine)
+    # Fast-forward the lazy source to its snapshot cursor; the replayed
+    # prefix supplies the specs (live entries, outcomes, admissions) that
+    # streaming bundles persist as a cursor instead of data.
+    pulled = core._fast_forward_source(
+        source_entry["cursor"] if source_entry is not None else 0
+    )
+    source_ids = {s.campaign_id for s in pulled}
+    id2spec.update((s.campaign_id, s) for s in pulled)
+    core._dropped = set(manifest.get("dropped", ()))
+    _replay_admissions(core, manifest, id2spec, arrays, engine, source_ids)
     # Counters and clock position.
     c = manifest["clock"]
     core.clock = c["interval"]
@@ -456,20 +504,32 @@ def _restore(bundle: pathlib.Path) -> MarketplaceEngine | ShardedEngine:
     core.total_accepted = c["total_accepted"]
     core.max_concurrent = c["max_concurrent"]
     core.elapsed_seconds = c["elapsed_seconds"]
-    core.outcomes = [
-        CampaignOutcome(
-            spec=id2spec[o["campaign_id"]],
-            completed=o["completed"],
-            remaining=o["remaining"],
-            total_cost=o["total_cost"],
-            penalty=o["penalty"],
-            finished_interval=o["finished_interval"],
-            cache_hit=o["cache_hit"],
-            num_solves=o["num_solves"],
-            cancelled=o.get("cancelled", False),
-        )
+    outcomes = [
+        outcome_from_record(o, spec=id2spec[o["campaign_id"]])
         for o in manifest["outcomes"]
     ]
+    # Re-install the outcome sink as configured at save time.  v1 bundles
+    # predate sinks (keep-everything, no spill); their aggregate is folded
+    # from the stored outcome list.
+    sink_cfg = manifest.get(
+        "sink", {"keep": True, "spill_path": None, "spill_offset": 0}
+    )
+    if not sink_cfg["keep"] or sink_cfg["spill_path"] is not None:
+        core.sink = OutcomeSink(
+            keep=sink_cfg["keep"],
+            spill_path=sink_cfg["spill_path"],
+            resume_offset=(
+                sink_cfg["spill_offset"]
+                if sink_cfg["spill_path"] is not None
+                else None
+            ),
+        )
+    aggregate = (
+        OutcomeAggregate.from_dict(manifest["aggregate"])
+        if "aggregate" in manifest
+        else OutcomeAggregate.from_outcomes(outcomes)
+    )
+    core.sink.restore(aggregate, outcomes)
     if "rate_multipliers" in arrays:
         core.set_rate_multipliers(arrays["rate_multipliers"])
     # The replay bumped the cache/batch counters; reset them to the
@@ -483,7 +543,12 @@ def _restore(bundle: pathlib.Path) -> MarketplaceEngine | ShardedEngine:
 
 
 def _replay_admissions(
-    core: EngineCore, manifest: dict, id2spec: dict, arrays, engine
+    core: EngineCore,
+    manifest: dict,
+    id2spec: dict,
+    arrays,
+    engine,
+    source_ids: set | frozenset = frozenset(),
 ) -> None:
     """Re-admit every previously admitted campaign, rebuilding cache + state."""
     admitted_order: list[str] = []
@@ -494,15 +559,20 @@ def _replay_admissions(
             live_map[lc.spec.campaign_id] = lc
         core._admission_log.append((int(t), tuple(ids)))
         admitted_order.extend(ids)
-    n = len(admitted_order)
+    # Source-streamed admissions never sat in the materialized queue; only
+    # the statically submitted ones must match its drained prefix.
+    mat_admitted = [cid for cid in admitted_order if cid not in source_ids]
+    n = len(mat_admitted)
     pending_prefix = [s.campaign_id for s in core._pending[:n]]
-    if pending_prefix != admitted_order:
+    if pending_prefix != mat_admitted:
         raise CheckpointError(
             "admission log does not match the submission queue (corrupt "
             "bundle?): expected the queue to drain as "
-            f"{admitted_order[:5]}..., found {pending_prefix[:5]}..."
+            f"{mat_admitted[:5]}..., found {pending_prefix[:5]}..."
         )
     core._next_pending = n
+    for cid in mat_admitted:
+        core._pending_ids.discard(cid)
     backend = core.backend
     placed = []
     for entry in manifest["live"]:

@@ -52,12 +52,13 @@ import numpy as np
 from repro.core.batch.solver import BatchSolveStats
 from repro.engine.cache import CacheStats
 from repro.engine.campaign import (
-    DEADLINE,
     CampaignOutcome,
     CampaignSpec,
     validate_submission,
 )
+from repro.engine.outcomes import OutcomeAggregate, OutcomeSink
 from repro.engine.planning import CampaignPlanner, _LiveCampaign
+from repro.engine.source import WorkloadSource
 from repro.sim.stream import SharedArrivalStream
 
 __all__ = [
@@ -95,7 +96,10 @@ class EngineResult:
     Attributes
     ----------
     outcomes:
-        Per-campaign accounting, in retirement order.
+        Per-campaign accounting, in retirement order.  Empty when the
+        session ran with ``keep_outcomes=False`` (streaming mode) — the
+        aggregates below remain exact, and full-fidelity records live in
+        the session's spill file when one was configured.
     intervals_run:
         Engine-clock intervals actually simulated.
     total_arrivals:
@@ -118,6 +122,13 @@ class EngineResult:
         admission fast path; ``None`` on the scalar path.
     num_shards:
         Worker shards the run was partitioned over (1 = unsharded).
+    aggregate:
+        The session's incrementally folded :class:`OutcomeAggregate` —
+        what every aggregate property reads from in O(1) instead of
+        re-scanning ``outcomes`` per access.  ``None`` only on results
+        built by hand from an outcome list (legacy construction), in
+        which case the first aggregate read folds the list once and
+        caches the result.
     """
 
     outcomes: tuple[CampaignOutcome, ...]
@@ -130,37 +141,50 @@ class EngineResult:
     elapsed_seconds: float
     batch_stats: BatchSolveStats | None = None
     num_shards: int = 1
+    aggregate: OutcomeAggregate | None = None
+
+    def _agg(self) -> OutcomeAggregate:
+        """The backing aggregate, folding ``outcomes`` once if needed."""
+        if self.aggregate is None:
+            object.__setattr__(
+                self, "aggregate", OutcomeAggregate.from_outcomes(self.outcomes)
+            )
+        return self.aggregate
 
     @property
     def num_campaigns(self) -> int:
         """Campaigns retired over the run."""
-        return len(self.outcomes)
+        return self._agg().num_campaigns
 
     @property
     def total_completed(self) -> int:
         """Tasks finished across all campaigns."""
-        return sum(o.completed for o in self.outcomes)
+        return self._agg().total_completed
 
     @property
     def total_remaining(self) -> int:
         """Tasks left unfinished across all campaigns."""
-        return sum(o.remaining for o in self.outcomes)
+        return self._agg().total_remaining
 
     @property
     def total_cost(self) -> float:
         """Rewards paid across all campaigns, in cents."""
-        return sum(o.total_cost for o in self.outcomes)
+        return self._agg().total_cost
 
     @property
     def total_penalty(self) -> float:
         """Terminal penalties across all campaigns, in cents."""
-        return sum(o.penalty for o in self.outcomes)
+        return self._agg().total_penalty
 
     @property
     def completion_rate(self) -> float:
         """Fraction of all submitted tasks that finished."""
-        total = self.total_completed + self.total_remaining
-        return self.total_completed / total if total else 0.0
+        return self._agg().completion_rate
+
+    @property
+    def checksum(self) -> str:
+        """Chained SHA-256 over the retirement stream (run fingerprint)."""
+        return self._agg().checksum
 
     @property
     def campaigns_per_second(self) -> float:
@@ -176,11 +200,12 @@ class EngineResult:
 
     def summary(self) -> str:
         """Human-readable run report (what ``repro engine run`` prints)."""
-        deadline = sum(1 for o in self.outcomes if o.spec.kind == DEADLINE)
-        budget = self.num_campaigns - deadline
-        adaptive = sum(1 for o in self.outcomes if o.spec.adaptive)
-        cancelled = sum(1 for o in self.outcomes if o.cancelled)
-        solves = sum(o.num_solves for o in self.outcomes)
+        agg = self._agg()
+        deadline = agg.num_deadline
+        budget = agg.num_budget
+        adaptive = agg.num_adaptive
+        cancelled = agg.num_cancelled
+        solves = agg.total_solves
         s = self.cache_stats
         lines = [
             f"campaigns     : {self.num_campaigns} "
@@ -453,6 +478,19 @@ class EngineCore:
     seed:
         The session's run seed (recorded for checkpoints; the backend
         derives its generators from it).
+    source:
+        Optional lazy :class:`~repro.engine.source.WorkloadSource`; its
+        specs are pulled just-in-time as the clock reaches their submit
+        intervals, so the pending frontier stays O(live) no matter how
+        large the workload is.  The source must stream in nondecreasing
+        ``(submit_interval, campaign_id)`` order — the clock merges it
+        with the materialized pending queue on that key and raises on a
+        misordered source, because admission order is what determinism
+        hangs off.
+    sink:
+        The :class:`~repro.engine.outcomes.OutcomeSink` retirements fold
+        into.  Defaults to a keep-everything sink (legacy behavior:
+        ``core.outcomes`` materializes the history).
     """
 
     def __init__(
@@ -462,21 +500,41 @@ class EngineCore:
         backend: ClockBackend,
         specs: Sequence[CampaignSpec],
         seed: int,
+        source: WorkloadSource | None = None,
+        sink: OutcomeSink | None = None,
     ):
         self.stream = stream
         self.planner = planner
         self.backend = backend
         self.seed = seed
         self.clock = 0
-        self.outcomes: list[CampaignOutcome] = []
+        self.sink = OutcomeSink() if sink is None else sink
         self.intervals_run = 0
         self.total_arrivals = 0
         self.total_considered = 0
         self.total_accepted = 0
         self.max_concurrent = 0
         self.elapsed_seconds = 0.0
+        # The materialized half of the pending frontier: an id index makes
+        # cancellation O(1) — cancelled entries stay in the list as stale
+        # husks (id no longer in the index) and are skipped at drain time.
         self._pending = sorted(specs, key=_submission_key)
         self._next_pending = 0
+        self._pending_ids = {s.campaign_id for s in self._pending}
+        # The lazy half: a one-spec lookahead over the source iterator.
+        # ``_source_cursor`` counts fully consumed specs (admitted or
+        # tombstone-dropped) — never the lookahead — so a checkpoint can
+        # resume the stream with ``iterate(skip=cursor)``.
+        self._source = source
+        self._source_iter = None if source is None else source.iterate()
+        self._source_next: CampaignSpec | None = None
+        self._source_done = source is None
+        self._source_cursor = 0
+        self._source_last_key: tuple[int, str] | None = None
+        # Cancellations aimed at source specs that have not materialized
+        # yet: tombstones consumed (and discarded) when the stream
+        # reaches them.
+        self._dropped: set[str] = set()
         self._rate_multipliers: np.ndarray | None = None
         # Tick-boundary hooks: callables invoked at the top of every tick,
         # before the admission drain.  This is how layers above the clock
@@ -504,9 +562,51 @@ class EngineCore:
         return self.backend.num_live()
 
     @property
+    def outcomes(self) -> list[CampaignOutcome]:
+        """Materialized retirement history (empty in streaming mode).
+
+        The list lives in the session's :attr:`sink`; when the sink was
+        configured with ``keep=False`` nothing is retained here and
+        aggregate questions go to :attr:`aggregate` (or the spill file).
+        """
+        return self.sink.outcomes
+
+    @property
+    def aggregate(self) -> OutcomeAggregate:
+        """The running incremental aggregate over every retirement."""
+        return self.sink.aggregate
+
+    @property
+    def num_retired(self) -> int:
+        """Campaigns retired (or cancelled-while-live) so far — O(1)."""
+        return self.sink.aggregate.num_campaigns
+
+    @property
     def num_pending(self) -> int:
-        """Submitted campaigns not yet admitted."""
-        return len(self._pending) - self._next_pending
+        """Submitted campaigns not yet admitted.
+
+        For a session with a sized workload source this includes the
+        specs not yet pulled from it (tombstoned-but-unreached source
+        cancellations make the count a slight overestimate until the
+        stream passes them); an unsized source contributes only its
+        one-spec lookahead.
+        """
+        n = len(self._pending_ids)
+        if self._source_next is not None:
+            n += 1
+        if self._source is not None and not self._source_done:
+            try:
+                total = len(self._source)  # type: ignore[arg-type]
+            except TypeError:
+                total = None
+            if total is not None:
+                n += max(
+                    total
+                    - self._source_cursor
+                    - (1 if self._source_next is not None else 0),
+                    0,
+                )
+        return n
 
     @property
     def admission_log(self) -> tuple[tuple[int, tuple[str, ...]], ...]:
@@ -563,9 +663,90 @@ class EngineCore:
         """
         if self.clock >= self.stream.num_intervals:
             return True
-        return self.backend.num_live() == 0 and self._next_pending >= len(
-            self._pending
+        return (
+            self.backend.num_live() == 0
+            and not self._pending_ids
+            and self._peek_source() is None
         )
+
+    # ------------------------------------------------------------------
+    # The lazy source frontier
+    # ------------------------------------------------------------------
+    def _peek_source(self) -> CampaignSpec | None:
+        """The next not-yet-consumed source spec (pulling lazily), or None.
+
+        Tombstoned specs (cancelled before materializing) are consumed
+        and discarded on the way; order violations and horizon overruns
+        fail loudly — a silently reordered source would desynchronize
+        the admission order determinism hangs off.
+        """
+        while self._source_next is None and not self._source_done:
+            spec = next(self._source_iter, None)
+            if spec is None:
+                self._source_done = True
+                break
+            key = _submission_key(spec)
+            if self._source_last_key is not None and key < self._source_last_key:
+                raise ValueError(
+                    f"workload source yielded {spec.campaign_id!r} out of "
+                    f"order: key {key} after {self._source_last_key} (sources "
+                    "must stream in nondecreasing (submit_interval, "
+                    "campaign_id) order)"
+                )
+            self._source_last_key = key
+            if spec.end_interval > self.stream.num_intervals:
+                raise ValueError(
+                    f"source campaign {spec.campaign_id!r} runs through "
+                    f"interval {spec.end_interval}, past the stream horizon "
+                    f"({self.stream.num_intervals})"
+                )
+            if spec.campaign_id in self._dropped:
+                self._dropped.discard(spec.campaign_id)
+                self._source_cursor += 1
+                continue
+            self._source_next = spec
+        return self._source_next
+
+    def _take_source(self) -> None:
+        """Consume the current lookahead (it was admitted)."""
+        self._source_next = None
+        self._source_cursor += 1
+
+    def _fast_forward_source(self, cursor: int) -> list[CampaignSpec]:
+        """Replay the source's consumed prefix (checkpoint restore).
+
+        Re-pulls the first ``cursor`` specs from a fresh pass and leaves
+        the iterator positioned exactly where the snapshot stopped.
+        Returns the pulled specs — the restore needs them to rebuild
+        live entries, outcomes, and the admission replay, since in
+        streaming mode they are persisted as a cursor, not as data.
+        """
+        if self._source is None:
+            if cursor:
+                raise ValueError(
+                    "checkpoint recorded a workload-source cursor of "
+                    f"{cursor} but the engine has no source attached"
+                )
+            return []
+        pulled: list[CampaignSpec] = []
+        fresh = self._source.iterate()
+        for _ in range(cursor):
+            spec = next(fresh, None)
+            if spec is None:
+                raise ValueError(
+                    f"workload source exhausted after {len(pulled)} specs "
+                    f"while fast-forwarding to checkpoint cursor {cursor} "
+                    "(the source no longer matches the bundle)"
+                )
+            pulled.append(spec)
+        self._source_iter = fresh
+        self._source_next = None
+        self._source_done = False
+        self._source_cursor = cursor
+        self._source_last_key = (
+            _submission_key(pulled[-1]) if pulled else None
+        )
+        return pulled
 
     # ------------------------------------------------------------------
     # Rate modulation
@@ -619,18 +800,33 @@ class EngineCore:
         terminal penalty, ``cancelled=True`` — is appended to the
         session's outcomes and returned.  A *pending* campaign is simply
         dropped from the submission queue and ``None`` is returned (it
-        never went live, so there is nothing to account).  Raises
-        :class:`KeyError` when the id is unknown or already retired.
+        never went live, so there is nothing to account) — an O(1)
+        removal from the pending-id index; the queue entry itself is
+        lazily skipped at drain time.  A campaign a lazy source has not
+        materialized yet is *tombstoned*: the stream drops it on
+        arrival, also returning ``None``.  Raises :class:`KeyError` when
+        the id is unknown or already retired — except while a source is
+        still streaming, where unknown and not-yet-materialized are
+        indistinguishable, so any unrecognized id is tombstoned.
         Cancellation consumes no randomness.
         """
         outcome = self.backend.cancel(campaign_id)
         if outcome is not None:
-            self.outcomes.append(outcome)
+            self.sink.append(outcome)
             return outcome
-        for i in range(self._next_pending, len(self._pending)):
-            if self._pending[i].campaign_id == campaign_id:
-                del self._pending[i]
-                return None
+        if campaign_id in self._pending_ids:
+            self._pending_ids.discard(campaign_id)
+            return None
+        if (
+            self._source_next is not None
+            and self._source_next.campaign_id == campaign_id
+        ):
+            # The lookahead spec: materialized but not yet admitted.
+            self._take_source()
+            return None
+        if self._source is not None and not self._source_done:
+            self._dropped.add(campaign_id)
+            return None
         raise KeyError(
             f"campaign {campaign_id!r} is neither live nor pending "
             "(unknown id, or already retired)"
@@ -678,9 +874,17 @@ class EngineCore:
                     f"{spec.submit_interval}, but the engine clock is already "
                     f"at {self.clock}"
                 )
-        tail = self._pending[self._next_pending :] + batch
+        # Splicing the tail is already O(tail log tail); purging stale
+        # husks of cancelled entries here is free and keeps a resubmitted
+        # id from resurrecting its cancelled predecessor.
+        tail = [
+            s
+            for s in self._pending[self._next_pending :]
+            if s.campaign_id in self._pending_ids
+        ] + batch
         tail.sort(key=_submission_key)
         self._pending[self._next_pending :] = tail
+        self._pending_ids.update(s.campaign_id for s in batch)
 
     # ------------------------------------------------------------------
     # The clock
@@ -704,12 +908,33 @@ class EngineCore:
         started = time.perf_counter()
         t = self.clock
         due: list[CampaignSpec] = []
-        while (
-            self._next_pending < len(self._pending)
-            and self._pending[self._next_pending].submit_interval <= t
-        ):
-            due.append(self._pending[self._next_pending])
-            self._next_pending += 1
+        # Two-way merge of the materialized queue and the lazy source on
+        # the submission key — the admission order is exactly what one
+        # globally sorted list would produce, so streaming a workload is
+        # bit-identical to submitting it up front.
+        while True:
+            head = (
+                self._pending[self._next_pending]
+                if self._next_pending < len(self._pending)
+                else None
+            )
+            src = self._peek_source()
+            from_source = src is not None and (
+                head is None or _submission_key(src) < _submission_key(head)
+            )
+            if from_source:
+                head = src
+            if head is None or head.submit_interval > t:
+                break
+            if from_source:
+                self._take_source()
+                due.append(head)
+            else:
+                self._next_pending += 1
+                if head.campaign_id in self._pending_ids:
+                    self._pending_ids.discard(head.campaign_id)
+                    due.append(head)
+                # else: stale husk of a cancelled entry — skip silently.
         if due:
             self.backend.place(self.planner.admit_many(due))
             self._admission_log.append((t, tuple(s.campaign_id for s in due)))
@@ -736,7 +961,7 @@ class EngineCore:
         if timings is not None:
             retire_started = time.perf_counter()
         retired = tuple(self.backend.retire(t))
-        self.outcomes.extend(retired)
+        self.sink.extend(retired)
         if timings is not None:
             timings.record("retire", time.perf_counter() - retire_started)
             timings.tick_done()
@@ -766,7 +991,8 @@ class EngineCore:
         when the underlying counters have lived through earlier runs.
         """
         return EngineResult(
-            outcomes=tuple(self.outcomes),
+            outcomes=tuple(self.sink.outcomes),
+            aggregate=self.sink.aggregate.copy(),
             intervals_run=self.intervals_run,
             total_arrivals=self.total_arrivals,
             total_considered=self.total_considered,
@@ -783,8 +1009,10 @@ class EngineCore:
         )
 
     def close(self) -> None:
-        """Release backend resources; the session stays readable."""
+        """Release backend resources and the outcome spill file (if any);
+        the session's aggregates and kept outcomes stay readable."""
         self.backend.close()
+        self.sink.close()
 
 
 class EngineBase(abc.ABC):
@@ -812,6 +1040,8 @@ class EngineBase(abc.ABC):
         self.stream = stream
         self.planner = planner
         self._specs: list[CampaignSpec] = []
+        self._known_ids: set[str] = set()
+        self._source: WorkloadSource | None = None
         self._core: EngineCore | None = None
 
     # ------------------------------------------------------------------
@@ -844,15 +1074,49 @@ class EngineBase(abc.ABC):
         horizon.
         """
         batch = [specs] if isinstance(specs, CampaignSpec) else list(specs)
-        known = {s.campaign_id for s in self._specs}
-        validate_submission(batch, known, self.stream.num_intervals)
+        # The persistent id set replaces the per-call O(num_submitted)
+        # rebuild; validate_submission mutates it as it accepts, so a
+        # rejected batch must roll its accepted prefix back out.
+        try:
+            validate_submission(batch, self._known_ids, self.stream.num_intervals)
+        except Exception:
+            retained = {s.campaign_id for s in self._specs}
+            for spec in batch:
+                if spec.campaign_id not in retained:
+                    self._known_ids.discard(spec.campaign_id)
+            raise
         if self._core is not None:
             self._core.submit(batch)
         self._specs.extend(batch)
 
+    def submit_source(self, source: WorkloadSource) -> None:
+        """Attach a lazy workload source for the *next* serving session.
+
+        The streaming alternative to :meth:`submit`: specs materialize
+        only when the clock reaches their submit intervals, so memory
+        stays O(live) for arbitrarily large workloads.  One source per
+        engine, attached before :meth:`start`; its campaign ids must not
+        collide with statically submitted ones (lazy streams cannot be
+        validated against the id registry without materializing them —
+        use a distinct ``id_prefix``).
+        """
+        if self._core is not None:
+            raise RuntimeError(
+                "attach the workload source before start(): the active "
+                "session already fixed its admission stream"
+            )
+        if self._source is not None:
+            raise RuntimeError("a workload source is already attached")
+        self._source = source
+
+    @property
+    def source(self) -> WorkloadSource | None:
+        """The attached lazy workload source, if any."""
+        return self._source
+
     @property
     def num_submitted(self) -> int:
-        """Campaigns queued so far."""
+        """Campaigns queued so far (statically; a lazy source not included)."""
         return len(self._specs)
 
     def cancel(self, campaign_id: str) -> CampaignOutcome | None:
@@ -872,6 +1136,7 @@ class EngineBase(abc.ABC):
             self._specs = [
                 s for s in self._specs if s.campaign_id != campaign_id
             ]
+            self._known_ids.discard(campaign_id)
         return outcome
 
     # ------------------------------------------------------------------
@@ -882,7 +1147,12 @@ class EngineBase(abc.ABC):
         """Build this engine flavour's per-tick mechanics for one session."""
 
     def start(
-        self, seed: int = 0, rng: np.random.Generator | None = None
+        self,
+        seed: int = 0,
+        rng: np.random.Generator | None = None,
+        *,
+        keep_outcomes: bool = True,
+        outcomes_path=None,
     ) -> EngineCore:
         """Begin a fresh serving session and return its stepping core.
 
@@ -891,12 +1161,28 @@ class EngineBase(abc.ABC):
         serving session (shared across all of its campaigns and ticks),
         which is what makes every session an independent, reproducible
         replay.
+
+        ``keep_outcomes=False`` runs the session in streaming mode: no
+        materialized outcome list, O(1) aggregates only.
+        ``outcomes_path`` additionally spills every retirement as one
+        JSON line (full-fidelity replay via
+        :func:`repro.engine.outcomes.replay_outcomes`); the two compose
+        freely.
         """
         self.close()
         self.planner.cache.clear()
         self.planner.batch_solver.reset()
         backend = self._make_backend(seed, rng)
-        self._core = EngineCore(self.stream, self.planner, backend, self._specs, seed)
+        sink = OutcomeSink(keep=keep_outcomes, spill_path=outcomes_path)
+        self._core = EngineCore(
+            self.stream,
+            self.planner,
+            backend,
+            self._specs,
+            seed,
+            source=self._source,
+            sink=sink,
+        )
         return self._core
 
     @property
@@ -928,10 +1214,20 @@ class EngineBase(abc.ABC):
             self._core = None
 
     def run(
-        self, seed: int = 0, rng: np.random.Generator | None = None
+        self,
+        seed: int = 0,
+        rng: np.random.Generator | None = None,
+        *,
+        keep_outcomes: bool = True,
+        outcomes_path=None,
     ) -> EngineResult:
         """Run a fresh session until every submitted campaign has retired."""
-        core = self.start(seed=seed, rng=rng)
+        core = self.start(
+            seed=seed,
+            rng=rng,
+            keep_outcomes=keep_outcomes,
+            outcomes_path=outcomes_path,
+        )
         try:
             return core.run_to_completion()
         finally:

@@ -470,10 +470,26 @@ class ShardedEngine(EngineBase):
             self.stream, self.router, self.num_shards, seed, self.executor
         )
 
-    def run(self, seed: int = 0, rng: np.random.Generator | None = None) -> EngineResult:
+    def run(
+        self,
+        seed: int = 0,
+        rng: np.random.Generator | None = None,
+        *,
+        keep_outcomes: bool = True,
+        outcomes_path=None,
+    ) -> EngineResult:
         """Run the clock until every submitted campaign has retired.
 
         The result is bit-identical for any ``num_shards`` and executor:
         same seed, same per-campaign outcomes (see module docstring).
+        The outcome sink lives in the coordinating process — shards hand
+        back per-tick retirement batches, never whole-run lists — so
+        ``keep_outcomes``/``outcomes_path`` stream exactly as they do
+        unsharded.
         """
-        return super().run(seed=seed, rng=rng)
+        return super().run(
+            seed=seed,
+            rng=rng,
+            keep_outcomes=keep_outcomes,
+            outcomes_path=outcomes_path,
+        )

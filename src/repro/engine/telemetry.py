@@ -131,9 +131,15 @@ class Telemetry:
     comparison).  Delta baselines for the cache and adaptive-solve
     counters are part of the serialized state, so a telemetry object
     restored from a checkpoint keeps recording exactly where it left off.
+
+    ``record_campaigns=False`` drops the per-campaign record list — the
+    one O(num campaigns) part of telemetry — for streaming-scale runs;
+    the per-tick series and the departure-derived counters (cancellation
+    count, departed adaptive solves) are still maintained.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, record_campaigns: bool = True) -> None:
+        self.record_campaigns = record_campaigns
         self.series: dict[str, list] = {key: [] for key in SERIES_FIELDS}
         self.campaigns: list[CampaignRecord] = []
         # Delta baselines: counters as of the previously recorded tick.
@@ -143,6 +149,9 @@ class Telemetry:
         # Adaptive solves accumulated by campaigns that already left the
         # engine (their solve counters vanish from live_stats).
         self._departed_adaptive_solves = 0
+        # Maintained incrementally so total_cancelled never scans the
+        # (possibly absent) campaign records.
+        self._cancelled_count = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -159,8 +168,8 @@ class Telemetry:
 
     @property
     def total_cancelled(self) -> int:
-        """Campaign cancellations recorded."""
-        return sum(1 for r in self.campaigns if r.cancelled)
+        """Campaign cancellations recorded (O(1) incremental counter)."""
+        return self._cancelled_count
 
     def iter_rows(self) -> Iterable[dict]:
         """Yield one ``{field: value}`` dict per recorded tick, in order.
@@ -273,21 +282,24 @@ class Telemetry:
 
     def _record_departure(self, outcome: "CampaignOutcome", interval: int) -> None:
         """One campaign left (retired or cancelled): freeze its record."""
-        self.campaigns.append(
-            CampaignRecord(
-                campaign_id=outcome.spec.campaign_id,
-                kind=outcome.spec.kind,
-                interval=interval,
-                completed=outcome.completed,
-                remaining=outcome.remaining,
-                total_cost=outcome.total_cost,
-                penalty=outcome.penalty,
-                cancelled=outcome.cancelled,
-                adaptive=outcome.spec.adaptive,
-                cache_hit=outcome.cache_hit,
-                num_solves=outcome.num_solves,
+        if self.record_campaigns:
+            self.campaigns.append(
+                CampaignRecord(
+                    campaign_id=outcome.spec.campaign_id,
+                    kind=outcome.spec.kind,
+                    interval=interval,
+                    completed=outcome.completed,
+                    remaining=outcome.remaining,
+                    total_cost=outcome.total_cost,
+                    penalty=outcome.penalty,
+                    cancelled=outcome.cancelled,
+                    adaptive=outcome.spec.adaptive,
+                    cache_hit=outcome.cache_hit,
+                    num_solves=outcome.num_solves,
+                )
             )
-        )
+        if outcome.cancelled:
+            self._cancelled_count += 1
         if outcome.spec.adaptive:
             self._departed_adaptive_solves += outcome.num_solves
 
@@ -295,8 +307,14 @@ class Telemetry:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """The full state as a JSON-ready dict (bit-exact round trip)."""
-        return {
+        """The full state as a JSON-ready dict (bit-exact round trip).
+
+        Byte-stable in the default (record-everything) mode — golden
+        traces depend on it; the extra streaming keys appear only when
+        campaign records are disabled (the cancellation count cannot be
+        recovered from the absent records, so it travels explicitly).
+        """
+        data = {
             "version": TELEMETRY_VERSION,
             "series": {key: list(values) for key, values in self.series.items()},
             "campaigns": [dataclasses.asdict(r) for r in self.campaigns],
@@ -307,6 +325,10 @@ class Telemetry:
                 "departed_adaptive_solves": self._departed_adaptive_solves,
             },
         }
+        if not self.record_campaigns:
+            data["record_campaigns"] = False
+            data["cancelled_count"] = self._cancelled_count
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Telemetry":
@@ -316,12 +338,17 @@ class Telemetry:
                 f"telemetry version {data.get('version')!r} is not supported "
                 f"(this build reads version {TELEMETRY_VERSION})"
             )
-        telemetry = cls()
+        telemetry = cls(record_campaigns=data.get("record_campaigns", True))
         for key in SERIES_FIELDS:
             telemetry.series[key] = list(data["series"][key])
         telemetry.campaigns = [
             CampaignRecord(**record) for record in data["campaigns"]
         ]
+        telemetry._cancelled_count = (
+            sum(1 for r in telemetry.campaigns if r.cancelled)
+            if telemetry.record_campaigns
+            else int(data.get("cancelled_count", 0))
+        )
         baselines = data["baselines"]
         telemetry._cache_hits_seen = int(baselines["cache_hits_seen"])
         telemetry._cache_misses_seen = int(baselines["cache_misses_seen"])

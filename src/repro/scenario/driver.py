@@ -78,7 +78,13 @@ def apply_cancellation(
     try:
         outcome = engine.cancel(campaign_id)
     except KeyError:
-        if any(o.spec.campaign_id == campaign_id for o in core.outcomes):
+        if core.sink.has_retired(campaign_id):
+            return ("retired", None)
+        if not core.sink.keep:
+            # Streaming mode deliberately forgets the retired set, so an
+            # already-retired target is indistinguishable from a typo;
+            # treat it as the deterministic no-op — raising here would
+            # make streaming runs diverge from materialized ones.
             return ("retired", None)
         where = f" {context}" if context else ""
         raise ValueError(
@@ -113,6 +119,13 @@ class ScenarioDriver:
         cancellations, and a per-tick summary row — buffered off the
         tick path, flushed once per tick boundary.  Purely
         observational: the log never feeds back into the run.
+    keep_outcomes:
+        Passed to :meth:`~repro.engine.clock.EngineBase.start`; ``False``
+        runs the session in streaming mode (no materialized outcome
+        list — memory stays O(live) however long the scenario runs).
+    outcomes_path:
+        Optional JSONL spill for every retirement (full-fidelity replay
+        of a streaming run); also passed through to ``start``.
     """
 
     def __init__(
@@ -121,12 +134,16 @@ class ScenarioDriver:
         scenario: Scenario,
         telemetry: Telemetry | None = None,
         event_log=None,
+        keep_outcomes: bool = True,
+        outcomes_path=None,
     ):
         self.engine = engine
         self.scenario = scenario
         self.timeline = scenario.compile(engine.stream.num_intervals)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.event_log = event_log
+        self.keep_outcomes = keep_outcomes
+        self.outcomes_path = outcomes_path
         self._next_wave = 0
         self._started = False
         self._admission_seen = 0
@@ -161,7 +178,11 @@ class ScenarioDriver:
         """Open the serving session (scenario seed) and install modulation."""
         if self._started:
             raise RuntimeError("the scenario driver has already started")
-        core = self.engine.start(seed=self.scenario.seed)
+        core = self.engine.start(
+            seed=self.scenario.seed,
+            keep_outcomes=self.keep_outcomes,
+            outcomes_path=self.outcomes_path,
+        )
         core.set_rate_multipliers(self.timeline.rate_multipliers)
         # Anchor the telemetry deltas to this session's counters (a no-op
         # for the cleared-at-start cache, but robust to shared caches).

@@ -66,6 +66,7 @@ from repro.engine.checkpoint import (
     save_checkpoint,
 )
 from repro.engine.clock import EngineBase, EngineCore, PhaseTimings, TickReport
+from repro.engine.outcomes import outcome_from_record, outcome_record
 from repro.obs.tracing import trace_id_for_seq
 from repro.scenario.driver import apply_cancellation
 from repro.serve.admission import AdmissionQueue, Ticket
@@ -878,8 +879,11 @@ class Gateway:
                 "cancels": self._pending_drain.cancels,
                 "snapshots": self._pending_drain.snapshots,
             },
+            # Full records, spec embedded: in streaming mode the engine
+            # holds no outcome list to look these up in at resume time.
             "pending_cancelled": [
-                o.spec.campaign_id for o in self._pending_cancelled
+                outcome_record(o, with_spec=True)
+                for o in self._pending_cancelled
             ],
             "telemetry": self.telemetry.to_dict(),
             "replay": (
@@ -975,9 +979,15 @@ class Gateway:
             ],
         )
         gateway._pending_drain = DrainReport(**state["pending_drain"])
+        # Current bundles store full outcome records; bundles written
+        # before the streaming core stored bare ids resolved against the
+        # engine's materialized outcome list.
         outcomes = {o.spec.campaign_id: o for o in core.outcomes}
         gateway._pending_cancelled = [
-            outcomes[cid] for cid in state["pending_cancelled"]
+            outcome_from_record(entry)
+            if isinstance(entry, dict)
+            else outcomes[entry]
+            for entry in state["pending_cancelled"]
         ]
         if state["replay"] is not None:
             gateway._replay_trace = RequestTrace.from_dict(

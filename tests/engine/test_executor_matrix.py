@@ -9,6 +9,7 @@ scenario through every cell of
   x {serial, thread, process} executors
   x {numpy, numba} kernel backends           (tests/kernel_modes.py)
   x {uninterrupted, checkpoint/resume at a fuzzed tick}
+  x {materialized, streaming}                 (lazy source + spill sink)
 
 and asserts the full JSON-normalized payload — deterministic
 ``EngineResult`` fields *and* per-tick telemetry — is equal across every
@@ -34,7 +35,13 @@ import zlib
 
 import pytest
 
-from repro.engine import MarketplaceEngine, ShardedEngine, generate_workload
+from repro.engine import (
+    ListSource,
+    MarketplaceEngine,
+    ShardedEngine,
+    generate_workload,
+    replay_outcomes,
+)
 from repro.market.acceptance import paper_acceptance_model
 from repro.scenario import ScenarioDriver
 
@@ -51,7 +58,11 @@ from tests.kernel_modes import KERNEL_MODES, kernel_mode
 
 SHARD_COUNTS = (1, 3, 5)
 EXECUTORS = ("serial", "thread", "process")
-RUN_MODES = ("full", "resume")
+#: "stream"/"stream-resume" rerun the cell with a lazy ListSource feeding
+#: the same specs and a streaming (keep=False, JSONL-spill) sink — the
+#: payload's outcome block is rebuilt from the spill, so these cells prove
+#: the memory mode changes no bit of the trace.
+RUN_MODES = ("full", "resume", "stream", "stream-resume")
 
 
 def cell_id(*parts) -> str:
@@ -82,7 +93,9 @@ def resume_tick(cell: str) -> int:
     return 3 + zlib.crc32(cell.encode()) % (NUM_INTERVALS - 10)
 
 
-def build_matrix_driver(num_shards: int, executor: str) -> ScenarioDriver:
+def build_matrix_driver(
+    num_shards: int, executor: str, streaming: bool = False, spill=None
+) -> ScenarioDriver:
     """The golden-case workload + scenario on an arbitrary engine shape."""
     if num_shards:
         engine: MarketplaceEngine | ShardedEngine = ShardedEngine(
@@ -93,32 +106,50 @@ def build_matrix_driver(num_shards: int, executor: str) -> ScenarioDriver:
         engine = MarketplaceEngine(
             make_stream(), paper_acceptance_model(), planning="stationary"
         )
-    engine.submit(generate_workload(4, NUM_INTERVALS, seed=BASE_SEED))
+    specs = generate_workload(4, NUM_INTERVALS, seed=BASE_SEED)
+    if streaming:
+        engine.submit_source(ListSource(specs))
+        return ScenarioDriver(
+            engine, golden_scenario(),
+            keep_outcomes=False, outcomes_path=spill,
+        )
+    engine.submit(specs)
     return ScenarioDriver(engine, golden_scenario())
 
 
-def finish(driver: ScenarioDriver) -> dict:
-    """Drive to exhaustion; return the JSON-normalized comparison payload."""
+def finish(driver: ScenarioDriver, spill=None) -> dict:
+    """Drive to exhaustion; return the JSON-normalized comparison payload.
+
+    Streaming cells materialize nothing in-process: their outcome block
+    is rebuilt from the JSONL spill after the run closes.
+    """
     result = driver.run()
+    outcomes = list(replay_outcomes(spill)) if spill is not None else None
     return json.loads(json.dumps({
-        "result": result_to_dict(result),
+        "result": result_to_dict(result, outcomes=outcomes),
         "telemetry": driver.telemetry.to_dict(),
     }))
 
 
 def run_cell(num_shards, executor, mode, cell, tmp_path) -> dict:
-    driver = build_matrix_driver(num_shards, executor)
-    if mode == "full":
-        return finish(driver)
+    streaming = mode.startswith("stream")
+    spill = tmp_path / f"{cell}.jsonl" if streaming else None
+    driver = build_matrix_driver(
+        num_shards, executor, streaming=streaming, spill=spill
+    )
+    if mode in ("full", "stream"):
+        return finish(driver, spill=spill)
     # Checkpoint/resume cell: pause at the fuzzed tick, snapshot, abandon
     # the original session, and finish from the bundle.  The payload must
-    # be indistinguishable from never having stopped.
+    # be indistinguishable from never having stopped.  (Streaming bundles
+    # persist the source cursor + aggregate + spill offset, so the spill
+    # file keeps growing seamlessly across the cut.)
     driver.start()
     for _ in range(resume_tick(cell)):
         driver.step()
     bundle = driver.save(tmp_path / cell)
     driver.engine.close()
-    return finish(ScenarioDriver.resume(bundle))
+    return finish(ScenarioDriver.resume(bundle), spill=spill)
 
 
 def normalized(payload: dict) -> dict:
@@ -210,3 +241,10 @@ class TestGoldenTraceInvariance:
         golden = json.loads(trace_path("pooled_small").read_text())
         with kernel_mode(kernels_name):
             assert run_case("pooled_small") == golden
+
+    @pytest.mark.parametrize("case", ("pooled_small", "sharded3_small"))
+    def test_golden_invariant_under_streaming(self, case):
+        # The committed traces byte-compare when the same workload is fed
+        # lazily and the outcome block is replayed from a streaming spill.
+        golden = json.loads(trace_path(case).read_text())
+        assert run_case(case, streaming=True) == golden

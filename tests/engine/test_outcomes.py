@@ -1,0 +1,225 @@
+"""The streaming outcome boundary: aggregates, sinks, spill, replay.
+
+Contracts under test:
+
+* ``OutcomeAggregate.fold`` is exactly a left fold: folding outcomes one
+  at a time equals ``from_outcomes`` over the same sequence, and every
+  statistic matches the materialized-list computation.
+* The chained checksum fingerprints the retirement *stream*: same
+  outcomes in a different order hash differently, any record perturbation
+  hashes differently, and ``to_dict``/``from_dict`` round-trip the digest
+  so a resumed run keeps folding the same chain.
+* ``OutcomeSink(keep=False)`` retains no outcome objects yet reports the
+  same aggregate as a keeping sink fed the same stream.
+* Spill files replay bit-identically through ``replay_outcomes``, and
+  ``resume_offset`` truncates a dirty tail so checkpoint restore can
+  reopen a spill mid-stream without duplicating records.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import (
+    CampaignOutcome,
+    CampaignSpec,
+    DEADLINE,
+    BUDGET,
+    OutcomeAggregate,
+    OutcomeSink,
+    outcome_from_record,
+    outcome_record,
+    replay_outcomes,
+)
+
+
+def make_outcome(i: int, *, cancelled: bool = False) -> CampaignOutcome:
+    kind = BUDGET if i % 3 == 0 else DEADLINE
+    spec = CampaignSpec(
+        campaign_id=f"c{i:03d}",
+        kind=kind,
+        num_tasks=10 + i,
+        submit_interval=i,
+        horizon_intervals=8,
+        budget=500.0 if kind == BUDGET else None,
+        penalty_per_task=0.0 if kind == BUDGET else 25.0,
+        max_price=30,
+        adaptive=(i % 4 == 0 and kind == DEADLINE),
+    )
+    return CampaignOutcome(
+        spec=spec,
+        completed=8 + i,
+        remaining=2 if i % 2 else 0,
+        total_cost=12.5 * (i + 1),
+        penalty=25.0 if (kind == DEADLINE and i % 2) else 0.0,
+        finished_interval=None if i % 2 else i + 7,
+        cache_hit=(i % 2 == 1),
+        num_solves=0 if i % 2 == 1 else 1 + i % 3,
+        cancelled=cancelled,
+    )
+
+
+OUTCOMES = [make_outcome(i) for i in range(9)] + [
+    make_outcome(9, cancelled=True)
+]
+
+
+class TestOutcomeAggregate:
+    def test_fold_matches_from_outcomes(self):
+        agg = OutcomeAggregate()
+        for o in OUTCOMES:
+            agg.fold(o)
+        assert agg == OutcomeAggregate.from_outcomes(OUTCOMES)
+
+    def test_statistics_match_materialized_computation(self):
+        agg = OutcomeAggregate.from_outcomes(OUTCOMES)
+        assert agg.num_campaigns == len(OUTCOMES)
+        assert agg.total_completed == sum(o.completed for o in OUTCOMES)
+        assert agg.total_remaining == sum(o.remaining for o in OUTCOMES)
+        assert agg.total_cost == pytest.approx(
+            sum(o.total_cost for o in OUTCOMES)
+        )
+        assert agg.total_penalty == pytest.approx(
+            sum(o.penalty for o in OUTCOMES)
+        )
+        assert agg.num_deadline == sum(
+            1 for o in OUTCOMES if o.spec.kind == DEADLINE
+        )
+        assert agg.num_budget == sum(
+            1 for o in OUTCOMES if o.spec.kind == BUDGET
+        )
+        assert agg.num_adaptive == sum(1 for o in OUTCOMES if o.spec.adaptive)
+        assert agg.num_cancelled == 1
+        assert agg.num_cache_hits == sum(1 for o in OUTCOMES if o.cache_hit)
+        assert agg.num_finished == sum(1 for o in OUTCOMES if o.finished)
+        assert agg.total_solves == sum(o.num_solves for o in OUTCOMES)
+        total = agg.total_completed + agg.total_remaining
+        assert agg.completion_rate == pytest.approx(agg.total_completed / total)
+
+    def test_empty_aggregate(self):
+        agg = OutcomeAggregate()
+        assert agg.num_campaigns == 0
+        assert agg.completion_rate == 0.0
+        assert agg.checksum == ("0" * 64)
+
+    def test_checksum_is_order_sensitive(self):
+        fwd = OutcomeAggregate.from_outcomes(OUTCOMES)
+        rev = OutcomeAggregate.from_outcomes(list(reversed(OUTCOMES)))
+        assert fwd.checksum != rev.checksum
+        # Counters, by contrast, are order-free.
+        assert fwd.num_campaigns == rev.num_campaigns
+        assert fwd.total_cost == pytest.approx(rev.total_cost)
+
+    def test_checksum_detects_perturbation(self):
+        import dataclasses
+
+        tweaked = list(OUTCOMES)
+        tweaked[3] = dataclasses.replace(tweaked[3], total_cost=0.01)
+        assert (
+            OutcomeAggregate.from_outcomes(tweaked).checksum
+            != OutcomeAggregate.from_outcomes(OUTCOMES).checksum
+        )
+
+    def test_dict_round_trip_continues_the_chain(self):
+        head, tail = OUTCOMES[:6], OUTCOMES[6:]
+        agg = OutcomeAggregate.from_outcomes(head)
+        revived = OutcomeAggregate.from_dict(
+            json.loads(json.dumps(agg.to_dict()))
+        )
+        assert revived == agg
+        for o in tail:
+            agg.fold(o)
+            revived.fold(o)
+        assert revived.checksum == agg.checksum
+        assert revived == OutcomeAggregate.from_outcomes(OUTCOMES)
+
+    def test_copy_is_independent(self):
+        agg = OutcomeAggregate.from_outcomes(OUTCOMES[:3])
+        dup = agg.copy()
+        agg.fold(OUTCOMES[3])
+        assert dup == OutcomeAggregate.from_outcomes(OUTCOMES[:3])
+        assert dup != agg
+
+
+class TestOutcomeRecord:
+    def test_record_round_trip(self):
+        for o in OUTCOMES:
+            assert outcome_from_record(outcome_record(o)) == o
+
+    def test_record_without_spec_round_trips_with_external_spec(self):
+        o = OUTCOMES[4]
+        rec = outcome_record(o, with_spec=False)
+        assert "spec" not in rec
+        assert outcome_from_record(rec, spec=o.spec) == o
+
+    def test_record_is_json_safe(self):
+        for o in OUTCOMES:
+            clone = json.loads(json.dumps(outcome_record(o)))
+            assert outcome_from_record(clone) == o
+
+
+class TestOutcomeSink:
+    def test_streaming_sink_keeps_nothing_but_aggregates_everything(self):
+        keeping, streaming = OutcomeSink(keep=True), OutcomeSink(keep=False)
+        keeping.extend(OUTCOMES)
+        streaming.extend(OUTCOMES)
+        assert len(keeping.outcomes) == len(OUTCOMES)
+        assert streaming.outcomes == []
+        assert streaming.aggregate == keeping.aggregate
+        assert streaming.aggregate.checksum == keeping.aggregate.checksum
+
+    def test_has_retired(self):
+        sink = OutcomeSink(keep=True)
+        sink.extend(OUTCOMES[:3])
+        assert sink.has_retired(OUTCOMES[0].spec.campaign_id)
+        assert not sink.has_retired("nope")
+        # Streaming sinks drop the id set along with the list.
+        assert not OutcomeSink(keep=False).has_retired(
+            OUTCOMES[0].spec.campaign_id
+        )
+
+    def test_spill_replays_bit_identically(self, tmp_path):
+        path = tmp_path / "outcomes.jsonl"
+        sink = OutcomeSink(keep=False, spill_path=path)
+        sink.extend(OUTCOMES)
+        sink.close()
+        replayed = list(replay_outcomes(path))
+        assert replayed == OUTCOMES
+        assert (
+            OutcomeAggregate.from_outcomes(replayed).checksum
+            == sink.aggregate.checksum
+        )
+
+    def test_resume_offset_truncates_dirty_tail(self, tmp_path):
+        path = tmp_path / "outcomes.jsonl"
+        first = OutcomeSink(keep=False, spill_path=path)
+        first.extend(OUTCOMES[:4])
+        first.flush()
+        offset = first.spill_offset
+        first.extend(OUTCOMES[4:6])  # beyond the "checkpoint": a dirty tail
+        first.close()
+        resumed = OutcomeSink(
+            keep=False, spill_path=path, resume_offset=offset
+        )
+        resumed.extend(OUTCOMES[4:])
+        resumed.close()
+        assert list(replay_outcomes(path)) == OUTCOMES
+
+    def test_resume_offset_requires_existing_file(self, tmp_path):
+        with pytest.raises(ValueError):
+            OutcomeSink(
+                keep=False,
+                spill_path=tmp_path / "missing.jsonl",
+                resume_offset=10,
+            )
+
+    def test_restore_installs_without_refolding(self):
+        agg = OutcomeAggregate.from_outcomes(OUTCOMES[:5])
+        sink = OutcomeSink(keep=True)
+        sink.restore(agg, list(OUTCOMES[:5]))
+        sink.extend(OUTCOMES[5:])
+        assert sink.aggregate == OutcomeAggregate.from_outcomes(OUTCOMES)
+        assert sink.outcomes == list(OUTCOMES)
+        assert sink.has_retired(OUTCOMES[2].spec.campaign_id)

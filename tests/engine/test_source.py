@@ -1,0 +1,165 @@
+"""Lazy workload sources: ordering, determinism, skip-resume, descriptors.
+
+Contracts under test:
+
+* Every source yields specs in nondecreasing ``(submit_interval,
+  campaign_id)`` order — the admission order the clock's sorted pending
+  queue would produce, which is what makes streamed runs bit-identical
+  to materialized ones.
+* ``iterate(skip=n)`` equals ``iterate()`` minus its first ``n`` specs,
+  spec-for-spec — the checkpoint fast-forward contract.
+* ``to_dict``/``source_from_dict`` round-trip a source into an equivalent
+  generator (descriptors are declarative: a million-campaign stream
+  serializes to a handful of parameters).
+* ``StreamedWorkload`` is deterministic in its seed and validates its
+  parameters the way ``generate_workload`` does.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import (
+    CampaignSpec,
+    DEADLINE,
+    BUDGET,
+    CampaignTemplate,
+    ListSource,
+    StreamedWorkload,
+    generate_workload,
+    source_from_dict,
+)
+from repro.engine.source import _submission_key
+
+
+def assert_sorted(specs):
+    keys = [_submission_key(s) for s in specs]
+    assert keys == sorted(keys)
+
+
+class TestListSource:
+    def test_sorts_on_construction(self):
+        specs = generate_workload(24, 48, seed=11)
+        shuffled = list(reversed(specs))
+        source = ListSource(shuffled)
+        out = list(source)
+        assert_sorted(out)
+        assert sorted(s.campaign_id for s in out) == sorted(
+            s.campaign_id for s in specs
+        )
+        assert len(source) == len(specs)
+
+    def test_skip_is_a_suffix(self):
+        source = ListSource(generate_workload(24, 48, seed=11))
+        full = list(source.iterate())
+        for skip in (0, 1, 7, len(full), len(full) + 5):
+            assert list(source.iterate(skip=skip)) == full[skip:]
+
+    def test_dict_round_trip(self):
+        source = ListSource(generate_workload(10, 48, seed=3))
+        clone = source_from_dict(json.loads(json.dumps(source.to_dict())))
+        assert isinstance(clone, ListSource)
+        assert list(clone) == list(source)
+
+
+class TestStreamedWorkload:
+    def test_yields_in_submission_order(self):
+        source = StreamedWorkload(500, 96, seed=5, campaigns_per_wave=40)
+        specs = list(source)
+        assert len(specs) == 500
+        assert_sorted(specs)
+
+    def test_ids_are_unique_and_prefixed(self):
+        source = StreamedWorkload(200, 96, seed=5, id_prefix="zz")
+        ids = [s.campaign_id for s in source]
+        assert len(set(ids)) == 200
+        assert all(i.startswith("zz") for i in ids)
+
+    def test_deterministic_in_seed(self):
+        a = list(StreamedWorkload(120, 96, seed=9))
+        b = list(StreamedWorkload(120, 96, seed=9))
+        c = list(StreamedWorkload(120, 96, seed=10))
+        assert a == b
+        assert a != c
+
+    def test_skip_equals_suffix_of_full_pass(self):
+        source = StreamedWorkload(150, 96, seed=2, campaigns_per_wave=32)
+        full = list(source.iterate())
+        for skip in (0, 1, 31, 32, 33, 149, 150):
+            assert list(source.iterate(skip=skip)) == full[skip:]
+
+    def test_every_campaign_fits_the_stream(self):
+        source = StreamedWorkload(300, 48, seed=1, campaigns_per_wave=50)
+        for spec in source:
+            assert spec.submit_interval + spec.horizon_intervals <= 48
+
+    def test_draws_both_kinds_and_adaptive(self):
+        specs = list(StreamedWorkload(400, 96, seed=0))
+        kinds = {s.kind for s in specs}
+        assert kinds == {DEADLINE, BUDGET}
+        assert any(s.adaptive for s in specs)
+        assert any(not s.adaptive for s in specs if s.kind == DEADLINE)
+
+    def test_kind_fractions_respect_extremes(self):
+        all_budget = list(
+            StreamedWorkload(50, 96, seed=0, budget_fraction=1.0)
+        )
+        assert {s.kind for s in all_budget} == {BUDGET}
+        all_deadline = list(
+            StreamedWorkload(
+                50, 96, seed=0, budget_fraction=0.0, adaptive_fraction=0.0
+            )
+        )
+        assert {s.kind for s in all_deadline} == {DEADLINE}
+        assert not any(s.adaptive for s in all_deadline)
+
+    def test_dict_round_trip(self):
+        source = StreamedWorkload(
+            80, 96, seed=4, budget_fraction=0.4, adaptive_fraction=0.1,
+            campaigns_per_wave=16, id_prefix="rt",
+        )
+        clone = source_from_dict(json.loads(json.dumps(source.to_dict())))
+        assert isinstance(clone, StreamedWorkload)
+        assert list(clone) == list(source)
+
+    def test_custom_templates(self):
+        templates = [
+            CampaignTemplate(
+                name="tiny-dl", kind=DEADLINE, num_tasks=6,
+                horizon_intervals=5, max_price=12,
+            ),
+            CampaignTemplate(
+                name="tiny-b", kind=BUDGET, num_tasks=8,
+                horizon_intervals=6, max_price=10,
+            ),
+        ]
+        specs = list(
+            StreamedWorkload(60, 24, seed=3, templates=templates)
+        )
+        assert {s.num_tasks for s in specs} <= {6, 8}
+        assert_sorted(specs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_campaigns=0),
+            dict(num_intervals=0),
+            dict(budget_fraction=1.5),
+            dict(adaptive_fraction=-0.1),
+            dict(campaigns_per_wave=0),
+            dict(templates=[]),
+            dict(num_intervals=2),  # nothing fits a 2-interval stream
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(num_campaigns=10, num_intervals=96, seed=0)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            StreamedWorkload(**base)
+
+
+def test_unknown_descriptor_kind_rejected():
+    with pytest.raises(ValueError):
+        source_from_dict({"kind": "mystery"})

@@ -14,7 +14,13 @@ import pathlib
 
 import numpy as np
 
-from repro.engine import MarketplaceEngine, ShardedEngine, generate_workload
+from repro.engine import (
+    ListSource,
+    MarketplaceEngine,
+    ShardedEngine,
+    generate_workload,
+    replay_outcomes,
+)
 from repro.engine.clock import EngineResult
 from repro.market.acceptance import paper_acceptance_model
 from repro.scenario import (
@@ -73,13 +79,23 @@ def make_stream() -> SharedArrivalStream:
     return SharedArrivalStream(means)
 
 
-def build_driver(case: str, executor: str = "serial") -> ScenarioDriver:
+def build_driver(
+    case: str,
+    executor: str = "serial",
+    streaming: bool = False,
+    outcomes_path: pathlib.Path | None = None,
+) -> ScenarioDriver:
     """Construct one canonical case's engine + driver (not yet started).
 
     ``executor`` overrides the sharded cases' executor (the committed
     traces are pinned under ``"serial"``; the executor-matrix suite and
     the regen guard re-run them under the others to prove invariance).
     Pooled cases have no executor and ignore the override.
+
+    ``streaming=True`` feeds the same workload through a lazy
+    ``ListSource`` and runs with a streaming outcome sink (no
+    materialized outcome list; full fidelity via the ``outcomes_path``
+    spill) — the memory-mode arm of the invariance proof.
     """
     num_shards = CASES[case]["num_shards"]
     if num_shards:
@@ -91,12 +107,25 @@ def build_driver(case: str, executor: str = "serial") -> ScenarioDriver:
         engine = MarketplaceEngine(
             make_stream(), paper_acceptance_model(), planning="stationary"
         )
-    engine.submit(generate_workload(4, NUM_INTERVALS, seed=BASE_SEED))
+    specs = generate_workload(4, NUM_INTERVALS, seed=BASE_SEED)
+    if streaming:
+        engine.submit_source(ListSource(specs))
+        return ScenarioDriver(
+            engine, golden_scenario(),
+            keep_outcomes=False, outcomes_path=outcomes_path,
+        )
+    engine.submit(specs)
     return ScenarioDriver(engine, golden_scenario())
 
 
-def result_to_dict(result: EngineResult) -> dict:
-    """The deterministic slice of an EngineResult (no wall-clock fields)."""
+def result_to_dict(result: EngineResult, outcomes=None) -> dict:
+    """The deterministic slice of an EngineResult (no wall-clock fields).
+
+    ``outcomes`` substitutes an externally reconstructed outcome list —
+    how a streaming run's spill replay slots into the same payload shape.
+    """
+    if outcomes is None:
+        outcomes = result.outcomes
     return {
         "num_shards": result.num_shards,
         "intervals_run": result.intervals_run,
@@ -123,13 +152,37 @@ def result_to_dict(result: EngineResult) -> dict:
                 "cache_hit": o.cache_hit,
                 "num_solves": o.num_solves,
             }
-            for o in sorted(result.outcomes, key=lambda o: o.spec.campaign_id)
+            for o in sorted(outcomes, key=lambda o: o.spec.campaign_id)
         ],
     }
 
 
-def run_case(case: str, executor: str = "serial") -> dict:
-    """Run one canonical case and return its JSON-normalized golden payload."""
+def run_case(case: str, executor: str = "serial", streaming: bool = False) -> dict:
+    """Run one canonical case and return its JSON-normalized golden payload.
+
+    ``streaming=True`` runs the case with a lazy source and a streaming
+    sink, rebuilding the per-campaign outcome block from the JSONL spill
+    — the payload must byte-compare against the materialized run's, which
+    is exactly the invariance ``regen_golden.py`` guards.
+    """
+    if streaming:
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as td:
+            spill = pathlib.Path(td) / "outcomes.jsonl"
+            driver = build_driver(
+                case, executor=executor, streaming=True, outcomes_path=spill
+            )
+            result = driver.run()
+            outcomes = list(replay_outcomes(spill))
+        assert result.outcomes == ()  # nothing was materialized
+        payload = {
+            "case": case,
+            "scenario": driver.scenario.to_dict(),
+            "result": result_to_dict(result, outcomes=outcomes),
+            "telemetry": driver.telemetry.to_dict(),
+        }
+        return json.loads(json.dumps(payload))
     driver = build_driver(case, executor=executor)
     result = driver.run()
     payload = {

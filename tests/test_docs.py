@@ -117,6 +117,24 @@ class TestBenchRecord:
             >= serve["required_requests_per_second"]
         )
 
+    def test_scale_fields(self, record):
+        scale = record["scale"]
+        for field in (
+            "campaigns",
+            "elapsed_seconds",
+            "campaigns_per_second",
+            "peak_rss_mib",
+            "peak_rss_bytes_per_campaign",
+            "rss_budget_mib",
+            "traced_peak_mib",
+            "traced_budget_mib",
+            "checksum",
+        ):
+            assert field in scale
+        assert scale["campaigns"] >= 1_000_000
+        assert scale["peak_rss_mib"] < scale["rss_budget_mib"]
+        assert scale["traced_peak_mib"] < scale["traced_budget_mib"]
+
     def test_obs_fields(self, record):
         obs = record["obs"]
         for field in (
