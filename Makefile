@@ -37,13 +37,15 @@ bench-scenario:
 	$(PYTEST) benchmarks/bench_scenario.py -q -p no:cacheprovider
 
 ## Serving-gateway benchmarks: sustained requests/sec through the
-## gateway (>= 5k bar, recorded under BENCH_engine.json's "serve" key)
-## and closed-loop latency percentiles.
+## gateway (>= 12k bar, recorded under BENCH_engine.json's "serve" key),
+## closed-loop latency percentiles, and the noisy-neighbor fairness
+## drill (victim p99 gated at <= 2x its isolated baseline).
 bench-serve:
 	$(PYTEST) benchmarks/bench_serve.py -q -p no:cacheprovider
 
 ## Serving smoke (CI): the serve bench on a tiny horizon — same code
-## paths, seconds of wall-clock, same >= 5k requests/sec bar.
+## paths (fairness arm included), seconds of wall-clock, scaled-down
+## throughput bar.
 serve-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTEST) benchmarks/bench_serve.py -q -p no:cacheprovider
 

@@ -34,8 +34,16 @@ import time
 import numpy as np
 
 from repro.engine import MarketplaceEngine, ShardedEngine
+from repro.engine.campaign import CampaignSpec
 from repro.market.acceptance import paper_acceptance_model
-from repro.serve import ClientMix, Gateway, LoadGenerator
+from repro.serve import (
+    Cancel,
+    ClientMix,
+    Gateway,
+    LoadGenerator,
+    RequestTrace,
+    TimedRequest,
+)
 from repro.sim.stream import SharedArrivalStream
 
 #: CI smoke mode: tiny horizon, same code paths.
@@ -49,8 +57,14 @@ SEED = 33
 #: contended shared runners, smaller horizon) gates on a deliberately
 #: loose floor instead — it exists to catch pathological slowdowns, not
 #: to flake on machine speed (the same reasoning as bench_scenario.py's
-#: relative overhead bar).
-REQUIRED_RPS = 500.0 if SMOKE else 5000.0
+#: relative overhead bar).  The full-run floor tracks the measured
+#: ~29k req/s with >2x headroom.
+REQUIRED_RPS = 500.0 if SMOKE else 12000.0
+
+#: Noisy-neighbor fairness bar: the victim's p99 queueing latency (in
+#: ticks — deterministic, not wall-clock) under a flood from another
+#: tenant may not exceed 2x its isolated baseline.
+FAIRNESS_P99_FACTOR = 2.0
 
 BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
@@ -137,6 +151,150 @@ def test_serve_sustained_throughput(emit):
         BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
         lines.append(f"[written to {BENCH_JSON}]")
     emit("serve_throughput", "\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# Noisy-neighbor fairness
+# ----------------------------------------------------------------------
+#: Ticks the fairness traces span, and per-tick request volumes.
+FAIR_TICKS = 12 if SMOKE else 24
+NOISY_PER_TICK = 12 if SMOKE else 16
+VICTIM_PER_TICK = 2
+#: Per-boundary drain budget: smaller than the combined arrival rate, so
+#: the noisy tenant builds a persistent backlog the scheduler must not
+#: let the victim drown in.
+FAIR_MAX_DRAIN = 8 if SMOKE else 12
+
+
+def keepalive_spec() -> CampaignSpec:
+    """One long-lived campaign so the engine clock runs the whole drill.
+
+    The low ``max_price`` keeps its acceptance rate near zero — it never
+    completes inside the horizon, and its solve stays cheap.
+    """
+    return CampaignSpec(
+        campaign_id="keepalive", kind="deadline", num_tasks=10_000,
+        submit_interval=0, horizon_intervals=NUM_INTERVALS, max_price=2,
+    )
+
+
+def fairness_trace(tagged: bool) -> RequestTrace:
+    """The contended workload: a flood and a modest victim, every tick.
+
+    ``tagged=False`` strips the tenant ids — the FIFO contrast arm, where
+    the same arrivals share one global queue.  Requests are Cancels of
+    unknown campaigns: they ride the mutation queue (so they experience
+    queueing) without touching engine state, keeping the three arms'
+    engines identical.  Noisy arrivals precede the victim's within every
+    tick — the worst case for FIFO.
+    """
+    requests = []
+    for t in range(FAIR_TICKS):
+        for i in range(NOISY_PER_TICK):
+            requests.append(TimedRequest(
+                t, "noisy", Cancel(f"n-{t}-{i}"),
+                **({"tenant": "noisy"} if tagged else {}),
+            ))
+        for i in range(VICTIM_PER_TICK):
+            requests.append(TimedRequest(
+                t, "victim", Cancel(f"v-{t}-{i}"),
+                **({"tenant": "victim"} if tagged else {}),
+            ))
+    return RequestTrace("fairness", tuple(requests))
+
+
+def victim_only_trace() -> RequestTrace:
+    return RequestTrace("victim-isolated", tuple(
+        TimedRequest(t, "victim", Cancel(f"v-{t}-{i}"), tenant="victim")
+        for t in range(FAIR_TICKS)
+        for i in range(VICTIM_PER_TICK)
+    ))
+
+
+def run_fairness_arm(trace: RequestTrace, weights=None):
+    """Replay one arm; returns per-client queueing latencies in ticks.
+
+    Latency is ``response.tick - arrival tick`` — deterministic engine
+    time, so the fairness bar never flakes on machine speed.
+    """
+    engine = make_engine()
+    engine.submit([keepalive_spec()])
+    gateway = Gateway(
+        engine, max_queue=None, max_drain=FAIR_MAX_DRAIN,
+        tenant_weights=weights,
+    )
+    gateway.start(seed=SEED)
+    tickets = gateway.replay(trace)
+    latencies: dict[str, list[int]] = {}
+    for timed, ticket in zip(trace.requests, tickets):
+        latencies.setdefault(timed.client, []).append(
+            ticket.response.tick - timed.tick
+        )
+    return latencies
+
+
+def p99(values) -> float:
+    return float(np.percentile(np.asarray(values, dtype=float), 99))
+
+
+def test_serve_noisy_neighbor_fairness(emit):
+    """Weighted-fair admission holds the victim's p99 under the flood."""
+    isolated = run_fairness_arm(victim_only_trace())
+    fair = run_fairness_arm(
+        fairness_trace(tagged=True),
+        weights={"victim": 1.0, "noisy": 1.0},
+    )
+    fifo = run_fairness_arm(fairness_trace(tagged=False))
+
+    p99_iso = p99(isolated["victim"])
+    p99_fair = p99(fair["victim"])
+    p99_fifo = p99(fifo["victim"])
+    baseline = max(p99_iso, 1.0)
+    ratio = p99_fair / baseline
+    assert p99_fair <= FAIRNESS_P99_FACTOR * baseline, (
+        f"victim p99 {p99_fair:.1f} ticks under contention vs isolated "
+        f"{p99_iso:.1f} — the {FAIRNESS_P99_FACTOR}x fairness bar failed"
+    )
+    # The contrast arm proves the drill bites: the same arrivals through
+    # one FIFO queue do drown the victim (deterministic, so assertable).
+    assert p99_fifo > FAIRNESS_P99_FACTOR * baseline, (
+        f"FIFO contrast arm shows no contention (p99 {p99_fifo:.1f}): "
+        "the fairness drill is not exercising a backlog"
+    )
+
+    lines = [
+        f"noisy-neighbor fairness: {NOISY_PER_TICK}/tick flood vs "
+        f"{VICTIM_PER_TICK}/tick victim, drain budget {FAIR_MAX_DRAIN}"
+        f"{' (smoke)' if SMOKE else ''}",
+        "",
+        f"victim p99 isolated : {p99_iso:6.1f} ticks",
+        f"victim p99 fair DRR : {p99_fair:6.1f} ticks "
+        f"(bar: {FAIRNESS_P99_FACTOR}x isolated; ratio {ratio:.2f})",
+        f"victim p99 FIFO     : {p99_fifo:6.1f} ticks (contrast, ungated)",
+        f"noisy  p99 fair DRR : {p99(fair['noisy']):6.1f} ticks "
+        "(the flood pays for its own backlog)",
+    ]
+    if not SMOKE:
+        record = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.is_file() else {}
+        record.setdefault("serve", {})["fairness"] = {
+            "workload": {
+                "ticks": FAIR_TICKS,
+                "noisy_per_tick": NOISY_PER_TICK,
+                "victim_per_tick": VICTIM_PER_TICK,
+                "max_drain": FAIR_MAX_DRAIN,
+            },
+            "per_tenant_p99_ticks": {
+                "victim_isolated": round(p99_iso, 2),
+                "victim_fair": round(p99_fair, 2),
+                "victim_fifo": round(p99_fifo, 2),
+                "noisy_fair": round(p99(fair["noisy"]), 2),
+            },
+            "fairness_ratio": round(ratio, 3),
+            "required_factor": FAIRNESS_P99_FACTOR,
+        }
+        BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+        lines.append(f"[written to {BENCH_JSON}]")
+    emit("serve_fairness", "\n".join(lines))
 
 
 def test_serve_closed_loop_latency(emit):

@@ -38,6 +38,7 @@ from tests.golden.cases import (  # noqa: E402
     run_analytics_case,
     run_any_case,
     run_case,
+    run_serve_case,
     trace_path,
 )
 from tests.kernel_modes import kernel_mode  # noqa: E402
@@ -77,6 +78,41 @@ def verify_invariance() -> str | None:
                 "test_streaming_core.py) — fix the engine before "
                 "regenerating goldens"
             )
+    # Tenant-mode arm: the served goldens are recorded single-tenant, so
+    # (a) the default-tenant payload must never leak tenant keys (the
+    # byte-identity convention for pre-tenant readers), (b) replaying the
+    # tenant-tagged twin under fair scheduling must leave the engine
+    # result identical, and (c) a 2-gateway fleet must reproduce the solo
+    # gateway's payload exactly.
+    for case in sorted(SERVE_CASES):
+        baseline = run_serve_case(case)
+        if '"tenant"' in json.dumps(baseline):
+            return (
+                f"served case {case!r} leaks tenant keys from a "
+                "default-tenant run; the single-tenant byte-identity "
+                "convention is broken (see tests/serve/test_tenants.py) "
+                "— fix the serve layer before regenerating goldens"
+            )
+        tenanted = run_serve_case(case, tenants=("gold", "silver"))
+        if tenanted["result"] != baseline["result"]:
+            return (
+                f"served case {case!r} changed engine outcomes when the "
+                "trace was tenant-tagged; fair scheduling must not alter "
+                "what the engine computes (see tests/serve/"
+                "test_fleet.py) — fix the serve layer before "
+                "regenerating goldens"
+            )
+        fleet = run_serve_case(case, num_gateways=2)
+        if (
+            fleet["result"] != baseline["result"]
+            or fleet["telemetry"] != baseline["telemetry"]
+        ):
+            return (
+                f"served case {case!r} diverged between a solo gateway "
+                "and a 2-gateway fleet; the fleet determinism contract "
+                "is broken (see tests/serve/test_fleet.py) — fix the "
+                "serve layer before regenerating goldens"
+            )
     return None
 
 
@@ -87,8 +123,8 @@ def main() -> int:
         print(f"refusing to regenerate: {failure}", file=sys.stderr)
         return 1
     print("invariance verified: traces byte-identical under "
-          "executor='process', the numba kernel path, and streaming "
-          "outcome mode")
+          "executor='process', the numba kernel path, streaming "
+          "outcome mode, tenant tagging, and a 2-gateway fleet")
     for case in sorted(CASES) + sorted(SERVE_CASES):
         payload = run_any_case(case)
         path = trace_path(case)

@@ -97,6 +97,53 @@ def _add_serving_engine_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_tenant_flags(parser: argparse.ArgumentParser) -> None:
+    """The multi-tenancy flags ``engine serve`` and ``engine loadtest`` share."""
+    parser.add_argument(
+        "--tenants", metavar="A,B,...", default=None,
+        help="comma-separated tenant names; requests are scheduled "
+        "weighted-fair across per-tenant FIFO queues (loadtest assigns "
+        "clients to tenants round-robin)",
+    )
+    parser.add_argument(
+        "--weights", metavar="W,W,...", default=None,
+        help="per-tenant drain weights matching --tenants order "
+        "(default: all 1.0 — equal-share round-robin)",
+    )
+    parser.add_argument(
+        "--tenant-quota", action="append", metavar="NAME=LIVE[/RATE]",
+        default=None,
+        help="per-tenant quota: LIVE caps the tenant's live+pending "
+        "campaigns, RATE its admissions per tick; either may be empty "
+        "(NAME=/4).  Repeatable.  Exhausted quotas answer typed "
+        "backpressure naming the tenant and quota",
+    )
+    parser.add_argument(
+        "--max-drain", type=int, default=0, metavar="N",
+        help="cap mutating requests applied per tick boundary "
+        "(0 = drain everything; a bound is what makes weighted-fair "
+        "scheduling observable under backlog)",
+    )
+
+
+def _tenant_kwargs(args: argparse.Namespace) -> dict:
+    """Parse the tenant flags into Gateway/GatewayFleet keyword arguments."""
+    from repro.serve import parse_tenant_quotas, parse_tenant_weights
+
+    if args.max_drain < 0:
+        raise _CliError("--max-drain must be >= 0")
+    try:
+        weights = parse_tenant_weights(args.tenants, args.weights)
+        quotas = parse_tenant_quotas(args.tenant_quota)
+    except ValueError as exc:
+        raise _CliError(str(exc)) from exc
+    return {
+        "max_drain": args.max_drain or None,
+        "tenant_weights": weights,
+        "tenant_quotas": quotas,
+    }
+
+
 def _add_logging_flags(parser: argparse.ArgumentParser) -> None:
     """The structured-logging flags shared by every engine subcommand.
 
@@ -391,6 +438,12 @@ def build_parser() -> argparse.ArgumentParser:
         "at offer time (0 = unbounded)",
     )
     serve.add_argument(
+        "--gateways", type=int, default=1, metavar="N",
+        help="serve through a fleet of N gateways partitioned over the "
+        "shared engine (tenants hash to members); 1 = single gateway",
+    )
+    _add_tenant_flags(serve)
+    serve.add_argument(
         "--telemetry-out", metavar="PATH", default=None,
         help="write the serving telemetry (serve + engine series) as JSON",
     )
@@ -460,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-queue", type=int, default=256, metavar="N",
         help="request queue depth (0 = unbounded)",
     )
+    _add_tenant_flags(loadtest)
     loadtest.add_argument(
         "--seed", type=int, default=7, help="engine session seed"
     )
@@ -985,11 +1039,20 @@ def _serve_scenario_inputs(args: argparse.Namespace, num_intervals: int):
 
 def _cmd_engine_serve(args: argparse.Namespace) -> int:
     from repro.engine import CheckpointError, generate_workload
-    from repro.serve import Gateway
+    from repro.serve import Gateway, GatewayFleet
 
     _check_serving_flags(args)
     if args.max_live < 0 or args.max_queue < 0:
         raise _CliError("--max-live and --max-queue must be >= 0")
+    if args.gateways < 1:
+        raise _CliError("--gateways must be >= 1")
+    tenant_kwargs = _tenant_kwargs(args)
+    fleet_mode = args.gateways > 1
+    if fleet_mode and (args.event_log or args.metrics_out):
+        raise _CliError(
+            "--gateways > 1 does not wire --event-log/--metrics-out; "
+            "serve a single gateway when you need observability sinks"
+        )
     event_log = None
     if args.event_log:
         from repro.obs import EventLog
@@ -1002,17 +1065,23 @@ def _cmd_engine_serve(args: argparse.Namespace) -> int:
         metrics = MetricsRegistry()
     if args.resume:
         try:
-            gateway = Gateway.resume(
-                args.resume, event_log=event_log, metrics=metrics
-            )
+            if fleet_mode:
+                gateway = GatewayFleet.resume(args.resume)
+            else:
+                gateway = Gateway.resume(
+                    args.resume, event_log=event_log, metrics=metrics
+                )
         except CheckpointError as exc:
             raise _CliError(str(exc)) from exc
         core = gateway.core
         assert core is not None  # resume always reopens the session
         remaining = gateway.replay_remaining
+        depth = (
+            gateway.queue_depth if fleet_mode else gateway.queue.depth
+        )
         print(f"resume        : {args.resume} at tick {core.clock} "
               f"({core.num_live} live, {core.num_pending} pending, "
-              f"{gateway.queue.depth} queued requests, "
+              f"{depth} queued requests, "
               f"{remaining if remaining is not None else 'no'} trace "
               "requests left)")
         if remaining is None:
@@ -1032,25 +1101,40 @@ def _cmd_engine_serve(args: argparse.Namespace) -> int:
                 )
         except ValueError as exc:
             raise _CliError(str(exc)) from exc
-        gateway = Gateway(
-            engine,
-            max_live=args.max_live or None,
-            max_queue=args.max_queue or None,
-            event_log=event_log,
-            metrics=metrics,
-        )
+        if fleet_mode:
+            gateway = GatewayFleet(
+                engine,
+                args.gateways,
+                max_live=args.max_live or None,
+                max_queue=args.max_queue or None,
+                **tenant_kwargs,
+            )
+        else:
+            gateway = Gateway(
+                engine,
+                max_live=args.max_live or None,
+                max_queue=args.max_queue or None,
+                event_log=event_log,
+                metrics=metrics,
+                **tenant_kwargs,
+            )
         gateway.start(seed=seed, rate_multipliers=multipliers)
         sharding = (
             f"shards={args.shards} ({args.executor})"
             if args.shards > 0
             else "unsharded"
         )
+        front = f"{args.gateways}-gateway fleet" if fleet_mode else "gateway"
         print(f"serving       : trace {trace.name!r} "
               f"({trace.num_requests} requests), seed={seed}, "
-              f"{sharding}, solver={args.solver}")
+              f"{sharding}, solver={args.solver}, {front}")
         print(f"admission     : max-live "
               f"{args.max_live if args.max_live else 'unlimited'}, "
               f"queue depth {args.max_queue if args.max_queue else 'unbounded'}")
+        if args.tenants:
+            weights = tenant_kwargs["tenant_weights"] or {}
+            print("tenants       : "
+                  + ", ".join(f"{t} (w={w:g})" for t, w in weights.items()))
 
         def runner(on_tick=None):
             return gateway.replay(trace, on_tick=on_tick)
@@ -1113,6 +1197,12 @@ def _cmd_engine_loadtest(args: argparse.Namespace) -> int:
 
     if args.max_live < 0 or args.max_queue < 0:
         raise _CliError("--max-live and --max-queue must be >= 0")
+    tenant_kwargs = _tenant_kwargs(args)
+    tenant_names = (
+        list(tenant_kwargs["tenant_weights"])
+        if tenant_kwargs["tenant_weights"]
+        else None
+    )
     metrics = None
     if args.metrics_out:
         from repro.obs import MetricsRegistry
@@ -1128,6 +1218,7 @@ def _cmd_engine_loadtest(args: argparse.Namespace) -> int:
             rate=args.rate,
             think=args.think,
             requests_per_client=args.requests,
+            tenants=tenant_names,
         )
     except ValueError as exc:
         raise _CliError(str(exc)) from exc
@@ -1136,6 +1227,7 @@ def _cmd_engine_loadtest(args: argparse.Namespace) -> int:
         max_live=args.max_live or None,
         max_queue=args.max_queue or None,
         metrics=metrics,
+        **tenant_kwargs,
     )
     gateway.start(seed=args.seed)
     print(f"loadtest      : mode={args.mode}, {args.clients} clients, "

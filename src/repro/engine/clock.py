@@ -843,9 +843,16 @@ class EngineCore:
         arriving work: anything a hook submits or cancels with a due
         submit interval is admitted (or retired) in the very tick that
         follows.  The serving gateway (:mod:`repro.serve`) drains its
-        request queue through one of these.  Hook work is not counted in
-        the session's ``elapsed_seconds``, and hooks are never
-        checkpointed — re-register after a resume.
+        request queue through one of these.
+
+        **Ordering guarantee:** hooks run in registration order, every
+        tick — registration order *is* drain precedence.  A
+        :class:`~repro.serve.fleet.GatewayFleet` relies on this: member
+        gateways register their drains in member order, so the merged
+        per-tick drain is deterministic and identical across runs and
+        resumes (members re-register in the same order).  Hook work is
+        not counted in the session's ``elapsed_seconds``, and hooks are
+        never checkpointed — re-register after a resume.
         """
         self._tick_boundary_hooks.append(hook)
 

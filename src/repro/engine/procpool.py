@@ -373,9 +373,15 @@ class _ProcessBackend(ClockBackend):
                 pass  # already gone; join/terminate below
             conn.close()
             proc.join(timeout=_CLOSE_GRACE_SECONDS)
-            if proc.is_alive():  # pragma: no cover - defensive teardown
+            if proc.is_alive():
+                # Escalate: SIGTERM first, SIGKILL if the worker ignores
+                # it — every join is bounded, so a wedged worker (stuck
+                # kernel, masked SIGTERM) can never hang close().
                 proc.terminate()
                 proc.join(timeout=_CLOSE_GRACE_SECONDS)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=_CLOSE_GRACE_SECONDS)
 
     # ------------------------------------------------------------------
     # Checkpoint surface

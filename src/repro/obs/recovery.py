@@ -65,7 +65,12 @@ def reconstruct_trace(
     trace's stable tick sort preserves the exact original delivery
     order within every tick.
     """
-    from repro.serve.requests import RequestTrace, TimedRequest, request_from_dict
+    from repro.serve.requests import (
+        DEFAULT_TENANT,
+        RequestTrace,
+        TimedRequest,
+        request_from_dict,
+    )
 
     reader = EventLog.read(log_path)
     requests = tuple(
@@ -73,6 +78,9 @@ def reconstruct_trace(
             tick=event.tick,
             client=event.client or "anon",
             request=request_from_dict(event.payload["request"]),
+            # The gateway logs the tenant key only when non-default, the
+            # same convention RequestTrace serialization uses.
+            tenant=event.payload.get("tenant", DEFAULT_TENANT),
         )
         for event in reader.events(since=since_seq, kind="request")
     )

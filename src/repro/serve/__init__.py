@@ -12,18 +12,27 @@ reading telemetry *while* the deterministic clock keeps ticking.
   envelope, and :class:`RequestTrace` — deterministic, replayable,
   JSON-round-trippable recordings of timed client traffic (scenarios
   lower into traces via :meth:`RequestTrace.from_scenario`).
-* :mod:`repro.serve.admission` — the bounded FIFO
-  :class:`AdmissionQueue` mutating requests coalesce in, with
-  loss-free :class:`Ticket` tracking and deterministic backpressure.
+* :mod:`repro.serve.admission` — the bounded :class:`AdmissionQueue`
+  mutating requests coalesce in: per-tenant FIFO subqueues drained
+  weighted-fair (deficit round-robin), loss-free :class:`Ticket`
+  tracking, deterministic backpressure.
+* :mod:`repro.serve.tenants` — tenant identity and isolation:
+  :class:`TenantQuota` (live-campaign budget, per-tick admission rate)
+  and the :class:`TenantLedger` quota checks run against; exhausted
+  quotas answer typed backpressure naming the tenant and quota.
 * :mod:`repro.serve.gateway` — the :class:`Gateway`: tick-boundary
   request drains riding the ordinary mid-flight ``submit()``/``cancel()``
   paths (served outcomes bit-identical to the offline run), cache-peek
   quotes that never block or perturb the clock, an asyncio facade for
   concurrent clients, and checkpoint/resume of the whole served session.
+* :mod:`repro.serve.fleet` — the :class:`GatewayFleet`: N gateway
+  frontiers partitioned over one shared engine session, tenants hashed
+  to members, one merged telemetry stream — replay-deterministic and
+  checkpoint/resumable like the solo gateway.
 * :mod:`repro.serve.telemetry` — :class:`GatewayTelemetry`: per-tick
-  queue/batch/admission series layered over the engine telemetry, plus
-  wall-clock latency percentiles (p50/p95/p99) kept out of the
-  deterministic serialized form.
+  queue/batch/admission series (with per-tenant breakdowns) layered
+  over the engine telemetry, plus wall-clock latency percentiles
+  (p50/p95/p99) kept out of the deterministic serialized form.
 * :mod:`repro.serve.loadgen` — the seeded :class:`LoadGenerator`:
   open/closed arrival modes, a configurable client mix, deterministic
   traces and live asyncio closed-loop clients.
@@ -45,9 +54,11 @@ contract.
 """
 
 from repro.serve.admission import AdmissionQueue, QueueStats, Ticket
+from repro.serve.fleet import GatewayFleet
 from repro.serve.gateway import Gateway
 from repro.serve.loadgen import ClientMix, LoadGenerator
 from repro.serve.requests import (
+    DEFAULT_TENANT,
     REQUEST_TYPES,
     Cancel,
     QueryTelemetry,
@@ -63,13 +74,21 @@ from repro.serve.requests import (
 )
 from repro.serve.telemetry import (
     SERVE_SERIES_FIELDS,
+    TENANT_SERIES_FIELDS,
     DrainReport,
     GatewayTelemetry,
     LatencyRecorder,
 )
+from repro.serve.tenants import (
+    TenantLedger,
+    TenantQuota,
+    parse_tenant_quotas,
+    parse_tenant_weights,
+)
 
 __all__ = [
     "Gateway",
+    "GatewayFleet",
     "LoadGenerator",
     "ClientMix",
     "AdmissionQueue",
@@ -91,4 +110,10 @@ __all__ = [
     "DrainReport",
     "LatencyRecorder",
     "SERVE_SERIES_FIELDS",
+    "TENANT_SERIES_FIELDS",
+    "DEFAULT_TENANT",
+    "TenantQuota",
+    "TenantLedger",
+    "parse_tenant_weights",
+    "parse_tenant_quotas",
 ]

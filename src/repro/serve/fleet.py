@@ -1,0 +1,476 @@
+"""A fleet of gateways over one engine session, behind one facade.
+
+:class:`GatewayFleet` runs N :class:`~repro.serve.gateway.Gateway`
+frontiers — each with its own admission queue and fair scheduler —
+against a single shared engine (the pooled
+:class:`~repro.engine.engine.MarketplaceEngine` or a
+:class:`~repro.engine.sharding.ShardedEngine` pool at any shard count).
+The fleet is the multi-tenant topology: tenants are **partitioned**
+across members (stable CRC-32 of the tenant id, untagged traffic by
+client id), so each tenant's requests land on exactly one member and
+keep their per-tenant FIFO order, while the members' queues isolate
+tenant groups from each other's backpressure.
+
+What makes a fleet more than N gateways:
+
+* **One clock.**  Members register their tick-boundary drains on the
+  shared :class:`~repro.engine.clock.EngineCore` in member order — the
+  documented hook-ordering guarantee (``engine/clock.py``) makes the
+  merged drain deterministic.  :meth:`step` ticks the engine once and
+  merges every member's drain tally into a single recorded tick.
+* **One ledger.**  All members share a
+  :class:`~repro.serve.tenants.TenantLedger`, so per-tenant quotas bound
+  the *tenant*, not the tenant-per-member (settlement is idempotent per
+  interval — the shared ledger settles once per tick no matter how many
+  members saw it).
+* **One telemetry stream.**  Members resolve responses into a shared
+  :class:`~repro.serve.telemetry.GatewayTelemetry`; the fleet records
+  each tick once with the merged drain report, so the serialized
+  telemetry of an uncontended fleet replay is **bit-identical** to the
+  single-gateway replay of the same trace (asserted across member and
+  shard counts in ``tests/serve/test_fleet.py``).
+* **One bundle.**  :meth:`save` checkpoints the engine plus every
+  member's frontier under a fleet extras key; :meth:`resume` reopens the
+  whole fleet mid-serve, replay cursor included — exactly the solo
+  gateway's durability story.
+
+The engine resolves same-tick submissions by re-sorting pending
+campaigns at admission, so partitioning requests across members never
+changes outcomes — only the *set* of submissions a tick sees matters.
+Observability sinks (event log, tracer, metrics) are not wired at the
+fleet level; serve a solo :class:`Gateway` when you need the durable
+event log.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import time
+
+from repro.engine.checkpoint import (
+    CheckpointError,
+    load_extras,
+    restore_engine,
+    save_checkpoint,
+)
+from repro.engine.clock import EngineBase, EngineCore, TickReport
+from repro.engine.sharding import shard_of
+from repro.serve.gateway import Gateway
+from repro.serve.requests import (
+    DEFAULT_TENANT,
+    RequestTrace,
+    Response,
+    SubmitCampaign,
+)
+from repro.serve.telemetry import DrainReport, GatewayTelemetry
+from repro.serve.tenants import TenantLedger, TenantQuota
+
+__all__ = ["GatewayFleet"]
+
+#: Key the fleet's state lives under in a checkpoint bundle's extras.
+_FLEET_EXTRAS_KEY = "serve_fleet"
+
+#: Extras format version; bumped on any incompatible change.
+_FLEET_EXTRAS_VERSION = 1
+
+
+class GatewayFleet:
+    """N gateway frontiers sharing one engine session and one clock.
+
+    Parameters
+    ----------
+    engine:
+        The shared engine front-end; the fleet owns its session (call
+        :meth:`start`, then drive via :meth:`step`/:meth:`serve`).
+    num_gateways:
+        Fleet size; tenants partition across members by stable hash.
+    max_live:
+        Global live-campaign budget, enforced against the shared core by
+        every member (the budget is engine-wide, not per-member).
+    max_queue:
+        Per-member queue depth bound.
+    max_drain:
+        Per-member per-boundary drain budget (see
+        :class:`~repro.serve.gateway.Gateway`).
+    tenant_weights / tenant_quotas:
+        Fair-scheduler weights and per-tenant quotas, shared by every
+        member (one ledger fleet-wide).
+    """
+
+    def __init__(
+        self,
+        engine: EngineBase,
+        num_gateways: int = 2,
+        *,
+        max_live: int | None = None,
+        max_queue: int | None = 256,
+        max_drain: int | None = None,
+        tenant_weights: dict[str, float] | None = None,
+        tenant_quotas: dict[str, TenantQuota] | None = None,
+        telemetry: GatewayTelemetry | None = None,
+    ):
+        if num_gateways < 1:
+            raise ValueError(
+                f"num_gateways must be >= 1, got {num_gateways}"
+            )
+        self.engine = engine
+        self.num_gateways = num_gateways
+        self.max_live = max_live
+        self.max_drain = max_drain
+        self.ledger = TenantLedger(tenant_quotas)
+        self.telemetry = telemetry if telemetry is not None else GatewayTelemetry()
+        self._wakeup = asyncio.Event()
+        self.members: list[Gateway] = []
+        for _ in range(num_gateways):
+            member = Gateway(
+                engine,
+                max_live=max_live,
+                max_queue=max_queue,
+                max_drain=max_drain,
+                tenant_weights=tenant_weights,
+                ledger=self.ledger,
+                telemetry=self.telemetry,
+            )
+            # Members share the fleet's facade: one wakeup event (an
+            # offer to any member wakes the serve loop), one snapshot
+            # path (a drained Snapshot checkpoints the whole fleet).
+            member._wakeup = self._wakeup
+            member._snapshot_fn = self.save
+            self.members.append(member)
+        self._started = False
+        self._stopping = False
+        self._replay_trace: RequestTrace | None = None
+        self._replay_cursor = 0
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def start(self, seed: int = 0, rate_multipliers=None) -> EngineCore:
+        """Open the shared session; register member drains in fleet order."""
+        if self._started:
+            raise RuntimeError("the fleet has already started its session")
+        core = self.engine.start(seed=seed)
+        if rate_multipliers is not None:
+            import numpy as np
+
+            core.set_rate_multipliers(np.asarray(rate_multipliers, dtype=float))
+        self._attach(core)
+        return core
+
+    def _attach(self, core: EngineCore) -> None:
+        """Register every member's drain hook, in member order."""
+        for member in self.members:
+            core.add_tick_boundary_hook(member._drain_hook)
+            member._started = True
+        self.telemetry.engine.sync_baselines(core)
+        self._started = True
+
+    @property
+    def started(self) -> bool:
+        """True once :meth:`start` (or :meth:`resume`) opened the session."""
+        return self._started
+
+    @property
+    def core(self) -> EngineCore | None:
+        """The engine's active session, or ``None`` outside one."""
+        return self.engine.core
+
+    def _active_core(self) -> EngineCore:
+        if not self._started:
+            raise RuntimeError("call start(seed) before serving requests")
+        core = self.engine.core
+        if core is None:
+            raise RuntimeError("the fleet's engine session has been closed")
+        return core
+
+    @property
+    def clock(self) -> int:
+        """The engine-clock interval the shared session stands at."""
+        return self._active_core().clock
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests queued across the whole fleet."""
+        return sum(member.queue.depth for member in self.members)
+
+    @property
+    def horizon_exhausted(self) -> bool:
+        """True once the clock crossed the stream horizon (no revival)."""
+        return self._active_core().clock >= self.engine.stream.num_intervals
+
+    @property
+    def done(self) -> bool:
+        """True when nothing could change: engine drained, queues empty."""
+        if not self._started:
+            return False
+        core = self.engine.core
+        if core is None:
+            return True
+        return core.done and self.queue_depth == 0
+
+    def close(self) -> None:
+        """End the session; unanswered queued requests are rejected."""
+        if self.engine.core is not None:
+            for member in self.members:
+                member._flush("gateway fleet closed before the next tick boundary")
+        self.engine.close()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def member_for(self, tenant: str, client: str = "local") -> Gateway:
+        """The member that owns this tenant's (or untagged client's) requests.
+
+        Stable partition: a tenant always lands on the same member, so
+        its requests keep FIFO order through one fair scheduler.
+        Untagged (default-tenant) traffic partitions by client id for the
+        same reason.
+        """
+        key = tenant if tenant != DEFAULT_TENANT else client
+        return self.members[shard_of(key, self.num_gateways)]
+
+    def offer(
+        self, request, client: str = "local", tenant: str = DEFAULT_TENANT
+    ):
+        """Hand one request to the owning member (same contract as Gateway)."""
+        self._active_core()
+        return self.member_for(tenant, client).offer(
+            request, client=client, tenant=tenant
+        )
+
+    # ------------------------------------------------------------------
+    # Driving the clock
+    # ------------------------------------------------------------------
+    def step(self) -> TickReport | None:
+        """Advance the shared clock one tick, merging every member's drain.
+
+        Returns ``None`` when no tick could run (engine idle and no
+        queued mutation revived it); otherwise the engine's report, with
+        the tick recorded **once** into the shared telemetry — the
+        merged drain tally summed across members.
+        """
+        core = self._active_core()
+        if core.done:
+            # Revival drains are unbounded, in member order, so a queued
+            # submission on any member can wake the idle clock.
+            for member in self.members:
+                member._do_drain(core)
+            if core.done:
+                return None
+        report = core.tick()
+        merged = DrainReport()
+        cancelled = []
+        for member in self.members:
+            drain, member_cancelled, _seqs = member._take_drain()
+            merged.absorb(drain)
+            cancelled.extend(member_cancelled)
+        self.ledger.settle(
+            report.interval, (o.spec.campaign_id for o in report.retired)
+        )
+        self.ledger.end_tick(report.interval)
+        self.telemetry.record_tick(core, report, merged, cancelled)
+        return report
+
+    def replay(self, trace: RequestTrace, on_tick=None) -> list:
+        """Deliver a trace at its recorded ticks, routed across the fleet.
+
+        The fleet twin of :meth:`Gateway.replay`: each request is
+        offered to its tenant's owning member right before its arrival
+        tick's boundary.  Uncontended configurations produce engine
+        outcomes and serialized telemetry bit-identical to the
+        single-gateway replay of the same trace.  ``on_tick(fleet)``
+        stops the replay early when it returns ``False`` (cursor kept
+        for :meth:`save`/:meth:`resume_replay`).
+        """
+        self._replay_trace = trace
+        self._replay_cursor = 0
+        return self._replay_loop(on_tick)
+
+    @property
+    def replay_remaining(self) -> int | None:
+        """Trace requests not yet delivered (``None`` outside a replay)."""
+        if self._replay_trace is None:
+            return None
+        return len(self._replay_trace.requests) - self._replay_cursor
+
+    def resume_replay(self, on_tick=None) -> list:
+        """Continue a trace replay restored by :meth:`resume`."""
+        if self._replay_trace is None:
+            raise RuntimeError(
+                "no replay to resume: the bundle carried no trace cursor"
+            )
+        return self._replay_loop(on_tick)
+
+    def _replay_loop(self, on_tick=None) -> list:
+        core = self._active_core()
+        tickets: list = []
+
+        def deliver(stop: int) -> None:
+            while self._replay_cursor < stop:
+                timed = self._replay_trace.requests[self._replay_cursor]
+                self._replay_cursor += 1
+                tickets.append(
+                    self.offer(
+                        timed.request, client=timed.client, tenant=timed.tenant
+                    )
+                )
+
+        while True:
+            trace = self._replay_trace
+            assert trace is not None
+            requests = trace.requests
+            i = self._replay_cursor
+            while i < len(requests) and requests[i].tick <= core.clock:
+                i += 1
+            deliver(i)
+            if core.done and self.queue_depth == 0:
+                if self._replay_cursor >= len(requests):
+                    break
+                # Engine idle mid-trace: deliver up to and including the
+                # next submission to wake the clock (same early-delivery
+                # rule as the solo gateway — queueing draws no randomness).
+                j = self._replay_cursor
+                while j < len(requests) and not isinstance(
+                    requests[j].request, SubmitCampaign
+                ):
+                    j += 1
+                deliver(min(j + 1, len(requests)))
+                continue
+            report = self.step()
+            if report is not None and on_tick is not None:
+                if on_tick(self) is False:
+                    return tickets
+        self._replay_trace = None
+        self._replay_cursor = 0
+        return tickets
+
+    # ------------------------------------------------------------------
+    # The asyncio facade
+    # ------------------------------------------------------------------
+    async def request(
+        self, request, client: str = "anon", tenant: str = DEFAULT_TENANT
+    ) -> Response:
+        """Send one request through the owning member and await its response."""
+        ticket = self.offer(request, client=client, tenant=tenant)
+        if ticket.done:
+            return ticket.response
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        ticket.add_done_callback(
+            lambda t: None if future.done() else future.set_result(t.response)
+        )
+        return await future
+
+    async def serve(
+        self, *, max_ticks: int | None = None, stop_when_idle: bool = False
+    ) -> int:
+        """Run the shared tick loop; park while idle until an offer arrives."""
+        self._stopping = False
+        ticks = 0
+        while not self._stopping:
+            if max_ticks is not None and ticks >= max_ticks:
+                break
+            report = self.step()
+            if report is not None:
+                ticks += 1
+                await asyncio.sleep(0)
+                continue
+            if self.horizon_exhausted or stop_when_idle:
+                break
+            self._wakeup.clear()
+            await self._wakeup.wait()
+        for member in self.members:
+            member._flush("gateway fleet stopped before the next tick boundary")
+        return ticks
+
+    def stop(self) -> None:
+        """Ask a running :meth:`serve` loop to exit at the next boundary."""
+        self._stopping = True
+        self._wakeup.set()
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Snapshot the fleet to one bundle (engine + every member frontier)."""
+        if not self._started:
+            raise CheckpointError(
+                "the fleet has not started; nothing to snapshot"
+            )
+        reference = self.members[0]
+        state = {
+            "version": _FLEET_EXTRAS_VERSION,
+            "config": {
+                "num_gateways": self.num_gateways,
+                **reference._config_state(),
+            },
+            "members": [member._frontier_state() for member in self.members],
+            "tenants": self.ledger.to_dict(),
+            "telemetry": self.telemetry.to_dict(),
+            "replay": (
+                None
+                if self._replay_trace is None
+                else {
+                    "trace": self._replay_trace.to_dict(),
+                    "cursor": self._replay_cursor,
+                }
+            ),
+        }
+        return save_checkpoint(
+            self.engine, path, extras={_FLEET_EXTRAS_KEY: state}
+        )
+
+    @classmethod
+    def resume(cls, path: str | pathlib.Path) -> "GatewayFleet":
+        """Reopen a fleet from a bundle written by :meth:`save`."""
+        engine = restore_engine(path)
+        extras = load_extras(path)
+        state = (extras or {}).get(_FLEET_EXTRAS_KEY)
+        if state is None:
+            raise CheckpointError(
+                f"bundle at {path} carries no serving-fleet state "
+                "(was it written by GatewayFleet.save?)"
+            )
+        if state.get("version") != _FLEET_EXTRAS_VERSION:
+            raise CheckpointError(
+                f"serve-fleet state version {state.get('version')!r} is not "
+                f"supported (this build reads version {_FLEET_EXTRAS_VERSION})"
+            )
+        config = state["config"]
+        quotas = config.get("tenant_quotas")
+        fleet = cls(
+            engine,
+            config["num_gateways"],
+            max_live=config["max_live"],
+            max_queue=config["max_queue"],
+            max_drain=config.get("max_drain"),
+            tenant_weights=config.get("tenant_weights"),
+            tenant_quotas=(
+                {t: TenantQuota.from_dict(q) for t, q in quotas.items()}
+                if quotas
+                else None
+            ),
+            telemetry=GatewayTelemetry.from_dict(state["telemetry"]),
+        )
+        fleet.ledger.restore(state.get("tenants"))
+        core = engine.core
+        assert core is not None  # restore_engine always opens a session
+        fleet._attach(core)
+        now = time.perf_counter()
+        for member, member_state in zip(fleet.members, state["members"]):
+            member._restore_frontier(member_state, now)
+        if state["replay"] is not None:
+            fleet._replay_trace = RequestTrace.from_dict(
+                state["replay"]["trace"]
+            )
+            fleet._replay_cursor = int(state["replay"]["cursor"])
+        return fleet
+
+    def __repr__(self) -> str:
+        state = "started" if self._started else "idle"
+        return (
+            f"GatewayFleet({self.num_gateways} gateways, {state}, "
+            f"queue depth {self.queue_depth}, "
+            f"{self.telemetry.total_requests} responses)"
+        )

@@ -71,6 +71,7 @@ from repro.obs.tracing import trace_id_for_seq
 from repro.scenario.driver import apply_cancellation
 from repro.serve.admission import AdmissionQueue, Ticket
 from repro.serve.requests import (
+    DEFAULT_TENANT,
     Cancel,
     Quote,
     QueryTelemetry,
@@ -83,6 +84,7 @@ from repro.serve.requests import (
     request_to_dict,
 )
 from repro.serve.telemetry import DrainReport, GatewayTelemetry
+from repro.serve.tenants import TenantLedger, TenantQuota
 
 __all__ = ["Gateway"]
 
@@ -114,6 +116,27 @@ class Gateway:
     max_queue:
         Mutating-request queue depth; offers beyond it are rejected at
         offer time.  ``None`` disables the bound.
+    max_drain:
+        Per-boundary drain budget: at most this many queued requests are
+        applied at each tick boundary (``None`` = drain everything, the
+        historical behaviour).  Bounding the drain is what makes the
+        weighted-fair scheduler observable — with an unbounded drain
+        every queued request lands at the next boundary regardless of
+        tenant.  Revival drains (waking an idle clock) stay unbounded so
+        a queued submission can always restart the session.
+    tenant_weights:
+        Tenant name -> drain weight for the deficit-round-robin
+        scheduler (unlisted tenants weigh 1.0).  ``None`` keeps every
+        tenant at equal weight.
+    tenant_quotas:
+        Tenant name -> :class:`~repro.serve.tenants.TenantQuota`.
+        Exhausted quotas answer typed backpressure rejections whose
+        payload names the tenant and quota.
+    ledger:
+        The :class:`~repro.serve.tenants.TenantLedger` quota checks run
+        against; fresh by default.  A :class:`~repro.serve.fleet.GatewayFleet`
+        passes one shared ledger to every member so quotas bound the
+        tenant across the whole fleet.
     telemetry:
         The serving collector; fresh by default (restored on resume).
     event_log:
@@ -139,6 +162,10 @@ class Gateway:
         *,
         max_live: int | None = None,
         max_queue: int | None = 256,
+        max_drain: int | None = None,
+        tenant_weights: dict[str, float] | None = None,
+        tenant_quotas: dict[str, TenantQuota] | None = None,
+        ledger: TenantLedger | None = None,
         telemetry: GatewayTelemetry | None = None,
         event_log=None,
         tracer=None,
@@ -146,9 +173,17 @@ class Gateway:
     ):
         if max_live is not None and max_live < 1:
             raise ValueError(f"max_live must be >= 1 or None, got {max_live}")
+        if max_drain is not None and max_drain < 1:
+            raise ValueError(f"max_drain must be >= 1 or None, got {max_drain}")
         self.engine = engine
         self.max_live = max_live
-        self.queue = AdmissionQueue(max_depth=max_queue)
+        self.max_drain = max_drain
+        self.queue = AdmissionQueue(max_depth=max_queue, weights=tenant_weights)
+        self.ledger = ledger if ledger is not None else TenantLedger(tenant_quotas)
+        # What a drained Snapshot request calls to write the bundle; a
+        # fleet points every member at the fleet-wide save so a snapshot
+        # through any member checkpoints the whole fleet.
+        self._snapshot_fn = self.save
         self.telemetry = telemetry if telemetry is not None else GatewayTelemetry()
         self.event_log = event_log
         self.tracer = tracer
@@ -256,22 +291,26 @@ class Gateway:
     # ------------------------------------------------------------------
     # The request frontier (synchronous surface)
     # ------------------------------------------------------------------
-    def offer(self, request, client: str = "local") -> Ticket:
+    def offer(
+        self, request, client: str = "local", tenant: str = DEFAULT_TENANT
+    ) -> Ticket:
         """Hand one request to the gateway; returns its response ticket.
 
         Reads (:class:`Quote`, :class:`QueryTelemetry`) resolve before
         this returns.  Mutating requests resolve at the next tick
         boundary — drive the gateway (:meth:`step`, :meth:`serve`, or
-        :meth:`replay`) and read ``ticket.response``.
+        :meth:`replay`) and read ``ticket.response``.  ``tenant`` selects
+        the fair-scheduler subqueue and the quota the submission is
+        checked against.
         """
         core = self._active_core()
         now = time.perf_counter()
         if not is_mutating(request):
-            ticket = self.queue.make_ticket(client, request, now)
+            ticket = self.queue.make_ticket(client, request, now, tenant)
             self._record_request(ticket, core)
             self._resolve(ticket, self._answer_read(request, core))
             return ticket
-        ticket, accepted = self.queue.offer(client, request, now)
+        ticket, accepted = self.queue.offer(client, request, now, tenant)
         self._record_request(ticket, core)
         if not accepted:
             self._resolve(
@@ -296,7 +335,10 @@ class Gateway:
         self.telemetry.count_response(
             response.status, is_read=not is_mutating(ticket.request)
         )
-        self.telemetry.latency.observe(time.perf_counter() - ticket.offered_at)
+        elapsed = time.perf_counter() - ticket.offered_at
+        self.telemetry.latency.observe(elapsed)
+        if ticket.tenant != DEFAULT_TENANT:
+            self.telemetry.latency_for(ticket.tenant).observe(elapsed)
         self._record_response(ticket, response)
 
     # ------------------------------------------------------------------
@@ -311,10 +353,19 @@ class Gateway:
         recovery rebuilds the post-checkpoint request tail from these.
         """
         if self.event_log is not None:
+            payload = {
+                "seq": ticket.seq,
+                "request": request_to_dict(ticket.request),
+            }
+            if ticket.tenant != DEFAULT_TENANT:
+                # Same convention as RequestTrace.to_dict: the tenant key
+                # appears only when tagged, keeping single-tenant event
+                # logs byte-identical to pre-tenant ones.
+                payload["tenant"] = ticket.tenant
             self.event_log.log(
                 "request",
                 core.clock,
-                {"seq": ticket.seq, "request": request_to_dict(ticket.request)},
+                payload,
                 client=ticket.client,
                 trace_id=trace_id_for_seq(ticket.seq),
             )
@@ -458,20 +509,29 @@ class Gateway:
     # ------------------------------------------------------------------
     def _drain_hook(self, core: EngineCore) -> None:
         """The :meth:`EngineCore.tick` boundary hook: apply the queue."""
-        self._do_drain(core)
+        self._do_drain(core, budget=self.max_drain)
 
-    def _do_drain(self, core: EngineCore) -> None:
-        """Apply queued mutations in arrival order, tallying the drain.
+    def _do_drain(self, core: EngineCore, budget: int | None = None) -> None:
+        """Apply queued mutations in fair-scheduler order, tallying the drain.
 
-        The tally accumulates in-place on ``self._pending_drain`` so a
-        mid-batch :class:`Snapshot` checkpoints a consistent partial
-        drain (the resumed gateway finishes the batch and the recorded
-        tick comes out identical to the uninterrupted run's).
+        At most ``budget`` requests are applied (``None`` = all — revival
+        drains pass no budget so a queued submission can always wake an
+        idle clock).  The tally accumulates in-place on
+        ``self._pending_drain`` so a mid-batch :class:`Snapshot`
+        checkpoints a consistent partial drain (the resumed gateway
+        finishes the batch and the recorded tick comes out identical to
+        the uninterrupted run's).
         """
         pd = self._pending_drain
         pd.queue_depth = max(pd.queue_depth, self.queue.depth)
-        while (ticket := self.queue.pop()) is not None:
+        applied = 0
+        while budget is None or applied < budget:
+            ticket = self.queue.pop()
+            if ticket is None:
+                break
+            applied += 1
             pd.drained += 1
+            pd.tally(ticket.tenant, "drained")
             self._drained_seqs.append(ticket.seq)
             request = ticket.request
             if isinstance(request, SubmitCampaign):
@@ -490,9 +550,14 @@ class Gateway:
     ) -> None:
         spec = ticket.request.spec
         if self.max_live is not None:
+            # core.num_pending counts submissions applied earlier in this
+            # same drain batch, so occupancy cannot overshoot within one
+            # boundary; ">=" leaves exactly max_live slots admittable
+            # (both are pinned by regression tests in test_gateway.py).
             occupied = core.num_live + core.num_pending
             if occupied >= self.max_live:
                 pd.rejected += 1
+                pd.tally(ticket.tenant, "rejected")
                 self._resolve(
                     ticket,
                     Response(
@@ -506,10 +571,29 @@ class Gateway:
                     ),
                 )
                 return
+        block = self.ledger.blocked(ticket.tenant)
+        if block is not None:
+            quota_name, why = block
+            pd.rejected += 1
+            pd.tally(ticket.tenant, "rejected")
+            self._resolve(
+                ticket,
+                Response(
+                    kind="submit-campaign", status="rejected",
+                    tick=core.clock,
+                    detail=(
+                        f"tenant {ticket.tenant!r} {why}: backpressure, "
+                        "retry after a tick"
+                    ),
+                    payload={"tenant": ticket.tenant, "quota": quota_name},
+                ),
+            )
+            return
         try:
             self.engine.submit([spec])
         except ValueError as exc:
             pd.rejected += 1
+            pd.tally(ticket.tenant, "rejected")
             self._resolve(
                 ticket,
                 Response(
@@ -519,6 +603,8 @@ class Gateway:
             )
             return
         pd.admitted += 1
+        pd.tally(ticket.tenant, "admitted")
+        self.ledger.admitted(ticket.tenant, spec.campaign_id)
         self._resolve(
             ticket,
             Response(
@@ -546,6 +632,11 @@ class Gateway:
             )
             return
         pd.cancels += 1
+        pd.tally(ticket.tenant, "cancels")
+        if status in ("cancelled", "dropped"):
+            # The campaign left the engine: give its owner the budget
+            # slot back (no-op for campaigns not admitted via a tenant).
+            self.ledger.release(campaign_id)
         if self.event_log is not None:
             self.event_log.log(
                 "cancel",
@@ -579,7 +670,7 @@ class Gateway:
         pd.snapshots += 1
         self.telemetry.count_response("ok", is_read=False)
         try:
-            path = self.save(ticket.request.path)
+            path = self._snapshot_fn(ticket.request.path)
         except CheckpointError as exc:
             pd.snapshots -= 1
             self.telemetry.responses["ok"] -= 1
@@ -638,10 +729,29 @@ class Gateway:
             else None
         )
         report = core.tick()
+        self._finish_tick(core, report, tick_span)
+        return report
+
+    def _take_drain(self) -> tuple[DrainReport, list[CampaignOutcome], list[int]]:
+        """Swap out this frontier's accumulated drain state for one tick.
+
+        Returns ``(drain report, cancelled outcomes, drained seqs)`` —
+        what :meth:`_finish_tick` records for a solo gateway and what a
+        fleet merges across its members before recording once.
+        """
         drain, self._pending_drain = self._pending_drain, DrainReport()
         cancelled, self._pending_cancelled = self._pending_cancelled, []
-        self.telemetry.record_tick(core, report, drain, cancelled)
         drained_seqs, self._drained_seqs = self._drained_seqs, []
+        return drain, cancelled, drained_seqs
+
+    def _finish_tick(self, core: EngineCore, report: TickReport, tick_span=None) -> None:
+        """Record one completed tick: telemetry, ledger, observability."""
+        drain, cancelled, drained_seqs = self._take_drain()
+        self.ledger.settle(
+            report.interval, (o.spec.campaign_id for o in report.retired)
+        )
+        self.ledger.end_tick(report.interval)
+        self.telemetry.record_tick(core, report, drain, cancelled)
         if tick_span is not None:
             self.tracer.finish_span(
                 tick_span,
@@ -660,7 +770,6 @@ class Gateway:
             self.metrics.gauge(
                 "serve_queue_depth", "Mutating requests queued"
             ).set(self.queue.depth)
-        return report
 
     def _log_tick(self, core: EngineCore, report: TickReport, drain: DrainReport) -> None:
         """Append this tick's admission batches and summary row."""
@@ -737,7 +846,11 @@ class Gateway:
             while self._replay_cursor < stop:
                 timed = self._replay_trace.requests[self._replay_cursor]
                 self._replay_cursor += 1
-                tickets.append(self.offer(timed.request, client=timed.client))
+                tickets.append(
+                    self.offer(
+                        timed.request, client=timed.client, tenant=timed.tenant
+                    )
+                )
 
         while True:
             trace = self._replay_trace
@@ -773,14 +886,16 @@ class Gateway:
     # ------------------------------------------------------------------
     # The asyncio facade (concurrent client sessions)
     # ------------------------------------------------------------------
-    async def request(self, request, client: str = "anon") -> Response:
+    async def request(
+        self, request, client: str = "anon", tenant: str = DEFAULT_TENANT
+    ) -> Response:
         """Send one request and await its response.
 
         Reads return immediately; mutating requests wait for the tick
         boundary their batch is applied at.  Requires a running
         :meth:`serve` loop (or someone else stepping the gateway).
         """
-        ticket = self.offer(request, client=client)
+        ticket = self.offer(request, client=client, tenant=tenant)
         if ticket.done:
             return ticket.response
         loop = asyncio.get_running_loop()
@@ -835,14 +950,120 @@ class Gateway:
     # ------------------------------------------------------------------
     # Checkpoint / resume
     # ------------------------------------------------------------------
+    def _frontier_state(self) -> dict:
+        """This frontier's serialized queue + drain-in-progress state.
+
+        The per-gateway half of a bundle's extras — :meth:`save` embeds
+        one for a solo gateway, a fleet embeds one per member.  Additive
+        tenant keys follow the trace convention: present only when they
+        carry non-default information, so single-tenant bundles stay
+        byte-identical to pre-tenant ones.
+        """
+        entries = []
+        for t in self.queue.snapshot():
+            entry = {
+                "seq": t.seq,
+                "client": t.client,
+                "request": request_to_dict(t.request),
+            }
+            if t.tenant != DEFAULT_TENANT:
+                entry["tenant"] = t.tenant
+            entries.append(entry)
+        pending_drain = {
+            "queue_depth": self._pending_drain.queue_depth,
+            "drained": self._pending_drain.drained,
+            "admitted": self._pending_drain.admitted,
+            "rejected": self._pending_drain.rejected,
+            "cancels": self._pending_drain.cancels,
+            "snapshots": self._pending_drain.snapshots,
+        }
+        if self._pending_drain.tenants:
+            pending_drain["tenants"] = {
+                tenant: dict(row)
+                for tenant, row in self._pending_drain.tenants.items()
+            }
+        state = {
+            "next_seq": self.queue.next_seq,
+            "queue": entries,
+            "pending_drain": pending_drain,
+            # Full records, spec embedded: in streaming mode the engine
+            # holds no outcome list to look these up in at resume time.
+            "pending_cancelled": [
+                outcome_record(o, with_spec=True)
+                for o in self._pending_cancelled
+            ],
+        }
+        # The DRR round state matters only when several tenants are
+        # queued (single-tenant restore is exact without it).
+        if len(self.queue.tenants) > 1 or self.queue.weights:
+            state["scheduler"] = self.queue.scheduler_state()
+        return state
+
+    def _restore_frontier(self, state: dict, now: float) -> None:
+        """Reload :meth:`_frontier_state` into this gateway (resume path)."""
+        self.queue.restore(
+            state["next_seq"],
+            [
+                Ticket(
+                    int(entry["seq"]),
+                    entry["client"],
+                    request_from_dict(entry["request"]),
+                    now,
+                    entry.get("tenant", DEFAULT_TENANT),
+                )
+                for entry in state["queue"]
+            ],
+            scheduler=state.get("scheduler"),
+        )
+        pending_drain = dict(state["pending_drain"])
+        tenants = pending_drain.pop("tenants", {})
+        self._pending_drain = DrainReport(
+            **pending_drain,
+            tenants={t: dict(row) for t, row in tenants.items()},
+        )
+        core = self.engine.core
+        # Current bundles store full outcome records; bundles written
+        # before the streaming core stored bare ids resolved against the
+        # engine's materialized outcome list.
+        outcomes = (
+            {o.spec.campaign_id: o for o in core.outcomes}
+            if core is not None
+            else {}
+        )
+        self._pending_cancelled = [
+            outcome_from_record(entry)
+            if isinstance(entry, dict)
+            else outcomes[entry]
+            for entry in state["pending_cancelled"]
+        ]
+
+    def _config_state(self) -> dict:
+        """The admission configuration as serialized in bundle extras."""
+        config = {
+            "max_live": self.max_live,
+            "max_queue": self.queue.max_depth,
+        }
+        # Additive keys, present only when configured (.get on resume).
+        if self.max_drain is not None:
+            config["max_drain"] = self.max_drain
+        if self.queue.weights:
+            config["tenant_weights"] = dict(self.queue.weights)
+        if self.ledger.quotas:
+            config["tenant_quotas"] = {
+                tenant: quota.to_dict()
+                for tenant, quota in self.ledger.quotas.items()
+            }
+        return config
+
     def save(self, path: str | pathlib.Path) -> pathlib.Path:
         """Snapshot the served session to a bundle (engine + gateway state).
 
         The bundle is a regular engine checkpoint whose extras carry the
         gateway's unanswered queue, the drain-in-progress tally, the
-        serving telemetry, the admission configuration, and — when called
-        inside :meth:`replay` — the trace and its cursor.  Legal at any
-        tick boundary, including mid-drain (a queued :class:`Snapshot`).
+        tenant ledger, the serving telemetry, the admission
+        configuration, and — when called inside :meth:`replay` — the
+        trace and its cursor.  Legal at any tick boundary, including
+        mid-drain (a queued :class:`Snapshot`).
         """
         if not self._started:
             raise CheckpointError(
@@ -858,33 +1079,8 @@ class Gateway:
         state = {
             "version": _EXTRAS_VERSION,
             "event_log": event_log_state,
-            "config": {
-                "max_live": self.max_live,
-                "max_queue": self.queue.max_depth,
-            },
-            "next_seq": self.queue.next_seq,
-            "queue": [
-                {
-                    "seq": t.seq,
-                    "client": t.client,
-                    "request": request_to_dict(t.request),
-                }
-                for t in self.queue.snapshot()
-            ],
-            "pending_drain": {
-                "queue_depth": self._pending_drain.queue_depth,
-                "drained": self._pending_drain.drained,
-                "admitted": self._pending_drain.admitted,
-                "rejected": self._pending_drain.rejected,
-                "cancels": self._pending_drain.cancels,
-                "snapshots": self._pending_drain.snapshots,
-            },
-            # Full records, spec embedded: in streaming mode the engine
-            # holds no outcome list to look these up in at resume time.
-            "pending_cancelled": [
-                outcome_record(o, with_spec=True)
-                for o in self._pending_cancelled
-            ],
+            "config": self._config_state(),
+            **self._frontier_state(),
             "telemetry": self.telemetry.to_dict(),
             "replay": (
                 None
@@ -895,6 +1091,11 @@ class Gateway:
                 }
             ),
         }
+        ledger_state = self.ledger.to_dict()
+        if any(
+            value for value in ledger_state.values() if isinstance(value, dict)
+        ):
+            state["tenants"] = ledger_state
         bundle = save_checkpoint(self.engine, path, extras={_EXTRAS_KEY: state})
         if self.event_log is not None:
             self.event_log.log(
@@ -937,15 +1138,25 @@ class Gateway:
                 f"serve-gateway state version {state.get('version')!r} is not "
                 f"supported (this build reads version {_EXTRAS_VERSION})"
             )
+        config = state["config"]
+        quotas = config.get("tenant_quotas")
         gateway = cls(
             engine,
-            max_live=state["config"]["max_live"],
-            max_queue=state["config"]["max_queue"],
+            max_live=config["max_live"],
+            max_queue=config["max_queue"],
+            max_drain=config.get("max_drain"),
+            tenant_weights=config.get("tenant_weights"),
+            tenant_quotas=(
+                {t: TenantQuota.from_dict(q) for t, q in quotas.items()}
+                if quotas
+                else None
+            ),
             telemetry=GatewayTelemetry.from_dict(state["telemetry"]),
             event_log=event_log,
             tracer=tracer,
             metrics=metrics,
         )
+        gateway.ledger.restore(state.get("tenants"))
         core = engine.core
         assert core is not None  # restore_engine always opens a session
         core.add_tick_boundary_hook(gateway._drain_hook)
@@ -965,30 +1176,7 @@ class Gateway:
                 {"action": "resume", "bundle": str(path)},
             )
         gateway._started = True
-        now = time.perf_counter()
-        gateway.queue.restore(
-            state["next_seq"],
-            [
-                Ticket(
-                    int(entry["seq"]),
-                    entry["client"],
-                    request_from_dict(entry["request"]),
-                    now,
-                )
-                for entry in state["queue"]
-            ],
-        )
-        gateway._pending_drain = DrainReport(**state["pending_drain"])
-        # Current bundles store full outcome records; bundles written
-        # before the streaming core stored bare ids resolved against the
-        # engine's materialized outcome list.
-        outcomes = {o.spec.campaign_id: o for o in core.outcomes}
-        gateway._pending_cancelled = [
-            outcome_from_record(entry)
-            if isinstance(entry, dict)
-            else outcomes[entry]
-            for entry in state["pending_cancelled"]
-        ]
+        gateway._restore_frontier(state, time.perf_counter())
         if state["replay"] is not None:
             gateway._replay_trace = RequestTrace.from_dict(
                 state["replay"]["trace"]

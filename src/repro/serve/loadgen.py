@@ -35,6 +35,7 @@ import numpy as np
 from repro.engine.workload import DEFAULT_TEMPLATES, CampaignTemplate
 from repro.serve.gateway import Gateway
 from repro.serve.requests import (
+    DEFAULT_TENANT,
     Cancel,
     Quote,
     QueryTelemetry,
@@ -109,6 +110,11 @@ class LoadGenerator:
         Probability a drawn deadline campaign re-plans adaptively.
     quote_solve_on_miss:
         Whether drawn quotes ask the gateway to solve uncached shapes.
+    tenants:
+        Optional tenant names; client ``i`` issues every request under
+        tenant ``tenants[i % len(tenants)]`` (round-robin assignment).
+        ``None`` leaves all traffic on the default tenant — traces then
+        serialize byte-identically to the pre-tenant generator's.
     """
 
     def __init__(
@@ -124,6 +130,7 @@ class LoadGenerator:
         templates: Sequence[CampaignTemplate] = DEFAULT_TEMPLATES,
         adaptive_fraction: float = 0.25,
         quote_solve_on_miss: bool = False,
+        tenants: Sequence[str] | None = None,
     ):
         if num_intervals <= 0:
             raise ValueError(f"num_intervals must be positive, got {num_intervals}")
@@ -149,6 +156,15 @@ class LoadGenerator:
         self.templates = tuple(templates)
         self.adaptive_fraction = adaptive_fraction
         self.quote_solve_on_miss = quote_solve_on_miss
+        if tenants is not None and not all(tenants):
+            raise ValueError("tenant names must be non-empty")
+        self.tenants = tuple(tenants) if tenants is not None else None
+
+    def _tenant_of(self, client_index: int) -> str:
+        """The tenant client ``i`` issues requests under."""
+        if self.tenants is None:
+            return DEFAULT_TENANT
+        return self.tenants[client_index % len(self.tenants)]
 
     # ------------------------------------------------------------------
     # Request drawing (shared by both modes)
@@ -221,13 +237,19 @@ class LoadGenerator:
         if mode == "open":
             for t in range(self.num_intervals):
                 for _ in range(int(rng.poisson(self.rate))):
-                    client = names[int(rng.integers(len(names)))]
+                    index = int(rng.integers(len(names)))
+                    client = names[index]
                     request = self._draw_request(
                         rng, client, t, submitted[client], counters
                     )
-                    requests.append(TimedRequest(t, client, request))
+                    requests.append(
+                        TimedRequest(
+                            t, client, request, tenant=self._tenant_of(index)
+                        )
+                    )
         else:
-            for client in names:
+            for index, client in enumerate(names):
+                tenant = self._tenant_of(index)
                 t = int(rng.integers(0, self.think + 1))
                 for _ in range(self.requests_per_client):
                     if t >= self.num_intervals:
@@ -235,7 +257,9 @@ class LoadGenerator:
                     request = self._draw_request(
                         rng, client, t, submitted[client], counters
                     )
-                    requests.append(TimedRequest(t, client, request))
+                    requests.append(
+                        TimedRequest(t, client, request, tenant=tenant)
+                    )
                     # One tick of service, then a drawn think pause.
                     t += 1 + int(rng.integers(0, 2 * self.think + 1))
         return RequestTrace(
@@ -262,6 +286,7 @@ class LoadGenerator:
 
         async def client_session(name: str, client_seed: int) -> None:
             rng = np.random.default_rng([self.seed, 0xC11E, client_seed])
+            tenant = self._tenant_of(client_seed)
             submitted: list[str] = []
             counters: dict[str, int] = {}
             for _ in range(self.requests_per_client):
@@ -272,7 +297,9 @@ class LoadGenerator:
                 request = self._draw_request(
                     rng, name, tick, submitted, counters
                 )
-                response = await gateway.request(request, client=name)
+                response = await gateway.request(
+                    request, client=name, tenant=tenant
+                )
                 responses.append(response)
                 for _ in range(self.think):
                     await asyncio.sleep(0)

@@ -43,6 +43,7 @@ from typing import Iterable
 from repro.engine.campaign import CampaignSpec
 
 __all__ = [
+    "DEFAULT_TENANT",
     "SubmitCampaign",
     "Quote",
     "Cancel",
@@ -56,6 +57,13 @@ __all__ = [
     "request_to_dict",
     "request_from_dict",
 ]
+
+#: The tenant untagged requests belong to.  A gateway that only ever
+#: sees this tenant behaves (and serializes) bit-identically to the
+#: pre-tenant gateway: the field is omitted from trace dicts, the
+#: admission queue degenerates to one global FIFO, and no quota applies
+#: unless one was configured for ``"default"`` explicitly.
+DEFAULT_TENANT = "default"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -237,17 +245,25 @@ class TimedRequest:
         (and, within a trace, globally — arrival order is total).
     request:
         The request itself (any :data:`REQUEST_TYPES` member).
+    tenant:
+        Tenant the client belongs to (:data:`DEFAULT_TENANT` when
+        untagged).  Weighted-fair scheduling, quotas, and fleet routing
+        key on it; replay hands it to :meth:`Gateway.offer
+        <repro.serve.gateway.Gateway.offer>` with each request.
     """
 
     tick: int
     client: str
     request: object
+    tenant: str = DEFAULT_TENANT
 
     def __post_init__(self) -> None:
         if self.tick < 0:
             raise ValueError(f"tick must be non-negative, got {self.tick}")
         if not self.client:
             raise ValueError("client id must be non-empty")
+        if not self.tenant:
+            raise ValueError("tenant id must be non-empty")
         if type(self.request) not in _TYPE_TAGS:
             raise TypeError(
                 f"unknown request type {type(self.request).__name__}"
@@ -339,13 +355,23 @@ class RequestTrace:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """The trace as a JSON-ready dict."""
+        """The trace as a JSON-ready dict.
+
+        The ``tenant`` key is written only for non-default tenants, so a
+        single-tenant trace serializes byte-identically to a pre-tenant
+        one (the golden traces rely on this).
+        """
         return {
             "name": self.name,
             "requests": [
                 {
                     "tick": r.tick,
                     "client": r.client,
+                    **(
+                        {"tenant": r.tenant}
+                        if r.tenant != DEFAULT_TENANT
+                        else {}
+                    ),
                     "request": request_to_dict(r.request),
                 }
                 for r in self.requests
@@ -362,8 +388,24 @@ class RequestTrace:
                     tick=int(r["tick"]),
                     client=r["client"],
                     request=request_from_dict(r["request"]),
+                    tenant=r.get("tenant", DEFAULT_TENANT),
                 )
                 for r in data.get("requests", [])
+            ),
+        )
+
+    def with_tenant(self, tenant: str) -> "RequestTrace":
+        """The same trace with every request re-tagged to ``tenant``.
+
+        How an untagged workload (a lowered scenario, a load-generator
+        draw) becomes one tenant's traffic in a multi-tenant run — the
+        fairness benchmark and the tenant-mode invariance guard both
+        build their workloads this way.
+        """
+        return RequestTrace(
+            name=self.name,
+            requests=tuple(
+                dataclasses.replace(r, tenant=tenant) for r in self.requests
             ),
         )
 

@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "SERVE_TELEMETRY_VERSION",
     "SERVE_SERIES_FIELDS",
+    "TENANT_SERIES_FIELDS",
     "DrainReport",
     "LatencyRecorder",
     "GatewayTelemetry",
@@ -68,6 +69,12 @@ SERVE_SERIES_FIELDS = (
 )
 
 
+#: Per-tenant tally keys carried by a :class:`DrainReport` and the
+#: per-tenant serve series (a subset of :data:`SERVE_SERIES_FIELDS` —
+#: queue depth and reads are frontier-wide, snapshots are operator ops).
+TENANT_SERIES_FIELDS = ("drained", "admitted", "rejected", "cancels")
+
+
 @dataclasses.dataclass
 class DrainReport:
     """What one tick boundary's queue drain did (gateway-internal tally).
@@ -77,6 +84,11 @@ class DrainReport:
     accumulates both in place on one pending report and resets it after
     the tick is recorded.  ``queue_depth`` reports the deepest queue any
     drain found at the boundary.
+
+    ``tenants`` breaks the drain down by non-default tenant
+    (:data:`TENANT_SERIES_FIELDS` per tenant); the default tenant stays
+    untallied so a single-tenant drain report — and everything serialized
+    downstream of it — is byte-identical to the pre-tenant form.
     """
 
     queue_depth: int = 0
@@ -85,6 +97,33 @@ class DrainReport:
     rejected: int = 0
     cancels: int = 0
     snapshots: int = 0
+    tenants: dict = dataclasses.field(default_factory=dict)
+
+    def tally(self, tenant: str, key: str, amount: int = 1) -> None:
+        """Add to one tenant's breakdown (no-op for the default tenant)."""
+        from repro.serve.requests import DEFAULT_TENANT
+
+        if tenant == DEFAULT_TENANT:
+            return
+        row = self.tenants.setdefault(
+            tenant, {field: 0 for field in TENANT_SERIES_FIELDS}
+        )
+        row[key] += amount
+
+    def absorb(self, other: "DrainReport") -> None:
+        """Fold another drain report into this one (fleet tick merge)."""
+        self.queue_depth += other.queue_depth
+        self.drained += other.drained
+        self.admitted += other.admitted
+        self.rejected += other.rejected
+        self.cancels += other.cancels
+        self.snapshots += other.snapshots
+        for tenant, row in other.tenants.items():
+            mine = self.tenants.setdefault(
+                tenant, {field: 0 for field in TENANT_SERIES_FIELDS}
+            )
+            for key, value in row.items():
+                mine[key] += value
 
 
 class LatencyRecorder:
@@ -175,7 +214,16 @@ class GatewayTelemetry:
     def __init__(self, engine: Telemetry | None = None):
         self.engine = engine if engine is not None else Telemetry()
         self.serve: dict[str, list] = {key: [] for key in SERVE_SERIES_FIELDS}
+        # Per-tenant serve series (non-default tenants only): tenant ->
+        # {field -> list}, every list padded to num_ticks so a tenant that
+        # appears mid-session still aligns with the global series.  Empty
+        # for a single-tenant session — and then absent from to_dict(),
+        # keeping pre-tenant serialized forms byte-identical.
+        self.tenants: dict[str, dict[str, list]] = {}
         self.latency = LatencyRecorder()
+        # Per-tenant latency recorders, created lazily; wall-clock only,
+        # never serialized (same rule as the global recorder).
+        self.latency_by_tenant: dict[str, LatencyRecorder] = {}
         # Lifetime response counters by status, plus total reads served.
         self.responses = {"ok": 0, "rejected": 0, "error": 0}
         self.reads_served = 0
@@ -213,7 +261,16 @@ class GatewayTelemetry:
             serve = {
                 key: list(values[-last:]) for key, values in self.serve.items()
             }
-        return {"serve": serve, "engine": self.engine.window(last)}
+        window = {"serve": serve, "engine": self.engine.window(last)}
+        if self.tenants:
+            window["tenants"] = {
+                tenant: {
+                    key: (list(values[-last:]) if last > 0 else [])
+                    for key, values in series.items()
+                }
+                for tenant, series in self.tenants.items()
+            }
+        return window
 
     def summary(self) -> str:
         """Short human-readable digest (what the serve CLI prints)."""
@@ -237,6 +294,14 @@ class GatewayTelemetry:
                 f"p95 {lat['p95_ms']:.2f}ms / p99 {lat['p99_ms']:.2f}ms "
                 f"over {lat['count']} requests"
             )
+        for tenant in sorted(self.tenants):
+            series = self.tenants[tenant]
+            lines.append(
+                f"tenant {tenant:<7}: {sum(series['admitted'])} admitted, "
+                f"{sum(series['rejected'])} rejected, "
+                f"{sum(series['cancels'])} cancels "
+                f"over {sum(series['drained'])} drained"
+            )
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -248,6 +313,13 @@ class GatewayTelemetry:
         if is_read:
             self.reads_served += 1
 
+    def latency_for(self, tenant: str) -> LatencyRecorder:
+        """The tenant's latency recorder (created on first use)."""
+        recorder = self.latency_by_tenant.get(tenant)
+        if recorder is None:
+            recorder = self.latency_by_tenant[tenant] = LatencyRecorder()
+        return recorder
+
     def record_tick(
         self,
         core: "EngineCore",
@@ -257,6 +329,14 @@ class GatewayTelemetry:
     ) -> None:
         """Append one tick: the engine series plus the serve series."""
         self.engine.record_tick(core, report, cancelled=cancelled)
+        # Pad any newly-seen tenant series to the pre-append length so
+        # every tenant list stays aligned with serve["interval"].
+        ticks_before = self.num_ticks
+        for tenant in drain.tenants:
+            if tenant not in self.tenants:
+                self.tenants[tenant] = {
+                    key: [0] * ticks_before for key in TENANT_SERIES_FIELDS
+                }
         row = {
             "interval": report.interval,
             "queue_depth": drain.queue_depth,
@@ -269,14 +349,23 @@ class GatewayTelemetry:
         }
         for key in SERVE_SERIES_FIELDS:
             self.serve[key].append(row[key])
+        for tenant, series in self.tenants.items():
+            tallies = drain.tenants.get(tenant)
+            for key in TENANT_SERIES_FIELDS:
+                series[key].append(tallies[key] if tallies else 0)
         self._reads_seen = self.reads_served
 
     # ------------------------------------------------------------------
     # Serialization (deterministic fields only — latency stays out)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """The deterministic state as a JSON-ready dict (bit-exact round trip)."""
-        return {
+        """The deterministic state as a JSON-ready dict (bit-exact round trip).
+
+        The ``tenants`` key appears only when at least one non-default
+        tenant was tallied: a single-tenant session serializes
+        byte-identically to the pre-tenant format (golden contract).
+        """
+        data = {
             "version": SERVE_TELEMETRY_VERSION,
             "serve": {key: list(values) for key, values in self.serve.items()},
             "responses": dict(self.responses),
@@ -284,6 +373,12 @@ class GatewayTelemetry:
             "reads_seen": self._reads_seen,
             "engine": self.engine.to_dict(),
         }
+        if self.tenants:
+            data["tenants"] = {
+                tenant: {key: list(values) for key, values in series.items()}
+                for tenant, series in sorted(self.tenants.items())
+            }
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "GatewayTelemetry":
@@ -296,6 +391,12 @@ class GatewayTelemetry:
         telemetry = cls(engine=Telemetry.from_dict(data["engine"]))
         for key in SERVE_SERIES_FIELDS:
             telemetry.serve[key] = list(data["serve"][key])
+        telemetry.tenants = {
+            str(tenant): {
+                key: list(series[key]) for key in TENANT_SERIES_FIELDS
+            }
+            for tenant, series in data.get("tenants", {}).items()
+        }
         telemetry.responses = {k: int(v) for k, v in data["responses"].items()}
         telemetry.reads_served = int(data["reads_served"])
         telemetry._reads_seen = int(data["reads_seen"])

@@ -18,8 +18,10 @@ the *unhappy* path is survivable.  The contract
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 import os
 import signal
+import time
 
 import numpy as np
 import pytest
@@ -211,3 +213,69 @@ class TestLifecycle:
             generate_workload(12, NUM_INTERVALS, seed=7, adaptive_fraction=0.25)
         )
         assert outcome_key(spawned) == outcome_key(serial.run(seed=SEED))
+
+
+# ----------------------------------------------------------------------
+# close() escalation: a wedged worker can never hang teardown
+# ----------------------------------------------------------------------
+def _wedged_main(conn) -> None:
+    """The worst-case worker: SIGTERM masked, never reads the pipe.
+
+    Models a shard stuck in a native kernel that installed its own
+    signal disposition — ``close()`` must escalate to SIGKILL.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    while True:
+        time.sleep(0.02)
+
+
+def _deaf_main(conn) -> None:
+    """A worker that ignores the protocol but still honors SIGTERM."""
+    while True:
+        time.sleep(0.02)
+
+
+def make_backend_with(target) -> tuple[_ProcessBackend, object]:
+    """A backend whose single 'worker' is a stub running ``target``."""
+    from repro.engine import LogitRouter
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe()
+    proc = ctx.Process(target=target, args=(child_conn,), daemon=True)
+    proc.start()
+    child_conn.close()
+    backend = _ProcessBackend(
+        make_stream(), LogitRouter(paper_acceptance_model()),
+        num_shards=1, seed=SEED,
+    )
+    backend._workers = [(proc, parent_conn)]
+    return backend, proc
+
+
+class TestWedgedWorkerClose:
+    def test_sigterm_masked_worker_cannot_hang_close(self, monkeypatch):
+        from repro.engine import procpool
+
+        monkeypatch.setattr(procpool, "_CLOSE_GRACE_SECONDS", 0.3)
+        backend, proc = make_backend_with(_wedged_main)
+        started = time.monotonic()
+        backend.close()
+        elapsed = time.monotonic() - started
+        proc.join(timeout=5.0)  # reap; close() already joined it
+        assert not proc.is_alive(), "close() left the wedged worker running"
+        assert elapsed < 5.0, f"close() took {elapsed:.1f}s — unbounded join?"
+        assert proc.exitcode == -signal.SIGKILL
+
+    def test_unresponsive_worker_dies_at_sigterm_without_sigkill(
+        self, monkeypatch
+    ):
+        from repro.engine import procpool
+
+        monkeypatch.setattr(procpool, "_CLOSE_GRACE_SECONDS", 0.3)
+        backend, proc = make_backend_with(_deaf_main)
+        backend.close()
+        proc.join(timeout=5.0)
+        assert not proc.is_alive()
+        assert proc.exitcode == -signal.SIGTERM

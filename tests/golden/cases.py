@@ -211,8 +211,18 @@ def serve_trace() -> RequestTrace:
     )
 
 
-def build_serve_gateway(case: str) -> Gateway:
-    """Construct one served case's engine + gateway (session not yet open)."""
+def build_serve_gateway(
+    case: str,
+    num_gateways: int = 1,
+    tenant_weights: dict[str, float] | None = None,
+):
+    """Construct one served case's engine + front (session not yet open).
+
+    ``num_gateways > 1`` builds a :class:`~repro.serve.fleet.GatewayFleet`
+    over the same engine — the fleet arm of the golden invariance guard.
+    """
+    from repro.serve import GatewayFleet
+
     num_shards = SERVE_CASES[case]["num_shards"]
     if num_shards:
         engine: MarketplaceEngine | ShardedEngine = ShardedEngine(
@@ -223,14 +233,55 @@ def build_serve_gateway(case: str) -> Gateway:
         engine = MarketplaceEngine(
             make_stream(), paper_acceptance_model(), planning="stationary"
         )
-    return Gateway(engine, max_live=SERVE_CASES[case]["max_live"])
+    if num_gateways > 1:
+        return GatewayFleet(
+            engine, num_gateways,
+            max_live=SERVE_CASES[case]["max_live"],
+            tenant_weights=tenant_weights,
+        )
+    return Gateway(
+        engine,
+        max_live=SERVE_CASES[case]["max_live"],
+        tenant_weights=tenant_weights,
+    )
 
 
-def run_serve_case(case: str) -> dict:
-    """Run one served case; payload = trace + result + serving telemetry."""
-    scenario = canned_scenario("flash-crowd", NUM_INTERVALS, seed=SCENARIO_SEED)
+def tenant_tagged_trace(tenants: tuple[str, ...]) -> RequestTrace:
+    """The canonical served trace with tenant ids assigned round-robin."""
+    import dataclasses
+
     trace = serve_trace()
-    gateway = build_serve_gateway(case)
+    return RequestTrace(
+        trace.name,
+        tuple(
+            dataclasses.replace(timed, tenant=tenants[i % len(tenants)])
+            for i, timed in enumerate(trace.requests)
+        ),
+    )
+
+
+def run_serve_case(
+    case: str,
+    tenants: tuple[str, ...] | None = None,
+    num_gateways: int = 1,
+) -> dict:
+    """Run one served case; payload = trace + result + serving telemetry.
+
+    ``tenants`` replays the tenant-tagged twin of the trace under fair
+    scheduling (weights 2:1:...), and ``num_gateways`` routes it through
+    a fleet — neither may change the engine ``result`` block, which is
+    what the regen guard verifies before rewriting any golden.
+    """
+    scenario = canned_scenario("flash-crowd", NUM_INTERVALS, seed=SCENARIO_SEED)
+    weights = None
+    if tenants:
+        weights = {t: float(2 if i == 0 else 1) for i, t in enumerate(tenants)}
+        trace = tenant_tagged_trace(tenants)
+    else:
+        trace = serve_trace()
+    gateway = build_serve_gateway(
+        case, num_gateways=num_gateways, tenant_weights=weights
+    )
     gateway.start(
         seed=SCENARIO_SEED,
         rate_multipliers=scenario.compile(NUM_INTERVALS).rate_multipliers,

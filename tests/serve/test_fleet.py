@@ -1,0 +1,246 @@
+"""GatewayFleet: N frontiers, one engine — the fleet determinism contract.
+
+The acceptance criterion for the multi-tenant PR: a tenant-tagged trace
+replayed through a 2-gateway fleet over a 3-shard engine produces engine
+outcomes and serialized telemetry **bit-identical** to the single-gateway
+replay and to the same mutations issued directly against the engine API —
+and the fleet checkpoints/resumes mid-replay exactly like a solo gateway.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.engine.checkpoint import CheckpointError
+from repro.serve import (
+    Gateway,
+    GatewayFleet,
+    LoadGenerator,
+    QueryTelemetry,
+    RequestTrace,
+    Snapshot,
+    SubmitCampaign,
+    TenantQuota,
+    TimedRequest,
+)
+from tests.serve.conftest import NUM_INTERVALS, make_engine
+from tests.serve.test_gateway_determinism import SEED, outcome_map, run_direct
+from tests.serve.test_tenants import spec
+
+TENANTS = ("acme", "beta", "gamma")
+TENANT_TRACE = LoadGenerator(
+    NUM_INTERVALS, seed=11, clients=3, rate=2.0, think=1, tenants=TENANTS,
+).trace("open")
+
+
+def run_fleet(
+    trace: RequestTrace, num_shards: int, num_gateways: int, **kwargs
+) -> GatewayFleet:
+    fleet = GatewayFleet(make_engine(num_shards), num_gateways, **kwargs)
+    fleet.start(seed=SEED)
+    tickets = fleet.replay(trace)
+    assert all(t.done for t in tickets)  # no request lost across members
+    return fleet
+
+
+def run_solo(trace: RequestTrace, num_shards: int) -> Gateway:
+    gateway = Gateway(make_engine(num_shards))
+    gateway.start(seed=SEED)
+    gateway.replay(trace)
+    return gateway
+
+
+# ----------------------------------------------------------------------
+# The determinism contract
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("num_shards", [0, 3], ids=["pooled", "sharded3"])
+def test_fleet_equals_single_gateway_and_direct(num_shards):
+    fleet = run_fleet(TENANT_TRACE, num_shards, num_gateways=2)
+    solo = run_solo(TENANT_TRACE, num_shards)
+    direct = run_direct(TENANT_TRACE, num_shards)
+
+    fleet_result = fleet.core.result()
+    assert outcome_map(fleet_result) == outcome_map(solo.core.result())
+    assert outcome_map(fleet_result) == outcome_map(direct)
+    assert fleet_result.cache_stats == direct.cache_stats
+    # The serialized serving telemetry — per-tenant series included — is
+    # byte-identical to the solo gateway's.
+    assert fleet.telemetry.to_dict() == solo.telemetry.to_dict()
+
+
+def test_fleet_invariant_across_member_counts():
+    by_count = {
+        n: run_fleet(TENANT_TRACE, 0, num_gateways=n).telemetry.to_dict()
+        for n in (1, 2, 3)
+    }
+    assert by_count[1] == by_count[2] == by_count[3]
+
+
+def test_fleet_replay_is_reproducible():
+    first = run_fleet(TENANT_TRACE, 3, num_gateways=2)
+    second = run_fleet(TENANT_TRACE, 3, num_gateways=2)
+    assert first.telemetry.to_dict() == second.telemetry.to_dict()
+    assert outcome_map(first.core.result()) == outcome_map(
+        second.core.result()
+    )
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+def test_tenant_routing_is_stable():
+    fleet = GatewayFleet(make_engine(), 3)
+    fleet.start(seed=SEED)
+    owner = fleet.member_for("acme")
+    assert all(fleet.member_for("acme") is owner for _ in range(5))
+    ticket = fleet.offer(SubmitCampaign(spec("a0")), tenant="acme")
+    assert owner.queue.depth == 1
+    assert owner.queue.snapshot()[0] is ticket
+    assert fleet.queue_depth == 1
+    fleet.close()
+    assert ticket.response.status == "rejected"
+
+
+def test_fleet_size_must_be_positive():
+    with pytest.raises(ValueError, match="num_gateways"):
+        GatewayFleet(make_engine(), 0)
+
+
+def test_fleet_requires_a_started_session():
+    fleet = GatewayFleet(make_engine(), 2)
+    with pytest.raises(RuntimeError, match="start"):
+        fleet.offer(QueryTelemetry())
+
+
+# ----------------------------------------------------------------------
+# Shared quota ledger
+# ----------------------------------------------------------------------
+def test_fleet_quota_is_tenant_wide_and_settles_once():
+    fleet = GatewayFleet(
+        make_engine(), 2,
+        tenant_quotas={"acme": TenantQuota(max_live=1)},
+    )
+    fleet.start(seed=SEED)
+    first = fleet.offer(SubmitCampaign(spec("a0", tasks=4)), tenant="acme")
+    bounced = fleet.offer(SubmitCampaign(spec("a1")), tenant="acme")
+    fleet.step()
+    assert first.response.ok
+    assert bounced.response.status == "rejected"
+    assert bounced.response.payload == {"tenant": "acme", "quota": "max_live"}
+    # Drive the campaign to retirement: the shared ledger settles the
+    # tick once (not once per member) and the budget slot comes back.
+    while fleet.ledger.live_count("acme"):
+        assert fleet.step() is not None
+    retry = fleet.offer(
+        SubmitCampaign(spec("a1", submit=12)), tenant="acme"
+    )
+    fleet.step()
+    assert retry.response.ok
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume
+# ----------------------------------------------------------------------
+def test_fleet_checkpoint_resumes_mid_replay_bit_identically(tmp_path):
+    bundle = tmp_path / "fleet-bundle"
+    uninterrupted = run_fleet(TENANT_TRACE, 3, num_gateways=2)
+
+    fleet = GatewayFleet(make_engine(3), 2)
+    fleet.start(seed=SEED)
+
+    def snap_at_14(f: GatewayFleet):
+        if f.clock >= 14:
+            f.save(bundle)
+            return False
+        return None
+
+    fleet.replay(TENANT_TRACE, on_tick=snap_at_14)
+    assert fleet.replay_remaining  # stopped mid-trace
+
+    resumed = GatewayFleet.resume(bundle)
+    assert resumed.num_gateways == 2
+    assert resumed.replay_remaining == fleet.replay_remaining
+    resumed.resume_replay()
+
+    assert resumed.telemetry.to_dict() == uninterrupted.telemetry.to_dict()
+    assert outcome_map(resumed.core.result()) == outcome_map(
+        uninterrupted.core.result()
+    )
+
+
+def test_snapshot_request_through_a_member_saves_the_fleet(tmp_path):
+    """A queued Snapshot drained by any member checkpoints the whole fleet."""
+    bundle = str(tmp_path / "bundle")
+    trace = TENANT_TRACE.merge(
+        RequestTrace(
+            "snap",
+            (TimedRequest(14, "ops", Snapshot(bundle), tenant="beta"),),
+        )
+    )
+    uninterrupted = GatewayFleet(make_engine(), 2)
+    uninterrupted.start(seed=SEED)
+    tickets = uninterrupted.replay(trace)
+    snapshot_response = next(
+        t.response for t in tickets if isinstance(t.request, Snapshot)
+    )
+    assert snapshot_response.ok
+    assert snapshot_response.payload["path"] == bundle
+
+    resumed = GatewayFleet.resume(bundle)
+    resumed.resume_replay()
+    assert resumed.telemetry.to_dict() == uninterrupted.telemetry.to_dict()
+    assert outcome_map(resumed.core.result()) == outcome_map(
+        uninterrupted.core.result()
+    )
+
+
+def test_fleet_resume_rejects_solo_gateway_bundles(tmp_path):
+    gateway = Gateway(make_engine())
+    gateway.start(seed=SEED)
+    gateway.offer(SubmitCampaign(spec("a0")))
+    gateway.step()
+    gateway.save(tmp_path / "solo")
+    with pytest.raises(CheckpointError, match="serving-fleet state"):
+        GatewayFleet.resume(tmp_path / "solo")
+
+
+def test_fleet_resume_replay_without_trace_fails():
+    fleet = GatewayFleet(make_engine(), 2)
+    fleet.start(seed=SEED)
+    with pytest.raises(RuntimeError, match="no replay to resume"):
+        fleet.resume_replay()
+
+
+# ----------------------------------------------------------------------
+# The asyncio facade
+# ----------------------------------------------------------------------
+def test_fleet_async_request_and_serve_loop():
+    async def drill():
+        fleet = GatewayFleet(make_engine(), 2)
+        fleet.start(seed=SEED)
+        read = await fleet.request(QueryTelemetry(), client="r")
+        assert read.ok  # reads resolve without the serve loop
+
+        serve_task = asyncio.ensure_future(fleet.serve())
+        submitted = await fleet.request(
+            SubmitCampaign(spec("x")), client="w", tenant="acme"
+        )
+        assert submitted.ok
+        fleet.stop()
+        ticks = await serve_task
+        assert ticks >= 1
+        return fleet
+
+    fleet = asyncio.run(drill())
+    assert fleet.telemetry.responses["ok"] == 2
+
+
+def test_fleet_serve_stop_when_idle_returns():
+    async def drill():
+        fleet = GatewayFleet(make_engine(), 2)
+        fleet.start(seed=SEED)
+        return await fleet.serve(stop_when_idle=True)
+
+    assert asyncio.run(drill()) == 0

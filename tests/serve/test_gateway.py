@@ -98,6 +98,55 @@ def test_live_campaign_budget_backpressure():
     )
 
 
+def test_exactly_max_live_campaigns_are_admittable():
+    """The budget boundary is exact: slot max_live fills, max_live+1 bounces.
+
+    Regression for the occupancy audit: the ``>=`` comparison against
+    ``num_live + num_pending`` must leave *exactly* ``max_live`` slots
+    admittable in one drain batch — an off-by-one in either direction
+    changes which request bounces.
+    """
+    gateway = started_gateway(max_live=3)
+    tickets = [
+        gateway.offer(SubmitCampaign(spec(f"c{i}"))) for i in range(3)
+    ]
+    overflow = gateway.offer(SubmitCampaign(spec("c3")))
+    gateway.step()
+    assert [t.response.status for t in tickets] == ["ok"] * 3
+    assert overflow.response.status == "rejected"
+    assert "3 live+pending >= 3" in overflow.response.detail
+
+
+def test_max_live_counts_in_batch_pending_submissions():
+    """Future-dated submissions occupy budget within the same drain batch.
+
+    A campaign with ``submit_interval`` in the future lands in the
+    engine's *pending* set, not the live set — but it must still count
+    against ``max_live`` for later submissions drained at the same
+    boundary, or one batch could overshoot the budget.
+    """
+    gateway = started_gateway(max_live=2)
+    future = gateway.offer(SubmitCampaign(spec("future", submit=10)))
+    live = gateway.offer(SubmitCampaign(spec("live")))
+    overflow = gateway.offer(SubmitCampaign(spec("extra")))
+    gateway.step()
+    assert future.response.ok and live.response.ok
+    assert overflow.response.status == "rejected"
+    assert "2 live+pending >= 2" in overflow.response.detail
+
+
+def test_max_live_slots_reopen_after_retirement():
+    """Occupancy is re-audited at each drain boundary: retired slots free up."""
+    gateway = started_gateway(max_live=1)
+    gateway.offer(SubmitCampaign(spec("first", tasks=4)))
+    gateway.step()
+    while gateway.core.num_live + gateway.core.num_pending:
+        assert gateway.step() is not None
+    refill = gateway.offer(SubmitCampaign(spec("second", submit=12)))
+    gateway.step()
+    assert refill.response.ok
+
+
 def test_queue_depth_backpressure_is_immediate():
     gateway = started_gateway(max_queue=2)
     accepted = [gateway.offer(SubmitCampaign(spec(f"c{i}"))) for i in range(2)]

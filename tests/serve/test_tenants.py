@@ -1,0 +1,248 @@
+"""Tenant quotas, the shared ledger, and typed backpressure end-to-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.campaign import CampaignSpec
+from repro.serve import (
+    Cancel,
+    Gateway,
+    SubmitCampaign,
+    TenantLedger,
+    TenantQuota,
+    parse_tenant_quotas,
+    parse_tenant_weights,
+)
+from tests.serve.conftest import make_engine
+
+
+def spec(cid: str, submit: int = 0, tasks: int = 10) -> CampaignSpec:
+    return CampaignSpec(
+        campaign_id=cid, kind="deadline", num_tasks=tasks,
+        submit_interval=submit, horizon_intervals=6, max_price=25,
+    )
+
+
+# ----------------------------------------------------------------------
+# TenantQuota
+# ----------------------------------------------------------------------
+def test_quota_bounds_must_be_positive():
+    with pytest.raises(ValueError, match="max_live"):
+        TenantQuota(max_live=0)
+    with pytest.raises(ValueError, match="admissions_per_tick"):
+        TenantQuota(admissions_per_tick=-1)
+
+
+def test_quota_dict_round_trip():
+    quota = TenantQuota(max_live=3, admissions_per_tick=None)
+    assert TenantQuota.from_dict(quota.to_dict()) == quota
+
+
+# ----------------------------------------------------------------------
+# TenantLedger bookkeeping
+# ----------------------------------------------------------------------
+def test_ledger_live_budget_blocks_and_releases():
+    ledger = TenantLedger({"acme": TenantQuota(max_live=2)})
+    assert ledger.blocked("acme") is None
+    ledger.admitted("acme", "a")
+    ledger.admitted("acme", "b")
+    name, detail = ledger.blocked("acme")
+    assert name == "max_live" and "2" in detail
+    ledger.release("a")
+    assert ledger.blocked("acme") is None
+    assert ledger.live_count("acme") == 1
+
+
+def test_ledger_rate_quota_resets_at_end_tick():
+    ledger = TenantLedger({"acme": TenantQuota(admissions_per_tick=1)})
+    ledger.admitted("acme", "a")
+    name, _ = ledger.blocked("acme")
+    assert name == "admissions_per_tick"
+    ledger.end_tick(0)
+    assert ledger.blocked("acme") is None
+    # Live budget survives the tick reset: only the rate tally clears.
+    assert ledger.live_count("acme") == 1
+
+
+def test_ledger_unquotaed_tenant_is_never_blocked():
+    ledger = TenantLedger({"acme": TenantQuota(max_live=1)})
+    for i in range(10):
+        assert ledger.blocked("beta") is None
+        ledger.admitted("beta", f"b{i}")
+
+
+def test_ledger_release_ignores_untracked_campaigns():
+    ledger = TenantLedger()
+    ledger.release("never-admitted")  # base-workload campaign: no-op
+    assert ledger.live_count("anyone") == 0
+
+
+def test_ledger_settle_is_idempotent_per_interval():
+    ledger = TenantLedger({"acme": TenantQuota(max_live=2)})
+    ledger.admitted("acme", "a")
+    ledger.admitted("acme", "b")
+    ledger.settle(5, ["a"])
+    ledger.settle(5, ["b"])  # second member settling the same tick: no-op
+    assert ledger.live_count("acme") == 1
+    ledger.settle(6, ["b"])
+    assert ledger.live_count("acme") == 0
+
+
+def test_ledger_end_tick_is_idempotent_per_interval():
+    ledger = TenantLedger({"acme": TenantQuota(admissions_per_tick=1)})
+    ledger.end_tick(3)
+    ledger.admitted("acme", "a")
+    ledger.end_tick(3)  # same interval again must not clear the tally
+    assert ledger.blocked("acme") is not None
+    ledger.end_tick(4)
+    assert ledger.blocked("acme") is None
+
+
+def test_ledger_dict_round_trip():
+    ledger = TenantLedger({"acme": TenantQuota(max_live=2)})
+    ledger.admitted("acme", "a")
+    ledger.admitted("beta", "b")
+    ledger.settle(2, [])
+    restored = TenantLedger({"acme": TenantQuota(max_live=2)})
+    restored.restore(ledger.to_dict())
+    assert restored.to_dict() == ledger.to_dict()
+    assert restored.live_count("acme") == 1
+    # Releasing through the restored ledger uses the restored ownership.
+    restored.release("a")
+    assert restored.blocked("acme") is None
+    # A pre-tenant bundle (no ledger state) restores to a clean slate.
+    fresh = TenantLedger()
+    fresh.restore(None)
+    assert fresh.to_dict()["live"] == {}
+
+
+def test_ledger_rejects_non_quota_values():
+    with pytest.raises(TypeError, match="TenantQuota"):
+        TenantLedger({"acme": 3})
+
+
+# ----------------------------------------------------------------------
+# CLI parse helpers
+# ----------------------------------------------------------------------
+def test_parse_weights_defaults_and_errors():
+    assert parse_tenant_weights(None, None) is None
+    assert parse_tenant_weights("a,b", None) == {"a": 1.0, "b": 1.0}
+    assert parse_tenant_weights("a, b", "3,1") == {"a": 3.0, "b": 1.0}
+    with pytest.raises(ValueError, match="requires --tenants"):
+        parse_tenant_weights(None, "3,1")
+    with pytest.raises(ValueError, match="duplicate"):
+        parse_tenant_weights("a,a", None)
+    with pytest.raises(ValueError, match="2 entries for 3"):
+        parse_tenant_weights("a,b,c", "1,2")
+    with pytest.raises(ValueError, match="not a number"):
+        parse_tenant_weights("a", "fast")
+    with pytest.raises(ValueError, match="> 0"):
+        parse_tenant_weights("a", "0")
+
+
+def test_parse_quotas_forms_and_errors():
+    assert parse_tenant_quotas(None) is None
+    assert parse_tenant_quotas([]) is None
+    quotas = parse_tenant_quotas(["acme=4/2", "beta=/3", "gamma=5"])
+    assert quotas["acme"] == TenantQuota(max_live=4, admissions_per_tick=2)
+    assert quotas["beta"] == TenantQuota(max_live=None, admissions_per_tick=3)
+    assert quotas["gamma"] == TenantQuota(max_live=5, admissions_per_tick=None)
+    with pytest.raises(ValueError, match="NAME=LIVE"):
+        parse_tenant_quotas(["no-equals"])
+    with pytest.raises(ValueError, match="not an\\s+integer"):
+        parse_tenant_quotas(["acme=lots"])
+    with pytest.raises(ValueError, match="max_live"):
+        parse_tenant_quotas(["acme=0"])
+
+
+# ----------------------------------------------------------------------
+# Quotas through a gateway: typed backpressure, release, telemetry
+# ----------------------------------------------------------------------
+def tenant_gateway(**kwargs) -> Gateway:
+    gateway = Gateway(make_engine(), **kwargs)
+    gateway.start(seed=3)
+    return gateway
+
+
+def test_gateway_quota_backpressure_is_typed():
+    gateway = tenant_gateway(
+        tenant_quotas={"acme": TenantQuota(max_live=1)},
+    )
+    first = gateway.offer(SubmitCampaign(spec("a0")), tenant="acme")
+    second = gateway.offer(SubmitCampaign(spec("a1")), tenant="acme")
+    other = gateway.offer(SubmitCampaign(spec("b0")), tenant="beta")
+    gateway.step()
+    assert first.response.ok and other.response.ok
+    assert second.response.status == "rejected"
+    assert second.response.payload == {"tenant": "acme", "quota": "max_live"}
+    assert "'acme'" in second.response.detail
+    assert "backpressure" in second.response.detail
+
+
+def test_gateway_rate_quota_recovers_next_tick():
+    gateway = tenant_gateway(
+        tenant_quotas={"acme": TenantQuota(admissions_per_tick=1)},
+    )
+    t0 = gateway.offer(SubmitCampaign(spec("a0")), tenant="acme")
+    t1 = gateway.offer(SubmitCampaign(spec("a1", submit=2)), tenant="acme")
+    gateway.step()
+    assert t0.response.ok
+    assert t1.response.payload["quota"] == "admissions_per_tick"
+    retry = gateway.offer(SubmitCampaign(spec("a1", submit=2)), tenant="acme")
+    gateway.step()
+    assert retry.response.ok
+
+
+def test_gateway_cancel_returns_quota_budget():
+    gateway = tenant_gateway(
+        tenant_quotas={"acme": TenantQuota(max_live=1)},
+    )
+    gateway.offer(SubmitCampaign(spec("a0")), tenant="acme")
+    gateway.step()
+    assert gateway.ledger.live_count("acme") == 1
+    gateway.offer(Cancel("a0"), tenant="acme")
+    gateway.step()
+    assert gateway.ledger.live_count("acme") == 0
+    again = gateway.offer(SubmitCampaign(spec("a1", submit=4)), tenant="acme")
+    gateway.step()
+    assert again.response.ok
+
+
+def test_gateway_retirement_returns_quota_budget():
+    gateway = tenant_gateway(
+        tenant_quotas={"acme": TenantQuota(max_live=1)},
+    )
+    gateway.offer(SubmitCampaign(spec("a0", tasks=4)), tenant="acme")
+    gateway.step()
+    while gateway.ledger.live_count("acme"):
+        assert gateway.step() is not None
+    again = gateway.offer(
+        SubmitCampaign(spec("a1", submit=12)), tenant="acme"
+    )
+    gateway.step()
+    assert again.response.ok
+
+
+def test_per_tenant_telemetry_series():
+    gateway = tenant_gateway(
+        tenant_quotas={"acme": TenantQuota(max_live=1)},
+    )
+    gateway.offer(SubmitCampaign(spec("a0")), tenant="acme")
+    gateway.offer(SubmitCampaign(spec("a1")), tenant="acme")
+    gateway.offer(SubmitCampaign(spec("b0")), tenant="beta")
+    gateway.offer(SubmitCampaign(spec("d0")))  # default tenant: untracked
+    gateway.step()
+    tenants = gateway.telemetry.tenants
+    assert set(tenants) == {"acme", "beta"}
+    assert tenants["acme"]["drained"][-1] == 2
+    assert tenants["acme"]["admitted"][-1] == 1
+    assert tenants["acme"]["rejected"][-1] == 1
+    assert tenants["beta"]["admitted"][-1] == 1
+    gateway.offer(Cancel("b0"), tenant="beta")
+    gateway.step()
+    assert tenants["beta"]["cancels"][-1] == 1
+    # Series stay aligned: both ticks present for both tenants.
+    assert len(tenants["acme"]["drained"]) == 2
+    summary = gateway.telemetry.summary()
+    assert "acme" in summary and "beta" in summary
