@@ -6,7 +6,7 @@ PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
 .PHONY: test bench bench-kernels kernels-smoke bench-scenario bench-serve \
-	serve-smoke bench-obs obs-smoke bench-scale scale-smoke cov \
+	serve-smoke bench-obs obs-smoke ops-smoke bench-scale scale-smoke cov \
 	regen-golden docs-check checkpoint-smoke lint-docs all
 
 ## Tier-1 test suite (what CI gates on).
@@ -60,6 +60,13 @@ bench-obs:
 ## bit-identical to an uninterrupted run over the same logged trace.
 obs-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/obs_recovery_smoke.py
+
+## Live ops-plane drill (CI): launch 'engine loadtest --ops-port 0' and
+## scrape /metrics /healthz /readyz /tenants /slo mid-run — well-formed
+## Prometheus exposition, ready=true, per-tenant series present, and a
+## clean child exit (scrapes never perturb the run).
+ops-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/ops_smoke.py
 
 ## Streaming scale benchmark: >= 1M campaigns through a scenario with a
 ## lazy source + aggregate-only sink, under hard tracemalloc/peak-RSS

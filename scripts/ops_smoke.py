@@ -1,0 +1,206 @@
+"""Live ops-plane drill: scrape a running loadtest through ``--ops-port``.
+
+This is the ``make ops-smoke`` target (wired into CI): it launches a real
+``repro engine loadtest --ops-port 0`` child — open-mode, multi-tenant,
+with a durable event log — parses the bound address off its stdout, and
+scrapes every ops endpoint **while the run is live**:
+
+* ``/metrics`` must be well-formed Prometheus text exposition (every
+  sample line parses, every family has HELP + TYPE) and must carry the
+  serving counters, the per-tick phase timers, and — once ticks have
+  drained — the per-tenant ``serve_tenant_*_total`` series;
+* ``/healthz`` must answer alive with the clock the run stands at;
+* ``/readyz`` must report ``ready: true`` with every check green;
+* ``/tenants`` must name the configured tenants once traffic flowed;
+* ``/slo`` must report both-window burn rates in the live shape.
+
+The child must then exit 0 on its own — proving the scrapes never
+perturbed the run.  Exits non-zero on any failed assertion.  Usage::
+
+    python scripts/ops_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+REPO_SRC = REPO_ROOT / "src"
+
+#: Loadtest shape: open mode so the trace is deterministic, a rate high
+#: enough that the replay stays live for a while after the server binds.
+LOADTEST_ARGS = [
+    "engine", "loadtest", "--mode", "open", "--rate", "48",
+    "--horizon-hours", "48", "--tenants", "acme,globex,initech",
+    "--ops-port", "0",
+]
+
+_ADDRESS = re.compile(r"ops server\s*:\s*http://([\d.]+):(\d+)")
+
+#: One Prometheus text-format sample: name{labels} value — labels optional.
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$"
+)
+
+
+def _fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def _get(base: str, path: str, retries: int = 20):
+    """GET one endpoint, returning ``(status, body)`` (retry on refusal)."""
+    last: Exception | None = None
+    for _ in range(retries):
+        try:
+            with urllib.request.urlopen(base + path, timeout=5) as response:
+                return response.status, response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:  # non-2xx still has a body
+            return exc.code, exc.read().decode("utf-8")
+        except (urllib.error.URLError, ConnectionError, OSError) as exc:
+            last = exc
+            time.sleep(0.05)
+    raise AssertionError(f"GET {path} never answered: {last}")
+
+
+def _check_prometheus(body: str) -> dict[str, str]:
+    """Validate the exposition format; returns family -> TYPE."""
+    types: dict[str, str] = {}
+    helps: set[str] = set()
+    for line in body.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            helps.add(line.split()[2])
+        elif line.startswith("# TYPE "):
+            parts = line.split()
+            types[parts[2]] = parts[3]
+        elif line.startswith("#"):
+            _fail(f"unknown comment line in /metrics: {line!r}")
+        elif not _SAMPLE.match(line):
+            _fail(f"malformed sample line in /metrics: {line!r}")
+    for family in types:
+        if family not in helps:
+            _fail(f"/metrics family {family} has TYPE but no HELP")
+    return types
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    with tempfile.TemporaryDirectory(prefix="repro-ops-smoke-") as tmp:
+        log_path = Path(tmp) / "ops-smoke.sqlite"
+        child = subprocess.Popen(
+            [
+                sys.executable, "-c",
+                "from repro.cli import main; raise SystemExit(main())",
+            ] + LOADTEST_ARGS + ["--event-log", str(log_path)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=str(REPO_ROOT),
+        )
+        try:
+            base = None
+            assert child.stdout is not None
+            head = []
+            for line in child.stdout:
+                head.append(line)
+                match = _ADDRESS.search(line)
+                if match:
+                    base = f"http://{match.group(1)}:{match.group(2)}"
+                    break
+            if base is None:
+                _fail("child never printed the ops-server address:\n"
+                      + "".join(head))
+            print(f"scraping      : {base} (child pid {child.pid})")
+
+            status, body = _get(base, "/healthz")
+            health = json.loads(body)
+            if status != 200 or health["status"] != "alive":
+                _fail(f"/healthz answered {status}: {body}")
+            if not health["started"]:
+                _fail(f"/healthz reports an unstarted gateway: {body}")
+            print(f"healthz       : alive at clock {health['clock']}")
+
+            status, body = _get(base, "/readyz")
+            ready = json.loads(body)
+            if status != 200 or ready["ready"] is not True:
+                _fail(f"/readyz not ready ({status}): {body}")
+            bad = [k for k, check in ready["checks"].items() if not check["ok"]]
+            if bad:
+                _fail(f"/readyz checks failed: {bad}")
+            print(f"readyz        : ready, checks {sorted(ready['checks'])}")
+
+            # Per-tenant series appear once a tick boundary drained tagged
+            # traffic — poll /metrics while the run is still live.
+            deadline = time.monotonic() + 30.0
+            types: dict[str, str] = {}
+            while True:
+                status, body = _get(base, "/metrics")
+                if status != 200:
+                    _fail(f"/metrics answered {status}")
+                types = _check_prometheus(body)
+                if "serve_tenant_admitted_total" in types:
+                    break
+                if child.poll() is not None or time.monotonic() > deadline:
+                    _fail("per-tenant series never appeared in /metrics")
+                time.sleep(0.05)
+            for family in (
+                "serve_requests_total",
+                "serve_responses_total",
+                "serve_queue_depth",
+                "engine_tick_phase_seconds",
+                "engine_clock_interval",
+                "eventlog_buffered_events",
+            ):
+                if family not in types:
+                    _fail(f"/metrics is missing the {family} family")
+            print(f"metrics       : {len(types)} well-formed families, "
+                  "per-tenant series present")
+
+            status, body = _get(base, "/tenants")
+            tenants = json.loads(body)["tenants"]
+            missing = {"acme", "globex", "initech"} - set(tenants)
+            if status != 200 or missing:
+                _fail(f"/tenants missing {sorted(missing)}: {body[:300]}")
+            print(f"tenants       : {sorted(tenants)}")
+
+            status, body = _get(base, "/slo")
+            slo = json.loads(body)
+            if status != 200:
+                _fail(f"/slo answered {status}")
+            for objective in ("availability", "latency"):
+                windows = slo.get(objective, {}).get("windows")
+                if not windows:
+                    _fail(f"/slo carries no {objective} windows: {body[:300]}")
+                for row in windows.values():
+                    if "burn_rate" not in row or "total" not in row:
+                        _fail(f"/slo window row malformed: {row}")
+            print("slo           : availability + latency burn rates present")
+
+            tail = child.stdout.read()
+            rc = child.wait(timeout=120)
+            if rc != 0:
+                _fail(f"loadtest child exited {rc}:\n{tail}")
+            print("child         : loadtest finished clean (exit 0)")
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+    print("OPS SMOKE PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

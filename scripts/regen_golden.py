@@ -113,6 +113,20 @@ def verify_invariance() -> str | None:
                 "is broken (see tests/serve/test_fleet.py) — fix the "
                 "serve layer before regenerating goldens"
             )
+        # Instrumented arm: the full observability stack — event log,
+        # tracer, metrics + phase timings, and a live ops server scraped
+        # at tick boundaries — must be serialization-inert.
+        instrumented = run_serve_case(case, instrumented=True)
+        if json.dumps(instrumented, sort_keys=True) != json.dumps(
+            baseline, sort_keys=True
+        ):
+            return (
+                f"served case {case!r} diverged when the observability "
+                "stack (event log, tracer, metrics, live ops scrapes) "
+                "was wired; the serialization-inert contract is broken "
+                "(see tests/obs/test_ops_invariance.py) — fix the obs "
+                "layer before regenerating goldens"
+            )
     return None
 
 
@@ -124,7 +138,8 @@ def main() -> int:
         return 1
     print("invariance verified: traces byte-identical under "
           "executor='process', the numba kernel path, streaming "
-          "outcome mode, tenant tagging, and a 2-gateway fleet")
+          "outcome mode, tenant tagging, a 2-gateway fleet, and a "
+          "fully-instrumented run with live ops scrapes")
     for case in sorted(CASES) + sorted(SERVE_CASES):
         payload = run_any_case(case)
         path = trace_path(case)

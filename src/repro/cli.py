@@ -458,6 +458,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the process metrics registry at exit: Prometheus text "
         "for .prom paths, JSON otherwise",
     )
+    serve.add_argument(
+        "--ops-port", type=int, default=None, metavar="PORT",
+        help="expose the live ops plane (GET /metrics /healthz /readyz "
+        "/tenants /slo) on 127.0.0.1:PORT while the run is live "
+        "(0 = pick a free port; see docs/observability.md)",
+    )
     _add_serving_engine_flags(serve)
     _add_checkpoint_flags(serve, "served run")
     _add_logging_flags(serve)
@@ -527,6 +533,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the process metrics registry at exit: Prometheus text "
         "for .prom paths, JSON otherwise",
     )
+    loadtest.add_argument(
+        "--event-log", metavar="PATH", default=None,
+        help="append requests, responses, admissions, and tick summaries "
+        "to a durable sqlite event log at PATH (feeds 'engine slo' and "
+        "'engine analytics')",
+    )
+    loadtest.add_argument(
+        "--ops-port", type=int, default=None, metavar="PORT",
+        help="expose the live ops plane (GET /metrics /healthz /readyz "
+        "/tenants /slo) on 127.0.0.1:PORT while the run is live "
+        "(0 = pick a free port; see docs/observability.md)",
+    )
     _add_serving_engine_flags(loadtest)
     _add_logging_flags(loadtest)
 
@@ -572,6 +590,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format: aligned text tables or one JSON document",
     )
     _add_logging_flags(analytics)
+
+    slo = engine_sub.add_parser(
+        "slo",
+        help="SLO attainment and burn rates from recorded run artifacts",
+        description=(
+            "Evaluate service-level objectives offline over a recorded "
+            "run: availability (submissions not rejected) from serve "
+            "telemetry (--telemetry) and availability + queueing latency "
+            "in ticks from a durable event log (--event-log).  Each "
+            "objective reports attainment and burn rate (error rate over "
+            "the objective's error budget; > 1 means the budget is "
+            "burning) across multiple trailing windows — the same "
+            "multi-window report a live gateway answers at GET /slo "
+            "(--ops-port).  See docs/observability.md."
+        ),
+    )
+    slo.add_argument(
+        "--telemetry", metavar="FILE", default=None,
+        help="serve telemetry JSON written by --telemetry-out",
+    )
+    slo.add_argument(
+        "--event-log", metavar="FILE", default=None,
+        help="durable sqlite event log written by --event-log",
+    )
+    slo.add_argument(
+        "--windows", metavar="N,N,...", default=None,
+        help="trailing window widths in ticks, shortest first "
+        "(default 8,32,128)",
+    )
+    slo.add_argument(
+        "--availability-objective", type=float, default=0.99, metavar="F",
+        help="fraction of submissions that must not be rejected "
+        "(default 0.99)",
+    )
+    slo.add_argument(
+        "--latency-objective", type=float, default=0.99, metavar="F",
+        help="fraction of requests that must answer within the latency "
+        "target (default 0.99)",
+    )
+    slo.add_argument(
+        "--latency-target-ticks", type=int, default=2, metavar="N",
+        help="offline latency target: queueing latency in engine ticks "
+        "(default 2)",
+    )
+    slo.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format: aligned text or one JSON document",
+    )
+    _add_logging_flags(slo)
     return parser
 
 
@@ -764,6 +831,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         "loadtest": _cmd_engine_loadtest,
         "run": _cmd_engine_run,
         "analytics": _cmd_engine_analytics,
+        "slo": _cmd_engine_slo,
     }
     try:
         _apply_logging(args)
@@ -1037,6 +1105,38 @@ def _serve_scenario_inputs(args: argparse.Namespace, num_intervals: int):
     return trace, multipliers, scenario.seed
 
 
+def _make_metrics(args: argparse.Namespace):
+    """A registry when anything will read it (--metrics-out / --ops-port)."""
+    if args.metrics_out or getattr(args, "ops_port", None) is not None:
+        from repro.obs import MetricsRegistry
+
+        return MetricsRegistry()
+    return None
+
+
+def _start_ops(args: argparse.Namespace, gateway, metrics, event_log):
+    """Start the threaded ops server when --ops-port asks for one.
+
+    Threaded mode works under both driving styles: the synchronous
+    replay paths never yield to an event loop, and the asyncio loadtest
+    loop must not share its loop with a daemon listener anyway.
+    """
+    if getattr(args, "ops_port", None) is None:
+        return None
+    from repro.obs.ops import OpsServer
+
+    ops = OpsServer(
+        gateway, metrics=metrics, event_log=event_log, port=args.ops_port
+    )
+    try:
+        host, port = ops.start_in_thread()
+    except OSError as exc:
+        raise _CliError(f"--ops-port {args.ops_port}: {exc}") from exc
+    print(f"ops server    : http://{host}:{port} "
+          "(GET /metrics /healthz /readyz /tenants /slo)")
+    return ops
+
+
 def _cmd_engine_serve(args: argparse.Namespace) -> int:
     from repro.engine import CheckpointError, generate_workload
     from repro.serve import Gateway, GatewayFleet
@@ -1048,25 +1148,18 @@ def _cmd_engine_serve(args: argparse.Namespace) -> int:
         raise _CliError("--gateways must be >= 1")
     tenant_kwargs = _tenant_kwargs(args)
     fleet_mode = args.gateways > 1
-    if fleet_mode and (args.event_log or args.metrics_out):
-        raise _CliError(
-            "--gateways > 1 does not wire --event-log/--metrics-out; "
-            "serve a single gateway when you need observability sinks"
-        )
     event_log = None
     if args.event_log:
         from repro.obs import EventLog
 
         event_log = EventLog(args.event_log)
-    metrics = None
-    if args.metrics_out:
-        from repro.obs import MetricsRegistry
-
-        metrics = MetricsRegistry()
+    metrics = _make_metrics(args)
     if args.resume:
         try:
             if fleet_mode:
-                gateway = GatewayFleet.resume(args.resume)
+                gateway = GatewayFleet.resume(
+                    args.resume, event_log=event_log, metrics=metrics
+                )
             else:
                 gateway = Gateway.resume(
                     args.resume, event_log=event_log, metrics=metrics
@@ -1107,6 +1200,8 @@ def _cmd_engine_serve(args: argparse.Namespace) -> int:
                 args.gateways,
                 max_live=args.max_live or None,
                 max_queue=args.max_queue or None,
+                event_log=event_log,
+                metrics=metrics,
                 **tenant_kwargs,
             )
         else:
@@ -1160,11 +1255,16 @@ def _cmd_engine_serve(args: argparse.Namespace) -> int:
             event_log.close()
             print(f"event log     : {args.event_log} "
                   f"({event_log.last_seq} events)")
-        if metrics is not None:
+        if metrics is not None and args.metrics_out:
             path = metrics.save(args.metrics_out)
             print(f"metrics       : written to {path}")
 
-    runner(on_tick=on_tick)
+    ops = _start_ops(args, gateway, metrics, event_log)
+    try:
+        runner(on_tick=on_tick)
+    finally:
+        if ops is not None:
+            ops.close()
     if state["stopped"]:
         gateway.engine.close()
         print(f"stopped       : after {state['ticks']} ticks; served bundle "
@@ -1203,11 +1303,12 @@ def _cmd_engine_loadtest(args: argparse.Namespace) -> int:
         if tenant_kwargs["tenant_weights"]
         else None
     )
-    metrics = None
-    if args.metrics_out:
-        from repro.obs import MetricsRegistry
+    metrics = _make_metrics(args)
+    event_log = None
+    if args.event_log:
+        from repro.obs import EventLog
 
-        metrics = MetricsRegistry()
+        event_log = EventLog(args.event_log)
     num_intervals, engine = _make_serving_engine(args)
     try:
         generator = LoadGenerator(
@@ -1226,6 +1327,7 @@ def _cmd_engine_loadtest(args: argparse.Namespace) -> int:
         engine,
         max_live=args.max_live or None,
         max_queue=args.max_queue or None,
+        event_log=event_log,
         metrics=metrics,
         **tenant_kwargs,
     )
@@ -1233,18 +1335,23 @@ def _cmd_engine_loadtest(args: argparse.Namespace) -> int:
     print(f"loadtest      : mode={args.mode}, {args.clients} clients, "
           f"loadgen seed {args.loadgen_seed}, engine seed {args.seed}, "
           f"{num_intervals} intervals")
+    ops = _start_ops(args, gateway, metrics, event_log)
     started = time.perf_counter()
-    if args.mode == "closed":
-        responses = asyncio.run(generator.run_closed(gateway))
-        num_responses = len(responses)
-    else:
-        trace = generator.trace("open")
-        if args.trace_out:
-            path = trace.save(args.trace_out)
-            print(f"trace         : written to {path} "
-                  f"({trace.num_requests} requests)")
-        tickets = gateway.replay(trace)
-        num_responses = len(tickets)
+    try:
+        if args.mode == "closed":
+            responses = asyncio.run(generator.run_closed(gateway))
+            num_responses = len(responses)
+        else:
+            trace = generator.trace("open")
+            if args.trace_out:
+                path = trace.save(args.trace_out)
+                print(f"trace         : written to {path} "
+                      f"({trace.num_requests} requests)")
+            tickets = gateway.replay(trace)
+            num_responses = len(tickets)
+    finally:
+        if ops is not None:
+            ops.close()
     elapsed = time.perf_counter() - started
     rps = num_responses / elapsed if elapsed > 0 else 0.0
     core = gateway.core
@@ -1254,7 +1361,11 @@ def _cmd_engine_loadtest(args: argparse.Namespace) -> int:
     print(f"throughput    : {num_responses} requests in {elapsed:.2f}s "
           f"({rps:,.0f} requests/sec)")
     gateway.engine.close()
-    if metrics is not None:
+    if event_log is not None:
+        event_log.close()
+        print(f"event log     : {args.event_log} "
+              f"({event_log.last_seq} events)")
+    if metrics is not None and args.metrics_out:
         path = metrics.save(args.metrics_out)
         print(f"metrics       : written to {path}")
     return 0
@@ -1334,6 +1445,64 @@ def _cmd_engine_analytics(args: argparse.Namespace) -> int:
         first = False
         print(f"{name}: {by_name[name].title}")
         print(render_table(columns, rows))
+    return 0
+
+
+def _cmd_engine_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.slo import (
+        SloPolicy,
+        event_log_slo_report,
+        render_slo_report,
+        telemetry_slo_report,
+    )
+
+    if args.telemetry is None and args.event_log is None:
+        raise _CliError(
+            "nothing to evaluate: provide --telemetry FILE (from "
+            "--telemetry-out) and/or --event-log FILE (from --event-log)"
+        )
+    windows = None
+    if args.windows:
+        try:
+            windows = tuple(
+                int(part) for part in args.windows.split(",") if part.strip()
+            )
+        except ValueError as exc:
+            raise _CliError(
+                f"--windows {args.windows!r} must be comma-separated integers"
+            ) from exc
+    try:
+        policy = SloPolicy(
+            availability_objective=args.availability_objective,
+            latency_objective=args.latency_objective,
+            latency_target_ticks=args.latency_target_ticks,
+            **({"windows": windows} if windows else {}),
+        )
+    except ValueError as exc:
+        raise _CliError(str(exc)) from exc
+    reports = []
+    try:
+        if args.telemetry is not None:
+            with open(args.telemetry, encoding="utf-8") as handle:
+                data = json.load(handle)
+            reports.append(telemetry_slo_report(data, policy))
+        if args.event_log is not None:
+            reports.append(event_log_slo_report(args.event_log, policy))
+    except (OSError, KeyError, ValueError) as exc:
+        raise _CliError(str(exc)) from exc
+    if args.format == "json":
+        print(json.dumps(
+            reports[0] if len(reports) == 1 else {"reports": reports}, indent=1
+        ))
+        return 0
+    first = True
+    for report in reports:
+        if not first:
+            print()
+        first = False
+        print(render_slo_report(report))
     return 0
 
 

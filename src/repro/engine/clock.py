@@ -255,15 +255,32 @@ class PhaseTimings:
     Purely observational wall-clock, like ``elapsed_seconds``: never
     serialized into checkpoints or deterministic telemetry.  When a
     metrics registry is given, each recording also feeds a
-    ``engine_tick_phase_seconds`` histogram labelled by phase.
+    ``engine_tick_phase_seconds`` histogram labelled by phase, and each
+    per-shard recording an ``engine_shard_phase_seconds`` histogram
+    labelled by shard and phase.
+
+    Sharded backends additionally break the ``price``/``split``/
+    ``observe`` phases down **per shard** (:meth:`record_shard`): the
+    thread and serial executors time each shard's slice of the work, and
+    the process executor's workers measure their own compute and ship
+    the elapsed seconds back inside the existing per-tick aggregate
+    replies — so the aggregate phases include coordination/IPC wait
+    while :attr:`shard_totals` isolates where the compute actually ran
+    (the "which shard is slow" question the ops plane answers).
     """
 
     PHASES = ("admission", "price", "split", "observe", "retire")
 
+    #: Phases a sharded backend can attribute to a single shard.
+    SHARD_PHASES = ("price", "split", "observe")
+
     def __init__(self, metrics=None) -> None:
         self.totals = {phase: 0.0 for phase in self.PHASES}
         self.last = {phase: 0.0 for phase in self.PHASES}
+        #: shard index -> {phase -> total seconds} (sharded backends only).
+        self.shard_totals: dict[int, dict[str, float]] = {}
         self.ticks = 0
+        self._metrics = metrics
         if metrics is not None:
             self._histograms = {
                 phase: metrics.histogram(
@@ -275,6 +292,7 @@ class PhaseTimings:
             }
         else:
             self._histograms = None
+        self._shard_histograms: dict = {}
 
     def record(self, phase: str, seconds: float) -> None:
         """Add ``seconds`` to ``phase`` for the tick in progress."""
@@ -286,6 +304,33 @@ class PhaseTimings:
         self.last[phase] += seconds
         if self._histograms is not None:
             self._histograms[phase].observe(seconds)
+
+    def record_shard(self, shard: int, phase: str, seconds: float) -> None:
+        """Attribute ``seconds`` of ``phase`` work to one shard.
+
+        Supplements :meth:`record` (which carries the aggregate); the
+        per-shard ledger only covers the backend phases a shard owns.
+        """
+        if phase not in self.SHARD_PHASES:
+            raise ValueError(
+                f"unknown shard phase {phase!r}; expected one of "
+                f"{self.SHARD_PHASES}"
+            )
+        ledger = self.shard_totals.setdefault(
+            shard, {p: 0.0 for p in self.SHARD_PHASES}
+        )
+        ledger[phase] += seconds
+        if self._metrics is not None:
+            key = (shard, phase)
+            histogram = self._shard_histograms.get(key)
+            if histogram is None:
+                histogram = self._metrics.histogram(
+                    "engine_shard_phase_seconds",
+                    "Wall-clock seconds of per-shard phase compute",
+                    labels={"shard": str(shard), "phase": phase},
+                )
+                self._shard_histograms[key] = histogram
+            histogram.observe(seconds)
 
     def tick_done(self) -> dict:
         """Close the tick in progress; returns its per-phase seconds."""
@@ -301,12 +346,22 @@ class PhaseTimings:
         return {phase: total / self.ticks for phase, total in self.totals.items()}
 
     def to_dict(self) -> dict:
-        """JSON-ready summary: tick count, per-phase totals and means."""
-        return {
+        """JSON-ready summary: tick count, per-phase totals and means.
+
+        The ``shards`` key appears only when per-shard work was recorded
+        (sharded backends), keeping the unsharded form unchanged.
+        """
+        data = {
             "ticks": self.ticks,
             "totals": dict(self.totals),
             "mean": self.mean_seconds(),
         }
+        if self.shard_totals:
+            data["shards"] = {
+                str(shard): dict(ledger)
+                for shard, ledger in sorted(self.shard_totals.items())
+            }
+        return data
 
     def summary(self) -> str:
         """One line per phase: total and mean milliseconds."""
@@ -316,6 +371,15 @@ class PhaseTimings:
             lines.append(
                 f"  {phase:<9}: {1e3 * self.totals[phase]:9.2f}ms total, "
                 f"{1e3 * mean[phase]:7.3f}ms/tick"
+            )
+        for shard, ledger in sorted(self.shard_totals.items()):
+            total = sum(ledger.values())
+            breakdown = ", ".join(
+                f"{phase} {1e3 * ledger[phase]:.2f}ms"
+                for phase in self.SHARD_PHASES
+            )
+            lines.append(
+                f"  shard {shard:<4}: {1e3 * total:9.2f}ms total ({breakdown})"
             )
         return "\n".join(lines)
 
@@ -373,6 +437,16 @@ class ClockBackend(abc.ABC):
     #: :meth:`EngineCore.enable_phase_timings`) the backend's ``step``
     #: records its ``price`` / ``split`` / ``observe`` sub-phases into it.
     phases: "PhaseTimings | None" = None
+
+    def shard_health(self) -> list[dict] | None:
+        """Liveness of worker processes behind this backend, if any.
+
+        ``None`` means the backend runs in-process (nothing that can die
+        independently); process-backed executors return one row per
+        shard worker (``{"shard", "pid", "alive"}``) — what the ops
+        plane's readiness probe checks.
+        """
+        return None
 
     @abc.abstractmethod
     def place(self, admitted: Sequence[_LiveCampaign]) -> None:

@@ -135,13 +135,24 @@ def _worker_main(
                     (c.live, generator_state(c.rng)) for c in shard.campaigns
                 ]
             elif tag == "prices":
-                result = shard.prices(payload)
+                # The three per-tick tags measure their own compute and
+                # ship it with the result: the coordinator's aggregate
+                # phase timers include IPC wait, the worker-side seconds
+                # are pure shard compute (PhaseTimings.record_shard).
+                started = time.perf_counter()
+                result = (
+                    shard.prices(payload), time.perf_counter() - started
+                )
             elif tag == "step":
-                result = shard.step(*payload)
+                started = time.perf_counter()
+                result = (
+                    shard.step(*payload), time.perf_counter() - started
+                )
             elif tag == "finish":
                 t, arrived = payload
+                started = time.perf_counter()
                 shard.observe(t, arrived)
-                result = shard.retire(t)
+                result = (shard.retire(t), time.perf_counter() - started)
             elif tag == "cancel":
                 for i, c in enumerate(shard.campaigns):
                     if c.live.spec.campaign_id == payload:
@@ -264,6 +275,17 @@ class _ProcessBackend(ClockBackend):
         self._send(index, tag, payload)
         return self._recv(index, tag)
 
+    def _timed_broadcast(self, tag: str, payload, phase: str) -> list:
+        """Broadcast a per-tick tag; record each worker's shipped compute
+        seconds as that shard's ``phase`` and return the bare results."""
+        results = []
+        for shard_index, reply in enumerate(self._broadcast(tag, payload)):
+            result, elapsed = reply
+            if self.phases is not None:
+                self.phases.record_shard(shard_index, phase, elapsed)
+            results.append(result)
+        return results
+
     # ------------------------------------------------------------------
     # ClockBackend
     # ------------------------------------------------------------------
@@ -291,7 +313,7 @@ class _ProcessBackend(ClockBackend):
         # in-process executors'.
         posted = [
             pair
-            for shard_prices in self._broadcast("prices", t)
+            for shard_prices in self._timed_broadcast("prices", t, "price")
             for pair in shard_prices
         ]
         posted.sort(key=lambda pair: pair[0])
@@ -313,7 +335,9 @@ class _ProcessBackend(ClockBackend):
             )
         )
         # Phase 2 — every worker draws and applies its shard concurrently.
-        step_totals = self._broadcast("step", (t, mean_t, fractions, prices))
+        step_totals = self._timed_broadcast(
+            "step", (t, mean_t, fractions, prices), "split"
+        )
         considered = sum(c for c, _ in step_totals)
         accepted = sum(a for _, a in step_totals)
         arrived = walked + considered
@@ -325,7 +349,9 @@ class _ProcessBackend(ClockBackend):
         # runs them back-to-back); outcomes are stashed for retire().
         retired = [
             outcome
-            for shard_outcomes in self._broadcast("finish", (t, arrived))
+            for shard_outcomes in self._timed_broadcast(
+                "finish", (t, arrived), "observe"
+            )
             for outcome in shard_outcomes
         ]
         retired.sort(key=lambda o: o.spec.campaign_id)
@@ -350,6 +376,20 @@ class _ProcessBackend(ClockBackend):
         if outcome is not None:
             self._live_count -= 1
         return outcome
+
+    def shard_health(self) -> list[dict] | None:
+        """One liveness row per shard worker (``None`` before any fork).
+
+        Workers start lazily at the first placement, so a session that
+        never went live has nothing that can die — the readiness probe
+        treats ``None`` as vacuously healthy.
+        """
+        if self._workers is None:
+            return None
+        return [
+            {"shard": index, "pid": proc.pid, "alive": proc.is_alive()}
+            for index, (proc, _conn) in enumerate(self._workers)
+        ]
 
     def live_stats(self) -> list[tuple[str, int, int, bool]]:
         if self._workers is None:

@@ -250,6 +250,25 @@ class _FactoredBackend(ClockBackend):
             return [fn(shard) for shard in self.shards]
         return list(pool.map(fn, self.shards))
 
+    def _timed_map(self, fn: Callable[[_Shard], _T], phase: str) -> list[_T]:
+        # Per-shard compute seconds, measured inside the worker (thread or
+        # the serial loop) so the ops plane can tell a slow shard from a
+        # slow coordinator.  Timing is observation-only: the mapped results
+        # are returned unchanged, in shard order.
+        phases = self.phases
+        if phases is None:
+            return self._map(fn)
+
+        def timed(shard: _Shard) -> tuple[_T, float]:
+            started = time.perf_counter()
+            return fn(shard), time.perf_counter() - started
+
+        results: list[_T] = []
+        for shard_index, (result, elapsed) in enumerate(self._map(timed)):
+            phases.record_shard(shard_index, phase, elapsed)
+            results.append(result)
+        return results
+
     def place(self, admitted) -> None:
         for live in admitted:
             cid = live.spec.campaign_id
@@ -270,7 +289,7 @@ class _FactoredBackend(ClockBackend):
         # the shard layout.
         posted = [
             pair
-            for shard_prices in self._map(lambda s: s.prices(t))
+            for shard_prices in self._timed_map(lambda s: s.prices(t), "price")
             for pair in shard_prices
         ]
         posted.sort(key=lambda pair: pair[0])
@@ -298,7 +317,9 @@ class _FactoredBackend(ClockBackend):
             )
         )
         # Phase 2 — factored acceptance draws + completions.
-        step_totals = self._map(lambda s: s.step(t, mean_t, fractions, prices))
+        step_totals = self._timed_map(
+            lambda s: s.step(t, mean_t, fractions, prices), "split"
+        )
         considered = sum(c for c, _ in step_totals)
         accepted = sum(a for _, a in step_totals)
         arrived = walked + considered
@@ -308,7 +329,7 @@ class _FactoredBackend(ClockBackend):
             phase_started = now
         # Phase 3 — adaptive campaigns observe the realized marketplace
         # arrivals (walk-aways included).
-        self._map(lambda s: s.observe(t, arrived))
+        self._timed_map(lambda s: s.observe(t, arrived), "observe")
         if phases is not None:
             phases.record("observe", time.perf_counter() - phase_started)
         return arrived, considered, accepted

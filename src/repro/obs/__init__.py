@@ -24,6 +24,13 @@ or *durable between checkpoints*.  ``repro.obs`` adds the missing layer:
   (:class:`~repro.engine.clock.PhaseTimings`) the engine clock records.
 * :mod:`repro.obs.metrics` — a process-wide registry of counters,
   gauges, and histograms, exportable as JSON or Prometheus text format.
+* :mod:`repro.obs.ops` — the **live ops plane**: an asyncio HTTP server
+  attachable to a running gateway or fleet (``--ops-port``) answering
+  ``/metrics``, ``/healthz``, ``/readyz``, ``/tenants``, and ``/slo``
+  mid-run without perturbing any deterministic artifact.
+* :mod:`repro.obs.slo` — SLO objectives (availability, latency) with
+  multi-window burn rates, computed live or offline over telemetry and
+  event logs (``repro engine slo``).
 * :mod:`repro.obs.logsetup` — the CLI's shared structured-logging
   configuration (``--log-level``).
 
@@ -48,6 +55,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
 )
+from repro.obs.slo import SloPolicy
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
@@ -62,8 +70,10 @@ __all__ = [
     "get_registry",
     "Histogram",
     "MetricsRegistry",
+    "OpsServer",
     "recover_serve_run",
     "setup_logging",
+    "SloPolicy",
     "Span",
     "Tracer",
 ]
@@ -73,8 +83,14 @@ def __getattr__(name: str):
     # Recovery imports the serving gateway, which itself records into
     # this package's metrics/eventlog modules; loading it lazily keeps
     # ``import repro.obs`` free of the serve package (no import cycle).
+    # The ops server introspects gateways the same way, so it loads
+    # lazily too.
     if name == "recover_serve_run":
         from repro.obs.recovery import recover_serve_run
 
         return recover_serve_run
+    if name == "OpsServer":
+        from repro.obs.ops import OpsServer
+
+        return OpsServer
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -241,6 +241,17 @@ class EventLog:
         with self._lock:
             return len(self._buffer)
 
+    @property
+    def healthy(self) -> bool:
+        """True while the log accepts appends (open, writer not failed).
+
+        The readiness probe (:mod:`repro.obs.ops`) reads this together
+        with :attr:`buffered`: a failed or wedged writer means appends
+        would block or raise, so the run is not admission-ready.
+        """
+        with self._lock:
+            return self._error is None and not self._closed
+
     # ------------------------------------------------------------------
     # Read API (separate read-only connections; WAL permits concurrent
     # readers while the writer commits)

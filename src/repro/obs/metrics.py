@@ -69,10 +69,23 @@ def _label_key(labels: dict | None) -> tuple:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash first
+    (it is the escape character), then quote and newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text (backslash and newline; quotes are legal there)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(key: tuple) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
     return "{" + inner + "}"
 
 
@@ -257,7 +270,7 @@ class MetricsRegistry:
         with self._lock:
             for name, (kind, help, series) in sorted(self._families.items()):
                 if help:
-                    lines.append(f"# HELP {name} {help}")
+                    lines.append(f"# HELP {name} {_escape_help(help)}")
                 lines.append(f"# TYPE {name} {kind}")
                 for key, instrument in sorted(series.items()):
                     if kind == "histogram":

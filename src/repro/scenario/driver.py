@@ -200,8 +200,13 @@ class ScenarioDriver:
             )
         return core
 
-    def step(self) -> TickReport:
-        """Apply the tick's events, advance the clock, record telemetry."""
+    def step(self) -> TickReport | None:
+        """Apply the tick's events, advance the clock, record telemetry.
+
+        Returns ``None`` in one edge case: a cancellation at this tick
+        emptied the engine and the timeline has no traffic left, so
+        there is no tick to run — the scenario is :attr:`done`.
+        """
         if not self._started:
             raise RuntimeError("call start() before step()")
         core = self.engine.core
@@ -238,6 +243,19 @@ class ScenarioDriver:
                 self.event_log.log(
                     "cancel", t, {"result": status}, campaign_id=campaign_id
                 )
+        if core.done:
+            # A cancellation just emptied the engine.  With timeline
+            # traffic still ahead, queue the next wave so the clock can
+            # idle forward to it; with none, the session is over — the
+            # clock would refuse to tick, and the cancelled outcomes are
+            # already in the session result.
+            if self._next_wave < len(waves):
+                self.engine.submit(waves[self._next_wave][1])
+                self._next_wave += 1
+            else:
+                if self.event_log is not None:
+                    self.event_log.flush()
+                return None
         report = core.tick()
         self.telemetry.record_tick(core, report, cancelled=cancelled)
         if self.event_log is not None:

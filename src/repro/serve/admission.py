@@ -184,8 +184,12 @@ class AdmissionQueue:
         # is 1.0: every non-empty tenant is then served at least once per
         # full rotation, which is both the no-starvation bound and what
         # keeps pop()'s rotation loop O(active tenants).
-        floor = min([*self.weights.values(), self.default_weight])
-        self._quantum_scale = 1.0 / floor
+        # Kept as the divisor (not a precomputed reciprocal): IEEE
+        # division gives exactly 1.0 for the floor weight itself, where
+        # ``w * (1.0 / w)`` can round to 0.999..., silently breaking the
+        # every-quantum->=-1.0 invariant and starving that tenant for a
+        # rotation.
+        self._quantum_floor = min([*self.weights.values(), self.default_weight])
         # Per-tenant FIFO subqueues; deques for O(1) popleft.  A tenant
         # is present iff it has queued tickets, and then appears exactly
         # once in the DRR rotation.
@@ -236,7 +240,7 @@ class AdmissionQueue:
         rotation-length — and no-starvation — bound the property tests
         assert.
         """
-        return self.weight_of(tenant) * self._quantum_scale
+        return self.weight_of(tenant) / self._quantum_floor
 
     def _quantum(self, tenant: str) -> float:
         return self.quantum_of(tenant)

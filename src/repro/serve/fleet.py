@@ -37,9 +37,20 @@ What makes a fleet more than N gateways:
 The engine resolves same-tick submissions by re-sorting pending
 campaigns at admission, so partitioning requests across members never
 changes outcomes — only the *set* of submissions a tick sees matters.
-Observability sinks (event log, tracer, metrics) are not wired at the
-fleet level; serve a solo :class:`Gateway` when you need the durable
-event log.
+
+**One set of observability sinks.**  The fleet accepts the same
+``event_log`` / ``tracer`` / ``metrics`` sinks a solo gateway does and
+shares them across every member: request/response rows are appended by
+the member that owns the request (in offer order, so the log's own
+sequence is the fleet-wide arrival order), while run lifecycle, tick
+summaries, admission batches, and the tick-boundary metrics refresh are
+recorded **once per tick by the fleet** — never once per member.  Member
+ticket sequences are per-member, so ``payload["seq"]`` (and the trace
+ids derived from it) disambiguate only together with the ``client``
+column in a fleet log; the log's append order is the authoritative
+total order.  Like everywhere else, the sinks are observation-only:
+a fleet run with all three wired produces telemetry and checkpoint
+bundles byte-identical to a dark run.
 """
 
 from __future__ import annotations
@@ -54,7 +65,7 @@ from repro.engine.checkpoint import (
     restore_engine,
     save_checkpoint,
 )
-from repro.engine.clock import EngineBase, EngineCore, TickReport
+from repro.engine.clock import EngineBase, EngineCore, PhaseTimings, TickReport
 from repro.engine.sharding import shard_of
 from repro.serve.gateway import Gateway
 from repro.serve.requests import (
@@ -96,6 +107,11 @@ class GatewayFleet:
     tenant_weights / tenant_quotas:
         Fair-scheduler weights and per-tenant quotas, shared by every
         member (one ledger fleet-wide).
+    event_log / tracer / metrics:
+        Optional observability sinks (see :class:`Gateway`), shared by
+        every member.  Members record the per-request rows and spans;
+        the fleet records the per-tick rows, the run lifecycle, and the
+        tick-boundary metrics refresh exactly once per tick.
     """
 
     def __init__(
@@ -109,6 +125,9 @@ class GatewayFleet:
         tenant_weights: dict[str, float] | None = None,
         tenant_quotas: dict[str, TenantQuota] | None = None,
         telemetry: GatewayTelemetry | None = None,
+        event_log=None,
+        tracer=None,
+        metrics=None,
     ):
         if num_gateways < 1:
             raise ValueError(
@@ -120,6 +139,15 @@ class GatewayFleet:
         self.max_drain = max_drain
         self.ledger = TenantLedger(tenant_quotas)
         self.telemetry = telemetry if telemetry is not None else GatewayTelemetry()
+        self.event_log = event_log
+        self.tracer = tracer
+        self.metrics = metrics
+        #: ``last_seq`` recorded in the bundle this fleet resumed from
+        #: (``None`` on a fresh start or a pre-event-log bundle).
+        self.resumed_event_seq: int | None = None
+        # Admission-log entries already mirrored into the event log; the
+        # fleet owns the per-tick rows (members never call _finish_tick).
+        self._admission_seen = 0
         self._wakeup = asyncio.Event()
         self.members: list[Gateway] = []
         for _ in range(num_gateways):
@@ -131,6 +159,9 @@ class GatewayFleet:
                 tenant_weights=tenant_weights,
                 ledger=self.ledger,
                 telemetry=self.telemetry,
+                event_log=event_log,
+                tracer=tracer,
+                metrics=metrics,
             )
             # Members share the fleet's facade: one wakeup event (an
             # offer to any member wakes the serve loop), one snapshot
@@ -155,6 +186,13 @@ class GatewayFleet:
             import numpy as np
 
             core.set_rate_multipliers(np.asarray(rate_multipliers, dtype=float))
+        if self.metrics is not None:
+            core.enable_phase_timings(PhaseTimings(metrics=self.metrics))
+        if self.event_log is not None:
+            self.event_log.log(
+                "run", core.clock,
+                {"action": "start", "seed": seed, "gateways": self.num_gateways},
+            )
         self._attach(core)
         return core
 
@@ -212,9 +250,14 @@ class GatewayFleet:
     def close(self) -> None:
         """End the session; unanswered queued requests are rejected."""
         if self.engine.core is not None:
+            clock = self.engine.core.clock
             for member in self.members:
                 member._flush("gateway fleet closed before the next tick boundary")
+            if self.event_log is not None and self._started:
+                self.event_log.log("run", clock, {"action": "close"})
         self.engine.close()
+        if self.event_log is not None:
+            self.event_log.flush()
 
     # ------------------------------------------------------------------
     # Routing
@@ -258,19 +301,99 @@ class GatewayFleet:
                 member._do_drain(core)
             if core.done:
                 return None
+        tick_span = (
+            self.tracer.start_span("tick", f"tick-{core.clock}")
+            if self.tracer is not None
+            else None
+        )
         report = core.tick()
         merged = DrainReport()
         cancelled = []
+        drained_seqs: list[int] = []
         for member in self.members:
-            drain, member_cancelled, _seqs = member._take_drain()
+            drain, member_cancelled, seqs = member._take_drain()
             merged.absorb(drain)
             cancelled.extend(member_cancelled)
+            drained_seqs.extend(seqs)
         self.ledger.settle(
             report.interval, (o.spec.campaign_id for o in report.retired)
         )
         self.ledger.end_tick(report.interval)
         self.telemetry.record_tick(core, report, merged, cancelled)
+        if tick_span is not None:
+            from repro.obs.tracing import trace_id_for_seq
+
+            self.tracer.finish_span(
+                tick_span,
+                {
+                    "interval": report.interval,
+                    "idle": report.idle,
+                    "batch": [trace_id_for_seq(s) for s in drained_seqs],
+                },
+            )
+        if self.event_log is not None:
+            self._log_tick(core, report, merged)
+            self.event_log.flush()
+        if self.metrics is not None:
+            self._record_tick_metrics(core, merged)
         return report
+
+    def _log_tick(self, core: EngineCore, report: TickReport, drain: DrainReport) -> None:
+        """Append this tick's admission batches and summary row (once,
+        fleet-wide — members never run their own tick bookkeeping)."""
+        new = core.admissions_since(self._admission_seen)
+        self._admission_seen += len(new)
+        for interval, campaign_ids in new:
+            self.event_log.log(
+                "admission", interval, {"campaign_ids": list(campaign_ids)}
+            )
+        self.event_log.log(
+            "tick",
+            report.interval,
+            {
+                "admitted": report.admitted,
+                "arrived": report.arrived,
+                "considered": report.considered,
+                "accepted": report.accepted,
+                "retired": len(report.retired),
+                "num_live": report.num_live,
+                "idle": report.idle,
+                "queue_depth": drain.queue_depth,
+                "drained": drain.drained,
+            },
+        )
+
+    def _record_tick_metrics(self, core: EngineCore, drain: DrainReport) -> None:
+        """Tick-boundary registry refresh — the fleet twin of
+        :meth:`Gateway._record_tick_metrics` (queue depth summed across
+        members; tenant counters from the merged drain)."""
+        self.metrics.gauge(
+            "serve_queue_depth", "Mutating requests queued"
+        ).set(self.queue_depth)
+        self.metrics.gauge(
+            "engine_live_campaigns", "Campaigns currently live"
+        ).set(core.num_live)
+        self.metrics.gauge(
+            "engine_pending_campaigns",
+            "Submitted campaigns awaiting admission",
+        ).set(core.num_pending)
+        self.metrics.gauge(
+            "engine_clock_interval", "Engine-clock interval"
+        ).set(core.clock)
+        if self.event_log is not None:
+            self.metrics.gauge(
+                "eventlog_buffered_events",
+                "Events appended but not yet committed",
+            ).set(self.event_log.buffered)
+        for tenant, row in drain.tenants.items():
+            labels = {"tenant": tenant}
+            for field, amount in row.items():
+                if amount:
+                    self.metrics.counter(
+                        f"serve_tenant_{field}_total",
+                        f"Per-tenant {field} requests at drain time",
+                        labels,
+                    ).inc(amount)
 
     def replay(self, trace: RequestTrace, on_tick=None) -> list:
         """Deliver a trace at its recorded ticks, routed across the fleet.
@@ -398,9 +521,15 @@ class GatewayFleet:
             raise CheckpointError(
                 "the fleet has not started; nothing to snapshot"
             )
+        # Same ordering contract as Gateway.save: sync the event log
+        # before the manifest names its high-water mark.
+        event_log_state = None
+        if self.event_log is not None:
+            event_log_state = {"last_seq": self.event_log.sync()}
         reference = self.members[0]
         state = {
             "version": _FLEET_EXTRAS_VERSION,
+            "event_log": event_log_state,
             "config": {
                 "num_gateways": self.num_gateways,
                 **reference._config_state(),
@@ -417,12 +546,27 @@ class GatewayFleet:
                 }
             ),
         }
-        return save_checkpoint(
+        bundle = save_checkpoint(
             self.engine, path, extras={_FLEET_EXTRAS_KEY: state}
         )
+        if self.event_log is not None:
+            self.event_log.log(
+                "checkpoint",
+                self._active_core().clock,
+                {"path": str(bundle), "last_seq": event_log_state["last_seq"]},
+            )
+            self.event_log.flush()
+        return bundle
 
     @classmethod
-    def resume(cls, path: str | pathlib.Path) -> "GatewayFleet":
+    def resume(
+        cls,
+        path: str | pathlib.Path,
+        *,
+        event_log=None,
+        tracer=None,
+        metrics=None,
+    ) -> "GatewayFleet":
         """Reopen a fleet from a bundle written by :meth:`save`."""
         engine = restore_engine(path)
         extras = load_extras(path)
@@ -452,10 +596,26 @@ class GatewayFleet:
                 else None
             ),
             telemetry=GatewayTelemetry.from_dict(state["telemetry"]),
+            event_log=event_log,
+            tracer=tracer,
+            metrics=metrics,
         )
         fleet.ledger.restore(state.get("tenants"))
         core = engine.core
         assert core is not None  # restore_engine always opens a session
+        # Pre-checkpoint admissions were logged before the snapshot;
+        # mirror only what happens from here on.
+        fleet._admission_seen = core.num_admission_batches
+        log_state = state.get("event_log")
+        if log_state is not None:
+            fleet.resumed_event_seq = log_state["last_seq"]
+        if metrics is not None:
+            core.enable_phase_timings(PhaseTimings(metrics=metrics))
+        if event_log is not None:
+            event_log.log(
+                "run", core.clock,
+                {"action": "resume", "bundle": str(path)},
+            )
         fleet._attach(core)
         now = time.perf_counter()
         for member, member_state in zip(fleet.members, state["members"]):

@@ -81,6 +81,7 @@ from repro.serve.requests import (
     SubmitCampaign,
     is_mutating,
     request_from_dict,
+    request_kind,
     request_to_dict,
 )
 from repro.serve.telemetry import DrainReport, GatewayTelemetry
@@ -97,7 +98,7 @@ _EXTRAS_VERSION = 1
 
 def _kind(request) -> str:
     """The request's type tag (response ``kind`` field)."""
-    return request_to_dict(request)["type"]
+    return request_kind(request)
 
 
 class Gateway:
@@ -188,6 +189,20 @@ class Gateway:
         self.event_log = event_log
         self.tracer = tracer
         self.metrics = metrics
+        # Hot-path instrument handles, cached per label value: request
+        # and response recording runs once per request, so the registry's
+        # get-or-create lookup (name check + label key + lock) is paid
+        # once per distinct label instead of once per call.
+        self._request_counters: dict[str, object] = {}
+        self._response_counters: dict[str, object] = {}
+        self._latency_histogram = (
+            metrics.histogram(
+                "serve_request_latency_seconds",
+                "Offer-to-response wall-clock seconds",
+            )
+            if metrics is not None
+            else None
+        )
         #: ``last_seq`` recorded in the bundle this gateway resumed from
         #: (``None`` on a fresh start or a pre-event-log bundle); events
         #: beyond it are the request tail recovery replays.
@@ -376,11 +391,16 @@ class Gateway:
                 attrs={"kind": _kind(ticket.request), "client": ticket.client},
             )
         if self.metrics is not None:
-            self.metrics.counter(
-                "serve_requests_total",
-                "Requests offered to the gateway",
-                labels={"kind": _kind(ticket.request)},
-            ).inc()
+            kind = _kind(ticket.request)
+            counter = self._request_counters.get(kind)
+            if counter is None:
+                counter = self.metrics.counter(
+                    "serve_requests_total",
+                    "Requests offered to the gateway",
+                    labels={"kind": kind},
+                )
+                self._request_counters[kind] = counter
+            counter.inc()
 
     def _record_response(self, ticket: Ticket, response: Response) -> None:
         """Log/trace/count one delivered response."""
@@ -398,15 +418,18 @@ class Gateway:
             if span is not None:
                 self.tracer.finish_span(span, {"status": response.status})
         if self.metrics is not None:
-            self.metrics.counter(
-                "serve_responses_total",
-                "Responses delivered by the gateway",
-                labels={"status": response.status},
-            ).inc()
-            self.metrics.histogram(
-                "serve_request_latency_seconds",
-                "Offer-to-response wall-clock seconds",
-            ).observe(time.perf_counter() - ticket.offered_at)
+            counter = self._response_counters.get(response.status)
+            if counter is None:
+                counter = self.metrics.counter(
+                    "serve_responses_total",
+                    "Responses delivered by the gateway",
+                    labels={"status": response.status},
+                )
+                self._response_counters[response.status] = counter
+            counter.inc()
+            self._latency_histogram.observe(
+                time.perf_counter() - ticket.offered_at
+            )
 
     # ------------------------------------------------------------------
     # Reads: answered immediately, never blocking the tick loop
@@ -767,9 +790,42 @@ class Gateway:
             # boundaries instead of arbitrary buffer fill levels.
             self.event_log.flush()
         if self.metrics is not None:
+            self._record_tick_metrics(core, drain)
+
+    def _record_tick_metrics(self, core: EngineCore, drain: DrainReport) -> None:
+        """Refresh the registry at a tick boundary (gauges + tenant counters).
+
+        Observation-only: the registry is never serialized into telemetry,
+        checkpoints, or the event log, so an instrumented run's
+        deterministic artifacts stay byte-identical to a dark run's.
+        """
+        self.metrics.gauge(
+            "serve_queue_depth", "Mutating requests queued"
+        ).set(self.queue.depth)
+        self.metrics.gauge(
+            "engine_live_campaigns", "Campaigns currently live"
+        ).set(core.num_live)
+        self.metrics.gauge(
+            "engine_pending_campaigns",
+            "Submitted campaigns awaiting admission",
+        ).set(core.num_pending)
+        self.metrics.gauge(
+            "engine_clock_interval", "Engine-clock interval"
+        ).set(core.clock)
+        if self.event_log is not None:
             self.metrics.gauge(
-                "serve_queue_depth", "Mutating requests queued"
-            ).set(self.queue.depth)
+                "eventlog_buffered_events",
+                "Events appended but not yet committed",
+            ).set(self.event_log.buffered)
+        for tenant, row in drain.tenants.items():
+            labels = {"tenant": tenant}
+            for field, amount in row.items():
+                if amount:
+                    self.metrics.counter(
+                        f"serve_tenant_{field}_total",
+                        f"Per-tenant {field} requests at drain time",
+                        labels,
+                    ).inc(amount)
 
     def _log_tick(self, core: EngineCore, report: TickReport, drain: DrainReport) -> None:
         """Append this tick's admission batches and summary row."""

@@ -54,6 +54,7 @@ __all__ = [
     "RequestTrace",
     "REQUEST_TYPES",
     "is_mutating",
+    "request_kind",
     "request_to_dict",
     "request_from_dict",
 ]
@@ -165,6 +166,14 @@ _MUTATING = (SubmitCampaign, Cancel, Snapshot)
 def is_mutating(request) -> bool:
     """True for requests the gateway coalesces into per-tick batches."""
     return isinstance(request, _MUTATING)
+
+
+def request_kind(request) -> str:
+    """The request's type tag without serializing it (hot-path safe)."""
+    tag = _TYPE_TAGS.get(type(request))
+    if tag is None:
+        raise TypeError(f"unknown request type {type(request).__name__}")
+    return tag
 
 
 def request_to_dict(request) -> dict:

@@ -161,6 +161,14 @@ class LatencyRecorder:
         """Latency samples currently held (== observed until decimation)."""
         return len(self._samples)
 
+    def samples(self) -> tuple[float, ...]:
+        """The held samples in observation order (seconds).
+
+        What the SLO evaluator (:mod:`repro.obs.slo`) windows over;
+        decimation keeps order, so trailing slices stay meaningful.
+        """
+        return tuple(self._samples)
+
     @staticmethod
     def _rank(ordered: list[float], q: float) -> float:
         """Nearest-rank percentile of an already-sorted sample list.

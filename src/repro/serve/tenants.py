@@ -176,6 +176,23 @@ class TenantLedger:
         self._reset_interval = interval
         self._tick_admitted.clear()
 
+    def snapshot(self) -> dict:
+        """Read-only operational view for the ops plane (``/tenants``).
+
+        Unlike :meth:`to_dict` (the checkpoint form, which carries the
+        campaign-owner map for exact restore), this is the live summary
+        an operator asks for: held live counts, this tick's admissions,
+        and the configured quotas in JSON form.
+        """
+        return {
+            "live": dict(self._live),
+            "tick_admitted": dict(self._tick_admitted),
+            "quotas": {
+                tenant: quota.to_dict()
+                for tenant, quota in self.quotas.items()
+            },
+        }
+
     # ------------------------------------------------------------------
     # Checkpoint round trip
     # ------------------------------------------------------------------

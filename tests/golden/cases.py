@@ -215,14 +215,19 @@ def build_serve_gateway(
     case: str,
     num_gateways: int = 1,
     tenant_weights: dict[str, float] | None = None,
+    sinks: dict | None = None,
 ):
     """Construct one served case's engine + front (session not yet open).
 
     ``num_gateways > 1`` builds a :class:`~repro.serve.fleet.GatewayFleet`
     over the same engine — the fleet arm of the golden invariance guard.
+    ``sinks`` passes observability keyword arguments (``event_log`` /
+    ``tracer`` / ``metrics``) straight through — the instrumented arm of
+    the same guard.
     """
     from repro.serve import GatewayFleet
 
+    sinks = sinks or {}
     num_shards = SERVE_CASES[case]["num_shards"]
     if num_shards:
         engine: MarketplaceEngine | ShardedEngine = ShardedEngine(
@@ -238,11 +243,13 @@ def build_serve_gateway(
             engine, num_gateways,
             max_live=SERVE_CASES[case]["max_live"],
             tenant_weights=tenant_weights,
+            **sinks,
         )
     return Gateway(
         engine,
         max_live=SERVE_CASES[case]["max_live"],
         tenant_weights=tenant_weights,
+        **sinks,
     )
 
 
@@ -264,6 +271,7 @@ def run_serve_case(
     case: str,
     tenants: tuple[str, ...] | None = None,
     num_gateways: int = 1,
+    instrumented: bool = False,
 ) -> dict:
     """Run one served case; payload = trace + result + serving telemetry.
 
@@ -271,6 +279,11 @@ def run_serve_case(
     scheduling (weights 2:1:...), and ``num_gateways`` routes it through
     a fleet — neither may change the engine ``result`` block, which is
     what the regen guard verifies before rewriting any golden.
+    ``instrumented`` wires every observability layer the ops plane rides
+    on — event log, tracer, metrics registry with phase timings, and a
+    live :class:`~repro.obs.ops.OpsServer` scraped at tick boundaries —
+    and must leave the payload **byte-identical** to a dark run: that is
+    the serialization-inert contract the regen guard enforces.
     """
     scenario = canned_scenario("flash-crowd", NUM_INTERVALS, seed=SCENARIO_SEED)
     weights = None
@@ -279,23 +292,69 @@ def run_serve_case(
         trace = tenant_tagged_trace(tenants)
     else:
         trace = serve_trace()
+    sinks = None
+    cleanup = []
+    on_tick = None
+    if instrumented:
+        import shutil
+        import tempfile
+        import urllib.error
+        import urllib.request
+
+        from repro.obs import EventLog, MetricsRegistry, Tracer
+        from repro.obs.ops import OpsServer
+
+        tmp = tempfile.mkdtemp(prefix="repro-golden-obs-")
+        event_log = EventLog(pathlib.Path(tmp) / "events.sqlite")
+        metrics = MetricsRegistry()
+        sinks = {
+            "event_log": event_log,
+            "tracer": Tracer(),
+            "metrics": metrics,
+        }
+        cleanup = [event_log.close, lambda: shutil.rmtree(tmp)]
     gateway = build_serve_gateway(
-        case, num_gateways=num_gateways, tenant_weights=weights
+        case, num_gateways=num_gateways, tenant_weights=weights, sinks=sinks
     )
-    gateway.start(
-        seed=SCENARIO_SEED,
-        rate_multipliers=scenario.compile(NUM_INTERVALS).rate_multipliers,
-    )
-    gateway.replay(trace)
-    core = gateway.core
-    assert core is not None
-    payload = {
-        "case": case,
-        "trace": trace.to_dict(),
-        "result": result_to_dict(core.result()),
-        "telemetry": gateway.telemetry.to_dict(),
-    }
-    return json.loads(json.dumps(payload))
+    if instrumented:
+        ops = OpsServer(gateway, metrics=metrics, event_log=sinks["event_log"])
+        ops.start_in_thread()
+        cleanup.insert(0, ops.close)
+        scrapes = {"left": 3}
+
+        def on_tick(_gw):
+            # Scrape a live endpoint mix at a few tick boundaries: the
+            # guard must hold under concurrent scraping, not just with a
+            # passive listener.
+            if scrapes["left"] > 0:
+                scrapes["left"] -= 1
+                for path in ("/metrics", "/readyz", "/tenants", "/slo"):
+                    try:
+                        urllib.request.urlopen(
+                            ops.address + path, timeout=5
+                        ).read()
+                    except urllib.error.HTTPError:
+                        pass  # a 503 is still a served scrape
+            return True
+
+    try:
+        gateway.start(
+            seed=SCENARIO_SEED,
+            rate_multipliers=scenario.compile(NUM_INTERVALS).rate_multipliers,
+        )
+        gateway.replay(trace, on_tick=on_tick)
+        core = gateway.core
+        assert core is not None
+        payload = {
+            "case": case,
+            "trace": trace.to_dict(),
+            "result": result_to_dict(core.result()),
+            "telemetry": gateway.telemetry.to_dict(),
+        }
+        return json.loads(json.dumps(payload))
+    finally:
+        for step in cleanup:
+            step()
 
 
 def run_any_case(case: str) -> dict:

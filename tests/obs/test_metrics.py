@@ -126,3 +126,55 @@ class TestRegistry:
         finally:
             set_registry(previous)
         assert get_registry() is previous
+
+
+class TestPrometheusEscaping:
+    """Label values are client-controlled (tenant names reach the
+    exposition verbatim), so the writer must escape per the text-format
+    spec: backslash, double quote, and newline in label values;
+    backslash and newline in HELP text."""
+
+    def test_hostile_tenant_label_round_trips(self):
+        registry = MetricsRegistry()
+        hostile = 'acme"corp\\prod\nstaging'
+        registry.counter(
+            "serve_tenant_admitted_total", labels={"tenant": hostile}
+        ).inc(3)
+        text = registry.to_prometheus()
+        expected = (
+            'serve_tenant_admitted_total'
+            '{tenant="acme\\"corp\\\\prod\\nstaging"} 3'
+        )
+        assert expected in text
+        # One line per sample survives: the raw newline never splits it.
+        sample_lines = [
+            line for line in text.splitlines()
+            if line.startswith("serve_tenant_admitted_total{")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_backslash_escaped_before_quote(self):
+        # Escaping the quote first would double-escape: \" -> \\".
+        registry = MetricsRegistry()
+        registry.gauge("g", labels={"t": '\\"'}).set(1)
+        assert 'g{t="\\\\\\""} 1' in registry.to_prometheus()
+
+    def test_help_text_escapes_newline_and_backslash(self):
+        registry = MetricsRegistry()
+        registry.counter("c", help="line one\nline \\ two").inc()
+        text = registry.to_prometheus()
+        assert "# HELP c line one\\nline \\\\ two" in text
+        assert text.count("# HELP c ") == 1
+
+    def test_plain_labels_unchanged(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs", labels={"kind": "quote"}).inc(2)
+        assert 'reqs{kind="quote"} 2' in registry.to_prometheus()
+
+    def test_multiple_labels_sorted_and_escaped_independently(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "c", labels={"b": 'x"y', "a": "plain"}
+        ).inc()
+        text = registry.to_prometheus()
+        assert 'c{a="plain",b="x\\"y"} 1' in text

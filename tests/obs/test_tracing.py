@@ -15,14 +15,14 @@ from repro.sim.stream import SharedArrivalStream
 NUM_INTERVALS = 24
 
 
-def make_engine(num_shards: int = 0):
+def make_engine(num_shards: int = 0, executor: str = "serial"):
     means = 700.0 + 150.0 * np.sin(
         np.linspace(0.0, 2.0 * np.pi, NUM_INTERVALS)
     )
     if num_shards:
         return ShardedEngine(
             SharedArrivalStream(means), paper_acceptance_model(),
-            num_shards=num_shards, executor="serial", planning="stationary",
+            num_shards=num_shards, executor=executor, planning="stationary",
         )
     return MarketplaceEngine(
         SharedArrivalStream(means), paper_acceptance_model(),
@@ -181,3 +181,63 @@ class TestEnginePhaseTimings:
         assert timings.ticks == ticks_before
         assert core.phase_timings is None
         engine.close()
+
+
+class TestShardPhaseTimings:
+    """Per-shard phase attribution — every executor, including procpool.
+
+    The aggregate ``price``/``split``/``observe`` timers include
+    coordination and IPC wait; ``shard_totals`` must isolate each
+    shard's own compute, which for ``executor="process"`` means the
+    worker measures itself and ships the elapsed seconds back inside
+    its normal reply.
+    """
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_every_executor_attributes_all_shard_phases(self, executor):
+        engine = make_engine(num_shards=2, executor=executor)
+        engine.submit(generate_workload(6, NUM_INTERVALS, seed=5))
+        core = engine.start(seed=5)
+        timings = core.enable_phase_timings()
+        while not core.done:
+            core.tick()
+        engine.close()
+        assert sorted(timings.shard_totals) == [0, 1]
+        for shard, totals in timings.shard_totals.items():
+            assert sorted(totals) == sorted(PhaseTimings.SHARD_PHASES)
+            for phase, seconds in totals.items():
+                assert seconds > 0.0, f"shard {shard} {phase} never timed"
+
+    def test_shard_metrics_series_per_shard_and_phase(self):
+        registry = MetricsRegistry()
+        engine = make_engine(num_shards=2, executor="process")
+        engine.submit(generate_workload(6, NUM_INTERVALS, seed=5))
+        core = engine.start(seed=5)
+        core.enable_phase_timings(PhaseTimings(metrics=registry))
+        while not core.done:
+            core.tick()
+        engine.close()
+        text = registry.to_prometheus()
+        for shard in ("0", "1"):
+            for phase in PhaseTimings.SHARD_PHASES:
+                assert (
+                    f'engine_shard_phase_seconds_count'
+                    f'{{phase="{phase}",shard="{shard}"}}'
+                ) in text
+
+    def test_worker_timing_does_not_change_results(self):
+        import dataclasses
+
+        def run(enable):
+            engine = make_engine(num_shards=2, executor="process")
+            engine.submit(generate_workload(6, NUM_INTERVALS, seed=5))
+            core = engine.start(seed=5)
+            if enable:
+                core.enable_phase_timings()
+            while not core.done:
+                core.tick()
+            result = core.result()
+            engine.close()
+            return dataclasses.replace(result, elapsed_seconds=0.0)
+
+        assert run(True) == run(False)

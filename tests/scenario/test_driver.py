@@ -151,6 +151,33 @@ class TestCancellations:
         assert not any(o.cancelled for o in result.outcomes)
         assert driver.telemetry.total_cancelled == 0
 
+    def test_cancellation_that_empties_the_engine_ends_the_run(self):
+        """The last live campaign cancelled mid-step must not crash.
+
+        A cancellation applies before the tick runs; when it retires the
+        only remaining campaign and the timeline has no traffic left,
+        there is no tick left to run — step() returns None and the
+        driver reads done instead of asking an exhausted clock to tick.
+        """
+        engine = make_engine()
+        workload = generate_workload(1, NUM_INTERVALS, seed=2)
+        engine.submit(workload)
+        victim = workload[0]
+        scenario = Scenario(
+            name="cx", seed=13,
+            events=(Cancellation(tick=victim.submit_interval + 1,
+                                 campaign_id=victim.campaign_id),),
+        )
+        driver = ScenarioDriver(engine, scenario)
+        driver.start()
+        reports = []
+        while not driver.done:
+            reports.append(driver.step())
+        assert reports[-1] is None
+        result = driver.core.result()
+        assert [o.spec.campaign_id for o in result.outcomes
+                if o.cancelled] == [victim.campaign_id]
+
     def test_cancelling_an_unknown_id_fails_loudly(self):
         """A typo'd campaign id is a spec error, not a silent no-op."""
         scenario = self._scenario_with_cancel(1, "tyop-001")

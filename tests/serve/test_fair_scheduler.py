@@ -117,6 +117,21 @@ def test_no_tenant_starves_under_any_weight_vector(weights, backlog):
     )
 
 
+def test_floor_weight_quantum_is_exactly_one():
+    """The smallest weight's quantum is 1.0 exactly, not 0.999....
+
+    Quanta used to be computed as ``w * (1.0 / floor)``, and for this
+    weight the reciprocal round-trip lands at 0.9999999999999999 —
+    below the one-serve cost, starving the tenant for a whole rotation
+    and breaking the ``floor(quantum) + 1`` no-starvation bound.  Direct
+    division is exact for ``w == floor`` and >= 1.0 for every heavier
+    weight.
+    """
+    queue = build_queue([1.0, 0.6488381242853758])
+    assert queue.quantum_of(TENANTS[1]) == 1.0
+    assert queue.quantum_of(TENANTS[0]) >= 1.0
+
+
 @settings(max_examples=150, deadline=None)
 @given(
     num_tenants=st.integers(min_value=2, max_value=4),

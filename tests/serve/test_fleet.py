@@ -214,6 +214,97 @@ def test_fleet_resume_replay_without_trace_fails():
 
 
 # ----------------------------------------------------------------------
+# Shared observability sinks
+# ----------------------------------------------------------------------
+def test_fleet_event_log_replays_bit_identically_through_a_solo_gateway(
+    tmp_path,
+):
+    """The fleet's shared log is a complete, replayable run history.
+
+    Member queues mint ticket seqs independently, so raw log bytes are
+    not comparable to a solo run's — the contract is *replay
+    equivalence*: log append order is the authoritative fleet-wide
+    arrival order, so the trace reconstructed from the shared log,
+    replayed through a solo gateway, reproduces the solo run's telemetry
+    and outcomes bit-identically.
+    """
+    from repro.obs import EventLog, MetricsRegistry, Tracer
+    from repro.obs.recovery import reconstruct_trace
+
+    log_path = tmp_path / "fleet-events.sqlite"
+    log = EventLog(log_path)
+    fleet = GatewayFleet(
+        make_engine(), 3,
+        event_log=log, tracer=Tracer(), metrics=MetricsRegistry(),
+    )
+    fleet.start(seed=SEED)
+    fleet.replay(TENANT_TRACE)
+    log.sync()
+
+    reconstructed = reconstruct_trace(log_path)
+    assert len(reconstructed.requests) == len(TENANT_TRACE.requests)
+
+    replayed = Gateway(make_engine())
+    replayed.start(seed=SEED)
+    replayed.replay(reconstructed)
+    solo = run_solo(TENANT_TRACE, 0)
+
+    assert replayed.telemetry.to_dict() == solo.telemetry.to_dict()
+    assert outcome_map(replayed.core.result()) == outcome_map(
+        solo.core.result()
+    )
+    log.close()
+
+
+def test_fleet_logs_run_and_tick_rows_exactly_once(tmp_path):
+    """Fleet-level bookkeeping is recorded once per tick, not per member."""
+    from repro.obs import EventLog
+
+    log_path = tmp_path / "events.sqlite"
+    log = EventLog(log_path)
+    fleet = GatewayFleet(make_engine(), 2, event_log=log)
+    fleet.start(seed=SEED)
+    fleet.offer(SubmitCampaign(spec("a0")), tenant="acme")
+    fleet.step()
+    fleet.step()
+    fleet.close()
+    log.close()  # fleet.close() flushes asynchronously; wait for the commit
+
+    events = EventLog.read(log_path).events()
+    starts = [
+        e for e in events
+        if e.kind == "run" and e.payload.get("action") == "start"
+    ]
+    assert len(starts) == 1
+    assert starts[0].payload["gateways"] == 2
+    assert [e.tick for e in events if e.kind == "tick"] == [0, 1]
+    assert len([e for e in events if e.kind == "request"]) == 1
+
+
+def test_fleet_checkpoint_records_the_event_log_high_water_mark(tmp_path):
+    from repro.obs import EventLog
+    from repro.obs.recovery import bundle_event_seq
+
+    log = EventLog(tmp_path / "events.sqlite")
+    fleet = GatewayFleet(make_engine(), 2, event_log=log)
+    fleet.start(seed=SEED)
+    fleet.offer(SubmitCampaign(spec("a0")), tenant="acme")
+    fleet.step()
+    bundle = fleet.save(tmp_path / "bundle")
+    recorded = bundle_event_seq(bundle)
+    assert recorded is not None
+    # Everything logged before the save is covered by the mark; only the
+    # post-save checkpoint event sits beyond it.
+    log.sync()
+    beyond = EventLog.read(log.path).events(since=recorded)
+    assert [e.kind for e in beyond] == ["checkpoint"]
+
+    resumed = GatewayFleet.resume(bundle, event_log=log)
+    assert resumed.resumed_event_seq == recorded
+    log.close()
+
+
+# ----------------------------------------------------------------------
 # The asyncio facade
 # ----------------------------------------------------------------------
 def test_fleet_async_request_and_serve_loop():
